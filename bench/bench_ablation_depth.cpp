@@ -1,0 +1,118 @@
+// Ablation A1 — judgment depth k: the security / dispute-cost / latency
+// trade-off behind PayJudger's required_depth parameter.
+#include <cstdio>
+
+#include "analysis/doublespend.h"
+#include "analysis/attack_cost.h"
+#include "bench_table.h"
+#include "btc/pow.h"
+#include "btcfast/customer.h"
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcsim/scenario.h"
+
+using namespace btcfast;
+using namespace btcfast::core;
+
+namespace {
+
+constexpr std::uint64_t kHourMs = 60ULL * 60 * 1000;
+
+/// Measured gas for a customer evidence submission at depth k.
+psc::Gas measure_customer_evidence_gas(std::uint32_t k) {
+  btc::ChainParams params = btc::ChainParams::regtest();
+  btc::Chain chain(params);
+  sim::Party customer_party = sim::Party::make(11);
+  sim::Party merchant_party = sim::Party::make(22);
+  for (const auto& b : sim::build_funding_chain(params, {customer_party.script}, 2)) {
+    (void)chain.submit_block(b);
+  }
+  PayJudgerConfig cfg;
+  cfg.pow_limit = params.pow_limit;
+  cfg.initial_checkpoint = chain.tip_hash();
+  cfg.required_depth = k;
+  cfg.evidence_window_ms = kHourMs;
+  cfg.min_collateral = 1'000;
+  cfg.dispute_bond = 500;
+  psc::PscChain psc;
+  const auto judger = psc.deploy("payjudger", std::make_unique<PayJudger>(cfg));
+  const auto customer_psc = psc::Address::from_label("customer");
+  const auto merchant_psc = psc::Address::from_label("merchant");
+  psc.mint(customer_psc, 1'000'000'000);
+  psc.mint(merchant_psc, 1'000'000'000);
+  CustomerWallet wallet(customer_party, customer_psc, 1);
+  (void)psc.execute_now(wallet.make_deposit_tx(judger, 200'000, 100 * kHourMs), 0);
+
+  const auto coins = sim::find_spendable(chain, customer_party.script);
+  const auto [coin_op, coin] = coins.front();
+  Invoice inv;
+  inv.amount_sat = coin.out.value / 2;
+  inv.compensation = 50'000;
+  inv.pay_to = merchant_party.script;
+  inv.merchant_psc = merchant_psc;
+  inv.expires_at_ms = 100 * kHourMs;
+  FastPayPackage pkg = wallet.create_fastpay(inv, coin_op, coin.out.value, 0, 100 * kHourMs);
+
+  psc::PscTx open;
+  open.from = merchant_psc;
+  open.to = judger;
+  open.value = cfg.dispute_bond;
+  open.method = "openDispute";
+  open.args = encode_open_dispute_args(1, pkg.binding);
+  (void)psc.execute_now(open, kHourMs);
+
+  auto mine = [&](std::vector<btc::Transaction> txs) {
+    btc::Block b;
+    b.header.prev_hash = chain.tip_hash();
+    b.header.time = chain.tip_header().time + 600;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = chain.height() + 1;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, merchant_party.script});
+    b.txs.push_back(cb);
+    for (auto& tx : txs) b.txs.push_back(std::move(tx));
+    (void)btc::mine_block(b, params);
+    (void)chain.submit_block(b);
+  };
+  mine({pkg.payment_tx});
+  for (std::uint32_t i = 1; i < k; ++i) mine({});
+
+  const auto ev =
+      build_inclusion_evidence(chain, cfg.initial_checkpoint, pkg.payment_tx.txid(), k);
+  psc::PscTx cev;
+  cev.from = customer_psc;
+  cev.to = judger;
+  cev.method = "submitCustomerEvidence";
+  cev.args = encode_customer_evidence_args(1, ev->headers, ev->proof, ev->header_index);
+  cev.gas_limit = 20'000'000;
+  return psc.execute_now(cev, kHourMs + 2).gas_used;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A1 — judgment depth k: security vs cost vs latency\n\n");
+
+  const auto econ = analysis::MainnetReference::late2020();
+  bench::Table t({"k", "forgery risk q=0.10", "forgery risk q=0.25", "attack cost (USD)",
+                  "customer evidence gas", "min dispute latency"});
+  for (std::uint32_t k : {1u, 2u, 3u, 6u, 9u, 12u}) {
+    const psc::Gas gas = measure_customer_evidence_gas(k);
+    // The customer cannot prove before the tx is k deep: k block intervals.
+    const double latency_min = static_cast<double>(k) * 10.0;
+    t.row({std::to_string(k), bench::fmt_sci(analysis::rosenfeld_probability(0.10, k)),
+           bench::fmt_sci(analysis::rosenfeld_probability(0.25, k)),
+           bench::fmt(analysis::forgery_cost_usd(econ, k), 0), bench::fmt_u(gas),
+           bench::fmt(latency_min, 0) + " min"});
+  }
+  t.print();
+
+  std::printf(
+      "\n# Reading: security improves exponentially in k while evidence gas and\n"
+      "# the customer's minimum defense latency grow only linearly — k=6 is the\n"
+      "# sweet spot the paper adopts; larger escrows justify larger k (see E6).\n");
+  return 0;
+}

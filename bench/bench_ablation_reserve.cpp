@@ -1,0 +1,79 @@
+// Ablation A3 — optimistic vs reserved exposure mode: the paper's
+// zero-fee fast path trusts merchants to track their own exposure; the
+// reserved extension locks exposure on-chain per payment. This harness
+// runs both modes end-to-end and prices the difference.
+#include <cstdio>
+
+#include "analysis/economics.h"
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+
+using namespace btcfast;
+using namespace btcfast::core;
+
+namespace {
+
+struct ModeResult {
+  std::size_t payments = 0;
+  std::size_t settled = 0;
+  psc::Gas reserve_gas = 0;
+  psc::Gas release_gas = 0;
+  psc::Value reserved_peak = 0;
+};
+
+ModeResult run_mode(bool reserved) {
+  DeploymentConfig cfg;
+  cfg.seed = 7100 + (reserved ? 1 : 0);
+  cfg.reserve_payments = reserved;
+  cfg.settle_confirmations = 2;
+  cfg.compensation = 400'000;
+  cfg.funded_coins = 4;
+  Deployment dep(cfg);
+
+  ModeResult res;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = dep.perform_fastpay(3 * btc::kCoin);
+    if (r.accepted) ++res.payments;
+    dep.run_for(20 * kMinute);
+    if (const auto v = dep.escrow_view(); v && v->reserved > res.reserved_peak) {
+      res.reserved_peak = v->reserved;
+    }
+  }
+  dep.run_for(2 * kHour);
+
+  res.settled = dep.summarize().payments_settled;
+  for (const auto& r : dep.receipts_for("reservePayment")) res.reserve_gas += r.gas_used;
+  for (const auto& r : dep.receipts_for("releaseReservation")) res.release_gas += r.gas_used;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A3 — optimistic vs reserved exposure mode (3 payments)\n\n");
+
+  const auto gas_ref = analysis::GasReference::late2020();
+  const ModeResult optimistic = run_mode(false);
+  const ModeResult reserved = run_mode(true);
+
+  bench::Table t({"mode", "payments settled", "reserve+release gas", "USD per payment",
+                  "peak on-chain reserved", "cross-merchant safety"});
+  t.row({"optimistic (paper)", std::to_string(optimistic.settled), "0", "0.00000",
+         bench::fmt_u(optimistic.reserved_peak), "merchant-side only"});
+  const psc::Gas per_payment =
+      reserved.payments > 0
+          ? (reserved.reserve_gas + reserved.release_gas) / reserved.payments
+          : 0;
+  t.row({"reserved (extension)", std::to_string(reserved.settled),
+         bench::fmt_u(reserved.reserve_gas + reserved.release_gas),
+         bench::fmt(gas_ref.gas_to_usd(per_payment), 5), bench::fmt_u(reserved.reserved_peak),
+         "contract-enforced"});
+  t.print();
+
+  std::printf(
+      "\n# Reading: contract-enforced exposure costs ~%llu gas (~$%.2f) per payment\n"
+      "# — it trades away the 'no per-payment fee' headline for protection against\n"
+      "# a customer double-booking one escrow across many merchants at once.\n",
+      static_cast<unsigned long long>(per_payment), gas_ref.gas_to_usd(per_payment));
+  return 0;
+}

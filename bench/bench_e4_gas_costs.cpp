@@ -1,0 +1,194 @@
+// E4 — PayJudger operation costs: gas per contract call (EVM Istanbul
+// cost schedule), USD at frozen reference prices, and the amortized
+// per-payment fee that substantiates "no extra operation fee".
+#include <cstdio>
+
+#include "analysis/economics.h"
+#include "bench_table.h"
+#include "btc/pow.h"
+#include "btcfast/customer.h"
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcsim/scenario.h"
+
+using namespace btcfast;
+using namespace btcfast::core;
+
+namespace {
+
+constexpr std::uint64_t kHourMs = 60ULL * 60 * 1000;
+
+struct Harness {
+  btc::ChainParams params = btc::ChainParams::regtest();
+  btc::Chain btc_chain{params};
+  sim::Party customer_party = sim::Party::make(11);
+  sim::Party merchant_party = sim::Party::make(22);
+  psc::PscChain psc;
+  PayJudgerConfig cfg;
+  psc::Address judger;
+  psc::Address customer_psc = psc::Address::from_label("customer");
+  psc::Address merchant_psc = psc::Address::from_label("merchant");
+  CustomerWallet wallet{customer_party, customer_psc, 1};
+
+  Harness() {
+    for (const auto& b : sim::build_funding_chain(params, {customer_party.script}, 2)) {
+      (void)btc_chain.submit_block(b);
+    }
+    cfg.pow_limit = params.pow_limit;
+    cfg.initial_checkpoint = btc_chain.tip_hash();
+    cfg.required_depth = 6;
+    cfg.evidence_window_ms = kHourMs;
+    cfg.min_collateral = 1'000;
+    cfg.dispute_bond = 500;
+    judger = psc.deploy("payjudger", std::make_unique<PayJudger>(cfg));
+    psc.mint(customer_psc, 1'000'000'000);
+    psc.mint(merchant_psc, 1'000'000'000);
+  }
+
+  void mine_block_with(std::vector<btc::Transaction> txs) {
+    btc::Block b;
+    b.header.prev_hash = btc_chain.tip_hash();
+    b.header.time = btc_chain.tip_header().time + 600;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = btc_chain.height() + 1;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, merchant_party.script});
+    b.txs.push_back(cb);
+    for (auto& tx : txs) b.txs.push_back(std::move(tx));
+    (void)btc::mine_block(b, params);
+    (void)btc_chain.submit_block(b);
+  }
+};
+
+}  // namespace
+
+int main() {
+  Harness h;
+  const auto gas_ref = analysis::GasReference::late2020();
+  const auto btc_ref = analysis::BtcFeeReference::late2020();
+
+  std::printf("# E4 — PayJudger operation costs (gas / USD)\n");
+  std::printf("# gas: EVM Istanbul-derived schedule; USD: %g gwei, ETH=$%g\n\n",
+              gas_ref.gas_price_gwei, gas_ref.eth_usd);
+
+  bench::Table t({"operation", "who pays", "when", "gas", "USD"});
+
+  // Deploy (one-time, flat CREATE-equivalent from the schedule).
+  const auto deploy_gas = h.psc.schedule().contract_deploy;
+  t.row({"deploy PayJudger", "operator", "once ever", bench::fmt_u(deploy_gas),
+         bench::fmt(gas_ref.gas_to_usd(deploy_gas), 4)});
+
+  // Deposit.
+  const auto dep = h.psc.execute_now(h.wallet.make_deposit_tx(h.judger, 200'000, 48 * kHourMs), 0);
+  t.row({"deposit (escrow setup)", "customer", "once per escrow", bench::fmt_u(dep.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(dep.gas_used), 4)});
+
+  // Top-up.
+  const auto topup = h.psc.execute_now(h.wallet.make_topup_tx(h.judger, 50'000), 1);
+  t.row({"topUp", "customer", "occasional", bench::fmt_u(topup.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(topup.gas_used), 4)});
+
+  // Fast payment: off-chain.
+  t.row({"fast payment (bind+verify)", "-", "per payment", "0", "0.0000"});
+
+  // Dispute flow: build the binding and evidence.
+  const auto coins = sim::find_spendable(h.btc_chain, h.customer_party.script);
+  const auto [coin_op, coin] = coins.front();
+  Invoice inv;
+  inv.amount_sat = coin.out.value / 2;
+  inv.compensation = 50'000;
+  inv.pay_to = h.merchant_party.script;
+  inv.merchant_psc = h.merchant_psc;
+  inv.expires_at_ms = 100 * kHourMs;
+  FastPayPackage pkg = h.wallet.create_fastpay(inv, coin_op, coin.out.value, 0, 100 * kHourMs);
+
+  psc::PscTx open;
+  open.from = h.merchant_psc;
+  open.to = h.judger;
+  open.value = h.cfg.dispute_bond;
+  open.method = "openDispute";
+  open.args = encode_open_dispute_args(1, pkg.binding);
+  const auto open_r = h.psc.execute_now(open, kHourMs);
+  t.row({"openDispute", "merchant (bond)", "per dispute", bench::fmt_u(open_r.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(open_r.gas_used), 4)});
+
+  // 6-header merchant evidence.
+  h.mine_block_with({pkg.payment_tx});
+  for (int i = 0; i < 5; ++i) h.mine_block_with({});
+  const auto headers = *headers_since(h.btc_chain, h.cfg.initial_checkpoint);
+  psc::PscTx mev;
+  mev.from = h.merchant_psc;
+  mev.to = h.judger;
+  mev.method = "submitMerchantEvidence";
+  mev.args = encode_merchant_evidence_args(1, headers);
+  mev.gas_limit = 8'000'000;
+  const auto mev_r = h.psc.execute_now(mev, kHourMs + 1);
+  t.row({"submitMerchantEvidence (6 hdr)", "merchant", "per dispute",
+         bench::fmt_u(mev_r.gas_used), bench::fmt(gas_ref.gas_to_usd(mev_r.gas_used), 4)});
+
+  // Customer inclusion evidence (6 headers + Merkle proof).
+  const auto ev = build_inclusion_evidence(h.btc_chain, h.cfg.initial_checkpoint,
+                                           pkg.payment_tx.txid(), h.cfg.required_depth);
+  psc::PscTx cev;
+  cev.from = h.customer_psc;
+  cev.to = h.judger;
+  cev.method = "submitCustomerEvidence";
+  cev.args = encode_customer_evidence_args(1, ev->headers, ev->proof, ev->header_index);
+  cev.gas_limit = 8'000'000;
+  const auto cev_r = h.psc.execute_now(cev, kHourMs + 2);
+  t.row({"submitCustomerEvidence (6 hdr)", "customer", "per dispute",
+         bench::fmt_u(cev_r.gas_used), bench::fmt(gas_ref.gas_to_usd(cev_r.gas_used), 4)});
+
+  // Judge.
+  psc::PscTx judge;
+  judge.from = h.merchant_psc;
+  judge.to = h.judger;
+  judge.method = "judge";
+  judge.args = encode_escrow_id_arg(1);
+  const auto judge_r = h.psc.execute_now(judge, kHourMs + h.cfg.evidence_window_ms + 1);
+  t.row({"judge", "either", "per dispute", bench::fmt_u(judge_r.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(judge_r.gas_used), 4)});
+
+  // Checkpoint update, 10 headers.
+  for (int i = 0; i < 4; ++i) h.mine_block_with({});
+  const auto cp_headers = *headers_since(h.btc_chain, h.cfg.initial_checkpoint);
+  psc::PscTx cp;
+  cp.from = h.merchant_psc;
+  cp.to = h.judger;
+  cp.method = "updateCheckpoint";
+  cp.args = encode_checkpoint_args(cp_headers);
+  cp.gas_limit = 8'000'000;
+  const auto cp_r = h.psc.execute_now(cp, kHourMs + h.cfg.evidence_window_ms + 2);
+  t.row({"updateCheckpoint (10 hdr)", "relayer", "periodic", bench::fmt_u(cp_r.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(cp_r.gas_used), 4)});
+
+  // Withdraw.
+  const auto wd = h.psc.execute_now(h.wallet.make_withdraw_tx(h.judger), 50 * kHourMs);
+  t.row({"withdraw (escrow close)", "customer", "once per escrow", bench::fmt_u(wd.gas_used),
+         bench::fmt(gas_ref.gas_to_usd(wd.gas_used), 4)});
+
+  t.print();
+
+  std::printf("\n## Amortized extra fee per fast payment (honest path)\n");
+  std::printf("# setup = deposit + withdraw; disputes are paid by the losing party\n");
+  {
+    const std::uint64_t setup_gas = dep.gas_used + wd.gas_used;
+    bench::Table amort({"payments through escrow", "setup USD", "extra fee per payment USD",
+                        "vs on-chain BTC fee/tx"});
+    for (std::uint64_t n : {1ULL, 10ULL, 100ULL, 1000ULL, 10000ULL}) {
+      const auto row = analysis::amortize(setup_gas, n, gas_ref);
+      amort.row({bench::fmt_u(n), bench::fmt(row.setup_usd, 4),
+                 bench::fmt(row.per_payment_usd, 5), bench::fmt(btc_ref.tx_fee_usd(), 3)});
+    }
+    amort.print();
+  }
+
+  std::printf(
+      "\n# Reading: the honest fast path performs zero on-chain operations per\n"
+      "# payment; the one-time escrow setup amortizes to well under a cent —\n"
+      "# 'no extra operation fee' relative to the ~$1.8 BTC tx fee both schemes pay.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E6 — Economic security of the PoW judgment: the cost of forging a
+// winning k-header evidence chain at mainnet difficulty vs the escrow
+// value at stake, and the judgment depth needed for a given escrow size.
+#include <cstdio>
+
+#include "analysis/attack_cost.h"
+#include "bench_table.h"
+
+int main() {
+  using namespace btcfast;
+  using namespace btcfast::analysis;
+
+  const auto ref = MainnetReference::late2020();
+  std::printf("# E6 — attacker cost to forge winning PoW evidence (mainnet economics)\n");
+  std::printf("# reference: difficulty=%.2fT, BTC=$%.0f, reward=%.2f+%.2f BTC/block\n\n",
+              ref.difficulty / 1e12, ref.btc_usd, ref.block_reward_btc, ref.avg_fees_btc);
+
+  std::printf("## Forgery cost vs judgment depth k\n");
+  {
+    bench::Table t({"k (depth)", "expected hashes", "forgery cost (USD)",
+                    "breakeven escrow (USD)"});
+    for (const auto& row : attack_cost_table(ref, 12)) {
+      t.row({std::to_string(row.k),
+             bench::fmt_sci(hashes_per_block(ref) * row.k),
+             bench::fmt(row.forgery_cost_usd, 0), bench::fmt(row.breakeven_escrow_usd, 0)});
+    }
+    t.print();
+  }
+
+  std::printf("\n## Judgment depth needed so forgery is unprofitable\n");
+  {
+    bench::Table t({"escrow value (USD)", "required depth k", "forgery cost at k (USD)"});
+    for (double escrow : {1e3, 1e4, 1e5, 5e5, 1e6, 5e6, 1e7}) {
+      const auto k = safe_depth_for_escrow(ref, escrow);
+      t.row({bench::fmt(escrow, 0), std::to_string(k), bench::fmt(forgery_cost_usd(ref, k), 0)});
+    }
+    t.print();
+  }
+
+  std::printf(
+      "\n# Reading: attack cost grows linearly in k at ~$170k per block (cost +\n"
+      "# opportunity); k=6 secures escrows up to ~$1M, matching the paper's\n"
+      "# 'comparable security to 6 confirmations' at retail scales.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E7 — Merchant-side fast-pay throughput: how many acceptance decisions a
+// single merchant core sustains, and the crypto ceiling that bounds it.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+#include "crypto/ecdsa.h"
+#include "crypto/sha256.h"
+
+using namespace btcfast;
+
+namespace {
+
+double ops_per_sec(double total_us, int n) { return n / (total_us / 1e6); }
+
+}  // namespace
+
+int main() {
+  std::printf("# E7 — merchant acceptance throughput (single core)\n\n");
+
+  // --- Full evaluate_fastpay pipeline. ---
+  core::DeploymentConfig cfg;
+  cfg.seed = 12;
+  cfg.funded_coins = 2;
+  core::Deployment dep(cfg);
+
+  // Build one valid package and decide on it repeatedly (evaluation is
+  // read-only; repeated calls exercise the identical code path a stream
+  // of distinct payments would).
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto invoice =
+      dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now, 60ULL * 60 * 1000);
+  const auto coins =
+      sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
+  auto pkg = dep.customer().create_fastpay(invoice, coins[0].first, coins[0].second.out.value,
+                                           now, cfg.binding_ttl_ms);
+
+  const int decisions = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  int ok = 0;
+  for (int i = 0; i < decisions; ++i) {
+    ok += dep.merchant().evaluate_fastpay(pkg, invoice, now).accepted;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double eval_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count() /
+      decisions;
+
+  // --- Crypto ceiling components. ---
+  const auto key = *crypto::PrivateKey::from_scalar(crypto::U256(12345));
+  const auto pub = crypto::PublicKey::derive(key);
+  const auto digest = crypto::sha256(as_bytes(std::string("bench")));
+
+  const int n_sign = 100;
+  auto s0 = std::chrono::steady_clock::now();
+  crypto::Signature sig{};
+  for (int i = 0; i < n_sign; ++i) sig = crypto::ecdsa_sign(key, digest);
+  auto s1 = std::chrono::steady_clock::now();
+  const double sign_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(s1 - s0).count() /
+      n_sign;
+
+  const int n_verify = 100;
+  auto v0 = std::chrono::steady_clock::now();
+  bool sink = true;
+  for (int i = 0; i < n_verify; ++i) sink &= crypto::ecdsa_verify(pub, digest, sig);
+  auto v1 = std::chrono::steady_clock::now();
+  const double verify_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(v1 - v0).count() /
+      n_verify;
+
+  bench::Table t({"stage", "latency (us)", "throughput (ops/s)"});
+  t.row({"ECDSA sign (RFC6979)", bench::fmt(sign_us, 1),
+         bench::fmt(ops_per_sec(sign_us, 1), 0)});
+  t.row({"ECDSA verify", bench::fmt(verify_us, 1), bench::fmt(ops_per_sec(verify_us, 1), 0)});
+  t.row({"evaluate_fastpay (2 verifies + escrow view)", bench::fmt(eval_us, 1),
+         bench::fmt(ops_per_sec(eval_us, 1), 0)});
+  t.print();
+
+  std::printf("\n# decisions evaluated: %d, all accepted: %s\n", decisions,
+              ok == decisions && sink ? "yes" : "NO");
+  std::printf(
+      "# Reading: the decision is dominated by two signature verifications\n"
+      "# (payment input + binding); a single merchant core clears hundreds of\n"
+      "# payments per second — far above retail point-of-sale rates, and the\n"
+      "# sub-millisecond latency keeps E1's sub-second bound comfortable.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E8 — End-to-end dispute resolution: full-stack runs (Bitcoin network +
+// attacker + PSC chain + PayJudger) reporting the dispute timeline and
+// outcome for adversarial and wrongful-dispute scenarios.
+#include <cstdio>
+
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+
+using namespace btcfast;
+using namespace btcfast::core;
+
+namespace {
+
+constexpr SimTime kSimHour = 60 * 60 * 1000;
+
+struct RunReport {
+  std::string scenario;
+  bool accepted = false;
+  bool payment_survived = false;
+  std::size_t disputes = 0;
+  std::size_t merchant_wins = 0;
+  std::size_t customer_wins = 0;
+  double resolution_h = 0;  ///< accept -> judgment, simulated hours
+  psc::Value merchant_delta = 0;
+};
+
+RunReport run(const std::string& name, DeploymentConfig cfg, SimTime duration) {
+  Deployment dep(cfg);
+  const psc::Value merchant_before =
+      dep.psc().state().balance(dep.merchant().config().self_psc);
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  dep.run_for(duration);
+
+  const auto s = dep.summarize();
+  RunReport rep;
+  rep.scenario = name;
+  rep.accepted = r.accepted;
+  rep.payment_survived = dep.merchant_node().chain().confirmations(r.txid) > 0;
+  rep.disputes = s.disputes_opened;
+  rep.merchant_wins = s.judged_for_merchant;
+  rep.customer_wins = s.judged_for_customer;
+  // Resolution time: dispute_after + evidence window + polling slack.
+  const auto judged = dep.receipts_for("judge");
+  if (!judged.empty()) {
+    rep.resolution_h = static_cast<double>(judged.front().block_number) *
+                       cfg.psc_block_interval_ms / 1000.0 / 3600.0;
+  }
+  const psc::Value after = dep.psc().state().balance(dep.merchant().config().self_psc);
+  rep.merchant_delta = after > merchant_before ? after - merchant_before : 0;
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E8 — end-to-end dispute resolution on the full simulator\n");
+  std::printf("# BTC blocks: 600 s; PSC blocks: 13 s; merchant polls every 60 s\n\n");
+
+  std::vector<RunReport> reports;
+
+  // Scenario A: double-spending customer (several attacker strengths).
+  for (double q : {0.3, 0.45, 0.6}) {
+    DeploymentConfig cfg;
+    cfg.seed = 100 + static_cast<std::uint64_t>(q * 100);
+    cfg.attacker_share = q;
+    cfg.attacker_give_up_deficit = 50;
+    cfg.required_depth = 3;
+    cfg.dispute_after_ms = 90 * 60 * 1000;
+    cfg.evidence_window_ms = 60 * 60 * 1000;
+    reports.push_back(run("double-spend q=" + bench::fmt(q, 2), cfg, 8 * kSimHour));
+  }
+
+  // Scenario B: honest customer, impatient merchant (wrongful dispute).
+  {
+    DeploymentConfig cfg;
+    cfg.seed = 200;
+    cfg.attacker_share = 0.0;
+    cfg.dispute_after_ms = 60'000;
+    cfg.evidence_window_ms = 90 * 60 * 1000;
+    cfg.required_depth = 3;
+    cfg.settle_confirmations = 3;
+    cfg.poll_interval_ms = 30'000;
+    reports.push_back(run("wrongful dispute (honest customer)", cfg, 6 * kSimHour));
+  }
+
+  // Scenario C: honest everything (control).
+  {
+    DeploymentConfig cfg;
+    cfg.seed = 300;
+    cfg.settle_confirmations = 3;
+    reports.push_back(run("honest control", cfg, 3 * kSimHour));
+  }
+
+  bench::Table t({"scenario", "accepted", "payment survived", "disputes",
+                  "merchant wins", "customer wins", "judged at (sim h)",
+                  "merchant payout"});
+  for (const auto& r : reports) {
+    t.row({r.scenario, r.accepted ? "yes" : "no", r.payment_survived ? "yes" : "no",
+           std::to_string(r.disputes), std::to_string(r.merchant_wins),
+           std::to_string(r.customer_wins), bench::fmt(r.resolution_h, 2),
+           bench::fmt_u(r.merchant_delta)});
+  }
+  t.print();
+
+  std::printf(
+      "\n# Reading: a successful double spend always converts into a merchant\n"
+      "# compensation via the PoW judgment; a wrongful dispute resolves for the\n"
+      "# customer (who proves inclusion) and costs the merchant its bond; honest\n"
+      "# runs never touch the contract after setup.\n");
+  return 0;
+}

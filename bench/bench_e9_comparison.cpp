@@ -1,0 +1,44 @@
+// E9 — Scheme comparison: BTCFast against every baseline across waiting
+// time, security, trust assumptions, capital requirements and fees.
+#include <cstdio>
+
+#include "analysis/doublespend.h"
+#include "analysis/economics.h"
+#include "baselines/acceptance_policy.h"
+#include "bench_table.h"
+
+int main() {
+  using namespace btcfast;
+  using namespace btcfast::analysis;
+
+  std::printf("# E9 — payment scheme comparison (q = attacker hash share)\n\n");
+
+  const auto gas_ref = GasReference::late2020();
+  const auto btc_ref = BtcFeeReference::late2020();
+  const double risk6 = rosenfeld_probability(0.10, 6);
+  const double risk0 = rosenfeld_probability(0.10, 0);
+
+  bench::Table t({"scheme", "wait/payment", "double-spend risk (q=0.10)",
+                  "trust assumption", "capital locked", "extra fee/payment"});
+  t.row({"6-conf (status quo)", "~3600 s", bench::fmt_sci(risk6), "Bitcoin PoW majority",
+         "none", "$0"});
+  t.row({"1-conf", "~600 s", bench::fmt_sci(rosenfeld_probability(0.10, 1)),
+         "Bitcoin PoW majority", "none", "$0"});
+  t.row({"zero-conf", "~0.1 s", bench::fmt_sci(risk0), "first-seen relay policy", "none",
+         "$0"});
+  t.row({"payment channel", "~0.05 s (after 1 h setup)", "0 (in-channel)",
+         "Bitcoin PoW majority", "capacity per merchant",
+         "$" + bench::fmt(btc_ref.tx_fee_usd() / 100, 4) + " (open/close amortized /100)"});
+  t.row({"central escrow", "~0.2 s", "custodian-dependent", "TRUSTED third party",
+         "deposit with custodian", "custodian margin"});
+  t.row({"BTCFast (this work)", "< 1 s", bench::fmt_sci(risk6) + " (k=6 judgment)",
+         "Bitcoin PoW majority + PSC chain liveness", "one escrow, all merchants",
+         "$" + bench::fmt(gas_ref.gas_to_usd(160'000) / 1000, 5) + " (setup amortized /1000)"});
+  t.print();
+
+  std::printf(
+      "\n# Reading: BTCFast is the only scheme with sub-second acceptance, 6-conf\n"
+      "# security, no trusted custodian, and collateral shared across merchants.\n"
+      "# Its extra trust vs k-conf waiting is PSC-chain liveness for disputes only.\n");
+  return 0;
+}

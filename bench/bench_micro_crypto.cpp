@@ -1,0 +1,114 @@
+// Crypto micro-benchmarks (google-benchmark): the primitive costs under
+// E1/E7's latency and throughput numbers.
+#include <benchmark/benchmark.h>
+
+#include "btc/header.h"
+#include "btc/pow.h"
+#include "crypto/ecdsa.h"
+#include "crypto/merkle.h"
+#include "crypto/ripemd160.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace btcfast;
+using namespace btcfast::crypto;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  Bytes data(64, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Bytes data(1024, 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Sha256d_Header(benchmark::State& state) {
+  Bytes data(80, 0x11);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256d(data));
+}
+BENCHMARK(BM_Sha256d_Header);
+
+void BM_Hash160(benchmark::State& state) {
+  Bytes data(33, 0x02);
+  for (auto _ : state) benchmark::DoNotOptimize(hash160(data));
+}
+BENCHMARK(BM_Hash160);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const auto key = *PrivateKey::from_scalar(U256(987654321));
+  const auto digest = sha256(as_bytes(std::string("bench message")));
+  for (auto _ : state) benchmark::DoNotOptimize(ecdsa_sign(key, digest));
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const auto key = *PrivateKey::from_scalar(U256(987654321));
+  const auto pub = PublicKey::derive(key);
+  const auto digest = sha256(as_bytes(std::string("bench message")));
+  const auto sig = ecdsa_sign(key, digest);
+  for (auto _ : state) benchmark::DoNotOptimize(ecdsa_verify(pub, digest, sig));
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_ScalarMulBase(benchmark::State& state) {
+  const U256 k = *U256::from_hex("123456789abcdef123456789abcdef123456789abcdef");
+  for (auto _ : state) benchmark::DoNotOptimize(secp::scalar_mul_base(k));
+}
+BENCHMARK(BM_ScalarMulBase);
+
+void BM_PubkeyDecompress(benchmark::State& state) {
+  const auto key = *PrivateKey::from_scalar(U256(42));
+  const auto enc = PublicKey::derive(key).serialize();
+  for (auto _ : state) benchmark::DoNotOptimize(secp::decompress({enc.data(), enc.size()}));
+}
+BENCHMARK(BM_PubkeyDecompress);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    leaves.push_back(sha256(as_bytes(std::to_string(i))));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(merkle_root(leaves));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_MerkleProofVerify(benchmark::State& state) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < 2048; ++i) leaves.push_back(sha256(as_bytes(std::to_string(i))));
+  const auto root = merkle_root(leaves);
+  const auto branch = merkle_branch(leaves, 1027);
+  for (auto _ : state) benchmark::DoNotOptimize(merkle_verify(leaves[1027], branch, root));
+}
+BENCHMARK(BM_MerkleProofVerify);
+
+void BM_HeaderPowCheck(benchmark::State& state) {
+  const auto params = btc::ChainParams::regtest();
+  btc::BlockHeader h;
+  h.bits = params.genesis_bits;
+  (void)btc::mine_header(h, params.pow_limit);
+  for (auto _ : state) benchmark::DoNotOptimize(btc::check_proof_of_work(h, params.pow_limit));
+}
+BENCHMARK(BM_HeaderPowCheck);
+
+void BM_MineRegtestBlock(benchmark::State& state) {
+  const auto params = btc::ChainParams::regtest();
+  std::uint32_t salt = 0;
+  for (auto _ : state) {
+    btc::BlockHeader h;
+    h.bits = params.genesis_bits;
+    h.time = salt++;
+    benchmark::DoNotOptimize(btc::mine_header(h, params.pow_limit));
+  }
+}
+BENCHMARK(BM_MineRegtestBlock)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

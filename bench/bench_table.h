@@ -1,0 +1,62 @@
+// Tiny fixed-width table printer shared by the experiment harnesses so
+// every bench emits the same, diffable format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace btcfast::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        if (r[i].size() > widths[i]) widths[i] = r[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (const auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace btcfast::bench

@@ -1,0 +1,50 @@
+// Relayer demo: how PayJudger's view of Bitcoin stays fresh. A relayer
+// watches the Bitcoin chain and periodically submits header batches; the
+// contract verifies each header's proof-of-work before advancing its
+// checkpoint — a minimal BTC-relay.
+#include <cstdio>
+
+#include "btcfast/orchestrator.h"
+
+int main() {
+  using namespace btcfast;
+  using namespace btcfast::core;
+
+  std::printf("BTCFast relayer demo: a gas-metered BTC-relay inside PayJudger\n");
+  std::printf("===============================================================\n\n");
+
+  DeploymentConfig config;
+  config.seed = 777;
+  config.relayer_lag_blocks = 3;  // aggressive for the demo
+  Deployment world(config);
+
+  const auto initial = world.relayer().read_checkpoint();
+  std::printf("[t=0] contract checkpoint: %s... height +%llu\n",
+              initial->first.to_string().substr(0, 16).c_str(),
+              static_cast<unsigned long long>(initial->second));
+
+  for (int hour = 1; hour <= 6; ++hour) {
+    world.run_for(kHour);
+    const auto cp = world.relayer().read_checkpoint();
+    const auto tip = world.merchant_node().chain().height();
+    const auto cp_abs = world.merchant_node().chain().block_height(cp->first);
+    std::printf("[t=%dh] btc tip height %u | checkpoint at height %u (lag %lld, target %u)\n",
+                hour, tip, cp_abs.value_or(0),
+                static_cast<long long>(tip) - static_cast<long long>(cp_abs.value_or(0)),
+                config.relayer_lag_blocks);
+  }
+
+  // Every updateCheckpoint receipt charged real gas for the PoW checks.
+  const auto updates = world.receipts_for("updateCheckpoint");
+  std::printf("\ncheckpoint updates executed: %zu\n", updates.size());
+  psc::Gas total = 0;
+  for (const auto& r : updates) total += r.gas_used;
+  if (!updates.empty()) {
+    std::printf("gas per update (avg)       : %llu\n",
+                static_cast<unsigned long long>(total / updates.size()));
+  }
+  std::printf(
+      "\nDisputes anchor at the checkpoint current when they open, so evidence\n"
+      "chains stay short; the deliberate lag keeps disputed txs *after* the anchor.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Retail scenario: a coffee bar accepts a stream of BTCFast payments over
+// a simulated business day. Demonstrates escrow reuse across payments,
+// merchant-side exposure tracking, settlement, and the amortized fee
+// story the paper's evaluation makes.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/collateral.h"
+#include "analysis/economics.h"
+#include "btcfast/orchestrator.h"
+
+int main() {
+  using namespace btcfast;
+  using namespace btcfast::core;
+
+  std::printf("BTCFast retail demo: one escrow, a day of coffee\n");
+  std::printf("=================================================\n\n");
+
+  DeploymentConfig config;
+  config.seed = 404;
+  config.settle_confirmations = 2;
+  config.compensation = 300'000;
+  config.collateral = 3'000'000;  // covers ~10 concurrent unsettled payments
+  config.funded_coins = 8;
+  Deployment world(config);
+
+  // Size check against the analysis module's collateral rule.
+  const auto plan = analysis::size_collateral(config.compensation,
+                                              /*payments_per_hour=*/4,
+                                              config.settle_confirmations);
+  std::printf("[plan] %u-conf settlement at 4 payments/h needs %llu collateral (have %llu)\n\n",
+              config.settle_confirmations,
+              static_cast<unsigned long long>(plan.required_collateral),
+              static_cast<unsigned long long>(config.collateral));
+
+  // A payment every ~25 simulated minutes.
+  std::vector<FastPayResult> accepted;
+  for (int i = 0; i < 8; ++i) {
+    const FastPayResult r = world.perform_fastpay(2 * btc::kCoin);
+    const double now_h = static_cast<double>(world.simulator().now()) / kHour;
+    if (r.accepted) {
+      std::printf("[t=%4.1fh] sale #%d accepted in %6.0f us  (txid %s...)\n", now_h, i + 1,
+                  r.decision_micros, r.txid.to_string().substr(0, 12).c_str());
+      accepted.push_back(r);
+    } else {
+      std::printf("[t=%4.1fh] sale #%d REJECTED: %s\n", now_h, i + 1, r.reject_reason.c_str());
+    }
+    world.run_for(25 * kMinute);
+  }
+
+  // Close out the day.
+  world.run_for(2 * kHour);
+  const DeploymentSummary summary = world.summarize();
+
+  std::printf("\n[close] accepted %zu sales, settled %zu, disputes %zu\n", accepted.size(),
+              summary.payments_settled, summary.disputes_opened);
+  std::printf("[close] escrow: %llu collateral, state %s — reused for every sale\n",
+              static_cast<unsigned long long>(summary.escrow_collateral),
+              summary.escrow_state == EscrowState::kActive ? "ACTIVE" : "other");
+
+  // The fee story: setup gas amortized over the day's sales.
+  const auto gas_ref = analysis::GasReference::late2020();
+  const auto amort =
+      analysis::amortize(/*setup_gas=*/193'000, accepted.size(), gas_ref);
+  std::printf("[fees ] one-time escrow setup ~$%.2f -> $%.4f per sale today;\n",
+              amort.setup_usd, amort.per_payment_usd);
+  std::printf("        a month of this traffic puts it below a hundredth of a cent.\n");
+  return 0;
+}

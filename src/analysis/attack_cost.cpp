@@ -1,0 +1,42 @@
+#include "analysis/attack_cost.h"
+
+namespace btcfast::analysis {
+
+double hashes_per_block(const MainnetReference& ref) {
+  // Difficulty D means ~D * 2^32 hash evaluations per block on average.
+  return ref.difficulty * 4294967296.0;
+}
+
+double cost_per_block_usd(const MainnetReference& ref) {
+  return (ref.block_reward_btc + ref.avg_fees_btc) * ref.btc_usd;
+}
+
+double forgery_cost_usd(const MainnetReference& ref, std::uint32_t k) {
+  // Each forged block costs the full expected mining cost AND forfeits the
+  // revenue honest mining would have earned with the same hash power —
+  // the standard 2x opportunity-cost accounting for withheld blocks. The
+  // forged coinbase is worthless (the fork dies once the fraud fails, and
+  // succeeds only against the escrow).
+  return 2.0 * cost_per_block_usd(ref) * static_cast<double>(k);
+}
+
+std::vector<AttackCostRow> attack_cost_table(const MainnetReference& ref, std::uint32_t max_k) {
+  std::vector<AttackCostRow> rows;
+  rows.reserve(max_k + 1);
+  for (std::uint32_t k = 1; k <= max_k; ++k) {
+    AttackCostRow row;
+    row.k = k;
+    row.forgery_cost_usd = forgery_cost_usd(ref, k);
+    row.breakeven_escrow_usd = row.forgery_cost_usd;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::uint32_t safe_depth_for_escrow(const MainnetReference& ref, double escrow_usd) {
+  std::uint32_t k = 1;
+  while (forgery_cost_usd(ref, k) <= escrow_usd && k < 100000) ++k;
+  return k;
+}
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,53 @@
+// Economic security of the PoW judgment (E6): what would it cost an
+// attacker to forge winning evidence — i.e. privately mine `k` Bitcoin
+// headers heavier than the honest chain — versus the escrow value it
+// could steal? All market constants are frozen references (see
+// `MainnetReference`) so results are reproducible; the *shape* (linear
+// attack cost in k, crossover where collateral exceeds forgery cost) is
+// price-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btcfast::analysis {
+
+/// Frozen market/consensus constants (circa the paper's evaluation,
+/// late 2020). Documented substitution for live data — see DESIGN.md §4.
+struct MainnetReference {
+  double difficulty = 19.16e12;       ///< network difficulty
+  double btc_usd = 13'000.0;          ///< BTC price
+  double block_reward_btc = 6.25;     ///< subsidy (post-May-2020 halving)
+  double avg_fees_btc = 0.75;         ///< average fees per block
+  double block_interval_s = 600.0;
+
+  [[nodiscard]] static MainnetReference late2020() { return {}; }
+};
+
+/// Expected hashes to mine one block at the given difficulty.
+[[nodiscard]] double hashes_per_block(const MainnetReference& ref);
+
+/// USD cost to mine one block. In miner equilibrium, marginal cost ≈
+/// marginal revenue (reward + fees); we use that as the cost proxy.
+[[nodiscard]] double cost_per_block_usd(const MainnetReference& ref);
+
+/// Expected cost of forging a k-header private chain, including the
+/// opportunity cost of not mining honestly (forged blocks earn nothing).
+[[nodiscard]] double forgery_cost_usd(const MainnetReference& ref, std::uint32_t k);
+
+/// Row of the E6 sweep: for each judgment depth k, the attack cost and
+/// whether an escrow of `escrow_usd` would be profitable to steal.
+struct AttackCostRow {
+  std::uint32_t k = 0;
+  double forgery_cost_usd = 0.0;
+  double breakeven_escrow_usd = 0.0;  ///< escrow value making the attack profitable
+};
+
+[[nodiscard]] std::vector<AttackCostRow> attack_cost_table(const MainnetReference& ref,
+                                                           std::uint32_t max_k);
+
+/// Minimum judgment depth k such that forging costs more than the escrow.
+[[nodiscard]] std::uint32_t safe_depth_for_escrow(const MainnetReference& ref,
+                                                  double escrow_usd);
+
+}  // namespace btcfast::analysis

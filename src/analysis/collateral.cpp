@@ -1,0 +1,23 @@
+#include "analysis/collateral.h"
+
+#include <cmath>
+
+namespace btcfast::analysis {
+
+CollateralPlan size_collateral(std::uint64_t payment_value, double payments_per_hour,
+                               std::uint32_t settle_confirmations, double block_interval_s) {
+  const double settle_hours =
+      static_cast<double>(settle_confirmations) * block_interval_s / 3600.0;
+  // Outstanding payments ~ arrival rate x settlement window (ceil for the
+  // worst case, minimum 1 — a single payment still needs full cover).
+  double concurrent = std::ceil(payments_per_hour * settle_hours);
+  if (concurrent < 1.0) concurrent = 1.0;
+
+  CollateralPlan plan;
+  plan.required_collateral =
+      static_cast<std::uint64_t>(concurrent) * payment_value;
+  plan.multiplier = concurrent;
+  return plan;
+}
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,25 @@
+// Collateral sizing: how much a customer must escrow to support a given
+// payment stream, and how long capital is locked.
+#pragma once
+
+#include <cstdint>
+
+namespace btcfast::analysis {
+
+struct CollateralPlan {
+  /// Peak concurrent unsettled exposure the escrow must cover.
+  std::uint64_t required_collateral = 0;
+  /// Collateral / typical payment: the capital multiplier.
+  double multiplier = 0.0;
+};
+
+/// The escrow must cover every payment that could be outstanding at once:
+/// payments arrive at `payments_per_hour` and stay "outstanding" until
+/// settled on Bitcoin (settle_confirmations blocks) — that window bounds
+/// the concurrent exposure.
+[[nodiscard]] CollateralPlan size_collateral(std::uint64_t payment_value,
+                                             double payments_per_hour,
+                                             std::uint32_t settle_confirmations,
+                                             double block_interval_s = 600.0);
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,82 @@
+#include "analysis/doublespend.h"
+
+#include <cmath>
+
+namespace btcfast::analysis {
+
+double nakamoto_probability(double q, std::uint32_t z) {
+  if (q <= 0.0) return 0.0;
+  if (q >= 0.5) return 1.0;
+  const double p = 1.0 - q;
+  const double lambda = static_cast<double>(z) * q / p;
+
+  // P = 1 - sum_{k=0}^{z} Poisson(k; lambda) * (1 - (q/p)^{z-k})
+  double sum = 0.0;
+  double poisson = std::exp(-lambda);  // k = 0 term
+  for (std::uint32_t k = 0; k <= z; ++k) {
+    if (k > 0) poisson *= lambda / static_cast<double>(k);
+    sum += poisson * (1.0 - std::pow(q / p, static_cast<double>(z - k)));
+  }
+  double prob = 1.0 - sum;
+  if (prob < 0.0) prob = 0.0;
+  if (prob > 1.0) prob = 1.0;
+  return prob;
+}
+
+double rosenfeld_probability(double q, std::uint32_t z) {
+  if (q <= 0.0) return 0.0;
+  if (q >= 0.5) return 1.0;
+  const double p = 1.0 - q;
+  if (z == 0) return q / p;
+
+  // P = sum_{m=0}^{z} NB(m; z, p) * a(z - m) + P[m > z]
+  // where NB(m; z, p) = C(m+z-1, m) p^z q^m (attacker mined m while the
+  // honest chain mined z) and a(d) = (q/p)^{d+1} is the catch-up
+  // probability from d behind (the attacker must end strictly ahead).
+  double prob = 0.0;
+  double nb = std::pow(p, static_cast<double>(z));  // m = 0: C(z-1,0) p^z
+  double tail = 1.0 - nb;                            // P[m > current]
+  for (std::uint32_t m = 0; m <= z; ++m) {
+    if (m > 0) {
+      // C(m+z-1, m) = C(m+z-2, m-1) * (m+z-1)/m
+      nb *= q * static_cast<double>(m + z - 1) / static_cast<double>(m);
+      tail -= nb;
+    }
+    const double catch_up = std::pow(q / p, static_cast<double>(z - m + 1));
+    prob += nb * (catch_up < 1.0 ? catch_up : 1.0);
+  }
+  // If the attacker mined MORE than z blocks during the wait it is already
+  // ahead (m >= z+1 implies attacker > honest): success with certainty.
+  if (tail > 0.0) prob += tail;
+  if (prob < 0.0) prob = 0.0;
+  if (prob > 1.0) prob = 1.0;
+  return prob;
+}
+
+std::uint32_t confirmations_for_risk(double q, double target, std::uint32_t max_z) {
+  for (std::uint32_t z = 0; z <= max_z; ++z) {
+    if (rosenfeld_probability(q, z) <= target) return z;
+  }
+  return max_z + 1;
+}
+
+std::uint32_t optimal_confirmations(double payment_value_usd, double q,
+                                    double max_expected_loss_usd, std::uint32_t max_z) {
+  if (payment_value_usd <= 0.0) return 0;
+  return confirmations_for_risk(q, max_expected_loss_usd / payment_value_usd, max_z);
+}
+
+std::vector<DoubleSpendRow> double_spend_table(const std::vector<std::uint32_t>& zs,
+                                               const std::vector<double>& qs) {
+  std::vector<DoubleSpendRow> rows;
+  rows.reserve(zs.size() * qs.size());
+  for (const double q : qs) {
+    for (const std::uint32_t z : zs) {
+      rows.push_back(DoubleSpendRow{z, q, nakamoto_probability(q, z),
+                                    rosenfeld_probability(q, z)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace btcfast::analysis

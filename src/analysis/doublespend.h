@@ -1,0 +1,52 @@
+// Closed-form double-spend success probabilities: Nakamoto's whitepaper
+// approximation (Poisson attacker progress) and Rosenfeld's exact
+// negative-binomial analysis. These are the paper's "comparable security"
+// yardstick: BTCFast with judgment depth k gives the merchant the same
+// bound as waiting k confirmations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btcfast::analysis {
+
+/// Nakamoto (2008) §11: attacker progress modelled as Poisson with mean
+/// z*q/p; catch-up from deficit d succeeds with probability (q/p)^d.
+/// Returns 1.0 for q >= 0.5. z == 0 returns 1.0 by the formula's
+/// convention (the merchant has no confirmations to attack).
+[[nodiscard]] double nakamoto_probability(double q, std::uint32_t z);
+
+/// Rosenfeld (2014) eq. 1: exact probability with the attacker needing to
+/// get strictly ahead, attacker progress negative-binomial.
+///   P = 1 - sum_{m=0}^{z} C(m+z-1, m) (p^z q^m - p^m q^z (q/p)^{z-m+1} ... )
+/// implemented in the standard "catch-up" form:
+///   P = sum_m NB(m; z, p) * min(1, (q/p)^{z-m+1}).
+/// For z == 0 this degenerates to q/p (must get 1 ahead from even).
+[[nodiscard]] double rosenfeld_probability(double q, std::uint32_t z);
+
+/// Smallest z such that rosenfeld_probability(q, z) <= target. Returns
+/// `max_z + 1` if not reachable within max_z.
+[[nodiscard]] std::uint32_t confirmations_for_risk(double q, double target,
+                                                   std::uint32_t max_z = 1000);
+
+/// A rational k-conf merchant picks z so its *expected loss* per payment
+/// (risk x value) stays below `max_expected_loss_usd`. Returns the
+/// minimal such z — i.e. the waiting time grows with the payment value,
+/// whereas BTCFast's stays constant (the contrast E1/E9 draw).
+[[nodiscard]] std::uint32_t optimal_confirmations(double payment_value_usd, double q,
+                                                  double max_expected_loss_usd,
+                                                  std::uint32_t max_z = 1000);
+
+/// A (z, probability) table row for E2.
+struct DoubleSpendRow {
+  std::uint32_t z = 0;
+  double q = 0.0;
+  double nakamoto = 0.0;
+  double rosenfeld = 0.0;
+};
+
+/// Cartesian table over confirmation counts and attacker shares.
+[[nodiscard]] std::vector<DoubleSpendRow> double_spend_table(
+    const std::vector<std::uint32_t>& zs, const std::vector<double>& qs);
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,15 @@
+#include "analysis/economics.h"
+
+namespace btcfast::analysis {
+
+AmortizationRow amortize(std::uint64_t setup_gas, std::uint64_t payments,
+                         const GasReference& ref) {
+  AmortizationRow row;
+  row.payments = payments;
+  row.setup_usd = ref.gas_to_usd(setup_gas);
+  row.per_payment_usd = payments == 0 ? row.setup_usd
+                                      : row.setup_usd / static_cast<double>(payments);
+  return row;
+}
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,45 @@
+// Fee economics for E4: converting PSC gas to USD and amortizing the
+// one-time escrow costs over payments — the quantitative backing for the
+// paper's "no extra operation fee" claim.
+#pragma once
+
+#include <cstdint>
+
+namespace btcfast::analysis {
+
+/// Frozen Ethereum reference prices (late 2020, matching the paper era).
+struct GasReference {
+  double gas_price_gwei = 50.0;
+  double eth_usd = 400.0;
+
+  [[nodiscard]] static GasReference late2020() { return {}; }
+
+  [[nodiscard]] double gas_to_usd(std::uint64_t gas) const {
+    return static_cast<double>(gas) * gas_price_gwei * 1e-9 * eth_usd;
+  }
+};
+
+/// Bitcoin on-chain fee reference for the baseline comparison.
+struct BtcFeeReference {
+  double sat_per_vbyte = 60.0;   ///< late-2020 congestion pricing
+  double btc_usd = 13'000.0;
+  double typical_tx_vbytes = 226.0;
+
+  [[nodiscard]] static BtcFeeReference late2020() { return {}; }
+
+  [[nodiscard]] double tx_fee_usd() const {
+    return sat_per_vbyte * typical_tx_vbytes * 1e-8 * btc_usd;
+  }
+};
+
+/// Amortized extra fee per fast payment given one-time setup costs.
+struct AmortizationRow {
+  std::uint64_t payments = 0;
+  double setup_usd = 0.0;        ///< deposit + withdraw, one-time
+  double per_payment_usd = 0.0;  ///< setup / payments
+};
+
+[[nodiscard]] AmortizationRow amortize(std::uint64_t setup_gas, std::uint64_t payments,
+                                       const GasReference& ref);
+
+}  // namespace btcfast::analysis

@@ -1,0 +1,2 @@
+// Header-only policy logic; this TU anchors the library target.
+#include "baselines/acceptance_policy.h"

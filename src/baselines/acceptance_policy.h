@@ -1,0 +1,44 @@
+// Baseline acceptance policies a Bitcoin merchant can run instead of
+// BTCFast: wait k confirmations (k = 0 is naive zero-conf acceptance).
+// These are the comparison points for E1 (waiting time) and E9 (scheme
+// comparison).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/doublespend.h"
+
+namespace btcfast::baselines {
+
+/// A k-confirmation merchant policy.
+struct KConfPolicy {
+  std::uint32_t k = 6;
+
+  [[nodiscard]] std::string name() const {
+    if (k == 0) return "zero-conf";
+    return std::to_string(k) + "-conf";
+  }
+
+  /// Expected waiting time before goods release (seconds).
+  [[nodiscard]] double expected_wait_s(double block_interval_s = 600.0) const {
+    return static_cast<double>(k) * block_interval_s;
+  }
+
+  /// Double-spend success probability against this policy (Rosenfeld).
+  [[nodiscard]] double double_spend_risk(double attacker_share) const {
+    return analysis::rosenfeld_probability(attacker_share, k);
+  }
+};
+
+/// One row of the E9 qualitative/quantitative comparison.
+struct SchemeComparisonRow {
+  std::string scheme;
+  double wait_s = 0.0;              ///< merchant waiting time per payment
+  double risk_at_q10 = 0.0;         ///< double-spend risk at q = 0.10
+  std::string trust_assumption;
+  std::string collateral;           ///< capital requirement
+  std::string per_payment_fee;
+};
+
+}  // namespace btcfast::baselines

@@ -1,0 +1,2 @@
+// Header-only; this TU anchors the library target.
+#include "baselines/central_escrow.h"

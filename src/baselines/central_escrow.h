@@ -1,0 +1,59 @@
+// Centralized (trusted-third-party) escrow baseline: a custodian holds
+// the customer's funds and attests payments to merchants instantly. Fast
+// and cheap — but the custodian can steal, censor, or fail; it is the
+// trust model BTCFast's decentralized PayJudger replaces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "btc/types.h"
+
+namespace btcfast::baselines {
+
+class CentralEscrow {
+ public:
+  using AccountId = std::uint64_t;
+
+  AccountId open_account(btc::Amount deposit) {
+    const AccountId id = next_id_++;
+    balances_[id] = deposit;
+    return id;
+  }
+
+  /// Instant payment attestation (one RTT to the custodian).
+  [[nodiscard]] bool pay(AccountId from, btc::Amount amount) {
+    auto it = balances_.find(from);
+    if (it == balances_.end() || it->second < amount || frozen_) return false;
+    it->second -= amount;
+    merchant_receivable_ += amount;
+    return true;
+  }
+
+  [[nodiscard]] btc::Amount balance(AccountId id) const {
+    auto it = balances_.find(id);
+    return it == balances_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] btc::Amount merchant_receivable() const noexcept { return merchant_receivable_; }
+
+  // --- the trust failure modes the baseline carries ---
+  /// The custodian absconds: every balance is gone.
+  void abscond() {
+    balances_.clear();
+    merchant_receivable_ = 0;
+    frozen_ = true;
+  }
+  /// The custodian censors further payments.
+  void freeze() { frozen_ = true; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+ private:
+  std::unordered_map<AccountId, btc::Amount> balances_;
+  btc::Amount merchant_receivable_ = 0;
+  AccountId next_id_ = 1;
+  bool frozen_ = false;
+};
+
+}  // namespace btcfast::baselines

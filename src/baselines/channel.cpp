@@ -1,0 +1,71 @@
+#include "baselines/channel.h"
+
+#include "common/serialize.h"
+
+namespace btcfast::baselines {
+
+PaymentChannel::PaymentChannel(const sim::Party& customer, const sim::Party& merchant,
+                               const btc::OutPoint& coin, btc::Amount coin_value,
+                               btc::Amount capacity, std::uint32_t funding_confirmations)
+    : customer_(customer),
+      merchant_(merchant),
+      capacity_(capacity),
+      funding_confirmations_(funding_confirmations) {
+  // Funding: capacity locked to the channel (customer key held to the
+  // channel's discipline), change back to the customer.
+  funding_tx_ = sim::build_payment(customer, coin, coin_value, customer.script, capacity);
+  const auto id = funding_txid();
+  channel_nonce_ = 0;
+  for (int i = 0; i < 8; ++i) channel_nonce_ = (channel_nonce_ << 8) | id.bytes[static_cast<std::size_t>(i)];
+}
+
+crypto::Sha256Digest PaymentChannel::state_digest(std::uint32_t sequence,
+                                                  btc::Amount paid) const {
+  Writer w;
+  w.bytes(as_bytes(std::string("baseline/channel-state/v1")));
+  w.u64le(channel_nonce_);
+  w.u32le(sequence);
+  w.i64le(paid);
+  return crypto::sha256(w.data());
+}
+
+std::optional<PaymentChannel::State> PaymentChannel::pay(btc::Amount amount) {
+  if (amount <= 0 || paid_ + amount > capacity_) return std::nullopt;
+  paid_ += amount;
+  State s;
+  s.channel_nonce = channel_nonce_;
+  s.sequence = latest_accepted_.sequence + 1;
+  s.paid = paid_;
+  s.customer_sig = crypto::ecdsa_sign(customer_.key, state_digest(s.sequence, s.paid)).serialize();
+  return s;
+}
+
+bool PaymentChannel::verify(const State& state) const {
+  if (state.channel_nonce != channel_nonce_) return false;
+  if (state.sequence <= latest_accepted_.sequence && latest_accepted_.sequence != 0) return false;
+  if (state.paid <= latest_accepted_.paid || state.paid > capacity_) return false;
+  const auto sig = crypto::Signature::parse({state.customer_sig.data(), 64});
+  if (!sig) return false;
+  return crypto::ecdsa_verify(customer_.pub, state_digest(state.sequence, state.paid), *sig);
+}
+
+bool PaymentChannel::accept(const State& state) {
+  if (!verify(state)) return false;
+  latest_accepted_ = state;
+  return true;
+}
+
+btc::Transaction PaymentChannel::close() const {
+  btc::Transaction tx;
+  tx.inputs.push_back(btc::TxIn{{funding_txid(), 0}, {}, 0xffffffff});
+  const btc::Amount fee = 1000;
+  const btc::Amount to_merchant = latest_accepted_.paid;
+  btc::Amount to_customer = capacity_ - to_merchant - fee;
+  if (to_customer < 0) to_customer = 0;
+  if (to_merchant > 0) tx.outputs.push_back(btc::TxOut{to_merchant, merchant_.script});
+  if (to_customer > 0) tx.outputs.push_back(btc::TxOut{to_customer, customer_.script});
+  btc::sign_input(tx, 0, customer_.key, customer_.script);
+  return tx;
+}
+
+}  // namespace btcfast::baselines

@@ -1,0 +1,79 @@
+// Unidirectional payment-channel baseline (Spilman-style): the customer
+// locks capacity in a funding transaction, then pays the merchant with
+// signed off-chain state updates; the merchant closes by broadcasting the
+// latest state. Setup requires an on-chain confirmation wait; payments
+// afterwards are sub-second but capacity is locked *per merchant* — the
+// contrast BTCFast draws (one escrow serves all merchants).
+//
+// Simplification vs. real channels: the funding output is modelled as a
+// plain P2PKH to the customer with the discipline enforced by the channel
+// object (our script layer has no 2-of-2 multisig). Latency, capacity and
+// fee accounting — what E1/E9 measure — are unaffected; see DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "btc/transaction.h"
+#include "btcsim/scenario.h"
+
+namespace btcfast::baselines {
+
+class PaymentChannel {
+ public:
+  /// Opens a channel: builds the funding tx spending `coin`. The channel
+  /// is usable once the funding tx has `funding_confirmations` (caller
+  /// tracks that; see is_usable()).
+  PaymentChannel(const sim::Party& customer, const sim::Party& merchant,
+                 const btc::OutPoint& coin, btc::Amount coin_value, btc::Amount capacity,
+                 std::uint32_t funding_confirmations);
+
+  [[nodiscard]] const btc::Transaction& funding_tx() const noexcept { return funding_tx_; }
+  [[nodiscard]] btc::Txid funding_txid() const { return funding_tx_.txid(); }
+  [[nodiscard]] std::uint32_t required_confirmations() const noexcept {
+    return funding_confirmations_;
+  }
+  [[nodiscard]] bool is_usable(std::uint32_t funding_conf) const noexcept {
+    return funding_conf >= funding_confirmations_;
+  }
+
+  /// A signed channel state: "merchant may claim `paid` of the capacity".
+  struct State {
+    std::uint64_t channel_nonce = 0;
+    std::uint32_t sequence = 0;
+    btc::Amount paid = 0;
+    ByteArray<64> customer_sig{};
+  };
+
+  /// Customer side: pay `amount` more (cumulative). Returns nullopt if it
+  /// would exceed capacity.
+  [[nodiscard]] std::optional<State> pay(btc::Amount amount);
+
+  /// Merchant side: verify a state update supersedes the previous one.
+  [[nodiscard]] bool verify(const State& state) const;
+  /// Merchant accepts the state (records it as latest).
+  bool accept(const State& state);
+
+  [[nodiscard]] btc::Amount paid_total() const noexcept { return paid_; }
+  [[nodiscard]] btc::Amount capacity() const noexcept { return capacity_; }
+  [[nodiscard]] btc::Amount remaining() const noexcept { return capacity_ - paid_; }
+
+  /// Cooperative close: a transaction splitting the funding output
+  /// according to the latest accepted state.
+  [[nodiscard]] btc::Transaction close() const;
+
+ private:
+  [[nodiscard]] crypto::Sha256Digest state_digest(std::uint32_t sequence,
+                                                  btc::Amount paid) const;
+
+  sim::Party customer_;
+  sim::Party merchant_;
+  btc::Transaction funding_tx_;
+  std::uint64_t channel_nonce_;
+  btc::Amount capacity_;
+  std::uint32_t funding_confirmations_;
+  btc::Amount paid_ = 0;           // customer-side cumulative
+  State latest_accepted_{};        // merchant-side
+};
+
+}  // namespace btcfast::baselines

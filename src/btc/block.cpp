@@ -1,0 +1,51 @@
+#include "btc/block.h"
+
+#include <set>
+
+namespace btcfast::btc {
+
+Hash256 Block::compute_merkle_root() const {
+  Hash256 root;
+  root.bytes = crypto::merkle_root(txid_leaves());
+  return root;
+}
+
+std::vector<crypto::Hash32> Block::txid_leaves() const {
+  std::vector<crypto::Hash32> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.txid().bytes);
+  return leaves;
+}
+
+Status check_block_structure(const Block& block) {
+  if (block.txs.empty()) return make_error("bad-blk-empty", "block has no transactions");
+  if (!block.txs[0].is_coinbase()) {
+    return make_error("bad-cb-missing", "first transaction is not a coinbase");
+  }
+  for (std::size_t i = 1; i < block.txs.size(); ++i) {
+    if (block.txs[i].is_coinbase()) {
+      return make_error("bad-cb-multiple", "coinbase at position " + std::to_string(i));
+    }
+  }
+  std::set<Txid> seen;
+  for (const auto& tx : block.txs) {
+    if (tx.inputs.empty() || tx.outputs.empty()) {
+      return make_error("bad-tx-empty", "transaction missing inputs or outputs");
+    }
+    Amount total = 0;
+    for (const auto& out : tx.outputs) {
+      if (!money_range(out.value)) return make_error("bad-txout-value");
+      total += out.value;
+      if (!money_range(total)) return make_error("bad-txout-total");
+    }
+    if (!seen.insert(tx.txid()).second) {
+      return make_error("bad-tx-duplicate", tx.txid().to_string());
+    }
+  }
+  if (block.compute_merkle_root() != block.header.merkle_root) {
+    return make_error("bad-merkle-root", "header root does not match transactions");
+  }
+  return Status::success();
+}
+
+}  // namespace btcfast::btc

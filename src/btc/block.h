@@ -1,0 +1,34 @@
+// Full blocks: a header plus the transaction list, with Merkle root
+// computation and structural validity checks.
+#pragma once
+
+#include <vector>
+
+#include "btc/header.h"
+#include "btc/transaction.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+
+namespace btcfast::btc {
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  [[nodiscard]] BlockHash hash() const { return header.hash(); }
+
+  /// Merkle root over the txids, Bitcoin-style.
+  [[nodiscard]] Hash256 compute_merkle_root() const;
+
+  /// Fill header.merkle_root from the tx list.
+  void seal_merkle_root() { header.merkle_root = compute_merkle_root(); }
+
+  /// Txid list (leaf hashes for SPV proofs).
+  [[nodiscard]] std::vector<crypto::Hash32> txid_leaves() const;
+};
+
+/// Context-free structural checks: non-empty, first tx is the only
+/// coinbase, merkle root matches, no duplicate txids, amounts in range.
+[[nodiscard]] Status check_block_structure(const Block& block);
+
+}  // namespace btcfast::btc

@@ -1,0 +1,310 @@
+#include "btc/chain.h"
+
+#include <algorithm>
+
+#include "btc/mempool.h"
+
+namespace btcfast::btc {
+
+Chain::Chain(ChainParams params) : params_(std::move(params)) {
+  Block genesis;
+  genesis.header = genesis_header(params_);
+  genesis.txs.push_back(genesis_coinbase());
+
+  BlockIndexEntry entry;
+  entry.block = genesis;
+  entry.height = 0;
+  entry.chain_work = header_work(genesis.header.bits);
+  const BlockHash gh = genesis.hash();
+  index_[gh] = entry;
+  active_.push_back(gh);
+  undo_.emplace_back();
+
+  // Genesis coinbase enters the UTXO set (unspendable burn output).
+  const Transaction& cb = genesis.txs[0];
+  const Txid cbid = cb.txid();
+  for (std::uint32_t i = 0; i < cb.outputs.size(); ++i) {
+    utxo_.add({cbid, i}, Coin{cb.outputs[i], 0, true});
+  }
+  tx_index_[cbid] = gh;
+}
+
+SubmitResult Chain::submit_block(const Block& block, std::string* reject_reason) {
+  auto reject = [&](const std::string& why) {
+    if (reject_reason != nullptr) *reject_reason = why;
+  };
+
+  const BlockHash hash = block.hash();
+  if (index_.contains(hash)) return SubmitResult::kDuplicate;
+
+  auto parent_it = index_.find(block.header.prev_hash);
+  if (parent_it == index_.end()) {
+    reject("orphan: unknown parent " + block.header.prev_hash.to_string());
+    return SubmitResult::kOrphan;
+  }
+  if (parent_it->second.invalid) {
+    reject("bad-prevblk: parent marked invalid");
+    return SubmitResult::kInvalid;
+  }
+
+  if (const Status s = check_block_structure(block); !s.ok()) {
+    reject(s.error().to_string());
+    return SubmitResult::kInvalid;
+  }
+  if (block.header.bits != next_work_required(block.header.prev_hash)) {
+    reject("bad-diffbits: incorrect difficulty target");
+    return SubmitResult::kInvalid;
+  }
+  if (!check_proof_of_work(block.header, params_.pow_limit)) {
+    reject("high-hash: proof of work failed");
+    return SubmitResult::kInvalid;
+  }
+
+  BlockIndexEntry entry;
+  entry.block = block;
+  entry.height = parent_it->second.height + 1;
+  entry.chain_work = parent_it->second.chain_work + header_work(block.header.bits);
+  index_[hash] = entry;
+
+  if (entry.chain_work <= tip_work()) return SubmitResult::kSideChain;
+
+  if (!reorg_to(hash, reject_reason)) return SubmitResult::kInvalid;
+  return SubmitResult::kActiveTip;
+}
+
+std::uint32_t Chain::height() const noexcept {
+  return static_cast<std::uint32_t>(active_.size() - 1);
+}
+
+BlockHash Chain::tip_hash() const { return active_.back(); }
+
+const BlockHeader& Chain::tip_header() const { return index_.at(active_.back()).block.header; }
+
+crypto::U256 Chain::tip_work() const { return index_.at(active_.back()).chain_work; }
+
+std::optional<BlockHash> Chain::hash_at_height(std::uint32_t h) const {
+  if (h >= active_.size()) return std::nullopt;
+  return active_[h];
+}
+
+std::optional<Block> Chain::block_at_height(std::uint32_t h) const {
+  if (h >= active_.size()) return std::nullopt;
+  return index_.at(active_[h]).block;
+}
+
+std::optional<Block> Chain::get_block(const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.block;
+}
+
+std::optional<std::uint32_t> Chain::block_height(const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.height;
+}
+
+bool Chain::is_on_active_chain(const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  return it->second.height < active_.size() && active_[it->second.height] == hash;
+}
+
+std::vector<BlockHeader> Chain::header_range(std::uint32_t from_height,
+                                             std::uint32_t count) const {
+  std::vector<BlockHeader> out;
+  for (std::uint32_t h = from_height; h < from_height + count && h < active_.size(); ++h) {
+    out.push_back(index_.at(active_[h]).block.header);
+  }
+  return out;
+}
+
+std::uint32_t Chain::confirmations(const Txid& txid) const {
+  auto loc = tx_location(txid);
+  if (!loc) return 0;
+  return height() - loc->second + 1;
+}
+
+std::optional<std::pair<BlockHash, std::uint32_t>> Chain::tx_location(const Txid& txid) const {
+  auto it = tx_index_.find(txid);
+  if (it == tx_index_.end()) return std::nullopt;
+  const auto& entry = index_.at(it->second);
+  return std::make_pair(it->second, entry.height);
+}
+
+std::vector<Transaction> Chain::take_disconnected_txs() {
+  return std::exchange(disconnected_txs_, {});
+}
+
+std::uint32_t Chain::next_work_required(const BlockHash& parent_hash) const {
+  if (params_.retarget_interval == 0) return params_.genesis_bits;
+
+  auto parent_it = index_.find(parent_hash);
+  if (parent_it == index_.end()) return params_.genesis_bits;
+  const BlockIndexEntry& parent = parent_it->second;
+  const std::uint32_t next_height = parent.height + 1;
+
+  if (next_height % params_.retarget_interval != 0) return parent.block.header.bits;
+
+  // Walk back to the first block of the closing period (works on side
+  // chains too — the walk follows prev_hash, not the active chain).
+  const BlockIndexEntry* first = &parent;
+  for (std::uint32_t i = 0; i + 1 < params_.retarget_interval; ++i) {
+    auto it = index_.find(first->block.header.prev_hash);
+    if (it == index_.end()) break;  // hit genesis
+    first = &it->second;
+  }
+
+  const std::uint32_t target_timespan =
+      params_.retarget_interval * params_.block_interval_s;
+  std::uint32_t actual = parent.block.header.time > first->block.header.time
+                             ? parent.block.header.time - first->block.header.time
+                             : 1;
+  // Bitcoin's 4x clamp either way.
+  if (actual < target_timespan / params_.retarget_clamp) {
+    actual = target_timespan / params_.retarget_clamp;
+  }
+  if (actual > target_timespan * params_.retarget_clamp) {
+    actual = target_timespan * params_.retarget_clamp;
+  }
+
+  const auto old_target = bits_to_target(parent.block.header.bits);
+  if (!old_target) return params_.genesis_bits;
+  crypto::U256 new_target =
+      (*old_target * crypto::U256(actual)) / crypto::U256(target_timespan);
+  if (new_target > params_.pow_limit || new_target.is_zero()) new_target = params_.pow_limit;
+  return target_to_bits(new_target);
+}
+
+Status Chain::connect_block(const BlockIndexEntry& entry) {
+  const Block& block = entry.block;
+  BlockUndo undo;
+  Amount fees = 0;
+
+  // Stage changes in a scratch list so a mid-block failure can roll back.
+  // (Simpler: apply directly, undo on failure via the undo record.)
+  std::vector<std::pair<OutPoint, Coin>> created;
+
+  auto rollback = [&] {
+    for (const auto& [op, coin] : created) utxo_.remove(op);
+    for (const auto& [op, coin] : undo.spent) utxo_.add(op, coin);
+  };
+
+  for (std::size_t t = 1; t < block.txs.size(); ++t) {
+    const Transaction& tx = block.txs[t];
+    auto fee = check_tx_inputs(tx, utxo_, entry.height, params_.coinbase_maturity);
+    if (!fee) {
+      rollback();
+      return fee.error();
+    }
+    fees += fee.value();
+    for (const auto& in : tx.inputs) {
+      auto coin = utxo_.spend(in.prevout);
+      undo.spent.emplace_back(in.prevout, *coin);
+    }
+    const Txid id = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      const OutPoint op{id, i};
+      utxo_.add(op, Coin{tx.outputs[i], entry.height, false});
+      created.emplace_back(op, Coin{});
+    }
+  }
+
+  // Coinbase value rule.
+  const Transaction& cb = block.txs[0];
+  if (cb.total_output() > params_.subsidy + fees) {
+    rollback();
+    return make_error("bad-cb-amount", "coinbase pays more than subsidy + fees");
+  }
+  const Txid cbid = cb.txid();
+  for (std::uint32_t i = 0; i < cb.outputs.size(); ++i) {
+    utxo_.add({cbid, i}, Coin{cb.outputs[i], entry.height, true});
+  }
+
+  // Commit: record undo data and the tx locations.
+  const BlockHash hash = block.hash();
+  active_.push_back(hash);
+  undo_.push_back(std::move(undo));
+  for (const auto& tx : block.txs) tx_index_[tx.txid()] = hash;
+  return Status::success();
+}
+
+void Chain::disconnect_tip() {
+  const BlockHash hash = active_.back();
+  const BlockIndexEntry& entry = index_.at(hash);
+  const Block& block = entry.block;
+
+  // Remove created outputs.
+  for (const auto& tx : block.txs) {
+    const Txid id = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) utxo_.remove({id, i});
+    tx_index_.erase(id);
+    if (!tx.is_coinbase()) disconnected_txs_.push_back(tx);
+  }
+  // Restore spent coins.
+  for (const auto& [op, coin] : undo_.back().spent) utxo_.add(op, coin);
+
+  active_.pop_back();
+  undo_.pop_back();
+}
+
+bool Chain::reorg_to(const BlockHash& new_tip_hash, std::string* reject_reason) {
+  // Collect the new branch back to a block on the active chain.
+  std::vector<BlockHash> branch;  // new blocks, tip-first
+  BlockHash cursor = new_tip_hash;
+  while (!is_on_active_chain(cursor)) {
+    branch.push_back(cursor);
+    cursor = index_.at(cursor).block.header.prev_hash;
+  }
+  const std::uint32_t fork_height = index_.at(cursor).height;
+
+  // Disconnect down to the fork point.
+  while (height() > fork_height) disconnect_tip();
+
+  // Connect the new branch, oldest first.
+  std::reverse(branch.begin(), branch.end());
+  for (std::size_t i = 0; i < branch.size(); ++i) {
+    BlockIndexEntry& entry = index_.at(branch[i]);
+    const Status s = connect_block(entry);
+    if (!s.ok()) {
+      // Mark the failing block (and its stored descendants) invalid and
+      // restore the previous active chain by re-connecting it.
+      entry.invalid = true;
+      if (reject_reason != nullptr) *reject_reason = s.error().to_string();
+      // Roll back what we just connected from the new branch.
+      while (height() > fork_height) disconnect_tip();
+      // Note: the old branch's blocks are still in index_; re-connect the
+      // heaviest remaining valid chain descending from the fork point.
+      // Find best candidate among stored blocks.
+      const BlockHash* best = nullptr;
+      crypto::U256 best_work = index_.at(active_.back()).chain_work;
+      for (const auto& [h, e] : index_) {
+        if (e.invalid || e.chain_work <= best_work) continue;
+        // Walk ancestry: candidate must not pass through an invalid block
+        // and must attach to the current chain state.
+        bool usable = true;
+        BlockHash walk = h;
+        while (!is_on_active_chain(walk)) {
+          const auto& we = index_.at(walk);
+          if (we.invalid) {
+            usable = false;
+            break;
+          }
+          walk = we.block.header.prev_hash;
+        }
+        if (usable) {
+          best = &h;
+          best_work = e.chain_work;
+        }
+      }
+      if (best != nullptr) {
+        std::string ignored;
+        (void)reorg_to(*best, &ignored);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace btcfast::btc

@@ -1,0 +1,101 @@
+// Chain management: block storage, heaviest-work active-chain selection,
+// full reorg handling with UTXO undo, and confirmation queries. This is
+// the consensus view a Bitcoin full node exposes; both honest nodes and
+// the double-spend attacker in btcsim drive one of these.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "btc/block.h"
+#include "btc/params.h"
+#include "btc/utxo.h"
+#include "common/result.h"
+
+namespace btcfast::btc {
+
+/// Metadata tracked per stored block.
+struct BlockIndexEntry {
+  Block block;
+  std::uint32_t height = 0;
+  crypto::U256 chain_work;  ///< cumulative work from genesis
+  bool invalid = false;     ///< failed full validation during a connect attempt
+};
+
+/// Undo information to disconnect a block: the coins its inputs consumed.
+struct BlockUndo {
+  std::vector<std::pair<OutPoint, Coin>> spent;
+};
+
+/// Outcome of submitting a block.
+enum class SubmitResult {
+  kActiveTip,    ///< extended or became the active chain (possibly via reorg)
+  kSideChain,    ///< stored, but not enough work to activate
+  kDuplicate,
+  kOrphan,       ///< parent unknown; caller may resubmit later
+  kInvalid,
+};
+
+class Chain {
+ public:
+  explicit Chain(ChainParams params);
+
+  /// Validate and store a block; activates the heaviest valid chain.
+  SubmitResult submit_block(const Block& block, std::string* reject_reason = nullptr);
+
+  // --- active-chain queries ---
+  [[nodiscard]] std::uint32_t height() const noexcept;  ///< tip height (genesis = 0)
+  [[nodiscard]] BlockHash tip_hash() const;
+  [[nodiscard]] const BlockHeader& tip_header() const;
+  [[nodiscard]] crypto::U256 tip_work() const;
+  [[nodiscard]] std::optional<BlockHash> hash_at_height(std::uint32_t h) const;
+  [[nodiscard]] std::optional<Block> block_at_height(std::uint32_t h) const;
+  [[nodiscard]] std::optional<Block> get_block(const BlockHash& hash) const;
+  [[nodiscard]] std::optional<std::uint32_t> block_height(const BlockHash& hash) const;
+  [[nodiscard]] bool is_on_active_chain(const BlockHash& hash) const;
+
+  /// Headers [from_height, from_height+count) of the active chain.
+  [[nodiscard]] std::vector<BlockHeader> header_range(std::uint32_t from_height,
+                                                      std::uint32_t count) const;
+
+  /// Consensus difficulty for the block extending `parent_hash` (Bitcoin's
+  /// GetNextWorkRequired): static when retargeting is disabled, otherwise
+  /// adjusted every retarget_interval blocks by the period's actual
+  /// timespan, clamped to params.retarget_clamp either way.
+  [[nodiscard]] std::uint32_t next_work_required(const BlockHash& parent_hash) const;
+
+  /// Confirmations of a transaction on the active chain (0 = unconfirmed).
+  [[nodiscard]] std::uint32_t confirmations(const Txid& txid) const;
+  /// Block (hash, height) containing the tx on the active chain.
+  [[nodiscard]] std::optional<std::pair<BlockHash, std::uint32_t>> tx_location(
+      const Txid& txid) const;
+
+  [[nodiscard]] const UtxoSet& utxo() const noexcept { return utxo_; }
+  [[nodiscard]] const ChainParams& params() const noexcept { return params_; }
+
+  /// Total number of stored blocks (all forks).
+  [[nodiscard]] std::size_t stored_blocks() const noexcept { return index_.size(); }
+
+  /// Transactions evicted from the active chain by the latest reorg; the
+  /// owner (node) feeds them back through its mempool. Cleared on read.
+  [[nodiscard]] std::vector<Transaction> take_disconnected_txs();
+
+ private:
+  /// Full contextual validation + UTXO application of `block` on top of
+  /// the current view. On success, appends undo data and tx locations.
+  Status connect_block(const BlockIndexEntry& entry);
+  void disconnect_tip();
+  /// Reorganize the active chain to end at `new_tip_hash`.
+  bool reorg_to(const BlockHash& new_tip_hash, std::string* reject_reason);
+
+  ChainParams params_;
+  std::unordered_map<BlockHash, BlockIndexEntry, Hash256Hasher> index_;
+  std::vector<BlockHash> active_;  ///< height -> hash
+  UtxoSet utxo_;
+  std::vector<BlockUndo> undo_;    ///< parallel to active_
+  std::unordered_map<Txid, BlockHash, Hash256Hasher> tx_index_;  ///< active chain only
+  std::vector<Transaction> disconnected_txs_;
+};
+
+}  // namespace btcfast::btc

@@ -1,0 +1,94 @@
+#include "btc/header.h"
+
+namespace btcfast::btc {
+
+Bytes BlockHeader::serialize() const {
+  Writer w;
+  w.u32le(static_cast<std::uint32_t>(version));
+  w.bytes({prev_hash.bytes.data(), prev_hash.bytes.size()});
+  w.bytes({merkle_root.bytes.data(), merkle_root.bytes.size()});
+  w.u32le(time);
+  w.u32le(bits);
+  w.u32le(nonce);
+  return std::move(w).take();
+}
+
+std::optional<BlockHeader> BlockHeader::deserialize(ByteSpan data) {
+  if (data.size() != 80) return std::nullopt;
+  Reader r(data);
+  BlockHeader h;
+  auto version = r.u32le();
+  auto prev = r.bytes(32);
+  auto root = r.bytes(32);
+  auto time = r.u32le();
+  auto bits = r.u32le();
+  auto nonce = r.u32le();
+  if (!version || !prev || !root || !time || !bits || !nonce) return std::nullopt;
+  h.version = static_cast<std::int32_t>(*version);
+  h.prev_hash.bytes = to_array<32>(*prev);
+  h.merkle_root.bytes = to_array<32>(*root);
+  h.time = *time;
+  h.bits = *bits;
+  h.nonce = *nonce;
+  return h;
+}
+
+BlockHash BlockHeader::hash() const {
+  return BlockHash::from_digest(crypto::sha256d(serialize()));
+}
+
+std::optional<crypto::U256> bits_to_target(std::uint32_t bits) noexcept {
+  const std::uint32_t exponent = bits >> 24;
+  std::uint32_t mantissa = bits & 0x007fffff;
+  if (bits & 0x00800000) return std::nullopt;  // negative
+  if (mantissa == 0) return std::nullopt;
+  crypto::U256 target;
+  if (exponent <= 3) {
+    mantissa >>= 8 * (3 - exponent);
+    target = crypto::U256(mantissa);
+  } else {
+    if (exponent > 32) return std::nullopt;  // overflow
+    target = crypto::U256(mantissa) << (8 * (exponent - 3));
+    // Overflow check: shifting back must recover the mantissa.
+    if ((target >> (8 * (exponent - 3))) != crypto::U256(mantissa)) return std::nullopt;
+  }
+  if (target.is_zero()) return std::nullopt;
+  return target;
+}
+
+std::uint32_t target_to_bits(const crypto::U256& target) noexcept {
+  if (target.is_zero()) return 0;
+  int size = (target.top_bit() / 8) + 1;
+  std::uint32_t mantissa;
+  if (size <= 3) {
+    mantissa = static_cast<std::uint32_t>(target.low64() << (8 * (3 - size)));
+  } else {
+    mantissa = static_cast<std::uint32_t>((target >> (8 * (size - 3))).low64());
+  }
+  // Normalize: mantissa's top bit set would read as negative; shift.
+  if (mantissa & 0x00800000) {
+    mantissa >>= 8;
+    ++size;
+  }
+  return (static_cast<std::uint32_t>(size) << 24) | (mantissa & 0x007fffff);
+}
+
+bool check_proof_of_work(const BlockHeader& header, const crypto::U256& pow_limit) noexcept {
+  const auto target = bits_to_target(header.bits);
+  if (!target || *target > pow_limit) return false;
+  const BlockHash h = header.hash();
+  const crypto::U256 hash_value =
+      crypto::U256::from_le_bytes({h.bytes.data(), h.bytes.size()});
+  return hash_value <= *target;
+}
+
+crypto::U256 header_work(std::uint32_t bits) noexcept {
+  const auto target = bits_to_target(bits);
+  if (!target) return crypto::U256::zero();
+  // work = 2^256 / (target + 1) == (~target / (target + 1)) + 1 in 256-bit
+  // arithmetic (Bitcoin Core's identity avoiding 512-bit math).
+  const crypto::U256 neg = crypto::U256::zero() - *target - crypto::U256(1);  // ~target
+  return neg / (*target + crypto::U256(1)) + crypto::U256(1);
+}
+
+}  // namespace btcfast::btc

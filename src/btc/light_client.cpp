@@ -1,0 +1,107 @@
+#include "btc/light_client.h"
+
+#include <algorithm>
+
+namespace btcfast::btc {
+
+SpvClient::SpvClient(ChainParams params) : params_(std::move(params)) {
+  const BlockHeader genesis = genesis_header(params_);
+  HeaderEntry entry;
+  entry.header = genesis;
+  entry.height = 0;
+  entry.chain_work = header_work(genesis.bits);
+  const BlockHash gh = genesis.hash();
+  index_[gh] = entry;
+  active_.push_back(gh);
+}
+
+Status SpvClient::add_header(const BlockHeader& header) {
+  const BlockHash hash = header.hash();
+  if (index_.contains(hash)) return Status::success();  // idempotent
+
+  auto parent_it = index_.find(header.prev_hash);
+  if (parent_it == index_.end()) {
+    return make_error("spv-orphan-header", "unknown parent " + header.prev_hash.to_string());
+  }
+  if (!check_proof_of_work(header, params_.pow_limit)) {
+    return make_error("spv-bad-pow");
+  }
+  // Note: a header-only client cannot fully validate retarget transitions
+  // without the whole period; with static difficulty we check exact bits.
+  if (params_.retarget_interval == 0 && header.bits != params_.genesis_bits) {
+    return make_error("spv-bad-bits");
+  }
+
+  HeaderEntry entry;
+  entry.header = header;
+  entry.height = parent_it->second.height + 1;
+  entry.chain_work = parent_it->second.chain_work + header_work(header.bits);
+  index_[hash] = entry;
+
+  if (entry.chain_work > tip_work()) activate_best(hash);
+  return Status::success();
+}
+
+Status SpvClient::add_headers(const std::vector<BlockHeader>& headers) {
+  for (const auto& h : headers) {
+    if (const Status s = add_header(h); !s.ok()) return s;
+  }
+  return Status::success();
+}
+
+void SpvClient::activate_best(const BlockHash& candidate_tip) {
+  // Rebuild the active vector along the candidate's ancestry.
+  std::vector<BlockHash> branch;
+  BlockHash cursor = candidate_tip;
+  while (!is_on_active_chain(cursor)) {
+    branch.push_back(cursor);
+    cursor = index_.at(cursor).header.prev_hash;
+  }
+  const std::uint32_t fork_height = index_.at(cursor).height;
+  active_.resize(fork_height + 1);
+  std::reverse(branch.begin(), branch.end());
+  for (const auto& h : branch) active_.push_back(h);
+}
+
+std::uint32_t SpvClient::height() const noexcept {
+  return static_cast<std::uint32_t>(active_.size() - 1);
+}
+
+BlockHash SpvClient::tip_hash() const { return active_.back(); }
+
+crypto::U256 SpvClient::tip_work() const { return index_.at(active_.back()).chain_work; }
+
+std::optional<std::uint32_t> SpvClient::header_height(const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.height;
+}
+
+bool SpvClient::is_on_active_chain(const BlockHash& hash) const {
+  auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  return it->second.height < active_.size() && active_[it->second.height] == hash;
+}
+
+Status SpvClient::submit_proof(const TxInclusionProof& proof) {
+  auto watch_it = watched_.find(proof.txid);
+  if (watch_it == watched_.end()) return make_error("spv-not-watching");
+
+  const BlockHash block_hash = proof.header.hash();
+  if (!index_.contains(block_hash)) {
+    return make_error("spv-unknown-header", "sync headers before proving");
+  }
+  if (!verify_inclusion_proof(proof)) return make_error("spv-bad-proof");
+
+  watch_it->second = block_hash;
+  return Status::success();
+}
+
+std::uint32_t SpvClient::confirmations(const Txid& txid) const {
+  auto it = watched_.find(txid);
+  if (it == watched_.end() || it->second.is_zero()) return 0;
+  if (!is_on_active_chain(it->second)) return 0;  // proof's block reorged away
+  return height() - index_.at(it->second).height + 1;
+}
+
+}  // namespace btcfast::btc

@@ -1,0 +1,64 @@
+// SPV light client: a header-only view of Bitcoin for devices that can't
+// run a full node (the merchant's point-of-sale terminal). Maintains the
+// heaviest valid header chain, watches txids, and accepts Merkle
+// inclusion proofs — exactly the trust model PayJudger itself uses.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "btc/params.h"
+#include "btc/spv.h"
+#include "common/result.h"
+
+namespace btcfast::btc {
+
+class SpvClient {
+ public:
+  explicit SpvClient(ChainParams params);
+
+  /// Validate and store one header (PoW, linkage, known parent). The
+  /// heaviest chain becomes active; reorgs re-evaluate watched proofs.
+  Status add_header(const BlockHeader& header);
+  /// Convenience batch form; stops at the first failure.
+  Status add_headers(const std::vector<BlockHeader>& headers);
+
+  // --- chain queries ---
+  [[nodiscard]] std::uint32_t height() const noexcept;
+  [[nodiscard]] BlockHash tip_hash() const;
+  [[nodiscard]] crypto::U256 tip_work() const;
+  [[nodiscard]] bool has_header(const BlockHash& hash) const { return index_.contains(hash); }
+  [[nodiscard]] std::optional<std::uint32_t> header_height(const BlockHash& hash) const;
+  [[nodiscard]] bool is_on_active_chain(const BlockHash& hash) const;
+
+  // --- tx watching via SPV proofs ---
+  void watch(const Txid& txid) { watched_.try_emplace(txid); }
+  [[nodiscard]] bool is_watching(const Txid& txid) const { return watched_.contains(txid); }
+
+  /// Accept an inclusion proof for a watched txid. The proving header
+  /// must already be known (it need not be active yet — a proof on a side
+  /// chain counts once that chain wins).
+  Status submit_proof(const TxInclusionProof& proof);
+
+  /// Confirmations of a watched txid on the *active* chain (0 if its
+  /// proof's block is unknown, inactive, or no proof was submitted).
+  [[nodiscard]] std::uint32_t confirmations(const Txid& txid) const;
+
+ private:
+  struct HeaderEntry {
+    BlockHeader header;
+    std::uint32_t height = 0;
+    crypto::U256 chain_work;
+  };
+
+  void activate_best(const BlockHash& candidate_tip);
+
+  ChainParams params_;
+  std::unordered_map<BlockHash, HeaderEntry, Hash256Hasher> index_;
+  std::vector<BlockHash> active_;  ///< height -> hash
+  /// watched txid -> block hash of an accepted proof (zero hash = none).
+  std::unordered_map<Txid, BlockHash, Hash256Hasher> watched_;
+};
+
+}  // namespace btcfast::btc

@@ -1,0 +1,55 @@
+#include "btc/params.h"
+
+#include "crypto/merkle.h"
+
+namespace btcfast::btc {
+
+ChainParams ChainParams::regtest() {
+  ChainParams p;
+  // Target = 2^240: one block per ~2^16 hashes.
+  p.pow_limit = crypto::U256::one() << 240;
+  p.genesis_bits = target_to_bits(p.pow_limit);
+  return p;
+}
+
+ChainParams ChainParams::regtest_hard() {
+  ChainParams p;
+  // Target = 2^236: ~2^20 hashes per block; still fast, more variance.
+  p.pow_limit = crypto::U256::one() << 236;
+  p.genesis_bits = target_to_bits(p.pow_limit);
+  return p;
+}
+
+ChainParams ChainParams::regtest_retarget(std::uint32_t interval) {
+  ChainParams p = regtest();
+  // Start two octaves below the limit so retargets can move both ways.
+  const crypto::U256 start = p.pow_limit >> 2;
+  p.genesis_bits = target_to_bits(start);
+  p.retarget_interval = interval;
+  return p;
+}
+
+Transaction genesis_coinbase() {
+  Transaction tx;
+  TxIn in;
+  in.prevout.index = 0xffffffff;  // null prevout
+  tx.inputs.push_back(in);
+  TxOut out;
+  out.value = 50 * kCoin;
+  // Burn output: all-zero pubkey hash (nobody holds its preimage).
+  tx.outputs.push_back(out);
+  return tx;
+}
+
+BlockHeader genesis_header(const ChainParams& params) {
+  BlockHeader h;
+  h.version = 1;
+  h.time = 0;
+  h.bits = params.genesis_bits;
+  h.merkle_root.bytes = crypto::merkle_root({genesis_coinbase().txid().bytes});
+  // The genesis header's PoW is not checked (Bitcoin hard-codes it too);
+  // nonce stays zero.
+  return h;
+}
+
+}  // namespace btcfast::btc

@@ -1,0 +1,46 @@
+// Chain parameters for the simulated Bitcoin network. The simulator runs
+// at a drastically reduced difficulty (so blocks can be mined by grinding
+// a few thousand nonces) while keeping the identical validation rules;
+// analysis code converts results to mainnet difficulty where economics
+// matter (see src/analysis/attack_cost.*).
+#pragma once
+
+#include <cstdint>
+
+#include "btc/header.h"
+#include "btc/transaction.h"
+#include "crypto/uint256.h"
+
+namespace btcfast::btc {
+
+struct ChainParams {
+  /// Easiest permitted target. Default: 2^240-ish so a block takes ~2^16
+  /// hash attempts — instant to mine on a laptop, still real PoW.
+  crypto::U256 pow_limit;
+  /// Compact bits every simulated block uses (static difficulty).
+  std::uint32_t genesis_bits = 0;
+  /// Target seconds between blocks (mainnet: 600).
+  std::uint32_t block_interval_s = 600;
+  /// Coinbase subsidy.
+  Amount subsidy = 50 * kCoin;
+  /// Coinbase outputs spendable after this many confirmations.
+  std::uint32_t coinbase_maturity = 10;
+  /// Difficulty retarget period in blocks (mainnet: 2016). 0 disables
+  /// retargeting (static difficulty — the simulator default).
+  std::uint32_t retarget_interval = 0;
+  /// Per-retarget adjustment clamp (mainnet: 4x either way).
+  std::uint32_t retarget_clamp = 4;
+
+  /// Simulation-friendly defaults (easy PoW, mainnet timing).
+  [[nodiscard]] static ChainParams regtest();
+  /// Harder variant used by mining-focused tests.
+  [[nodiscard]] static ChainParams regtest_hard();
+  /// Regtest with difficulty retargeting every `interval` blocks.
+  [[nodiscard]] static ChainParams regtest_retarget(std::uint32_t interval);
+};
+
+/// Deterministic genesis block for a parameter set.
+[[nodiscard]] Transaction genesis_coinbase();
+[[nodiscard]] BlockHeader genesis_header(const ChainParams& params);
+
+}  // namespace btcfast::btc

@@ -1,0 +1,31 @@
+#include "btc/pow.h"
+
+namespace btcfast::btc {
+
+bool mine_header(BlockHeader& header, const crypto::U256& pow_limit,
+                 std::uint32_t start_nonce, std::uint64_t max_attempts) {
+  const auto target = bits_to_target(header.bits);
+  if (!target || *target > pow_limit) return false;
+
+  std::uint64_t attempts = 0;
+  std::uint32_t nonce = start_nonce;
+  for (;;) {
+    header.nonce = nonce;
+    const BlockHash h = header.hash();
+    const crypto::U256 value = crypto::U256::from_le_bytes({h.bytes.data(), h.bytes.size()});
+    if (value <= *target) return true;
+    ++nonce;
+    if (++attempts >= max_attempts) return false;
+    if (nonce == start_nonce) {
+      // Nonce space exhausted; roll the timestamp like real miners do.
+      ++header.time;
+    }
+  }
+}
+
+bool mine_block(Block& block, const ChainParams& params) {
+  block.seal_merkle_root();
+  return mine_header(block.header, params.pow_limit);
+}
+
+}  // namespace btcfast::btc

@@ -1,0 +1,21 @@
+// Proof-of-work mining: grind the nonce until the header hash meets the
+// target. At regtest difficulty this takes ~2^16 attempts.
+#pragma once
+
+#include <optional>
+
+#include "btc/block.h"
+#include "btc/params.h"
+
+namespace btcfast::btc {
+
+/// Grind `header.nonce` until the PoW check passes. Returns false if the
+/// 32-bit nonce space is exhausted (bump `time` and retry in that case).
+[[nodiscard]] bool mine_header(BlockHeader& header, const crypto::U256& pow_limit,
+                               std::uint32_t start_nonce = 0,
+                               std::uint64_t max_attempts = 1ULL << 34);
+
+/// Convenience: seal the merkle root and mine the whole block.
+[[nodiscard]] bool mine_block(Block& block, const ChainParams& params);
+
+}  // namespace btcfast::btc

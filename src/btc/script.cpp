@@ -1,0 +1,34 @@
+#include "btc/script.h"
+
+#include "crypto/base58.h"
+
+namespace btcfast::btc {
+
+bool verify_script(const ScriptSig& sig, const ScriptPubKey& lock,
+                   const crypto::Sha256Digest& sighash) noexcept {
+  // 1. Pubkey must hash to the locked destination.
+  const auto h = crypto::hash160({sig.pubkey.data(), sig.pubkey.size()});
+  if (!equal_bytes({h.data(), h.size()}, {lock.dest.bytes.data(), lock.dest.bytes.size()})) {
+    return false;
+  }
+  // 2. Signature must verify under that pubkey.
+  const auto pub = crypto::PublicKey::parse({sig.pubkey.data(), sig.pubkey.size()});
+  if (!pub) return false;
+  const auto parsed = crypto::Signature::parse({sig.signature.data(), sig.signature.size()});
+  if (!parsed) return false;
+  return crypto::ecdsa_verify(*pub, sighash, *parsed);
+}
+
+std::string encode_address(const PubKeyHash& h) {
+  return crypto::base58check_encode(0x00, {h.bytes.data(), h.bytes.size()});
+}
+
+std::optional<PubKeyHash> decode_address(const std::string& addr) {
+  auto dec = crypto::base58check_decode(addr);
+  if (!dec || dec->version != 0x00 || dec->payload.size() != 20) return std::nullopt;
+  PubKeyHash h;
+  h.bytes = to_array<20>(dec->payload);
+  return h;
+}
+
+}  // namespace btcfast::btc

@@ -1,0 +1,72 @@
+// Bitcoin transactions: inputs referencing prior outputs, outputs locking
+// value to pubkey hashes, canonical serialization, txid computation and
+// SIGHASH_ALL-style signature hashing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btc/script.h"
+#include "btc/types.h"
+#include "common/serialize.h"
+
+namespace btcfast::btc {
+
+struct TxIn {
+  OutPoint prevout{};
+  ScriptSig script_sig{};
+  std::uint32_t sequence = 0xffffffff;
+
+  [[nodiscard]] bool operator==(const TxIn& o) const noexcept = default;
+};
+
+struct TxOut {
+  Amount value = 0;
+  ScriptPubKey script_pubkey{};
+
+  [[nodiscard]] bool operator==(const TxOut& o) const noexcept = default;
+};
+
+/// A transaction. A coinbase has exactly one input whose prevout is null.
+struct Transaction {
+  std::uint32_t version = 1;
+  std::vector<TxIn> inputs;
+  std::vector<TxOut> outputs;
+  std::uint32_t lock_time = 0;
+
+  [[nodiscard]] bool operator==(const Transaction& o) const noexcept = default;
+
+  [[nodiscard]] bool is_coinbase() const noexcept {
+    return inputs.size() == 1 && inputs[0].prevout.txid.is_zero() &&
+           inputs[0].prevout.index == 0xffffffff;
+  }
+
+  [[nodiscard]] Amount total_output() const noexcept {
+    Amount sum = 0;
+    for (const auto& out : outputs) sum += out.value;
+    return sum;
+  }
+
+  /// Canonical wire serialization (little-endian, CompactSize counts).
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Transaction> deserialize(ByteSpan data);
+
+  /// txid = sha256d(serialization).
+  [[nodiscard]] Txid txid() const;
+
+  /// SIGHASH_ALL-style digest for signing input `input_index`: the tx with
+  /// every scriptSig blanked and the spent scriptPubKey substituted at the
+  /// signed input, double-hashed.
+  [[nodiscard]] crypto::Sha256Digest signature_hash(std::size_t input_index,
+                                                    const ScriptPubKey& spent_script) const;
+};
+
+/// Signs input `input_index` of `tx` with `key`; fills in its scriptSig.
+void sign_input(Transaction& tx, std::size_t input_index, const crypto::PrivateKey& key,
+                const ScriptPubKey& spent_script);
+
+/// Verifies the signature on input `input_index` against the spent output.
+[[nodiscard]] bool verify_input(const Transaction& tx, std::size_t input_index,
+                                const ScriptPubKey& spent_script);
+
+}  // namespace btcfast::btc

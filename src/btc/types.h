@@ -1,0 +1,75 @@
+// Core Bitcoin value types: txids, block hashes, amounts, outpoints.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace btcfast::btc {
+
+/// Satoshis. 1 BTC = 100'000'000 sat. Signed to surface accounting bugs.
+using Amount = std::int64_t;
+
+constexpr Amount kCoin = 100'000'000;
+/// Bitcoin's 21M cap; used by validation sanity checks.
+constexpr Amount kMaxMoney = 21'000'000 * kCoin;
+
+[[nodiscard]] constexpr bool money_range(Amount a) noexcept { return a >= 0 && a <= kMaxMoney; }
+
+/// 32-byte identifier (internal byte order, i.e. sha256d output as-is).
+struct Hash256 {
+  ByteArray<32> bytes{};
+
+  [[nodiscard]] static Hash256 from_digest(const crypto::Sha256Digest& d) noexcept {
+    Hash256 h;
+    h.bytes = d;
+    return h;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Bitcoin display convention (reversed hex).
+  [[nodiscard]] std::string to_string() const { return to_hex_reversed({bytes.data(), bytes.size()}); }
+
+  [[nodiscard]] auto operator<=>(const Hash256& o) const noexcept = default;
+};
+
+using Txid = Hash256;
+using BlockHash = Hash256;
+
+/// Reference to a transaction output.
+struct OutPoint {
+  Txid txid{};
+  std::uint32_t index = 0;
+
+  [[nodiscard]] auto operator<=>(const OutPoint& o) const noexcept = default;
+  [[nodiscard]] std::string to_string() const {
+    return txid.to_string().substr(0, 16) + ":" + std::to_string(index);
+  }
+};
+
+struct Hash256Hasher {
+  [[nodiscard]] std::size_t operator()(const Hash256& h) const noexcept {
+    std::size_t v = 0;
+    // The bytes are a hash already; fold the first words.
+    for (int i = 0; i < 8; ++i) v = (v << 8) | h.bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+struct OutPointHasher {
+  [[nodiscard]] std::size_t operator()(const OutPoint& o) const noexcept {
+    return Hash256Hasher{}(o.txid) * 1000003u + o.index;
+  }
+};
+
+}  // namespace btcfast::btc

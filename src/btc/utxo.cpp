@@ -1,0 +1,2 @@
+// UtxoSet is header-only; this TU anchors the library target.
+#include "btc/utxo.h"

@@ -1,0 +1,64 @@
+// The unspent-transaction-output set: the state a Bitcoin full node
+// validates spends against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "btc/transaction.h"
+#include "btc/types.h"
+
+namespace btcfast::btc {
+
+/// One unspent output plus the metadata validation needs.
+struct Coin {
+  TxOut out{};
+  std::uint32_t height = 0;  ///< height of the creating block
+  bool coinbase = false;
+
+  [[nodiscard]] bool operator==(const Coin& o) const noexcept = default;
+};
+
+/// In-memory UTXO set.
+class UtxoSet {
+ public:
+  [[nodiscard]] std::optional<Coin> get(const OutPoint& op) const {
+    auto it = map_.find(op);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const OutPoint& op) const { return map_.contains(op); }
+
+  void add(const OutPoint& op, Coin coin) { map_[op] = std::move(coin); }
+
+  /// Removes and returns the coin (nullopt if absent).
+  std::optional<Coin> spend(const OutPoint& op) {
+    auto it = map_.find(op);
+    if (it == map_.end()) return std::nullopt;
+    Coin c = std::move(it->second);
+    map_.erase(it);
+    return c;
+  }
+
+  void remove(const OutPoint& op) { map_.erase(op); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+  /// Total value in the set (test/diagnostic helper; O(n)).
+  [[nodiscard]] Amount total_value() const noexcept {
+    Amount sum = 0;
+    for (const auto& [op, coin] : map_) sum += coin.out.value;
+    return sum;
+  }
+
+  /// Iteration support for wallets scanning their coins.
+  [[nodiscard]] auto begin() const { return map_.begin(); }
+  [[nodiscard]] auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<OutPoint, Coin, OutPointHasher> map_;
+};
+
+}  // namespace btcfast::btc

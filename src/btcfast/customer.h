@@ -1,0 +1,53 @@
+// The customer side of BTCFast: escrow funding, fast-pay package
+// construction (the sub-second path) and honest dispute defense.
+#pragma once
+
+#include <optional>
+
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcfast/protocol.h"
+#include "btcsim/scenario.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+class CustomerWallet {
+ public:
+  CustomerWallet(sim::Party btc_identity, psc::Address psc_address, EscrowId escrow_id);
+
+  // --- escrow management (PSC chain) ---
+  [[nodiscard]] psc::PscTx make_deposit_tx(const psc::Address& judger, psc::Value collateral,
+                                           std::uint64_t unlock_delay_ms) const;
+  [[nodiscard]] psc::PscTx make_withdraw_tx(const psc::Address& judger) const;
+  [[nodiscard]] psc::PscTx make_topup_tx(const psc::Address& judger, psc::Value amount) const;
+
+  // --- the fast path ---
+  /// Builds the payment transaction + signed binding for an invoice,
+  /// spending `coin`. `now_ms` stamps the binding; expiry covers the
+  /// merchant's dispute timeout plus the evidence window plus margin.
+  [[nodiscard]] FastPayPackage create_fastpay(const Invoice& invoice, const btc::OutPoint& coin,
+                                              btc::Amount coin_value, std::uint64_t now_ms,
+                                              std::uint64_t binding_ttl_ms);
+
+  // --- dispute defense ---
+  /// If the escrow is disputed and the payment actually confirmed deep
+  /// enough after the dispute anchor, build the inclusion-proof evidence tx.
+  [[nodiscard]] std::optional<psc::PscTx> make_defense_tx(const btc::Chain& btc_view,
+                                                          const EscrowView& escrow,
+                                                          const psc::Address& judger,
+                                                          std::uint32_t required_depth) const;
+
+  [[nodiscard]] const sim::Party& btc_identity() const noexcept { return btc_; }
+  [[nodiscard]] const psc::Address& psc_address() const noexcept { return psc_address_; }
+  [[nodiscard]] EscrowId escrow_id() const noexcept { return escrow_id_; }
+  [[nodiscard]] std::uint64_t bindings_issued() const noexcept { return next_nonce_; }
+
+ private:
+  sim::Party btc_;
+  psc::Address psc_address_;
+  EscrowId escrow_id_;
+  std::uint64_t next_nonce_ = 0;
+};
+
+}  // namespace btcfast::core

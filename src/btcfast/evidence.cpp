@@ -1,0 +1,42 @@
+#include "btcfast/evidence.h"
+
+namespace btcfast::core {
+
+std::optional<std::vector<btc::BlockHeader>> headers_since(const btc::Chain& chain,
+                                                           const btc::BlockHash& anchor) {
+  if (!chain.is_on_active_chain(anchor)) return std::nullopt;
+  const auto anchor_height = chain.block_height(anchor);
+  if (!anchor_height) return std::nullopt;
+  const std::uint32_t from = *anchor_height + 1;
+  if (from > chain.height()) return std::vector<btc::BlockHeader>{};
+  return chain.header_range(from, chain.height() - from + 1);
+}
+
+std::optional<InclusionEvidence> build_inclusion_evidence(const btc::Chain& chain,
+                                                          const btc::BlockHash& anchor,
+                                                          const btc::Txid& txid,
+                                                          std::uint32_t required_depth) {
+  const auto anchor_height = chain.block_height(anchor);
+  if (!anchor_height || !chain.is_on_active_chain(anchor)) return std::nullopt;
+
+  const auto loc = chain.tx_location(txid);
+  if (!loc) return std::nullopt;
+  const auto [block_hash, tx_height] = *loc;
+  if (tx_height <= *anchor_height) return std::nullopt;  // confirmed before the anchor
+
+  if (chain.confirmations(txid) < required_depth) return std::nullopt;
+
+  const auto block = chain.get_block(block_hash);
+  if (!block) return std::nullopt;
+  auto proof = btc::make_inclusion_proof(*block, txid);
+  if (!proof) return std::nullopt;
+
+  InclusionEvidence ev;
+  const std::uint32_t from = *anchor_height + 1;
+  ev.headers = chain.header_range(from, chain.height() - from + 1);
+  ev.proof = *proof;
+  ev.header_index = tx_height - from;
+  return ev;
+}
+
+}  // namespace btcfast::core

@@ -1,0 +1,31 @@
+// Evidence construction from a Bitcoin chain view: the header chains and
+// SPV proofs parties submit to PayJudger during a dispute.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "btc/chain.h"
+#include "btc/spv.h"
+
+namespace btcfast::core {
+
+/// Active-chain headers strictly after `anchor` up to the tip. Returns
+/// nullopt if the anchor is not on the active chain.
+[[nodiscard]] std::optional<std::vector<btc::BlockHeader>> headers_since(
+    const btc::Chain& chain, const btc::BlockHash& anchor);
+
+/// The customer's winning evidence: headers from the anchor through a
+/// block containing `txid` with at least `required_depth` headers from
+/// that block (inclusive) to the submitted tip.
+struct InclusionEvidence {
+  std::vector<btc::BlockHeader> headers;
+  btc::TxInclusionProof proof;
+  std::uint32_t header_index = 0;  ///< position of the proving header
+};
+
+[[nodiscard]] std::optional<InclusionEvidence> build_inclusion_evidence(
+    const btc::Chain& chain, const btc::BlockHash& anchor, const btc::Txid& txid,
+    std::uint32_t required_depth);
+
+}  // namespace btcfast::core

@@ -1,0 +1,233 @@
+#include "btcfast/marketplace.h"
+
+#include <chrono>
+
+#include "btcfast/payjudger.h"
+
+namespace btcfast::core {
+namespace {
+
+struct CustomerActor {
+  sim::Party party;
+  psc::Address psc_addr{};
+  std::unique_ptr<CustomerWallet> wallet;
+  std::vector<std::pair<btc::OutPoint, btc::Coin>> coins;
+  std::size_t next_coin = 0;
+  bool dishonest = false;
+};
+
+struct MerchantActor {
+  sim::Party party;
+  std::unique_ptr<MerchantService> service;
+};
+
+}  // namespace
+
+MarketplaceResult run_marketplace(const MarketplaceConfig& config) {
+  const btc::ChainParams params = btc::ChainParams::regtest();
+  sim::Simulator simulator;
+  sim::Network net(simulator, params, {}, config.seed * 17 + 3);
+  Rng rng(config.seed * 7919 + 1);
+
+  // --- nodes: miners + one user node + one node per merchant ---
+  std::vector<sim::NodeId> miner_nodes;
+  for (std::uint32_t i = 0; i < config.honest_miners; ++i) miner_nodes.push_back(net.add_node());
+  const sim::NodeId user_node = net.add_node();
+  std::vector<sim::NodeId> merchant_nodes;
+  for (std::uint32_t i = 0; i < config.merchants; ++i) merchant_nodes.push_back(net.add_node());
+
+  // --- parties & funding ---
+  std::vector<CustomerActor> customers;
+  customers.reserve(config.customers);
+  std::vector<btc::ScriptPubKey> payout_scripts;
+  const std::uint32_t expected_payments = static_cast<std::uint32_t>(
+      config.payments_per_hour_per_customer * (config.duration / (60.0 * 60 * 1000))) + 4;
+  for (std::uint32_t i = 0; i < config.customers; ++i) {
+    CustomerActor c{sim::Party::make(config.seed * 131 + i), {}, nullptr, {}, 0, false};
+    c.psc_addr = psc::Address::from_label("mkt/customer/" + std::to_string(i));
+    c.dishonest = i < config.dishonest_customers;
+    payout_scripts.push_back(c.party.script);
+    customers.push_back(std::move(c));
+  }
+  const auto funding = sim::build_funding_chain(params, payout_scripts, expected_payments);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    sim::seed_node(net.node(static_cast<sim::NodeId>(i)), funding);
+  }
+  simulator.run_all();
+
+  // --- PSC chain + judger ---
+  psc::PscChain::Config psc_cfg;
+  psc_cfg.block_interval_ms = config.psc_block_interval_ms;
+  psc::PscChain psc(psc_cfg);
+  PayJudgerConfig jcfg;
+  jcfg.pow_limit = params.pow_limit;
+  jcfg.initial_checkpoint = net.node(user_node).chain().tip_hash();
+  jcfg.required_depth = config.required_depth;
+  jcfg.evidence_window_ms = config.evidence_window_ms;
+  jcfg.min_collateral = 1;
+  jcfg.dispute_bond = config.dispute_bond;
+  const auto judger = psc.deploy("payjudger", std::make_unique<PayJudger>(jcfg));
+
+  // --- escrows ---
+  for (std::uint32_t i = 0; i < config.customers; ++i) {
+    psc.mint(customers[i].psc_addr, config.collateral * 2);
+    customers[i].wallet = std::make_unique<CustomerWallet>(customers[i].party,
+                                                           customers[i].psc_addr, i + 1);
+    const auto r = psc.execute_now(
+        customers[i].wallet->make_deposit_tx(judger, config.collateral, 1ULL << 40), 0);
+    (void)r;
+    customers[i].coins = sim::find_spendable(net.node(user_node).chain(),
+                                             customers[i].party.script);
+  }
+
+  // --- merchants ---
+  std::vector<MerchantActor> merchants;
+  merchants.reserve(config.merchants);
+  for (std::uint32_t i = 0; i < config.merchants; ++i) {
+    MerchantActor actor{sim::Party::make(config.seed * 733 + i), nullptr};
+    MerchantService::Config mcfg;
+    mcfg.judger = judger;
+    mcfg.self_psc = psc::Address::from_label("mkt/merchant/" + std::to_string(i));
+    mcfg.dispute_bond = config.dispute_bond;
+    mcfg.settle_confirmations = config.settle_confirmations;
+    mcfg.dispute_after_ms = config.dispute_after_ms;
+    mcfg.binding_safety_margin_ms = config.evidence_window_ms + 60ULL * 60 * 1000;
+    psc.mint(mcfg.self_psc, 1'000'000'000);
+    actor.service = std::make_unique<MerchantService>(actor.party,
+                                                      net.node(merchant_nodes[i]), psc, mcfg);
+    merchants.push_back(std::move(actor));
+  }
+
+  // --- miners ---
+  std::vector<std::unique_ptr<sim::MinerProcess>> miners;
+  const sim::Party miner_party = sim::Party::make(config.seed * 997);
+  for (std::uint32_t i = 0; i < config.honest_miners; ++i) {
+    miners.push_back(std::make_unique<sim::MinerProcess>(
+        net, miner_nodes[i], 1.0 / config.honest_miners, miner_party.script,
+        config.seed * 1009 + i));
+    miners.back()->start();
+  }
+
+  MarketplaceResult result;
+  double decision_sum_us = 0;
+
+  // --- recurring processes ---
+  // PSC block production.
+  std::function<void()> produce = [&] {
+    psc.produce_block(static_cast<std::uint64_t>(simulator.now()));
+    simulator.schedule_in(static_cast<SimTime>(config.psc_block_interval_ms), produce);
+  };
+  simulator.schedule_in(static_cast<SimTime>(config.psc_block_interval_ms), produce);
+
+  // Merchant + customer monitors.
+  std::function<void()> monitors = [&] {
+    const auto now = static_cast<std::uint64_t>(simulator.now());
+    for (auto& m : merchants) {
+      for (auto& tx : m.service->poll(now)) (void)psc.submit(tx);
+    }
+    // Customer defenses (all customers defend — even the dishonest ones
+    // would if they could, but they have no valid proof).
+    for (auto& c : customers) {
+      psc::PscTx q;
+      q.from = c.psc_addr;
+      q.to = judger;
+      q.method = "getEscrow";
+      q.args = encode_escrow_id_arg(c.wallet->escrow_id());
+      const auto vr = psc.view_call(q);
+      if (!vr.success) continue;
+      const auto view = PayJudger::decode_escrow_view(vr.return_data);
+      if (!view || view->state != EscrowState::kDisputed) continue;
+      if (auto defense = c.wallet->make_defense_tx(net.node(user_node).chain(), *view, judger,
+                                                   jcfg.required_depth)) {
+        if (!view->customer_proved) (void)psc.submit(*defense);
+      }
+    }
+    simulator.schedule_in(static_cast<SimTime>(config.poll_interval_ms), monitors);
+  };
+  simulator.schedule_in(static_cast<SimTime>(config.poll_interval_ms), monitors);
+
+  // Payment arrivals: one Poisson process per customer.
+  struct TrackedPayment {
+    btc::Txid txid{};
+    std::size_t merchant = 0;
+    bool attacked = false;
+  };
+  std::vector<TrackedPayment> tracked;
+
+  std::function<void(std::size_t)> schedule_payment = [&](std::size_t ci) {
+    const double mean_ms = 60.0 * 60 * 1000 / config.payments_per_hour_per_customer;
+    simulator.schedule_in(static_cast<SimTime>(rng.exponential(mean_ms)) + 1, [&, ci] {
+      CustomerActor& c = customers[ci];
+      if (simulator.now() < config.duration && c.next_coin < c.coins.size()) {
+        ++result.payments_attempted;
+        const std::size_t mi = rng.below(merchants.size());
+        MerchantActor& m = merchants[mi];
+        const auto now = static_cast<std::uint64_t>(simulator.now());
+        const auto [coin_op, coin] = c.coins[c.next_coin++];
+
+        const Invoice invoice =
+            m.service->make_invoice(coin.out.value / 2, config.compensation, now,
+                                    10ULL * 60 * 1000);
+        FastPayPackage pkg = c.wallet->create_fastpay(invoice, coin_op, coin.out.value, now,
+                                                      24ULL * 60 * 60 * 1000);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const AcceptDecision d = m.service->evaluate_fastpay(pkg, invoice, now);
+        const auto t1 = std::chrono::steady_clock::now();
+        decision_sum_us += std::chrono::duration_cast<
+                               std::chrono::duration<double, std::micro>>(t1 - t0)
+                               .count();
+
+        if (d.accepted) {
+          ++result.payments_accepted;
+          for (auto& tx : m.service->accept_payment(pkg, invoice, now)) (void)psc.submit(tx);
+          tracked.push_back({pkg.payment_tx.txid(), mi, c.dishonest});
+
+          if (c.dishonest) {
+            // Race attack: fire a conflicting self-spend straight at a
+            // miner a moment later.
+            ++result.race_attacks;
+            const btc::Transaction conflict = sim::build_payment(
+                c.party, coin_op, coin.out.value, c.party.script, coin.out.value / 2, 5000);
+            const sim::NodeId target = miner_nodes[rng.below(miner_nodes.size())];
+            simulator.schedule_in(5, [&net, target, conflict] {
+              net.node(target).receive_tx(conflict);
+            });
+          }
+        }
+        schedule_payment(ci);
+      }
+    });
+  };
+  for (std::size_t ci = 0; ci < customers.size(); ++ci) schedule_payment(ci);
+
+  // --- run + drain (extra time for disputes to resolve) ---
+  // Drain long enough for serialized per-escrow disputes to all resolve.
+  simulator.run_until(config.duration + 18LL * 60 * 60 * 1000);
+  for (auto& m : miners) m->stop();
+
+  // --- results ---
+  result.mean_decision_micros =
+      result.payments_attempted > 0 ? decision_sum_us / result.payments_attempted : 0;
+  const btc::Chain& view = net.node(user_node).chain();
+  std::size_t lost = 0;
+  for (const auto& t : tracked) {
+    if (view.confirmations(t.txid) == 0) ++lost;
+  }
+  result.double_spends_landed = lost;
+  for (const auto& m : merchants) {
+    result.payments_settled += m.service->settled_count();
+    result.disputes_opened += m.service->disputed_count();
+  }
+  for (const auto& log : psc.logs()) {
+    if (log.topic == "JudgedForMerchant") ++result.judged_for_merchant;
+    if (log.topic == "JudgedForCustomer") ++result.judged_for_customer;
+  }
+  result.total_gas = psc.total_gas_used();
+  result.btc_height = view.height();
+  // Made whole: every lost payment produced a merchant-won judgment.
+  result.merchants_made_whole = result.judged_for_merchant >= lost;
+  return result;
+}
+
+}  // namespace btcfast::core

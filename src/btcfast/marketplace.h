@@ -1,0 +1,60 @@
+// Marketplace simulation: many customers (some dishonest) paying many
+// merchants through independent escrows, with Poisson payment arrivals —
+// the workload a deployed BTCFast would actually face. Dishonest
+// customers mount *race attacks*: immediately after a fast payment they
+// broadcast a conflicting self-spend straight to the miners, hoping it
+// confirms first (no secret mining power needed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "btcfast/merchant.h"
+#include "btcfast/customer.h"
+#include "btcfast/relayer.h"
+#include "btcsim/miner.h"
+
+namespace btcfast::core {
+
+struct MarketplaceConfig {
+  std::uint32_t merchants = 3;
+  std::uint32_t customers = 4;
+  std::uint32_t dishonest_customers = 1;  ///< these race-attack every payment
+  double payments_per_hour_per_customer = 2.0;
+  SimTime duration = 12LL * 60 * 60 * 1000;
+
+  std::uint32_t honest_miners = 3;
+  std::uint32_t required_depth = 3;
+  std::uint32_t settle_confirmations = 3;
+  std::uint64_t dispute_after_ms = 75 * 60 * 1000;
+  /// Must comfortably cover required_depth block intervals, or honest
+  /// customers cannot prove inclusion before judgment.
+  std::uint64_t evidence_window_ms = 60 * 60 * 1000;
+  psc::Value collateral = 8'000'000;
+  psc::Value compensation = 500'000;
+  psc::Value dispute_bond = 10'000;
+  std::uint64_t psc_block_interval_ms = 13'000;
+  std::uint64_t poll_interval_ms = 60'000;
+  std::uint64_t seed = 1;
+};
+
+struct MarketplaceResult {
+  std::size_t payments_attempted = 0;
+  std::size_t payments_accepted = 0;
+  std::size_t payments_settled = 0;
+  std::size_t race_attacks = 0;          ///< conflicting txs launched
+  std::size_t double_spends_landed = 0;  ///< payment lost on BTC
+  std::size_t disputes_opened = 0;
+  std::size_t judged_for_merchant = 0;
+  std::size_t judged_for_customer = 0;
+  double mean_decision_micros = 0.0;
+  psc::Gas total_gas = 0;
+  std::uint32_t btc_height = 0;
+  /// Every lost payment compensated? (the scheme's bottom line)
+  bool merchants_made_whole = false;
+};
+
+/// Runs the whole marketplace scenario; deterministic per seed.
+[[nodiscard]] MarketplaceResult run_marketplace(const MarketplaceConfig& config);
+
+}  // namespace btcfast::core

@@ -1,0 +1,250 @@
+#include "btcfast/merchant.h"
+
+#include "common/log.h"
+
+namespace btcfast::core {
+
+MerchantService::MerchantService(sim::Party btc_identity, sim::Node& btc_node,
+                                 const psc::PscChain& psc, Config config)
+    : btc_(std::move(btc_identity)), btc_node_(btc_node), psc_(psc), config_(config) {}
+
+Invoice MerchantService::make_invoice(btc::Amount amount_sat, psc::Value compensation,
+                                      std::uint64_t now_ms, std::uint64_t ttl_ms) {
+  Invoice inv;
+  inv.invoice_id = next_invoice_id_++;
+  inv.amount_sat = amount_sat;
+  inv.compensation = compensation;
+  inv.pay_to = btc_.script;
+  inv.merchant_psc = config_.self_psc;
+  inv.expires_at_ms = now_ms + ttl_ms;
+  return inv;
+}
+
+std::optional<EscrowView> MerchantService::fetch_escrow(EscrowId id) const {
+  psc::PscTx q;
+  q.from = config_.self_psc;
+  q.to = config_.judger;
+  q.method = "getEscrow";
+  q.args = encode_escrow_id_arg(id);
+  const psc::Receipt r = psc_.view_call(q);
+  if (!r.success) return std::nullopt;
+  return PayJudger::decode_escrow_view(r.return_data);
+}
+
+psc::Value MerchantService::outstanding_exposure(EscrowId escrow) const {
+  psc::Value total = 0;
+  for (const auto& p : pending_) {
+    if (!p.settled && !p.judged && p.package.binding.binding.escrow_id == escrow) {
+      total += p.package.binding.binding.compensation;
+    }
+  }
+  return total;
+}
+
+AcceptDecision MerchantService::evaluate_fastpay(const FastPayPackage& pkg,
+                                                 const Invoice& invoice, std::uint64_t now_ms) {
+  auto reject = [](std::string why) { return AcceptDecision{false, std::move(why)}; };
+  const PaymentBinding& b = pkg.binding.binding;
+
+  // 1. Invoice conformance.
+  if (now_ms > invoice.expires_at_ms) return reject("invoice expired");
+  if (b.merchant != config_.self_psc) return reject("binding names another merchant");
+  if (b.compensation < invoice.compensation) return reject("compensation below invoice");
+  if (b.expiry_ms < now_ms + config_.dispute_after_ms + config_.binding_safety_margin_ms) {
+    return reject("binding expires before a dispute could resolve");
+  }
+  if (b.btc_txid != pkg.payment_tx.txid()) return reject("binding txid mismatch");
+
+  // 2. The BTC transaction pays the invoice.
+  btc::Amount paid = 0;
+  for (const auto& out : pkg.payment_tx.outputs) {
+    if (out.script_pubkey == invoice.pay_to) paid += out.value;
+  }
+  if (paid < invoice.amount_sat) return reject("payment output below invoice amount");
+
+  // 3. Escrow health (cached PSC view — no on-chain write).
+  const auto escrow = fetch_escrow(b.escrow_id);
+  if (!escrow) return reject("escrow lookup failed");
+  if (escrow->state != EscrowState::kActive) return reject("escrow not active");
+  // Coverage: collateral net of on-chain reservations (other merchants'
+  // locked exposure) and of our own unsettled optimistic acceptances.
+  const psc::Value available =
+      escrow->collateral > escrow->reserved ? escrow->collateral - escrow->reserved : 0;
+  if (available < b.compensation + outstanding_exposure(b.escrow_id)) {
+    return reject("collateral would not cover exposure");
+  }
+  // Binding must outlive neither the escrow unlock (customer could
+  // withdraw before we can dispute).
+  if (escrow->unlock_time_ms < b.expiry_ms) return reject("escrow unlocks before binding expires");
+
+  // 4. Binding signature under the escrow's registered customer key.
+  const auto customer_key =
+      crypto::PublicKey::parse({escrow->customer_btc_key.data(), escrow->customer_btc_key.size()});
+  if (!customer_key) return reject("escrow holds an invalid customer key");
+  if (!pkg.binding.verify(*customer_key)) return reject("binding signature invalid");
+
+  // 5. BTC transaction is currently spendable and unconflicted in our view.
+  if (pkg.payment_tx.inputs.empty() || pkg.payment_tx.outputs.empty()) {
+    return reject("malformed payment tx");
+  }
+  btc::Amount in_value = 0;
+  for (std::size_t i = 0; i < pkg.payment_tx.inputs.size(); ++i) {
+    const auto& prevout = pkg.payment_tx.inputs[i].prevout;
+    const auto coin = btc_node_.chain().utxo().get(prevout);
+    if (!coin) return reject("input missing or already spent: " + prevout.to_string());
+    if (auto conflict = btc_node_.mempool().spender_of(prevout)) {
+      if (*conflict != b.btc_txid) {
+        return reject("input double-spent in mempool by " + conflict->to_string());
+      }
+    }
+    if (!btc::verify_input(pkg.payment_tx, i, coin->out.script_pubkey)) {
+      return reject("payment input signature invalid");
+    }
+    in_value += coin->out.value;
+  }
+  if (in_value < pkg.payment_tx.total_output()) return reject("payment inflates value");
+
+  return AcceptDecision{true, {}};
+}
+
+std::vector<psc::PscTx> MerchantService::accept_payment(const FastPayPackage& pkg,
+                                                        const Invoice& invoice,
+                                                        std::uint64_t now_ms) {
+  PendingPayment p;
+  p.package = pkg;
+  p.invoice = invoice;
+  p.accepted_at_ms = now_ms;
+
+  std::vector<psc::PscTx> actions;
+  if (config_.reserve_payments) {
+    psc::PscTx tx;
+    tx.from = config_.self_psc;
+    tx.to = config_.judger;
+    tx.method = "reservePayment";
+    tx.args = encode_open_dispute_args(pkg.binding.binding.escrow_id, pkg.binding);
+    actions.push_back(std::move(tx));
+    p.reserved = true;
+  }
+
+  pending_.push_back(std::move(p));
+  // Broadcast through our own node so the network confirms it.
+  btc_node_.receive_tx(pkg.payment_tx);
+  return actions;
+}
+
+std::vector<psc::PscTx> MerchantService::poll(std::uint64_t now_ms) {
+  std::vector<psc::PscTx> actions;
+
+  for (auto& p : pending_) {
+    if (p.settled || p.judged) continue;
+    const PaymentBinding& b = p.package.binding.binding;
+    const auto conf = btc_node_.chain().confirmations(b.btc_txid);
+
+    if (!p.dispute_opened && conf >= config_.settle_confirmations) {
+      p.settled = true;
+      BTCFAST_LOG(LogLevel::kInfo, "merchant")
+          << "payment " << b.btc_txid.to_string().substr(0, 12) << " settled (" << conf
+          << " conf)";
+      if (p.reserved && !p.reservation_released) {
+        // Free the escrow's reserved collateral now that BTC settled.
+        psc::PscTx tx;
+        tx.from = config_.self_psc;
+        tx.to = config_.judger;
+        tx.method = "releaseReservation";
+        tx.args = encode_open_dispute_args(b.escrow_id, p.package.binding);
+        actions.push_back(std::move(tx));
+        p.reservation_released = true;
+      }
+      continue;
+    }
+
+    if (!p.dispute_opened) {
+      if (now_ms >= p.accepted_at_ms + config_.dispute_after_ms) {
+        psc::PscTx tx;
+        tx.from = config_.self_psc;
+        tx.to = config_.judger;
+        tx.value = config_.dispute_bond;
+        tx.method = "openDispute";
+        tx.args = encode_open_dispute_args(b.escrow_id, p.package.binding);
+        actions.push_back(std::move(tx));
+        p.dispute_opened = true;
+        p.last_dispute_attempt_ms = now_ms;
+        BTCFAST_LOG(LogLevel::kInfo, "merchant")
+            << "opening dispute for " << b.btc_txid.to_string().substr(0, 12);
+      }
+      continue;
+    }
+
+    // Dispute is open (or at least requested): follow its progress.
+    const auto escrow = fetch_escrow(b.escrow_id);
+    if (!escrow) continue;
+
+    // Retry path: our openDispute never took effect (the escrow only
+    // adjudicates one dispute at a time, so a concurrent dispute beats us
+    // to it). Resubmit while the escrow is ACTIVE again.
+    if (!p.dispute_active_seen && escrow->state == EscrowState::kActive &&
+        now_ms >= p.last_dispute_attempt_ms + 5 * 60 * 1000) {
+      psc::PscTx tx;
+      tx.from = config_.self_psc;
+      tx.to = config_.judger;
+      tx.value = config_.dispute_bond;
+      tx.method = "openDispute";
+      tx.args = encode_open_dispute_args(b.escrow_id, p.package.binding);
+      actions.push_back(std::move(tx));
+      p.last_dispute_attempt_ms = now_ms;
+      continue;
+    }
+
+    if (escrow->state == EscrowState::kDisputed &&
+        escrow->dispute_merchant == config_.self_psc && escrow->disputed_txid == b.btc_txid) {
+      p.dispute_active_seen = true;
+      if (now_ms <= escrow->dispute_deadline_ms) {
+        // Submit (or refresh) our header-chain evidence.
+        auto headers = headers_since(btc_node_.chain(), escrow->dispute_anchor);
+        if (headers && !headers->empty()) {
+          // Only resubmit when our chain outweighs what the contract holds.
+          crypto::U256 our_work;
+          for (const auto& h : *headers) our_work += btc::header_work(h.bits);
+          if (our_work > escrow->merchant_work) {
+            psc::PscTx tx;
+            tx.from = config_.self_psc;
+            tx.to = config_.judger;
+            tx.method = "submitMerchantEvidence";
+            tx.args = encode_merchant_evidence_args(b.escrow_id, *headers);
+            tx.gas_limit = 8'000'000;
+            actions.push_back(std::move(tx));
+            p.evidence_submitted = true;
+          }
+        }
+      } else {
+        // Window closed: request judgment.
+        psc::PscTx tx;
+        tx.from = config_.self_psc;
+        tx.to = config_.judger;
+        tx.method = "judge";
+        tx.args = encode_escrow_id_arg(b.escrow_id);
+        actions.push_back(std::move(tx));
+        p.judged = true;
+      }
+    } else if (escrow->state != EscrowState::kDisputed && p.dispute_active_seen) {
+      // Dispute resolved (by our judge call or someone else's).
+      p.judged = true;
+      if (conf >= config_.settle_confirmations) p.settled = true;
+    }
+  }
+  return actions;
+}
+
+std::size_t MerchantService::settled_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : pending_) n += p.settled;
+  return n;
+}
+
+std::size_t MerchantService::disputed_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : pending_) n += p.dispute_opened;
+  return n;
+}
+
+}  // namespace btcfast::core

@@ -1,0 +1,98 @@
+// The merchant side of BTCFast: the sub-second acceptance decision, plus
+// settlement monitoring and the dispute workflow (open, evidence, judge).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcfast/protocol.h"
+#include "btcsim/node.h"
+#include "btcsim/scenario.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+class MerchantService {
+ public:
+  struct Config {
+    psc::Address judger{};
+    psc::Address self_psc{};
+    psc::Value dispute_bond = 10'000;
+    std::uint32_t settle_confirmations = 6;   ///< payment considered settled
+    std::uint64_t dispute_after_ms = 90 * 60 * 1000;  ///< open dispute if unconfirmed
+    std::uint64_t binding_safety_margin_ms = 4 * 60 * 60 * 1000;
+    /// Reserved mode (on-chain exposure): every accepted payment is
+    /// registered with reservePayment, guaranteeing collateral coverage
+    /// even against cross-merchant double-booking — at ~1 contract call
+    /// per payment. Off (optimistic mode) reproduces the paper's zero-fee
+    /// fast path. See bench_ablation_reserve for the trade-off.
+    bool reserve_payments = false;
+  };
+
+  /// A payment the merchant accepted and is tracking.
+  struct PendingPayment {
+    FastPayPackage package;
+    Invoice invoice;
+    std::uint64_t accepted_at_ms = 0;
+    bool settled = false;
+    bool dispute_opened = false;     ///< openDispute tx submitted
+    bool dispute_active_seen = false;  ///< contract confirmed DISPUTED state
+    bool evidence_submitted = false;
+    bool judged = false;
+    bool reserved = false;           ///< on-chain reservation submitted
+    bool reservation_released = false;
+    std::uint64_t last_dispute_attempt_ms = 0;  ///< for retry pacing
+  };
+
+  MerchantService(sim::Party btc_identity, sim::Node& btc_node, const psc::PscChain& psc,
+                  Config config);
+
+  /// Quote an invoice.
+  [[nodiscard]] Invoice make_invoice(btc::Amount amount_sat, psc::Value compensation,
+                                     std::uint64_t now_ms, std::uint64_t ttl_ms);
+
+  /// THE FAST PATH (paper's "< 1 second"): decide entirely from local
+  /// state — signature checks, escrow view (cached from the PSC chain),
+  /// UTXO/mempool checks on the merchant's Bitcoin node. No network round
+  /// trips, no on-chain writes.
+  [[nodiscard]] AcceptDecision evaluate_fastpay(const FastPayPackage& pkg,
+                                                const Invoice& invoice, std::uint64_t now_ms);
+
+  /// Accept (bookkeeping) after a positive evaluation; broadcasts the
+  /// payment tx from the merchant's node. In reserved mode, returns the
+  /// reservePayment transaction the caller must submit to the PSC chain.
+  [[nodiscard]] std::vector<psc::PscTx> accept_payment(const FastPayPackage& pkg,
+                                                       const Invoice& invoice,
+                                                       std::uint64_t now_ms);
+
+  /// Periodic monitoring: settles confirmed payments and returns any PSC
+  /// transactions the merchant must submit (dispute open / evidence /
+  /// judge requests).
+  [[nodiscard]] std::vector<psc::PscTx> poll(std::uint64_t now_ms);
+
+  [[nodiscard]] const std::vector<PendingPayment>& pending() const noexcept { return pending_; }
+  [[nodiscard]] std::size_t settled_count() const noexcept;
+  [[nodiscard]] std::size_t disputed_count() const noexcept;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const sim::Party& btc_identity() const noexcept { return btc_; }
+
+  /// Exposure the merchant already carries against an escrow (sum of
+  /// unsettled accepted compensations) — the fast path refuses bindings
+  /// that would overrun the collateral.
+  [[nodiscard]] psc::Value outstanding_exposure(EscrowId escrow) const;
+
+ private:
+  [[nodiscard]] std::optional<EscrowView> fetch_escrow(EscrowId id) const;
+
+  sim::Party btc_;
+  sim::Node& btc_node_;
+  const psc::PscChain& psc_;
+  Config config_;
+  std::vector<PendingPayment> pending_;
+  std::uint64_t next_invoice_id_ = 1;
+};
+
+}  // namespace btcfast::core

@@ -1,0 +1,272 @@
+#include "btcfast/orchestrator.h"
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace btcfast::core {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      params_(btc::ChainParams::regtest()),
+      customer_party_(sim::Party::make(config_.seed * 11 + 1)),
+      merchant_party_(sim::Party::make(config_.seed * 11 + 2)),
+      miner_party_(sim::Party::make(config_.seed * 11 + 3)) {
+  sim_ = std::make_unique<sim::Simulator>();
+  net_ = std::make_unique<sim::Network>(*sim_, params_, config_.net, config_.seed * 13 + 7);
+
+  // Nodes.
+  for (std::uint32_t i = 0; i < config_.honest_miners; ++i) {
+    miner_node_ids_.push_back(net_->add_node());
+  }
+  customer_node_id_ = net_->add_node();
+  merchant_node_id_ = net_->add_node();
+
+  // Fund the customer with mature coinbases and seed every node.
+  const auto funding = sim::build_funding_chain(
+      params_, {customer_party_.script},
+      static_cast<std::uint32_t>(config_.funded_coins));
+  for (std::size_t i = 0; i < net_->size(); ++i) {
+    sim::seed_node(net_->node(static_cast<sim::NodeId>(i)), funding);
+  }
+  sim_->run_all();  // settle seeding chatter at t=0
+
+  customer_coins_ = sim::find_spendable(customer_node().chain(), customer_party_.script);
+
+  // PSC chain + PayJudger.
+  psc::PscChain::Config psc_cfg;
+  psc_cfg.block_interval_ms = config_.psc_block_interval_ms;
+  psc_ = std::make_unique<psc::PscChain>(psc_cfg);
+
+  judger_cfg_.pow_limit = params_.pow_limit;
+  judger_cfg_.initial_checkpoint = customer_node().chain().tip_hash();
+  judger_cfg_.required_depth = config_.required_depth;
+  judger_cfg_.evidence_window_ms = config_.evidence_window_ms;
+  judger_cfg_.min_collateral = 1;
+  judger_cfg_.dispute_bond = config_.dispute_bond;
+  judger_addr_ = psc_->deploy("payjudger", std::make_unique<PayJudger>(judger_cfg_));
+
+  customer_psc_ = psc::Address::from_label("deployment/customer");
+  merchant_psc_ = psc::Address::from_label("deployment/merchant");
+  psc_->mint(customer_psc_, config_.collateral * 4);
+  psc_->mint(merchant_psc_, config_.dispute_bond * 100 + 10'000'000);
+
+  // Protocol actors.
+  customer_ = std::make_unique<CustomerWallet>(customer_party_, customer_psc_, /*escrow_id=*/1);
+
+  MerchantService::Config mcfg;
+  mcfg.judger = judger_addr_;
+  mcfg.self_psc = merchant_psc_;
+  mcfg.dispute_bond = config_.dispute_bond;
+  mcfg.settle_confirmations = config_.settle_confirmations;
+  mcfg.dispute_after_ms = config_.dispute_after_ms;
+  mcfg.binding_safety_margin_ms = config_.evidence_window_ms + 60 * 60 * 1000;
+  mcfg.reserve_payments = config_.reserve_payments;
+  merchant_ = std::make_unique<MerchantService>(merchant_party_, merchant_node(), *psc_, mcfg);
+
+  Relayer::Config rcfg;
+  rcfg.judger = judger_addr_;
+  rcfg.self_psc = psc::Address::from_label("deployment/relayer");
+  rcfg.lag_blocks = config_.relayer_lag_blocks;
+  relayer_ = std::make_unique<Relayer>(merchant_node(), *psc_, rcfg);
+  psc_->mint(rcfg.self_psc, 100'000'000);
+
+  // Escrow deposit (executed immediately at t=0).
+  const auto deposit = customer_->make_deposit_tx(judger_addr_, config_.collateral,
+                                                  config_.escrow_unlock_delay_ms);
+  const auto receipt = psc_->execute_now(deposit, 0);
+  if (!receipt.success) {
+    BTCFAST_LOG(LogLevel::kError, "deploy") << "deposit failed: " << receipt.revert_reason;
+  }
+
+  // Mining power: honest miners share (1 - q).
+  const double honest_total = 1.0 - config_.attacker_share;
+  for (std::uint32_t i = 0; i < config_.honest_miners; ++i) {
+    miners_.push_back(std::make_unique<sim::MinerProcess>(
+        *net_, miner_node_ids_[i], honest_total / config_.honest_miners, miner_party_.script,
+        config_.seed * 101 + i));
+    miners_.back()->start();
+  }
+  if (config_.attacker_share > 0) {
+    sim::DoubleSpendAttacker::Config acfg;
+    acfg.share = config_.attacker_share;
+    acfg.target_confirmations = config_.attacker_release_confirmations;
+    acfg.give_up_deficit = config_.attacker_give_up_deficit;
+    attacker_ = std::make_unique<sim::DoubleSpendAttacker>(*net_, customer_node_id_, acfg,
+                                                           customer_party_.script,
+                                                           config_.seed * 503 + 3);
+  }
+
+  if (config_.watchtower_enabled) {
+    Watchtower::Config wcfg;
+    wcfg.judger = judger_addr_;
+    wcfg.self_psc = psc::Address::from_label("deployment/watchtower");
+    psc_->mint(wcfg.self_psc, 100'000'000);
+    // The tower runs its own full node view (first miner node).
+    watchtower_ = std::make_unique<Watchtower>(net_->node(miner_node_ids_[0]), *psc_, wcfg);
+    watchtower_->protect(customer_->escrow_id());
+  }
+
+  if (config_.net.loss_rate > 0) {
+    // Lossy-network runs need the anti-entropy recovery path.
+    net_->enable_sync(30 * kSecond);
+  }
+
+  schedule_psc_blocks();
+  schedule_monitors();
+}
+
+void Deployment::schedule_psc_blocks() {
+  const SimTime interval = static_cast<SimTime>(config_.psc_block_interval_ms);
+  sim_->schedule_in(interval, [this] {
+    psc_->produce_block(static_cast<std::uint64_t>(sim_->now()));
+    schedule_psc_blocks();
+  });
+}
+
+void Deployment::schedule_monitors() {
+  sim_->schedule_in(static_cast<SimTime>(config_.poll_interval_ms), [this] {
+    const auto now = static_cast<std::uint64_t>(sim_->now());
+    pump_merchant(now);
+    if (config_.customer_online) pump_customer_defense();
+    if (watchtower_) {
+      for (auto& tx : watchtower_->poll(now)) {
+        const auto id = psc_->submit(tx);
+        submitted_txs_.emplace_back(tx.method, id);
+      }
+    }
+    pump_relayer();
+    schedule_monitors();
+  });
+}
+
+void Deployment::pump_merchant(std::uint64_t now_ms) {
+  for (auto& tx : merchant_->poll(now_ms)) {
+    const auto id = psc_->submit(tx);
+    submitted_txs_.emplace_back(tx.method, id);
+  }
+}
+
+void Deployment::pump_customer_defense() {
+  const auto view = escrow_view();
+  if (!view || view->state != EscrowState::kDisputed) return;
+  // Past the deadline the customer requests judgment itself — its
+  // collateral stays locked until someone does.
+  if (static_cast<std::uint64_t>(sim_->now()) > view->dispute_deadline_ms) {
+    psc::PscTx tx;
+    tx.from = customer_psc_;
+    tx.to = judger_addr_;
+    tx.method = "judge";
+    tx.args = encode_escrow_id_arg(customer_->escrow_id());
+    const auto id = psc_->submit(tx);
+    submitted_txs_.emplace_back(tx.method, id);
+    return;
+  }
+  // Only defend if our chain since the anchor outweighs what's recorded.
+  auto defense = customer_->make_defense_tx(customer_node().chain(), *view, judger_addr_,
+                                            judger_cfg_.required_depth);
+  if (!defense) return;
+  crypto::U256 our_work;
+  if (auto headers = headers_since(customer_node().chain(), view->dispute_anchor)) {
+    for (const auto& h : *headers) our_work += btc::header_work(h.bits);
+  }
+  if (view->customer_proved && our_work <= view->customer_work) return;
+  const auto id = psc_->submit(*defense);
+  submitted_txs_.emplace_back(defense->method, id);
+}
+
+void Deployment::pump_relayer() {
+  if (auto tx = relayer_->make_update_tx()) {
+    const auto id = psc_->submit(*tx);
+    submitted_txs_.emplace_back(tx->method, id);
+  }
+}
+
+FastPayResult Deployment::perform_fastpay(btc::Amount amount_sat) {
+  FastPayResult result;
+  if (next_coin_ >= customer_coins_.size()) {
+    result.reject_reason = "customer out of coins";
+    return result;
+  }
+  const auto [coin_op, coin] = customer_coins_[next_coin_++];
+
+  const auto now = static_cast<std::uint64_t>(sim_->now());
+  const Invoice invoice =
+      merchant_->make_invoice(amount_sat, config_.compensation, now, /*ttl=*/10 * 60 * 1000);
+  result.invoice = invoice;
+
+  FastPayPackage pkg =
+      customer_->create_fastpay(invoice, coin_op, coin.out.value, now, config_.binding_ttl_ms);
+  result.txid = pkg.payment_tx.txid();
+
+  // One network hop carries the package to the merchant.
+  result.message_latency_ms = config_.net.base_latency + config_.net.jitter / 2;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const AcceptDecision decision = merchant_->evaluate_fastpay(pkg, invoice, now);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.decision_micros =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count();
+
+  result.accepted = decision.accepted;
+  result.reject_reason = decision.reason;
+  if (!decision.accepted) return result;
+
+  for (auto& tx : merchant_->accept_payment(pkg, invoice, now)) {
+    const auto id = psc_->submit(tx);
+    submitted_txs_.emplace_back(tx.method, id);
+  }
+
+  if (attacker_) {
+    // The malicious customer starts the secret race with a conflicting
+    // self-spend of the same coin.
+    const btc::Transaction conflict =
+        sim::build_payment(customer_party_, coin_op, coin.out.value, customer_party_.script,
+                           amount_sat, /*fee=*/2000);
+    attacker_->begin_attack(pkg.payment_tx, conflict);
+  }
+  return result;
+}
+
+void Deployment::run_for(SimTime duration) { sim_->run_until(sim_->now() + duration); }
+
+std::optional<EscrowView> Deployment::escrow_view() const {
+  psc::PscTx q;
+  q.from = customer_psc_;
+  q.to = judger_addr_;
+  q.method = "getEscrow";
+  q.args = encode_escrow_id_arg(customer_->escrow_id());
+  const auto r = psc_->view_call(q);
+  if (!r.success) return std::nullopt;
+  return PayJudger::decode_escrow_view(r.return_data);
+}
+
+std::vector<psc::Receipt> Deployment::receipts_for(const std::string& method) const {
+  std::vector<psc::Receipt> out;
+  for (const auto& [m, id] : submitted_txs_) {
+    if (m == method && psc_->has_receipt(id)) out.push_back(psc_->receipt(id));
+  }
+  return out;
+}
+
+DeploymentSummary Deployment::summarize() const {
+  DeploymentSummary s;
+  s.btc_height = net_->node(merchant_node_id_).chain().height();
+  s.psc_blocks = psc_->block_number();
+  s.payments_settled = merchant_->settled_count();
+  s.disputes_opened = merchant_->disputed_count();
+  for (const auto& log : psc_->logs()) {
+    if (log.topic == "JudgedForMerchant") ++s.judged_for_merchant;
+    if (log.topic == "JudgedForCustomer") ++s.judged_for_customer;
+  }
+  s.merchant_psc_balance = psc_->state().balance(merchant_psc_);
+  s.customer_psc_balance = psc_->state().balance(customer_psc_);
+  if (const auto view = escrow_view()) {
+    s.escrow_collateral = view->collateral;
+    s.escrow_state = view->state;
+  }
+  s.total_gas_used = psc_->total_gas_used();
+  return s;
+}
+
+}  // namespace btcfast::core

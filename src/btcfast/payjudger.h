@@ -1,0 +1,126 @@
+// PayJudger: the escrow + dispute-judgment smart contract at the heart of
+// BTCFast, running on the PSC chain through the metered host interface.
+//
+// Life cycle per escrow:
+//   EMPTY --deposit--> ACTIVE --openDispute--> DISPUTED --judge--> ACTIVE/EMPTY
+//                        \--withdraw (after unlock, no dispute)--> EMPTY
+//
+// The PoW-based payment judgment (paper §judgment): during a dispute each
+// side submits Bitcoin header chains anchored at the checkpoint recorded
+// when the dispute opened. Every header's proof-of-work is verified
+// in-contract (gas-metered SHA-256d); the customer additionally proves
+// SPV inclusion of the bound txid at depth >= required_depth. After the
+// evidence window, judge() rules for the customer iff its proven chain is
+// at least as heavy as the merchant's; otherwise the merchant is paid the
+// bound compensation from the escrow collateral. Forging a winning chain
+// requires out-mining the real Bitcoin network for required_depth blocks,
+// which is exactly the k-confirmation security bound.
+#pragma once
+
+#include <cstdint>
+
+#include "btc/header.h"
+#include "btc/spv.h"
+#include "btcfast/protocol.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+/// Contract parameters fixed at deployment.
+struct PayJudgerConfig {
+  crypto::U256 pow_limit;              ///< max (easiest) target accepted in evidence
+  btc::BlockHash initial_checkpoint{}; ///< trusted BTC block hash at deployment
+  std::uint32_t required_depth = 6;    ///< k: inclusion depth the customer must prove
+  std::uint64_t evidence_window_ms = 2 * 60 * 60 * 1000;  ///< dispute evidence period
+  psc::Value min_collateral = 1'000'000;
+  psc::Value dispute_bond = 10'000;    ///< posted by the merchant, forfeited if it loses
+};
+
+/// Escrow state machine values (stored in the kState slot).
+enum class EscrowState : std::uint64_t {
+  kEmpty = 0,
+  kActive = 1,
+  kDisputed = 2,
+};
+
+/// Decoded view of an escrow record (see PayJudger::read_escrow).
+struct EscrowView {
+  EscrowState state = EscrowState::kEmpty;
+  psc::Address customer{};
+  psc::Value collateral = 0;
+  psc::Value reserved = 0;  ///< sum of on-chain payment reservations
+  std::uint64_t unlock_time_ms = 0;
+  ByteArray<33> customer_btc_key{};
+  // Dispute-phase fields (valid when state == kDisputed):
+  psc::Address dispute_merchant{};
+  psc::Value dispute_compensation = 0;
+  std::uint64_t dispute_deadline_ms = 0;
+  btc::Txid disputed_txid{};
+  btc::BlockHash dispute_anchor{};
+  crypto::U256 merchant_work;
+  crypto::U256 customer_work;
+  bool customer_proved = false;
+};
+
+/// The contract. Methods (dispatched by name, args via Writer encoding):
+///   deposit(escrow_id u64, unlock_delay_ms u64, btc_pubkey 33B)   [payable]
+///   topUp(escrow_id u64)                                          [payable]
+///   withdraw(escrow_id u64)
+///   reservePayment(escrow_id u64, signed_binding len-prefixed)
+///   releaseReservation(escrow_id u64, signed_binding len-prefixed)
+///   openDispute(escrow_id u64, signed_binding len-prefixed)       [payable: bond]
+///   submitMerchantEvidence(escrow_id u64, headers)
+///   submitCustomerEvidence(escrow_id u64, headers, proof, index u32)
+///   judge(escrow_id u64)
+///   updateCheckpoint(headers)
+///   getEscrow(escrow_id u64) -> packed EscrowView        [view]
+///   getCheckpoint() -> hash 32B, height u64              [view]
+class PayJudger final : public psc::Contract {
+ public:
+  explicit PayJudger(PayJudgerConfig config);
+
+  [[nodiscard]] Status call(psc::HostContext& host, const std::string& method, ByteSpan args,
+                            Bytes* ret) override;
+
+  [[nodiscard]] const PayJudgerConfig& config() const noexcept { return config_; }
+
+  /// Decode a getEscrow() return payload.
+  [[nodiscard]] static std::optional<EscrowView> decode_escrow_view(ByteSpan data);
+
+ private:
+  Status deposit(psc::HostContext& host, ByteSpan args);
+  Status top_up(psc::HostContext& host, ByteSpan args);
+  Status withdraw(psc::HostContext& host, ByteSpan args);
+  Status reserve_payment(psc::HostContext& host, ByteSpan args);
+  Status release_reservation(psc::HostContext& host, ByteSpan args);
+  Status open_dispute(psc::HostContext& host, ByteSpan args);
+  Status submit_merchant_evidence(psc::HostContext& host, ByteSpan args);
+  Status submit_customer_evidence(psc::HostContext& host, ByteSpan args);
+  Status judge(psc::HostContext& host, ByteSpan args);
+  Status update_checkpoint(psc::HostContext& host, ByteSpan args);
+  Status get_escrow(psc::HostContext& host, ByteSpan args, Bytes* ret);
+  Status get_checkpoint(psc::HostContext& host, Bytes* ret);
+
+  /// Gas-metered header-chain verification (the contract-side mirror of
+  /// btc::verify_header_chain). Returns total work on success.
+  [[nodiscard]] Result<btc::HeaderChainSummary> verify_evidence_chain(
+      psc::HostContext& host, const btc::BlockHash& anchor,
+      const std::vector<btc::BlockHeader>& headers);
+
+  PayJudgerConfig config_;
+};
+
+/// Argument encoders (client-side helpers mirrored by the contract).
+[[nodiscard]] Bytes encode_deposit_args(EscrowId id, std::uint64_t unlock_delay_ms,
+                                        const ByteArray<33>& btc_pubkey);
+[[nodiscard]] Bytes encode_escrow_id_arg(EscrowId id);
+[[nodiscard]] Bytes encode_open_dispute_args(EscrowId id, const SignedBinding& binding);
+[[nodiscard]] Bytes encode_merchant_evidence_args(EscrowId id,
+                                                  const std::vector<btc::BlockHeader>& headers);
+[[nodiscard]] Bytes encode_customer_evidence_args(EscrowId id,
+                                                  const std::vector<btc::BlockHeader>& headers,
+                                                  const btc::TxInclusionProof& proof,
+                                                  std::uint32_t header_index);
+[[nodiscard]] Bytes encode_checkpoint_args(const std::vector<btc::BlockHeader>& headers);
+
+}  // namespace btcfast::core

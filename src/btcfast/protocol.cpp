@@ -1,0 +1,96 @@
+#include "btcfast/protocol.h"
+
+namespace btcfast::core {
+namespace {
+
+constexpr char kBindingDomain[] = "btcfast/payment-binding/v1";
+
+}  // namespace
+
+Bytes PaymentBinding::serialize() const {
+  Writer w;
+  w.u64le(escrow_id);
+  w.bytes({btc_txid.bytes.data(), btc_txid.bytes.size()});
+  w.u64le(compensation);
+  w.bytes({merchant.bytes.data(), merchant.bytes.size()});
+  w.u64le(expiry_ms);
+  w.u64le(nonce);
+  return std::move(w).take();
+}
+
+std::optional<PaymentBinding> PaymentBinding::deserialize(ByteSpan data) {
+  Reader r(data);
+  PaymentBinding b;
+  auto escrow = r.u64le();
+  auto txid = r.bytes(32);
+  auto comp = r.u64le();
+  auto merchant = r.bytes(20);
+  auto expiry = r.u64le();
+  auto nonce = r.u64le();
+  if (!escrow || !txid || !comp || !merchant || !expiry || !nonce || !r.at_end()) {
+    return std::nullopt;
+  }
+  b.escrow_id = *escrow;
+  b.btc_txid.bytes = to_array<32>(*txid);
+  b.compensation = *comp;
+  b.merchant.bytes = to_array<20>(*merchant);
+  b.expiry_ms = *expiry;
+  b.nonce = *nonce;
+  return b;
+}
+
+crypto::Sha256Digest PaymentBinding::signing_digest() const {
+  Writer w;
+  w.bytes(as_bytes(std::string(kBindingDomain)));
+  w.bytes(serialize());
+  return crypto::sha256(w.data());
+}
+
+Bytes SignedBinding::serialize() const {
+  Writer w;
+  w.bytes_with_len(binding.serialize());
+  w.bytes({customer_sig.data(), customer_sig.size()});
+  return std::move(w).take();
+}
+
+std::optional<SignedBinding> SignedBinding::deserialize(ByteSpan data) {
+  Reader r(data);
+  auto body = r.bytes_with_len(1024);
+  auto sig = r.bytes(64);
+  if (!body || !sig || !r.at_end()) return std::nullopt;
+  auto binding = PaymentBinding::deserialize(*body);
+  if (!binding) return std::nullopt;
+  SignedBinding out;
+  out.binding = *binding;
+  out.customer_sig = to_array<64>(*sig);
+  return out;
+}
+
+bool SignedBinding::verify(const crypto::PublicKey& customer_key) const {
+  const auto sig = crypto::Signature::parse({customer_sig.data(), customer_sig.size()});
+  if (!sig) return false;
+  return crypto::ecdsa_verify(customer_key, binding.signing_digest(), *sig);
+}
+
+Bytes FastPayPackage::serialize() const {
+  Writer w;
+  w.bytes_with_len(payment_tx.serialize());
+  w.bytes_with_len(binding.serialize());
+  return std::move(w).take();
+}
+
+std::optional<FastPayPackage> FastPayPackage::deserialize(ByteSpan data) {
+  Reader r(data);
+  auto tx_bytes = r.bytes_with_len();
+  auto binding_bytes = r.bytes_with_len(2048);
+  if (!tx_bytes || !binding_bytes || !r.at_end()) return std::nullopt;
+  auto tx = btc::Transaction::deserialize(*tx_bytes);
+  auto binding = SignedBinding::deserialize(*binding_bytes);
+  if (!tx || !binding) return std::nullopt;
+  FastPayPackage out;
+  out.payment_tx = *tx;
+  out.binding = *binding;
+  return out;
+}
+
+}  // namespace btcfast::core

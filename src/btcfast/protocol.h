@@ -1,0 +1,81 @@
+// BTCFast protocol messages. The heart of the fast path is the
+// PaymentBinding: a customer-signed statement tying a specific Bitcoin
+// txid to an escrow on the PSC chain. The merchant accepts a payment the
+// instant it holds (a) a well-formed BTC transaction paying it and (b) a
+// valid binding whose escrow covers the amount — no on-chain interaction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "btc/script.h"
+#include "btc/transaction.h"
+#include "common/serialize.h"
+#include "crypto/ecdsa.h"
+#include "psc/address.h"
+#include "psc/state.h"
+
+namespace btcfast::core {
+
+using EscrowId = std::uint64_t;
+
+/// The customer's signed commitment: "if BTC tx `btc_txid` fails to
+/// confirm, escrow `escrow_id` owes `compensation` to `merchant`".
+struct PaymentBinding {
+  EscrowId escrow_id = 0;
+  btc::Txid btc_txid{};
+  psc::Value compensation = 0;   ///< PSC-chain units paid out if judged for merchant
+  psc::Address merchant{};       ///< payout destination on the PSC chain
+  std::uint64_t expiry_ms = 0;   ///< dispute must open before this (sim ms)
+  std::uint64_t nonce = 0;       ///< uniquifies bindings within an escrow
+
+  [[nodiscard]] bool operator==(const PaymentBinding& o) const noexcept = default;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<PaymentBinding> deserialize(ByteSpan data);
+
+  /// Digest the customer signs (domain-separated).
+  [[nodiscard]] crypto::Sha256Digest signing_digest() const;
+};
+
+/// A binding plus the customer's signature over it.
+struct SignedBinding {
+  PaymentBinding binding;
+  ByteArray<64> customer_sig{};
+
+  [[nodiscard]] bool operator==(const SignedBinding& o) const noexcept = default;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<SignedBinding> deserialize(ByteSpan data);
+
+  /// Verify against the customer's binding key (the key registered in the
+  /// escrow at deposit time).
+  [[nodiscard]] bool verify(const crypto::PublicKey& customer_key) const;
+};
+
+/// What a merchant quotes to a customer.
+struct Invoice {
+  std::uint64_t invoice_id = 0;
+  btc::Amount amount_sat = 0;
+  psc::Value compensation = 0;        ///< required binding compensation
+  btc::ScriptPubKey pay_to{};         ///< merchant's BTC destination
+  psc::Address merchant_psc{};        ///< merchant's PSC payout address
+  std::uint64_t expires_at_ms = 0;
+};
+
+/// The fast-pay message: everything the merchant needs to decide.
+struct FastPayPackage {
+  btc::Transaction payment_tx;
+  SignedBinding binding;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<FastPayPackage> deserialize(ByteSpan data);
+};
+
+/// Merchant-side acceptance decision with diagnostics.
+struct AcceptDecision {
+  bool accepted = false;
+  std::string reason;  ///< populated on rejection
+};
+
+}  // namespace btcfast::core

@@ -1,0 +1,56 @@
+#include "btcfast/relayer.h"
+
+namespace btcfast::core {
+
+Relayer::Relayer(sim::Node& btc_node, const psc::PscChain& psc, Config config)
+    : btc_node_(btc_node), psc_(psc), config_(config) {}
+
+std::optional<std::pair<btc::BlockHash, std::uint64_t>> Relayer::read_checkpoint() const {
+  psc::PscTx q;
+  q.from = config_.self_psc;
+  q.to = config_.judger;
+  q.method = "getCheckpoint";
+  const psc::Receipt r = psc_.view_call(q);
+  if (!r.success) return std::nullopt;
+  Reader reader({r.return_data.data(), r.return_data.size()});
+  auto hash = reader.bytes(32);
+  auto height = reader.u64le();
+  if (!hash || !height) return std::nullopt;
+  btc::BlockHash h;
+  h.bytes = to_array<32>(*hash);
+  return std::make_pair(h, *height);
+}
+
+std::optional<psc::PscTx> Relayer::make_update_tx() const {
+  const auto checkpoint = read_checkpoint();
+  if (!checkpoint) return std::nullopt;
+  const auto& [cp_hash, cp_height_claimed] = *checkpoint;
+
+  const btc::Chain& chain = btc_node_.chain();
+  const auto cp_height = chain.block_height(cp_hash);
+  if (!cp_height || !chain.is_on_active_chain(cp_hash)) {
+    // The contract's checkpoint fell off our active chain (deep reorg past
+    // the checkpoint). Real deployments handle this with checkpoint
+    // finality (lag >> max credible reorg); the relayer just waits.
+    return std::nullopt;
+  }
+
+  if (chain.height() < *cp_height + config_.lag_blocks) return std::nullopt;
+  const std::uint32_t target_tip = chain.height() - config_.lag_blocks;
+  if (target_tip <= *cp_height) return std::nullopt;
+
+  std::uint32_t count = target_tip - *cp_height;
+  if (count > config_.max_batch) count = config_.max_batch;
+  const auto headers = chain.header_range(*cp_height + 1, count);
+  if (headers.empty()) return std::nullopt;
+
+  psc::PscTx tx;
+  tx.from = config_.self_psc;
+  tx.to = config_.judger;
+  tx.method = "updateCheckpoint";
+  tx.args = encode_checkpoint_args(headers);
+  tx.gas_limit = 10'000'000;
+  return tx;
+}
+
+}  // namespace btcfast::core

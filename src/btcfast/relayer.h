@@ -1,0 +1,38 @@
+// The header relayer: keeps PayJudger's Bitcoin checkpoint fresh by
+// submitting header chains. The checkpoint deliberately lags the tip so
+// that freshly disputed transactions confirm *after* the dispute anchor.
+#pragma once
+
+#include <optional>
+
+#include "btcfast/payjudger.h"
+#include "btcsim/node.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+class Relayer {
+ public:
+  struct Config {
+    psc::Address judger{};
+    psc::Address self_psc{};
+    std::uint32_t lag_blocks = 30;       ///< stay this far behind the BTC tip
+    std::uint32_t max_batch = 100;       ///< headers per update tx
+  };
+
+  Relayer(sim::Node& btc_node, const psc::PscChain& psc, Config config);
+
+  /// Builds the next updateCheckpoint tx, or nullopt when the contract is
+  /// already within `lag_blocks` of the relayer's tip.
+  [[nodiscard]] std::optional<psc::PscTx> make_update_tx() const;
+
+  /// The contract's current checkpoint (hash, height) via a view call.
+  [[nodiscard]] std::optional<std::pair<btc::BlockHash, std::uint64_t>> read_checkpoint() const;
+
+ private:
+  sim::Node& btc_node_;
+  const psc::PscChain& psc_;
+  Config config_;
+};
+
+}  // namespace btcfast::core

@@ -1,0 +1,74 @@
+#include "btcfast/watchtower.h"
+
+namespace btcfast::core {
+
+Watchtower::Watchtower(sim::Node& btc_node, const psc::PscChain& psc, Config config)
+    : btc_node_(btc_node), psc_(psc), config_(config) {}
+
+void Watchtower::protect(EscrowId escrow) { protected_.insert(escrow); }
+
+std::optional<EscrowView> Watchtower::fetch_escrow(EscrowId id) const {
+  psc::PscTx q;
+  q.from = config_.self_psc;
+  q.to = config_.judger;
+  q.method = "getEscrow";
+  q.args = encode_escrow_id_arg(id);
+  const psc::Receipt r = psc_.view_call(q);
+  if (!r.success) return std::nullopt;
+  return PayJudger::decode_escrow_view(r.return_data);
+}
+
+std::vector<psc::PscTx> Watchtower::poll(std::uint64_t now_ms) {
+  std::vector<psc::PscTx> actions;
+  for (const EscrowId id : protected_) {
+    const auto view = fetch_escrow(id);
+    if (!view || view->state != EscrowState::kDisputed) continue;
+
+    if (now_ms > view->dispute_deadline_ms) {
+      // Window closed: push for judgment so the escrow unlocks.
+      psc::PscTx tx;
+      tx.from = config_.self_psc;
+      tx.to = config_.judger;
+      tx.method = "judge";
+      tx.args = encode_escrow_id_arg(id);
+      actions.push_back(std::move(tx));
+      continue;
+    }
+
+    // Lazily learn the contract's judgment depth (getParams view).
+    if (required_depth_ == 0) {
+      psc::PscTx q;
+      q.from = config_.self_psc;
+      q.to = config_.judger;
+      q.method = "getParams";
+      const auto r = psc_.view_call(q);
+      if (r.success) {
+        Reader reader({r.return_data.data(), r.return_data.size()});
+        if (auto depth = reader.u32le()) required_depth_ = *depth;
+      }
+      if (required_depth_ == 0) continue;
+    }
+
+    auto evidence = build_inclusion_evidence(btc_node_.chain(), view->dispute_anchor,
+                                             view->disputed_txid, required_depth_);
+    if (!evidence) continue;  // tx not (yet) provable from our view
+
+    // Only submit if our chain outweighs what the contract already holds.
+    crypto::U256 our_work;
+    for (const auto& h : evidence->headers) our_work += btc::header_work(h.bits);
+    if (view->customer_proved && our_work <= view->customer_work) continue;
+
+    psc::PscTx tx;
+    tx.from = config_.self_psc;
+    tx.to = config_.judger;
+    tx.method = "submitCustomerEvidence";
+    tx.args = encode_customer_evidence_args(id, evidence->headers, evidence->proof,
+                                            evidence->header_index);
+    tx.gas_limit = 8'000'000;
+    actions.push_back(std::move(tx));
+    ++defenses_filed_;
+  }
+  return actions;
+}
+
+}  // namespace btcfast::core

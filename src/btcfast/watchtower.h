@@ -1,0 +1,52 @@
+// Watchtower: defends customers who are offline during a dispute. The
+// customer registers its escrow; the tower watches the PSC chain for
+// DISPUTED states and, because customer evidence is *anyone-submittable*
+// (the contract only checks the proof, not the sender), files the SPV
+// inclusion defense from its own Bitcoin view. This closes the paper's
+// implicit availability assumption: without a defender, a wrongful
+// dispute against an offline customer would succeed by default.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcsim/node.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+class Watchtower {
+ public:
+  struct Config {
+    psc::Address judger{};
+    psc::Address self_psc{};  ///< pays the gas for defenses it files
+  };
+
+  Watchtower(sim::Node& btc_node, const psc::PscChain& psc, Config config);
+
+  /// Customer subscribes an escrow for protection.
+  void protect(EscrowId escrow);
+  void unprotect(EscrowId escrow) { protected_.erase(escrow); }
+  [[nodiscard]] bool is_protecting(EscrowId escrow) const { return protected_.contains(escrow); }
+
+  /// Periodic scan: for every protected escrow in DISPUTED state, build
+  /// the strongest available defense (headers + inclusion proof) and/or a
+  /// judge request once the window closes. Returns the PSC txs to submit.
+  [[nodiscard]] std::vector<psc::PscTx> poll(std::uint64_t now_ms);
+
+  [[nodiscard]] std::size_t defenses_filed() const noexcept { return defenses_filed_; }
+
+ private:
+  [[nodiscard]] std::optional<EscrowView> fetch_escrow(EscrowId id) const;
+
+  sim::Node& btc_node_;
+  const psc::PscChain& psc_;
+  Config config_;
+  std::unordered_set<EscrowId> protected_;
+  std::size_t defenses_filed_ = 0;
+  std::uint32_t required_depth_ = 0;  ///< learned from getParams on first use
+};
+
+}  // namespace btcfast::core

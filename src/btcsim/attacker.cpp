@@ -1,0 +1,138 @@
+#include "btcsim/attacker.h"
+
+#include "common/log.h"
+
+namespace btcfast::sim {
+
+DoubleSpendAttacker::DoubleSpendAttacker(Network& network, NodeId node_id, Config config,
+                                         btc::ScriptPubKey payout, std::uint64_t seed)
+    : network_(network), node_id_(node_id), config_(config), payout_(payout), rng_(seed) {}
+
+void DoubleSpendAttacker::begin_attack(const btc::Transaction& payment_tx,
+                                       const btc::Transaction& conflict_tx) {
+  active_ = true;
+  outcome_.reset();
+  payment_txid_ = payment_tx.txid();
+  conflict_tx_ = conflict_tx;
+  fork_height_ = network_.node(node_id_).chain().height();
+  secret_blocks_.clear();
+  ++generation_;
+  schedule_next_block();
+  schedule_tick();
+}
+
+void DoubleSpendAttacker::schedule_tick() {
+  // Poll for release/give-up between discoveries (public blocks arrive
+  // asynchronously via the network).
+  const SimTime period =
+      static_cast<SimTime>(network_.params().block_interval_s) * 1000 / 10 + 1;
+  const std::uint64_t gen = generation_;
+  network_.simulator().schedule_in(period, [this, gen] {
+    if (gen != generation_ || !active_) return;
+    tick();
+    if (active_) schedule_tick();
+  });
+}
+
+void DoubleSpendAttacker::schedule_next_block() {
+  const double mean_ms =
+      static_cast<double>(network_.params().block_interval_s) * 1000.0 / config_.share;
+  const SimTime delay = static_cast<SimTime>(rng_.exponential(mean_ms)) + 1;
+  const std::uint64_t gen = generation_;
+  network_.simulator().schedule_in(delay, [this, gen] {
+    if (gen == generation_) on_discovery();
+  });
+}
+
+void DoubleSpendAttacker::on_discovery() {
+  if (!active_) return;
+
+  Node& node = network_.node(node_id_);
+  const btc::Chain& chain = node.chain();
+
+  // Parent: tip of the secret branch, or the public fork point.
+  btc::BlockHash parent;
+  std::uint32_t parent_time;
+  if (secret_blocks_.empty()) {
+    parent = *chain.hash_at_height(fork_height_);
+    parent_time = chain.block_at_height(fork_height_)->header.time;
+  } else {
+    parent = secret_blocks_.back().hash();
+    parent_time = secret_blocks_.back().header.time;
+  }
+
+  btc::Block b;
+  b.header.version = 1;
+  b.header.prev_hash = parent;
+  b.header.time =
+      std::max(static_cast<std::uint32_t>(network_.simulator().now() / 1000), parent_time + 1);
+  b.header.bits = chain.next_work_required(parent);
+
+  btc::Transaction cb;
+  btc::TxIn in;
+  in.prevout.index = 0xffffffff;
+  in.sequence = 0x80000000u + static_cast<std::uint32_t>(secret_blocks_.size());
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(btc::TxOut{network_.params().subsidy, payout_});
+  b.txs.push_back(cb);
+  if (secret_blocks_.empty()) b.txs.push_back(conflict_tx_);  // the double spend
+
+  if (btc::mine_block(b, network_.params())) {
+    secret_blocks_.push_back(std::move(b));
+    BTCFAST_LOG(LogLevel::kDebug, "attacker")
+        << "secret block " << secret_blocks_.size() << " (public +" << public_progress() << ")";
+  }
+  tick();
+  if (active_) schedule_next_block();
+}
+
+std::uint32_t DoubleSpendAttacker::public_progress() const {
+  const auto h = network_.node(node_id_).chain().height();
+  return h > fork_height_ ? h - fork_height_ : 0;
+}
+
+void DoubleSpendAttacker::tick() {
+  if (!active_) return;
+  const Node& node = network_.node(node_id_);
+  const std::uint32_t pub = public_progress();
+  const std::uint32_t secret = static_cast<std::uint32_t>(secret_blocks_.size());
+
+  // Merchant acceptance proxy: payment has >= z confirmations publicly.
+  const bool merchant_paid = node.chain().confirmations(payment_txid_) >=
+                             config_.target_confirmations;
+
+  if (merchant_paid && secret > pub) {
+    release();
+    return;
+  }
+  if (pub > secret && pub - secret >= static_cast<std::uint32_t>(config_.give_up_deficit)) {
+    give_up();
+  }
+}
+
+void DoubleSpendAttacker::release() {
+  active_ = false;
+  ++generation_;
+  Outcome out;
+  out.attack_released = true;
+  out.secret_blocks = static_cast<std::uint32_t>(secret_blocks_.size());
+  out.finished_at = network_.simulator().now();
+  outcome_ = out;
+
+  Node& node = network_.node(node_id_);
+  for (const auto& b : secret_blocks_) node.receive_block(b);  // relays network-wide
+  secret_blocks_.clear();
+}
+
+void DoubleSpendAttacker::give_up() {
+  active_ = false;
+  ++generation_;
+  Outcome out;
+  out.gave_up = true;
+  out.secret_blocks = static_cast<std::uint32_t>(secret_blocks_.size());
+  out.finished_at = network_.simulator().now();
+  outcome_ = out;
+  secret_blocks_.clear();
+}
+
+}  // namespace btcfast::sim

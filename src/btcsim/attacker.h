@@ -1,0 +1,69 @@
+// The double-spend attacker: broadcasts a payment publicly while secretly
+// mining a conflicting branch (Rosenfeld's race model). If the secret
+// branch overtakes the public chain after the merchant accepts, releasing
+// it reorgs the payment away — the exact hazard BTCFast defends against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "btc/pow.h"
+#include "btcsim/network.h"
+#include "common/rng.h"
+
+namespace btcfast::sim {
+
+class DoubleSpendAttacker {
+ public:
+  struct Config {
+    double share = 0.1;        ///< q: fraction of global hash rate
+    std::uint32_t target_confirmations = 6;  ///< z the merchant waits for
+    int give_up_deficit = 20;  ///< abandon when this far behind
+  };
+
+  struct Outcome {
+    bool attack_released = false;  ///< secret chain was published
+    bool gave_up = false;
+    std::uint32_t secret_blocks = 0;
+    SimTime finished_at = 0;
+  };
+
+  DoubleSpendAttacker(Network& network, NodeId node_id, Config config,
+                      btc::ScriptPubKey payout, std::uint64_t seed);
+
+  /// Start the attack: `payment_tx` was just broadcast publicly; the
+  /// attacker forks from its current tip and secretly mines blocks whose
+  /// first carries `conflict_tx` (same inputs, attacker-controlled output).
+  void begin_attack(const btc::Transaction& payment_tx, const btc::Transaction& conflict_tx);
+
+  /// Poll-driven progress: the scenario calls this on every simulated
+  /// event boundary (cheap). Checks release / give-up conditions.
+  void tick();
+
+  [[nodiscard]] bool attack_active() const noexcept { return active_; }
+  [[nodiscard]] const std::optional<Outcome>& outcome() const noexcept { return outcome_; }
+
+ private:
+  void schedule_next_block();
+  void schedule_tick();
+  void on_discovery();
+  [[nodiscard]] std::uint32_t public_progress() const;  ///< public blocks since fork
+  void release();
+  void give_up();
+
+  Network& network_;
+  NodeId node_id_;
+  Config config_;
+  btc::ScriptPubKey payout_;
+  Rng rng_;
+
+  bool active_ = false;
+  std::optional<Outcome> outcome_;
+  btc::Txid payment_txid_{};
+  btc::Transaction conflict_tx_{};
+  std::uint32_t fork_height_ = 0;
+  std::vector<btc::Block> secret_blocks_;
+  std::uint64_t generation_ = 0;  ///< invalidates stale scheduled discoveries
+};
+
+}  // namespace btcfast::sim

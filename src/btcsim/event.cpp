@@ -1,0 +1,33 @@
+#include "btcsim/event.h"
+
+namespace btcfast::sim {
+
+void Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now()) when = now();
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move via const_cast is UB-adjacent, so
+  // copy the small wrapper out before popping.
+  Event ev = queue_.top();
+  queue_.pop();
+  clock_.advance_to(ev.time);
+  ev.action();
+  return true;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) step();
+  clock_.advance_to(deadline);
+}
+
+void Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n >= max_events) break;
+  }
+}
+
+}  // namespace btcfast::sim

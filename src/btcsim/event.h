@@ -1,0 +1,57 @@
+// Discrete-event simulator: a time-ordered queue of callbacks driving a
+// simulated clock. Single-threaded and deterministic given a fixed
+// schedule and RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace btcfast::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return clock_.now(); }
+  [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
+
+  /// Schedule an action at an absolute simulated time (>= now).
+  void schedule_at(SimTime when, Action action);
+  /// Schedule an action `delay` ms from now.
+  void schedule_in(SimTime delay, Action action) { schedule_at(now() + delay, std::move(action)); }
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty or the clock passes `deadline`.
+  /// Events scheduled past the deadline remain queued.
+  void run_until(SimTime deadline);
+
+  /// Run until the queue drains (bounded by `max_events` as a runaway stop).
+  void run_all(std::size_t max_events = 10'000'000);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  ///< FIFO tie-break for equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace btcfast::sim

@@ -1,0 +1,34 @@
+#include "btcsim/miner.h"
+
+namespace btcfast::sim {
+
+MinerProcess::MinerProcess(Network& network, NodeId node_id, double share,
+                           btc::ScriptPubKey payout, std::uint64_t seed)
+    : network_(network), node_id_(node_id), share_(share), payout_(payout), rng_(seed) {}
+
+void MinerProcess::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void MinerProcess::schedule_next() {
+  // Mean time between this miner's blocks: interval / share.
+  const double mean_ms =
+      static_cast<double>(network_.params().block_interval_s) * 1000.0 / share_;
+  const SimTime delay = static_cast<SimTime>(rng_.exponential(mean_ms)) + 1;
+  network_.simulator().schedule_in(delay, [this] { on_discovery(); });
+}
+
+void MinerProcess::on_discovery() {
+  if (!running_) return;
+  Node& node = network_.node(node_id_);
+  btc::Block block = node.assemble_block(
+      payout_, static_cast<std::uint32_t>(network_.simulator().now() / 1000));
+  if (btc::mine_block(block, network_.params())) {
+    ++blocks_found_;
+    node.receive_block(block);  // relays to peers
+  }
+  schedule_next();
+}
+
+}  // namespace btcfast::sim

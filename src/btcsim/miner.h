@@ -1,0 +1,42 @@
+// An honest miner process: block discoveries follow an exponential
+// inter-arrival distribution scaled by the miner's hash-rate share; on a
+// discovery it assembles a block from its node's mempool, grinds real PoW
+// (cheap at regtest difficulty) and broadcasts.
+#pragma once
+
+#include "btc/pow.h"
+#include "btcsim/network.h"
+#include "common/rng.h"
+
+namespace btcfast::sim {
+
+class MinerProcess {
+ public:
+  /// `share` in (0,1]: fraction of global hash rate. Global rate is
+  /// calibrated so the *network* mines a block every params.block_interval.
+  MinerProcess(Network& network, NodeId node_id, double share, btc::ScriptPubKey payout,
+               std::uint64_t seed);
+
+  /// Begin mining (schedules the first discovery).
+  void start();
+  /// Stop scheduling further blocks (pending discovery still fires but is
+  /// discarded).
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] std::uint64_t blocks_found() const noexcept { return blocks_found_; }
+  [[nodiscard]] double share() const noexcept { return share_; }
+
+ private:
+  void schedule_next();
+  void on_discovery();
+
+  Network& network_;
+  NodeId node_id_;
+  double share_;
+  btc::ScriptPubKey payout_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t blocks_found_ = 0;
+};
+
+}  // namespace btcfast::sim

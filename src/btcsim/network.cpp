@@ -1,0 +1,77 @@
+#include "btcsim/network.h"
+
+namespace btcfast::sim {
+
+Network::Network(Simulator& sim, btc::ChainParams params, NetworkConfig config,
+                 std::uint64_t seed)
+    : sim_(sim), params_(std::move(params)), config_(config), rng_(seed) {}
+
+NodeId Network::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, params_, this));
+  return id;
+}
+
+SimTime Network::sample_latency() {
+  SimTime lat = config_.base_latency;
+  if (config_.jitter > 0) lat += static_cast<SimTime>(rng_.below(static_cast<std::uint64_t>(config_.jitter)));
+  return lat;
+}
+
+void Network::set_isolated(NodeId id, bool isolated) {
+  if (isolated) {
+    isolated_.insert(id);
+  } else {
+    isolated_.erase(id);
+  }
+}
+
+void Network::broadcast_tx(NodeId from, const btc::Transaction& tx) {
+  if (isolated_.contains(from)) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<NodeId>(i) == from) continue;
+    if (isolated_.contains(static_cast<NodeId>(i))) continue;
+    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+      ++drops_;
+      continue;
+    }
+    Node* dest = nodes_[i].get();
+    ++deliveries_;
+    sim_.schedule_in(sample_latency(), [dest, tx] { dest->receive_tx(tx); });
+  }
+}
+
+void Network::broadcast_block(NodeId from, const btc::Block& block) {
+  if (isolated_.contains(from)) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<NodeId>(i) == from) continue;
+    if (isolated_.contains(static_cast<NodeId>(i))) continue;
+    if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+      ++drops_;
+      continue;
+    }
+    Node* dest = nodes_[i].get();
+    ++deliveries_;
+    sim_.schedule_in(sample_latency(), [dest, block] { dest->receive_block(block); });
+  }
+}
+
+void Network::enable_sync(SimTime period) {
+  sync_period_ = period;
+  sim_.schedule_in(period, [this] { sync_round(); });
+}
+
+void Network::sync_round() {
+  if (nodes_.size() >= 2) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (isolated_.contains(static_cast<NodeId>(i))) continue;
+      std::size_t j = static_cast<std::size_t>(rng_.below(nodes_.size() - 1));
+      if (j >= i) ++j;  // any peer but self
+      if (isolated_.contains(static_cast<NodeId>(j))) continue;
+      nodes_[i]->catch_up_from(*nodes_[j]);
+    }
+  }
+  if (sync_period_ > 0) sim_.schedule_in(sync_period_, [this] { sync_round(); });
+}
+
+}  // namespace btcfast::sim

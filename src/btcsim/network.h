@@ -1,0 +1,77 @@
+// The simulated P2P network: owns the nodes and delivers broadcasts with
+// configurable propagation latency (base + jitter).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "btcsim/event.h"
+#include "btcsim/node.h"
+#include "common/rng.h"
+
+namespace btcfast::sim {
+
+struct NetworkConfig {
+  SimTime base_latency = 50;    ///< ms, one hop
+  SimTime jitter = 50;          ///< uniform extra delay in [0, jitter)
+  /// Probability each individual delivery is silently dropped (failure
+  /// injection). Pair with enable_sync() so nodes re-converge.
+  double loss_rate = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, btc::ChainParams params, NetworkConfig config, std::uint64_t seed);
+
+  /// Create a node; returns its id. Topology is a full mesh.
+  NodeId add_node();
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Relay a transaction from `from` to every other node after latency.
+  void broadcast_tx(NodeId from, const btc::Transaction& tx);
+  /// Relay a block likewise.
+  void broadcast_block(NodeId from, const btc::Block& block);
+
+  /// Inject a tx/block at a node at the current time (origin of traffic).
+  void submit_tx(NodeId at, const btc::Transaction& tx) { node(at).receive_tx(tx); }
+  void submit_block(NodeId at, const btc::Block& block) { node(at).receive_block(block); }
+
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const btc::ChainParams& params() const noexcept { return params_; }
+
+  /// Messages delivered so far (diagnostics).
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+
+  /// Start periodic anti-entropy: every `period` each node pulls missing
+  /// blocks from one random peer. Makes lossy networks converge.
+  void enable_sync(SimTime period);
+
+  /// Eclipse a node: it neither receives nor relays anything until
+  /// released (direct submit_* at the node itself still works, modelling
+  /// the eclipsing adversary's private feed).
+  void set_isolated(NodeId id, bool isolated);
+  [[nodiscard]] bool is_isolated(NodeId id) const {
+    return isolated_.contains(id);
+  }
+
+ private:
+  [[nodiscard]] SimTime sample_latency();
+  void sync_round();
+
+  Simulator& sim_;
+  btc::ChainParams params_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t drops_ = 0;
+  SimTime sync_period_ = 0;
+  std::unordered_set<NodeId> isolated_;
+};
+
+}  // namespace btcfast::sim

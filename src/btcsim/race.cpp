@@ -1,0 +1,48 @@
+#include "btcsim/race.h"
+
+#include <cmath>
+
+namespace btcfast::sim {
+
+bool simulate_double_spend_race(Rng& rng, const RaceConfig& config) {
+  // Phase 1: merchant waits for z honest blocks; attacker mines secretly.
+  std::uint32_t honest = 0;
+  std::uint32_t attacker = 0;
+  while (honest < config.z) {
+    if (rng.chance(config.q)) {
+      ++attacker;
+    } else {
+      ++honest;
+    }
+  }
+  // z == 0 means the merchant accepted instantly; the attacker still must
+  // get ahead of the honest chain (which starts even).
+
+  // Phase 2: gambler's ruin — attacker wins by getting strictly ahead.
+  for (;;) {
+    if (attacker > honest) return true;
+    if (honest - attacker >= static_cast<std::uint32_t>(config.give_up_deficit)) return false;
+    if (rng.chance(config.q)) {
+      ++attacker;
+    } else {
+      ++honest;
+    }
+  }
+}
+
+MonteCarloResult estimate_double_spend_probability(const RaceConfig& config,
+                                                   std::uint64_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t wins = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (simulate_double_spend_race(rng, config)) ++wins;
+  }
+  MonteCarloResult r;
+  r.trials = trials;
+  r.success_rate = static_cast<double>(wins) / static_cast<double>(trials);
+  r.stderr_ = std::sqrt(r.success_rate * (1.0 - r.success_rate) /
+                        static_cast<double>(trials));
+  return r;
+}
+
+}  // namespace btcfast::sim

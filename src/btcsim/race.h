@@ -1,0 +1,36 @@
+// Lightweight block-race model for Monte-Carlo estimation of the
+// double-spend success probability (E3): abstracts mining to Bernoulli
+// trials (each next block is the attacker's with probability q), which is
+// exact for exponential miners and lets us run millions of trials. The
+// full network simulator (attacker.h) exercises the same race with real
+// blocks; this model validates the closed forms in src/analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace btcfast::sim {
+
+struct RaceConfig {
+  double q = 0.1;          ///< attacker hash share (0 < q < 1)
+  std::uint32_t z = 6;     ///< confirmations the merchant waits for
+  int give_up_deficit = 100;  ///< attacker abandons this far behind
+};
+
+/// One race: returns true iff the attacker's chain strictly overtakes the
+/// honest chain after the merchant has seen z confirmations.
+[[nodiscard]] bool simulate_double_spend_race(Rng& rng, const RaceConfig& config);
+
+struct MonteCarloResult {
+  double success_rate = 0.0;
+  double stderr_ = 0.0;  ///< standard error of the estimate
+  std::uint64_t trials = 0;
+};
+
+/// Repeated races; deterministic for a given seed.
+[[nodiscard]] MonteCarloResult estimate_double_spend_probability(const RaceConfig& config,
+                                                                 std::uint64_t trials,
+                                                                 std::uint64_t seed);
+
+}  // namespace btcfast::sim

@@ -1,0 +1,52 @@
+// Byte-buffer aliases and small helpers shared by every module.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace btcfast {
+
+/// Owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only byte view.
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Non-owning writable byte view.
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// Fixed-size byte array (hashes, keys, ...).
+template <std::size_t N>
+using ByteArray = std::array<std::uint8_t, N>;
+
+/// Constant-time-ish equality for fixed buffers (not security critical in
+/// the simulator, but avoids accidental short-circuit habits).
+[[nodiscard]] inline bool equal_bytes(ByteSpan a, ByteSpan b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+/// Append a span to an owning buffer.
+inline void append(Bytes& out, ByteSpan data) { out.insert(out.end(), data.begin(), data.end()); }
+
+/// View a std::string's bytes.
+[[nodiscard]] inline ByteSpan as_bytes(const std::string& s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a span into a fixed array; the span must be exactly N bytes.
+template <std::size_t N>
+[[nodiscard]] ByteArray<N> to_array(ByteSpan s) {
+  ByteArray<N> out{};
+  if (s.size() == N) std::memcpy(out.data(), s.data(), N);
+  return out;
+}
+
+}  // namespace btcfast

@@ -1,0 +1,33 @@
+// Simulated time. All protocol components take time as an input rather
+// than reading a wall clock, which keeps runs deterministic and lets the
+// event simulator compress hours of Bitcoin mining into milliseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace btcfast {
+
+/// Simulated milliseconds since scenario start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMillisecond = 1;
+constexpr SimTime kSecond = 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Monotone simulated clock. Owned by the event loop; components hold a
+/// const reference for reads.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advance to an absolute time; never moves backwards.
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace btcfast

@@ -1,0 +1,22 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace btcfast {
+
+/// Lower-case hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(ByteSpan data);
+
+/// Hex encoding in byte-reversed order (Bitcoin's display convention for
+/// txids and block hashes).
+[[nodiscard]] std::string to_hex_reversed(ByteSpan data);
+
+/// Decode a hex string (upper or lower case). Returns std::nullopt on any
+/// malformed input (odd length, non-hex character).
+[[nodiscard]] std::optional<Bytes> from_hex(const std::string& hex);
+
+}  // namespace btcfast

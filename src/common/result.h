@@ -1,0 +1,77 @@
+// Minimal expected-style Result for protocol paths where failure is a
+// normal outcome (rejected transaction, invalid evidence, ...). Exceptions
+// remain for precondition violations at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace btcfast {
+
+/// Error payload: a machine-checkable code plus human-readable detail.
+struct Error {
+  std::string code;    ///< stable identifier, e.g. "tx-conflict"
+  std::string detail;  ///< free-form diagnostic
+
+  [[nodiscard]] std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+/// Result<T>: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT: implicit by design
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] const Error& error() const& {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<Error>(v_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)), ok_(false) {}  // NOLINT: implicit by design
+
+  [[nodiscard]] static Status success() { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  [[nodiscard]] const Error& error() const {
+    if (ok_) throw std::logic_error("Status::error on success");
+    return err_;
+  }
+
+ private:
+  Error err_{};
+  bool ok_ = true;
+};
+
+/// Convenience factory.
+[[nodiscard]] inline Error make_error(std::string code, std::string detail = {}) {
+  return Error{std::move(code), std::move(detail)};
+}
+
+}  // namespace btcfast

@@ -1,0 +1,49 @@
+// Deterministic RNG (xoshiro256**) so every simulation run is
+// reproducible from its seed. Not cryptographically secure — key
+// generation in the simulator uses it deliberately for replayability.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace btcfast {
+
+/// xoshiro256** with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound) — bound must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fill a buffer with pseudo-random bytes.
+  void fill(MutByteSpan out) noexcept;
+
+  /// Fixed-size random array.
+  template <std::size_t N>
+  [[nodiscard]] ByteArray<N> bytes() noexcept {
+    ByteArray<N> a{};
+    fill({a.data(), a.size()});
+    return a;
+  }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace btcfast

@@ -1,0 +1,143 @@
+#include "common/serialize.h"
+
+namespace btcfast {
+
+void Writer::u16le(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32le(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64le(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u32be(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64be(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::varint(std::uint64_t v) {
+  if (v < 0xfd) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    u8(0xfd);
+    u16le(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffff) {
+    u8(0xfe);
+    u32le(static_cast<std::uint32_t>(v));
+  } else {
+    u8(0xff);
+    u64le(v);
+  }
+}
+
+bool Reader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::optional<std::uint8_t> Reader::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return std::nullopt;
+  return *p;
+}
+
+std::optional<std::uint16_t> Reader::u16le() {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, &p)) return std::nullopt;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::optional<std::uint32_t> Reader::u32le() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64le() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::uint32_t> Reader::u32be() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::uint64_t> Reader::u64be() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::int64_t> Reader::i64le() {
+  auto v = u64le();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<std::uint64_t> Reader::varint() {
+  auto tag = u8();
+  if (!tag) return std::nullopt;
+  switch (*tag) {
+    case 0xfd: {
+      auto v = u16le();
+      if (!v) return std::nullopt;
+      return static_cast<std::uint64_t>(*v);
+    }
+    case 0xfe: {
+      auto v = u32le();
+      if (!v) return std::nullopt;
+      return static_cast<std::uint64_t>(*v);
+    }
+    case 0xff:
+      return u64le();
+    default:
+      return static_cast<std::uint64_t>(*tag);
+  }
+}
+
+std::optional<Bytes> Reader::bytes(std::size_t n) {
+  const std::uint8_t* p = nullptr;
+  if (!take(n, &p)) return std::nullopt;
+  return Bytes(p, p + n);
+}
+
+std::optional<Bytes> Reader::bytes_with_len(std::size_t max_len) {
+  auto n = varint();
+  if (!n || *n > max_len) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  return bytes(static_cast<std::size_t>(*n));
+}
+
+std::optional<std::string> Reader::str_with_len(std::size_t max_len) {
+  auto b = bytes_with_len(max_len);
+  if (!b) return std::nullopt;
+  return std::string(b->begin(), b->end());
+}
+
+}  // namespace btcfast

@@ -1,0 +1,98 @@
+#include "crypto/base58.h"
+
+#include <algorithm>
+#include <array>
+
+#include "crypto/sha256.h"
+
+namespace btcfast::crypto {
+namespace {
+
+constexpr char kAlphabet[] = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+std::array<int, 128> build_rev() {
+  std::array<int, 128> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 58; ++i) rev[static_cast<unsigned char>(kAlphabet[i])] = i;
+  return rev;
+}
+
+const std::array<int, 128> kRev = build_rev();
+
+}  // namespace
+
+std::string base58_encode(ByteSpan data) {
+  // Count leading zeros; they map to '1'.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Base conversion via repeated division in a big-endian digit buffer.
+  std::vector<std::uint8_t> digits;  // base58 digits, little-endian
+  for (std::size_t i = zeros; i < data.size(); ++i) {
+    std::uint32_t carry = data[i];
+    for (auto& d : digits) {
+      const std::uint32_t acc = (static_cast<std::uint32_t>(d) << 8) + carry;
+      d = static_cast<std::uint8_t>(acc % 58);
+      carry = acc / 58;
+    }
+    while (carry != 0) {
+      digits.push_back(static_cast<std::uint8_t>(carry % 58));
+      carry /= 58;
+    }
+  }
+
+  std::string out(zeros, '1');
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+std::optional<Bytes> base58_decode(const std::string& s) {
+  std::size_t zeros = 0;
+  while (zeros < s.size() && s[zeros] == '1') ++zeros;
+
+  Bytes bytes;  // little-endian byte accumulator
+  for (std::size_t i = zeros; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c >= 128 || kRev[c] < 0) return std::nullopt;
+    std::uint32_t carry = static_cast<std::uint32_t>(kRev[c]);
+    for (auto& b : bytes) {
+      const std::uint32_t acc = static_cast<std::uint32_t>(b) * 58 + carry;
+      b = static_cast<std::uint8_t>(acc & 0xff);
+      carry = acc >> 8;
+    }
+    while (carry != 0) {
+      bytes.push_back(static_cast<std::uint8_t>(carry & 0xff));
+      carry >>= 8;
+    }
+  }
+
+  Bytes out(zeros, 0);
+  out.insert(out.end(), bytes.rbegin(), bytes.rend());
+  return out;
+}
+
+std::string base58check_encode(std::uint8_t version, ByteSpan payload) {
+  Bytes full;
+  full.reserve(payload.size() + 5);
+  full.push_back(version);
+  append(full, payload);
+  const Sha256Digest check = sha256d({full.data(), full.size()});
+  full.insert(full.end(), check.begin(), check.begin() + 4);
+  return base58_encode({full.data(), full.size()});
+}
+
+std::optional<Base58CheckDecoded> base58check_decode(const std::string& s) {
+  auto raw = base58_decode(s);
+  if (!raw || raw->size() < 5) return std::nullopt;
+  const std::size_t body_len = raw->size() - 4;
+  const Sha256Digest check = sha256d({raw->data(), body_len});
+  if (!std::equal(check.begin(), check.begin() + 4, raw->begin() + static_cast<std::ptrdiff_t>(body_len))) {
+    return std::nullopt;
+  }
+  Base58CheckDecoded out;
+  out.version = (*raw)[0];
+  out.payload.assign(raw->begin() + 1, raw->begin() + static_cast<std::ptrdiff_t>(body_len));
+  return out;
+}
+
+}  // namespace btcfast::crypto

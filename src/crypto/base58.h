@@ -1,0 +1,25 @@
+// Base58 and Base58Check (Bitcoin address encoding).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace btcfast::crypto {
+
+/// Plain Base58 encoding.
+[[nodiscard]] std::string base58_encode(ByteSpan data);
+/// Plain Base58 decoding; nullopt on invalid characters.
+[[nodiscard]] std::optional<Bytes> base58_decode(const std::string& s);
+
+/// Base58Check: version byte + payload + 4-byte sha256d checksum.
+[[nodiscard]] std::string base58check_encode(std::uint8_t version, ByteSpan payload);
+/// Decode and verify checksum; returns (version, payload).
+struct Base58CheckDecoded {
+  std::uint8_t version = 0;
+  Bytes payload;
+};
+[[nodiscard]] std::optional<Base58CheckDecoded> base58check_decode(const std::string& s);
+
+}  // namespace btcfast::crypto

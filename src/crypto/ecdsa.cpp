@@ -1,0 +1,130 @@
+#include "crypto/ecdsa.h"
+
+#include "crypto/hmac.h"
+
+namespace btcfast::crypto {
+namespace {
+
+/// RFC 6979 nonce generation (SHA-256 variant), returning k in [1, n-1].
+U256 rfc6979_nonce(const U256& d, const Sha256Digest& digest) noexcept {
+  const U256& n = secp::order_n();
+  const auto x = d.to_be_bytes();
+
+  ByteArray<32> v{};
+  ByteArray<32> k{};
+  v.fill(0x01);
+  k.fill(0x00);
+
+  Bytes buf;
+  buf.reserve(32 + 1 + 32 + 32);
+
+  auto hmac_update = [&](std::uint8_t sep) {
+    buf.assign(v.begin(), v.end());
+    buf.push_back(sep);
+    buf.insert(buf.end(), x.begin(), x.end());
+    buf.insert(buf.end(), digest.begin(), digest.end());
+    k = hmac_sha256({k.data(), k.size()}, {buf.data(), buf.size()});
+    v = hmac_sha256({k.data(), k.size()}, {v.data(), v.size()});
+  };
+
+  hmac_update(0x00);
+  hmac_update(0x01);
+
+  for (;;) {
+    v = hmac_sha256({k.data(), k.size()}, {v.data(), v.size()});
+    const U256 cand = U256::from_be_bytes({v.data(), v.size()});
+    if (!cand.is_zero() && cand < n) return cand;
+    buf.assign(v.begin(), v.end());
+    buf.push_back(0x00);
+    k = hmac_sha256({k.data(), k.size()}, {buf.data(), buf.size()});
+    v = hmac_sha256({k.data(), k.size()}, {v.data(), v.size()});
+  }
+}
+
+U256 digest_to_scalar(const Sha256Digest& digest) noexcept {
+  return secp::nreduce(U256::from_be_bytes({digest.data(), digest.size()}));
+}
+
+}  // namespace
+
+std::optional<PrivateKey> PrivateKey::from_bytes(ByteSpan b) noexcept {
+  if (b.size() != 32) return std::nullopt;
+  return from_scalar(U256::from_be_bytes(b));
+}
+
+std::optional<PrivateKey> PrivateKey::from_scalar(const U256& d) noexcept {
+  if (d.is_zero() || d >= secp::order_n()) return std::nullopt;
+  return PrivateKey(d);
+}
+
+PublicKey PublicKey::derive(const PrivateKey& key) noexcept {
+  return PublicKey(secp::to_affine(secp::scalar_mul_base(key.scalar())));
+}
+
+std::optional<PublicKey> PublicKey::parse(ByteSpan b) noexcept {
+  auto p = secp::decompress(b);
+  if (!p) return std::nullopt;
+  return PublicKey(*p);
+}
+
+ByteArray<64> Signature::serialize() const noexcept {
+  ByteArray<64> out{};
+  const auto rb = r.to_be_bytes();
+  const auto sb = s.to_be_bytes();
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = rb[i];
+    out[32 + i] = sb[i];
+  }
+  return out;
+}
+
+std::optional<Signature> Signature::parse(ByteSpan b) noexcept {
+  if (b.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.r = U256::from_be_bytes(b.first(32));
+  sig.s = U256::from_be_bytes(b.subspan(32));
+  const U256& n = secp::order_n();
+  if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= n || sig.s >= n) return std::nullopt;
+  return sig;
+}
+
+Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) noexcept {
+  const U256& n = secp::order_n();
+  const U256 z = digest_to_scalar(digest);
+
+  U256 k = rfc6979_nonce(key.scalar(), digest);
+  for (;;) {
+    const secp::AffinePoint rp = secp::to_affine(secp::scalar_mul_base(k));
+    const U256 r = secp::nreduce(rp.x);
+    if (!r.is_zero()) {
+      const U256 kinv = secp::ninv(k);
+      U256 s = secp::nmul(kinv, secp::nadd(z, secp::nmul(r, key.scalar())));
+      if (!s.is_zero()) {
+        if (s > secp::half_order()) s = n - s;  // low-s normalization
+        return Signature{r, s};
+      }
+    }
+    // Astronomically unlikely: derive a fresh nonce by re-keying on k.
+    const auto kb = k.to_be_bytes();
+    const Sha256Digest rehash = sha256({kb.data(), kb.size()});
+    k = U256::from_be_bytes({rehash.data(), rehash.size()});
+    if (k.is_zero() || k >= n) k = U256::one();
+  }
+}
+
+bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, const Signature& sig) noexcept {
+  const U256& n = secp::order_n();
+  if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= n || sig.s >= n) return false;
+
+  const U256 z = digest_to_scalar(digest);
+  const U256 w = secp::ninv(sig.s);
+  const U256 u1 = secp::nmul(z, w);
+  const U256 u2 = secp::nmul(sig.r, w);
+
+  const secp::JacobianPoint rj = secp::double_scalar_mul(u1, u2, key.point());
+  if (rj.is_infinity()) return false;
+  const secp::AffinePoint rp = secp::to_affine(rj);
+  return secp::nreduce(rp.x) == sig.r;
+}
+
+}  // namespace btcfast::crypto

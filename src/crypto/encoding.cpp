@@ -1,0 +1,81 @@
+#include "crypto/encoding.h"
+
+#include "crypto/base58.h"
+
+namespace btcfast::crypto {
+namespace {
+
+/// Minimal big-endian magnitude of a U256 with DER sign-padding.
+Bytes der_integer(const U256& v) {
+  const auto be = v.to_be_bytes();
+  std::size_t first = 0;
+  while (first < 31 && be[first] == 0) ++first;
+  Bytes out;
+  if (be[first] & 0x80) out.push_back(0x00);  // keep it positive
+  out.insert(out.end(), be.begin() + static_cast<std::ptrdiff_t>(first), be.end());
+  return out;
+}
+
+/// Strict INTEGER parse: returns value and advances `pos`.
+std::optional<U256> parse_der_integer(ByteSpan der, std::size_t& pos) {
+  if (pos + 2 > der.size() || der[pos] != 0x02) return std::nullopt;
+  const std::size_t len = der[pos + 1];
+  pos += 2;
+  if (len == 0 || len > 33 || pos + len > der.size()) return std::nullopt;
+  // Strictness: no negative values, no non-minimal padding.
+  if (der[pos] & 0x80) return std::nullopt;
+  if (len > 1 && der[pos] == 0x00 && !(der[pos + 1] & 0x80)) return std::nullopt;
+  ByteArray<32> buf{};
+  const std::size_t skip = (len == 33) ? 1 : 0;  // the sign pad byte
+  if (len == 33 && der[pos] != 0x00) return std::nullopt;
+  for (std::size_t i = skip; i < len; ++i) buf[32 - (len - skip) + (i - skip)] = der[pos + i];
+  pos += len;
+  return U256::from_be_bytes({buf.data(), buf.size()});
+}
+
+}  // namespace
+
+Bytes signature_to_der(const Signature& sig) {
+  const Bytes r = der_integer(sig.r);
+  const Bytes s = der_integer(sig.s);
+  Bytes out;
+  out.reserve(6 + r.size() + s.size());
+  out.push_back(0x30);  // SEQUENCE
+  out.push_back(static_cast<std::uint8_t>(4 + r.size() + s.size()));
+  out.push_back(0x02);  // INTEGER
+  out.push_back(static_cast<std::uint8_t>(r.size()));
+  append(out, r);
+  out.push_back(0x02);
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  append(out, s);
+  return out;
+}
+
+std::optional<Signature> signature_from_der(ByteSpan der) {
+  if (der.size() < 8 || der.size() > 72) return std::nullopt;
+  if (der[0] != 0x30 || der[1] != der.size() - 2) return std::nullopt;
+  std::size_t pos = 2;
+  const auto r = parse_der_integer(der, pos);
+  if (!r) return std::nullopt;
+  const auto s = parse_der_integer(der, pos);
+  if (!s || pos != der.size()) return std::nullopt;
+  const U256& n = secp::order_n();
+  if (r->is_zero() || s->is_zero() || *r >= n || *s >= n) return std::nullopt;
+  return Signature{*r, *s};
+}
+
+std::string private_key_to_wif(const PrivateKey& key) {
+  const auto raw = key.to_bytes();
+  Bytes payload(raw.begin(), raw.end());
+  payload.push_back(0x01);  // compressed-pubkey flag
+  return base58check_encode(0x80, payload);
+}
+
+std::optional<PrivateKey> private_key_from_wif(const std::string& wif) {
+  const auto decoded = base58check_decode(wif);
+  if (!decoded || decoded->version != 0x80) return std::nullopt;
+  if (decoded->payload.size() != 33 || decoded->payload.back() != 0x01) return std::nullopt;
+  return PrivateKey::from_bytes({decoded->payload.data(), 32});
+}
+
+}  // namespace btcfast::crypto

@@ -1,0 +1,28 @@
+// Bitcoin wire encodings for keys and signatures: strict-DER ECDSA
+// signatures (BIP-66 rules) and WIF private-key serialization.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/ecdsa.h"
+
+namespace btcfast::crypto {
+
+/// DER-encode a signature: SEQUENCE { INTEGER r, INTEGER s } with minimal
+/// integer encodings (no redundant leading zeros; 0x00 pad only when the
+/// high bit is set).
+[[nodiscard]] Bytes signature_to_der(const Signature& sig);
+
+/// Strict (BIP-66 style) DER parse; rejects non-minimal or malformed
+/// encodings and out-of-range values.
+[[nodiscard]] std::optional<Signature> signature_from_der(ByteSpan der);
+
+/// WIF (wallet import format) for a private key, compressed-pubkey flavor
+/// (mainnet version byte 0x80, trailing 0x01 flag).
+[[nodiscard]] std::string private_key_to_wif(const PrivateKey& key);
+
+/// Parse WIF; rejects bad checksums, wrong lengths, and invalid scalars.
+[[nodiscard]] std::optional<PrivateKey> private_key_from_wif(const std::string& wif);
+
+}  // namespace btcfast::crypto

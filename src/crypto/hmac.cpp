@@ -1,0 +1,31 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace btcfast::crypto {
+
+Sha256Digest hmac_sha256(ByteSpan key, ByteSpan message) noexcept {
+  std::uint8_t k[64]{};
+  if (key.size() > 64) {
+    const Sha256Digest kh = sha256(key);
+    std::memcpy(k, kh.data(), kh.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update({ipad, 64}).update(message);
+  const Sha256Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update({opad, 64}).update({inner_digest.data(), inner_digest.size()});
+  return outer.finalize();
+}
+
+}  // namespace btcfast::crypto

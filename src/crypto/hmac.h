@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104), needed by RFC-6979 deterministic ECDSA nonces.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace btcfast::crypto {
+
+/// HMAC-SHA256(key, message).
+[[nodiscard]] Sha256Digest hmac_sha256(ByteSpan key, ByteSpan message) noexcept;
+
+}  // namespace btcfast::crypto

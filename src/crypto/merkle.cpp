@@ -1,0 +1,71 @@
+#include "crypto/merkle.h"
+
+namespace btcfast::crypto {
+namespace {
+
+Hash32 hash_pair(const Hash32& left, const Hash32& right) noexcept {
+  ByteArray<64> cat{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    cat[i] = left[i];
+    cat[32 + i] = right[i];
+  }
+  return sha256d({cat.data(), cat.size()});
+}
+
+}  // namespace
+
+Hash32 merkle_root(const std::vector<Hash32>& leaves) noexcept {
+  if (leaves.empty()) return Hash32{};
+  std::vector<Hash32> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash32& left = level[i];
+      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleBranch merkle_branch(const std::vector<Hash32>& leaves, std::uint32_t index) {
+  MerkleBranch branch;
+  branch.index = index;
+  if (leaves.empty() || index >= leaves.size()) return branch;
+
+  std::vector<Hash32> level = leaves;
+  std::uint32_t pos = index;
+  while (level.size() > 1) {
+    const std::uint32_t sibling = pos ^ 1;
+    branch.siblings.push_back(sibling < level.size() ? level[sibling] : level[pos]);
+
+    std::vector<Hash32> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash32& left = level[i];
+      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+    pos >>= 1;
+  }
+  return branch;
+}
+
+Hash32 merkle_fold(const Hash32& leaf, const MerkleBranch& branch) noexcept {
+  Hash32 acc = leaf;
+  std::uint32_t pos = branch.index;
+  for (const Hash32& sibling : branch.siblings) {
+    acc = (pos & 1) ? hash_pair(sibling, acc) : hash_pair(acc, sibling);
+    pos >>= 1;
+  }
+  return acc;
+}
+
+bool merkle_verify(const Hash32& leaf, const MerkleBranch& branch, const Hash32& root) noexcept {
+  return merkle_fold(leaf, branch) == root;
+}
+
+}  // namespace btcfast::crypto

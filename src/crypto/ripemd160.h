@@ -1,0 +1,19 @@
+// RIPEMD-160, used by Bitcoin's HASH160 = RIPEMD160(SHA256(x)) for
+// address derivation.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace btcfast::crypto {
+
+/// 20-byte digest.
+using Ripemd160Digest = ByteArray<20>;
+
+/// One-shot RIPEMD-160.
+[[nodiscard]] Ripemd160Digest ripemd160(ByteSpan data) noexcept;
+
+/// Bitcoin HASH160: RIPEMD160(SHA256(data)).
+[[nodiscard]] Ripemd160Digest hash160(ByteSpan data) noexcept;
+
+}  // namespace btcfast::crypto

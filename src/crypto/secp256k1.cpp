@@ -1,0 +1,361 @@
+#include "crypto/secp256k1.h"
+
+#include <array>
+#include <vector>
+
+namespace btcfast::crypto::secp {
+namespace {
+
+// p = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE FFFFFC2F
+constexpr U256 make_p() {
+  U256 p;
+  p.w[0] = 0xFFFFFFFEFFFFFC2FULL;
+  p.w[1] = 0xFFFFFFFFFFFFFFFFULL;
+  p.w[2] = 0xFFFFFFFFFFFFFFFFULL;
+  p.w[3] = 0xFFFFFFFFFFFFFFFFULL;
+  return p;
+}
+
+// n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141
+constexpr U256 make_n() {
+  U256 n;
+  n.w[0] = 0xBFD25E8CD0364141ULL;
+  n.w[1] = 0xBAAEDCE6AF48A03BULL;
+  n.w[2] = 0xFFFFFFFFFFFFFFFEULL;
+  n.w[3] = 0xFFFFFFFFFFFFFFFFULL;
+  return n;
+}
+
+const U256 kP = make_p();
+const U256 kN = make_n();
+const U256 kHalfN = make_n() >> 1;
+
+// 2^256 ≡ kC (mod p) with kC = 2^32 + 977.
+const U256 kC(0x1000003D1ULL);
+
+/// Reduce a 512-bit value mod p using the pseudo-Mersenne fold.
+U256 reduce512(const U512& t) noexcept {
+  // First fold: t = hi*2^256 + lo ≡ hi*C + lo.
+  const U512 s1 = U512::from_u256(t.low256()) + t.high256().mul_wide(kC);
+  // Second fold: the high part of s1 is < 2^34.
+  const U512 s2 = U512::from_u256(s1.low256()) + s1.high256().mul_wide(kC);
+  U256 r = s2.low256();
+  if (!s2.high256().is_zero()) {
+    // s2 overflowed 2^256 exactly once; 2^256 ≡ C.
+    bool carry = false;
+    r = add_carry(r, kC, carry);
+  }
+  while (r >= kP) r = r - kP;
+  return r;
+}
+
+// 2^256 ≡ kNC (mod n); kNC = 2^256 - n is a 129-bit constant.
+const U256 kNC = U256::zero() - make_n();  // wrapping arithmetic gives 2^256 - n
+
+/// Reduce a 512-bit value mod n via repeated folding of the high part.
+U256 reduce512_n(const U512& t) noexcept {
+  // Fold 1: hi (<=256 bits) * c (129 bits) fits 385 bits.
+  const U512 s1 = U512::from_u256(t.low256()) + t.high256().mul_wide(kNC);
+  // Fold 2: hi < 2^129; product < 2^258.
+  const U512 s2 = U512::from_u256(s1.low256()) + s1.high256().mul_wide(kNC);
+  // Fold 3: hi < 2^3; product < 2^132.
+  const U512 s3 = U512::from_u256(s2.low256()) + s2.high256().mul_wide(kNC);
+  U256 r = s3.low256();
+  if (!s3.high256().is_zero()) {
+    bool carry = false;
+    r = add_carry(r, kNC, carry);
+  }
+  while (r >= kN) r = r - kN;
+  return r;
+}
+
+/// a^e mod p with the fast field multiply.
+U256 fpow(const U256& a, const U256& e) noexcept {
+  U256 result = U256::one();
+  U256 base = a;
+  const int top = e.top_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.bit(static_cast<unsigned>(i))) result = fmul(result, base);
+    base = fsqr(base);
+  }
+  return result;
+}
+
+AffinePoint make_generator() {
+  AffinePoint g;
+  g.infinity = false;
+  g.x = *U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  g.y = *U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+  return g;
+}
+
+const AffinePoint kG = make_generator();
+
+}  // namespace
+
+const U256& field_p() noexcept { return kP; }
+const U256& order_n() noexcept { return kN; }
+const U256& half_order() noexcept { return kHalfN; }
+const AffinePoint& generator() noexcept { return kG; }
+
+U256 fadd(const U256& a, const U256& b) noexcept { return addmod(a, b, kP); }
+U256 fsub(const U256& a, const U256& b) noexcept { return submod(a, b, kP); }
+U256 fmul(const U256& a, const U256& b) noexcept { return reduce512(a.mul_wide(b)); }
+U256 fsqr(const U256& a) noexcept { return reduce512(a.mul_wide(a)); }
+
+U256 fneg(const U256& a) noexcept { return a.is_zero() ? a : kP - a; }
+
+U256 nadd(const U256& a, const U256& b) noexcept { return addmod(a, b, kN); }
+
+U256 nmul(const U256& a, const U256& b) noexcept { return reduce512_n(a.mul_wide(b)); }
+
+U256 ninv(const U256& a) noexcept {
+  // Fermat with the fast scalar multiply.
+  U256 result = U256::one();
+  U256 base = a;
+  const U256 e = kN - U256(2);
+  const int top = e.top_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.bit(static_cast<unsigned>(i))) result = nmul(result, base);
+    base = nmul(base, base);
+  }
+  return result;
+}
+
+U256 nreduce(const U256& a) noexcept { return a >= kN ? a - kN : a; }
+
+U256 finv(const U256& a) noexcept { return fpow(a, kP - U256(2)); }
+
+std::optional<U256> fsqrt(const U256& a) noexcept {
+  // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
+  const U256 exponent = (kP + U256::one()) >> 2;
+  const U256 cand = fpow(a, exponent);
+  if (fsqr(cand) != a) return std::nullopt;
+  return cand;
+}
+
+JacobianPoint to_jacobian(const AffinePoint& p) noexcept {
+  if (p.infinity) return JacobianPoint::identity();
+  return {p.x, p.y, U256::one()};
+}
+
+AffinePoint to_affine(const JacobianPoint& p) noexcept {
+  if (p.is_infinity()) return AffinePoint::identity();
+  const U256 zinv = finv(p.z);
+  const U256 zinv2 = fsqr(zinv);
+  const U256 zinv3 = fmul(zinv2, zinv);
+  return {fmul(p.x, zinv2), fmul(p.y, zinv3), false};
+}
+
+JacobianPoint jdouble(const JacobianPoint& p) noexcept {
+  if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::identity();
+  // Standard a=0 doubling: S = 4xy², M = 3x², x' = M² - 2S,
+  // y' = M(S - x') - 8y⁴, z' = 2yz.
+  const U256 y2 = fsqr(p.y);
+  const U256 s = fmul(fmul(U256(4), p.x), y2);
+  const U256 m = fmul(U256(3), fsqr(p.x));
+  const U256 x3 = fsub(fsqr(m), fadd(s, s));
+  const U256 y3 = fsub(fmul(m, fsub(s, x3)), fmul(U256(8), fsqr(y2)));
+  const U256 z3 = fmul(fadd(p.y, p.y), p.z);
+  return {x3, y3, z3};
+}
+
+JacobianPoint jadd(const JacobianPoint& a, const JacobianPoint& b) noexcept {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  const U256 z1z1 = fsqr(a.z);
+  const U256 z2z2 = fsqr(b.z);
+  const U256 u1 = fmul(a.x, z2z2);
+  const U256 u2 = fmul(b.x, z1z1);
+  const U256 s1 = fmul(a.y, fmul(z2z2, b.z));
+  const U256 s2 = fmul(b.y, fmul(z1z1, a.z));
+  if (u1 == u2) {
+    if (s1 != s2) return JacobianPoint::identity();
+    return jdouble(a);
+  }
+  const U256 h = fsub(u2, u1);
+  const U256 r = fsub(s2, s1);
+  const U256 h2 = fsqr(h);
+  const U256 h3 = fmul(h2, h);
+  const U256 u1h2 = fmul(u1, h2);
+  const U256 x3 = fsub(fsub(fsqr(r), h3), fadd(u1h2, u1h2));
+  const U256 y3 = fsub(fmul(r, fsub(u1h2, x3)), fmul(s1, h3));
+  const U256 z3 = fmul(h, fmul(a.z, b.z));
+  return {x3, y3, z3};
+}
+
+JacobianPoint jadd_mixed(const JacobianPoint& a, const AffinePoint& b) noexcept {
+  if (b.infinity) return a;
+  if (a.is_infinity()) return to_jacobian(b);
+  const U256 z1z1 = fsqr(a.z);
+  const U256 u2 = fmul(b.x, z1z1);
+  const U256 s2 = fmul(b.y, fmul(z1z1, a.z));
+  if (a.x == u2) {
+    if (a.y != s2) return JacobianPoint::identity();
+    return jdouble(a);
+  }
+  const U256 h = fsub(u2, a.x);
+  const U256 r = fsub(s2, a.y);
+  const U256 h2 = fsqr(h);
+  const U256 h3 = fmul(h2, h);
+  const U256 u1h2 = fmul(a.x, h2);
+  const U256 x3 = fsub(fsub(fsqr(r), h3), fadd(u1h2, u1h2));
+  const U256 y3 = fsub(fmul(r, fsub(u1h2, x3)), fmul(a.y, h3));
+  const U256 z3 = fmul(h, a.z);
+  return {x3, y3, z3};
+}
+
+namespace {
+
+/// Batch Jacobian->affine normalization with one field inversion
+/// (Montgomery's trick): invert the product of all z's, then peel.
+std::vector<AffinePoint> batch_to_affine(const std::vector<JacobianPoint>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<AffinePoint> out(n);
+  std::vector<U256> prefix(n);
+  U256 acc = U256::one();
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;  // product of z_0..z_{i-1}
+    acc = fmul(acc, pts[i].z);
+  }
+  U256 inv_all = finv(acc);  // 1 / (z_0 * ... * z_{n-1})
+  for (std::size_t i = n; i-- > 0;) {
+    const U256 zinv = fmul(inv_all, prefix[i]);
+    inv_all = fmul(inv_all, pts[i].z);
+    const U256 zinv2 = fsqr(zinv);
+    out[i] = AffinePoint{fmul(pts[i].x, zinv2), fmul(pts[i].y, fmul(zinv2, zinv)), false};
+  }
+  return out;
+}
+
+/// Fixed-base comb table: kBaseTable[i][j] == (j+1) * 16^i * G, so a
+/// 256-bit scalar resolves to at most 64 mixed additions with no
+/// doublings. Built once per process (~1k point ops, batch-normalized).
+struct BaseTable {
+  AffinePoint pts[64][15];
+};
+
+const BaseTable& base_table() {
+  static const BaseTable table = [] {
+    std::vector<JacobianPoint> jac;
+    jac.reserve(64 * 15);
+    JacobianPoint row_base = to_jacobian(kG);  // 16^i * G
+    for (int i = 0; i < 64; ++i) {
+      JacobianPoint cur = row_base;
+      for (int j = 0; j < 15; ++j) {
+        jac.push_back(cur);
+        cur = jadd(cur, row_base);
+      }
+      row_base = cur;  // 16 * previous row base
+    }
+    const auto affine = batch_to_affine(jac);
+    BaseTable t;
+    for (int i = 0; i < 64; ++i) {
+      for (int j = 0; j < 15; ++j) t.pts[i][j] = affine[static_cast<std::size_t>(i * 15 + j)];
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Width-4 wNAF digits (values in {0, ±1, ±3, ..., ±15}), LSB first.
+std::vector<std::int8_t> wnaf4(U256 k) {
+  std::vector<std::int8_t> digits;
+  digits.reserve(260);
+  while (!k.is_zero()) {
+    std::int8_t d = 0;
+    if (k.bit(0)) {
+      const std::uint32_t m = static_cast<std::uint32_t>(k.low64() & 31);
+      if (m >= 16) {
+        d = static_cast<std::int8_t>(static_cast<int>(m) - 32);
+        k = k + U256(32 - m);
+      } else {
+        d = static_cast<std::int8_t>(m);
+        k = k - U256(m);
+      }
+    }
+    digits.push_back(d);
+    k = k >> 1;
+  }
+  return digits;
+}
+
+/// Odd multiples 1P, 3P, ..., 15P (Jacobian) for the wNAF loop.
+std::array<JacobianPoint, 8> odd_multiples(const AffinePoint& p) {
+  std::array<JacobianPoint, 8> table;
+  table[0] = to_jacobian(p);
+  const JacobianPoint twop = jdouble(table[0]);
+  for (int i = 1; i < 8; ++i) table[static_cast<std::size_t>(i)] = jadd(table[static_cast<std::size_t>(i - 1)], twop);
+  return table;
+}
+
+JacobianPoint jneg(const JacobianPoint& p) noexcept { return {p.x, fneg(p.y), p.z}; }
+
+}  // namespace
+
+JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) noexcept {
+  if (k.is_zero() || p.infinity) return JacobianPoint::identity();
+  const auto naf = wnaf4(k);
+  const auto table = odd_multiples(p);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (std::size_t i = naf.size(); i-- > 0;) {
+    acc = jdouble(acc);
+    const int d = naf[i];
+    if (d > 0) {
+      acc = jadd(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      acc = jadd(acc, jneg(table[static_cast<std::size_t>((-d - 1) / 2)]));
+    }
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mul_base(const U256& k) noexcept {
+  if (k.is_zero()) return JacobianPoint::identity();
+  const BaseTable& table = base_table();
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t nib =
+        static_cast<std::uint32_t>((k.w[i / 16] >> (4 * (i % 16))) & 0xF);
+    if (nib != 0) acc = jadd_mixed(acc, table.pts[i][nib - 1]);
+  }
+  return acc;
+}
+
+JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoint& p) noexcept {
+  // u2*P via wNAF, then the fixed-base u1*G folded in (table adds only).
+  JacobianPoint acc = scalar_mul(u2, p);
+  return jadd(acc, scalar_mul_base(u1));
+}
+
+bool on_curve(const AffinePoint& p) noexcept {
+  if (p.infinity) return true;
+  if (p.x >= kP || p.y >= kP) return false;
+  const U256 lhs = fsqr(p.y);
+  const U256 rhs = fadd(fmul(fsqr(p.x), p.x), U256(7));
+  return lhs == rhs;
+}
+
+ByteArray<33> compress(const AffinePoint& p) noexcept {
+  ByteArray<33> out{};
+  out[0] = p.y.bit(0) ? 0x03 : 0x02;
+  const auto xb = p.x.to_be_bytes();
+  for (std::size_t i = 0; i < 32; ++i) out[i + 1] = xb[i];
+  return out;
+}
+
+std::optional<AffinePoint> decompress(ByteSpan bytes) noexcept {
+  if (bytes.size() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03)) return std::nullopt;
+  const U256 x = U256::from_be_bytes(bytes.subspan(1));
+  if (x >= kP) return std::nullopt;
+  const U256 rhs = fadd(fmul(fsqr(x), x), U256(7));
+  auto y = fsqrt(rhs);
+  if (!y) return std::nullopt;
+  const bool want_odd = bytes[0] == 0x03;
+  if (y->bit(0) != want_odd) y = fneg(*y);
+  const AffinePoint p{x, *y, false};
+  if (!on_curve(p)) return std::nullopt;
+  return p;
+}
+
+}  // namespace btcfast::crypto::secp

@@ -1,0 +1,95 @@
+// secp256k1 elliptic-curve arithmetic implemented from scratch on top of
+// U256: fast field reduction for p = 2^256 - 2^32 - 977, Jacobian point
+// arithmetic, scalar multiplication, and compressed-point (de)serialization.
+//
+// NOTE: the implementation is *not* constant-time; it backs a protocol
+// simulator, not a production signer. Functional behaviour (including
+// RFC-6979 determinism in ecdsa.h) matches the real curve.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/uint256.h"
+
+namespace btcfast::crypto::secp {
+
+/// Field prime p = 2^256 - 2^32 - 977.
+[[nodiscard]] const U256& field_p() noexcept;
+/// Group order n.
+[[nodiscard]] const U256& order_n() noexcept;
+/// n / 2, for low-s signature normalization.
+[[nodiscard]] const U256& half_order() noexcept;
+
+// --- field arithmetic mod p (inputs must already be < p) ---
+[[nodiscard]] U256 fadd(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fsub(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fmul(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 fsqr(const U256& a) noexcept;
+[[nodiscard]] U256 fneg(const U256& a) noexcept;
+[[nodiscard]] U256 finv(const U256& a) noexcept;
+/// Square root mod p (p ≡ 3 mod 4). Returns nullopt if a is a non-residue.
+[[nodiscard]] std::optional<U256> fsqrt(const U256& a) noexcept;
+
+// --- scalar arithmetic mod the group order n (inputs < n) ---
+// Uses the same pseudo-Mersenne folding as the field (n = 2^256 - c with a
+// 129-bit c), ~50x faster than the generic bitwise divmod path; the ECDSA
+// hot loop (one modular inversion per sign/verify) lives here.
+[[nodiscard]] U256 nadd(const U256& a, const U256& b) noexcept;
+[[nodiscard]] U256 nmul(const U256& a, const U256& b) noexcept;
+/// Modular inverse mod n via Fermat (n is prime). a must be nonzero.
+[[nodiscard]] U256 ninv(const U256& a) noexcept;
+/// Reduce an arbitrary 256-bit value mod n.
+[[nodiscard]] U256 nreduce(const U256& a) noexcept;
+
+/// Affine curve point; `infinity` true means the identity element.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  [[nodiscard]] static AffinePoint identity() noexcept { return {}; }
+  [[nodiscard]] bool operator==(const AffinePoint& o) const noexcept {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// Jacobian projective point (z == 0 means infinity).
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+
+  [[nodiscard]] static JacobianPoint identity() noexcept { return {U256::one(), U256::one(), U256::zero()}; }
+  [[nodiscard]] bool is_infinity() const noexcept { return z.is_zero(); }
+};
+
+/// The curve generator G.
+[[nodiscard]] const AffinePoint& generator() noexcept;
+
+[[nodiscard]] JacobianPoint to_jacobian(const AffinePoint& p) noexcept;
+[[nodiscard]] AffinePoint to_affine(const JacobianPoint& p) noexcept;
+
+[[nodiscard]] JacobianPoint jdouble(const JacobianPoint& p) noexcept;
+[[nodiscard]] JacobianPoint jadd(const JacobianPoint& a, const JacobianPoint& b) noexcept;
+/// Mixed addition with an affine (non-infinity handled) second operand.
+[[nodiscard]] JacobianPoint jadd_mixed(const JacobianPoint& a, const AffinePoint& b) noexcept;
+
+/// k * P by double-and-add (k taken mod n implicitly by callers).
+[[nodiscard]] JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) noexcept;
+/// k * G.
+[[nodiscard]] JacobianPoint scalar_mul_base(const U256& k) noexcept;
+/// u1*G + u2*P with interleaved (Shamir) evaluation — the ECDSA-verify hot path.
+[[nodiscard]] JacobianPoint double_scalar_mul(const U256& u1, const U256& u2,
+                                              const AffinePoint& p) noexcept;
+
+/// y² == x³ + 7 check.
+[[nodiscard]] bool on_curve(const AffinePoint& p) noexcept;
+
+/// 33-byte compressed SEC1 encoding (02/03 prefix). Identity not encodable.
+[[nodiscard]] ByteArray<33> compress(const AffinePoint& p) noexcept;
+/// Parse a 33-byte compressed point; validates curve membership.
+[[nodiscard]] std::optional<AffinePoint> decompress(ByteSpan bytes) noexcept;
+
+}  // namespace btcfast::crypto::secp

@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Provides one-shot,
+// streaming, and Bitcoin's double-SHA256 flavours.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace btcfast::crypto {
+
+/// 32-byte digest.
+using Sha256Digest = ByteArray<32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  Sha256& update(ByteSpan data) noexcept;
+  /// Finalizes and returns the digest; the hasher must be reset() before reuse.
+  [[nodiscard]] Sha256Digest finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8]{};
+  std::uint8_t buf_[64]{};
+  std::uint64_t total_ = 0;  // bytes processed
+  std::size_t buflen_ = 0;
+};
+
+/// One-shot SHA-256.
+[[nodiscard]] Sha256Digest sha256(ByteSpan data) noexcept;
+
+/// Bitcoin double hash: SHA-256(SHA-256(data)).
+[[nodiscard]] Sha256Digest sha256d(ByteSpan data) noexcept;
+
+}  // namespace btcfast::crypto

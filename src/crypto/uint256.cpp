@@ -1,0 +1,347 @@
+#include "crypto/uint256.h"
+
+#include <cstring>
+
+#include "common/hex.h"
+
+namespace btcfast::crypto {
+namespace {
+
+// 64x64 -> 128 multiply via __uint128_t (GCC/Clang).
+inline void mul64(std::uint64_t a, std::uint64_t b, std::uint64_t& lo, std::uint64_t& hi) noexcept {
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  lo = static_cast<std::uint64_t>(p);
+  hi = static_cast<std::uint64_t>(p >> 64);
+}
+
+inline std::uint64_t adc(std::uint64_t a, std::uint64_t b, std::uint64_t& carry) noexcept {
+  const unsigned __int128 s = static_cast<unsigned __int128>(a) + b + carry;
+  carry = static_cast<std::uint64_t>(s >> 64);
+  return static_cast<std::uint64_t>(s);
+}
+
+inline std::uint64_t sbb(std::uint64_t a, std::uint64_t b, std::uint64_t& borrow) noexcept {
+  const unsigned __int128 d =
+      static_cast<unsigned __int128>(a) - b - borrow;
+  borrow = (d >> 64) ? 1 : 0;
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+U256 U256::from_be_bytes(ByteSpan b) noexcept {
+  U256 v;
+  if (b.size() != 32) return v;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | b[static_cast<std::size_t>((3 - limb) * 8 + i)];
+    v.w[limb] = x;
+  }
+  return v;
+}
+
+U256 U256::from_le_bytes(ByteSpan b) noexcept {
+  U256 v;
+  if (b.size() != 32) return v;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t x = 0;
+    for (int i = 7; i >= 0; --i) x = (x << 8) | b[static_cast<std::size_t>(limb * 8 + i)];
+    v.w[limb] = x;
+  }
+  return v;
+}
+
+std::optional<U256> U256::from_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 64) return std::nullopt;
+  std::string padded(64 - hex.size(), '0');
+  padded += hex;
+  auto bytes = btcfast::from_hex(padded);
+  if (!bytes) return std::nullopt;
+  return from_be_bytes(*bytes);
+}
+
+ByteArray<32> U256::to_be_bytes() const noexcept {
+  ByteArray<32> out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>((3 - limb) * 8 + i)] =
+          static_cast<std::uint8_t>(w[limb] >> (56 - 8 * i));
+    }
+  }
+  return out;
+}
+
+ByteArray<32> U256::to_le_bytes() const noexcept {
+  ByteArray<32> out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>(limb * 8 + i)] = static_cast<std::uint8_t>(w[limb] >> (8 * i));
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  const auto be = to_be_bytes();
+  return btcfast::to_hex({be.data(), be.size()});
+}
+
+int U256::top_bit() const noexcept {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (w[limb] != 0) return limb * 64 + 63 - __builtin_clzll(w[limb]);
+  }
+  return -1;
+}
+
+std::strong_ordering U256::operator<=>(const U256& o) const noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] != o.w[i]) return w[i] < o.w[i] ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+U256 U256::operator+(const U256& o) const noexcept {
+  bool carry = false;
+  return add_carry(*this, o, carry);
+}
+
+U256 U256::operator-(const U256& o) const noexcept {
+  bool borrow = false;
+  return sub_borrow(*this, o, borrow);
+}
+
+U256 add_carry(const U256& a, const U256& b, bool& carry_out) noexcept {
+  U256 r;
+  std::uint64_t c = 0;
+  for (int i = 0; i < 4; ++i) r.w[i] = adc(a.w[i], b.w[i], c);
+  carry_out = c != 0;
+  return r;
+}
+
+U256 sub_borrow(const U256& a, const U256& b, bool& borrow_out) noexcept {
+  U256 r;
+  std::uint64_t br = 0;
+  for (int i = 0; i < 4; ++i) r.w[i] = sbb(a.w[i], b.w[i], br);
+  borrow_out = br != 0;
+  return r;
+}
+
+U256 U256::operator<<(unsigned n) const noexcept {
+  U256 r;
+  if (n >= 256) return r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    std::uint64_t v = 0;
+    const int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      v = w[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) v |= w[src - 1] >> (64 - bit_shift);
+    }
+    r.w[i] = v;
+  }
+  return r;
+}
+
+U256 U256::operator>>(unsigned n) const noexcept {
+  U256 r;
+  if (n >= 256) return r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    const unsigned src = static_cast<unsigned>(i) + limb_shift;
+    if (src < 4) {
+      v = w[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) v |= w[src + 1] << (64 - bit_shift);
+    }
+    r.w[i] = v;
+  }
+  return r;
+}
+
+U256 U256::operator&(const U256& o) const noexcept {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.w[i] = w[i] & o.w[i];
+  return r;
+}
+
+U256 U256::operator|(const U256& o) const noexcept {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.w[i] = w[i] | o.w[i];
+  return r;
+}
+
+U512 U256::mul_wide(const U256& o) const noexcept {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      std::uint64_t lo, hi;
+      mul64(w[i], o.w[j], lo, hi);
+      // r.w[i+j] += lo + carry; propagate into hi.
+      unsigned __int128 acc = static_cast<unsigned __int128>(r.w[i + j]) + lo + carry;
+      r.w[i + j] = static_cast<std::uint64_t>(acc);
+      carry = hi + static_cast<std::uint64_t>(acc >> 64);
+    }
+    // Propagate the final carry.
+    int k = i + 4;
+    while (carry != 0 && k < 8) {
+      unsigned __int128 acc = static_cast<unsigned __int128>(r.w[k]) + carry;
+      r.w[k] = static_cast<std::uint64_t>(acc);
+      carry = static_cast<std::uint64_t>(acc >> 64);
+      ++k;
+    }
+  }
+  return r;
+}
+
+U256 U256::operator*(const U256& o) const noexcept { return mul_wide(o).low256(); }
+
+U256 U256::operator/(const U256& o) const noexcept {
+  return divmod(U512::from_u256(*this), o).quotient.low256();
+}
+
+U256 U256::operator%(const U256& o) const noexcept {
+  return divmod(U512::from_u256(*this), o).remainder;
+}
+
+U512 U512::from_u256(const U256& v) noexcept {
+  U512 r;
+  std::memcpy(r.w, v.w, sizeof(v.w));
+  return r;
+}
+
+U256 U512::low256() const noexcept {
+  U256 r;
+  std::memcpy(r.w, w, sizeof(r.w));
+  return r;
+}
+
+U256 U512::high256() const noexcept {
+  U256 r;
+  std::memcpy(r.w, w + 4, sizeof(r.w));
+  return r;
+}
+
+bool U512::is_zero() const noexcept {
+  std::uint64_t acc = 0;
+  for (auto limb : w) acc |= limb;
+  return acc == 0;
+}
+
+int U512::top_bit() const noexcept {
+  for (int limb = 7; limb >= 0; --limb) {
+    if (w[limb] != 0) return limb * 64 + 63 - __builtin_clzll(w[limb]);
+  }
+  return -1;
+}
+
+std::strong_ordering U512::operator<=>(const U512& o) const noexcept {
+  for (int i = 7; i >= 0; --i) {
+    if (w[i] != o.w[i]) return w[i] < o.w[i] ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+U512 U512::operator+(const U512& o) const noexcept {
+  U512 r;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) r.w[i] = adc(w[i], o.w[i], carry);
+  return r;
+}
+
+U512 U512::operator-(const U512& o) const noexcept {
+  U512 r;
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 8; ++i) r.w[i] = sbb(w[i], o.w[i], borrow);
+  return r;
+}
+
+U512 U512::operator<<(unsigned n) const noexcept {
+  U512 r;
+  if (n >= 512) return r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 7; i >= 0; --i) {
+    std::uint64_t v = 0;
+    const int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      v = w[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) v |= w[src - 1] >> (64 - bit_shift);
+    }
+    r.w[i] = v;
+  }
+  return r;
+}
+
+DivMod512 divmod(const U512& dividend, const U256& divisor) noexcept {
+  DivMod512 out{};
+  if (divisor.is_zero()) return out;  // caller precondition; return zeros defensively
+  const int top = dividend.top_bit();
+  if (top < 0) return out;
+
+  // Bitwise shift-subtract long division; remainder tracked in 5 limbs
+  // (never exceeds 2*divisor < 2^257).
+  std::uint64_t rem[5]{};
+  for (int i = top; i >= 0; --i) {
+    // rem = (rem << 1) | dividend.bit(i)
+    for (int k = 4; k >= 1; --k) rem[k] = (rem[k] << 1) | (rem[k - 1] >> 63);
+    rem[0] = (rem[0] << 1) | (dividend.bit(static_cast<unsigned>(i)) ? 1 : 0);
+    // if rem >= divisor: rem -= divisor; quotient bit = 1
+    bool ge = rem[4] != 0;
+    if (!ge) {
+      ge = true;
+      for (int k = 3; k >= 0; --k) {
+        if (rem[k] != divisor.w[k]) {
+          ge = rem[k] > divisor.w[k];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::uint64_t borrow = 0;
+      for (int k = 0; k < 4; ++k) rem[k] = sbb(rem[k], divisor.w[k], borrow);
+      rem[4] = sbb(rem[4], 0, borrow);
+      out.quotient.w[i >> 6] |= 1ULL << (i & 63);
+    }
+  }
+  std::memcpy(out.remainder.w, rem, sizeof(out.remainder.w));
+  return out;
+}
+
+U256 addmod(const U256& a, const U256& b, const U256& m) noexcept {
+  bool carry = false;
+  U256 s = add_carry(a, b, carry);
+  if (carry || s >= m) s = s - m;
+  return s;
+}
+
+U256 submod(const U256& a, const U256& b, const U256& m) noexcept {
+  bool borrow = false;
+  U256 d = sub_borrow(a, b, borrow);
+  if (borrow) d = d + m;
+  return d;
+}
+
+U256 mulmod(const U256& a, const U256& b, const U256& m) noexcept {
+  return divmod(a.mul_wide(b), m).remainder;
+}
+
+U256 powmod(const U256& a, const U256& e, const U256& m) noexcept {
+  U256 result = U256::one() % m;
+  U256 base = a % m;
+  const int top = e.top_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.bit(static_cast<unsigned>(i))) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+  }
+  return result;
+}
+
+U256 invmod_prime(const U256& a, const U256& m) noexcept {
+  // Fermat: a^(m-2) mod m for prime m.
+  return powmod(a, m - U256(2), m);
+}
+
+}  // namespace btcfast::crypto

@@ -1,0 +1,118 @@
+// 256-bit unsigned integer with full arithmetic, plus the 512-bit helper
+// needed for products. Used for: hash comparison against PoW targets,
+// cumulative chain work, and as the limb substrate of the from-scratch
+// secp256k1 implementation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace btcfast::crypto {
+
+struct U512;
+
+/// 256-bit unsigned integer; little-endian 64-bit limbs; wrapping semantics.
+struct U256 {
+  std::uint64_t w[4]{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+
+  [[nodiscard]] static constexpr U256 zero() { return U256{}; }
+  [[nodiscard]] static constexpr U256 one() { return U256{1}; }
+  /// All-ones value (2^256 - 1).
+  [[nodiscard]] static constexpr U256 max() {
+    U256 v;
+    for (auto& limb : v.w) limb = ~0ULL;
+    return v;
+  }
+
+  /// Interpret 32 bytes as a big-endian integer. Span must be 32 bytes.
+  [[nodiscard]] static U256 from_be_bytes(ByteSpan b) noexcept;
+  /// Interpret 32 bytes as a little-endian integer. Span must be 32 bytes.
+  [[nodiscard]] static U256 from_le_bytes(ByteSpan b) noexcept;
+  /// Parse a hex string (<= 64 digits, no 0x prefix).
+  [[nodiscard]] static std::optional<U256> from_hex(const std::string& hex);
+
+  [[nodiscard]] ByteArray<32> to_be_bytes() const noexcept;
+  [[nodiscard]] ByteArray<32> to_le_bytes() const noexcept;
+  [[nodiscard]] std::string to_hex() const;  ///< 64 lowercase hex digits
+
+  [[nodiscard]] bool is_zero() const noexcept { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  [[nodiscard]] bool bit(unsigned i) const noexcept { return (w[i >> 6] >> (i & 63)) & 1; }
+  void set_bit(unsigned i) noexcept { w[i >> 6] |= 1ULL << (i & 63); }
+  /// Index of highest set bit (0-based), or -1 if zero.
+  [[nodiscard]] int top_bit() const noexcept;
+  [[nodiscard]] std::uint64_t low64() const noexcept { return w[0]; }
+
+  [[nodiscard]] std::strong_ordering operator<=>(const U256& o) const noexcept;
+  [[nodiscard]] bool operator==(const U256& o) const noexcept = default;
+
+  /// Wrapping add/sub; out-parameter overflow variants below.
+  [[nodiscard]] U256 operator+(const U256& o) const noexcept;
+  [[nodiscard]] U256 operator-(const U256& o) const noexcept;
+  U256& operator+=(const U256& o) noexcept { return *this = *this + o; }
+  U256& operator-=(const U256& o) noexcept { return *this = *this - o; }
+
+  [[nodiscard]] U256 operator<<(unsigned n) const noexcept;
+  [[nodiscard]] U256 operator>>(unsigned n) const noexcept;
+  [[nodiscard]] U256 operator&(const U256& o) const noexcept;
+  [[nodiscard]] U256 operator|(const U256& o) const noexcept;
+
+  /// Full 256x256 -> 512-bit product.
+  [[nodiscard]] U512 mul_wide(const U256& o) const noexcept;
+  /// Wrapping 256-bit product.
+  [[nodiscard]] U256 operator*(const U256& o) const noexcept;
+
+  /// Truncating division / remainder (divisor must be nonzero).
+  [[nodiscard]] U256 operator/(const U256& o) const noexcept;
+  [[nodiscard]] U256 operator%(const U256& o) const noexcept;
+};
+
+/// Add with carry-out.
+[[nodiscard]] U256 add_carry(const U256& a, const U256& b, bool& carry_out) noexcept;
+/// Subtract with borrow-out (a - b).
+[[nodiscard]] U256 sub_borrow(const U256& a, const U256& b, bool& borrow_out) noexcept;
+
+/// 512-bit unsigned integer (products, chain work sums won't exceed this).
+struct U512 {
+  std::uint64_t w[8]{};
+
+  [[nodiscard]] static U512 from_u256(const U256& v) noexcept;
+  [[nodiscard]] U256 low256() const noexcept;
+  [[nodiscard]] U256 high256() const noexcept;
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool bit(unsigned i) const noexcept { return (w[i >> 6] >> (i & 63)) & 1; }
+  [[nodiscard]] int top_bit() const noexcept;
+
+  [[nodiscard]] std::strong_ordering operator<=>(const U512& o) const noexcept;
+  [[nodiscard]] bool operator==(const U512& o) const noexcept = default;
+  [[nodiscard]] U512 operator+(const U512& o) const noexcept;
+  [[nodiscard]] U512 operator-(const U512& o) const noexcept;
+  [[nodiscard]] U512 operator<<(unsigned n) const noexcept;
+};
+
+/// Divide a 512-bit dividend by a 256-bit divisor (must be nonzero).
+/// Quotient may not fit 256 bits, hence U512.
+struct DivMod512 {
+  U512 quotient;
+  U256 remainder;
+};
+[[nodiscard]] DivMod512 divmod(const U512& dividend, const U256& divisor) noexcept;
+
+/// (a + b) mod m, for a,b < m.
+[[nodiscard]] U256 addmod(const U256& a, const U256& b, const U256& m) noexcept;
+/// (a - b) mod m, for a,b < m.
+[[nodiscard]] U256 submod(const U256& a, const U256& b, const U256& m) noexcept;
+/// (a * b) mod m (generic; secp field uses a faster specialized path).
+[[nodiscard]] U256 mulmod(const U256& a, const U256& b, const U256& m) noexcept;
+/// a^e mod m by square-and-multiply.
+[[nodiscard]] U256 powmod(const U256& a, const U256& e, const U256& m) noexcept;
+/// Modular inverse for prime modulus (Fermat). a must be nonzero mod m.
+[[nodiscard]] U256 invmod_prime(const U256& a, const U256& m) noexcept;
+
+}  // namespace btcfast::crypto

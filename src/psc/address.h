@@ -1,0 +1,50 @@
+// PSC-chain account addresses (Ethereum-style 20-byte identifiers).
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "crypto/ripemd160.h"
+
+namespace btcfast::psc {
+
+struct Address {
+  ByteArray<20> bytes{};
+
+  [[nodiscard]] static Address from_pubkey(ByteSpan compressed33) noexcept {
+    Address a;
+    a.bytes = crypto::hash160(compressed33);
+    return a;
+  }
+
+  /// Deterministic address from a human label (test/simulator accounts).
+  [[nodiscard]] static Address from_label(const std::string& label) noexcept {
+    Address a;
+    a.bytes = crypto::hash160(as_bytes(label));
+    return a;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "0x" + to_hex({bytes.data(), bytes.size()});
+  }
+
+  [[nodiscard]] auto operator<=>(const Address& o) const noexcept = default;
+};
+
+struct AddressHasher {
+  [[nodiscard]] std::size_t operator()(const Address& a) const noexcept {
+    std::size_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | a.bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+};
+
+}  // namespace btcfast::psc

@@ -1,0 +1,89 @@
+// A tiny structured assembler for VM bytecode: push helpers, labels with
+// forward-reference fixups, and method-dispatch scaffolding. Keeps test
+// and example contracts readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psc/vm.h"
+
+namespace btcfast::psc {
+
+class Assembler {
+ public:
+  Assembler& op(Op o) {
+    code_.push_back(static_cast<std::uint8_t>(o));
+    return *this;
+  }
+
+  /// PUSHn with minimal width for the value.
+  Assembler& push(const crypto::U256& v) {
+    const auto be = v.to_be_bytes();
+    std::size_t first = 0;
+    while (first < 31 && be[first] == 0) ++first;
+    const std::size_t n = 32 - first;
+    code_.push_back(static_cast<std::uint8_t>(static_cast<std::uint8_t>(Op::kPush1) + n - 1));
+    for (std::size_t i = first; i < 32; ++i) code_.push_back(be[i]);
+    return *this;
+  }
+  Assembler& push(std::uint64_t v) { return push(crypto::U256(v)); }
+
+  /// Define a label at the current position (emits JUMPDEST).
+  Assembler& label(const std::string& name) {
+    labels_[name] = code_.size();
+    return op(Op::kJumpDest);
+  }
+
+  /// Push a label's address (2-byte fixup; resolved in assemble()).
+  Assembler& push_label(const std::string& name) {
+    code_.push_back(static_cast<std::uint8_t>(Op::kPush1) + 1);  // PUSH2
+    fixups_.emplace_back(code_.size(), name);
+    code_.push_back(0);
+    code_.push_back(0);
+    return *this;
+  }
+
+  Assembler& jump_to(const std::string& name) { return push_label(name).op(Op::kJump); }
+  /// Consumes the condition already on the stack.
+  Assembler& jump_if_to(const std::string& name) { return push_label(name).op(Op::kJumpI); }
+
+  /// if (selector == method) goto label — expects nothing on the stack;
+  /// loads calldata word 0 and shifts down to the 4-byte selector.
+  Assembler& dispatch(const std::string& method, const std::string& label) {
+    push(0);
+    op(Op::kCallDataLoad);
+    push(224);
+    op(Op::kShr);  // top = selector
+    push(method_selector(method));
+    op(Op::kEq);
+    return jump_if_to(label);
+  }
+
+  /// Stores the value on top of the stack at memory[mem_offset] and
+  /// RETURNs those 32 bytes. Stack effect: [value] -> halt.
+  Assembler& return_word(std::uint64_t mem_offset = 0) {
+    push(mem_offset).op(Op::kMStore);          // MSTORE pops (offset, value)
+    return push(32).push(mem_offset).op(Op::kReturn);  // RETURN pops (offset, len)
+  }
+
+  [[nodiscard]] Bytes assemble() const {
+    Bytes out = code_;
+    for (const auto& [pos, name] : fixups_) {
+      const auto it = labels_.find(name);
+      const std::size_t dest = it == labels_.end() ? 0 : it->second;
+      out[pos] = static_cast<std::uint8_t>(dest >> 8);
+      out[pos + 1] = static_cast<std::uint8_t>(dest & 0xff);
+    }
+    return out;
+  }
+
+ private:
+  Bytes code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+}  // namespace btcfast::psc

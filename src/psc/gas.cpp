@@ -1,0 +1,10 @@
+#include "psc/gas.h"
+
+namespace btcfast::psc {
+
+const GasSchedule& GasSchedule::istanbul() noexcept {
+  static const GasSchedule schedule{};
+  return schedule;
+}
+
+}  // namespace btcfast::psc

@@ -1,0 +1,70 @@
+// Gas accounting. Native-code contracts run over a metered host
+// interface; every host operation charges the cost the equivalent EVM
+// operation would (Istanbul schedule), so fee results in E4/E5 carry over
+// to a real Ethereum deployment within constant factors. See DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace btcfast::psc {
+
+using Gas = std::uint64_t;
+
+/// Istanbul-derived cost table.
+struct GasSchedule {
+  Gas tx_base = 21'000;
+  Gas tx_data_byte = 16;          ///< calldata, nonzero byte (we charge flat)
+  Gas contract_deploy = 200'000;  ///< stand-in for CREATE + code deposit
+  Gas sload = 800;
+  Gas sstore_set = 20'000;        ///< zero -> nonzero
+  Gas sstore_reset = 5'000;       ///< nonzero -> nonzero (or -> zero)
+  Gas sha256_base = 60;
+  Gas sha256_word = 12;           ///< per 32-byte word
+  Gas ecdsa_verify = 3'000;       ///< ecrecover-equivalent
+  Gas log_base = 375;
+  Gas log_topic = 375;
+  Gas log_data_byte = 8;
+  Gas value_transfer = 9'000;     ///< CALL with value
+  Gas memory_byte = 3;            ///< per byte of scratch copied
+  Gas compute_step = 1;           ///< generic per-unit compute charge
+
+  [[nodiscard]] static const GasSchedule& istanbul() noexcept;
+};
+
+/// Thrown when a call exhausts its gas allowance; the chain converts this
+/// into a failed receipt that still charges the limit.
+class OutOfGas : public std::runtime_error {
+ public:
+  OutOfGas() : std::runtime_error("out of gas") {}
+};
+
+/// Tracks gas within one transaction.
+class GasMeter {
+ public:
+  GasMeter(Gas limit, const GasSchedule& schedule) noexcept
+      : limit_(limit), schedule_(&schedule) {}
+
+  /// Charge raw units; throws OutOfGas when the limit is exceeded.
+  void charge(Gas amount) {
+    used_ += amount;
+    if (used_ > limit_) throw OutOfGas();
+  }
+
+  void charge_sha256(std::size_t input_len) {
+    const Gas words = static_cast<Gas>((input_len + 31) / 32);
+    charge(schedule_->sha256_base + schedule_->sha256_word * words);
+  }
+
+  [[nodiscard]] Gas used() const noexcept { return used_; }
+  [[nodiscard]] Gas limit() const noexcept { return limit_; }
+  [[nodiscard]] Gas remaining() const noexcept { return limit_ - used_; }
+  [[nodiscard]] const GasSchedule& schedule() const noexcept { return *schedule_; }
+
+ private:
+  Gas used_ = 0;
+  Gas limit_;
+  const GasSchedule* schedule_;
+};
+
+}  // namespace btcfast::psc

@@ -1,0 +1,41 @@
+#include "psc/state.h"
+
+namespace btcfast::psc {
+
+Value WorldState::balance(const Address& a) const {
+  auto it = accounts_.find(a);
+  return it == accounts_.end() ? 0 : it->second.balance;
+}
+
+std::uint64_t WorldState::nonce(const Address& a) const {
+  auto it = accounts_.find(a);
+  return it == accounts_.end() ? 0 : it->second.nonce;
+}
+
+bool WorldState::sub_balance(const Address& a, Value v) {
+  auto it = accounts_.find(a);
+  if (it == accounts_.end() || it->second.balance < v) return false;
+  it->second.balance -= v;
+  return true;
+}
+
+Slot WorldState::storage_load(const Address& contract, const Slot& key) const {
+  auto cit = storage_.find(contract);
+  if (cit == storage_.end()) return Slot{};
+  auto sit = cit->second.find(key);
+  return sit == cit->second.end() ? Slot{} : sit->second;
+}
+
+bool WorldState::storage_store(const Address& contract, const Slot& key, const Slot& value) {
+  Storage& store = storage_[contract];
+  auto it = store.find(key);
+  const bool was_zero = (it == store.end()) || it->second.is_zero();
+  if (value.is_zero()) {
+    if (it != store.end()) store.erase(it);
+  } else {
+    store[key] = value;
+  }
+  return was_zero && !value.is_zero();
+}
+
+}  // namespace btcfast::psc

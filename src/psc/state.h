@@ -1,0 +1,55 @@
+// World state of the PSC chain: account balances/nonces plus per-contract
+// key-value storage (the EVM storage model, 32-byte keys and values).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/uint256.h"
+#include "psc/address.h"
+
+namespace btcfast::psc {
+
+/// Native token amounts (think gwei; 64 bits is plenty for the simulator).
+using Value = std::uint64_t;
+
+struct AccountState {
+  Value balance = 0;
+  std::uint64_t nonce = 0;
+};
+
+/// 32-byte storage slot key/value.
+using Slot = crypto::U256;
+
+class WorldState {
+ public:
+  // --- accounts ---
+  [[nodiscard]] Value balance(const Address& a) const;
+  [[nodiscard]] std::uint64_t nonce(const Address& a) const;
+  void set_balance(const Address& a, Value v) { accounts_[a].balance = v; }
+  void add_balance(const Address& a, Value v) { accounts_[a].balance += v; }
+  /// Returns false (and leaves state unchanged) on insufficient funds.
+  [[nodiscard]] bool sub_balance(const Address& a, Value v);
+  void bump_nonce(const Address& a) { ++accounts_[a].nonce; }
+
+  // --- contract storage ---
+  [[nodiscard]] Slot storage_load(const Address& contract, const Slot& key) const;
+  /// Returns true iff the slot transitioned zero -> nonzero (for gas).
+  bool storage_store(const Address& contract, const Slot& key, const Slot& value);
+
+  [[nodiscard]] std::size_t account_count() const noexcept { return accounts_.size(); }
+
+ private:
+  struct SlotKeyHasher {
+    std::size_t operator()(const Slot& s) const noexcept {
+      return static_cast<std::size_t>(s.w[0] ^ (s.w[1] * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  using Storage = std::unordered_map<Slot, Slot, SlotKeyHasher>;
+
+  std::unordered_map<Address, AccountState, AddressHasher> accounts_;
+  std::unordered_map<Address, Storage, AddressHasher> storage_;
+};
+
+}  // namespace btcfast::psc

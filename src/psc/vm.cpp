@@ -1,0 +1,366 @@
+#include "psc/vm.h"
+
+#include <vector>
+
+namespace btcfast::psc {
+namespace {
+
+using crypto::U256;
+
+constexpr std::size_t kMaxStack = 1024;
+constexpr std::size_t kMaxMemory = 1 << 20;  // 1 MiB hard cap
+
+struct Frame {
+  std::vector<U256> stack;
+  Bytes memory;
+  std::size_t pc = 0;
+};
+
+Gas op_base_cost(Op op) {
+  switch (op) {
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+      return 5;
+    case Op::kJump:
+      return 8;
+    case Op::kJumpI:
+      return 10;
+    case Op::kJumpDest:
+      return 1;
+    default:
+      return 3;  // "verylow" tier; storage/hash/log/pay charge via the host
+  }
+}
+
+/// Memory read/write helpers with expansion charging.
+bool ensure_memory(HostContext& host, Frame& frame, std::size_t end) {
+  if (end > kMaxMemory) return false;
+  if (end > frame.memory.size()) {
+    host.charge_memory(end - frame.memory.size());
+    frame.memory.resize(end, 0);
+  }
+  return true;
+}
+
+U256 load_word(ByteSpan data, std::size_t offset) {
+  ByteArray<32> buf{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t idx = offset + i;
+    buf[i] = idx < data.size() ? data[idx] : 0;
+  }
+  return U256::from_be_bytes({buf.data(), buf.size()});
+}
+
+psc::Address word_to_address(const U256& w) {
+  const auto be = w.to_be_bytes();
+  psc::Address a;
+  for (std::size_t i = 0; i < 20; ++i) a.bytes[i] = be[12 + i];
+  return a;
+}
+
+U256 address_to_word(const psc::Address& a) {
+  ByteArray<32> buf{};
+  for (std::size_t i = 0; i < 20; ++i) buf[12 + i] = a.bytes[i];
+  return U256::from_be_bytes({buf.data(), buf.size()});
+}
+
+}  // namespace
+
+std::uint32_t method_selector(const std::string& method) {
+  const auto digest = crypto::sha256(as_bytes(method));
+  return (static_cast<std::uint32_t>(digest[0]) << 24) |
+         (static_cast<std::uint32_t>(digest[1]) << 16) |
+         (static_cast<std::uint32_t>(digest[2]) << 8) | static_cast<std::uint32_t>(digest[3]);
+}
+
+Status execute_bytecode(HostContext& host, ByteSpan code, ByteSpan calldata, Bytes* ret) {
+  // Valid jump destinations (positions holding JUMPDEST outside push data).
+  std::vector<bool> jumpdest(code.size(), false);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::uint8_t b = code[i];
+    if (b == static_cast<std::uint8_t>(Op::kJumpDest)) jumpdest[i] = true;
+    if (b >= static_cast<std::uint8_t>(Op::kPush1) &&
+        b <= static_cast<std::uint8_t>(Op::kPush1) + 31) {
+      i += static_cast<std::size_t>(b - static_cast<std::uint8_t>(Op::kPush1)) + 1;
+    }
+  }
+
+  Frame f;
+  auto pop = [&]() -> U256 {
+    const U256 v = f.stack.back();
+    f.stack.pop_back();
+    return v;
+  };
+  auto need = [&](std::size_t n) { return f.stack.size() >= n; };
+  auto push = [&](const U256& v) {
+    f.stack.push_back(v);
+    return f.stack.size() <= kMaxStack;
+  };
+
+  while (f.pc < code.size()) {
+    const std::uint8_t raw = code[f.pc];
+    const Op op = static_cast<Op>(raw);
+
+    // PUSH1..PUSH32 band.
+    if (raw >= static_cast<std::uint8_t>(Op::kPush1) &&
+        raw <= static_cast<std::uint8_t>(Op::kPush1) + 31) {
+      host.charge_compute(3);
+      const std::size_t n = static_cast<std::size_t>(raw - static_cast<std::uint8_t>(Op::kPush1)) + 1;
+      ByteArray<32> buf{};
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = f.pc + 1 + i;
+        buf[32 - n + i] = idx < code.size() ? code[idx] : 0;
+      }
+      if (!push(U256::from_be_bytes({buf.data(), buf.size()}))) {
+        return make_error("vm-stack-overflow");
+      }
+      f.pc += n + 1;
+      continue;
+    }
+    // DUP1..DUP16 band.
+    if (raw >= static_cast<std::uint8_t>(Op::kDup1) &&
+        raw <= static_cast<std::uint8_t>(Op::kDup1) + 15) {
+      host.charge_compute(3);
+      const std::size_t n = static_cast<std::size_t>(raw - static_cast<std::uint8_t>(Op::kDup1)) + 1;
+      if (!need(n)) return make_error("vm-stack-underflow");
+      if (!push(f.stack[f.stack.size() - n])) return make_error("vm-stack-overflow");
+      ++f.pc;
+      continue;
+    }
+    // SWAP1..SWAP16 band.
+    if (raw >= static_cast<std::uint8_t>(Op::kSwap1) &&
+        raw <= static_cast<std::uint8_t>(Op::kSwap1) + 15) {
+      host.charge_compute(3);
+      const std::size_t n = static_cast<std::size_t>(raw - static_cast<std::uint8_t>(Op::kSwap1)) + 1;
+      if (!need(n + 1)) return make_error("vm-stack-underflow");
+      std::swap(f.stack[f.stack.size() - 1], f.stack[f.stack.size() - 1 - n]);
+      ++f.pc;
+      continue;
+    }
+
+    host.charge_compute(op_base_cost(op));
+    switch (op) {
+      case Op::kStop:
+        return Status::success();
+
+      case Op::kAdd:
+      case Op::kMul:
+      case Op::kSub:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kEq:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kShl:
+      case Op::kShr: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const U256 a = pop();
+        const U256 b = pop();
+        U256 r;
+        switch (op) {
+          case Op::kAdd: r = a + b; break;
+          case Op::kMul: r = a * b; break;
+          case Op::kSub: r = a - b; break;
+          case Op::kDiv: r = b.is_zero() ? U256::zero() : a / b; break;
+          case Op::kMod: r = b.is_zero() ? U256::zero() : a % b; break;
+          case Op::kLt: r = a < b ? U256::one() : U256::zero(); break;
+          case Op::kGt: r = a > b ? U256::one() : U256::zero(); break;
+          case Op::kEq: r = a == b ? U256::one() : U256::zero(); break;
+          case Op::kAnd: r = a & b; break;
+          case Op::kOr: r = a | b; break;
+          case Op::kXor: {
+            U256 x;
+            for (int i = 0; i < 4; ++i) x.w[i] = a.w[i] ^ b.w[i];
+            r = x;
+            break;
+          }
+          case Op::kShl: r = b << static_cast<unsigned>(a.low64() & 0x1ff); break;
+          case Op::kShr: r = b >> static_cast<unsigned>(a.low64() & 0x1ff); break;
+          default: break;
+        }
+        if (!push(r)) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      }
+
+      case Op::kIsZero:
+      case Op::kNot: {
+        if (!need(1)) return make_error("vm-stack-underflow");
+        const U256 a = pop();
+        if (op == Op::kIsZero) {
+          (void)push(a.is_zero() ? U256::one() : U256::zero());
+        } else {
+          U256 x;
+          for (int i = 0; i < 4; ++i) x.w[i] = ~a.w[i];
+          (void)push(x);
+        }
+        ++f.pc;
+        break;
+      }
+
+      case Op::kSha256: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        const std::size_t len = static_cast<std::size_t>(pop().low64());
+        if (!ensure_memory(host, f, off + len)) return make_error("vm-memory-limit");
+        const auto digest = host.sha256({f.memory.data() + off, len});
+        (void)push(U256::from_be_bytes({digest.data(), digest.size()}));
+        ++f.pc;
+        break;
+      }
+
+      case Op::kCaller:
+        if (!push(address_to_word(host.caller()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      case Op::kCallValue:
+        if (!push(U256(host.call_value()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      case Op::kCallDataLoad: {
+        if (!need(1)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        if (!push(load_word(calldata, off))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::kCallDataSize:
+        if (!push(U256(calldata.size()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      case Op::kTimestamp:
+        if (!push(U256(host.block_time_ms()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      case Op::kNumber:
+        if (!push(U256(host.block_number()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      case Op::kSelfBalance:
+        if (!push(U256(host.self_balance()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+
+      case Op::kPop:
+        if (!need(1)) return make_error("vm-stack-underflow");
+        (void)pop();
+        ++f.pc;
+        break;
+
+      case Op::kMLoad: {
+        if (!need(1)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        if (!ensure_memory(host, f, off + 32)) return make_error("vm-memory-limit");
+        (void)push(U256::from_be_bytes({f.memory.data() + off, 32}));
+        ++f.pc;
+        break;
+      }
+      case Op::kMStore: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        const U256 value = pop();
+        if (!ensure_memory(host, f, off + 32)) return make_error("vm-memory-limit");
+        const auto be = value.to_be_bytes();
+        for (std::size_t i = 0; i < 32; ++i) f.memory[off + i] = be[i];
+        ++f.pc;
+        break;
+      }
+
+      case Op::kSLoad: {
+        if (!need(1)) return make_error("vm-stack-underflow");
+        if (!push(host.sload(pop()))) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      }
+      case Op::kSStore: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const U256 key = pop();
+        const U256 value = pop();
+        host.sstore(key, value);
+        ++f.pc;
+        break;
+      }
+
+      case Op::kJump:
+      case Op::kJumpI: {
+        if (!need(op == Op::kJump ? 1 : 2)) return make_error("vm-stack-underflow");
+        const std::size_t dest = static_cast<std::size_t>(pop().low64());
+        bool taken = true;
+        if (op == Op::kJumpI) taken = !pop().is_zero();
+        if (!taken) {
+          ++f.pc;
+          break;
+        }
+        if (dest >= code.size() || !jumpdest[dest]) return make_error("vm-bad-jumpdest");
+        f.pc = dest;
+        break;
+      }
+      case Op::kJumpDest:
+        ++f.pc;
+        break;
+
+      case Op::kLog: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        const std::size_t len = static_cast<std::size_t>(pop().low64());
+        if (!ensure_memory(host, f, off + len)) return make_error("vm-memory-limit");
+        host.emit_log("vm", Bytes(f.memory.begin() + static_cast<std::ptrdiff_t>(off),
+                                  f.memory.begin() + static_cast<std::ptrdiff_t>(off + len)));
+        ++f.pc;
+        break;
+      }
+
+      case Op::kPay: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const psc::Address to = word_to_address(pop());
+        const Value amount = pop().low64();
+        const bool ok = host.transfer_out(to, amount);
+        if (!push(ok ? U256::one() : U256::zero())) return make_error("vm-stack-overflow");
+        ++f.pc;
+        break;
+      }
+
+      case Op::kReturn:
+      case Op::kRevert: {
+        if (!need(2)) return make_error("vm-stack-underflow");
+        const std::size_t off = static_cast<std::size_t>(pop().low64());
+        const std::size_t len = static_cast<std::size_t>(pop().low64());
+        if (!ensure_memory(host, f, off + len)) return make_error("vm-memory-limit");
+        Bytes data(f.memory.begin() + static_cast<std::ptrdiff_t>(off),
+                   f.memory.begin() + static_cast<std::ptrdiff_t>(off + len));
+        if (op == Op::kReturn) {
+          if (ret != nullptr) *ret = std::move(data);
+          return Status::success();
+        }
+        return make_error("vm-revert", std::string(data.begin(), data.end()));
+      }
+
+      default:
+        return make_error("vm-bad-opcode",
+                          "0x" + std::to_string(static_cast<unsigned>(raw)));
+    }
+  }
+  return Status::success();  // fell off the end: implicit STOP
+}
+
+VmContract::VmContract(Bytes code) : code_(std::move(code)) {}
+
+Status VmContract::call(HostContext& host, const std::string& method, ByteSpan args,
+                        Bytes* ret) {
+  // calldata = selector(4) || args
+  Bytes calldata;
+  calldata.reserve(4 + args.size());
+  const std::uint32_t sel = method_selector(method);
+  calldata.push_back(static_cast<std::uint8_t>(sel >> 24));
+  calldata.push_back(static_cast<std::uint8_t>(sel >> 16));
+  calldata.push_back(static_cast<std::uint8_t>(sel >> 8));
+  calldata.push_back(static_cast<std::uint8_t>(sel));
+  append(calldata, args);
+  return execute_bytecode(host, code_, calldata, ret);
+}
+
+}  // namespace btcfast::psc

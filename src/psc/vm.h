@@ -1,0 +1,85 @@
+// A compact EVM-style stack virtual machine for the PSC chain. PayJudger
+// itself runs as a native contract over the metered host (a documented
+// substitution), but the chain is genuinely programmable: arbitrary
+// bytecode contracts execute through this VM with per-opcode gas, 256-bit
+// words, byte-addressed memory, and the same storage/log/transfer host
+// surface native contracts use.
+//
+// Calling convention: calldata = 4-byte selector (first 4 bytes of
+// SHA-256 of the method name) followed by the raw argument bytes; the
+// dispatcher in the bytecode compares CALLDATALOAD selectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "psc/host.h"
+
+namespace btcfast::psc {
+
+/// Opcode set (values roughly follow the EVM's layout where it exists).
+enum class Op : std::uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kMod = 0x06,
+  kLt = 0x10,
+  kGt = 0x11,
+  kEq = 0x14,
+  kIsZero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kShl = 0x1b,
+  kShr = 0x1c,
+  kSha256 = 0x20,       ///< pops (offset, len), hashes memory, pushes digest
+  kCaller = 0x33,       ///< pushes the caller address (as a 160-bit word)
+  kCallValue = 0x34,
+  kCallDataLoad = 0x35, ///< pops offset, pushes 32 bytes of calldata
+  kCallDataSize = 0x36,
+  kTimestamp = 0x42,    ///< block time, milliseconds
+  kNumber = 0x43,       ///< block number
+  kSelfBalance = 0x47,
+  kPop = 0x50,
+  kMLoad = 0x51,
+  kMStore = 0x52,
+  kSLoad = 0x54,
+  kSStore = 0x55,
+  kJump = 0x56,
+  kJumpI = 0x57,
+  kJumpDest = 0x5b,
+  kPush1 = 0x60,  // .. kPush32 = 0x7f
+  kDup1 = 0x80,   // .. kDup16 = 0x8f
+  kSwap1 = 0x90,  // .. kSwap16 = 0x9f
+  kLog = 0xa0,    ///< pops (offset, len); topic is the method selector word
+  kPay = 0xf1,    ///< pops (to, amount); transfers from contract balance; pushes success
+  kReturn = 0xf3, ///< pops (offset, len); returns memory slice
+  kRevert = 0xfd, ///< pops (offset, len); reverts with memory slice as reason
+};
+
+/// 4-byte method selector: first 4 bytes of SHA-256(method name).
+[[nodiscard]] std::uint32_t method_selector(const std::string& method);
+
+/// A deployable bytecode contract. The chain invokes call(); the VM maps
+/// (method, args) to calldata and executes the code.
+class VmContract final : public Contract {
+ public:
+  explicit VmContract(Bytes code);
+
+  [[nodiscard]] Status call(HostContext& host, const std::string& method, ByteSpan args,
+                            Bytes* ret) override;
+
+  [[nodiscard]] const Bytes& code() const noexcept { return code_; }
+
+ private:
+  Bytes code_;
+};
+
+/// Direct interpreter entry (tests drive raw fragments through this).
+[[nodiscard]] Status execute_bytecode(HostContext& host, ByteSpan code, ByteSpan calldata,
+                                      Bytes* ret);
+
+}  // namespace btcfast::psc

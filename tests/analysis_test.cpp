@@ -1,0 +1,233 @@
+// Tests for the security/economics analysis: closed forms against known
+// values (Nakamoto's whitepaper table), Monte-Carlo cross-validation of
+// Rosenfeld's formula against the race simulator, and the fee models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/attack_cost.h"
+#include "analysis/collateral.h"
+#include "analysis/doublespend.h"
+#include "analysis/economics.h"
+#include "btcsim/race.h"
+
+namespace btcfast::analysis {
+namespace {
+
+TEST(Nakamoto, WhitepaperTableQ10) {
+  // Satoshi's table for q = 0.1 (whitepaper §11).
+  EXPECT_NEAR(nakamoto_probability(0.1, 0), 1.0, 1e-7);
+  EXPECT_NEAR(nakamoto_probability(0.1, 1), 0.2045873, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 2), 0.0509779, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 3), 0.0131722, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 4), 0.0034552, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 5), 0.0009137, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 6), 0.0002428, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.1, 10), 0.0000012, 1e-7);
+}
+
+TEST(Nakamoto, WhitepaperTableQ30) {
+  // Satoshi's table for q = 0.3.
+  EXPECT_NEAR(nakamoto_probability(0.3, 5), 0.1773523, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.3, 10), 0.0416605, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.3, 15), 0.0101008, 1e-6);
+  EXPECT_NEAR(nakamoto_probability(0.3, 20), 0.0024804, 1e-6);
+}
+
+TEST(Nakamoto, MajorityAlwaysWins) {
+  EXPECT_EQ(nakamoto_probability(0.5, 6), 1.0);
+  EXPECT_EQ(nakamoto_probability(0.7, 100), 1.0);
+}
+
+/// Independent evaluation of the race by dynamic programming over states
+/// (honest, attacker): phase 1 runs until honest == z, then the gambler's
+///-ruin closed form finishes the catch-up. Any attacker already more
+/// than z ahead is a certain winner.
+double race_probability_dp(double q, std::uint32_t z) {
+  const double p = 1.0 - q;
+  auto terminal = [&](std::uint32_t a) {
+    if (a > z) return 1.0;
+    return std::pow(q / p, static_cast<double>(z - a + 1));
+  };
+  // P(h, a) for h in [0, z), a in [0, z+1] (a == z+1 is absorbing-win).
+  // Iterate h downward; at h == z use terminal().
+  std::vector<double> next(z + 2);
+  for (std::uint32_t a = 0; a <= z + 1; ++a) next[a] = terminal(a);
+  for (std::int64_t h = static_cast<std::int64_t>(z) - 1; h >= 0; --h) {
+    std::vector<double> cur(z + 2);
+    cur[z + 1] = 1.0;
+    for (std::int64_t a = z; a >= 0; --a) {
+      cur[a] = q * cur[a + 1] + p * next[a];
+    }
+    next = std::move(cur);
+  }
+  return next[0];
+}
+
+TEST(Rosenfeld, MatchesDynamicProgramming) {
+  for (double q : {0.05, 0.1, 0.2, 0.3, 0.45}) {
+    for (std::uint32_t z : {1u, 2u, 4u, 6u, 10u}) {
+      EXPECT_NEAR(rosenfeld_probability(q, z), race_probability_dp(q, z), 1e-9)
+          << "q=" << q << " z=" << z;
+    }
+  }
+}
+
+TEST(Rosenfeld, SpotValues) {
+  // Hand-derived for q=0.1, z=1 (see race_probability_dp walk-through):
+  // P = q*(q + q) + p*(q/p)^2 = 0.02 + 0.9/81 = 0.0311..
+  EXPECT_NEAR(rosenfeld_probability(0.1, 1), 0.1 * 0.2 + 0.9 / 81.0, 1e-12);
+}
+
+TEST(Rosenfeld, ZeroConfIsOddsRatio) {
+  EXPECT_NEAR(rosenfeld_probability(0.2, 0), 0.25, 1e-9);  // q/p
+  EXPECT_NEAR(rosenfeld_probability(0.4, 0), 0.4 / 0.6, 1e-9);
+}
+
+TEST(Rosenfeld, MonotoneInZ) {
+  for (double q : {0.05, 0.15, 0.3, 0.45}) {
+    double prev = 1.1;
+    for (std::uint32_t z = 0; z <= 12; ++z) {
+      const double prob = rosenfeld_probability(q, z);
+      EXPECT_LT(prob, prev) << "q=" << q << " z=" << z;
+      prev = prob;
+    }
+  }
+}
+
+TEST(Rosenfeld, MonotoneInQ) {
+  for (std::uint32_t z : {1u, 3u, 6u}) {
+    double prev = -1;
+    for (double q = 0.02; q < 0.5; q += 0.04) {
+      const double prob = rosenfeld_probability(q, z);
+      EXPECT_GT(prob, prev) << "q=" << q << " z=" << z;
+      prev = prob;
+    }
+  }
+}
+
+TEST(Rosenfeld, TighterThanNakamotoAtLowZ) {
+  // Rosenfeld's exact analysis yields lower success probability than the
+  // Poisson approximation for small z (the approximation is conservative).
+  for (double q : {0.1, 0.2}) {
+    EXPECT_LT(rosenfeld_probability(q, 1), nakamoto_probability(q, 1));
+  }
+}
+
+// E3's core claim: the closed form matches simulation. Cross-validate
+// Rosenfeld against the Bernoulli race Monte Carlo at several (q, z).
+class RosenfeldVsMonteCarlo
+    : public ::testing::TestWithParam<std::pair<double, std::uint32_t>> {};
+
+TEST_P(RosenfeldVsMonteCarlo, Agrees) {
+  const auto [q, z] = GetParam();
+  sim::RaceConfig cfg;
+  cfg.q = q;
+  cfg.z = z;
+  cfg.give_up_deficit = 200;  // effectively "never give up"
+  const auto mc = sim::estimate_double_spend_probability(
+      cfg, /*trials=*/200'000, /*seed=*/q * 1000 + z);
+  const double closed = rosenfeld_probability(q, z);
+  EXPECT_NEAR(mc.success_rate, closed, 4 * mc.stderr_ + 1e-4)
+      << "q=" << q << " z=" << z << " mc=" << mc.success_rate << " closed=" << closed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RosenfeldVsMonteCarlo,
+    ::testing::Values(std::make_pair(0.1, 0u), std::make_pair(0.1, 1u),
+                      std::make_pair(0.1, 2u), std::make_pair(0.1, 6u),
+                      std::make_pair(0.2, 1u), std::make_pair(0.2, 4u),
+                      std::make_pair(0.3, 2u), std::make_pair(0.3, 6u),
+                      std::make_pair(0.45, 3u)));
+
+TEST(ConfirmationsForRisk, MatchesTables) {
+  // q = 0.1: 6 confirmations push the risk below 0.1%.
+  EXPECT_LE(confirmations_for_risk(0.1, 0.001), 6u);
+  // Stronger attackers need more confirmations.
+  EXPECT_GT(confirmations_for_risk(0.3, 0.001), confirmations_for_risk(0.1, 0.001));
+  // Majority attacker: unreachable.
+  EXPECT_EQ(confirmations_for_risk(0.5, 0.001, 50), 51u);
+}
+
+TEST(OptimalConfirmations, GrowsWithValue) {
+  const auto small = optimal_confirmations(10.0, 0.1, 1.0);
+  const auto large = optimal_confirmations(1e6, 0.1, 1.0);
+  EXPECT_LT(small, large);
+  // The chosen z actually satisfies the loss bound.
+  EXPECT_LE(rosenfeld_probability(0.1, large) * 1e6, 1.0);
+  // Zero-value payments need no confirmations at all.
+  EXPECT_EQ(optimal_confirmations(0.0, 0.1, 1.0), 0u);
+}
+
+TEST(DoubleSpendTable, CoversGrid) {
+  const auto rows = double_spend_table({0, 1, 2}, {0.1, 0.2});
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].q, 0.1);
+  EXPECT_EQ(rows[3].q, 0.2);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.rosenfeld, 0.0);
+    EXPECT_LE(row.rosenfeld, 1.0);
+  }
+}
+
+TEST(AttackCost, LinearInDepth) {
+  const auto ref = MainnetReference::late2020();
+  EXPECT_NEAR(forgery_cost_usd(ref, 6), 6.0 * forgery_cost_usd(ref, 1), 1e-6);
+  EXPECT_GT(forgery_cost_usd(ref, 1), 100'000.0);  // six figures per block
+}
+
+TEST(AttackCost, SafeDepthGrowsWithEscrow) {
+  const auto ref = MainnetReference::late2020();
+  const auto k_small = safe_depth_for_escrow(ref, 10'000.0);
+  const auto k_large = safe_depth_for_escrow(ref, 10'000'000.0);
+  EXPECT_LE(k_small, 1u);
+  EXPECT_GT(k_large, k_small);
+  // The returned depth is actually safe.
+  EXPECT_GT(forgery_cost_usd(ref, k_large), 10'000'000.0);
+}
+
+TEST(AttackCost, TableWellFormed) {
+  const auto rows = attack_cost_table(MainnetReference::late2020(), 12);
+  ASSERT_EQ(rows.size(), 12u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].forgery_cost_usd, rows[i - 1].forgery_cost_usd);
+  }
+}
+
+TEST(Economics, GasToUsd) {
+  const auto ref = GasReference::late2020();
+  // 100k gas at 50 gwei, ETH=$400: 100000 * 50e-9 * 400 = $2.
+  EXPECT_NEAR(ref.gas_to_usd(100'000), 2.0, 1e-9);
+}
+
+TEST(Economics, AmortizationVanishes) {
+  const auto ref = GasReference::late2020();
+  const auto few = amortize(300'000, 10, ref);
+  const auto many = amortize(300'000, 10'000, ref);
+  EXPECT_NEAR(few.per_payment_usd, few.setup_usd / 10, 1e-12);
+  EXPECT_LT(many.per_payment_usd, 0.001);  // sub-tenth-of-a-cent
+}
+
+TEST(Economics, BtcFeeReference) {
+  const auto ref = BtcFeeReference::late2020();
+  // 60 sat/vB * 226 vB = 13560 sat ≈ $1.76 at $13k.
+  EXPECT_NEAR(ref.tx_fee_usd(), 1.763, 0.01);
+}
+
+TEST(Collateral, ScalesWithRateAndWindow) {
+  const auto slow = size_collateral(1'000'000, 1.0, 6);
+  const auto fast = size_collateral(1'000'000, 30.0, 6);
+  EXPECT_EQ(slow.required_collateral, 1'000'000u);
+  EXPECT_EQ(fast.required_collateral, 30'000'000u);
+  const auto quick_settle = size_collateral(1'000'000, 30.0, 1);
+  EXPECT_LT(quick_settle.required_collateral, fast.required_collateral);
+}
+
+TEST(Collateral, MinimumOnePayment) {
+  const auto plan = size_collateral(500, 0.01, 1);
+  EXPECT_EQ(plan.required_collateral, 500u);
+}
+
+}  // namespace
+}  // namespace btcfast::analysis

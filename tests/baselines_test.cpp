@@ -1,0 +1,135 @@
+// Tests for the baseline schemes BTCFast is compared against.
+#include <gtest/gtest.h>
+
+#include "baselines/acceptance_policy.h"
+#include "baselines/central_escrow.h"
+#include "baselines/channel.h"
+#include "btc/chain.h"
+#include "btc/pow.h"
+
+namespace btcfast::baselines {
+namespace {
+
+TEST(KConfPolicy, WaitScalesWithK) {
+  EXPECT_EQ(KConfPolicy{0}.expected_wait_s(), 0.0);
+  EXPECT_EQ(KConfPolicy{6}.expected_wait_s(), 3600.0);
+  EXPECT_EQ(KConfPolicy{6}.expected_wait_s(300.0), 1800.0);
+}
+
+TEST(KConfPolicy, RiskDropsWithK) {
+  const double r0 = KConfPolicy{0}.double_spend_risk(0.1);
+  const double r6 = KConfPolicy{6}.double_spend_risk(0.1);
+  EXPECT_GT(r0, 0.1);
+  EXPECT_LT(r6, 2e-4);
+}
+
+TEST(KConfPolicy, Names) {
+  EXPECT_EQ(KConfPolicy{0}.name(), "zero-conf");
+  EXPECT_EQ(KConfPolicy{6}.name(), "6-conf");
+}
+
+struct ChannelFixture : ::testing::Test {
+  ChannelFixture()
+      : params(btc::ChainParams::regtest()),
+        chain(params),
+        customer(sim::Party::make(1)),
+        merchant(sim::Party::make(2)) {
+    for (const auto& b : sim::build_funding_chain(params, {customer.script}, 1)) {
+      EXPECT_EQ(chain.submit_block(b), btc::SubmitResult::kActiveTip);
+    }
+    const auto coins = sim::find_spendable(chain, customer.script);
+    EXPECT_FALSE(coins.empty());
+    coin_op = coins.front().first;
+    coin_value = coins.front().second.out.value;
+  }
+
+  btc::ChainParams params;
+  btc::Chain chain;
+  sim::Party customer;
+  sim::Party merchant;
+  btc::OutPoint coin_op;
+  btc::Amount coin_value = 0;
+};
+
+TEST_F(ChannelFixture, OpenPayClose) {
+  PaymentChannel ch(customer, merchant, coin_op, coin_value, 20 * btc::kCoin, 6);
+
+  // Not usable until the funding tx confirms deep enough.
+  EXPECT_FALSE(ch.is_usable(0));
+  EXPECT_TRUE(ch.is_usable(6));
+
+  // Three incremental payments.
+  auto s1 = ch.pay(3 * btc::kCoin);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_TRUE(ch.accept(*s1));
+  auto s2 = ch.pay(2 * btc::kCoin);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_TRUE(ch.accept(*s2));
+  EXPECT_EQ(ch.paid_total(), 5 * btc::kCoin);
+  EXPECT_EQ(ch.remaining(), 15 * btc::kCoin);
+
+  // Close splits capacity per the latest state.
+  const btc::Transaction close = ch.close();
+  btc::Amount to_merchant = 0;
+  for (const auto& out : close.outputs) {
+    if (out.script_pubkey == merchant.script) to_merchant += out.value;
+  }
+  EXPECT_EQ(to_merchant, 5 * btc::kCoin);
+}
+
+TEST_F(ChannelFixture, RejectsOverCapacity) {
+  PaymentChannel ch(customer, merchant, coin_op, coin_value, 5 * btc::kCoin, 6);
+  EXPECT_TRUE(ch.pay(4 * btc::kCoin).has_value());
+  EXPECT_FALSE(ch.pay(2 * btc::kCoin).has_value());
+}
+
+TEST_F(ChannelFixture, RejectsStaleAndTamperedStates) {
+  PaymentChannel ch(customer, merchant, coin_op, coin_value, 10 * btc::kCoin, 6);
+  auto s1 = ch.pay(2 * btc::kCoin);
+  auto s2 = ch.pay(2 * btc::kCoin);
+  ASSERT_TRUE(s1 && s2);
+  ASSERT_TRUE(ch.accept(*s2));
+  // Stale state (lower sequence/paid) refused.
+  EXPECT_FALSE(ch.accept(*s1));
+  // Tampered amount refused.
+  auto forged = *s2;
+  forged.sequence += 1;
+  forged.paid += btc::kCoin;
+  EXPECT_FALSE(ch.verify(forged));
+}
+
+TEST_F(ChannelFixture, FundingTxIsValidOnChain) {
+  PaymentChannel ch(customer, merchant, coin_op, coin_value, 10 * btc::kCoin, 6);
+  // The funding tx spends a real coin and verifies.
+  EXPECT_TRUE(btc::verify_input(ch.funding_tx(), 0, customer.script));
+}
+
+TEST(CentralEscrow, InstantPaymentsUntilItAbsconds) {
+  CentralEscrow custodian;
+  const auto acct = custodian.open_account(10'000);
+  EXPECT_TRUE(custodian.pay(acct, 4'000));
+  EXPECT_EQ(custodian.balance(acct), 6'000);
+  EXPECT_EQ(custodian.merchant_receivable(), 4'000);
+
+  custodian.abscond();  // the trust failure BTCFast removes
+  EXPECT_EQ(custodian.balance(acct), 0);
+  EXPECT_EQ(custodian.merchant_receivable(), 0);
+  EXPECT_FALSE(custodian.pay(acct, 1));
+}
+
+TEST(CentralEscrow, FreezeCensorsPayments) {
+  CentralEscrow custodian;
+  const auto acct = custodian.open_account(10'000);
+  custodian.freeze();
+  EXPECT_FALSE(custodian.pay(acct, 1));
+  EXPECT_EQ(custodian.balance(acct), 10'000);  // funds intact, just censored
+}
+
+TEST(CentralEscrow, OverdraftRefused) {
+  CentralEscrow custodian;
+  const auto acct = custodian.open_account(100);
+  EXPECT_FALSE(custodian.pay(acct, 101));
+}
+
+}  // namespace
+}  // namespace btcfast::baselines

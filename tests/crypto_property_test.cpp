@@ -1,0 +1,220 @@
+// Property-style parameterized tests over the crypto layer: algebraic
+// invariants checked across many random inputs (seeded, deterministic).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/ecdsa.h"
+#include "crypto/merkle.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/uint256.h"
+
+namespace btcfast::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  const auto raw = rng.bytes<32>();
+  return U256::from_be_bytes({raw.data(), raw.size()});
+}
+
+U256 random_scalar(Rng& rng) {
+  // Rejection sample below n (gap to 2^256 is tiny).
+  for (;;) {
+    const U256 v = random_u256(rng);
+    if (!v.is_zero() && v < secp::order_n()) return v;
+  }
+}
+
+class U256Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256Property, AdditionCommutesAndAssociates) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng), b = random_u256(rng), c = random_u256(rng);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(U256Property, SubtractionInvertsAddition) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng), b = random_u256(rng);
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ(a - a, U256::zero());
+}
+
+TEST_P(U256Property, MulWideMatchesShiftAddForSmallMultipliers) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng);
+  // a * 8 == a << 3 in wrapping arithmetic, and wide product high part
+  // captures the shifted-out bits.
+  EXPECT_EQ(a * U256(8), a << 3);
+}
+
+TEST_P(U256Property, DivModIdentity) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng);
+  U256 d = random_u256(rng) >> (static_cast<unsigned>(rng.below(200)));
+  if (d.is_zero()) d = U256(3);
+  const U256 q = a / d;
+  const U256 r = a % d;
+  EXPECT_LT(r, d);
+  // q*d + r == a (q*d cannot overflow since q = floor(a/d)).
+  EXPECT_EQ(q * d + r, a);
+}
+
+TEST_P(U256Property, ShiftRoundTrips) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng);
+  const unsigned n = static_cast<unsigned>(rng.below(255)) + 1;
+  EXPECT_EQ(((a >> n) << n) | (a & ((U256::one() << n) - U256(1))), a);
+}
+
+TEST_P(U256Property, ByteRoundTrips) {
+  Rng rng(GetParam());
+  const U256 a = random_u256(rng);
+  const auto be = a.to_be_bytes();
+  const auto le = a.to_le_bytes();
+  EXPECT_EQ(U256::from_be_bytes({be.data(), be.size()}), a);
+  EXPECT_EQ(U256::from_le_bytes({le.data(), le.size()}), a);
+}
+
+TEST_P(U256Property, ModularInverseOnSecpPrimes) {
+  Rng rng(GetParam());
+  const U256 a = random_scalar(rng);
+  const U256 inv_n = invmod_prime(a, secp::order_n());
+  EXPECT_EQ(mulmod(a, inv_n, secp::order_n()), U256::one());
+  const U256 b = random_u256(rng) % secp::field_p();
+  if (!b.is_zero()) {
+    EXPECT_EQ(secp::fmul(b, secp::finv(b)), U256::one());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property, ::testing::Range<std::uint64_t>(1, 21));
+
+class CurveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CurveProperty, ScalarMulLandsOnCurve) {
+  Rng rng(GetParam());
+  const U256 k = random_scalar(rng);
+  const auto p = secp::to_affine(secp::scalar_mul_base(k));
+  EXPECT_TRUE(secp::on_curve(p));
+}
+
+TEST_P(CurveProperty, ScalarDistributesOverAddition) {
+  Rng rng(GetParam());
+  // (k1 + k2) G == k1 G + k2 G  (scalars mod n)
+  const U256 k1 = random_scalar(rng);
+  const U256 k2 = random_scalar(rng);
+  const U256 ksum = addmod(k1, k2, secp::order_n());
+  const auto lhs = secp::to_affine(secp::scalar_mul_base(ksum));
+  const auto rhs = secp::to_affine(
+      secp::jadd(secp::scalar_mul_base(k1), secp::scalar_mul_base(k2)));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(CurveProperty, DoubleScalarMulMatchesNaive) {
+  Rng rng(GetParam());
+  const U256 u1 = random_scalar(rng);
+  const U256 u2 = random_scalar(rng);
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const auto fast = secp::to_affine(secp::double_scalar_mul(u1, u2, p));
+  const auto naive = secp::to_affine(
+      secp::jadd(secp::scalar_mul_base(u1), secp::scalar_mul(u2, p)));
+  EXPECT_EQ(fast, naive);
+}
+
+TEST_P(CurveProperty, CompressedRoundTrip) {
+  Rng rng(GetParam());
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const auto enc = secp::compress(p);
+  const auto dec = secp::decompress({enc.data(), enc.size()});
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveProperty, ::testing::Range<std::uint64_t>(100, 112));
+
+class EcdsaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdsaProperty, SignVerifyHolds) {
+  Rng rng(GetParam());
+  const auto key = PrivateKey::from_scalar(random_scalar(rng));
+  ASSERT_TRUE(key.has_value());
+  const auto pub = PublicKey::derive(*key);
+  const auto msg = rng.bytes<48>();
+  const auto digest = sha256({msg.data(), msg.size()});
+  const Signature sig = ecdsa_sign(*key, digest);
+  EXPECT_TRUE(ecdsa_verify(pub, digest, sig));
+}
+
+TEST_P(EcdsaProperty, TamperedSignatureFails) {
+  Rng rng(GetParam());
+  const auto key = PrivateKey::from_scalar(random_scalar(rng));
+  const auto pub = PublicKey::derive(*key);
+  const auto msg = rng.bytes<48>();
+  const auto digest = sha256({msg.data(), msg.size()});
+  Signature sig = ecdsa_sign(*key, digest);
+  // Flip a random bit of r or s.
+  const unsigned bitpos = static_cast<unsigned>(rng.below(256));
+  if (rng.chance(0.5)) {
+    sig.r = sig.r + (U256::one() << bitpos);
+    sig.r = sig.r % secp::order_n();
+  } else {
+    sig.s = sig.s + (U256::one() << bitpos);
+    sig.s = sig.s % secp::order_n();
+  }
+  if (sig.r.is_zero() || sig.s.is_zero()) return;  // degenerate flip; skip
+  EXPECT_FALSE(ecdsa_verify(pub, digest, sig));
+}
+
+TEST_P(EcdsaProperty, DeterministicSignatures) {
+  Rng rng(GetParam());
+  const auto key = PrivateKey::from_scalar(random_scalar(rng));
+  const auto msg = rng.bytes<32>();
+  const auto digest = sha256({msg.data(), msg.size()});
+  EXPECT_EQ(ecdsa_sign(*key, digest), ecdsa_sign(*key, digest));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdsaProperty, ::testing::Range<std::uint64_t>(200, 210));
+
+class MerkleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProperty, AllBranchesVerifyAtThisSize) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Hash32> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(rng.bytes<32>());
+  const Hash32 root = merkle_root(leaves);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto branch = merkle_branch(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], branch, root)) << "leaf " << i << " of " << n;
+    // And the branch depth is ceil(log2(n)) for n > 1.
+    if (n > 1) {
+      std::size_t depth = 0;
+      std::size_t m = n;
+      while (m > 1) {
+        m = (m + 1) / 2;
+        ++depth;
+      }
+      EXPECT_EQ(branch.siblings.size(), depth);
+    }
+  }
+}
+
+TEST_P(MerkleProperty, ForeignLeafNeverVerifies) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  std::vector<Hash32> leaves;
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(rng.bytes<32>());
+  const Hash32 root = merkle_root(leaves);
+  const Hash32 foreign = rng.bytes<32>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(merkle_verify(foreign, merkle_branch(leaves, i), root));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProperty,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100));
+
+}  // namespace
+}  // namespace btcfast::crypto

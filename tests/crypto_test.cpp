@@ -1,0 +1,481 @@
+// Unit tests for the crypto library against published test vectors:
+// FIPS 180-4 (SHA-256), the RIPEMD-160 reference vectors, RFC 4231
+// (HMAC-SHA256), SEC2/RFC-6979 (secp256k1/ECDSA) and Bitcoin's base58.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/base58.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/ripemd160.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/uint256.h"
+
+namespace btcfast::crypto {
+namespace {
+
+std::string digest_hex(ByteSpan d) { return to_hex(d); }
+
+Bytes hx(const std::string& s) { return *from_hex(s); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const std::string msg = "abc";
+  EXPECT_EQ(digest_hex(sha256(as_bytes(msg))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const std::string msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(digest_hex(sha256(as_bytes(msg))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update({reinterpret_cast<const std::uint8_t*>(&c), 1});
+  EXPECT_EQ(h.finalize(), sha256(as_bytes(msg)));
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Messages straddling the 55/56/64-byte padding edges.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(as_bytes(msg));
+    EXPECT_EQ(a.finalize(), sha256(as_bytes(msg))) << len;
+  }
+}
+
+TEST(Sha256, DoubleShaKnownValue) {
+  // sha256d("hello") — the inner digest of "hello" rehashed.
+  const std::string msg = "hello";
+  const auto once = sha256(as_bytes(msg));
+  EXPECT_EQ(sha256d(as_bytes(msg)), sha256({once.data(), once.size()}));
+}
+
+TEST(Ripemd160, EmptyString) {
+  EXPECT_EQ(digest_hex(ripemd160({})), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+}
+
+TEST(Ripemd160, Abc) {
+  const std::string msg = "abc";
+  EXPECT_EQ(digest_hex(ripemd160(as_bytes(msg))),
+            "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+}
+
+TEST(Ripemd160, MessageDigest) {
+  const std::string msg = "message digest";
+  EXPECT_EQ(digest_hex(ripemd160(as_bytes(msg))),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+}
+
+TEST(Ripemd160, Alphabet) {
+  const std::string msg = "abcdefghijklmnopqrstuvwxyz";
+  EXPECT_EQ(digest_hex(ripemd160(as_bytes(msg))),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+}
+
+TEST(Ripemd160, LongVector) {
+  const std::string msg =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  EXPECT_EQ(digest_hex(ripemd160(as_bytes(msg))),
+            "b0e20b6e3116640286ed3a87a5713079b21f5189");
+}
+
+TEST(Ripemd160, Hash160OfGeneratorPubkey) {
+  // Compressed pubkey of private key 1 — the classic test address.
+  const Bytes pub = hx("0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  EXPECT_EQ(digest_hex(hash160(pub)), "751e76e8199196d454941c45d1b3a323f1433bd6");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string data = "Hi There";
+  EXPECT_EQ(digest_hex(hmac_sha256(key, as_bytes(data))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  EXPECT_EQ(digest_hex(hmac_sha256(as_bytes(key), as_bytes(data))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(digest_hex(hmac_sha256(key, as_bytes(data))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(U256, HexRoundTrip) {
+  const auto v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(), "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, ShortHexIsZeroPadded) {
+  const auto v = U256::from_hex("ff");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->low64(), 0xffu);
+}
+
+TEST(U256, ByteOrderConversions) {
+  const auto v = *U256::from_hex("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  const auto be = v.to_be_bytes();
+  EXPECT_EQ(be[0], 0x01);
+  EXPECT_EQ(be[31], 0x20);
+  const auto le = v.to_le_bytes();
+  EXPECT_EQ(le[0], 0x20);
+  EXPECT_EQ(le[31], 0x01);
+  EXPECT_EQ(U256::from_be_bytes({be.data(), be.size()}), v);
+  EXPECT_EQ(U256::from_le_bytes({le.data(), le.size()}), v);
+}
+
+TEST(U256, AdditionCarriesAcrossLimbs) {
+  U256 a;
+  a.w[0] = ~0ULL;
+  const U256 sum = a + U256(1);
+  EXPECT_EQ(sum.w[0], 0u);
+  EXPECT_EQ(sum.w[1], 1u);
+}
+
+TEST(U256, SubtractionBorrows) {
+  U256 a;
+  a.w[1] = 1;
+  const U256 diff = a - U256(1);
+  EXPECT_EQ(diff.w[0], ~0ULL);
+  EXPECT_EQ(diff.w[1], 0u);
+}
+
+TEST(U256, WrappingOverflow) {
+  bool carry = false;
+  const U256 r = add_carry(U256::max(), U256(1), carry);
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(U256, Comparison) {
+  EXPECT_LT(U256(1), U256(2));
+  U256 high;
+  high.w[3] = 1;
+  EXPECT_GT(high, U256(~0ULL));
+}
+
+TEST(U256, Shifts) {
+  const U256 one = U256::one();
+  const U256 shifted = one << 200;
+  EXPECT_TRUE(shifted.bit(200));
+  EXPECT_EQ(shifted >> 200, one);
+  EXPECT_TRUE((one << 256).is_zero());
+}
+
+TEST(U256, MulWide) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  U256 a;
+  a.w[0] = ~0ULL;
+  a.w[1] = ~0ULL;
+  const U512 p = a.mul_wide(a);
+  EXPECT_EQ(p.low256(), (U256::zero() - (U256(1) << 129)) + U256(1));
+  EXPECT_EQ(p.high256(), U256::zero());
+}
+
+TEST(U256, DivModBasic) {
+  const U256 a(1000);
+  EXPECT_EQ(a / U256(7), U256(142));
+  EXPECT_EQ(a % U256(7), U256(6));
+}
+
+TEST(U256, DivModLarge) {
+  const auto a = *U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  const auto b = *U256::from_hex("100000000000000000000000000000000");  // 2^128
+  EXPECT_EQ((a / b).to_hex(),
+            "00000000000000000000000000000000ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((a % b).to_hex(),
+            "00000000000000000000000000000000ffffffffffffffffffffffffffffffff");
+}
+
+TEST(U256, DivMod512RecomposesExactly) {
+  // dividend = q*d + r with r < d, reconstructed via mul_wide.
+  const auto d = *U256::from_hex("fedcba9876543210fedcba9876543210");
+  const auto x = *U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  const U512 dividend = x.mul_wide(x);
+  const auto dm = divmod(dividend, d);
+  EXPECT_LT(dm.remainder, d);
+  // Recompose: q*d (q fits in 512 but q.high256()*d must vanish).
+  const U512 q_low_d = dm.quotient.low256().mul_wide(d);
+  const U512 q_high_d = dm.quotient.high256().mul_wide(d);
+  U512 recomposed = q_low_d + (q_high_d << 256) + U512::from_u256(dm.remainder);
+  EXPECT_EQ(recomposed, dividend);
+}
+
+TEST(U256, ModularHelpers) {
+  const U256 m(97);
+  EXPECT_EQ(addmod(U256(90), U256(10), m), U256(3));
+  EXPECT_EQ(submod(U256(3), U256(10), m), U256(90));
+  EXPECT_EQ(mulmod(U256(13), U256(15), m), U256(195 % 97));
+  EXPECT_EQ(powmod(U256(2), U256(10), m), U256(1024 % 97));
+}
+
+TEST(U256, FermatInverse) {
+  const U256 m(101);  // prime
+  for (std::uint64_t a = 1; a < 20; ++a) {
+    const U256 inv = invmod_prime(U256(a), m);
+    EXPECT_EQ(mulmod(U256(a), inv, m), U256(1)) << a;
+  }
+}
+
+TEST(Secp256k1, GeneratorOnCurve) { EXPECT_TRUE(secp::on_curve(secp::generator())); }
+
+TEST(Secp256k1, KnownMultiplesOfG) {
+  // 2G from SEC test data.
+  const auto p2 = secp::to_affine(secp::scalar_mul_base(U256(2)));
+  EXPECT_EQ(p2.x.to_hex(), "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(p2.y.to_hex(), "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1, NTimesGIsInfinity) {
+  EXPECT_TRUE(secp::scalar_mul_base(secp::order_n()).is_infinity());
+}
+
+TEST(Secp256k1, AdditionMatchesScalarArithmetic) {
+  // 3G + 5G == 8G
+  const auto p3 = secp::scalar_mul_base(U256(3));
+  const auto p5 = secp::scalar_mul_base(U256(5));
+  const auto sum = secp::to_affine(secp::jadd(p3, p5));
+  const auto p8 = secp::to_affine(secp::scalar_mul_base(U256(8)));
+  EXPECT_EQ(sum, p8);
+}
+
+TEST(Secp256k1, DoubleEqualsAddSelf) {
+  const auto p = secp::scalar_mul_base(U256(7));
+  EXPECT_EQ(secp::to_affine(secp::jdouble(p)), secp::to_affine(secp::scalar_mul_base(U256(14))));
+}
+
+TEST(Secp256k1, AddInverseGivesInfinity) {
+  const auto p = secp::to_affine(secp::scalar_mul_base(U256(9)));
+  secp::AffinePoint neg = p;
+  neg.y = secp::fneg(neg.y);
+  EXPECT_TRUE(secp::jadd(secp::to_jacobian(p), secp::to_jacobian(neg)).is_infinity());
+}
+
+TEST(Secp256k1, CompressDecompressRoundTrip) {
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    const auto p = secp::to_affine(secp::scalar_mul_base(U256(k)));
+    const auto enc = secp::compress(p);
+    const auto dec = secp::decompress({enc.data(), enc.size()});
+    ASSERT_TRUE(dec.has_value()) << k;
+    EXPECT_EQ(*dec, p) << k;
+  }
+}
+
+TEST(Secp256k1, DecompressRejectsNonCurvePoints) {
+  ByteArray<33> bogus{};
+  bogus[0] = 0x02;
+  bogus[1] = 0x05;  // x = small value whose rhs is a non-residue (5^3+7=132)
+  // Either decompress fails or the y found satisfies the curve; just assert
+  // no crash and consistency:
+  const auto dec = secp::decompress({bogus.data(), bogus.size()});
+  if (dec) {
+    EXPECT_TRUE(secp::on_curve(*dec));
+  }
+}
+
+TEST(Secp256k1, DecompressRejectsBadPrefix) {
+  ByteArray<33> enc = secp::compress(secp::generator());
+  enc[0] = 0x05;
+  EXPECT_FALSE(secp::decompress({enc.data(), enc.size()}).has_value());
+}
+
+TEST(Secp256k1, FieldSqrtOfSquare) {
+  const U256 v(123456789);
+  const U256 sq = secp::fsqr(v);
+  const auto root = secp::fsqrt(sq);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(*root == v || *root == secp::fneg(v));
+}
+
+TEST(Ecdsa, PubkeyOfPrivkeyOneIsGenerator) {
+  const auto key = PrivateKey::from_scalar(U256(1));
+  ASSERT_TRUE(key.has_value());
+  const auto pub = PublicKey::derive(*key);
+  EXPECT_EQ(to_hex(pub.serialize()),
+            "0279be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+}
+
+TEST(Ecdsa, Rfc6979KnownSignature) {
+  // Bitcoin Core's RFC6979 test: key=1, message "Satoshi Nakamoto".
+  const auto key = PrivateKey::from_scalar(U256(1));
+  ASSERT_TRUE(key.has_value());
+  const std::string msg = "Satoshi Nakamoto";
+  const auto digest = sha256(as_bytes(msg));
+  const Signature sig = ecdsa_sign(*key, digest);
+  EXPECT_EQ(sig.r.to_hex(), "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8");
+  EXPECT_EQ(sig.s.to_hex(), "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5");
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  const auto key = PrivateKey::from_scalar(U256(0xdeadbeef));
+  ASSERT_TRUE(key.has_value());
+  const auto pub = PublicKey::derive(*key);
+  const auto digest = sha256(as_bytes(std::string("payment binding")));
+  const Signature sig = ecdsa_sign(*key, digest);
+  EXPECT_TRUE(ecdsa_verify(pub, digest, sig));
+}
+
+TEST(Ecdsa, RejectsWrongMessage) {
+  const auto key = PrivateKey::from_scalar(U256(0xdeadbeef));
+  const auto pub = PublicKey::derive(*key);
+  const auto digest = sha256(as_bytes(std::string("payment binding")));
+  const Signature sig = ecdsa_sign(*key, digest);
+  const auto other = sha256(as_bytes(std::string("different message")));
+  EXPECT_FALSE(ecdsa_verify(pub, other, sig));
+}
+
+TEST(Ecdsa, RejectsWrongKey) {
+  const auto key = PrivateKey::from_scalar(U256(0xdeadbeef));
+  const auto other_pub = PublicKey::derive(*PrivateKey::from_scalar(U256(0xcafe)));
+  const auto digest = sha256(as_bytes(std::string("payment binding")));
+  const Signature sig = ecdsa_sign(*key, digest);
+  EXPECT_FALSE(ecdsa_verify(other_pub, digest, sig));
+}
+
+TEST(Ecdsa, SignaturesAreLowS) {
+  const auto key = PrivateKey::from_scalar(U256(7777));
+  for (int i = 0; i < 8; ++i) {
+    const auto digest = sha256(as_bytes(std::string("msg") + std::to_string(i)));
+    const Signature sig = ecdsa_sign(*key, digest);
+    EXPECT_LE(sig.s, secp::half_order());
+  }
+}
+
+TEST(Ecdsa, CompactSerializationRoundTrip) {
+  const auto key = PrivateKey::from_scalar(U256(31337));
+  const auto digest = sha256(as_bytes(std::string("x")));
+  const Signature sig = ecdsa_sign(*key, digest);
+  const auto ser = sig.serialize();
+  const auto parsed = Signature::parse({ser.data(), ser.size()});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, sig);
+}
+
+TEST(Ecdsa, ParseRejectsOutOfRange) {
+  ByteArray<64> bad{};  // r = s = 0
+  EXPECT_FALSE(Signature::parse({bad.data(), bad.size()}).has_value());
+}
+
+TEST(Ecdsa, PrivateKeyRangeChecks) {
+  EXPECT_FALSE(PrivateKey::from_scalar(U256::zero()).has_value());
+  EXPECT_FALSE(PrivateKey::from_scalar(secp::order_n()).has_value());
+  EXPECT_TRUE(PrivateKey::from_scalar(secp::order_n() - U256(1)).has_value());
+}
+
+TEST(Merkle, SingleLeafIsItsOwnRoot) {
+  const Hash32 leaf = sha256(as_bytes(std::string("tx0")));
+  EXPECT_EQ(merkle_root({leaf}), leaf);
+}
+
+TEST(Merkle, TwoLeavesMatchManualPairHash) {
+  const Hash32 a = sha256(as_bytes(std::string("a")));
+  const Hash32 b = sha256(as_bytes(std::string("b")));
+  ByteArray<64> cat{};
+  for (int i = 0; i < 32; ++i) {
+    cat[i] = a[i];
+    cat[32 + i] = b[i];
+  }
+  EXPECT_EQ(merkle_root({a, b}), sha256d({cat.data(), cat.size()}));
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLast) {
+  const Hash32 a = sha256(as_bytes(std::string("a")));
+  const Hash32 b = sha256(as_bytes(std::string("b")));
+  const Hash32 c = sha256(as_bytes(std::string("c")));
+  EXPECT_EQ(merkle_root({a, b, c}), merkle_root({a, b, c, c}));
+}
+
+TEST(Merkle, BranchVerifiesForEveryLeaf) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < 7; ++i) leaves.push_back(sha256(as_bytes(std::string("tx") + std::to_string(i))));
+  const Hash32 root = merkle_root(leaves);
+  for (std::uint32_t i = 0; i < leaves.size(); ++i) {
+    const auto branch = merkle_branch(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], branch, root)) << i;
+  }
+}
+
+TEST(Merkle, BranchRejectsWrongLeaf) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < 4; ++i) leaves.push_back(sha256(as_bytes(std::string("tx") + std::to_string(i))));
+  const Hash32 root = merkle_root(leaves);
+  const auto branch = merkle_branch(leaves, 1);
+  EXPECT_FALSE(merkle_verify(leaves[2], branch, root));
+}
+
+TEST(Merkle, BranchRejectsTamperedSibling) {
+  std::vector<Hash32> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(sha256(as_bytes(std::string("tx") + std::to_string(i))));
+  const Hash32 root = merkle_root(leaves);
+  auto branch = merkle_branch(leaves, 3);
+  branch.siblings[1][0] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[3], branch, root));
+}
+
+TEST(Base58, EncodeHelloWorld) {
+  const std::string msg = "Hello World!";
+  EXPECT_EQ(base58_encode(as_bytes(msg)), "2NEpo7TZRRrLZSi2U");
+}
+
+TEST(Base58, LeadingZerosBecomeOnes) {
+  const Bytes data{0x00, 0x00, 0x01};
+  const std::string enc = base58_encode(data);
+  EXPECT_EQ(enc.substr(0, 2), "11");
+  EXPECT_EQ(base58_decode(enc).value(), data);
+}
+
+TEST(Base58, DecodeRejectsInvalidChars) {
+  EXPECT_FALSE(base58_decode("0OIl").has_value());
+}
+
+TEST(Base58, CheckRoundTrip) {
+  const Bytes payload = hx("751e76e8199196d454941c45d1b3a323f1433bd6");
+  const std::string addr = base58check_encode(0x00, payload);
+  EXPECT_EQ(addr, "1BgGZ9tcN4rm9KBzDn7KprQz87SZ26SAMH");
+  const auto dec = base58check_decode(addr);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->version, 0x00);
+  EXPECT_EQ(dec->payload, payload);
+}
+
+TEST(Base58, CheckRejectsCorruption) {
+  const Bytes payload = hx("751e76e8199196d454941c45d1b3a323f1433bd6");
+  std::string addr = base58check_encode(0x00, payload);
+  addr[10] = addr[10] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(base58check_decode(addr).has_value());
+}
+
+}  // namespace
+}  // namespace btcfast::crypto

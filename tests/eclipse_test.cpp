@@ -1,0 +1,168 @@
+// Eclipse-attack scenario: the adversary isolates the merchant's Bitcoin
+// node and feeds it a private chain in which the payment "confirms",
+// while the real network confirms a conflicting spend. Documents the SPV
+// caveat honestly: an eclipsed merchant can be fooled into settling — and
+// if the eclipse outlasts the binding expiry, the dispute window is gone.
+// The mitigation (short dispute timers vs. binding TTL) is also shown.
+#include <gtest/gtest.h>
+
+#include "btc/pow.h"
+#include "btcfast/orchestrator.h"
+#include "btcsim/miner.h"
+
+namespace btcfast::core {
+namespace {
+
+constexpr SimTime kSimHour = 60 * 60 * 1000;
+
+struct EclipseRig {
+  btc::ChainParams params = btc::ChainParams::regtest();
+  sim::Simulator simulator;
+  sim::Network net;
+  sim::NodeId honest_miner;
+  sim::NodeId merchant_node;
+  sim::Party customer = sim::Party::make(1);
+  sim::Party merchant = sim::Party::make(2);
+  sim::Party miner = sim::Party::make(3);
+  btc::OutPoint coin_op{};
+  btc::Amount coin_value = 0;
+
+  EclipseRig() : net(simulator, params, {}, 42) {
+    honest_miner = net.add_node();
+    merchant_node = net.add_node();
+    const auto funding = sim::build_funding_chain(params, {customer.script}, 1);
+    sim::seed_node(net.node(honest_miner), funding);
+    sim::seed_node(net.node(merchant_node), funding);
+    simulator.run_all();
+    const auto coins = sim::find_spendable(net.node(merchant_node).chain(), customer.script);
+    coin_op = coins.front().first;
+    coin_value = coins.front().second.out.value;
+  }
+
+  /// Attacker privately mines `n` blocks on top of `node`'s current tip,
+  /// including `txs` in the first one, feeding them ONLY to that node.
+  void feed_private_blocks(sim::NodeId node, int n, std::vector<btc::Transaction> txs) {
+    for (int i = 0; i < n; ++i) {
+      btc::Block b = net.node(node).assemble_block(customer.script,
+                                                   static_cast<std::uint32_t>(i + 1));
+      b.txs.resize(1);  // drop mempool contents; attacker controls content
+      if (i == 0) {
+        for (auto& tx : txs) b.txs.push_back(tx);
+      }
+      // Distinguish from honest blocks.
+      b.txs[0].inputs[0].sequence = 0xE0000000u + static_cast<std::uint32_t>(i);
+      b.seal_merkle_root();
+      ASSERT_TRUE(btc::mine_block(b, params));
+      net.node(node).receive_block(b);
+    }
+  }
+};
+
+TEST(Eclipse, IsolatedNodeSeesOnlyAttackerChain) {
+  EclipseRig rig;
+  rig.net.set_isolated(rig.merchant_node, true);
+
+  // The payment "confirms" 3-deep on the merchant's eclipsed view...
+  const auto payment = sim::build_payment(rig.customer, rig.coin_op, rig.coin_value,
+                                          rig.merchant.script, 5 * btc::kCoin);
+  rig.net.node(rig.merchant_node).receive_tx(payment);
+  rig.feed_private_blocks(rig.merchant_node, 3, {payment});
+  EXPECT_EQ(rig.net.node(rig.merchant_node).chain().confirmations(payment.txid()), 3u);
+
+  // ...while the honest network confirms the conflicting self-spend.
+  const auto conflict = sim::build_payment(rig.customer, rig.coin_op, rig.coin_value,
+                                           rig.customer.script, 5 * btc::kCoin, 2000);
+  rig.net.node(rig.honest_miner).receive_tx(conflict);
+  sim::MinerProcess proc(rig.net, rig.honest_miner, 1.0, rig.miner.script, 7);
+  proc.start();
+  rig.simulator.run_until(rig.simulator.now() + 90 * kMinute);
+  proc.stop();
+
+  EXPECT_GT(rig.net.node(rig.honest_miner).chain().confirmations(conflict.txid()), 0u);
+  // The eclipsed merchant still believes in its private view.
+  EXPECT_EQ(rig.net.node(rig.merchant_node).chain().confirmations(payment.txid()), 3u);
+}
+
+TEST(Eclipse, ReconnectionReorgsToTruth) {
+  EclipseRig rig;
+  rig.net.set_isolated(rig.merchant_node, true);
+  rig.net.enable_sync(30 * kSecond);
+
+  const auto payment = sim::build_payment(rig.customer, rig.coin_op, rig.coin_value,
+                                          rig.merchant.script, 5 * btc::kCoin);
+  rig.net.node(rig.merchant_node).receive_tx(payment);
+  rig.feed_private_blocks(rig.merchant_node, 2, {payment});
+
+  const auto conflict = sim::build_payment(rig.customer, rig.coin_op, rig.coin_value,
+                                           rig.customer.script, 5 * btc::kCoin, 2000);
+  rig.net.node(rig.honest_miner).receive_tx(conflict);
+  sim::MinerProcess proc(rig.net, rig.honest_miner, 1.0, rig.miner.script, 7);
+  proc.start();
+  rig.simulator.run_until(rig.simulator.now() + 90 * kMinute);
+  proc.stop();
+
+  // The eclipse ends; anti-entropy pulls the (heavier) honest chain.
+  rig.net.set_isolated(rig.merchant_node, false);
+  rig.simulator.run_until(rig.simulator.now() + 5 * kMinute);
+
+  EXPECT_EQ(rig.net.node(rig.merchant_node).chain().tip_hash(),
+            rig.net.node(rig.honest_miner).chain().tip_hash());
+  EXPECT_EQ(rig.net.node(rig.merchant_node).chain().confirmations(payment.txid()), 0u);
+  EXPECT_GT(rig.net.node(rig.merchant_node).chain().confirmations(conflict.txid()), 0u);
+}
+
+TEST(Eclipse, DisputeStillWinnableIfBindingOutlivesEclipse) {
+  // Full-stack: merchant eclipsed long enough to falsely settle, but the
+  // binding TTL comfortably exceeds the eclipse; after reconnection the
+  // merchant re-disputes and is compensated. The defense is generous
+  // binding TTLs relative to plausible eclipse durations.
+  DeploymentConfig cfg;
+  cfg.seed = 91;
+  cfg.settle_confirmations = 2;
+  cfg.required_depth = 2;
+  cfg.dispute_after_ms = 60 * 60 * 1000;
+  cfg.evidence_window_ms = 45 * 60 * 1000;
+  cfg.binding_ttl_ms = 24ULL * 60 * 60 * 1000;  // >> eclipse duration
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted);
+
+  // Eclipse the merchant; the customer immediately *mines* the
+  // conflicting spend into a block on the real chain (first-seen mempools
+  // would reject the bare conflict tx, so the attacker self-mines it).
+  const auto node_id = dep.merchant_node().id();
+  dep.network().set_isolated(node_id, true);
+  const auto first_tx = dep.merchant_node().mempool().get(r.txid);
+  ASSERT_TRUE(first_tx.has_value());
+  const auto coin_op = first_tx->inputs[0].prevout;
+  const auto coin = dep.customer_node().chain().utxo().get(coin_op);
+  const auto conflict =
+      sim::build_payment(dep.customer().btc_identity(), coin_op, coin->out.value,
+                         dep.customer().btc_identity().script, 5 * btc::kCoin, 3000);
+  {
+    btc::Block b = dep.customer_node().assemble_block(
+        dep.customer().btc_identity().script, 1);
+    b.txs.resize(1);  // coinbase only; the attacker picks the contents
+    b.txs[0].inputs[0].sequence = 0xEC1153;
+    b.txs.push_back(conflict);
+    b.seal_merkle_root();
+    ASSERT_TRUE(btc::mine_block(b, btc::ChainParams::regtest()));
+    dep.customer_node().receive_block(b);  // relays to the (real) network
+  }
+
+  dep.network().enable_sync(30 * kSecond);
+  dep.run_for(2 * kSimHour);
+  dep.network().set_isolated(node_id, false);
+  dep.run_for(6 * kSimHour);
+
+  const auto s = dep.summarize();
+  // The payment died on the real chain; the merchant disputed after
+  // reconnection and won.
+  EXPECT_EQ(dep.merchant_node().chain().confirmations(r.txid), 0u);
+  EXPECT_EQ(s.disputes_opened, 1u);
+  EXPECT_EQ(s.judged_for_merchant, 1u);
+}
+
+}  // namespace
+}  // namespace btcfast::core

@@ -1,0 +1,103 @@
+// Tests for Bitcoin wire encodings: strict DER signatures and WIF keys.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/encoding.h"
+#include "crypto/sha256.h"
+
+namespace btcfast::crypto {
+namespace {
+
+Signature sample_signature(std::uint64_t seed) {
+  const auto key = *PrivateKey::from_scalar(U256(seed));
+  const auto digest = sha256(as_bytes(std::string("msg") + std::to_string(seed)));
+  return ecdsa_sign(key, digest);
+}
+
+TEST(Der, RoundTripsRandomSignatures) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Signature sig = sample_signature(seed);
+    const Bytes der = signature_to_der(sig);
+    const auto back = signature_from_der(der);
+    ASSERT_TRUE(back.has_value()) << seed;
+    EXPECT_EQ(*back, sig) << seed;
+    // DER is at most 72 bytes, at least 8.
+    EXPECT_LE(der.size(), 72u);
+    EXPECT_GE(der.size(), 8u);
+  }
+}
+
+TEST(Der, SmallValuesEncodeMinimally) {
+  // r = 1, s = 0x80 (needs a sign pad byte).
+  const Signature sig{U256(1), U256(0x80)};
+  const Bytes der = signature_to_der(sig);
+  // 30 07 02 01 01 02 02 00 80  (content = 3 + 4 bytes)
+  EXPECT_EQ(to_hex(der), "300702010102020080");
+  const auto back = signature_from_der(der);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, sig);
+}
+
+TEST(Der, RejectsMalformedEncodings) {
+  const Bytes good = signature_to_der(sample_signature(3));
+
+  Bytes wrong_tag = good;
+  wrong_tag[0] = 0x31;
+  EXPECT_FALSE(signature_from_der(wrong_tag).has_value());
+
+  Bytes wrong_len = good;
+  wrong_len[1] ^= 1;
+  EXPECT_FALSE(signature_from_der(wrong_len).has_value());
+
+  Bytes truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(signature_from_der(truncated).has_value());
+
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(signature_from_der(trailing).has_value());
+}
+
+TEST(Der, RejectsNonMinimalPadding) {
+  // INTEGER 0x00 0x01 is non-minimal (0x01 alone suffices).
+  const auto bad = *from_hex("300802020001020200" "80");
+  EXPECT_FALSE(signature_from_der(bad).has_value());
+}
+
+TEST(Der, RejectsNegativeIntegers) {
+  // INTEGER with the high bit set and no pad reads as negative.
+  const auto bad = *from_hex("30060201810201" "01");
+  EXPECT_FALSE(signature_from_der(bad).has_value());
+}
+
+TEST(Wif, RoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto raw = rng.bytes<32>();
+    const auto key = PrivateKey::from_bytes({raw.data(), raw.size()});
+    if (!key) continue;
+    const std::string wif = private_key_to_wif(*key);
+    const auto back = private_key_from_wif(wif);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->scalar(), key->scalar());
+    EXPECT_TRUE(wif[0] == 'K' || wif[0] == 'L');  // compressed mainnet prefix
+  }
+}
+
+TEST(Wif, KnownVector) {
+  // The classic test key: scalar 1.
+  const auto key = *PrivateKey::from_scalar(U256(1));
+  EXPECT_EQ(private_key_to_wif(key),
+            "KwDiBf89QgGbjEhKnhXJuH7LrciVrZi3qYjgd9M7rFU73sVHnoWn");
+}
+
+TEST(Wif, RejectsCorruption) {
+  const auto key = *PrivateKey::from_scalar(U256(42));
+  std::string wif = private_key_to_wif(key);
+  wif[10] = wif[10] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(private_key_from_wif(wif).has_value());
+  EXPECT_FALSE(private_key_from_wif("not-a-wif").has_value());
+}
+
+}  // namespace
+}  // namespace btcfast::crypto

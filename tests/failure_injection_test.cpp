@@ -1,0 +1,187 @@
+// Failure-injection tests: message loss, partitioned delivery, evidence
+// at window edges, and PSC-chain liveness failure — the conditions a
+// deployed BTCFast must tolerate (or whose failure modes it must expose
+// honestly).
+#include <gtest/gtest.h>
+
+#include "btc/pow.h"
+#include "btcfast/evidence.h"
+#include "btcfast/orchestrator.h"
+#include "btcsim/miner.h"
+
+namespace btcfast::core {
+namespace {
+
+constexpr SimTime kSimHour = 60 * 60 * 1000;
+
+TEST(FailureInjection, LossyNetworkStillConvergesWithSync) {
+  sim::Simulator simulator;
+  btc::ChainParams params = btc::ChainParams::regtest();
+  sim::NetworkConfig ncfg;
+  ncfg.loss_rate = 0.4;  // heavy loss
+  sim::Network net(simulator, params, ncfg, 71);
+  net.enable_sync(30 * kSecond);
+
+  std::vector<sim::NodeId> ids;
+  std::vector<std::unique_ptr<sim::MinerProcess>> procs;
+  const sim::Party miner = sim::Party::make(6);
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net.add_node());
+    procs.push_back(std::make_unique<sim::MinerProcess>(net, ids.back(), 0.25, miner.script,
+                                                        500 + static_cast<std::uint64_t>(i)));
+    procs.back()->start();
+  }
+  simulator.run_until(static_cast<SimTime>(params.block_interval_s) * 1000 * 20);
+  for (auto& p : procs) p->stop();
+  // One more sync cycle to settle.
+  simulator.run_until(simulator.now() + 2 * kMinute);
+
+  EXPECT_GT(net.drops(), 0u);  // loss actually happened
+  const auto tip = net.node(ids[0]).chain().tip_hash();
+  for (auto id : ids) {
+    EXPECT_EQ(net.node(id).chain().tip_hash(), tip) << "node " << id << " diverged";
+  }
+  EXPECT_GT(net.node(ids[0]).chain().height(), 8u);
+}
+
+TEST(FailureInjection, LossyNetworkWithoutSyncDiverges) {
+  // Negative control: the same loss with no recovery path leaves nodes
+  // stuck behind (documents why enable_sync exists).
+  sim::Simulator simulator;
+  btc::ChainParams params = btc::ChainParams::regtest();
+  sim::NetworkConfig ncfg;
+  ncfg.loss_rate = 0.6;
+  sim::Network net(simulator, params, ncfg, 72);
+
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  const sim::Party miner = sim::Party::make(6);
+  sim::MinerProcess proc(net, a, 1.0, miner.script, 501);
+  proc.start();
+  simulator.run_until(static_cast<SimTime>(params.block_interval_s) * 1000 * 15);
+  proc.stop();
+  simulator.run_all();
+
+  // The miner's own chain grew; the peer, behind a 60%-loss link with no
+  // sync, almost surely missed at least one block forever.
+  EXPECT_GT(net.node(a).chain().height(), net.node(b).chain().height());
+}
+
+TEST(FailureInjection, FastPayEndToEndSurvivesMessageLoss) {
+  DeploymentConfig cfg;
+  cfg.seed = 73;
+  cfg.net.loss_rate = 0.25;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+  dep.run_for(4 * kSimHour);
+
+  const auto s = dep.summarize();
+  EXPECT_EQ(s.payments_settled, 1u);
+  EXPECT_EQ(s.disputes_opened, 0u);
+  EXPECT_GT(dep.network().drops(), 0u);
+}
+
+TEST(FailureInjection, EvidenceAtWindowEdgeStillCounts) {
+  // Submit evidence in the very last millisecond of the window.
+  btc::ChainParams params = btc::ChainParams::regtest();
+  btc::Chain chain(params);
+  const sim::Party customer = sim::Party::make(11);
+  const sim::Party merchant = sim::Party::make(22);
+  for (const auto& b : sim::build_funding_chain(params, {customer.script}, 2)) {
+    (void)chain.submit_block(b);
+  }
+
+  PayJudgerConfig jcfg;
+  jcfg.pow_limit = params.pow_limit;
+  jcfg.initial_checkpoint = chain.tip_hash();
+  jcfg.required_depth = 2;
+  jcfg.evidence_window_ms = 1000;
+  jcfg.min_collateral = 100;
+  jcfg.dispute_bond = 10;
+  psc::PscChain psc;
+  const auto judger = psc.deploy("payjudger", std::make_unique<PayJudger>(jcfg));
+  const auto customer_psc = psc::Address::from_label("c");
+  const auto merchant_psc = psc::Address::from_label("m");
+  psc.mint(customer_psc, 1'000'000'000);
+  psc.mint(merchant_psc, 1'000'000'000);
+  CustomerWallet wallet(customer, customer_psc, 1);
+  ASSERT_TRUE(psc.execute_now(wallet.make_deposit_tx(judger, 10'000, 1ULL << 40), 0).success);
+
+  const auto coins = sim::find_spendable(chain, customer.script);
+  Invoice inv;
+  inv.amount_sat = coins[0].second.out.value / 2;
+  inv.compensation = 5'000;
+  inv.pay_to = merchant.script;
+  inv.merchant_psc = merchant_psc;
+  inv.expires_at_ms = 1ULL << 40;
+  auto pkg = wallet.create_fastpay(inv, coins[0].first, coins[0].second.out.value, 0, 1ULL << 40);
+
+  psc::PscTx open;
+  open.from = merchant_psc;
+  open.to = judger;
+  open.value = 10;
+  open.method = "openDispute";
+  open.args = encode_open_dispute_args(1, pkg.binding);
+  ASSERT_TRUE(psc.execute_now(open, 100).success);  // deadline = 1100
+
+  // Mine two blocks so the merchant has evidence.
+  for (int i = 0; i < 2; ++i) {
+    btc::Block b;
+    b.header.prev_hash = chain.tip_hash();
+    b.header.time = chain.tip_header().time + 1;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = 0x9000 + static_cast<std::uint32_t>(i);
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, merchant.script});
+    b.txs.push_back(cb);
+    ASSERT_TRUE(btc::mine_block(b, params));
+    ASSERT_EQ(chain.submit_block(b), btc::SubmitResult::kActiveTip);
+  }
+  const auto headers = *headers_since(chain, jcfg.initial_checkpoint);
+
+  psc::PscTx ev;
+  ev.from = merchant_psc;
+  ev.to = judger;
+  ev.method = "submitMerchantEvidence";
+  ev.args = encode_merchant_evidence_args(1, headers);
+  ev.gas_limit = 8'000'000;
+  // Exactly at the deadline: accepted.
+  EXPECT_TRUE(psc.execute_now(ev, 1100).success);
+  // One past: rejected.
+  const auto late = psc.execute_now(ev, 1101);
+  EXPECT_EQ(late.revert_reason, "evidence-window-closed");
+}
+
+TEST(FailureInjection, PscLivenessFailureDelaysButDoesNotLoseDispute) {
+  // The PSC chain halts (no blocks produced) right after the double spend.
+  // The merchant's dispute txs queue; when the chain resumes, everything
+  // still resolves — the liveness assumption affects *when*, not *whether*.
+  DeploymentConfig cfg;
+  cfg.seed = 21;
+  cfg.attacker_share = 0.6;
+  cfg.attacker_give_up_deficit = 50;
+  cfg.required_depth = 3;
+  cfg.dispute_after_ms = 60 * 60 * 1000;
+  cfg.evidence_window_ms = 45 * 60 * 1000;
+  // A grotesque 2.5-hour PSC block interval ≈ a halted chain resuming.
+  cfg.psc_block_interval_ms = 150ULL * 60 * 1000;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted);
+  dep.run_for(16 * kSimHour);
+
+  const auto s = dep.summarize();
+  EXPECT_EQ(s.disputes_opened, 1u);
+  // Resolution happened despite the stalled chain (later than usual).
+  EXPECT_EQ(s.judged_for_merchant + s.judged_for_customer, 1u);
+}
+
+}  // namespace
+}  // namespace btcfast::core

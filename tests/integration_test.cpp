@@ -1,0 +1,233 @@
+// End-to-end integration tests: the full BTCFast deployment — Bitcoin
+// network + PSC chain + PayJudger + customer/merchant/relayer processes —
+// driven through complete honest and adversarial scenarios.
+#include <gtest/gtest.h>
+
+#include "btcfast/orchestrator.h"
+
+namespace btcfast::core {
+namespace {
+
+constexpr SimTime kSimHour = 60 * 60 * 1000;
+
+TEST(Integration, HonestFastPayAcceptsInstantly) {
+  DeploymentConfig cfg;
+  cfg.seed = 7;
+  cfg.attacker_share = 0.0;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const FastPayResult r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+
+  // The decision is local computation only: a few signature checks.
+  // "< 1 second" is the paper's headline; we are orders below that.
+  EXPECT_LT(r.decision_micros, 1'000'000.0);
+  // End-to-end waiting time = message hop + decision, far under a second.
+  EXPECT_LT(r.message_latency_ms, 1'000);
+}
+
+TEST(Integration, HonestPaymentSettlesWithoutDisputeOrFees) {
+  DeploymentConfig cfg;
+  cfg.seed = 8;
+  cfg.attacker_share = 0.0;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const FastPayResult r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+
+  dep.run_for(3 * kSimHour);
+
+  const DeploymentSummary s = dep.summarize();
+  EXPECT_EQ(s.payments_settled, 1u);
+  EXPECT_EQ(s.disputes_opened, 0u);
+  EXPECT_EQ(s.judged_for_merchant, 0u);
+  EXPECT_EQ(s.escrow_state, EscrowState::kActive);
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral);
+
+  // Honest path on-chain cost: exactly the one-time deposit; nothing per
+  // payment ("no extra operation fee").
+  EXPECT_TRUE(dep.receipts_for("openDispute").empty());
+  EXPECT_TRUE(dep.receipts_for("submitMerchantEvidence").empty());
+
+  // The merchant actually received the BTC.
+  EXPECT_GT(dep.merchant_node().chain().confirmations(r.txid), 3u);
+}
+
+TEST(Integration, MultipleHonestPaymentsReuseTheEscrow) {
+  DeploymentConfig cfg;
+  cfg.seed = 9;
+  cfg.settle_confirmations = 2;
+  cfg.compensation = 500'000;
+  cfg.funded_coins = 3;
+  Deployment dep(cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    const FastPayResult r = dep.perform_fastpay(5 * btc::kCoin);
+    ASSERT_TRUE(r.accepted) << "payment " << i << ": " << r.reject_reason;
+    dep.run_for(kSimHour);  // let it confirm before the next one
+  }
+  dep.run_for(kSimHour);
+
+  const DeploymentSummary s = dep.summarize();
+  EXPECT_EQ(s.payments_settled, 3u);
+  EXPECT_EQ(s.disputes_opened, 0u);
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral);
+}
+
+TEST(Integration, DoubleSpendIsDetectedDisputedAndCompensated) {
+  DeploymentConfig cfg;
+  cfg.seed = 21;
+  cfg.attacker_share = 0.6;  // strong attacker: the double spend WILL land
+  cfg.attacker_give_up_deficit = 50;
+  cfg.settle_confirmations = 6;
+  cfg.dispute_after_ms = 90 * 60 * 1000;
+  cfg.evidence_window_ms = 60 * 60 * 1000;
+  cfg.required_depth = 3;
+  Deployment dep(cfg);
+
+  // Attacker releases as soon as its secret chain is ahead (0-conf attack
+  // against an instant-acceptance merchant).
+  const FastPayResult r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+
+  const psc::Value merchant_before = dep.psc().state().balance(
+      dep.merchant().config().self_psc);
+
+  dep.run_for(8 * kSimHour);
+
+  const DeploymentSummary s = dep.summarize();
+  // The payment was killed by the double spend...
+  EXPECT_EQ(dep.merchant_node().chain().confirmations(r.txid), 0u);
+  // ...so the merchant disputed and won compensation.
+  EXPECT_EQ(s.disputes_opened, 1u);
+  EXPECT_EQ(s.judged_for_merchant, 1u);
+  EXPECT_EQ(s.judged_for_customer, 0u);
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral - cfg.compensation);
+
+  const psc::Value merchant_after = dep.psc().state().balance(
+      dep.merchant().config().self_psc);
+  // Net of gas, the merchant is better off by ~the compensation.
+  EXPECT_GT(merchant_after + 2'000'000, merchant_before + cfg.compensation);
+}
+
+TEST(Integration, WrongfulDisputeLosesToCustomerProof) {
+  DeploymentConfig cfg;
+  cfg.seed = 33;
+  cfg.attacker_share = 0.0;        // honest customer
+  cfg.dispute_after_ms = 60'000;   // impatient merchant disputes after 1 min
+  cfg.evidence_window_ms = 90 * 60 * 1000;  // window long enough for k blocks
+  cfg.required_depth = 3;
+  cfg.settle_confirmations = 3;
+  cfg.poll_interval_ms = 30'000;
+  Deployment dep(cfg);
+
+  const FastPayResult r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+
+  dep.run_for(6 * kSimHour);
+
+  const DeploymentSummary s = dep.summarize();
+  EXPECT_EQ(s.disputes_opened, 1u);
+  EXPECT_EQ(s.judged_for_customer, 1u);
+  EXPECT_EQ(s.judged_for_merchant, 0u);
+  // Collateral untouched; the merchant still got its BTC (the payment
+  // confirmed normally) AND forfeited its dispute bond.
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral);
+  EXPECT_GT(dep.merchant_node().chain().confirmations(r.txid), cfg.required_depth);
+}
+
+TEST(Integration, EscrowWithdrawAfterQuietPeriod) {
+  DeploymentConfig cfg;
+  cfg.seed = 44;
+  cfg.escrow_unlock_delay_ms = 5 * kSimHour;
+  cfg.binding_ttl_ms = 4 * kSimHour;
+  cfg.dispute_after_ms = 60 * 60 * 1000;
+  cfg.evidence_window_ms = 30 * 60 * 1000;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const FastPayResult r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+  dep.run_for(5 * kSimHour + 10 * 60 * 1000);
+
+  // Customer reclaims the collateral.
+  const auto tx = dep.customer().make_withdraw_tx(dep.judger_address());
+  const auto receipt =
+      dep.psc().execute_now(tx, static_cast<std::uint64_t>(dep.simulator().now()));
+  ASSERT_TRUE(receipt.success) << receipt.revert_reason;
+  EXPECT_EQ(dep.escrow_view()->state, EscrowState::kEmpty);
+}
+
+TEST(Integration, RelayerAdvancesContractCheckpoint) {
+  DeploymentConfig cfg;
+  cfg.seed = 55;
+  cfg.relayer_lag_blocks = 3;
+  Deployment dep(cfg);
+
+  dep.run_for(8 * kSimHour);  // ~48 blocks; relayer should push updates
+
+  const auto checkpoint = dep.relayer().read_checkpoint();
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_GT(checkpoint->second, 0u);  // height advanced beyond deployment
+  // The checkpoint is on the merchant's active chain.
+  EXPECT_TRUE(dep.merchant_node().chain().is_on_active_chain(checkpoint->first));
+}
+
+TEST(Integration, MerchantRejectsOverdrawnEscrow) {
+  DeploymentConfig cfg;
+  cfg.seed = 66;
+  cfg.collateral = 1'500'000;
+  cfg.compensation = 1'000'000;  // two payments would overrun collateral
+  cfg.funded_coins = 2;
+  Deployment dep(cfg);
+
+  const FastPayResult first = dep.perform_fastpay(5 * btc::kCoin);
+  ASSERT_TRUE(first.accepted) << first.reject_reason;
+  // Second binding would push exposure to 2'000'000 > 1'500'000.
+  const FastPayResult second = dep.perform_fastpay(5 * btc::kCoin);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_NE(second.reject_reason.find("collateral"), std::string::npos);
+}
+
+TEST(Integration, MerchantRejectsDoubleSpendVisibleInMempool) {
+  DeploymentConfig cfg;
+  cfg.seed = 77;
+  Deployment dep(cfg);
+
+  // First payment occupies the coin in every mempool.
+  const FastPayResult first = dep.perform_fastpay(5 * btc::kCoin);
+  ASSERT_TRUE(first.accepted);
+  dep.run_for(10 * 1000);  // let the tx propagate to the merchant's node
+
+  // Craft a second package spending the SAME coin (naive double spend):
+  // recover the first payment's input from the merchant node's mempool.
+  auto& customer = dep.customer();
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  // Different amount -> different outputs -> genuinely conflicting txid.
+  const Invoice invoice = dep.merchant().make_invoice(4 * btc::kCoin, cfg.compensation, now,
+                                                      10 * 60 * 1000);
+  const auto first_tx = dep.merchant_node().mempool().get(first.txid);
+  ASSERT_TRUE(first_tx.has_value());
+  const btc::OutPoint coin_op = first_tx->inputs[0].prevout;
+  const auto coin = dep.customer_node().chain().utxo().get(coin_op);
+  ASSERT_TRUE(coin.has_value());
+  FastPayPackage pkg =
+      customer.create_fastpay(invoice, coin_op, coin->out.value, now, cfg.binding_ttl_ms);
+  const AcceptDecision d = dep.merchant().evaluate_fastpay(pkg, invoice, now);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("double-spent in mempool"), std::string::npos) << d.reason;
+}
+
+TEST(Integration, SummaryGasAccountingIsVisible) {
+  DeploymentConfig cfg;
+  cfg.seed = 88;
+  Deployment dep(cfg);
+  const auto s = dep.summarize();
+  // Deposit happened during construction.
+  EXPECT_GT(s.total_gas_used, 21'000u);
+}
+
+}  // namespace
+}  // namespace btcfast::core

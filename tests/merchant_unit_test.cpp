@@ -1,0 +1,187 @@
+// Component-level unit tests for MerchantService, CustomerWallet and the
+// protocol messages — every rejection path of the fast-pay evaluation
+// exercised directly (the integration suite covers the happy paths).
+#include <gtest/gtest.h>
+
+#include "btcfast/orchestrator.h"
+
+namespace btcfast::core {
+namespace {
+
+/// Deployment-backed harness: gives us a consistent world, then we tamper
+/// with packages before evaluation.
+struct MerchantUnit : ::testing::Test {
+  MerchantUnit() {
+    DeploymentConfig cfg;
+    cfg.seed = 314;
+    cfg.funded_coins = 3;
+    dep = std::make_unique<Deployment>(cfg);
+    now = static_cast<std::uint64_t>(dep->simulator().now());
+    invoice = dep->merchant().make_invoice(5 * btc::kCoin, dep->config().compensation, now,
+                                           10ULL * 60 * 1000);
+    const auto coins = sim::find_spendable(dep->customer_node().chain(),
+                                           dep->customer().btc_identity().script);
+    coin_op = coins.front().first;
+    coin_value = coins.front().second.out.value;
+    pkg = dep->customer().create_fastpay(invoice, coin_op, coin_value, now,
+                                         dep->config().binding_ttl_ms);
+  }
+
+  AcceptDecision eval() { return dep->merchant().evaluate_fastpay(pkg, invoice, now); }
+
+  std::unique_ptr<Deployment> dep;
+  std::uint64_t now = 0;
+  Invoice invoice{};
+  btc::OutPoint coin_op{};
+  btc::Amount coin_value = 0;
+  FastPayPackage pkg{};
+};
+
+TEST_F(MerchantUnit, ValidPackageAccepted) {
+  const auto d = eval();
+  EXPECT_TRUE(d.accepted) << d.reason;
+}
+
+TEST_F(MerchantUnit, ExpiredInvoiceRejected) {
+  now = invoice.expires_at_ms + 1;
+  EXPECT_EQ(eval().reason, "invoice expired");
+}
+
+TEST_F(MerchantUnit, WrongMerchantBindingRejected) {
+  pkg.binding.binding.merchant = psc::Address::from_label("somebody-else");
+  EXPECT_EQ(eval().reason, "binding names another merchant");
+}
+
+TEST_F(MerchantUnit, LowCompensationRejected) {
+  pkg.binding.binding.compensation = invoice.compensation - 1;
+  EXPECT_EQ(eval().reason, "compensation below invoice");
+}
+
+TEST_F(MerchantUnit, ShortExpiryRejected) {
+  pkg.binding.binding.expiry_ms = now + 60'000;  // dispute couldn't finish
+  EXPECT_NE(eval().reason.find("expires before a dispute"), std::string::npos);
+}
+
+TEST_F(MerchantUnit, TxidMismatchRejected) {
+  pkg.binding.binding.btc_txid.bytes[0] ^= 1;
+  EXPECT_EQ(eval().reason, "binding txid mismatch");
+}
+
+TEST_F(MerchantUnit, UnderpaymentRejected) {
+  // Outputs pay less than the invoice amount.
+  pkg.payment_tx.outputs[0].value = invoice.amount_sat - 1;
+  btc::sign_input(pkg.payment_tx, 0, dep->customer().btc_identity().key,
+                  dep->customer().btc_identity().script);
+  pkg.binding.binding.btc_txid = pkg.payment_tx.txid();
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      pkg.binding.binding.signing_digest());
+  pkg.binding.customer_sig = sig.serialize();
+  EXPECT_EQ(eval().reason, "payment output below invoice amount");
+}
+
+TEST_F(MerchantUnit, UnknownEscrowRejected) {
+  pkg.binding.binding.escrow_id = 999;
+  // Re-sign so the signature check isn't what fails.
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      pkg.binding.binding.signing_digest());
+  pkg.binding.customer_sig = sig.serialize();
+  EXPECT_EQ(eval().reason, "escrow not active");
+}
+
+TEST_F(MerchantUnit, ForgedBindingSignatureRejected) {
+  pkg.binding.customer_sig[7] ^= 0x40;
+  EXPECT_EQ(eval().reason, "binding signature invalid");
+}
+
+TEST_F(MerchantUnit, BindingSignedByWrongKeyRejected) {
+  const auto wrong = sim::Party::make(987654);
+  const auto sig = crypto::ecdsa_sign(wrong.key, pkg.binding.binding.signing_digest());
+  pkg.binding.customer_sig = sig.serialize();
+  EXPECT_EQ(eval().reason, "binding signature invalid");
+}
+
+TEST_F(MerchantUnit, MissingInputRejected) {
+  pkg.payment_tx.inputs[0].prevout.txid.bytes[5] ^= 1;
+  // Keep binding consistent with the (new) txid and re-sign.
+  pkg.binding.binding.btc_txid = pkg.payment_tx.txid();
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      pkg.binding.binding.signing_digest());
+  pkg.binding.customer_sig = sig.serialize();
+  EXPECT_NE(eval().reason.find("input missing"), std::string::npos);
+}
+
+TEST_F(MerchantUnit, BadPaymentSignatureRejected) {
+  pkg.payment_tx.inputs[0].script_sig.signature[3] ^= 1;
+  pkg.binding.binding.btc_txid = pkg.payment_tx.txid();
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      pkg.binding.binding.signing_digest());
+  pkg.binding.customer_sig = sig.serialize();
+  EXPECT_NE(eval().reason.find("signature invalid"), std::string::npos);
+}
+
+TEST_F(MerchantUnit, ExposureAccumulatesAcrossAccepts) {
+  EXPECT_EQ(dep->merchant().outstanding_exposure(dep->customer().escrow_id()), 0u);
+  (void)dep->merchant().accept_payment(pkg, invoice, now);
+  EXPECT_EQ(dep->merchant().outstanding_exposure(dep->customer().escrow_id()),
+            pkg.binding.binding.compensation);
+}
+
+TEST_F(MerchantUnit, InvoiceIdsAreUnique) {
+  const auto a = dep->merchant().make_invoice(1, 1, now, 1000);
+  const auto b = dep->merchant().make_invoice(1, 1, now, 1000);
+  EXPECT_NE(a.invoice_id, b.invoice_id);
+}
+
+TEST(CustomerUnit, BindingNoncesIncrement) {
+  DeploymentConfig cfg;
+  cfg.seed = 315;
+  cfg.funded_coins = 2;
+  Deployment dep(cfg);
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto invoice =
+      dep.merchant().make_invoice(btc::kCoin, cfg.compensation, now, 10ULL * 60 * 1000);
+  const auto coins = sim::find_spendable(dep.customer_node().chain(),
+                                         dep.customer().btc_identity().script);
+  auto p1 = dep.customer().create_fastpay(invoice, coins[0].first,
+                                          coins[0].second.out.value, now, cfg.binding_ttl_ms);
+  auto p2 = dep.customer().create_fastpay(invoice, coins[1].first,
+                                          coins[1].second.out.value, now, cfg.binding_ttl_ms);
+  EXPECT_EQ(p1.binding.binding.nonce + 1, p2.binding.binding.nonce);
+  EXPECT_EQ(dep.customer().bindings_issued(), 2u);
+}
+
+TEST(ProtocolUnit, PackageSerializationRoundTrip) {
+  DeploymentConfig cfg;
+  cfg.seed = 316;
+  Deployment dep(cfg);
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto invoice =
+      dep.merchant().make_invoice(btc::kCoin, cfg.compensation, now, 10ULL * 60 * 1000);
+  const auto coins = sim::find_spendable(dep.customer_node().chain(),
+                                         dep.customer().btc_identity().script);
+  const auto pkg = dep.customer().create_fastpay(invoice, coins[0].first,
+                                                 coins[0].second.out.value, now,
+                                                 cfg.binding_ttl_ms);
+  const auto back = FastPayPackage::deserialize(pkg.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payment_tx, pkg.payment_tx);
+  EXPECT_EQ(back->binding, pkg.binding);
+  // The decoded binding still verifies.
+  EXPECT_TRUE(back->binding.verify(dep.customer().btc_identity().pub));
+}
+
+TEST(ProtocolUnit, BindingDigestDomainSeparated) {
+  PaymentBinding b;
+  b.escrow_id = 1;
+  b.compensation = 5;
+  const auto digest = b.signing_digest();
+  // Not equal to a plain hash of the serialization (domain tag matters).
+  EXPECT_NE(digest, crypto::sha256(b.serialize()));
+  // And sensitive to every field.
+  PaymentBinding c = b;
+  c.nonce = 1;
+  EXPECT_NE(c.signing_digest(), digest);
+}
+
+}  // namespace
+}  // namespace btcfast::core

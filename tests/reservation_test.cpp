@@ -1,0 +1,217 @@
+// Tests for the on-chain payment-reservation extension (reserved mode):
+// per-binding collateral locking, release on settlement, interaction with
+// disputes and withdraw, and the cross-merchant double-booking scenario
+// it exists to prevent.
+#include <gtest/gtest.h>
+
+#include "btc/pow.h"
+#include "btcfast/customer.h"
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcfast/orchestrator.h"
+#include "btcsim/scenario.h"
+
+namespace btcfast::core {
+namespace {
+
+using sim::Party;
+
+constexpr std::uint64_t kHourMs = 60ULL * 60 * 1000;
+
+struct ReservationFixture : ::testing::Test {
+  ReservationFixture()
+      : params(btc::ChainParams::regtest()),
+        btc_chain(params),
+        customer_party(Party::make(11)),
+        merchant_a(Party::make(22)),
+        merchant_b(Party::make(33)) {
+    for (const auto& b : sim::build_funding_chain(params, {customer_party.script}, 3)) {
+      EXPECT_EQ(btc_chain.submit_block(b), btc::SubmitResult::kActiveTip);
+    }
+    cfg.pow_limit = params.pow_limit;
+    cfg.initial_checkpoint = btc_chain.tip_hash();
+    cfg.required_depth = 3;
+    cfg.evidence_window_ms = kHourMs;
+    cfg.min_collateral = 1'000;
+    cfg.dispute_bond = 500;
+    judger = psc.deploy("payjudger", std::make_unique<PayJudger>(cfg));
+    psc.mint(customer_psc, 1'000'000'000);
+    psc.mint(merchant_a_psc, 1'000'000'000);
+    psc.mint(merchant_b_psc, 1'000'000'000);
+    wallet = std::make_unique<CustomerWallet>(customer_party, customer_psc, 1);
+    EXPECT_TRUE(psc.execute_now(wallet->make_deposit_tx(judger, 100'000, 100 * kHourMs), 0)
+                    .success);
+  }
+
+  /// A binding paying merchant A or B using the idx-th customer coin.
+  SignedBinding make_binding(psc::Value compensation, const Party& merchant,
+                             const psc::Address& merchant_addr, std::size_t coin_idx) {
+    const auto coins = sim::find_spendable(btc_chain, customer_party.script);
+    EXPECT_GT(coins.size(), coin_idx);
+    const auto [op, coin] = coins.at(coin_idx);
+    Invoice inv;
+    inv.amount_sat = coin.out.value / 2;
+    inv.compensation = compensation;
+    inv.pay_to = merchant.script;
+    inv.merchant_psc = merchant_addr;
+    inv.expires_at_ms = 50 * kHourMs;
+    return wallet->create_fastpay(inv, op, coin.out.value, 0, 50 * kHourMs).binding;
+  }
+
+  psc::Receipt call_with_binding(const std::string& method, const psc::Address& from,
+                                 const SignedBinding& binding, std::uint64_t when,
+                                 psc::Value value = 0) {
+    psc::PscTx tx;
+    tx.from = from;
+    tx.to = judger;
+    tx.value = value;
+    tx.method = method;
+    tx.args = encode_open_dispute_args(1, binding);
+    return psc.execute_now(tx, when);
+  }
+
+  std::optional<EscrowView> view() {
+    psc::PscTx q;
+    q.from = customer_psc;
+    q.to = judger;
+    q.method = "getEscrow";
+    q.args = encode_escrow_id_arg(1);
+    const auto r = psc.view_call(q);
+    if (!r.success) return std::nullopt;
+    return PayJudger::decode_escrow_view(r.return_data);
+  }
+
+  btc::ChainParams params;
+  btc::Chain btc_chain;
+  Party customer_party;
+  Party merchant_a;
+  Party merchant_b;
+  psc::PscChain psc;
+  PayJudgerConfig cfg;
+  psc::Address judger;
+  psc::Address customer_psc = psc::Address::from_label("customer");
+  psc::Address merchant_a_psc = psc::Address::from_label("merchant-a");
+  psc::Address merchant_b_psc = psc::Address::from_label("merchant-b");
+  std::unique_ptr<CustomerWallet> wallet;
+};
+
+TEST_F(ReservationFixture, ReserveLocksCollateral) {
+  const auto b = make_binding(60'000, merchant_a, merchant_a_psc, 0);
+  const auto r = call_with_binding("reservePayment", merchant_a_psc, b, 10);
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  const auto v = view();
+  EXPECT_EQ(v->reserved, 60'000u);
+  EXPECT_EQ(v->collateral, 100'000u);
+}
+
+TEST_F(ReservationFixture, CrossMerchantDoubleBookingBlocked) {
+  // Merchant A reserves 60k of the 100k collateral...
+  const auto ba = make_binding(60'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, ba, 10).success);
+  // ...so merchant B's 60k reservation no longer fits.
+  const auto bb = make_binding(60'000, merchant_b, merchant_b_psc, 1);
+  const auto r = call_with_binding("reservePayment", merchant_b_psc, bb, 11);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.revert_reason, "insufficient-unreserved-collateral");
+  // A smaller one does.
+  const auto bb2 = make_binding(40'000, merchant_b, merchant_b_psc, 2);
+  EXPECT_TRUE(call_with_binding("reservePayment", merchant_b_psc, bb2, 12).success);
+  EXPECT_EQ(view()->reserved, 100'000u);
+}
+
+TEST_F(ReservationFixture, DuplicateReservationRejected) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, b, 10).success);
+  const auto r = call_with_binding("reservePayment", merchant_a_psc, b, 11);
+  EXPECT_EQ(r.revert_reason, "binding-already-reserved");
+}
+
+TEST_F(ReservationFixture, OnlyBindingMerchantMayReserve) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  const auto r = call_with_binding("reservePayment", merchant_b_psc, b, 10);
+  EXPECT_EQ(r.revert_reason, "not-binding-merchant");
+}
+
+TEST_F(ReservationFixture, ReleaseFreesCollateral) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, b, 10).success);
+  ASSERT_TRUE(call_with_binding("releaseReservation", merchant_a_psc, b, 20).success);
+  EXPECT_EQ(view()->reserved, 0u);
+  // Releasing twice fails.
+  EXPECT_EQ(call_with_binding("releaseReservation", merchant_a_psc, b, 21).revert_reason,
+            "no-reservation");
+}
+
+TEST_F(ReservationFixture, DisputeConsumesReservation) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, b, 10).success);
+  ASSERT_TRUE(call_with_binding("openDispute", merchant_a_psc, b, 20, cfg.dispute_bond)
+                  .success);
+  const auto v = view();
+  EXPECT_EQ(v->state, EscrowState::kDisputed);
+  EXPECT_EQ(v->reserved, 0u);  // reservation consumed by the dispute
+}
+
+TEST_F(ReservationFixture, OptimisticDisputeMustFitUnreservedCollateral) {
+  // Merchant A reserves 80k; merchant B disputes an optimistic 30k
+  // binding — only 20k is unreserved, so it must be refused.
+  const auto ba = make_binding(80'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, ba, 10).success);
+  const auto bb = make_binding(30'000, merchant_b, merchant_b_psc, 1);
+  const auto r = call_with_binding("openDispute", merchant_b_psc, bb, 20, cfg.dispute_bond);
+  EXPECT_EQ(r.revert_reason, "compensation-exceeds-collateral");
+}
+
+TEST_F(ReservationFixture, WithdrawBlockedWhileReserved) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("reservePayment", merchant_a_psc, b, 10).success);
+  const auto r = psc.execute_now(wallet->make_withdraw_tx(judger), 120 * kHourMs);
+  EXPECT_EQ(r.revert_reason, "reservations-outstanding");
+  // After release, withdraw goes through.
+  ASSERT_TRUE(call_with_binding("releaseReservation", merchant_a_psc, b, 30).success);
+  EXPECT_TRUE(psc.execute_now(wallet->make_withdraw_tx(judger), 121 * kHourMs).success);
+}
+
+TEST_F(ReservationFixture, DisputedBindingCannotBeReserved) {
+  const auto b = make_binding(30'000, merchant_a, merchant_a_psc, 0);
+  ASSERT_TRUE(call_with_binding("openDispute", merchant_a_psc, b, 10, cfg.dispute_bond)
+                  .success);
+  // judge to get back to ACTIVE
+  psc::PscTx judge;
+  judge.from = merchant_a_psc;
+  judge.to = judger;
+  judge.method = "judge";
+  judge.args = encode_escrow_id_arg(1);
+  ASSERT_TRUE(psc.execute_now(judge, 10 + cfg.evidence_window_ms + 1).success);
+  const auto r = call_with_binding("reservePayment", merchant_a_psc, b,
+                                   10 + cfg.evidence_window_ms + 2);
+  EXPECT_EQ(r.revert_reason, "binding-already-disputed");
+}
+
+TEST(ReservedModeE2E, FullFlowReservesAndReleases) {
+  DeploymentConfig cfg;
+  cfg.seed = 99;
+  cfg.reserve_payments = true;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+
+  // The reservation lands with the next PSC block.
+  dep.run_for(60 * 1000);
+  auto v = dep.escrow_view();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->reserved, cfg.compensation);
+
+  // After settlement the merchant releases it.
+  dep.run_for(3 * 60 * 60 * 1000);
+  v = dep.escrow_view();
+  EXPECT_EQ(v->reserved, 0u);
+  EXPECT_EQ(dep.summarize().payments_settled, 1u);
+  EXPECT_EQ(dep.receipts_for("reservePayment").size(), 1u);
+  EXPECT_EQ(dep.receipts_for("releaseReservation").size(), 1u);
+}
+
+}  // namespace
+}  // namespace btcfast::core

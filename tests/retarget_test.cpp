@@ -1,0 +1,134 @@
+// Difficulty-retargeting tests: the consensus rule adjusting the PoW
+// target every retarget_interval blocks by the period's actual timespan.
+#include <gtest/gtest.h>
+
+#include "btc/chain.h"
+#include "btc/pow.h"
+#include "btcsim/scenario.h"
+
+namespace btcfast::btc {
+namespace {
+
+/// Mines a block with inter-block spacing `dt` seconds on `chain`'s tip.
+Block mine_spaced(Chain& chain, std::uint32_t dt, const ScriptPubKey& dest) {
+  Block b;
+  b.header.prev_hash = chain.tip_hash();
+  b.header.time = chain.tip_header().time + dt;
+  b.header.bits = chain.next_work_required(b.header.prev_hash);
+  Transaction cb;
+  TxIn in;
+  in.prevout.index = 0xffffffff;
+  in.sequence = chain.height() + 1;
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{chain.params().subsidy, dest});
+  b.txs.push_back(cb);
+  EXPECT_TRUE(mine_block(b, chain.params()));
+  return b;
+}
+
+TEST(Retarget, StaticDifficultyWhenDisabled) {
+  Chain chain(ChainParams::regtest());
+  EXPECT_EQ(chain.params().retarget_interval, 0u);
+  const auto dest = sim::Party::make(1).script;
+  for (int i = 0; i < 5; ++i) {
+    Block b = mine_spaced(chain, 600, dest);
+    EXPECT_EQ(b.header.bits, chain.params().genesis_bits);
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+}
+
+TEST(Retarget, FastBlocksHardenDifficulty) {
+  const std::uint32_t interval = 8;
+  Chain chain(ChainParams::regtest_retarget(interval));
+  const auto dest = sim::Party::make(1).script;
+  const auto start_target = *bits_to_target(chain.params().genesis_bits);
+
+  // Blocks at 2x speed (300 s instead of 600 s) until past the boundary.
+  while (chain.height() < interval) {
+    Block b = mine_spaced(chain, 300, dest);
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+  const auto new_target = *bits_to_target(chain.tip_header().bits);
+  EXPECT_LT(new_target, start_target);
+  // Roughly halved: actual timespan was (interval-1)*300 of interval*600.
+  const auto expected = (start_target * crypto::U256((interval - 1) * 300)) /
+                        crypto::U256(interval * 600);
+  EXPECT_EQ(target_to_bits(new_target), target_to_bits(expected));
+}
+
+TEST(Retarget, SlowBlocksEaseDifficultyUpToLimit) {
+  const std::uint32_t interval = 4;
+  Chain chain(ChainParams::regtest_retarget(interval));
+  const auto dest = sim::Party::make(1).script;
+  const auto start_target = *bits_to_target(chain.params().genesis_bits);
+
+  while (chain.height() < interval) {
+    Block b = mine_spaced(chain, 2400, dest);  // 4x slow
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+  const auto eased = *bits_to_target(chain.tip_header().bits);
+  EXPECT_GT(eased, start_target);
+  EXPECT_LE(eased, chain.params().pow_limit);
+}
+
+TEST(Retarget, ClampBoundsAdjustment) {
+  const std::uint32_t interval = 4;
+  Chain chain(ChainParams::regtest_retarget(interval));
+  const auto dest = sim::Party::make(1).script;
+  const auto start_target = *bits_to_target(chain.params().genesis_bits);
+
+  // Absurdly fast blocks (1 s apart): adjustment clamps at 4x harder.
+  while (chain.height() < interval) {
+    Block b = mine_spaced(chain, 1, dest);
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+  const auto clamped = *bits_to_target(chain.tip_header().bits);
+  // No harder than start/4 (up to compact-bits rounding).
+  EXPECT_GE(clamped, (start_target >> 2) - (start_target >> 10));
+}
+
+TEST(Retarget, WrongBitsRejected) {
+  const std::uint32_t interval = 4;
+  Chain chain(ChainParams::regtest_retarget(interval));
+  const auto dest = sim::Party::make(1).script;
+  while (chain.height() < interval - 1) {
+    Block b = mine_spaced(chain, 300, dest);
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+  // The boundary block must use the retargeted bits; claiming the old
+  // (easier) target is a consensus violation.
+  Block bad;
+  bad.header.prev_hash = chain.tip_hash();
+  bad.header.time = chain.tip_header().time + 300;
+  bad.header.bits = chain.params().genesis_bits;  // stale difficulty
+  Transaction cb;
+  TxIn in;
+  in.prevout.index = 0xffffffff;
+  in.sequence = 999;
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{chain.params().subsidy, dest});
+  bad.txs.push_back(cb);
+  ASSERT_TRUE(mine_block(bad, chain.params()));
+  std::string why;
+  EXPECT_EQ(chain.submit_block(bad, &why), SubmitResult::kInvalid);
+  EXPECT_NE(why.find("bad-diffbits"), std::string::npos);
+}
+
+TEST(Retarget, HigherDifficultyMeansMoreChainWork) {
+  // After a hardening retarget, each block contributes more work — so a
+  // shorter hard chain can outweigh a longer easy one (the property the
+  // PayJudger weight comparison relies on).
+  const std::uint32_t interval = 4;
+  Chain chain(ChainParams::regtest_retarget(interval));
+  const auto dest = sim::Party::make(1).script;
+  while (chain.height() < interval) {
+    Block b = mine_spaced(chain, 150, dest);  // 4x fast -> 4x harder
+    ASSERT_EQ(chain.submit_block(b), SubmitResult::kActiveTip);
+  }
+  const auto easy_work = header_work(chain.params().genesis_bits);
+  const auto hard_work = header_work(chain.tip_header().bits);
+  EXPECT_GE(hard_work, easy_work + easy_work);  // at least 2x per block
+}
+
+}  // namespace
+}  // namespace btcfast::btc

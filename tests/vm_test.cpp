@@ -1,0 +1,331 @@
+// Tests for the PSC bytecode VM: opcode semantics, control flow, error
+// handling, gas, and full contracts (a vault) deployed on the chain.
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "psc/assembler.h"
+#include "psc/chain.h"
+#include "psc/vm.h"
+
+namespace btcfast::psc {
+namespace {
+
+using crypto::U256;
+
+/// Executes a code fragment against a scratch world; returns the status
+/// and captures return data.
+struct VmHarness {
+  WorldState state;
+  GasMeter meter{10'000'000, GasSchedule::istanbul()};
+  std::vector<LogEvent> logs;
+  Address self = Address::from_label("vm-self");
+  Address caller = Address::from_label("vm-caller");
+  Value call_value = 0;
+
+  Status run(const Bytes& code, Bytes* ret = nullptr, ByteSpan calldata = {}) {
+    HostContext host(state, meter, self, caller, call_value, 7, 123456, logs);
+    return execute_bytecode(host, code, calldata, ret);
+  }
+
+  /// Runs code expected to RETURN one 32-byte word.
+  U256 run_word(const Bytes& code, ByteSpan calldata = {}) {
+    Bytes ret;
+    const Status s = run(code, &ret, calldata);
+    EXPECT_TRUE(s.ok()) << (s.ok() ? "" : s.error().to_string());
+    EXPECT_EQ(ret.size(), 32u);
+    return U256::from_be_bytes(ret);
+  }
+};
+
+Bytes binary_op(std::uint64_t lhs_second, std::uint64_t rhs_top, Op op) {
+  // Stack builds bottom-up: push second operand first.
+  Assembler a;
+  a.push(lhs_second).push(rhs_top).op(op).return_word();
+  return a.assemble();
+}
+
+TEST(Vm, Arithmetic) {
+  VmHarness h;
+  EXPECT_EQ(h.run_word(binary_op(3, 4, Op::kAdd)), U256(7));
+  EXPECT_EQ(h.run_word(binary_op(3, 4, Op::kMul)), U256(12));
+  // SUB computes top - second.
+  EXPECT_EQ(h.run_word(binary_op(3, 10, Op::kSub)), U256(7));
+  EXPECT_EQ(h.run_word(binary_op(5, 20, Op::kDiv)), U256(4));
+  EXPECT_EQ(h.run_word(binary_op(5, 23, Op::kMod)), U256(3));
+  // Division by zero yields zero (EVM convention).
+  EXPECT_EQ(h.run_word(binary_op(0, 23, Op::kDiv)), U256(0));
+}
+
+TEST(Vm, ComparisonAndBitwise) {
+  VmHarness h;
+  // LT/GT compare top vs second.
+  EXPECT_EQ(h.run_word(binary_op(5, 3, Op::kLt)), U256(1));  // 3 < 5
+  EXPECT_EQ(h.run_word(binary_op(3, 5, Op::kGt)), U256(1));  // 5 > 3
+  EXPECT_EQ(h.run_word(binary_op(7, 7, Op::kEq)), U256(1));
+  EXPECT_EQ(h.run_word(binary_op(0b1100, 0b1010, Op::kAnd)), U256(0b1000));
+  EXPECT_EQ(h.run_word(binary_op(0b1100, 0b1010, Op::kOr)), U256(0b1110));
+  EXPECT_EQ(h.run_word(binary_op(0b1100, 0b1010, Op::kXor)), U256(0b0110));
+  // SHL/SHR: top is the shift amount.
+  EXPECT_EQ(h.run_word(binary_op(1, 4, Op::kShl)), U256(16));
+  EXPECT_EQ(h.run_word(binary_op(16, 4, Op::kShr)), U256(1));
+}
+
+TEST(Vm, IsZeroAndNot) {
+  VmHarness h;
+  Assembler a;
+  a.push(0).op(Op::kIsZero).return_word();
+  EXPECT_EQ(h.run_word(a.assemble()), U256(1));
+  Assembler b;
+  b.push(0).op(Op::kNot).return_word();
+  EXPECT_EQ(h.run_word(b.assemble()), U256::max());
+}
+
+TEST(Vm, MemoryRoundTrip) {
+  VmHarness h;
+  Assembler a;
+  a.push(0xdeadbeef).push(64).op(Op::kMStore);  // mem[64..96] = value
+  a.push(64).op(Op::kMLoad).return_word();
+  EXPECT_EQ(h.run_word(a.assemble()), U256(0xdeadbeef));
+}
+
+TEST(Vm, StoragePersistsWithinWorld) {
+  VmHarness h;
+  Assembler store;
+  store.push(777).push(5).op(Op::kSStore);  // storage[5] = 777 (SSTORE pops key, value)
+  ASSERT_TRUE(h.run(store.assemble()).ok());
+
+  Assembler load;
+  load.push(5).op(Op::kSLoad).return_word();
+  EXPECT_EQ(h.run_word(load.assemble()), U256(777));
+}
+
+TEST(Vm, ControlFlow) {
+  VmHarness h;
+  // if (1) return 42; else return 13
+  Assembler a;
+  a.push(1).jump_if_to("yes");
+  a.push(13).return_word();
+  a.label("yes");
+  a.push(42).return_word();
+  EXPECT_EQ(h.run_word(a.assemble()), U256(42));
+}
+
+TEST(Vm, LoopSumsOneToTen) {
+  VmHarness h;
+  // storage[0] = sum(1..10) via a counter loop.
+  Assembler a;
+  a.push(0).push(1);  // stack: [sum, i]
+  a.label("loop");
+  // stack: [sum, i] -> sum += i; i += 1; if i <= 10 goto loop
+  a.op(Op::kDup1);              // [sum, i, i]
+  a.op(static_cast<Op>(0x91));  // SWAP2: [i, i, sum]
+  a.op(Op::kAdd);               // [i, sum'], top = sum+i
+  a.op(Op::kSwap1);             // [sum', i]
+  a.push(1).op(Op::kAdd);       // [sum', i+1]
+  a.op(Op::kDup1).push(11).op(Op::kEq);  // [sum, i, i==11]
+  a.op(Op::kIsZero).jump_if_to("loop");
+  a.op(Op::kPop);  // drop i
+  a.return_word();
+  EXPECT_EQ(h.run_word(a.assemble()), U256(55));
+}
+
+TEST(Vm, JumpToNonJumpdestRejected) {
+  VmHarness h;
+  Assembler a;
+  a.push(1).op(Op::kJump);  // destination 1 is inside the PUSH data
+  const Status s = h.run(a.assemble());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "vm-bad-jumpdest");
+}
+
+TEST(Vm, StackUnderflowRejected) {
+  VmHarness h;
+  Assembler a;
+  a.op(Op::kAdd);
+  EXPECT_EQ(h.run(a.assemble()).error().code, "vm-stack-underflow");
+}
+
+TEST(Vm, BadOpcodeRejected) {
+  VmHarness h;
+  Bytes code{0xEF};
+  EXPECT_EQ(h.run(code).error().code, "vm-bad-opcode");
+}
+
+TEST(Vm, RevertCarriesReason) {
+  VmHarness h;
+  // memory[0..5] = "denied", then REVERT(0, 6).
+  Assembler a;
+  const std::string reason = "denied";
+  U256 word;
+  {
+    ByteArray<32> buf{};
+    for (std::size_t i = 0; i < reason.size(); ++i) buf[i] = static_cast<std::uint8_t>(reason[i]);
+    word = U256::from_be_bytes({buf.data(), buf.size()});
+  }
+  a.push(word).push(0).op(Op::kMStore);
+  a.push(6).push(0).op(Op::kRevert);
+  const Status s = h.run(a.assemble());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "vm-revert");
+  EXPECT_EQ(s.error().detail, "denied");
+}
+
+TEST(Vm, OutOfGasSurfacesViaMeter) {
+  VmHarness h;
+  h.meter = GasMeter(50, GasSchedule::istanbul());
+  Assembler a;
+  a.label("spin").jump_to("spin");
+  EXPECT_THROW((void)h.run(a.assemble()), OutOfGas);
+}
+
+TEST(Vm, EnvironmentOpcodes) {
+  VmHarness h;
+  h.call_value = 4242;
+  Assembler a;
+  a.op(Op::kCallValue).return_word();
+  EXPECT_EQ(h.run_word(a.assemble()), U256(4242));
+
+  Assembler b;
+  b.op(Op::kTimestamp).return_word();
+  EXPECT_EQ(h.run_word(b.assemble()), U256(123456));
+
+  Assembler c;
+  c.op(Op::kNumber).return_word();
+  EXPECT_EQ(h.run_word(c.assemble()), U256(7));
+}
+
+TEST(Vm, Sha256Opcode) {
+  VmHarness h;
+  // hash 32 zero bytes in memory.
+  Assembler a;
+  a.push(32).push(0).op(Op::kSha256).return_word();
+  const auto expect = crypto::sha256(Bytes(32, 0));
+  EXPECT_EQ(h.run_word(a.assemble()),
+            U256::from_be_bytes({expect.data(), expect.size()}));
+}
+
+TEST(Vm, CalldataAndSelector) {
+  VmHarness h;
+  Bytes calldata{0xAA, 0xBB, 0xCC, 0xDD, 0x01, 0x02};
+  Assembler a;
+  a.push(0).op(Op::kCallDataLoad).push(224).op(Op::kShr).return_word();
+  EXPECT_EQ(h.run_word(a.assemble(), calldata), U256(0xAABBCCDD));
+
+  Assembler b;
+  b.op(Op::kCallDataSize).return_word();
+  EXPECT_EQ(h.run_word(b.assemble(), calldata), U256(6));
+}
+
+/// The showcase contract: a vault with per-caller balances.
+///   credit()   [payable] — balance[caller] += msg.value
+///   redeem(amount u64 @calldata[4..])  — pays out and decrements
+///   balanceOf() — returns balance[caller]
+Bytes vault_bytecode() {
+  Assembler a;
+  a.dispatch("credit", "credit");
+  a.dispatch("redeem", "redeem");
+  a.dispatch("balanceOf", "balanceOf");
+  a.push(0).push(0).op(Op::kRevert);  // unknown selector
+
+  a.label("credit");
+  // storage[caller] += callvalue
+  a.op(Op::kCaller).op(Op::kSLoad);      // [bal]
+  a.op(Op::kCallValue).op(Op::kAdd);     // [bal']
+  a.op(Op::kCaller).op(Op::kSStore);     // storage[caller] = bal'
+  a.op(Op::kStop);
+
+  a.label("redeem");
+  // amount = calldata word at offset 4, shifted down to u64 (args are a
+  // Writer-encoded u64le... keep it simple: args = 32-byte BE word).
+  a.push(4).op(Op::kCallDataLoad);       // [amount]
+  // if amount > balance: revert
+  a.op(Op::kDup1).op(Op::kCaller).op(Op::kSLoad);  // [amount, amount, bal]
+  a.op(Op::kLt);                          // [amount, bal<amount]
+  a.jump_if_to("nsf");
+  // storage[caller] -= amount
+  a.op(Op::kDup1);                        // [amount, amount]
+  a.op(Op::kCaller).op(Op::kSLoad);       // [amount, amount, bal]
+  a.op(Op::kSub);                         // [amount, bal-amount]  (SUB: top - second)
+  a.op(Op::kCaller).op(Op::kSStore);      // [amount]
+  // pay(to=caller, amount): kPay pops (to, amount) with `to` on top.
+  a.op(Op::kCaller).op(Op::kPay);         // [success]
+  a.return_word();
+
+  a.label("nsf");
+  a.push(0).push(0).op(Op::kRevert);
+
+  a.label("balanceOf");
+  a.op(Op::kCaller).op(Op::kSLoad).return_word();
+  return a.assemble();
+}
+
+struct VaultFixture : ::testing::Test {
+  VaultFixture() {
+    vault = chain.deploy("vault", std::make_unique<VmContract>(vault_bytecode()));
+    chain.mint(alice, 1'000'000'000);
+    chain.mint(bob, 1'000'000'000);
+  }
+
+  PscTx call(const Address& from, const std::string& method, Bytes args = {},
+             Value value = 0) {
+    PscTx tx;
+    tx.from = from;
+    tx.to = vault;
+    tx.method = method;
+    tx.args = std::move(args);
+    tx.value = value;
+    return tx;
+  }
+
+  static Bytes amount_arg(std::uint64_t v) {
+    const auto be = U256(v).to_be_bytes();
+    return Bytes(be.begin(), be.end());
+  }
+
+  PscChain chain;
+  Address vault;
+  Address alice = Address::from_label("alice");
+  Address bob = Address::from_label("bob");
+};
+
+TEST_F(VaultFixture, CreditAndBalance) {
+  ASSERT_TRUE(chain.execute_now(call(alice, "credit", {}, 5000), 0).success);
+  const auto r = chain.execute_now(call(alice, "balanceOf"), 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256(5000));
+  // Bob's balance is independent.
+  const auto rb = chain.execute_now(call(bob, "balanceOf"), 2);
+  EXPECT_EQ(U256::from_be_bytes(rb.return_data), U256(0));
+}
+
+TEST_F(VaultFixture, RedeemPaysOut) {
+  ASSERT_TRUE(chain.execute_now(call(alice, "credit", {}, 5000), 0).success);
+  const Value before = chain.state().balance(alice);
+  const auto r = chain.execute_now(call(alice, "redeem", amount_arg(3000)), 1);
+  ASSERT_TRUE(r.success) << r.revert_reason;
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256(1));  // pay succeeded
+  EXPECT_EQ(chain.state().balance(alice), before + 3000 - r.gas_used);
+  EXPECT_EQ(chain.state().balance(vault), 2000u);
+}
+
+TEST_F(VaultFixture, OverdraftReverts) {
+  ASSERT_TRUE(chain.execute_now(call(alice, "credit", {}, 100), 0).success);
+  const auto r = chain.execute_now(call(alice, "redeem", amount_arg(5000)), 1);
+  EXPECT_FALSE(r.success);
+  // Balance unchanged by the revert.
+  const auto rb = chain.execute_now(call(alice, "balanceOf"), 2);
+  EXPECT_EQ(U256::from_be_bytes(rb.return_data), U256(100));
+}
+
+TEST_F(VaultFixture, UnknownMethodReverts) {
+  const auto r = chain.execute_now(call(alice, "nonsense"), 0);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(VmSelector, StableAndDistinct) {
+  EXPECT_EQ(method_selector("credit"), method_selector("credit"));
+  EXPECT_NE(method_selector("credit"), method_selector("redeem"));
+}
+
+}  // namespace
+}  // namespace btcfast::psc

@@ -1,0 +1,115 @@
+// Watchtower tests: the availability gap (offline customer loses a
+// wrongful dispute) and its closure (the tower files the defense).
+#include <gtest/gtest.h>
+
+#include "btcfast/orchestrator.h"
+
+namespace btcfast::core {
+namespace {
+
+constexpr SimTime kSimHour = 60 * 60 * 1000;
+
+DeploymentConfig wrongful_dispute_config() {
+  DeploymentConfig cfg;
+  cfg.seed = 33;
+  cfg.attacker_share = 0.0;        // honest customer
+  cfg.dispute_after_ms = 60'000;   // impatient merchant
+  cfg.evidence_window_ms = 90 * 60 * 1000;
+  cfg.required_depth = 3;
+  cfg.settle_confirmations = 3;
+  cfg.poll_interval_ms = 30'000;
+  return cfg;
+}
+
+TEST(Watchtower, OfflineCustomerLosesWithoutTower) {
+  // Documents the availability assumption: nobody defends, so the
+  // merchant's (wrongful) dispute wins by default.
+  DeploymentConfig cfg = wrongful_dispute_config();
+  cfg.customer_online = false;
+  cfg.watchtower_enabled = false;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+  dep.run_for(6 * kSimHour);
+
+  const auto s = dep.summarize();
+  EXPECT_EQ(s.disputes_opened, 1u);
+  EXPECT_EQ(s.judged_for_merchant, 1u);
+  EXPECT_EQ(s.judged_for_customer, 0u);
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral - cfg.compensation);  // customer robbed
+}
+
+TEST(Watchtower, TowerDefendsOfflineCustomer) {
+  DeploymentConfig cfg = wrongful_dispute_config();
+  cfg.customer_online = false;
+  cfg.watchtower_enabled = true;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted) << r.reject_reason;
+  dep.run_for(6 * kSimHour);
+
+  const auto s = dep.summarize();
+  EXPECT_EQ(s.disputes_opened, 1u);
+  EXPECT_EQ(s.judged_for_customer, 1u);
+  EXPECT_EQ(s.judged_for_merchant, 0u);
+  EXPECT_EQ(s.escrow_collateral, cfg.collateral);  // collateral intact
+  ASSERT_NE(dep.watchtower(), nullptr);
+  EXPECT_GE(dep.watchtower()->defenses_filed(), 1u);
+}
+
+TEST(Watchtower, IdleWhenNothingDisputed) {
+  DeploymentConfig cfg;
+  cfg.seed = 44;
+  cfg.watchtower_enabled = true;
+  cfg.settle_confirmations = 3;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted);
+  dep.run_for(3 * kSimHour);
+
+  EXPECT_EQ(dep.watchtower()->defenses_filed(), 0u);
+  EXPECT_TRUE(dep.receipts_for("submitCustomerEvidence").empty());
+}
+
+TEST(Watchtower, CannotHelpAGuiltyCustomer) {
+  // The tower only relays *true* SPV facts: when the customer really
+  // double-spent, there is no inclusion proof to file, and the merchant
+  // still wins.
+  DeploymentConfig cfg;
+  cfg.seed = 21;
+  cfg.attacker_share = 0.6;
+  cfg.attacker_give_up_deficit = 50;
+  cfg.required_depth = 3;
+  cfg.dispute_after_ms = 90 * 60 * 1000;
+  cfg.evidence_window_ms = 60 * 60 * 1000;
+  cfg.customer_online = false;
+  cfg.watchtower_enabled = true;
+  Deployment dep(cfg);
+
+  const auto r = dep.perform_fastpay(10 * btc::kCoin);
+  ASSERT_TRUE(r.accepted);
+  dep.run_for(8 * kSimHour);
+
+  const auto s = dep.summarize();
+  EXPECT_EQ(s.judged_for_merchant, 1u);
+  EXPECT_EQ(s.judged_for_customer, 0u);
+}
+
+TEST(Watchtower, ProtectUnprotectLifecycle) {
+  DeploymentConfig cfg;
+  cfg.seed = 55;
+  cfg.watchtower_enabled = true;
+  Deployment dep(cfg);
+  auto* tower = dep.watchtower();
+  ASSERT_NE(tower, nullptr);
+  EXPECT_TRUE(tower->is_protecting(dep.customer().escrow_id()));
+  tower->unprotect(dep.customer().escrow_id());
+  EXPECT_FALSE(tower->is_protecting(dep.customer().escrow_id()));
+  EXPECT_TRUE(tower->poll(1000).empty());
+}
+
+}  // namespace
+}  // namespace btcfast::core
