@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reserve.dir/bench_ablation_reserve.cpp.o"
+  "CMakeFiles/bench_ablation_reserve.dir/bench_ablation_reserve.cpp.o.d"
+  "bench_ablation_reserve"
+  "bench_ablation_reserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reserve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

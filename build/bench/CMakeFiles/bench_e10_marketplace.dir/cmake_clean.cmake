@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_marketplace.dir/bench_e10_marketplace.cpp.o"
+  "CMakeFiles/bench_e10_marketplace.dir/bench_e10_marketplace.cpp.o.d"
+  "bench_e10_marketplace"
+  "bench_e10_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

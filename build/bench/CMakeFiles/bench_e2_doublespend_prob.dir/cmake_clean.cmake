@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_doublespend_prob.dir/bench_e2_doublespend_prob.cpp.o"
+  "CMakeFiles/bench_e2_doublespend_prob.dir/bench_e2_doublespend_prob.cpp.o.d"
+  "bench_e2_doublespend_prob"
+  "bench_e2_doublespend_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_doublespend_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_gas_costs.dir/bench_e4_gas_costs.cpp.o"
+  "CMakeFiles/bench_e4_gas_costs.dir/bench_e4_gas_costs.cpp.o.d"
+  "bench_e4_gas_costs"
+  "bench_e4_gas_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_gas_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_attack_cost.dir/bench_e6_attack_cost.cpp.o"
+  "CMakeFiles/bench_e6_attack_cost.dir/bench_e6_attack_cost.cpp.o.d"
+  "bench_e6_attack_cost"
+  "bench_e6_attack_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_attack_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

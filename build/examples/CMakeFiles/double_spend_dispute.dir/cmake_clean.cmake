@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_spend_dispute.dir/double_spend_dispute.cpp.o"
+  "CMakeFiles/double_spend_dispute.dir/double_spend_dispute.cpp.o.d"
+  "double_spend_dispute"
+  "double_spend_dispute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_spend_dispute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

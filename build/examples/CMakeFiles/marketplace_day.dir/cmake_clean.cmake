@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_day.dir/marketplace_day.cpp.o"
+  "CMakeFiles/marketplace_day.dir/marketplace_day.cpp.o.d"
+  "marketplace_day"
+  "marketplace_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relayer_demo.dir/relayer_demo.cpp.o"
+  "CMakeFiles/relayer_demo.dir/relayer_demo.cpp.o.d"
+  "relayer_demo"
+  "relayer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relayer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

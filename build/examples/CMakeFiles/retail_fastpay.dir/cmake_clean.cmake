@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_fastpay.dir/retail_fastpay.cpp.o"
+  "CMakeFiles/retail_fastpay.dir/retail_fastpay.cpp.o.d"
+  "retail_fastpay"
+  "retail_fastpay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_fastpay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

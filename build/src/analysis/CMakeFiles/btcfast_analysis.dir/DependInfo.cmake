@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attack_cost.cpp" "src/analysis/CMakeFiles/btcfast_analysis.dir/attack_cost.cpp.o" "gcc" "src/analysis/CMakeFiles/btcfast_analysis.dir/attack_cost.cpp.o.d"
+  "/root/repo/src/analysis/collateral.cpp" "src/analysis/CMakeFiles/btcfast_analysis.dir/collateral.cpp.o" "gcc" "src/analysis/CMakeFiles/btcfast_analysis.dir/collateral.cpp.o.d"
+  "/root/repo/src/analysis/doublespend.cpp" "src/analysis/CMakeFiles/btcfast_analysis.dir/doublespend.cpp.o" "gcc" "src/analysis/CMakeFiles/btcfast_analysis.dir/doublespend.cpp.o.d"
+  "/root/repo/src/analysis/economics.cpp" "src/analysis/CMakeFiles/btcfast_analysis.dir/economics.cpp.o" "gcc" "src/analysis/CMakeFiles/btcfast_analysis.dir/economics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

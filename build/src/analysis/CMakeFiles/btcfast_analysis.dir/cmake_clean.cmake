@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_analysis.dir/attack_cost.cpp.o"
+  "CMakeFiles/btcfast_analysis.dir/attack_cost.cpp.o.d"
+  "CMakeFiles/btcfast_analysis.dir/collateral.cpp.o"
+  "CMakeFiles/btcfast_analysis.dir/collateral.cpp.o.d"
+  "CMakeFiles/btcfast_analysis.dir/doublespend.cpp.o"
+  "CMakeFiles/btcfast_analysis.dir/doublespend.cpp.o.d"
+  "CMakeFiles/btcfast_analysis.dir/economics.cpp.o"
+  "CMakeFiles/btcfast_analysis.dir/economics.cpp.o.d"
+  "libbtcfast_analysis.a"
+  "libbtcfast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

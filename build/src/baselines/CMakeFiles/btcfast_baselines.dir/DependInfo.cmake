@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/acceptance_policy.cpp" "src/baselines/CMakeFiles/btcfast_baselines.dir/acceptance_policy.cpp.o" "gcc" "src/baselines/CMakeFiles/btcfast_baselines.dir/acceptance_policy.cpp.o.d"
+  "/root/repo/src/baselines/central_escrow.cpp" "src/baselines/CMakeFiles/btcfast_baselines.dir/central_escrow.cpp.o" "gcc" "src/baselines/CMakeFiles/btcfast_baselines.dir/central_escrow.cpp.o.d"
+  "/root/repo/src/baselines/channel.cpp" "src/baselines/CMakeFiles/btcfast_baselines.dir/channel.cpp.o" "gcc" "src/baselines/CMakeFiles/btcfast_baselines.dir/channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btc/CMakeFiles/btcfast_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/btcfast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_baselines.dir/acceptance_policy.cpp.o"
+  "CMakeFiles/btcfast_baselines.dir/acceptance_policy.cpp.o.d"
+  "CMakeFiles/btcfast_baselines.dir/central_escrow.cpp.o"
+  "CMakeFiles/btcfast_baselines.dir/central_escrow.cpp.o.d"
+  "CMakeFiles/btcfast_baselines.dir/channel.cpp.o"
+  "CMakeFiles/btcfast_baselines.dir/channel.cpp.o.d"
+  "libbtcfast_baselines.a"
+  "libbtcfast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

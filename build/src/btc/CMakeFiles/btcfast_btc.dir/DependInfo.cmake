@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btc/block.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/block.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/block.cpp.o.d"
+  "/root/repo/src/btc/chain.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/chain.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/chain.cpp.o.d"
+  "/root/repo/src/btc/header.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/header.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/header.cpp.o.d"
+  "/root/repo/src/btc/light_client.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/light_client.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/light_client.cpp.o.d"
+  "/root/repo/src/btc/mempool.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/mempool.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/mempool.cpp.o.d"
+  "/root/repo/src/btc/params.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/params.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/params.cpp.o.d"
+  "/root/repo/src/btc/pow.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/pow.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/pow.cpp.o.d"
+  "/root/repo/src/btc/script.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/script.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/script.cpp.o.d"
+  "/root/repo/src/btc/spv.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/spv.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/spv.cpp.o.d"
+  "/root/repo/src/btc/transaction.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/transaction.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/transaction.cpp.o.d"
+  "/root/repo/src/btc/utxo.cpp" "src/btc/CMakeFiles/btcfast_btc.dir/utxo.cpp.o" "gcc" "src/btc/CMakeFiles/btcfast_btc.dir/utxo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_btc.dir/block.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/block.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/chain.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/chain.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/header.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/header.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/light_client.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/light_client.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/mempool.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/mempool.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/params.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/params.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/pow.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/pow.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/script.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/script.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/spv.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/spv.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/transaction.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/transaction.cpp.o.d"
+  "CMakeFiles/btcfast_btc.dir/utxo.cpp.o"
+  "CMakeFiles/btcfast_btc.dir/utxo.cpp.o.d"
+  "libbtcfast_btc.a"
+  "libbtcfast_btc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btcfast/customer.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/customer.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/customer.cpp.o.d"
+  "/root/repo/src/btcfast/evidence.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/evidence.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/btcfast/marketplace.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/marketplace.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/marketplace.cpp.o.d"
+  "/root/repo/src/btcfast/merchant.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/merchant.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/merchant.cpp.o.d"
+  "/root/repo/src/btcfast/orchestrator.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/orchestrator.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/btcfast/payjudger.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/payjudger.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/payjudger.cpp.o.d"
+  "/root/repo/src/btcfast/protocol.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/protocol.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/btcfast/relayer.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/relayer.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/relayer.cpp.o.d"
+  "/root/repo/src/btcfast/watchtower.cpp" "src/btcfast/CMakeFiles/btcfast_core.dir/watchtower.cpp.o" "gcc" "src/btcfast/CMakeFiles/btcfast_core.dir/watchtower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btc/CMakeFiles/btcfast_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/btcsim/CMakeFiles/btcfast_btcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/psc/CMakeFiles/btcfast_psc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

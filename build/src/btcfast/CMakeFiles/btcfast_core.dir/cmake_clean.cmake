@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_core.dir/customer.cpp.o"
+  "CMakeFiles/btcfast_core.dir/customer.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/evidence.cpp.o"
+  "CMakeFiles/btcfast_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/marketplace.cpp.o"
+  "CMakeFiles/btcfast_core.dir/marketplace.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/merchant.cpp.o"
+  "CMakeFiles/btcfast_core.dir/merchant.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/btcfast_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/payjudger.cpp.o"
+  "CMakeFiles/btcfast_core.dir/payjudger.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/protocol.cpp.o"
+  "CMakeFiles/btcfast_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/relayer.cpp.o"
+  "CMakeFiles/btcfast_core.dir/relayer.cpp.o.d"
+  "CMakeFiles/btcfast_core.dir/watchtower.cpp.o"
+  "CMakeFiles/btcfast_core.dir/watchtower.cpp.o.d"
+  "libbtcfast_core.a"
+  "libbtcfast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

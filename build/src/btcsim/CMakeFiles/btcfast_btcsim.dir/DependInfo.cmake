@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btcsim/attacker.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/attacker.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/attacker.cpp.o.d"
+  "/root/repo/src/btcsim/event.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/event.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/event.cpp.o.d"
+  "/root/repo/src/btcsim/miner.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/miner.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/miner.cpp.o.d"
+  "/root/repo/src/btcsim/network.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/network.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/network.cpp.o.d"
+  "/root/repo/src/btcsim/node.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/node.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/node.cpp.o.d"
+  "/root/repo/src/btcsim/race.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/race.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/race.cpp.o.d"
+  "/root/repo/src/btcsim/scenario.cpp" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/scenario.cpp.o" "gcc" "src/btcsim/CMakeFiles/btcfast_btcsim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btc/CMakeFiles/btcfast_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

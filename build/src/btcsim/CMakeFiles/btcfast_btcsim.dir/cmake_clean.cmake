@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_btcsim.dir/attacker.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/attacker.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/event.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/event.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/miner.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/miner.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/network.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/network.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/node.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/node.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/race.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/race.cpp.o.d"
+  "CMakeFiles/btcfast_btcsim.dir/scenario.cpp.o"
+  "CMakeFiles/btcfast_btcsim.dir/scenario.cpp.o.d"
+  "libbtcfast_btcsim.a"
+  "libbtcfast_btcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_btcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for btcfast_btcsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_common.dir/hex.cpp.o"
+  "CMakeFiles/btcfast_common.dir/hex.cpp.o.d"
+  "CMakeFiles/btcfast_common.dir/log.cpp.o"
+  "CMakeFiles/btcfast_common.dir/log.cpp.o.d"
+  "CMakeFiles/btcfast_common.dir/rng.cpp.o"
+  "CMakeFiles/btcfast_common.dir/rng.cpp.o.d"
+  "CMakeFiles/btcfast_common.dir/serialize.cpp.o"
+  "CMakeFiles/btcfast_common.dir/serialize.cpp.o.d"
+  "libbtcfast_common.a"
+  "libbtcfast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/base58.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/base58.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/base58.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/encoding.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/encoding.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/encoding.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/ripemd160.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/ripemd160.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/ripemd160.cpp.o.d"
+  "/root/repo/src/crypto/secp256k1.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/secp256k1.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/secp256k1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/uint256.cpp" "src/crypto/CMakeFiles/btcfast_crypto.dir/uint256.cpp.o" "gcc" "src/crypto/CMakeFiles/btcfast_crypto.dir/uint256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

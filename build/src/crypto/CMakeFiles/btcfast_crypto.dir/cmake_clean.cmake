@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_crypto.dir/base58.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/base58.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/encoding.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/encoding.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/btcfast_crypto.dir/uint256.cpp.o"
+  "CMakeFiles/btcfast_crypto.dir/uint256.cpp.o.d"
+  "libbtcfast_crypto.a"
+  "libbtcfast_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

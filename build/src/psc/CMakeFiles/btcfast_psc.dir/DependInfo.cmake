@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psc/chain.cpp" "src/psc/CMakeFiles/btcfast_psc.dir/chain.cpp.o" "gcc" "src/psc/CMakeFiles/btcfast_psc.dir/chain.cpp.o.d"
+  "/root/repo/src/psc/gas.cpp" "src/psc/CMakeFiles/btcfast_psc.dir/gas.cpp.o" "gcc" "src/psc/CMakeFiles/btcfast_psc.dir/gas.cpp.o.d"
+  "/root/repo/src/psc/host.cpp" "src/psc/CMakeFiles/btcfast_psc.dir/host.cpp.o" "gcc" "src/psc/CMakeFiles/btcfast_psc.dir/host.cpp.o.d"
+  "/root/repo/src/psc/state.cpp" "src/psc/CMakeFiles/btcfast_psc.dir/state.cpp.o" "gcc" "src/psc/CMakeFiles/btcfast_psc.dir/state.cpp.o.d"
+  "/root/repo/src/psc/vm.cpp" "src/psc/CMakeFiles/btcfast_psc.dir/vm.cpp.o" "gcc" "src/psc/CMakeFiles/btcfast_psc.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcfast_psc.dir/chain.cpp.o"
+  "CMakeFiles/btcfast_psc.dir/chain.cpp.o.d"
+  "CMakeFiles/btcfast_psc.dir/gas.cpp.o"
+  "CMakeFiles/btcfast_psc.dir/gas.cpp.o.d"
+  "CMakeFiles/btcfast_psc.dir/host.cpp.o"
+  "CMakeFiles/btcfast_psc.dir/host.cpp.o.d"
+  "CMakeFiles/btcfast_psc.dir/state.cpp.o"
+  "CMakeFiles/btcfast_psc.dir/state.cpp.o.d"
+  "CMakeFiles/btcfast_psc.dir/vm.cpp.o"
+  "CMakeFiles/btcfast_psc.dir/vm.cpp.o.d"
+  "libbtcfast_psc.a"
+  "libbtcfast_psc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcfast_psc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

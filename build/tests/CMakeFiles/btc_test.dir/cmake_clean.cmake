@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btc_test.dir/btc_test.cpp.o"
+  "CMakeFiles/btc_test.dir/btc_test.cpp.o.d"
+  "btc_test"
+  "btc_test.pdb"
+  "btc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

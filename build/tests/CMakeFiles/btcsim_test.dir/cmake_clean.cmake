@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcsim_test.dir/btcsim_test.cpp.o"
+  "CMakeFiles/btcsim_test.dir/btcsim_test.cpp.o.d"
+  "btcsim_test"
+  "btcsim_test.pdb"
+  "btcsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_edge_test.dir/component_edge_test.cpp.o"
+  "CMakeFiles/component_edge_test.dir/component_edge_test.cpp.o.d"
+  "component_edge_test"
+  "component_edge_test.pdb"
+  "component_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_test.dir/eclipse_test.cpp.o"
+  "CMakeFiles/eclipse_test.dir/eclipse_test.cpp.o.d"
+  "eclipse_test"
+  "eclipse_test.pdb"
+  "eclipse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merchant_unit_test.dir/merchant_unit_test.cpp.o"
+  "CMakeFiles/merchant_unit_test.dir/merchant_unit_test.cpp.o.d"
+  "merchant_unit_test"
+  "merchant_unit_test.pdb"
+  "merchant_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merchant_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

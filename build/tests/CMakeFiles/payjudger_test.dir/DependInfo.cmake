@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/payjudger_test.cpp" "tests/CMakeFiles/payjudger_test.dir/payjudger_test.cpp.o" "gcc" "tests/CMakeFiles/payjudger_test.dir/payjudger_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btcfast/CMakeFiles/btcfast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/btcsim/CMakeFiles/btcfast_btcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/btc/CMakeFiles/btcfast_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/psc/CMakeFiles/btcfast_psc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/btcfast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btcfast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payjudger_test.dir/payjudger_test.cpp.o"
+  "CMakeFiles/payjudger_test.dir/payjudger_test.cpp.o.d"
+  "payjudger_test"
+  "payjudger_test.pdb"
+  "payjudger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payjudger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

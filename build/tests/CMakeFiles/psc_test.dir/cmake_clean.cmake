@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psc_test.dir/psc_test.cpp.o"
+  "CMakeFiles/psc_test.dir/psc_test.cpp.o.d"
+  "psc_test"
+  "psc_test.pdb"
+  "psc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchtower_test.dir/watchtower_test.cpp.o"
+  "CMakeFiles/watchtower_test.dir/watchtower_test.cpp.o.d"
+  "watchtower_test"
+  "watchtower_test.pdb"
+  "watchtower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchtower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

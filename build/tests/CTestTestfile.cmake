@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_property_test[1]_include.cmake")
+include("/root/repo/build/tests/btc_test[1]_include.cmake")
+include("/root/repo/build/tests/btcsim_test[1]_include.cmake")
+include("/root/repo/build/tests/psc_test[1]_include.cmake")
+include("/root/repo/build/tests/payjudger_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/reservation_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/retarget_test[1]_include.cmake")
+include("/root/repo/build/tests/light_client_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/watchtower_test[1]_include.cmake")
+include("/root/repo/build/tests/marketplace_test[1]_include.cmake")
+include("/root/repo/build/tests/eclipse_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/merchant_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/component_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
