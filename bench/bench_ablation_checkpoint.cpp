@@ -108,5 +108,10 @@ int main() {
       "\n# Reading: gas is ~1.7k per header of lag, so even a very conservative\n"
       "# 96-block (16 h) checkpoint keeps a dispute under ~200k gas. The\n"
       "# PayJudger caps evidence at 144 headers (one day) as a DoS bound.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "ablation_checkpoint");
+  doc.add_table("checkpoint_lag", t);
+  doc.write("BENCH_ablation_checkpoint.json");
   return 0;
 }

@@ -114,5 +114,10 @@ int main() {
       "\n# Reading: security improves exponentially in k while evidence gas and\n"
       "# the customer's minimum defense latency grow only linearly — k=6 is the\n"
       "# sweet spot the paper adopts; larger escrows justify larger k (see E6).\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "ablation_depth");
+  doc.add_table("depth", t);
+  doc.write("BENCH_ablation_depth.json");
   return 0;
 }

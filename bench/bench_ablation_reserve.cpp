@@ -75,5 +75,10 @@ int main() {
       "# — it trades away the 'no per-payment fee' headline for protection against\n"
       "# a customer double-booking one escrow across many merchants at once.\n",
       static_cast<unsigned long long>(per_payment), gas_ref.gas_to_usd(per_payment));
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "ablation_reserve");
+  doc.add_table("reserve", t);
+  doc.write("BENCH_ablation_reserve.json");
   return 0;
 }

@@ -45,5 +45,10 @@ int main() {
       "# payment onto the chain; each such loss triggers a dispute the merchant\n"
       "# wins — merchants end the day made whole, honest traffic never touches\n"
       "# the contract, and acceptance latency is unchanged by scale.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e10_marketplace");
+  doc.add_table("marketplace", t);
+  doc.write("BENCH_e10.json");
   return 0;
 }

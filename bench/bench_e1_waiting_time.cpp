@@ -135,5 +135,12 @@ int main() {
       "# signature/escrow checks — under a second, 3-4 orders of magnitude below\n"
       "# the 6-confirmation baseline, with the k=%u-confirmation security bound.\n",
       decision_sum_us / (accepted > 0 ? accepted : 1), dep.config().required_depth);
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e1_waiting_time");
+  doc.set("btcfast_wait_s", btcfast_wait_s);
+  doc.set("six_conf_wait_s", six_conf_s);
+  doc.add_table("waiting_time", t);
+  doc.write("BENCH_e1.json");
   return 0;
 }

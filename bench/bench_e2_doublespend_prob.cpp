@@ -11,6 +11,9 @@ int main() {
   using namespace btcfast;
   using namespace btcfast::analysis;
 
+  bench::JsonDoc doc;
+  doc.set("experiment", "e2_doublespend_prob");
+
   std::printf("# E2 — double-spend success probability (closed forms)\n");
   std::printf("# rows: attacker share q; columns: confirmations z\n\n");
 
@@ -28,6 +31,7 @@ int main() {
       t.row(row);
     }
     t.print();
+    doc.add_table("rosenfeld", t);
   }
 
   std::printf("\n## Nakamoto (whitepaper Poisson approximation)\n");
@@ -41,6 +45,7 @@ int main() {
       t.row(row);
     }
     t.print();
+    doc.add_table("nakamoto", t);
   }
 
   std::printf("\n## Confirmations needed to push risk below a target (Rosenfeld)\n");
@@ -52,6 +57,7 @@ int main() {
              std::to_string(confirmations_for_risk(q, 0.0001))});
     }
     t.print();
+    doc.add_table("confirmations_for_risk", t);
   }
 
   std::printf("\n## Rational k-conf merchant: wait grows with payment value\n");
@@ -63,11 +69,13 @@ int main() {
       t.row({bench::fmt(value, 0), std::to_string(z), bench::fmt(z * 10.0, 0), "< 1 s"});
     }
     t.print();
+    doc.add_table("rational_kconf_wait", t);
   }
 
   std::printf(
       "\n# Reading: a BTCFast judgment depth k gives the merchant the z=k column's\n"
       "# security while its waiting time stays sub-second (see E1) — and unlike a\n"
       "# rational k-conf merchant, that wait does not grow with the payment value.\n");
+  doc.write("BENCH_e2.json");
   return 0;
 }

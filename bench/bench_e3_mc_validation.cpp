@@ -38,5 +38,10 @@ int main() {
   std::printf(
       "\n# Reading: |diff|/CI < 1 for essentially every cell — the implementation's\n"
       "# race dynamics match the analysis the security claims rest on.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e3_mc_validation");
+  doc.add_table("mc_vs_closed_form", t);
+  doc.write("BENCH_e3.json");
   return 0;
 }

@@ -184,6 +184,12 @@ int main() {
                  bench::fmt(row.per_payment_usd, 5), bench::fmt(btc_ref.tx_fee_usd(), 3)});
     }
     amort.print();
+
+    bench::JsonDoc doc;
+    doc.set("experiment", "e4_gas_costs");
+    doc.add_table("operation_gas", t);
+    doc.add_table("amortized_fee", amort);
+    doc.write("BENCH_e4.json");
   }
 
   std::printf(

@@ -1,6 +1,9 @@
 // E5 — Judgment verification cost vs evidence size: gas and CPU time for
 // PayJudger to verify k-header evidence chains (merchant side) and
-// k-header + Merkle-proof evidence (customer side).
+// k-header + Merkle-proof evidence (customer side). Each case runs with
+// the verification pool inline (0 threads) and at 4 threads: header PoW
+// hashing fans out, but gas must be bit-identical — the metered pass is
+// sequential by construction.
 #include <chrono>
 #include <cstdio>
 
@@ -11,6 +14,7 @@
 #include "btcfast/evidence.h"
 #include "btcfast/payjudger.h"
 #include "btcsim/scenario.h"
+#include "common/thread_pool.h"
 
 using namespace btcfast;
 using namespace btcfast::core;
@@ -18,6 +22,109 @@ using namespace btcfast::core;
 namespace {
 
 constexpr std::uint64_t kHourMs = 60ULL * 60 * 1000;
+
+struct CaseResult {
+  psc::Gas merchant_gas = 0;
+  psc::Gas customer_gas = 0;
+  double merchant_us = 0.0;
+  double customer_us = 0.0;
+};
+
+CaseResult run_case(std::uint32_t k, std::size_t threads) {
+  common::ThreadPool::configure_global(threads);
+
+  btc::ChainParams params = btc::ChainParams::regtest();
+  btc::Chain chain(params);
+  sim::Party customer_party = sim::Party::make(11);
+  sim::Party merchant_party = sim::Party::make(22);
+  for (const auto& b : sim::build_funding_chain(params, {customer_party.script}, 2)) {
+    (void)chain.submit_block(b);
+  }
+
+  PayJudgerConfig cfg;
+  cfg.pow_limit = params.pow_limit;
+  cfg.initial_checkpoint = chain.tip_hash();
+  cfg.required_depth = k;
+  cfg.evidence_window_ms = kHourMs;
+  cfg.min_collateral = 1'000;
+  cfg.dispute_bond = 500;
+
+  psc::PscChain psc;
+  const auto judger = psc.deploy("payjudger", std::make_unique<PayJudger>(cfg));
+  const auto customer_psc = psc::Address::from_label("customer");
+  const auto merchant_psc = psc::Address::from_label("merchant");
+  psc.mint(customer_psc, 1'000'000'000);
+  psc.mint(merchant_psc, 1'000'000'000);
+
+  CustomerWallet wallet(customer_party, customer_psc, 1);
+  (void)psc.execute_now(wallet.make_deposit_tx(judger, 200'000, 100 * kHourMs), 0);
+
+  const auto coins = sim::find_spendable(chain, customer_party.script);
+  const auto [coin_op, coin] = coins.front();
+  Invoice inv;
+  inv.amount_sat = coin.out.value / 2;
+  inv.compensation = 50'000;
+  inv.pay_to = merchant_party.script;
+  inv.merchant_psc = merchant_psc;
+  inv.expires_at_ms = 100 * kHourMs;
+  FastPayPackage pkg = wallet.create_fastpay(inv, coin_op, coin.out.value, 0, 100 * kHourMs);
+
+  psc::PscTx open;
+  open.from = merchant_psc;
+  open.to = judger;
+  open.value = cfg.dispute_bond;
+  open.method = "openDispute";
+  open.args = encode_open_dispute_args(1, pkg.binding);
+  (void)psc.execute_now(open, kHourMs);
+
+  // Mine the payment + k-1 more blocks.
+  auto mine = [&](std::vector<btc::Transaction> txs) {
+    btc::Block b;
+    b.header.prev_hash = chain.tip_hash();
+    b.header.time = chain.tip_header().time + 600;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = chain.height() + 1;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, merchant_party.script});
+    b.txs.push_back(cb);
+    for (auto& tx : txs) b.txs.push_back(std::move(tx));
+    (void)btc::mine_block(b, params);
+    (void)chain.submit_block(b);
+  };
+  mine({pkg.payment_tx});
+  for (std::uint32_t i = 1; i < k; ++i) mine({});
+
+  const auto headers = *headers_since(chain, cfg.initial_checkpoint);
+
+  psc::PscTx mev;
+  mev.from = merchant_psc;
+  mev.to = judger;
+  mev.method = "submitMerchantEvidence";
+  mev.args = encode_merchant_evidence_args(1, headers);
+  mev.gas_limit = 20'000'000;
+  const auto m0 = std::chrono::steady_clock::now();
+  const auto mev_r = psc.execute_now(mev, kHourMs + 1);
+  const auto m1 = std::chrono::steady_clock::now();
+
+  const auto ev = build_inclusion_evidence(chain, cfg.initial_checkpoint, pkg.payment_tx.txid(), k);
+  psc::PscTx cev;
+  cev.from = customer_psc;
+  cev.to = judger;
+  cev.method = "submitCustomerEvidence";
+  cev.args = encode_customer_evidence_args(1, ev->headers, ev->proof, ev->header_index);
+  cev.gas_limit = 20'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cev_r = psc.execute_now(cev, kHourMs + 2);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  auto us = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(b - a).count();
+  };
+  return CaseResult{mev_r.gas_used, cev_r.gas_used, us(m0, m1), us(t0, t1)};
+}
 
 }  // namespace
 
@@ -28,106 +135,38 @@ int main() {
   std::printf("# fresh dispute per row; payment mined in the first post-anchor block\n\n");
 
   bench::Table t({"k headers", "merchant ev. gas", "merchant USD", "customer ev. gas",
-                  "customer USD", "CPU us (customer)"});
+                  "customer USD", "CPU us mev (0t)", "CPU us mev (4t)", "CPU us cev (0t)",
+                  "gas matches"});
+  bool all_gas_match = true;
 
   for (std::uint32_t k = 1; k <= 12; ++k) {
-    btc::ChainParams params = btc::ChainParams::regtest();
-    btc::Chain chain(params);
-    sim::Party customer_party = sim::Party::make(11);
-    sim::Party merchant_party = sim::Party::make(22);
-    for (const auto& b : sim::build_funding_chain(params, {customer_party.script}, 2)) {
-      (void)chain.submit_block(b);
-    }
+    const CaseResult inline_run = run_case(k, 0);
+    const CaseResult pooled_run = run_case(k, 4);
+    const bool gas_match = inline_run.merchant_gas == pooled_run.merchant_gas &&
+                           inline_run.customer_gas == pooled_run.customer_gas;
+    all_gas_match &= gas_match;
 
-    PayJudgerConfig cfg;
-    cfg.pow_limit = params.pow_limit;
-    cfg.initial_checkpoint = chain.tip_hash();
-    cfg.required_depth = k;
-    cfg.evidence_window_ms = kHourMs;
-    cfg.min_collateral = 1'000;
-    cfg.dispute_bond = 500;
-
-    psc::PscChain psc;
-    const auto judger = psc.deploy("payjudger", std::make_unique<PayJudger>(cfg));
-    const auto customer_psc = psc::Address::from_label("customer");
-    const auto merchant_psc = psc::Address::from_label("merchant");
-    psc.mint(customer_psc, 1'000'000'000);
-    psc.mint(merchant_psc, 1'000'000'000);
-
-    CustomerWallet wallet(customer_party, customer_psc, 1);
-    (void)psc.execute_now(wallet.make_deposit_tx(judger, 200'000, 100 * kHourMs), 0);
-
-    const auto coins = sim::find_spendable(chain, customer_party.script);
-    const auto [coin_op, coin] = coins.front();
-    Invoice inv;
-    inv.amount_sat = coin.out.value / 2;
-    inv.compensation = 50'000;
-    inv.pay_to = merchant_party.script;
-    inv.merchant_psc = merchant_psc;
-    inv.expires_at_ms = 100 * kHourMs;
-    FastPayPackage pkg = wallet.create_fastpay(inv, coin_op, coin.out.value, 0, 100 * kHourMs);
-
-    psc::PscTx open;
-    open.from = merchant_psc;
-    open.to = judger;
-    open.value = cfg.dispute_bond;
-    open.method = "openDispute";
-    open.args = encode_open_dispute_args(1, pkg.binding);
-    (void)psc.execute_now(open, kHourMs);
-
-    // Mine the payment + k-1 more blocks.
-    auto mine = [&](std::vector<btc::Transaction> txs) {
-      btc::Block b;
-      b.header.prev_hash = chain.tip_hash();
-      b.header.time = chain.tip_header().time + 600;
-      b.header.bits = params.genesis_bits;
-      btc::Transaction cb;
-      btc::TxIn in;
-      in.prevout.index = 0xffffffff;
-      in.sequence = chain.height() + 1;
-      cb.inputs.push_back(in);
-      cb.outputs.push_back(btc::TxOut{params.subsidy, merchant_party.script});
-      b.txs.push_back(cb);
-      for (auto& tx : txs) b.txs.push_back(std::move(tx));
-      (void)btc::mine_block(b, params);
-      (void)chain.submit_block(b);
-    };
-    mine({pkg.payment_tx});
-    for (std::uint32_t i = 1; i < k; ++i) mine({});
-
-    const auto headers = *headers_since(chain, cfg.initial_checkpoint);
-
-    psc::PscTx mev;
-    mev.from = merchant_psc;
-    mev.to = judger;
-    mev.method = "submitMerchantEvidence";
-    mev.args = encode_merchant_evidence_args(1, headers);
-    mev.gas_limit = 20'000'000;
-    const auto mev_r = psc.execute_now(mev, kHourMs + 1);
-
-    const auto ev =
-        build_inclusion_evidence(chain, cfg.initial_checkpoint, pkg.payment_tx.txid(), k);
-    psc::PscTx cev;
-    cev.from = customer_psc;
-    cev.to = judger;
-    cev.method = "submitCustomerEvidence";
-    cev.args = encode_customer_evidence_args(1, ev->headers, ev->proof, ev->header_index);
-    cev.gas_limit = 20'000'000;
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto cev_r = psc.execute_now(cev, kHourMs + 2);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double micros =
-        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count();
-
-    t.row({std::to_string(k), bench::fmt_u(mev_r.gas_used),
-           bench::fmt(gas_ref.gas_to_usd(mev_r.gas_used), 4), bench::fmt_u(cev_r.gas_used),
-           bench::fmt(gas_ref.gas_to_usd(cev_r.gas_used), 4), bench::fmt(micros, 1)});
+    t.row({std::to_string(k), bench::fmt_u(inline_run.merchant_gas),
+           bench::fmt(gas_ref.gas_to_usd(inline_run.merchant_gas), 4),
+           bench::fmt_u(inline_run.customer_gas),
+           bench::fmt(gas_ref.gas_to_usd(inline_run.customer_gas), 4),
+           bench::fmt(inline_run.merchant_us, 1), bench::fmt(pooled_run.merchant_us, 1),
+           bench::fmt(inline_run.customer_us, 1), gas_match ? "yes" : "NO"});
   }
+  common::ThreadPool::configure_global(0);
   t.print();
 
   std::printf(
       "\n# Reading: verification cost is linear in k (one SHA-256d + target check\n"
       "# per header) plus a logarithmic Merkle term for the customer proof; even\n"
-      "# k=12 stays far below a block gas limit, so judgments always fit on-chain.\n");
-  return 0;
+      "# k=12 stays far below a block gas limit, so judgments always fit on-chain.\n"
+      "# Gas is identical with the PoW hashing pool at 0 and 4 threads: %s\n",
+      all_gas_match ? "yes" : "NO");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e5_evidence_scaling");
+  doc.set("gas_thread_invariant", all_gas_match ? "yes" : "no");
+  doc.add_table("evidence_cost", t);
+  doc.write("BENCH_e5.json");
+  return all_gas_match ? 0 : 1;
 }

@@ -1,12 +1,17 @@
 // E7 — Merchant-side fast-pay throughput: how many acceptance decisions a
-// single merchant core sustains, and the crypto ceiling that bounds it.
+// merchant sustains through the fast-verify engine (wNAF/Shamir kernel +
+// signature cache + batch intake across a thread pool), and the crypto
+// ceiling that bounds it. Emits BENCH_e7.json for the perf trajectory.
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_table.h"
 #include "btcfast/orchestrator.h"
+#include "common/thread_pool.h"
 #include "crypto/ecdsa.h"
 #include "crypto/sha256.h"
+#include "crypto/sigcache.h"
 
 using namespace btcfast;
 
@@ -14,76 +19,142 @@ namespace {
 
 double ops_per_sec(double total_us, int n) { return n / (total_us / 1e6); }
 
+double elapsed_us(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(b - a).count();
+}
+
 }  // namespace
 
 int main() {
-  std::printf("# E7 — merchant acceptance throughput (single core)\n\n");
+  std::printf("# E7 — merchant acceptance throughput (fast-verify engine)\n\n");
 
-  // --- Full evaluate_fastpay pipeline. ---
+  constexpr int kPackages = 16;
   core::DeploymentConfig cfg;
   cfg.seed = 12;
-  cfg.funded_coins = 2;
+  cfg.funded_coins = kPackages;
   core::Deployment dep(cfg);
 
-  // Build one valid package and decide on it repeatedly (evaluation is
-  // read-only; repeated calls exercise the identical code path a stream
-  // of distinct payments would).
+  // One distinct package per funded coin: distinct binding signatures and
+  // distinct payment-input signatures, so a cold cache takes real misses.
   const auto now = static_cast<std::uint64_t>(dep.simulator().now());
-  const auto invoice =
-      dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now, 60ULL * 60 * 1000);
   const auto coins =
       sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
-  auto pkg = dep.customer().create_fastpay(invoice, coins[0].first, coins[0].second.out.value,
-                                           now, cfg.binding_ttl_ms);
-
-  const int decisions = 200;
-  const auto t0 = std::chrono::steady_clock::now();
-  int ok = 0;
-  for (int i = 0; i < decisions; ++i) {
-    ok += dep.merchant().evaluate_fastpay(pkg, invoice, now).accepted;
+  std::vector<core::Invoice> invoices;
+  std::vector<core::FastPayPackage> pkgs;
+  for (int i = 0; i < kPackages && i < static_cast<int>(coins.size()); ++i) {
+    invoices.push_back(
+        dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now, 60ULL * 60 * 1000));
+    pkgs.push_back(dep.customer().create_fastpay(invoices.back(), coins[i].first,
+                                                 coins[i].second.out.value, now,
+                                                 cfg.binding_ttl_ms));
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  const double eval_us =
-      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count() /
-      decisions;
+  const int n = static_cast<int>(pkgs.size());
+  auto& cache = crypto::SigCache::global();
+
+  // --- Serial baseline (the seed's code path): per-decision latency. ---
+  auto run_serial = [&]() {
+    int ok = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i) {
+      ok += dep.merchant().evaluate_fastpay(pkgs[i], invoices[i], now).accepted;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair<double, int>{elapsed_us(t0, t1) / n, ok};
+  };
+  cache.clear();
+  cache.reset_stats();
+  const auto [serial_cold_us, serial_cold_ok] = run_serial();
+  const auto [serial_warm_us, serial_warm_ok] = run_serial();
+
+  // --- Batch intake across the pool, cold and warm cache. ---
+  bench::Table scaling({"threads", "cache", "per-decision (us)", "payments/s", "hits", "misses"});
+  bench::Table summary({"stage", "latency (us)", "throughput (ops/s)"});
+  bool all_ok = serial_cold_ok == n && serial_warm_ok == n;
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  for (const int threads : thread_counts) {
+    common::ThreadPool::configure_global(static_cast<std::size_t>(threads));
+    for (const bool warm : {false, true}) {
+      if (!warm) cache.clear();
+      cache.reset_stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto decisions = dep.merchant().evaluate_fastpay_batch(pkgs, invoices, now);
+      const auto t1 = std::chrono::steady_clock::now();
+      for (const auto& d : decisions) all_ok &= d.accepted;
+      const double per_us = elapsed_us(t0, t1) / n;
+      const auto stats = cache.stats();
+      scaling.row({bench::fmt_u(static_cast<std::uint64_t>(threads)), warm ? "warm" : "cold",
+                   bench::fmt(per_us, 1), bench::fmt(ops_per_sec(per_us, 1), 0),
+                   bench::fmt_u(stats.hits), bench::fmt_u(stats.misses)});
+    }
+  }
+  common::ThreadPool::configure_global(0);
 
   // --- Crypto ceiling components. ---
   const auto key = *crypto::PrivateKey::from_scalar(crypto::U256(12345));
   const auto pub = crypto::PublicKey::derive(key);
   const auto digest = crypto::sha256(as_bytes(std::string("bench")));
 
-  const int n_sign = 100;
+  const int n_sign = 200;
   auto s0 = std::chrono::steady_clock::now();
   crypto::Signature sig{};
   for (int i = 0; i < n_sign; ++i) sig = crypto::ecdsa_sign(key, digest);
   auto s1 = std::chrono::steady_clock::now();
-  const double sign_us =
-      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(s1 - s0).count() /
-      n_sign;
+  const double sign_us = elapsed_us(s0, s1) / n_sign;
 
-  const int n_verify = 100;
+  const int n_verify = 200;
   auto v0 = std::chrono::steady_clock::now();
   bool sink = true;
   for (int i = 0; i < n_verify; ++i) sink &= crypto::ecdsa_verify(pub, digest, sig);
   auto v1 = std::chrono::steady_clock::now();
-  const double verify_us =
-      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(v1 - v0).count() /
-      n_verify;
+  const double verify_us = elapsed_us(v0, v1) / n_verify;
 
-  bench::Table t({"stage", "latency (us)", "throughput (ops/s)"});
-  t.row({"ECDSA sign (RFC6979)", bench::fmt(sign_us, 1),
-         bench::fmt(ops_per_sec(sign_us, 1), 0)});
-  t.row({"ECDSA verify", bench::fmt(verify_us, 1), bench::fmt(ops_per_sec(verify_us, 1), 0)});
-  t.row({"evaluate_fastpay (2 verifies + escrow view)", bench::fmt(eval_us, 1),
-         bench::fmt(ops_per_sec(eval_us, 1), 0)});
-  t.print();
+  // Cached verify: first call inserts, the rest are hash lookups.
+  const auto enc = pub.serialize();
+  const auto sig_ser = sig.serialize();
+  const int n_cached = 2000;
+  auto c0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n_cached; ++i) {
+    sink &= crypto::ecdsa_verify_cached(&cache, {enc.data(), enc.size()}, digest,
+                                        {sig_ser.data(), sig_ser.size()});
+  }
+  auto c1 = std::chrono::steady_clock::now();
+  const double cached_us = elapsed_us(c0, c1) / n_cached;
 
-  std::printf("\n# decisions evaluated: %d, all accepted: %s\n", decisions,
-              ok == decisions && sink ? "yes" : "NO");
+  summary.row({"ECDSA sign (RFC6979)", bench::fmt(sign_us, 1),
+               bench::fmt(ops_per_sec(sign_us, 1), 0)});
+  summary.row({"ECDSA verify", bench::fmt(verify_us, 1),
+               bench::fmt(ops_per_sec(verify_us, 1), 0)});
+  summary.row({"ECDSA verify (sigcache hit)", bench::fmt(cached_us, 2),
+               bench::fmt(ops_per_sec(cached_us, 1), 0)});
+  summary.row({"evaluate_fastpay serial cold", bench::fmt(serial_cold_us, 1),
+               bench::fmt(ops_per_sec(serial_cold_us, 1), 0)});
+  summary.row({"evaluate_fastpay serial warm", bench::fmt(serial_warm_us, 1),
+               bench::fmt(ops_per_sec(serial_warm_us, 1), 0)});
+  summary.print();
+  std::printf("\n");
+  scaling.print();
+
+  std::printf("\n# packages: %d, every decision accepted: %s\n", n, all_ok && sink ? "yes" : "NO");
   std::printf(
-      "# Reading: the decision is dominated by two signature verifications\n"
-      "# (payment input + binding); a single merchant core clears hundreds of\n"
-      "# payments per second — far above retail point-of-sale rates, and the\n"
-      "# sub-millisecond latency keeps E1's sub-second bound comfortable.\n");
+      "# Reading: a cold decision is bounded by two ECDSA verifications\n"
+      "# (payment input + binding); the warm path turns both into hash\n"
+      "# lookups, so a repeat check costs microseconds. Batch intake fans\n"
+      "# the cold verifications across the pool; decisions are identical\n"
+      "# for every thread count by construction.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e7_throughput");
+  doc.set("packages", n);
+  doc.set("serial_cold_us", serial_cold_us);
+  doc.set("serial_warm_us", serial_warm_us);
+  doc.set("sign_us", sign_us);
+  doc.set("verify_us", verify_us);
+  doc.set("verify_cached_us", cached_us);
+  doc.set("all_accepted", all_ok && sink ? "yes" : "no");
+  doc.add_table("summary", summary);
+  doc.add_table("scaling", scaling);
+  doc.write("BENCH_e7.json");
   return 0;
 }

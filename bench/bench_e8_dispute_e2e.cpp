@@ -107,5 +107,10 @@ int main() {
       "# compensation via the PoW judgment; a wrongful dispute resolves for the\n"
       "# customer (who proves inclusion) and costs the merchant its bond; honest\n"
       "# runs never touch the contract after setup.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e8_dispute_e2e");
+  doc.add_table("scenarios", t);
+  doc.write("BENCH_e8.json");
   return 0;
 }

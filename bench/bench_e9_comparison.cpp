@@ -40,5 +40,10 @@ int main() {
       "\n# Reading: BTCFast is the only scheme with sub-second acceptance, 6-conf\n"
       "# security, no trusted custodian, and collateral shared across merchants.\n"
       "# Its extra trust vs k-conf waiting is PSC-chain liveness for disputes only.\n");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e9_comparison");
+  doc.add_table("schemes", t);
+  doc.write("BENCH_e9.json");
   return 0;
 }

@@ -63,6 +63,22 @@ void BM_ScalarMulBase(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMulBase);
 
+void BM_ScalarMul(benchmark::State& state) {
+  const U256 k = *U256::from_hex("123456789abcdef123456789abcdef123456789abcdef");
+  const auto p = PublicKey::derive(*PrivateKey::from_scalar(U256(987654321))).point();
+  for (auto _ : state) benchmark::DoNotOptimize(secp::scalar_mul(k, p));
+}
+BENCHMARK(BM_ScalarMul);
+
+// The seed's bit-at-a-time kernel, kept as the correctness reference —
+// benchmarked so the wNAF speedup stays visible in the same run.
+void BM_ScalarMulNaive(benchmark::State& state) {
+  const U256 k = *U256::from_hex("123456789abcdef123456789abcdef123456789abcdef");
+  const auto p = PublicKey::derive(*PrivateKey::from_scalar(U256(987654321))).point();
+  for (auto _ : state) benchmark::DoNotOptimize(secp::scalar_mul_naive(k, p));
+}
+BENCHMARK(BM_ScalarMulNaive);
+
 void BM_PubkeyDecompress(benchmark::State& state) {
   const auto key = *PrivateKey::from_scalar(U256(42));
   const auto enc = PublicKey::derive(key).serialize();

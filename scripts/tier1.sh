@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+# Usage: scripts/tier1.sh [preset]   (preset defaults to "default";
+# pass "tsan" to run the suite under ThreadSanitizer.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset="${1:-default}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+ctest --preset "$preset" -j "$jobs"

@@ -1,6 +1,7 @@
 #include "btc/script.h"
 
 #include "crypto/base58.h"
+#include "crypto/sigcache.h"
 
 namespace btcfast::btc {
 
@@ -11,12 +12,12 @@ bool verify_script(const ScriptSig& sig, const ScriptPubKey& lock,
   if (!equal_bytes({h.data(), h.size()}, {lock.dest.bytes.data(), lock.dest.bytes.size()})) {
     return false;
   }
-  // 2. Signature must verify under that pubkey.
-  const auto pub = crypto::PublicKey::parse({sig.pubkey.data(), sig.pubkey.size()});
-  if (!pub) return false;
-  const auto parsed = crypto::Signature::parse({sig.signature.data(), sig.signature.size()});
-  if (!parsed) return false;
-  return crypto::ecdsa_verify(*pub, sighash, *parsed);
+  // 2. Signature must verify under that pubkey. Routed through the global
+  // signature cache: a repeat check of an identical (sighash, key, sig)
+  // triple skips even the pubkey decompression.
+  return crypto::ecdsa_verify_cached(&crypto::SigCache::global(),
+                                     {sig.pubkey.data(), sig.pubkey.size()}, sighash,
+                                     {sig.signature.data(), sig.signature.size()});
 }
 
 std::string encode_address(const PubKeyHash& h) {

@@ -1,6 +1,8 @@
 #include "btcfast/merchant.h"
 
 #include "common/log.h"
+#include "common/thread_pool.h"
+#include "crypto/batch_verify.h"
 
 namespace btcfast::core {
 
@@ -105,6 +107,46 @@ AcceptDecision MerchantService::evaluate_fastpay(const FastPayPackage& pkg,
   if (in_value < pkg.payment_tx.total_output()) return reject("payment inflates value");
 
   return AcceptDecision{true, {}};
+}
+
+std::vector<AcceptDecision> MerchantService::evaluate_fastpay_batch(
+    const std::vector<FastPayPackage>& pkgs, const std::vector<Invoice>& invoices,
+    std::uint64_t now_ms) {
+  // Phase 1: collect every signature check the sequential path would run
+  // and verify them in parallel into the global cache. Escrow lookups are
+  // local view calls (cheap); the curve math is the expensive part.
+  std::vector<crypto::SigCheckJob> jobs;
+  for (const auto& pkg : pkgs) {
+    const PaymentBinding& b = pkg.binding.binding;
+    if (const auto escrow = fetch_escrow(b.escrow_id)) {
+      crypto::SigCheckJob job;
+      job.digest = b.signing_digest();
+      job.pubkey = escrow->customer_btc_key;
+      job.sig = pkg.binding.customer_sig;
+      jobs.push_back(job);
+    }
+    for (std::size_t i = 0; i < pkg.payment_tx.inputs.size(); ++i) {
+      const auto& in = pkg.payment_tx.inputs[i];
+      if (const auto coin = btc_node_.chain().utxo().get(in.prevout)) {
+        crypto::SigCheckJob job;
+        job.digest = pkg.payment_tx.signature_hash(i, coin->out.script_pubkey);
+        job.pubkey = in.script_sig.pubkey;
+        job.sig = in.script_sig.signature;
+        jobs.push_back(job);
+      }
+    }
+  }
+  (void)crypto::batch_verify(common::ThreadPool::global(), jobs, &crypto::SigCache::global());
+
+  // Phase 2: unchanged sequential decisions. Signature checks hit the
+  // cache; everything else (expiry, coverage, UTXO state) was always
+  // sequential, so the outcome matches a plain loop exactly.
+  std::vector<AcceptDecision> out;
+  out.reserve(pkgs.size());
+  for (std::size_t i = 0; i < pkgs.size(); ++i) {
+    out.push_back(evaluate_fastpay(pkgs[i], invoices[i], now_ms));
+  }
+  return out;
 }
 
 std::vector<psc::PscTx> MerchantService::accept_payment(const FastPayPackage& pkg,

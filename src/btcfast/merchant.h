@@ -61,6 +61,17 @@ class MerchantService {
   [[nodiscard]] AcceptDecision evaluate_fastpay(const FastPayPackage& pkg,
                                                 const Invoice& invoice, std::uint64_t now_ms);
 
+  /// Batch intake for N independent packages: a parallel phase verifies
+  /// every signature (binding + per-input payment sigs) across the global
+  /// thread pool, warming the signature cache; decisions are then made by
+  /// the unchanged sequential fast path, whose signature checks all hit
+  /// the cache. Results are index-aligned with the inputs and
+  /// byte-identical to calling evaluate_fastpay in a loop — for any
+  /// thread count, including the inline (0-thread) pool.
+  [[nodiscard]] std::vector<AcceptDecision> evaluate_fastpay_batch(
+      const std::vector<FastPayPackage>& pkgs, const std::vector<Invoice>& invoices,
+      std::uint64_t now_ms);
+
   /// Accept (bookkeeping) after a positive evaluation; broadcasts the
   /// payment tx from the merchant's node. In reserved mode, returns the
   /// reservePayment transaction the caller must submit to the PSC chain.

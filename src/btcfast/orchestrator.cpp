@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace btcfast::core {
 
@@ -12,6 +13,7 @@ Deployment::Deployment(DeploymentConfig config)
       customer_party_(sim::Party::make(config_.seed * 11 + 1)),
       merchant_party_(sim::Party::make(config_.seed * 11 + 2)),
       miner_party_(sim::Party::make(config_.seed * 11 + 3)) {
+  common::ThreadPool::configure_global(config_.verify_threads);
   sim_ = std::make_unique<sim::Simulator>();
   net_ = std::make_unique<sim::Network>(*sim_, params_, config_.net, config_.seed * 13 + 7);
 

@@ -54,6 +54,13 @@ struct DeploymentConfig {
   std::uint64_t seed = 1;
   sim::NetworkConfig net{};
   btc::Amount funded_coins = 4;  ///< mature coinbases granted to the customer
+
+  /// Worker threads for the verification engine (batch signature checks,
+  /// parallel evidence PoW hashing). 0 = inline execution on the calling
+  /// thread — the deterministic baseline. Decisions and gas accounting are
+  /// identical for every value; only wall-clock changes. Applied to the
+  /// process-global pool at Deployment construction.
+  std::size_t verify_threads = 0;
 };
 
 /// Result of one fast payment attempt.

@@ -1,5 +1,7 @@
 #include "btcfast/payjudger.h"
 
+#include "common/thread_pool.h"
+
 namespace btcfast::core {
 namespace {
 
@@ -351,6 +353,21 @@ Result<btc::HeaderChainSummary> PayJudger::verify_evidence_chain(
   if (headers.empty()) return make_error("evidence-empty");
   if (headers.size() > 144) return make_error("evidence-too-long", "max 144 headers");
 
+  // Phase 1: hash every header across the thread pool. This is raw CPU
+  // work only — no metering — so it can run in any order on any number
+  // of threads. Headers past an (as yet undetected) defect are hashed
+  // speculatively and discarded.
+  std::vector<crypto::Sha256Digest> digests(headers.size());
+  std::vector<std::size_t> ser_sizes(headers.size());
+  common::ThreadPool::global().parallel_for(headers.size(), [&](std::size_t i) {
+    const Bytes ser = headers[i].serialize();
+    ser_sizes[i] = ser.size();
+    digests[i] = crypto::sha256d({ser.data(), ser.size()});
+  });
+
+  // Phase 2: sequential validation issuing the exact gas charges, in the
+  // exact order, with the exact early aborts of a serial implementation —
+  // contract execution is deterministic regardless of thread count.
   btc::HeaderChainSummary summary;
   btc::BlockHash expected_prev = anchor;
   for (std::size_t i = 0; i < headers.size(); ++i) {
@@ -360,9 +377,11 @@ Result<btc::HeaderChainSummary> PayJudger::verify_evidence_chain(
     const auto target = btc::bits_to_target(h.bits);
     if (!target || *target > config_.pow_limit) return make_error("evidence-bad-target");
 
-    // Metered double-SHA over the 80-byte header (the PoW check).
-    const Bytes ser = h.serialize();
-    const auto digest = host.sha256d(ser);
+    // Metered double-SHA over the 80-byte header (the PoW check); the
+    // digest itself was computed in phase 1.
+    host.meter().charge_sha256(ser_sizes[i]);
+    host.meter().charge_sha256(32);
+    const auto& digest = digests[i];
     const auto hash_value = crypto::U256::from_le_bytes({digest.data(), digest.size()});
     if (hash_value > *target) return make_error("evidence-bad-pow");
 

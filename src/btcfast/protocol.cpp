@@ -1,5 +1,7 @@
 #include "btcfast/protocol.h"
 
+#include "crypto/sigcache.h"
+
 namespace btcfast::core {
 namespace {
 
@@ -67,9 +69,12 @@ std::optional<SignedBinding> SignedBinding::deserialize(ByteSpan data) {
 }
 
 bool SignedBinding::verify(const crypto::PublicKey& customer_key) const {
-  const auto sig = crypto::Signature::parse({customer_sig.data(), customer_sig.size()});
-  if (!sig) return false;
-  return crypto::ecdsa_verify(customer_key, binding.signing_digest(), *sig);
+  // Cached: the merchant checks this binding at intake and PayJudger
+  // re-checks the identical triple on dispute — the second check is a
+  // hash lookup.
+  return crypto::ecdsa_verify_cached(&crypto::SigCache::global(), customer_key,
+                                     binding.signing_digest(),
+                                     {customer_sig.data(), customer_sig.size()});
 }
 
 Bytes FastPayPackage::serialize() const {

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace btcfast::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto drain = [shared, &fn, n] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || shared->failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  std::vector<std::future<void>> joins;
+  joins.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) joins.push_back(submit(drain));
+  drain();  // the caller works too
+  for (auto& j : joins) j.get();
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+namespace {
+
+// Leaked on purpose: worker threads must not be joined during static
+// destruction, whose order across translation units is unspecified.
+std::unique_ptr<ThreadPool>& global_slot() {
+  static auto* slot = new std::unique_ptr<ThreadPool>(std::make_unique<ThreadPool>(0));
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return *global_slot(); }
+
+void ThreadPool::configure_global(std::size_t threads) {
+  static std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+  auto& slot = global_slot();
+  if (slot->thread_count() == threads) return;
+  slot = std::make_unique<ThreadPool>(threads);  // assignment joins the old pool
+}
+
+}  // namespace btcfast::common

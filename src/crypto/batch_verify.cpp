@@ -1,0 +1,18 @@
+#include "crypto/batch_verify.h"
+
+namespace btcfast::crypto {
+
+std::vector<std::uint8_t> batch_verify(common::ThreadPool& pool,
+                                       const std::vector<SigCheckJob>& jobs, SigCache* cache) {
+  std::vector<std::uint8_t> results(jobs.size(), 0);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const SigCheckJob& j = jobs[i];
+    results[i] = ecdsa_verify_cached(cache, {j.pubkey.data(), j.pubkey.size()}, j.digest,
+                                     {j.sig.data(), j.sig.size()})
+                     ? 1
+                     : 0;
+  });
+  return results;
+}
+
+}  // namespace btcfast::crypto

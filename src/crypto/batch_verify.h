@@ -1,0 +1,33 @@
+// Batch signature verification: fan independent ECDSA checks across a
+// thread pool with deterministic, input-ordered results. Used by the
+// merchant to warm the signature cache over a whole intake batch, and
+// by benches to measure the parallel crypto ceiling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/thread_pool.h"
+#include "crypto/sha256.h"
+#include "crypto/sigcache.h"
+
+namespace btcfast::crypto {
+
+/// One independent verification: raw wire encodings, so a cache hit
+/// avoids even the point decompression.
+struct SigCheckJob {
+  Sha256Digest digest{};
+  ByteArray<33> pubkey{};
+  ByteArray<64> sig{};
+};
+
+/// Verify every job, fanning across `pool` (inline when the pool has no
+/// workers). `results[i]` is 1 iff `jobs[i]` verifies — ordering matches
+/// the input regardless of thread count. Verified-valid jobs are
+/// inserted into `cache` when non-null.
+[[nodiscard]] std::vector<std::uint8_t> batch_verify(common::ThreadPool& pool,
+                                                     const std::vector<SigCheckJob>& jobs,
+                                                     SigCache* cache);
+
+}  // namespace btcfast::crypto

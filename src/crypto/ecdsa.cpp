@@ -123,8 +123,12 @@ bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, const Signat
 
   const secp::JacobianPoint rj = secp::double_scalar_mul(u1, u2, key.point());
   if (rj.is_infinity()) return false;
-  const secp::AffinePoint rp = secp::to_affine(rj);
-  return secp::nreduce(rp.x) == sig.r;
+  // x(R) ≡ r (mod n) without normalizing R: x(R) = X/Z², so the affine x
+  // is a candidate c < p with c ≡ r (mod n) iff X == c·Z² (mod p). The
+  // candidates are r itself and, only when r + n < p, r + n.
+  const U256 zz = secp::fsqr(rj.z);
+  if (secp::fmul(sig.r, zz) == rj.x) return true;
+  return sig.r < secp::field_p() - n && secp::fmul(sig.r + n, zz) == rj.x;
 }
 
 }  // namespace btcfast::crypto

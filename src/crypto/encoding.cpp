@@ -12,7 +12,7 @@ Bytes der_integer(const U256& v) {
   while (first < 31 && be[first] == 0) ++first;
   Bytes out;
   if (be[first] & 0x80) out.push_back(0x00);  // keep it positive
-  out.insert(out.end(), be.begin() + static_cast<std::ptrdiff_t>(first), be.end());
+  for (std::size_t i = first; i < be.size(); ++i) out.push_back(be[i]);
   return out;
 }
 

@@ -1,10 +1,14 @@
 #include "crypto/secp256k1.h"
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 namespace btcfast::crypto::secp {
 namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
 
 // p = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE FFFFFC2F
 constexpr U256 make_p() {
@@ -30,23 +34,140 @@ const U256 kP = make_p();
 const U256 kN = make_n();
 const U256 kHalfN = make_n() >> 1;
 
-// 2^256 ≡ kC (mod p) with kC = 2^32 + 977.
-const U256 kC(0x1000003D1ULL);
+// 2^256 ≡ kC (mod p) with kC = 2^32 + 977 — the pseudo-Mersenne constant
+// that makes the field reduction a couple of single-limb multiplies.
+constexpr u64 kC = 0x1000003D1ULL;
 
-/// Reduce a 512-bit value mod p using the pseudo-Mersenne fold.
-U256 reduce512(const U512& t) noexcept {
-  // First fold: t = hi*2^256 + lo ≡ hi*C + lo.
-  const U512 s1 = U512::from_u256(t.low256()) + t.high256().mul_wide(kC);
-  // Second fold: the high part of s1 is < 2^34.
-  const U512 s2 = U512::from_u256(s1.low256()) + s1.high256().mul_wide(kC);
-  U256 r = s2.low256();
-  if (!s2.high256().is_zero()) {
-    // s2 overflowed 2^256 exactly once; 2^256 ≡ C.
-    bool carry = false;
-    r = add_carry(r, kC, carry);
+// --- flat 4-limb field engine -----------------------------------------
+// The hot path avoids the generic U512 helpers entirely: one schoolbook
+// 4x4 multiply into a stack array, then two inline folds of the high
+// half through kC. Everything stays in registers; the only branches are
+// the final carry fix-up and one conditional subtract of p. Additions and
+// subtractions are likewise flattened so no cross-TU U256 helper call
+// lands in the point-arithmetic inner loops.
+
+inline bool ge_p(const u64 r[4]) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (r[i] != kP.w[i]) return r[i] > kP.w[i];
   }
-  while (r >= kP) r = r - kP;
-  return r;
+  return true;
+}
+
+inline void sub_p(u64 r[4]) noexcept {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(r[i]) - kP.w[i] - borrow;
+    r[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>(d >> 64) & 1;
+  }
+}
+
+/// t[8] = a * b (full 256x256 product, row-by-row schoolbook).
+inline void mul_4x4(u64 t[8], const u64 a[4], const u64 b[4]) noexcept {
+  u128 acc;
+  u64 carry = 0;
+  acc = static_cast<u128>(a[0]) * b[0];
+  t[0] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[0]) * b[1] + carry;
+  t[1] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[0]) * b[2] + carry;
+  t[2] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[0]) * b[3] + carry;
+  t[3] = static_cast<u64>(acc);
+  t[4] = static_cast<u64>(acc >> 64);
+  for (int i = 1; i < 4; ++i) {
+    carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      acc = static_cast<u128>(a[i]) * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    t[i + 4] = carry;
+  }
+}
+
+/// t[8] = a² — cross products computed once, doubled, diagonals added.
+inline void sqr_4(u64 t[8], const u64 a[4]) noexcept {
+  u64 x[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  u128 acc;
+  u64 carry;
+  // a0 row: offsets 1..3
+  acc = static_cast<u128>(a[0]) * a[1];
+  x[1] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[0]) * a[2] + carry;
+  x[2] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[0]) * a[3] + carry;
+  x[3] = static_cast<u64>(acc);
+  x[4] = static_cast<u64>(acc >> 64);
+  // a1 row: offsets 3..4
+  acc = static_cast<u128>(a[1]) * a[2] + x[3];
+  x[3] = static_cast<u64>(acc);
+  carry = static_cast<u64>(acc >> 64);
+  acc = static_cast<u128>(a[1]) * a[3] + x[4] + carry;
+  x[4] = static_cast<u64>(acc);
+  x[5] = static_cast<u64>(acc >> 64);
+  // a2 row: offset 5
+  acc = static_cast<u128>(a[2]) * a[3] + x[5];
+  x[5] = static_cast<u64>(acc);
+  x[6] = static_cast<u64>(acc >> 64);
+  // double the cross half
+  for (int i = 7; i > 0; --i) x[i] = (x[i] << 1) | (x[i - 1] >> 63);
+  x[0] <<= 1;
+  // add diagonals a_i² at offsets 2i
+  carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a[i]) * a[i];
+    acc = static_cast<u128>(x[2 * i]) + static_cast<u64>(d) + carry;
+    t[2 * i] = static_cast<u64>(acc);
+    acc = static_cast<u128>(x[2 * i + 1]) + static_cast<u64>(d >> 64) +
+          static_cast<u64>(acc >> 64);
+    t[2 * i + 1] = static_cast<u64>(acc);
+    carry = static_cast<u64>(acc >> 64);
+  }
+}
+
+/// Reduce a 512-bit product t[8] mod p into r.
+inline void fe_reduce(U256& r, const u64 t[8]) noexcept {
+  u64 out[4];
+  u128 acc;
+  u64 carry = 0;
+  // Fold 1: value = lo + hi*kC; the running carry stays < 2^34.
+  for (int i = 0; i < 4; ++i) {
+    acc = static_cast<u128>(t[4 + i]) * kC + t[i] + carry;
+    out[i] = static_cast<u64>(acc);
+    carry = static_cast<u64>(acc >> 64);
+  }
+  // Fold 2: carry < 2^34, carry*kC < 2^68.
+  acc = static_cast<u128>(carry) * kC + out[0];
+  out[0] = static_cast<u64>(acc);
+  u64 c = static_cast<u64>(acc >> 64);
+  for (int i = 1; i < 4 && c != 0; ++i) {
+    acc = static_cast<u128>(out[i]) + c;
+    out[i] = static_cast<u64>(acc);
+    c = static_cast<u64>(acc >> 64);
+  }
+  if (c != 0) {
+    // Wrapped past 2^256 exactly once; the residue is tiny, so adding kC
+    // cannot carry again.
+    acc = static_cast<u128>(out[0]) + kC;
+    out[0] = static_cast<u64>(acc);
+    u64 c2 = static_cast<u64>(acc >> 64);
+    for (int i = 1; i < 4 && c2 != 0; ++i) {
+      acc = static_cast<u128>(out[i]) + c2;
+      out[i] = static_cast<u64>(acc);
+      c2 = static_cast<u64>(acc >> 64);
+    }
+  }
+  if (ge_p(out)) sub_p(out);  // value < 2^256 < 2p: one subtraction suffices
+  r.w[0] = out[0];
+  r.w[1] = out[1];
+  r.w[2] = out[2];
+  r.w[3] = out[3];
 }
 
 // 2^256 ≡ kNC (mod n); kNC = 2^256 - n is a 129-bit constant.
@@ -98,10 +219,52 @@ const U256& order_n() noexcept { return kN; }
 const U256& half_order() noexcept { return kHalfN; }
 const AffinePoint& generator() noexcept { return kG; }
 
-U256 fadd(const U256& a, const U256& b) noexcept { return addmod(a, b, kP); }
-U256 fsub(const U256& a, const U256& b) noexcept { return submod(a, b, kP); }
-U256 fmul(const U256& a, const U256& b) noexcept { return reduce512(a.mul_wide(b)); }
-U256 fsqr(const U256& a) noexcept { return reduce512(a.mul_wide(a)); }
+U256 fadd(const U256& a, const U256& b) noexcept {
+  U256 r;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = static_cast<u128>(a.w[i]) + b.w[i] + carry;
+    r.w[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry != 0 || ge_p(r.w)) sub_p(r.w);
+  return r;
+}
+
+U256 fsub(const U256& a, const U256& b) noexcept {
+  U256 r;
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = static_cast<u128>(a.w[i]) - b.w[i] - borrow;
+    r.w[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>(d >> 64) & 1;
+  }
+  if (borrow != 0) {
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      const u128 s = static_cast<u128>(r.w[i]) + kP.w[i] + carry;
+      r.w[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+  return r;
+}
+
+U256 fmul(const U256& a, const U256& b) noexcept {
+  u64 t[8];
+  mul_4x4(t, a.w, b.w);
+  U256 r;
+  fe_reduce(r, t);
+  return r;
+}
+
+U256 fsqr(const U256& a) noexcept {
+  u64 t[8];
+  sqr_4(t, a.w);
+  U256 r;
+  fe_reduce(r, t);
+  return r;
+}
 
 U256 fneg(const U256& a) noexcept { return a.is_zero() ? a : kP - a; }
 
@@ -109,22 +272,11 @@ U256 nadd(const U256& a, const U256& b) noexcept { return addmod(a, b, kN); }
 
 U256 nmul(const U256& a, const U256& b) noexcept { return reduce512_n(a.mul_wide(b)); }
 
-U256 ninv(const U256& a) noexcept {
-  // Fermat with the fast scalar multiply.
-  U256 result = U256::one();
-  U256 base = a;
-  const U256 e = kN - U256(2);
-  const int top = e.top_bit();
-  for (int i = 0; i <= top; ++i) {
-    if (e.bit(static_cast<unsigned>(i))) result = nmul(result, base);
-    base = nmul(base, base);
-  }
-  return result;
-}
+U256 ninv(const U256& a) noexcept { return invmod_odd(a, kN); }
 
 U256 nreduce(const U256& a) noexcept { return a >= kN ? a - kN : a; }
 
-U256 finv(const U256& a) noexcept { return fpow(a, kP - U256(2)); }
+U256 finv(const U256& a) noexcept { return invmod_odd(a, kP); }
 
 std::optional<U256> fsqrt(const U256& a) noexcept {
   // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
@@ -149,14 +301,20 @@ AffinePoint to_affine(const JacobianPoint& p) noexcept {
 
 JacobianPoint jdouble(const JacobianPoint& p) noexcept {
   if (p.is_infinity() || p.y.is_zero()) return JacobianPoint::identity();
-  // Standard a=0 doubling: S = 4xy², M = 3x², x' = M² - 2S,
-  // y' = M(S - x') - 8y⁴, z' = 2yz.
-  const U256 y2 = fsqr(p.y);
-  const U256 s = fmul(fmul(U256(4), p.x), y2);
-  const U256 m = fmul(U256(3), fsqr(p.x));
-  const U256 x3 = fsub(fsqr(m), fadd(s, s));
-  const U256 y3 = fsub(fmul(m, fsub(s, x3)), fmul(U256(8), fsqr(y2)));
-  const U256 z3 = fmul(fadd(p.y, p.y), p.z);
+  // dbl-2009-l (a = 0): 2M + 5S, all small-constant multiplies as adds.
+  const U256 a = fsqr(p.x);                                  // X1²
+  const U256 b = fsqr(p.y);                                  // Y1²
+  const U256 c = fsqr(b);                                    // B²
+  U256 d = fsub(fsub(fsqr(fadd(p.x, b)), a), c);             // (X1+B)² - A - C
+  d = fadd(d, d);                                            // D = 2·(...)
+  const U256 e = fadd(fadd(a, a), a);                        // E = 3A
+  const U256 f = fsqr(e);                                    // F = E²
+  const U256 x3 = fsub(f, fadd(d, d));                       // X3 = F - 2D
+  U256 c8 = fadd(c, c);
+  c8 = fadd(c8, c8);
+  c8 = fadd(c8, c8);                                         // 8C
+  const U256 y3 = fsub(fmul(e, fsub(d, x3)), c8);            // Y3 = E(D-X3) - 8C
+  const U256 z3 = fmul(fadd(p.y, p.y), p.z);                 // Z3 = 2·Y1·Z1
   return {x3, y3, z3};
 }
 
@@ -258,54 +416,130 @@ const BaseTable& base_table() {
   return table;
 }
 
-/// Width-4 wNAF digits (values in {0, ±1, ±3, ..., ±15}), LSB first.
-std::vector<std::int8_t> wnaf4(U256 k) {
-  std::vector<std::int8_t> digits;
-  digits.reserve(260);
-  while (!k.is_zero()) {
+/// Width-w NAF digits (odd values in ±{1, 3, ..., 2^w - 1}), LSB first,
+/// written into `out` (needs room for 257). Returns the digit count.
+/// Flat limb arithmetic: the scalar shrinks by one bit per digit.
+int wnaf_digits(std::int8_t* out, const U256& k, unsigned width) noexcept {
+  u64 l[4] = {k.w[0], k.w[1], k.w[2], k.w[3]};
+  const u64 mask = (1ULL << (width + 1)) - 1;
+  const u64 half = 1ULL << width;
+  int len = 0;
+  while ((l[0] | l[1] | l[2] | l[3]) != 0) {
     std::int8_t d = 0;
-    if (k.bit(0)) {
-      const std::uint32_t m = static_cast<std::uint32_t>(k.low64() & 31);
-      if (m >= 16) {
-        d = static_cast<std::int8_t>(static_cast<int>(m) - 32);
-        k = k + U256(32 - m);
+    if (l[0] & 1) {
+      const u64 m = l[0] & mask;
+      if (m >= half) {
+        d = static_cast<std::int8_t>(static_cast<int>(m) - static_cast<int>(mask + 1));
+        // k += (2^(w+1) - m)
+        u64 add = (mask + 1) - m;
+        for (int i = 0; i < 4 && add != 0; ++i) {
+          const u128 s = static_cast<u128>(l[i]) + add;
+          l[i] = static_cast<u64>(s);
+          add = static_cast<u64>(s >> 64);
+        }
       } else {
         d = static_cast<std::int8_t>(m);
-        k = k - U256(m);
+        // k -= m (only clears low bits; no borrow can propagate past a
+        // nonzero limb chain because k ≥ m by construction)
+        u64 borrow = m;
+        for (int i = 0; i < 4 && borrow != 0; ++i) {
+          const u64 before = l[i];
+          l[i] = before - borrow;
+          borrow = before < borrow ? 1 : 0;
+        }
       }
     }
-    digits.push_back(d);
-    k = k >> 1;
+    out[len++] = d;
+    l[0] = (l[0] >> 1) | (l[1] << 63);
+    l[1] = (l[1] >> 1) | (l[2] << 63);
+    l[2] = (l[2] >> 1) | (l[3] << 63);
+    l[3] >>= 1;
   }
-  return digits;
+  return len;
 }
 
-/// Odd multiples 1P, 3P, ..., 15P (Jacobian) for the wNAF loop.
-std::array<JacobianPoint, 8> odd_multiples(const AffinePoint& p) {
-  std::array<JacobianPoint, 8> table;
-  table[0] = to_jacobian(p);
-  const JacobianPoint twop = jdouble(table[0]);
-  for (int i = 1; i < 8; ++i) table[static_cast<std::size_t>(i)] = jadd(table[static_cast<std::size_t>(i - 1)], twop);
+/// Affine odd multiples {1P, 3P, ..., (2·count-1)P}, batch-normalized so
+/// the wNAF loop uses mixed additions and negation is a y-flip.
+std::vector<AffinePoint> odd_multiples_affine(const AffinePoint& p, std::size_t count) {
+  std::vector<JacobianPoint> jac;
+  jac.reserve(count);
+  jac.push_back(to_jacobian(p));
+  const JacobianPoint twop = jdouble(jac[0]);
+  for (std::size_t i = 1; i < count; ++i) jac.push_back(jadd(jac[i - 1], twop));
+  return batch_to_affine(jac);
+}
+
+constexpr std::size_t kPointTableSize = 16;  // wNAF-5 odd multiples
+
+/// Stack-allocated variant of odd_multiples_affine for the per-call
+/// scalar_mul / double_scalar_mul tables — the verify hot path makes no
+/// heap allocation.
+void odd_multiples_affine_16(const AffinePoint& p, AffinePoint out[kPointTableSize]) noexcept {
+  JacobianPoint jac[kPointTableSize];
+  jac[0] = to_jacobian(p);
+  const JacobianPoint twop = jdouble(jac[0]);
+  for (std::size_t i = 1; i < kPointTableSize; ++i) jac[i] = jadd(jac[i - 1], twop);
+  // Montgomery batch inversion with stack prefixes.
+  U256 prefix[kPointTableSize];
+  U256 acc = U256::one();
+  for (std::size_t i = 0; i < kPointTableSize; ++i) {
+    prefix[i] = acc;
+    acc = fmul(acc, jac[i].z);
+  }
+  U256 inv_all = finv(acc);
+  for (std::size_t i = kPointTableSize; i-- > 0;) {
+    const U256 zinv = fmul(inv_all, prefix[i]);
+    inv_all = fmul(inv_all, jac[i].z);
+    const U256 zinv2 = fsqr(zinv);
+    out[i] = AffinePoint{fmul(jac[i].x, zinv2), fmul(jac[i].y, fmul(zinv2, zinv)), false};
+  }
+}
+
+inline AffinePoint affine_neg(const AffinePoint& p) noexcept {
+  return {p.x, fneg(p.y), false};
+}
+
+/// Static wNAF-7 generator table: 1G, 3G, ..., 127G (64 affine points).
+/// Lets double_scalar_mul fold u1·G into the shared doubling chain with
+/// ~256/8 additions instead of the comb's 64.
+const std::vector<AffinePoint>& gen_odd_multiples() {
+  static const std::vector<AffinePoint> table = odd_multiples_affine(kG, 64);
   return table;
 }
 
-JacobianPoint jneg(const JacobianPoint& p) noexcept { return {p.x, fneg(p.y), p.z}; }
+constexpr unsigned kWnafWidthPoint = 5;  // per-call tables: 16 entries
+constexpr unsigned kWnafWidthBase = 7;   // static G table: 64 entries
 
 }  // namespace
 
 JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) noexcept {
   if (k.is_zero() || p.infinity) return JacobianPoint::identity();
-  const auto naf = wnaf4(k);
-  const auto table = odd_multiples(p);
+  std::int8_t naf[264];
+  const int len = wnaf_digits(naf, k, kWnafWidthPoint);
+  AffinePoint table[kPointTableSize];
+  odd_multiples_affine_16(p, table);
   JacobianPoint acc = JacobianPoint::identity();
-  for (std::size_t i = naf.size(); i-- > 0;) {
+  for (int i = len; i-- > 0;) {
     acc = jdouble(acc);
     const int d = naf[i];
     if (d > 0) {
-      acc = jadd(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
+      acc = jadd_mixed(acc, table[static_cast<std::size_t>((d - 1) / 2)]);
     } else if (d < 0) {
-      acc = jadd(acc, jneg(table[static_cast<std::size_t>((-d - 1) / 2)]));
+      acc = jadd_mixed(acc, affine_neg(table[static_cast<std::size_t>((-d - 1) / 2)]));
     }
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mul_naive(const U256& k, const AffinePoint& p) noexcept {
+  // Reference bit-at-a-time double-and-add; the property tests pin the
+  // windowed/wNAF/Shamir kernels against this.
+  if (k.is_zero() || p.infinity) return JacobianPoint::identity();
+  const JacobianPoint base = to_jacobian(p);
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = k.top_bit(); i >= 0; --i) {
+    acc = jdouble(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = jadd(acc, base);
   }
   return acc;
 }
@@ -323,9 +557,41 @@ JacobianPoint scalar_mul_base(const U256& k) noexcept {
 }
 
 JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoint& p) noexcept {
-  // u2*P via wNAF, then the fixed-base u1*G folded in (table adds only).
-  JacobianPoint acc = scalar_mul(u2, p);
-  return jadd(acc, scalar_mul_base(u1));
+  // Shamir's trick, interleaved: one shared doubling chain; u1·G digits
+  // come from the static wNAF-7 generator table, u2·P digits from a
+  // per-call batch-normalized wNAF-5 table.
+  if (u2.is_zero() || p.infinity) return scalar_mul_base(u1);
+  if (u1.is_zero()) return scalar_mul(u2, p);
+
+  std::int8_t naf1[264];
+  std::int8_t naf2[264];
+  const int len1 = wnaf_digits(naf1, u1, kWnafWidthBase);
+  const int len2 = wnaf_digits(naf2, u2, kWnafWidthPoint);
+  const auto& gtab = gen_odd_multiples();
+  AffinePoint ptab[kPointTableSize];
+  odd_multiples_affine_16(p, ptab);
+
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = (len1 > len2 ? len1 : len2); i-- > 0;) {
+    acc = jdouble(acc);
+    if (i < len1) {
+      const int d = naf1[i];
+      if (d > 0) {
+        acc = jadd_mixed(acc, gtab[static_cast<std::size_t>((d - 1) / 2)]);
+      } else if (d < 0) {
+        acc = jadd_mixed(acc, affine_neg(gtab[static_cast<std::size_t>((-d - 1) / 2)]));
+      }
+    }
+    if (i < len2) {
+      const int d = naf2[i];
+      if (d > 0) {
+        acc = jadd_mixed(acc, ptab[static_cast<std::size_t>((d - 1) / 2)]);
+      } else if (d < 0) {
+        acc = jadd_mixed(acc, affine_neg(ptab[static_cast<std::size_t>((-d - 1) / 2)]));
+      }
+    }
+  }
+  return acc;
 }
 
 bool on_curve(const AffinePoint& p) noexcept {

@@ -37,7 +37,7 @@ namespace btcfast::crypto::secp {
 // hot loop (one modular inversion per sign/verify) lives here.
 [[nodiscard]] U256 nadd(const U256& a, const U256& b) noexcept;
 [[nodiscard]] U256 nmul(const U256& a, const U256& b) noexcept;
-/// Modular inverse mod n via Fermat (n is prime). a must be nonzero.
+/// Modular inverse mod n via binary extended GCD. a must be nonzero.
 [[nodiscard]] U256 ninv(const U256& a) noexcept;
 /// Reduce an arbitrary 256-bit value mod n.
 [[nodiscard]] U256 nreduce(const U256& a) noexcept;
@@ -76,8 +76,13 @@ struct JacobianPoint {
 /// Mixed addition with an affine (non-infinity handled) second operand.
 [[nodiscard]] JacobianPoint jadd_mixed(const JacobianPoint& a, const AffinePoint& b) noexcept;
 
-/// k * P by double-and-add (k taken mod n implicitly by callers).
+/// k * P via width-5 wNAF over a batch-normalized affine odd-multiples
+/// table (k taken mod n implicitly by callers).
 [[nodiscard]] JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) noexcept;
+/// Reference bit-at-a-time double-and-add. Slow; exists so property tests
+/// can pin the windowed/wNAF/Shamir kernels against an obviously-correct
+/// implementation.
+[[nodiscard]] JacobianPoint scalar_mul_naive(const U256& k, const AffinePoint& p) noexcept;
 /// k * G.
 [[nodiscard]] JacobianPoint scalar_mul_base(const U256& k) noexcept;
 /// u1*G + u2*P with interleaved (Shamir) evaluation — the ECDSA-verify hot path.

@@ -1,0 +1,126 @@
+#include "crypto/sigcache.h"
+
+namespace btcfast::crypto {
+
+SigCache::SigCache(std::size_t max_entries)
+    : max_entries_(max_entries < kShardCount ? kShardCount : max_entries),
+      per_shard_cap_((max_entries_ + kShardCount - 1) / kShardCount),
+      shards_(kShardCount) {}
+
+SigCache::Key SigCache::make_key(const Sha256Digest& digest, ByteSpan pubkey33,
+                                 ByteSpan sig64) noexcept {
+  // Domain-separated so the key space can't collide with bare digests.
+  ByteArray<8 + 32 + 33 + 64> buf{};
+  const char tag[8] = {'s', 'i', 'g', 'c', 'a', 'c', 'h', 'e'};
+  std::size_t off = 0;
+  for (char c : tag) buf[off++] = static_cast<std::uint8_t>(c);
+  for (auto b : digest) buf[off++] = b;
+  for (std::size_t i = 0; i < pubkey33.size() && i < 33; ++i) buf[off + i] = pubkey33[i];
+  off += 33;
+  for (std::size_t i = 0; i < sig64.size() && i < 64; ++i) buf[off + i] = sig64[i];
+  return sha256({buf.data(), buf.size()});
+}
+
+SigCache::Shard& SigCache::shard_for(const Key& key) const noexcept {
+  // Byte 8 is independent of the bytes KeyHash consumes for bucketing.
+  return shards_[key[8] & (kShardCount - 1)];
+}
+
+bool SigCache::contains(const Key& key) const {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const bool hit = s.entries.find(key) != s.entries.end();
+  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void SigCache::insert(const Key& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.entries.size() >= per_shard_cap_) {
+    // Evict the first resident of a pseudo-random bucket derived from the
+    // incoming key — O(1), no recency bookkeeping, and deterministic for
+    // a fixed insertion sequence.
+    const std::size_t buckets = s.entries.bucket_count();
+    std::size_t b;
+    __builtin_memcpy(&b, key.data() + 16, sizeof(b));
+    for (std::size_t probe = 0; probe < buckets; ++probe) {
+      const std::size_t bucket = (b + probe) % buckets;
+      if (s.entries.bucket_size(bucket) > 0) {
+        s.entries.erase(*s.entries.begin(bucket));
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  if (s.entries.insert(key).second) insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SigCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.entries.size();
+  }
+  return n;
+}
+
+SigCache::Stats SigCache::stats() const noexcept {
+  return Stats{hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+               insertions_.load(std::memory_order_relaxed),
+               evictions_.load(std::memory_order_relaxed)};
+}
+
+void SigCache::reset_stats() noexcept {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+void SigCache::clear() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.entries.clear();
+  }
+}
+
+SigCache& SigCache::global() {
+  static SigCache cache;
+  return cache;
+}
+
+bool ecdsa_verify_cached(SigCache* cache, ByteSpan pubkey33, const Sha256Digest& digest,
+                         ByteSpan sig64) noexcept {
+  if (pubkey33.size() != 33 || sig64.size() != 64) return false;
+  SigCache::Key key{};
+  if (cache != nullptr) {
+    key = SigCache::make_key(digest, pubkey33, sig64);
+    if (cache->contains(key)) return true;
+  }
+  const auto pub = PublicKey::parse(pubkey33);
+  if (!pub) return false;
+  const auto sig = Signature::parse(sig64);
+  if (!sig) return false;
+  if (!ecdsa_verify(*pub, digest, *sig)) return false;
+  if (cache != nullptr) cache->insert(key);
+  return true;
+}
+
+bool ecdsa_verify_cached(SigCache* cache, const PublicKey& pubkey, const Sha256Digest& digest,
+                         ByteSpan sig64) noexcept {
+  if (sig64.size() != 64) return false;
+  const auto enc = pubkey.serialize();  // compression is cheap (no curve math)
+  SigCache::Key key{};
+  if (cache != nullptr) {
+    key = SigCache::make_key(digest, {enc.data(), enc.size()}, sig64);
+    if (cache->contains(key)) return true;
+  }
+  const auto sig = Signature::parse(sig64);
+  if (!sig) return false;
+  if (!ecdsa_verify(pubkey, digest, *sig)) return false;
+  if (cache != nullptr) cache->insert(key);
+  return true;
+}
+
+}  // namespace btcfast::crypto

@@ -1,0 +1,105 @@
+// Signature-verification cache (Bitcoin-Core style). A successful ECDSA
+// verification inserts sha256(digest || pubkey33 || sig64) into a
+// sharded, bounded set; a later check of the identical triple is a hash
+// lookup instead of a ~100µs curve computation. Only *valid* triples are
+// ever inserted, so a hit can never turn an invalid signature valid —
+// mutating any byte of the signature, key, or message changes the key.
+//
+// The dominant consumer pattern: the merchant verifies a payment package
+// at intake, then PayJudger re-validates the same binding when a dispute
+// or reservation touches the contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/ecdsa.h"
+#include "crypto/sha256.h"
+
+namespace btcfast::crypto {
+
+class SigCache {
+ public:
+  using Key = ByteArray<32>;
+
+  /// `max_entries` bounds the total entry count across all shards
+  /// (rounded up to a multiple of the shard count).
+  explicit SigCache(std::size_t max_entries = kDefaultMaxEntries);
+
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  /// Cache key for a verification triple.
+  [[nodiscard]] static Key make_key(const Sha256Digest& digest, ByteSpan pubkey33,
+                                    ByteSpan sig64) noexcept;
+
+  /// True iff the triple was previously inserted (i.e. verified valid).
+  [[nodiscard]] bool contains(const Key& key) const;
+  /// Record a verified-valid triple; evicts a pseudo-random resident
+  /// entry of the same shard when the shard is full.
+  void insert(const Key& key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+  void reset_stats() noexcept;
+  /// Drop every entry (stats untouched). For benches that need cold runs.
+  void clear();
+
+  /// Process-wide cache shared by the merchant fast path, the btc script
+  /// verifier, and the PSC host's ecdsa precompile.
+  [[nodiscard]] static SigCache& global();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, k.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<Key, KeyHash> entries;
+  };
+
+  static constexpr std::size_t kShardBits = 4;
+  static constexpr std::size_t kShardCount = 1 << kShardBits;
+
+  [[nodiscard]] Shard& shard_for(const Key& key) const noexcept;
+
+  std::size_t max_entries_;
+  std::size_t per_shard_cap_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Cache-aware ECDSA verification over raw wire encodings. On a hit the
+/// pubkey is never even decompressed; on a miss the triple is verified
+/// and, if valid, inserted. Passing a null cache degrades to plain
+/// parse + verify.
+[[nodiscard]] bool ecdsa_verify_cached(SigCache* cache, ByteSpan pubkey33,
+                                       const Sha256Digest& digest, ByteSpan sig64) noexcept;
+
+/// Overload for callers that already hold a parsed key — a miss skips the
+/// (expensive) decompression the span overload would redo.
+[[nodiscard]] bool ecdsa_verify_cached(SigCache* cache, const PublicKey& pubkey,
+                                       const Sha256Digest& digest, ByteSpan sig64) noexcept;
+
+}  // namespace btcfast::crypto

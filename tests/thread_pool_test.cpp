@@ -1,0 +1,203 @@
+// Thread pool and batch verification: deterministic output ordering for
+// every thread count, exception propagation, a TSan-friendly smoke test,
+// and the 1-vs-N integration guarantee (identical merchant decisions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "btcfast/orchestrator.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "crypto/batch_verify.h"
+#include "crypto/ecdsa.h"
+#include "crypto/sha256.h"
+#include "crypto/sigcache.h"
+
+namespace btcfast {
+namespace {
+
+TEST(ThreadPool, InlinePoolRunsAtSubmit) {
+  common::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  int x = 0;
+  auto fut = pool.submit([&] { return ++x; });
+  // Inline mode executes before submit returns.
+  EXPECT_EQ(x, 1);
+  EXPECT_EQ(fut.get(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  common::ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+    common::ThreadPool pool(threads);
+    auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW((void)fut.get(), std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    common::ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    common::ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                     ran.fetch_add(1);
+                                     if (i == 13) throw std::runtime_error("bad index");
+                                   }),
+                 std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneItems) {
+  common::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// TSan-friendly smoke: a stream of tiny tasks touching shared atomics —
+// run under -DBTCFAST_SANITIZE=thread this exercises queue handoff,
+// condition-variable wakeups, and joined shutdown.
+TEST(ThreadPool, ConcurrencySmoke) {
+  common::ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::uint64_t kTasks = 2000;
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+// --- batch_verify -------------------------------------------------------
+
+std::vector<crypto::SigCheckJob> make_jobs(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<crypto::SigCheckJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    const auto key = *crypto::PrivateKey::from_scalar(crypto::U256(seed * 1000 + i + 1));
+    const auto msg = rng.bytes<48>();
+    crypto::SigCheckJob job;
+    job.digest = crypto::sha256({msg.data(), msg.size()});
+    job.pubkey = crypto::PublicKey::derive(key).serialize();
+    job.sig = crypto::ecdsa_sign(key, job.digest).serialize();
+    if (i % 3 == 2) job.sig[7] ^= 0x20;  // every third job is corrupted
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(BatchVerify, ResultsAreInputOrderedForEveryThreadCount) {
+  const auto jobs = make_jobs(24, 42);
+  std::vector<std::uint8_t> reference;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    common::ThreadPool pool(threads);
+    crypto::SigCache cache;  // fresh cache per run: no cross-run warm-up
+    const auto results = crypto::batch_verify(pool, jobs, &cache);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(results[i], i % 3 == 2 ? 0 : 1) << "job " << i << " threads " << threads;
+    }
+    if (reference.empty()) {
+      reference = results;
+    } else {
+      EXPECT_EQ(results, reference) << "threads " << threads;
+    }
+  }
+}
+
+TEST(BatchVerify, OnlyValidJobsEnterTheCache) {
+  const auto jobs = make_jobs(12, 7);
+  common::ThreadPool pool(2);
+  crypto::SigCache cache;
+  (void)crypto::batch_verify(pool, jobs, &cache);
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) valid += i % 3 != 2;
+  EXPECT_EQ(cache.size(), valid);
+  // Second pass is pure hits for the valid jobs, repeated misses for the rest.
+  cache.reset_stats();
+  (void)crypto::batch_verify(pool, jobs, &cache);
+  EXPECT_EQ(cache.stats().hits, valid);
+  EXPECT_EQ(cache.stats().misses, jobs.size() - valid);
+}
+
+TEST(BatchVerify, NullCacheAndEmptyBatch) {
+  common::ThreadPool pool(2);
+  EXPECT_TRUE(crypto::batch_verify(pool, {}, nullptr).empty());
+  const auto jobs = make_jobs(6, 3);
+  const auto results = crypto::batch_verify(pool, jobs, nullptr);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) EXPECT_EQ(results[i], i % 3 == 2 ? 0 : 1);
+}
+
+// --- 1-vs-N integration: identical merchant outcomes --------------------
+
+std::vector<core::AcceptDecision> run_batch_intake(std::size_t threads) {
+  core::DeploymentConfig cfg;
+  cfg.seed = 77;
+  cfg.funded_coins = 6;
+  cfg.verify_threads = threads;
+  core::Deployment dep(cfg);
+  crypto::SigCache::global().clear();  // each run starts cold
+
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto coins =
+      sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
+  std::vector<core::Invoice> invoices;
+  std::vector<core::FastPayPackage> pkgs;
+  for (std::size_t i = 0; i < 6 && i < coins.size(); ++i) {
+    invoices.push_back(dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now,
+                                                   60ULL * 60 * 1000));
+    auto pkg = dep.customer().create_fastpay(invoices.back(), coins[i].first,
+                                             coins[i].second.out.value, now, cfg.binding_ttl_ms);
+    if (i == 2) pkg.binding.customer_sig[9] ^= 0x01;  // one package must be rejected
+    pkgs.push_back(std::move(pkg));
+  }
+  auto decisions = dep.merchant().evaluate_fastpay_batch(pkgs, invoices, now);
+  common::ThreadPool::configure_global(0);
+  return decisions;
+}
+
+TEST(BatchVerifyIntegration, MerchantDecisionsIdenticalAtOneAndNThreads) {
+  const auto inline_run = run_batch_intake(0);
+  const auto pooled_run = run_batch_intake(4);
+  ASSERT_EQ(inline_run.size(), pooled_run.size());
+  ASSERT_FALSE(inline_run.empty());
+  int rejected = 0;
+  for (std::size_t i = 0; i < inline_run.size(); ++i) {
+    EXPECT_EQ(inline_run[i].accepted, pooled_run[i].accepted) << "package " << i;
+    EXPECT_EQ(inline_run[i].reason, pooled_run[i].reason) << "package " << i;
+    rejected += !inline_run[i].accepted;
+  }
+  EXPECT_EQ(rejected, 1);  // exactly the corrupted binding
+  EXPECT_FALSE(inline_run[2].accepted);
+}
+
+}  // namespace
+}  // namespace btcfast
