@@ -1,13 +1,79 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, and run the full test suite.
-# Usage: scripts/tier1.sh [preset]   (preset defaults to "default";
-# pass "tsan" to run the suite under ThreadSanitizer.)
+#
+# Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
+#   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
+#                      full sanitizer suite run.
+#   --bench-smoke      after the tests, run every bench_* binary once (the
+#                      google-benchmark suite at its minimum iteration
+#                      budget, the bounded hand-timed harnesses at full
+#                      length) in a scratch cwd — catches bench bit-rot
+#                      without touching the curated BENCH_*.json artifacts.
+#   --kernel-sanitize  additionally build the asan and ubsan trees and run
+#                      the hashing-kernel + crypto tests there. Sanitizer
+#                      builds pin the scalar SHA-256 fallback
+#                      (BTCFAST_FORCE_SCALAR_SHA256), so this is what keeps
+#                      the portable kernel honest while the default build
+#                      dispatches to SHA-NI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-preset="${1:-default}"
+preset="default"
+bench_smoke=0
+kernel_sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    --kernel-sanitize) kernel_sanitize=1 ;;
+    *) preset="$arg" ;;
+  esac
+done
+
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$jobs"
 ctest --preset "$preset" -j "$jobs"
+
+bindir="build"
+case "$preset" in
+  tsan) bindir="build-tsan" ;;
+  asan) bindir="build-asan" ;;
+  ubsan) bindir="build-ubsan" ;;
+esac
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "== bench smoke (${bindir}) =="
+  # Run from a scratch directory: benches write BENCH_*.json into their
+  # cwd, and the smoke run must not clobber the curated artifacts at the
+  # repo root with noisy throwaway numbers.
+  smoke_dir="$bindir/bench-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  for bench in "$bindir"/bench/bench_*; do
+    [[ -x "$bench" ]] || continue
+    name="$(basename "$bench")"
+    echo "-- $name"
+    if [[ "$name" == "bench_micro_crypto" ]]; then
+      # google-benchmark half at minimum iteration budget; the hand-timed
+      # JSON half is already bounded and fast.
+      (cd "$smoke_dir" && "$repo_root/$bench" --benchmark_min_time=0.001 >/dev/null)
+    else
+      (cd "$smoke_dir" && "$repo_root/$bench" >/dev/null)
+    fi
+  done
+  echo "== bench smoke: all benches ran =="
+fi
+
+if [[ "$kernel_sanitize" == 1 ]]; then
+  for san in asan ubsan; do
+    echo "== kernel tests under $san (scalar SHA-256 pinned) =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" \
+      --target sha256_kernel_test crypto_test crypto_property_test thread_pool_test
+    for t in sha256_kernel_test crypto_test crypto_property_test thread_pool_test; do
+      "build-$san/tests/$t"
+    done
+  done
+  echo "== kernel sanitize: clean =="
+fi

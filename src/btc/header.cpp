@@ -1,16 +1,33 @@
 #include "btc/header.h"
 
+#include <cstring>
+
 namespace btcfast::btc {
 
+namespace {
+
+inline void put_u32le(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
 Bytes BlockHeader::serialize() const {
-  Writer w;
-  w.u32le(static_cast<std::uint32_t>(version));
-  w.bytes({prev_hash.bytes.data(), prev_hash.bytes.size()});
-  w.bytes({merkle_root.bytes.data(), merkle_root.bytes.size()});
-  w.u32le(time);
-  w.u32le(bits);
-  w.u32le(nonce);
-  return std::move(w).take();
+  Bytes out(80);
+  serialize_into(out.data());
+  return out;
+}
+
+void BlockHeader::serialize_into(std::uint8_t out[80]) const noexcept {
+  put_u32le(out, static_cast<std::uint32_t>(version));
+  std::memcpy(out + 4, prev_hash.bytes.data(), 32);
+  std::memcpy(out + 36, merkle_root.bytes.data(), 32);
+  put_u32le(out + 68, time);
+  put_u32le(out + 72, bits);
+  put_u32le(out + 76, nonce);
 }
 
 std::optional<BlockHeader> BlockHeader::deserialize(ByteSpan data) {
@@ -33,8 +50,10 @@ std::optional<BlockHeader> BlockHeader::deserialize(ByteSpan data) {
   return h;
 }
 
-BlockHash BlockHeader::hash() const {
-  return BlockHash::from_digest(crypto::sha256d(serialize()));
+BlockHash BlockHeader::hash() const noexcept {
+  std::uint8_t ser[80];
+  serialize_into(ser);
+  return BlockHash::from_digest(crypto::sha256d_80(ser));
 }
 
 std::optional<crypto::U256> bits_to_target(std::uint32_t bits) noexcept {

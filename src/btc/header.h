@@ -26,10 +26,13 @@ struct BlockHeader {
 
   /// Canonical 80-byte serialization.
   [[nodiscard]] Bytes serialize() const;
+  /// Allocation-free serialization into a caller-provided 80-byte buffer
+  /// (the PoW and evidence hot paths hash straight off the stack).
+  void serialize_into(std::uint8_t out[80]) const noexcept;
   [[nodiscard]] static std::optional<BlockHeader> deserialize(ByteSpan data);
 
-  /// sha256d of the serialization.
-  [[nodiscard]] BlockHash hash() const;
+  /// sha256d of the serialization (sha256d_80 kernel, no heap traffic).
+  [[nodiscard]] BlockHash hash() const noexcept;
 };
 
 /// Decode a compact-bits value into a 256-bit target. Returns nullopt for

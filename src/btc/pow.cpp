@@ -1,5 +1,7 @@
 #include "btc/pow.h"
 
+#include "crypto/sha256.h"
+
 namespace btcfast::btc {
 
 bool mine_header(BlockHeader& header, const crypto::U256& pow_limit,
@@ -7,18 +9,42 @@ bool mine_header(BlockHeader& header, const crypto::U256& pow_limit,
   const auto target = bits_to_target(header.bits);
   if (!target || *target > pow_limit) return false;
 
+  // Serialize once; the nonce (tail bytes 12..15) and, on nonce-space
+  // exhaustion, the timestamp (tail bytes 4..7) both live in the final 16
+  // header bytes, so the midstate over bytes 0..63 survives the whole
+  // grind. Each attempt is two compressions + the digest re-hash instead
+  // of a serialization plus a generic streaming sha256d.
+  std::uint8_t ser[80];
+  header.serialize_into(ser);
+  const auto midstate = crypto::Sha256Midstate::of_first_block(ser);
+  std::uint8_t* tail = ser + 64;
+
+  const auto put_u32le = [](std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+  };
+
   std::uint64_t attempts = 0;
   std::uint32_t nonce = start_nonce;
   for (;;) {
-    header.nonce = nonce;
-    const BlockHash h = header.hash();
-    const crypto::U256 value = crypto::U256::from_le_bytes({h.bytes.data(), h.bytes.size()});
-    if (value <= *target) return true;
+    put_u32le(tail + 12, nonce);
+    const crypto::Sha256Digest digest = midstate.sha256d_tail16(tail);
+    const crypto::U256 value = crypto::U256::from_le_bytes({digest.data(), digest.size()});
+    if (value <= *target) {
+      header.nonce = nonce;
+      return true;
+    }
     ++nonce;
-    if (++attempts >= max_attempts) return false;
+    if (++attempts >= max_attempts) {
+      header.nonce = nonce - 1;
+      return false;
+    }
     if (nonce == start_nonce) {
       // Nonce space exhausted; roll the timestamp like real miners do.
       ++header.time;
+      put_u32le(tail + 4, header.time);
     }
   }
 }

@@ -1,5 +1,9 @@
 #include "btc/transaction.h"
 
+#include <array>
+#include <cstdint>
+#include <mutex>
+
 namespace btcfast::btc {
 namespace {
 
@@ -53,6 +57,9 @@ void write_tx(Writer& w, const Transaction& tx, bool with_scripts,
 
 Bytes Transaction::serialize() const {
   Writer w;
+  // Upper bound: version + counts + (outpoint + script + sequence) per
+  // input + (value + script) per output + lock_time.
+  w.reserve(4 + 9 + inputs.size() * (36 + 1 + 97 + 4) + 9 + outputs.size() * (8 + 1 + 20) + 4);
   write_tx(w, *this, /*with_scripts=*/true);
   return std::move(w).take();
 }
@@ -99,9 +106,47 @@ std::optional<Transaction> Transaction::deserialize(ByteSpan data) {
   return tx;
 }
 
+namespace {
+
+/// Two independent FNV-1a passes over the serialization (different offset
+/// bases, lengths mixed in) — a 128-bit validity check for the txid memo.
+/// Not cryptographic, but an accidental collision is ~2^-64 per
+/// revalidation and a stale hit requires colliding *both* streams at
+/// equal length against the cached serialization of the same object.
+std::array<std::uint64_t, 2> serialization_fingerprint(ByteSpan ser) noexcept {
+  std::uint64_t a = 0xcbf29ce484222325ULL;           // FNV-1a offset basis
+  std::uint64_t b = 0x6c62272e07bb0142ULL;           // FNV-0 of a different seed
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (const std::uint8_t byte : ser) {
+    a = (a ^ byte) * kPrime;
+    b = (b ^ (byte + 0x9eULL)) * kPrime;
+  }
+  return {a ^ ser.size(), b + ser.size()};
+}
+
+/// Striped locks for the txid memo: keyed by object address, so
+/// concurrent txid() calls on the same const Transaction serialize while
+/// distinct transactions (the common batch case) almost never collide.
+std::mutex& memo_mutex_for(const void* p) noexcept {
+  static std::mutex stripes[64];
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  return stripes[(addr >> 6) & 63];  // drop cache-line-aligned low bits
+}
+
+}  // namespace
+
 Txid Transaction::txid() const {
   const Bytes ser = serialize();
-  return Txid::from_digest(crypto::sha256d(ser));
+  const auto fp = serialization_fingerprint(ser);
+  std::lock_guard<std::mutex> lock(memo_mutex_for(this));
+  if (txid_memo_.valid && txid_memo_.fp[0] == fp[0] && txid_memo_.fp[1] == fp[1]) {
+    return txid_memo_.id;
+  }
+  txid_memo_.id = Txid::from_digest(crypto::sha256d(ser));
+  txid_memo_.fp[0] = fp[0];
+  txid_memo_.fp[1] = fp[1];
+  txid_memo_.valid = true;
+  return txid_memo_.id;
 }
 
 crypto::Sha256Digest Transaction::signature_hash(std::size_t input_index,

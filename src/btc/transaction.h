@@ -28,13 +28,25 @@ struct TxOut {
 };
 
 /// A transaction. A coinbase has exactly one input whose prevout is null.
+///
+/// txid() is memoized: the sha256d is computed once and revalidated
+/// against a cheap 128-bit fingerprint of the serialization, so mutating
+/// any field (directly or via sign_input) transparently invalidates the
+/// cached id — no manual invalidation calls, and stale ids are
+/// impossible short of a deliberate 128-bit fingerprint collision.
+/// Concurrent txid() calls on the same const object are safe (a striped
+/// lock guards the memo; the logical fields are never written).
 struct Transaction {
   std::uint32_t version = 1;
   std::vector<TxIn> inputs;
   std::vector<TxOut> outputs;
   std::uint32_t lock_time = 0;
 
-  [[nodiscard]] bool operator==(const Transaction& o) const noexcept = default;
+  [[nodiscard]] bool operator==(const Transaction& o) const noexcept {
+    // Logical fields only — the txid memo is derived state.
+    return version == o.version && inputs == o.inputs && outputs == o.outputs &&
+           lock_time == o.lock_time;
+  }
 
   [[nodiscard]] bool is_coinbase() const noexcept {
     return inputs.size() == 1 && inputs[0].prevout.txid.is_zero() &&
@@ -51,7 +63,7 @@ struct Transaction {
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static std::optional<Transaction> deserialize(ByteSpan data);
 
-  /// txid = sha256d(serialization).
+  /// txid = sha256d(serialization). Memoized; see the struct comment.
   [[nodiscard]] Txid txid() const;
 
   /// SIGHASH_ALL-style digest for signing input `input_index`: the tx with
@@ -59,6 +71,17 @@ struct Transaction {
   /// signed input, double-hashed.
   [[nodiscard]] crypto::Sha256Digest signature_hash(std::size_t input_index,
                                                     const ScriptPubKey& spent_script) const;
+
+ private:
+  /// txid memo, revalidated by fingerprint. Copies carry the memo along
+  /// (still fingerprint-checked, so a stale copy can never serve a wrong
+  /// id); the default copy/move of the plain members is exactly right.
+  struct TxidMemo {
+    std::uint64_t fp[2] = {0, 0};
+    Txid id{};
+    bool valid = false;
+  };
+  mutable TxidMemo txid_memo_{};
 };
 
 /// Signs input `input_index` of `tx` with `key`; fills in its scriptSig.

@@ -360,9 +360,10 @@ Result<btc::HeaderChainSummary> PayJudger::verify_evidence_chain(
   std::vector<crypto::Sha256Digest> digests(headers.size());
   std::vector<std::size_t> ser_sizes(headers.size());
   common::ThreadPool::global().parallel_for(headers.size(), [&](std::size_t i) {
-    const Bytes ser = headers[i].serialize();
-    ser_sizes[i] = ser.size();
-    digests[i] = crypto::sha256d({ser.data(), ser.size()});
+    std::uint8_t ser[80];
+    headers[i].serialize_into(ser);
+    ser_sizes[i] = sizeof(ser);
+    digests[i] = crypto::sha256d_80(ser);
   });
 
   // Phase 2: sequential validation issuing the exact gas charges, in the

@@ -16,6 +16,10 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-size the buffer (exact or upper-bound) so hot serialization
+  /// paths pay one allocation instead of a growth sequence.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16le(std::uint16_t v);
   void u32le(std::uint32_t v);

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -43,35 +44,79 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     return;
   }
 
+  // The join waits on *completed indices*, not on helper tasks: once
+  // `done == n` the caller returns even if some queued helpers were never
+  // scheduled (they find the range exhausted and exit without touching
+  // `fn`). This is what keeps tiny warm batches flat as the thread count
+  // grows — the old future-join paid one context switch per helper on an
+  // oversubscribed machine, which dwarfed microsecond-scale work items.
   struct Shared {
+    std::function<void(std::size_t)> fn;  // owned: late helpers may outlive the call frame
+    std::size_t n = 0;
+    std::size_t chunk = 1;
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
-    std::mutex error_mutex;
+    std::mutex mutex;
+    std::condition_variable cv;
   };
   auto shared = std::make_shared<Shared>();
-  auto drain = [shared, &fn, n] {
-    for (;;) {
-      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || shared->failed.load(std::memory_order_relaxed)) return;
+  shared->fn = fn;
+  shared->n = n;
+  // Claim indices in chunks so the atomic and the per-claim bookkeeping
+  // amortize; cap the chunk so every participant still gets a share.
+  shared->chunk = std::max<std::size_t>(1, n / (4 * (workers_.size() + 1)));
+
+  auto drain = [](const std::shared_ptr<Shared>& s) {
+    std::size_t completed = 0;
+    while (!s->failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin = s->next.fetch_add(s->chunk, std::memory_order_relaxed);
+      if (begin >= s->n) break;
+      const std::size_t end = std::min(begin + s->chunk, s->n);
       try {
-        fn(i);
+        for (std::size_t i = begin; i < end; ++i) {
+          s->fn(i);
+          ++completed;
+        }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->error_mutex);
-        if (!shared->error) shared->error = std::current_exception();
-        shared->failed.store(true, std::memory_order_relaxed);
-        return;
+        {
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (!s->error) s->error = std::current_exception();
+          s->failed.store(true, std::memory_order_relaxed);
+        }
+        s->cv.notify_all();
+        break;
       }
+    }
+    if (completed > 0 &&
+        s->done.fetch_add(completed, std::memory_order_acq_rel) + completed == s->n) {
+      std::lock_guard<std::mutex> lock(s->mutex);  // pair with the waiter's predicate check
+      s->cv.notify_all();
     }
   };
 
-  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  const std::size_t helpers = std::min(workers_.size(), (n - 1) / shared->chunk);
   std::vector<std::future<void>> joins;
   joins.reserve(helpers);
-  for (std::size_t i = 0; i < helpers; ++i) joins.push_back(submit(drain));
-  drain();  // the caller works too
-  for (auto& j : joins) j.get();
-  if (shared->error) std::rethrow_exception(shared->error);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    joins.push_back(submit([shared, drain] { drain(shared); }));
+  }
+  drain(shared);  // the caller works too
+
+  {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) == n ||
+             shared->failed.load(std::memory_order_relaxed);
+    });
+  }
+  if (shared->failed.load(std::memory_order_relaxed)) {
+    // A work item threw: wait for every helper task so no in-flight call
+    // can touch caller state during unwinding, then propagate.
+    for (auto& j : joins) j.get();
+    std::rethrow_exception(shared->error);
+  }
 }
 
 namespace {

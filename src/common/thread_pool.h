@@ -51,10 +51,14 @@ class ThreadPool {
     return fut;
   }
 
-  /// Run fn(i) for i in [0, n), blocking until all complete. Work is
-  /// chunked across the pool; indices are processed exactly once and the
-  /// caller participates, so an inline pool degenerates to a plain loop.
-  /// The first exception thrown by any fn(i) is rethrown here.
+  /// Run fn(i) for i in [0, n), blocking until all complete. Indices are
+  /// claimed in chunks; each is processed exactly once and the caller
+  /// participates, so an inline pool degenerates to a plain loop. The
+  /// join waits on completed indices, not helper tasks — helpers that
+  /// never got scheduled before the range drained don't cost the caller a
+  /// context switch (they later find no work and exit without touching
+  /// fn). The first exception thrown by any fn(i) is rethrown here, after
+  /// every in-flight helper has finished.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool, sized by configure_global() (default: inline).

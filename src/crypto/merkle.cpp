@@ -1,33 +1,55 @@
 #include "crypto/merkle.h"
 
+#include <cstring>
+
+#include "common/thread_pool.h"
+
 namespace btcfast::crypto {
 namespace {
 
 Hash32 hash_pair(const Hash32& left, const Hash32& right) noexcept {
   ByteArray<64> cat{};
-  for (std::size_t i = 0; i < 32; ++i) {
-    cat[i] = left[i];
-    cat[32 + i] = right[i];
+  std::memcpy(cat.data(), left.data(), 32);
+  std::memcpy(cat.data() + 32, right.data(), 32);
+  return sha256d_64(cat.data());
+}
+
+/// Reduce `level` to its parent level, writing into `out` (resized by the
+/// caller to (level.size()+1)/2). Pairs are independent, so large levels
+/// fan across the global thread pool; output slots are indexed, so the
+/// result is byte-identical for every thread count (the same
+/// deterministic-sequencing contract as batch_verify).
+void reduce_level(const std::vector<Hash32>& level, std::vector<Hash32>& out) {
+  const std::size_t pairs = out.size();
+  auto hash_one = [&](std::size_t i) {
+    const Hash32& left = level[2 * i];
+    const Hash32& right = (2 * i + 1 < level.size()) ? level[2 * i + 1] : level[2 * i];
+    out[i] = hash_pair(left, right);
+  };
+  auto& pool = common::ThreadPool::global();
+  if (pairs >= kMerkleParallelPairs && pool.thread_count() > 0) {
+    pool.parallel_for(pairs, hash_one);
+  } else {
+    for (std::size_t i = 0; i < pairs; ++i) hash_one(i);
   }
-  return sha256d({cat.data(), cat.size()});
 }
 
 }  // namespace
 
 Hash32 merkle_root(const std::vector<Hash32>& leaves) noexcept {
   if (leaves.empty()) return Hash32{};
-  std::vector<Hash32> level = leaves;
-  while (level.size() > 1) {
-    std::vector<Hash32> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); i += 2) {
-      const Hash32& left = level[i];
-      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-      next.push_back(hash_pair(left, right));
-    }
-    level = std::move(next);
+  if (leaves.size() == 1) return leaves[0];
+
+  // Ping-pong between two buffers, one reduce_level per tree level.
+  std::vector<Hash32> a((leaves.size() + 1) / 2);
+  reduce_level(leaves, a);
+  std::vector<Hash32> b;
+  while (a.size() > 1) {
+    b.resize((a.size() + 1) / 2);
+    reduce_level(a, b);
+    a.swap(b);
   }
-  return level[0];
+  return a[0];
 }
 
 MerkleBranch merkle_branch(const std::vector<Hash32>& leaves, std::uint32_t index) {
@@ -41,13 +63,8 @@ MerkleBranch merkle_branch(const std::vector<Hash32>& leaves, std::uint32_t inde
     const std::uint32_t sibling = pos ^ 1;
     branch.siblings.push_back(sibling < level.size() ? level[sibling] : level[pos]);
 
-    std::vector<Hash32> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i < level.size(); i += 2) {
-      const Hash32& left = level[i];
-      const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-      next.push_back(hash_pair(left, right));
-    }
+    std::vector<Hash32> next((level.size() + 1) / 2);
+    reduce_level(level, next);
     level = std::move(next);
     pos >>= 1;
   }

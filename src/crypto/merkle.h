@@ -14,9 +14,17 @@ namespace btcfast::crypto {
 /// A 32-byte node hash.
 using Hash32 = ByteArray<32>;
 
+/// Levels with at least this many pairs are hashed across the global
+/// thread pool (one indexed output slot per pair, so the root is
+/// byte-identical for every thread count). Below it the pool dispatch
+/// overhead exceeds the ~3 compressions a pair costs.
+inline constexpr std::size_t kMerkleParallelPairs = 256;
+
 /// Compute the Merkle root of a non-empty list of leaf hashes using
 /// Bitcoin's rule (duplicate the last node at odd-sized levels).
-/// An empty list yields the all-zero hash.
+/// An empty list yields the all-zero hash. Pair hashing uses the
+/// sha256d_64 kernel; levels of kMerkleParallelPairs+ pairs fan across
+/// the global thread pool.
 [[nodiscard]] Hash32 merkle_root(const std::vector<Hash32>& leaves) noexcept;
 
 /// An inclusion proof: the sibling hashes from leaf to root plus the

@@ -1,5 +1,6 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace btcfast::crypto {
@@ -17,63 +18,197 @@ constexpr std::uint32_t kK[64] = {
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
     0xc67178f2};
 
+constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 inline std::uint32_t rotr(std::uint32_t x, int n) noexcept { return (x >> n) | (x << (32 - n)); }
+
+inline std::uint32_t be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+inline void put_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint32_t sigma_big0(std::uint32_t x) noexcept {
+  return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22);
+}
+inline std::uint32_t sigma_big1(std::uint32_t x) noexcept {
+  return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25);
+}
+inline std::uint32_t sigma_sml0(std::uint32_t x) noexcept {
+  return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
+}
+inline std::uint32_t sigma_sml1(std::uint32_t x) noexcept {
+  return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10);
+}
+
+/// One round with rotating registers: updates d and h in place so the
+/// unrolled caller never shuffles eight variables.
+inline void round(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t& d,
+                  std::uint32_t e, std::uint32_t f, std::uint32_t g, std::uint32_t& h,
+                  std::uint32_t kw) noexcept {
+  const std::uint32_t t1 = h + sigma_big1(e) + ((e & f) ^ (~e & g)) + kw;
+  const std::uint32_t t2 = sigma_big0(a) + ((a & b) ^ (a & c) ^ (b & c));
+  d += t1;
+  h = t1 + t2;
+}
 
 }  // namespace
 
+namespace detail {
+
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t block[64]) noexcept {
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  std::uint32_t w0 = be32(block), w1 = be32(block + 4), w2 = be32(block + 8),
+                w3 = be32(block + 12), w4 = be32(block + 16), w5 = be32(block + 20),
+                w6 = be32(block + 24), w7 = be32(block + 28), w8 = be32(block + 32),
+                w9 = be32(block + 36), w10 = be32(block + 40), w11 = be32(block + 44),
+                w12 = be32(block + 48), w13 = be32(block + 52), w14 = be32(block + 56),
+                w15 = be32(block + 60);
+
+  round(a, b, c, d, e, f, g, h, kK[0] + w0);
+  round(h, a, b, c, d, e, f, g, kK[1] + w1);
+  round(g, h, a, b, c, d, e, f, kK[2] + w2);
+  round(f, g, h, a, b, c, d, e, kK[3] + w3);
+  round(e, f, g, h, a, b, c, d, kK[4] + w4);
+  round(d, e, f, g, h, a, b, c, kK[5] + w5);
+  round(c, d, e, f, g, h, a, b, kK[6] + w6);
+  round(b, c, d, e, f, g, h, a, kK[7] + w7);
+  round(a, b, c, d, e, f, g, h, kK[8] + w8);
+  round(h, a, b, c, d, e, f, g, kK[9] + w9);
+  round(g, h, a, b, c, d, e, f, kK[10] + w10);
+  round(f, g, h, a, b, c, d, e, kK[11] + w11);
+  round(e, f, g, h, a, b, c, d, kK[12] + w12);
+  round(d, e, f, g, h, a, b, c, kK[13] + w13);
+  round(c, d, e, f, g, h, a, b, kK[14] + w14);
+  round(b, c, d, e, f, g, h, a, kK[15] + w15);
+
+#define BTCFAST_SHA256_EXPAND()                                     \
+  w0 += sigma_sml1(w14) + w9 + sigma_sml0(w1);                      \
+  w1 += sigma_sml1(w15) + w10 + sigma_sml0(w2);                     \
+  w2 += sigma_sml1(w0) + w11 + sigma_sml0(w3);                      \
+  w3 += sigma_sml1(w1) + w12 + sigma_sml0(w4);                      \
+  w4 += sigma_sml1(w2) + w13 + sigma_sml0(w5);                      \
+  w5 += sigma_sml1(w3) + w14 + sigma_sml0(w6);                      \
+  w6 += sigma_sml1(w4) + w15 + sigma_sml0(w7);                      \
+  w7 += sigma_sml1(w5) + w0 + sigma_sml0(w8);                       \
+  w8 += sigma_sml1(w6) + w1 + sigma_sml0(w9);                       \
+  w9 += sigma_sml1(w7) + w2 + sigma_sml0(w10);                      \
+  w10 += sigma_sml1(w8) + w3 + sigma_sml0(w11);                     \
+  w11 += sigma_sml1(w9) + w4 + sigma_sml0(w12);                     \
+  w12 += sigma_sml1(w10) + w5 + sigma_sml0(w13);                    \
+  w13 += sigma_sml1(w11) + w6 + sigma_sml0(w14);                    \
+  w14 += sigma_sml1(w12) + w7 + sigma_sml0(w15);                    \
+  w15 += sigma_sml1(w13) + w8 + sigma_sml0(w0)
+
+#define BTCFAST_SHA256_SIXTEEN(base)                                \
+  round(a, b, c, d, e, f, g, h, kK[(base) + 0] + w0);               \
+  round(h, a, b, c, d, e, f, g, kK[(base) + 1] + w1);               \
+  round(g, h, a, b, c, d, e, f, kK[(base) + 2] + w2);               \
+  round(f, g, h, a, b, c, d, e, kK[(base) + 3] + w3);               \
+  round(e, f, g, h, a, b, c, d, kK[(base) + 4] + w4);               \
+  round(d, e, f, g, h, a, b, c, kK[(base) + 5] + w5);               \
+  round(c, d, e, f, g, h, a, b, kK[(base) + 6] + w6);               \
+  round(b, c, d, e, f, g, h, a, kK[(base) + 7] + w7);               \
+  round(a, b, c, d, e, f, g, h, kK[(base) + 8] + w8);               \
+  round(h, a, b, c, d, e, f, g, kK[(base) + 9] + w9);               \
+  round(g, h, a, b, c, d, e, f, kK[(base) + 10] + w10);             \
+  round(f, g, h, a, b, c, d, e, kK[(base) + 11] + w11);             \
+  round(e, f, g, h, a, b, c, d, kK[(base) + 12] + w12);             \
+  round(d, e, f, g, h, a, b, c, kK[(base) + 13] + w13);             \
+  round(c, d, e, f, g, h, a, b, kK[(base) + 14] + w14);             \
+  round(b, c, d, e, f, g, h, a, kK[(base) + 15] + w15)
+
+  BTCFAST_SHA256_EXPAND();
+  BTCFAST_SHA256_SIXTEEN(16);
+  BTCFAST_SHA256_EXPAND();
+  BTCFAST_SHA256_SIXTEEN(32);
+  BTCFAST_SHA256_EXPAND();
+  BTCFAST_SHA256_SIXTEEN(48);
+
+#undef BTCFAST_SHA256_EXPAND
+#undef BTCFAST_SHA256_SIXTEEN
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace detail
+
+namespace {
+
+using CompressFn = void (*)(std::uint32_t*, const std::uint8_t*) noexcept;
+
+// Sanitizer builds pin the scalar kernel so ASan/UBSan instrument plain
+// C++ instead of intrinsics; otherwise tests may toggle at runtime.
+#if defined(BTCFAST_FORCE_SCALAR_SHA256)
+constexpr bool kScalarPinned = true;
+#else
+constexpr bool kScalarPinned = false;
+#endif
+
+std::atomic<bool> g_force_scalar{kScalarPinned};
+
+CompressFn dispatched_compress() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (!g_force_scalar.load(std::memory_order_relaxed)) {
+    static const bool shani = detail::sha256_shani_supported();
+    if (shani) return &detail::sha256_compress_shani;
+  }
+#endif
+  return &detail::sha256_compress_scalar;
+}
+
+/// Final sha256 pass over a 32-byte first-round digest: one compression
+/// of digest || 0x80 || zeros || len(256 bits).
+Sha256Digest sha256_of_digest(const std::uint32_t first[8], CompressFn compress) noexcept {
+  std::uint8_t block[64] = {};
+  for (int i = 0; i < 8; ++i) put_be32(block + 4 * i, first[i]);
+  block[32] = 0x80;
+  block[62] = 0x01;  // 256 bits, big-endian
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof(state));
+  compress(state, block);
+  Sha256Digest out{};
+  for (int i = 0; i < 8; ++i) put_be32(out.data() + 4 * i, state[i]);
+  return out;
+}
+
+}  // namespace
+
+void sha256_compress(std::uint32_t state[8], const std::uint8_t block[64]) noexcept {
+  dispatched_compress()(state, block);
+}
+
+const char* sha256_impl_name() noexcept {
+  return dispatched_compress() == &detail::sha256_compress_scalar ? "scalar" : "sha-ni";
+}
+
+bool sha256_force_scalar(bool force) noexcept {
+  return g_force_scalar.exchange(kScalarPinned || force, std::memory_order_relaxed);
+}
+
 void Sha256::reset() noexcept {
-  static constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-                                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
   std::memcpy(state_, kInit, sizeof(state_));
   total_ = 0;
   buflen_ = 0;
 }
 
-void Sha256::compress(const std::uint8_t* block) noexcept {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 Sha256& Sha256::update(ByteSpan data) noexcept {
+  const CompressFn compress = dispatched_compress();
   total_ += data.size();
   std::size_t off = 0;
   if (buflen_ > 0) {
@@ -83,12 +218,12 @@ Sha256& Sha256::update(ByteSpan data) noexcept {
     buflen_ += take;
     off += take;
     if (buflen_ == 64) {
-      compress(buf_);
+      compress(state_, buf_);
       buflen_ = 0;
     }
   }
   while (off + 64 <= data.size()) {
-    compress(data.data() + off);
+    compress(state_, data.data() + off);
     off += 64;
   }
   if (off < data.size()) {
@@ -111,12 +246,8 @@ Sha256Digest Sha256::finalize() noexcept {
   update({lenbuf, 8});
 
   Sha256Digest out{};
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  for (int i = 0; i < 8; ++i) put_be32(out.data() + 4 * i, state_[i]);
+  reset();  // auto-reset: see the contract in sha256.h
   return out;
 }
 
@@ -127,8 +258,60 @@ Sha256Digest sha256(ByteSpan data) noexcept {
 }
 
 Sha256Digest sha256d(ByteSpan data) noexcept {
+  // The two shapes that dominate (Merkle pairs, block headers) get the
+  // unrolled kernels even through this generic entry point.
+  if (data.size() == 64) return sha256d_64(data.data());
+  if (data.size() == 80) return sha256d_80(data.data());
   const Sha256Digest first = sha256(data);
   return sha256({first.data(), first.size()});
+}
+
+Sha256Digest sha256d_64(const std::uint8_t data[64]) noexcept {
+  const CompressFn compress = dispatched_compress();
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof(state));
+  compress(state, data);
+  // Padding block for a 64-byte message: 0x80, zeros, len = 512 bits.
+  std::uint8_t pad[64] = {};
+  pad[0] = 0x80;
+  pad[62] = 0x02;
+  compress(state, pad);
+  return sha256_of_digest(state, compress);
+}
+
+Sha256Digest sha256d_80(const std::uint8_t data[80]) noexcept {
+  const CompressFn compress = dispatched_compress();
+  std::uint32_t state[8];
+  std::memcpy(state, kInit, sizeof(state));
+  compress(state, data);
+  // Tail block: 16 data bytes, 0x80, zeros, len = 640 bits.
+  std::uint8_t tail[64] = {};
+  std::memcpy(tail, data + 64, 16);
+  tail[16] = 0x80;
+  tail[62] = 0x02;
+  tail[63] = 0x80;
+  compress(state, tail);
+  return sha256_of_digest(state, compress);
+}
+
+Sha256Midstate Sha256Midstate::of_first_block(const std::uint8_t block64[64]) noexcept {
+  Sha256Midstate m;
+  std::memcpy(m.state_, kInit, sizeof(m.state_));
+  sha256_compress(m.state_, block64);
+  return m;
+}
+
+Sha256Digest Sha256Midstate::sha256d_tail16(const std::uint8_t tail16[16]) const noexcept {
+  const CompressFn compress = dispatched_compress();
+  std::uint32_t state[8];
+  std::memcpy(state, state_, sizeof(state));
+  std::uint8_t tail[64] = {};
+  std::memcpy(tail, tail16, 16);
+  tail[16] = 0x80;
+  tail[62] = 0x02;
+  tail[63] = 0x80;  // 640 bits
+  compress(state, tail);
+  return sha256_of_digest(state, compress);
 }
 
 }  // namespace btcfast::crypto

@@ -1,5 +1,18 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Provides one-shot,
-// streaming, and Bitcoin's double-SHA256 flavours.
+// streaming, and Bitcoin's double-SHA256 flavours, plus a layered hashing
+// engine for the shapes that dominate the hot paths:
+//
+//   kernel layer   — fully-unrolled one-shot transforms for the 64-byte
+//                    Merkle pair (`sha256d_64`) and the 80-byte block
+//                    header (`sha256d_80`), with runtime dispatch to the
+//                    SHA-NI compression function when the CPU has it.
+//   midstate layer — `Sha256Midstate` captures the compression of the
+//                    first 64 header bytes once so a PoW nonce loop only
+//                    compresses the 16-byte tail + padding per attempt.
+//
+// Every path is pinned byte-identical to the streaming implementation by
+// property tests; sanitizer builds (BTCFAST_SANITIZE) force the scalar
+// kernel so instrumented runs exercise plain C++.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +31,13 @@ class Sha256 {
 
   void reset() noexcept;
   Sha256& update(ByteSpan data) noexcept;
-  /// Finalizes and returns the digest; the hasher must be reset() before reuse.
+  /// Finalizes and returns the digest. The hasher then auto-resets to the
+  /// fresh (empty-message) state, so reuse without an explicit reset() is
+  /// well defined: a second finalize() yields the empty-message digest,
+  /// never the garbage a spent internal state would produce.
   [[nodiscard]] Sha256Digest finalize() noexcept;
 
  private:
-  void compress(const std::uint8_t* block) noexcept;
-
   std::uint32_t state_[8]{};
   std::uint8_t buf_[64]{};
   std::uint64_t total_ = 0;  // bytes processed
@@ -33,7 +47,63 @@ class Sha256 {
 /// One-shot SHA-256.
 [[nodiscard]] Sha256Digest sha256(ByteSpan data) noexcept;
 
-/// Bitcoin double hash: SHA-256(SHA-256(data)).
+/// Bitcoin double hash: SHA-256(SHA-256(data)). Shape-dispatches to the
+/// specialized 64/80-byte kernels, so generic callers get them for free.
 [[nodiscard]] Sha256Digest sha256d(ByteSpan data) noexcept;
+
+// --- Kernel layer -------------------------------------------------------
+
+/// One compression-function application: folds a 64-byte block into
+/// `state` using the dispatched (SHA-NI or scalar) kernel.
+void sha256_compress(std::uint32_t state[8], const std::uint8_t block[64]) noexcept;
+
+/// sha256d of exactly 64 bytes (a Merkle node pair): three unrolled
+/// compressions, no streaming buffer.
+[[nodiscard]] Sha256Digest sha256d_64(const std::uint8_t data[64]) noexcept;
+
+/// sha256d of exactly 80 bytes (a serialized block header): three
+/// unrolled compressions, no streaming buffer.
+[[nodiscard]] Sha256Digest sha256d_80(const std::uint8_t data[80]) noexcept;
+
+// --- Midstate layer -----------------------------------------------------
+
+/// Precomputed compression of the first 64 bytes of an 80-byte message.
+/// A header's nonce (and timestamp) live in the final 16 bytes, so a
+/// mining loop builds the midstate once and pays only the tail
+/// compression + finalization per attempt (2 compressions instead of 3,
+/// and no re-serialization).
+class Sha256Midstate {
+ public:
+  Sha256Midstate() noexcept = default;
+
+  /// Capture the state after compressing `block64` from the IV.
+  [[nodiscard]] static Sha256Midstate of_first_block(const std::uint8_t block64[64]) noexcept;
+
+  /// sha256d of the full 80-byte message `block64 || tail16`.
+  [[nodiscard]] Sha256Digest sha256d_tail16(const std::uint8_t tail16[16]) const noexcept;
+
+ private:
+  std::uint32_t state_[8]{};
+};
+
+// --- Dispatch -----------------------------------------------------------
+
+/// Name of the active compression kernel: "sha-ni" or "scalar".
+[[nodiscard]] const char* sha256_impl_name() noexcept;
+
+/// Test hook: force the scalar kernel (true) or restore runtime dispatch
+/// (false). Returns the previous setting. Sanitizer builds are pinned to
+/// scalar at compile time and ignore `false`.
+bool sha256_force_scalar(bool force) noexcept;
+
+namespace detail {
+// Internal kernel entry points, exposed for the dispatcher and the
+// equivalence tests only.
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t block[64]) noexcept;
+#if defined(__x86_64__) || defined(_M_X64)
+void sha256_compress_shani(std::uint32_t state[8], const std::uint8_t block[64]) noexcept;
+[[nodiscard]] bool sha256_shani_supported() noexcept;
+#endif
+}  // namespace detail
 
 }  // namespace btcfast::crypto

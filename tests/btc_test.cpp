@@ -2,6 +2,9 @@
 // PoW, blocks, UTXO, mempool conflict rules, chain reorgs and SPV proofs.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "btc/chain.h"
 #include "btc/mempool.h"
 #include "btc/pow.h"
@@ -633,6 +636,118 @@ TEST(Spv, HeadersSerializeRoundTrip) {
   const auto back = deserialize_headers(serialize_headers(headers));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, headers);
+}
+
+/// The memoized txid must match a from-scratch sha256d of the
+/// serialization, before and after every kind of field mutation.
+TEST(TxidMemo, InvalidatesOnMutation) {
+  Transaction tx;
+  tx.inputs.push_back(TxIn{});
+  tx.outputs.push_back(TxOut{5 * kCoin, ScriptPubKey{}});
+
+  const auto fresh_txid = [](const Transaction& t) {
+    return Txid::from_digest(crypto::sha256d(t.serialize()));
+  };
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+  const Txid original = tx.txid();
+  EXPECT_EQ(tx.txid(), original);  // memo hit, same answer
+
+  tx.outputs[0].value += 1;  // direct field mutation, no API involved
+  EXPECT_NE(tx.txid(), original);
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+
+  tx.version = 2;
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+  tx.lock_time = 99;
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+  tx.inputs[0].sequence = 7;
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+  tx.inputs.push_back(TxIn{});
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+  tx.inputs[1].script_sig.pubkey[0] = 0x02;
+  EXPECT_EQ(tx.txid(), fresh_txid(tx));
+}
+
+TEST(TxidMemo, SignInputInvalidates) {
+  const Wallet w = Wallet::make(77);
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid.bytes[0] = 1;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{kCoin, w.script});
+  const Txid unsigned_id = tx.txid();
+  sign_input(tx, 0, w.key, w.script);
+  EXPECT_NE(tx.txid(), unsigned_id);
+  EXPECT_EQ(tx.txid(), Txid::from_digest(crypto::sha256d(tx.serialize())));
+}
+
+TEST(TxidMemo, CopiesCarryAndRevalidate) {
+  Transaction tx;
+  tx.inputs.push_back(TxIn{});
+  tx.outputs.push_back(TxOut{kCoin, ScriptPubKey{}});
+  const Txid id = tx.txid();  // warm the memo
+
+  Transaction copy = tx;  // memo travels with the copy
+  EXPECT_EQ(copy.txid(), id);
+  EXPECT_EQ(copy, tx);  // equality ignores memo state
+
+  copy.outputs[0].value = 2 * kCoin;  // mutate the copy only
+  EXPECT_NE(copy.txid(), id);
+  EXPECT_EQ(tx.txid(), id);  // original memo unaffected
+  EXPECT_NE(copy, tx);
+}
+
+TEST(TxidMemo, ConcurrentReadsAreSafe) {
+  Transaction tx;
+  tx.inputs.push_back(TxIn{});
+  tx.outputs.push_back(TxOut{3 * kCoin, ScriptPubKey{}});
+  const Txid want = Txid::from_digest(crypto::sha256d(tx.serialize()));
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (tx.txid() != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+/// mine_header's midstate loop must land on the same (nonce, hash) the
+/// per-attempt serialize-and-stream path would find.
+TEST(Pow, MidstateMiningMatchesReference) {
+  const auto params = ChainParams::regtest();
+  for (std::uint32_t salt = 0; salt < 3; ++salt) {
+    BlockHeader h;
+    h.bits = params.genesis_bits;
+    h.time = salt;
+    h.merkle_root.bytes[0] = static_cast<std::uint8_t>(salt + 1);
+    BlockHeader reference = h;
+
+    ASSERT_TRUE(mine_header(h, params.pow_limit));
+
+    // Seed-style reference grind: re-serialize and stream-hash per nonce.
+    const auto target = bits_to_target(reference.bits);
+    ASSERT_TRUE(target.has_value());
+    for (std::uint32_t nonce = 0;; ++nonce) {
+      reference.nonce = nonce;
+      Bytes ser = reference.serialize();
+      crypto::Sha256 s;
+      s.update(ser);
+      const auto first = s.finalize();
+      s.update({first.data(), first.size()});
+      const auto digest = s.finalize();
+      const auto value = crypto::U256::from_le_bytes({digest.data(), digest.size()});
+      if (value <= *target) break;
+      ASSERT_LT(nonce, 1u << 24) << "reference grind ran away";
+    }
+    EXPECT_EQ(h.nonce, reference.nonce);
+    EXPECT_EQ(h.hash(), reference.hash());
+    EXPECT_TRUE(check_proof_of_work(h, params.pow_limit));
+  }
 }
 
 }  // namespace
