@@ -2,6 +2,7 @@
 # Tier-1 gate: configure, build, and run the full test suite.
 #
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
+#                         [--fuzz-smoke] [--scenario-fuzz [N]]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -15,16 +16,40 @@
 #                      (BTCFAST_FORCE_SCALAR_SHA256), so this is what keeps
 #                      the portable kernel honest while the default build
 #                      dispatches to SHA-NI.
+#   --fuzz-smoke       build the asan and ubsan trees and run the decoder
+#                      fuzz tests at a fixed 10k-iteration corpus per
+#                      decoder (BTCFAST_FUZZ_ITERS=2000 across the suite's
+#                      5 fixed seeds) — the promoted version of the quick
+#                      default-build fuzz pass.
+#   --scenario-fuzz [N]
+#                      run the adversarial scenario fuzzer over N seeds
+#                      (default 25) in the current preset's tree. On an
+#                      invariant violation the harness prints a one-line
+#                      repro ("fuzz_scenario_test --replay <seed>") and a
+#                      minimized event trace, and this script fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="default"
 bench_smoke=0
 kernel_sanitize=0
+fuzz_smoke=0
+scenario_fuzz=0
+scenario_seeds=25
+expect_seed_count=0
 for arg in "$@"; do
+  if [[ "$expect_seed_count" == 1 ]]; then
+    expect_seed_count=0
+    if [[ "$arg" =~ ^[0-9]+$ ]]; then
+      scenario_seeds="$arg"
+      continue
+    fi
+  fi
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --kernel-sanitize) kernel_sanitize=1 ;;
+    --fuzz-smoke) fuzz_smoke=1 ;;
+    --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
 done
@@ -76,4 +101,30 @@ if [[ "$kernel_sanitize" == 1 ]]; then
     done
   done
   echo "== kernel sanitize: clean =="
+fi
+
+if [[ "$fuzz_smoke" == 1 ]]; then
+  # Promote the decoder fuzz tests from their quick default budget to a
+  # fixed 10k-iteration corpus per decoder, under both memory sanitizers.
+  # The iteration count is an env override so the default ctest pass stays
+  # fast; seeds inside the suite are fixed, so this corpus is identical on
+  # every run.
+  for san in asan ubsan; do
+    echo "== fuzz smoke under $san (10k iterations per decoder) =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target fuzz_test
+    BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test"
+  done
+  echo "== fuzz smoke: clean =="
+fi
+
+if [[ "$scenario_fuzz" == 1 ]]; then
+  echo "== scenario fuzz (${scenario_seeds} seeds, ${bindir}) =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs" --target fuzz_scenario_test
+  # On a violation the gtest batch prints the repro line + minimized trace
+  # and exits nonzero, which fails the script via `set -e`.
+  BTCFAST_SCENARIO_SEEDS="$scenario_seeds" \
+    "$bindir/tests/fuzz_scenario_test" --gtest_filter='ScenarioFuzz.BatchSeeds'
+  echo "== scenario fuzz: ${scenario_seeds} seeds clean =="
 fi

@@ -257,6 +257,7 @@ bool Chain::reorg_to(const BlockHash& new_tip_hash, std::string* reject_reason) 
     cursor = index_.at(cursor).block.header.prev_hash;
   }
   const std::uint32_t fork_height = index_.at(cursor).height;
+  const std::uint32_t disconnect_depth = height() - fork_height;
 
   // Disconnect down to the fork point.
   while (height() > fork_height) disconnect_tip();
@@ -304,6 +305,7 @@ bool Chain::reorg_to(const BlockHash& new_tip_hash, std::string* reject_reason) 
       return false;
     }
   }
+  if (disconnect_depth > max_reorg_depth_) max_reorg_depth_ = disconnect_depth;
   return true;
 }
 

@@ -77,6 +77,11 @@ class Chain {
   /// Total number of stored blocks (all forks).
   [[nodiscard]] std::size_t stored_blocks() const noexcept { return index_.size(); }
 
+  /// Deepest reorg this view has survived, in blocks disconnected. The
+  /// testkit made-whole invariant is only asserted while this stays
+  /// within the protocol's k-confirmation security bound.
+  [[nodiscard]] std::uint32_t max_reorg_depth() const noexcept { return max_reorg_depth_; }
+
   /// Transactions evicted from the active chain by the latest reorg; the
   /// owner (node) feeds them back through its mempool. Cleared on read.
   [[nodiscard]] std::vector<Transaction> take_disconnected_txs();
@@ -96,6 +101,7 @@ class Chain {
   std::vector<BlockUndo> undo_;    ///< parallel to active_
   std::unordered_map<Txid, BlockHash, Hash256Hasher> tx_index_;  ///< active chain only
   std::vector<Transaction> disconnected_txs_;
+  std::uint32_t max_reorg_depth_ = 0;
 };
 
 }  // namespace btcfast::btc

@@ -9,7 +9,7 @@ namespace btcfast::core {
 
 Deployment::Deployment(DeploymentConfig config)
     : config_(std::move(config)),
-      params_(btc::ChainParams::regtest()),
+      params_(config_.params),
       customer_party_(sim::Party::make(config_.seed * 11 + 1)),
       merchant_party_(sim::Party::make(config_.seed * 11 + 2)),
       miner_party_(sim::Party::make(config_.seed * 11 + 3)) {
@@ -131,13 +131,13 @@ void Deployment::schedule_monitors() {
     const auto now = static_cast<std::uint64_t>(sim_->now());
     pump_merchant(now);
     if (config_.customer_online) pump_customer_defense();
-    if (watchtower_) {
+    if (watchtower_ && watchtower_online_) {
       for (auto& tx : watchtower_->poll(now)) {
         const auto id = psc_->submit(tx);
         submitted_txs_.emplace_back(tx.method, id);
       }
     }
-    pump_relayer();
+    if (relayer_online_) pump_relayer();
     schedule_monitors();
   });
 }

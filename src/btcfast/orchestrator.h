@@ -55,6 +55,11 @@ struct DeploymentConfig {
   sim::NetworkConfig net{};
   btc::Amount funded_coins = 4;  ///< mature coinbases granted to the customer
 
+  /// Bitcoin consensus parameters for the simulated network. The default
+  /// regtest difficulty (~2^16 hashes/block) keeps PoW honest; the
+  /// scenario fuzzer lowers it to afford hundreds of deployments per run.
+  btc::ChainParams params = btc::ChainParams::regtest();
+
   /// Worker threads for the verification engine (batch signature checks,
   /// parallel evidence PoW hashing). 0 = inline execution on the calling
   /// thread — the deterministic baseline. Decisions and gas accounting are
@@ -113,8 +118,36 @@ class Deployment {
   [[nodiscard]] const psc::Address& judger_address() const noexcept { return judger_addr_; }
   [[nodiscard]] sim::Node& merchant_node() noexcept { return net_->node(merchant_node_id_); }
   [[nodiscard]] sim::Node& customer_node() noexcept { return net_->node(customer_node_id_); }
+  [[nodiscard]] sim::NodeId merchant_node_id() const noexcept { return merchant_node_id_; }
+  [[nodiscard]] sim::NodeId customer_node_id() const noexcept { return customer_node_id_; }
+  [[nodiscard]] const std::vector<sim::NodeId>& miner_node_ids() const noexcept {
+    return miner_node_ids_;
+  }
   [[nodiscard]] const DeploymentConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::optional<EscrowView> escrow_view() const;
+
+  // --- state-inspection accessors for the testkit invariant harness ---
+  [[nodiscard]] const psc::Address& customer_psc_address() const noexcept { return customer_psc_; }
+  [[nodiscard]] const psc::Address& merchant_psc_address() const noexcept { return merchant_psc_; }
+  [[nodiscard]] const PayJudgerConfig& judger_config() const noexcept { return judger_cfg_; }
+  [[nodiscard]] const sim::DoubleSpendAttacker* attacker() const noexcept {
+    return attacker_.get();
+  }
+  /// Every PSC transaction the deployment submitted, as (method, tx id).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>& submitted_txs()
+      const noexcept {
+    return submitted_txs_;
+  }
+
+  // --- crash/restart fault injection (scenario fuzzing) ---
+  /// While offline a process is simply not pumped on the monitor tick; it
+  /// keeps its in-memory state, modelling a crash + restart of the same
+  /// process rather than a wipe.
+  void set_watchtower_online(bool online) noexcept { watchtower_online_ = online; }
+  void set_relayer_online(bool online) noexcept { relayer_online_ = online; }
+  void set_customer_online(bool online) noexcept { config_.customer_online = online; }
+  [[nodiscard]] bool watchtower_online() const noexcept { return watchtower_online_; }
+  [[nodiscard]] bool relayer_online() const noexcept { return relayer_online_; }
 
   /// Gas used by a named receipt class (diagnostics for E4).
   [[nodiscard]] std::vector<psc::Receipt> receipts_for(const std::string& method) const;
@@ -154,6 +187,8 @@ class Deployment {
   std::vector<std::pair<std::string, std::uint64_t>> submitted_txs_;  ///< (method, id)
   std::vector<std::pair<btc::OutPoint, btc::Coin>> customer_coins_;
   std::size_t next_coin_ = 0;
+  bool watchtower_online_ = true;
+  bool relayer_online_ = true;
 };
 
 }  // namespace btcfast::core

@@ -1,5 +1,8 @@
 #include "btcsim/scenario.h"
 
+#include <map>
+#include <mutex>
+
 #include "btc/pow.h"
 
 namespace btcfast::sim {
@@ -19,6 +22,33 @@ Party Party::make(std::uint64_t seed) {
 std::vector<btc::Block> build_funding_chain(const btc::ChainParams& params,
                                             const std::vector<btc::ScriptPubKey>& payouts,
                                             std::uint32_t blocks_each) {
+  // The result is a pure function of (params, payouts, blocks_each), and
+  // mining it is the single most expensive part of standing up a
+  // deployment (~10ms of PoW per block at regtest difficulty). Scenario
+  // fuzzing builds hundreds of deployments over the same key material, so
+  // memoize process-wide.
+  std::string memo_key;
+  {
+    Writer w;
+    for (const auto& word : params.pow_limit.w) w.u64le(word);
+    w.u32le(params.genesis_bits);
+    w.u64le(static_cast<std::uint64_t>(params.subsidy));
+    w.u32le(params.coinbase_maturity);
+    w.u32le(params.retarget_interval);
+    w.u32le(blocks_each);
+    for (const auto& script : payouts) {
+      w.bytes({script.dest.bytes.data(), script.dest.bytes.size()});
+    }
+    const Bytes packed = std::move(w).take();
+    memo_key.assign(packed.begin(), packed.end());
+  }
+  static std::mutex memo_mutex;
+  static std::map<std::string, std::vector<btc::Block>> memo;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    if (auto it = memo.find(memo_key); it != memo.end()) return it->second;
+  }
+
   btc::Chain scratch(params);
   std::vector<btc::Block> out;
 
@@ -45,6 +75,10 @@ std::vector<btc::Block> build_funding_chain(const btc::ChainParams& params,
   }
   // Maturity padding to an unspendable destination.
   for (std::uint32_t i = 0; i < params.coinbase_maturity; ++i) mine_to(btc::ScriptPubKey{});
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    memo.emplace(std::move(memo_key), out);
+  }
   return out;
 }
 

@@ -52,7 +52,15 @@ class PscChain {
   Address deploy(const std::string& name, std::unique_ptr<Contract> contract);
 
   /// Test/benchmark faucet.
-  void mint(const Address& account, Value amount) { state_.add_balance(account, amount); }
+  void mint(const Address& account, Value amount) {
+    state_.add_balance(account, amount);
+    total_minted_ += amount;
+  }
+
+  /// Sum of all mint() calls ever. Execution only moves value between
+  /// accounts (fees land in the fee sink), so
+  /// state().total_balance() == total_minted() is a global invariant.
+  [[nodiscard]] Value total_minted() const noexcept { return total_minted_; }
 
   /// Queue a transaction for the next block; returns its id.
   std::uint64_t submit(const PscTx& tx);
@@ -101,6 +109,7 @@ class PscChain {
   std::uint64_t block_number_ = 0;
   std::uint64_t last_block_time_ms_ = 0;
   Gas total_gas_used_ = 0;
+  Value total_minted_ = 0;
   Address fee_sink_ = Address::from_label("psc/fee-sink");
 };
 

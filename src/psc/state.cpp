@@ -19,6 +19,12 @@ bool WorldState::sub_balance(const Address& a, Value v) {
   return true;
 }
 
+Value WorldState::total_balance() const noexcept {
+  Value total = 0;
+  for (const auto& [addr, account] : accounts_) total += account.balance;
+  return total;
+}
+
 Slot WorldState::storage_load(const Address& contract, const Slot& key) const {
   auto cit = storage_.find(contract);
   if (cit == storage_.end()) return Slot{};

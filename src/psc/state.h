@@ -40,6 +40,12 @@ class WorldState {
 
   [[nodiscard]] std::size_t account_count() const noexcept { return accounts_.size(); }
 
+  /// Sum of every account balance. With PscChain::total_minted() this is
+  /// the chain-wide value-conservation check: gas fees move to the fee
+  /// sink and transfers move between accounts, so the sum must equal the
+  /// total ever minted at all times (testkit invariant #1).
+  [[nodiscard]] Value total_balance() const noexcept;
+
  private:
   struct SlotKeyHasher {
     std::size_t operator()(const Slot& s) const noexcept {

@@ -1,0 +1,225 @@
+#include "testkit/invariants.h"
+
+#include <utility>
+
+namespace btcfast::testkit {
+
+namespace {
+
+const char* state_name(core::EscrowState s) {
+  switch (s) {
+    case core::EscrowState::kEmpty:
+      return "EMPTY";
+    case core::EscrowState::kActive:
+      return "ACTIVE";
+    case core::EscrowState::kDisputed:
+      return "DISPUTED";
+  }
+  return "?";
+}
+
+/// Legal escrow state transitions. Every edge the contract can take:
+/// deposit (EMPTY->ACTIVE), withdraw (ACTIVE->EMPTY), openDispute
+/// (ACTIVE->DISPUTED), judge (DISPUTED->ACTIVE). Self-loops are always
+/// legal (no transition between two observations).
+bool legal_transition(core::EscrowState from, core::EscrowState to) {
+  using S = core::EscrowState;
+  if (from == to) return true;
+  switch (from) {
+    case S::kEmpty:
+      return to == S::kActive;
+    case S::kActive:
+      return to == S::kDisputed || to == S::kEmpty;
+    case S::kDisputed:
+      return to == S::kActive || to == S::kEmpty;
+  }
+  return false;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(core::Deployment& deployment, std::string mutate)
+    : dep_(deployment), mutate_(std::move(mutate)) {}
+
+template <typename DetailFn>
+void InvariantChecker::require(const char* name, bool ok, const char* context,
+                               DetailFn&& detail) {
+  if (mutate_ == name) ok = !ok;  // mutation-testing hook: negate one predicate
+  if (ok || violation_.has_value()) return;
+  Violation v;
+  v.invariant = name;
+  v.detail = detail();
+  v.detail += " [at ";
+  v.detail += context;
+  v.detail += "]";
+  v.at = dep_.simulator().now();
+  v.check_index = checks_;
+  violation_ = std::move(v);
+}
+
+std::pair<std::uint64_t, std::uint64_t> InvariantChecker::dispute_log_counts() const {
+  std::uint64_t opened = 0;
+  std::uint64_t judged = 0;
+  for (const auto& log : dep_.psc().logs()) {
+    if (log.topic == "DisputeOpened") ++opened;
+    if (log.topic == "JudgedForMerchant" || log.topic == "JudgedForCustomer") ++judged;
+  }
+  return {opened, judged};
+}
+
+void InvariantChecker::check_conservation(const char* context) {
+  // PSC value only moves between accounts (execution fees land in the
+  // fee-sink account), so the sum of every balance equals all value ever
+  // minted — always, after every transaction.
+  const psc::Value total = dep_.psc().state().total_balance();
+  const psc::Value minted = dep_.psc().total_minted();
+  require("value-conservation", total == minted, context, [&] {
+    return "sum(balances)=" + std::to_string(total) + " != minted=" + std::to_string(minted);
+  });
+}
+
+void InvariantChecker::check_escrow_accounting(const char* context) {
+  // The judger contract's balance is exactly the collateral it custodies
+  // plus one dispute bond per open (unjudged) dispute. Any drift means
+  // collateral was double-released or a bond vanished.
+  const auto view = dep_.escrow_view();
+  if (!view) return;
+  const psc::Value held = dep_.psc().state().balance(dep_.judger_address());
+  const auto [opened, judged] = dispute_log_counts();
+  const psc::Value open_bonds = (opened - judged) * dep_.judger_config().dispute_bond;
+  require("escrow-accounting", held == view->collateral + open_bonds, context, [&] {
+    return "judger balance=" + std::to_string(held) + " != collateral=" +
+           std::to_string(view->collateral) + " + open bonds=" + std::to_string(open_bonds) +
+           " (" + std::to_string(opened) + " opened/" + std::to_string(judged) + " judged)";
+  });
+}
+
+void InvariantChecker::check_exposure(const char* context) {
+  // The contract must never promise more than it holds: on-chain
+  // reservations fit inside the collateral, and a pending dispute's
+  // compensation is payable from it.
+  const auto view = dep_.escrow_view();
+  if (!view) return;
+  require("exposure-bounded", view->reserved <= view->collateral, context, [&] {
+    return "reserved=" + std::to_string(view->reserved) + " > collateral=" +
+           std::to_string(view->collateral);
+  });
+  if (view->state == core::EscrowState::kDisputed) {
+    require("exposure-bounded",
+            view->dispute_compensation <= view->collateral - view->reserved, context, [&] {
+              return "disputed compensation=" + std::to_string(view->dispute_compensation) +
+                     " exceeds free collateral=" +
+                     std::to_string(view->collateral - view->reserved);
+            });
+  }
+}
+
+void InvariantChecker::check_state_machine(const char* context) {
+  const auto view = dep_.escrow_view();
+  if (!view) return;
+  if (prev_view_) {
+    require("dispute-state-machine", legal_transition(prev_view_->state, view->state), context,
+            [&] {
+              return std::string("illegal escrow transition ") + state_name(prev_view_->state) +
+                     " -> " + state_name(view->state);
+            });
+    // Within one dispute instance (same deadline) the record is
+    // append-only: work totals grow, a proof never un-proves, and the
+    // deadline itself is immutable.
+    if (prev_view_->state == core::EscrowState::kDisputed &&
+        view->state == core::EscrowState::kDisputed &&
+        prev_view_->dispute_deadline_ms == view->dispute_deadline_ms) {
+      require("dispute-state-machine", !(prev_view_->customer_proved && !view->customer_proved),
+              context, [&] { return std::string("customer_proved regressed true -> false"); });
+      require("dispute-state-machine", view->merchant_work >= prev_view_->merchant_work, context,
+              [&] { return std::string("merchant evidence work decreased"); });
+      require("dispute-state-machine", view->customer_work >= prev_view_->customer_work, context,
+              [&] { return std::string("customer evidence work decreased"); });
+    }
+  }
+  prev_view_ = view;
+}
+
+void InvariantChecker::check_no_double_release(const char* context) {
+  // Judgments consume disputes one-for-one; the contract can never emit
+  // more JudgedFor* events than DisputeOpened events, and never more
+  // than one judgment between two consecutive observations of a single
+  // escrow (each dispute instance is judged exactly once).
+  const auto [opened, judged] = dispute_log_counts();
+  require("no-double-release", judged <= opened, context, [&] {
+    return "judged=" + std::to_string(judged) + " > opened=" + std::to_string(opened);
+  });
+  require("no-double-release", judged >= prev_judged_, context,
+          [&] { return "judgment log count regressed"; });
+  prev_judged_ = judged;
+}
+
+const std::optional<Violation>& InvariantChecker::check(const char* context) {
+  if (violation_.has_value()) return violation_;
+  ++checks_;
+  check_conservation(context);
+  check_escrow_accounting(context);
+  check_exposure(context);
+  check_state_machine(context);
+  check_no_double_release(context);
+  return violation_;
+}
+
+bool InvariantChecker::beyond_security_bound() const {
+  // The paper's guarantee is parameterized on k (required_depth): an
+  // adversary that out-mines k blocks defeats any k-confirmation scheme
+  // with its stated epsilon probability, so made-whole is only asserted
+  // inside the bound.
+  const auto* attacker = dep_.attacker();
+  if (attacker != nullptr && attacker->outcome().has_value() &&
+      attacker->outcome()->attack_released &&
+      attacker->outcome()->secret_blocks > dep_.config().required_depth) {
+    return true;
+  }
+  // Likewise a (possibly honest) partition that reorged deeper than the
+  // merchant's settle depth — outside the model's synchrony assumption.
+  return dep_.merchant_node().chain().max_reorg_depth() >= dep_.config().settle_confirmations;
+}
+
+const std::optional<Violation>& InvariantChecker::final_check() {
+  check("final");
+  if (violation_.has_value()) return violation_;
+  ++checks_;
+
+  const bool out_of_model = beyond_security_bound();
+  const auto& merchant = dep_.merchant();
+  const auto& chain = dep_.merchant_node().chain();
+
+  for (std::size_t i = 0; i < merchant.pending().size(); ++i) {
+    const auto& p = merchant.pending()[i];
+    // Every accepted payment must have resolved by the horizon: either
+    // the BTC leg settled or a dispute ran to judgment (which pays the
+    // merchant compensation unless the customer proved inclusion — in
+    // which case the BTC leg is the payment).
+    require("merchant-made-whole", p.settled || p.judged, "final", [&] {
+      return "payment #" + std::to_string(i) + " neither settled nor judged (dispute_opened=" +
+             std::to_string(p.dispute_opened) +
+             ", active_seen=" + std::to_string(p.dispute_active_seen) + ")";
+    });
+    // A settled payment must still be on the active chain, unless the
+    // run left the security bound (deep adversarial or partition reorg).
+    if (p.settled && !out_of_model) {
+      const auto conf = chain.confirmations(p.package.binding.binding.btc_txid);
+      require("merchant-made-whole", conf > 0, "final", [&] {
+        return "payment #" + std::to_string(i) +
+               " settled but no longer confirmed (conf=0) inside the security bound";
+      });
+    }
+  }
+
+  // No dispute may be left hanging: every DisputeOpened has a matching
+  // judgment once the horizon passed every deadline.
+  const auto [opened, judged] = dispute_log_counts();
+  require("dispute-resolved", judged == opened, "final", [&] {
+    return std::to_string(opened - judged) + " dispute(s) unjudged at horizon (opened=" +
+           std::to_string(opened) + ", judged=" + std::to_string(judged) + ")";
+  });
+  return violation_;
+}
+
+}  // namespace btcfast::testkit

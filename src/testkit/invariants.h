@@ -1,0 +1,78 @@
+// Global protocol invariants for a BTCFast deployment, evaluated after
+// every simulated network event by the scenario fuzzer. Each invariant
+// is a predicate over the whole world (PSC state, escrow view, merchant
+// book-keeping, Bitcoin views); the first one that fails is recorded
+// with enough context to triage from the one-line seed repro.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "btcfast/orchestrator.h"
+
+namespace btcfast::testkit {
+
+/// A recorded invariant failure.
+struct Violation {
+  std::string invariant;     ///< stable name, e.g. "value-conservation"
+  std::string detail;        ///< human-readable numbers behind the failure
+  SimTime at = 0;            ///< simulated time of detection
+  std::uint64_t check_index = 0;  ///< ordinal of the check() call that fired
+};
+
+/// Evaluates the protocol invariants against one Deployment. Construct
+/// once per scenario run; call check() on every event and final_check()
+/// after the horizon. The first violation latches (later checks become
+/// no-ops) so the recorded state is the earliest detectable breakage.
+///
+/// `mutate` names one invariant whose predicate is deliberately negated
+/// — the mutation-testing hook: a healthy run under a flipped checker
+/// must report a violation, proving the checker is live and that the
+/// printed seed reproduces it.
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(core::Deployment& deployment, std::string mutate = {});
+
+  /// Per-event invariants: value conservation, escrow accounting,
+  /// exposure bounds, dispute state machine, no double release.
+  /// `context` tags the violation with where it was observed.
+  const std::optional<Violation>& check(const char* context);
+
+  /// End-of-run invariants on top of check(): every accepted payment
+  /// resolved (settled or judged), all opened disputes judged, and
+  /// settled payments still confirmed — the latter asserted only while
+  /// the run stayed inside the k-confirmation security bound.
+  const std::optional<Violation>& final_check();
+
+  [[nodiscard]] const std::optional<Violation>& violation() const noexcept { return violation_; }
+  [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }
+  /// True when the run left the protocol's threat model: the attacker
+  /// out-mined the judgment depth or an honest partition reorged deeper
+  /// than the settle depth. Made-whole is not asserted beyond the bound.
+  [[nodiscard]] bool beyond_security_bound() const;
+
+ private:
+  template <typename DetailFn>
+  void require(const char* name, bool ok, const char* context, DetailFn&& detail);
+
+  void check_conservation(const char* context);
+  void check_escrow_accounting(const char* context);
+  void check_exposure(const char* context);
+  void check_state_machine(const char* context);
+  void check_no_double_release(const char* context);
+
+  /// (DisputeOpened count, JudgedFor* count) over the full PSC log.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> dispute_log_counts() const;
+
+  core::Deployment& dep_;
+  std::string mutate_;
+  std::optional<Violation> violation_;
+  std::uint64_t checks_ = 0;
+
+  // Previous escrow snapshot for the state-machine / monotonicity checks.
+  std::optional<core::EscrowView> prev_view_;
+  std::uint64_t prev_judged_ = 0;
+};
+
+}  // namespace btcfast::testkit

@@ -1,0 +1,366 @@
+#include "testkit/scenario_fuzzer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "btc/header.h"
+#include "common/rng.h"
+
+namespace btcfast::testkit {
+
+namespace {
+
+std::string fmt_minutes(SimTime t) {
+  std::ostringstream os;
+  os << (t / kMinute) << "m" << (t % kMinute) / kSecond << "s";
+  return os.str();
+}
+
+/// Map the schedule's abstract node index onto the deployment's ids:
+/// [0, honest_miners) are miners, then the customer, then the merchant.
+sim::NodeId resolve_node(core::Deployment& dep, int index) {
+  const auto& miners = dep.miner_node_ids();
+  if (index >= 0 && static_cast<std::size_t>(index) < miners.size()) {
+    return miners[static_cast<std::size_t>(index)];
+  }
+  if (static_cast<std::size_t>(index) == miners.size()) return dep.customer_node_id();
+  return dep.merchant_node_id();
+}
+
+void apply_event(core::Deployment& dep, const ScenarioEvent& ev, ScenarioOutcome& out,
+                 bool& watchtower_was_down) {
+  using K = ScenarioEvent::Kind;
+  switch (ev.kind) {
+    case K::kFastPay: {
+      ++out.payments_attempted;
+      const auto result = dep.perform_fastpay(ev.amount);
+      if (result.accepted) ++out.payments_accepted;
+      break;
+    }
+    case K::kIsolateNode:
+      dep.network().set_isolated(resolve_node(dep, ev.node), true);
+      break;
+    case K::kReleaseNode:
+      dep.network().set_isolated(resolve_node(dep, ev.node), false);
+      break;
+    case K::kWatchtowerCrash:
+      dep.set_watchtower_online(false);
+      watchtower_was_down = true;
+      break;
+    case K::kWatchtowerRestart:
+      dep.set_watchtower_online(true);
+      if (watchtower_was_down) out.watchtower_cycled = true;
+      break;
+    case K::kRelayerCrash:
+      dep.set_relayer_online(false);
+      break;
+    case K::kRelayerRestart:
+      dep.set_relayer_online(true);
+      break;
+    case K::kCustomerCrash:
+      dep.set_customer_online(false);
+      break;
+    case K::kCustomerRestart:
+      dep.set_customer_online(true);
+      break;
+    case K::kSetLossRate:
+      dep.network().set_loss_rate(ev.rate);
+      break;
+    case K::kSetDupRate:
+      dep.network().set_dup_rate(ev.rate);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ScenarioEvent::describe() const {
+  using K = Kind;
+  std::ostringstream os;
+  os << "t=" << fmt_minutes(at) << " ";
+  switch (kind) {
+    case K::kFastPay:
+      os << "fastpay amount=" << amount << "sat";
+      break;
+    case K::kIsolateNode:
+      os << "isolate node#" << node;
+      break;
+    case K::kReleaseNode:
+      os << "release node#" << node;
+      break;
+    case K::kWatchtowerCrash:
+      os << "watchtower crash";
+      break;
+    case K::kWatchtowerRestart:
+      os << "watchtower restart";
+      break;
+    case K::kRelayerCrash:
+      os << "relayer crash";
+      break;
+    case K::kRelayerRestart:
+      os << "relayer restart";
+      break;
+    case K::kCustomerCrash:
+      os << "customer crash";
+      break;
+    case K::kCustomerRestart:
+      os << "customer restart";
+      break;
+    case K::kSetLossRate:
+      os << "set loss_rate=" << rate;
+      break;
+    case K::kSetDupRate:
+      os << "set dup_rate=" << rate;
+      break;
+  }
+  return os.str();
+}
+
+std::string ScenarioConfig::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " q=" << deployment.attacker_share
+     << " k=" << deployment.required_depth << " settle=" << deployment.settle_confirmations
+     << " window=" << deployment.evidence_window_ms / 60000 << "m"
+     << " dispute_after=" << deployment.dispute_after_ms / 60000 << "m"
+     << " loss=" << deployment.net.loss_rate << " dup=" << deployment.net.dup_rate
+     << " watchtower=" << deployment.watchtower_enabled
+     << " customer_online=" << deployment.customer_online
+     << " reserve=" << deployment.reserve_payments << " events=" << events.size()
+     << " horizon=" << horizon / kMinute << "m";
+  return os.str();
+}
+
+ScenarioConfig sample_scenario(std::uint64_t seed) {
+  Rng rng(seed ^ 0xb7c5f0d1a3e89642ULL);
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+
+  core::DeploymentConfig& d = cfg.deployment;
+  d.seed = seed;
+  // Very low difficulty (~2^6 hashes/block): the fuzzer stands up a full
+  // deployment per seed, so PoW must cost microseconds, not milliseconds.
+  d.params.pow_limit = crypto::U256::one() << 250;
+  d.params.genesis_bits = btc::target_to_bits(d.params.pow_limit);
+
+  // Adversary strength in three buckets: honest, inside the security
+  // bound (dispute-and-compensate territory), and past it (the epsilon
+  // the paper concedes; made-whole is gated on the bound there).
+  const auto bucket = rng.below(10);
+  if (bucket < 4) {
+    d.attacker_share = 0.0;
+  } else if (bucket < 8) {
+    d.attacker_share = 0.10 + rng.uniform() * 0.25;
+  } else {
+    d.attacker_share = 0.55 + rng.uniform() * 0.15;
+  }
+  d.attacker_release_confirmations = static_cast<std::uint32_t>(rng.below(3));
+  d.attacker_give_up_deficit = 6 + static_cast<int>(rng.below(8));
+
+  d.required_depth = 2 + static_cast<std::uint32_t>(rng.below(3));
+  d.settle_confirmations = 2 + static_cast<std::uint32_t>(rng.below(3));
+  d.dispute_after_ms = (8 + rng.below(18)) * 60 * 1000;
+  d.evidence_window_ms = (15 + rng.below(16)) * 60 * 1000;
+  d.poll_interval_ms = (20 + rng.below(41)) * 1000;
+  d.psc_block_interval_ms = (5 + rng.below(11)) * 1000;
+
+  d.customer_online = rng.chance(0.7);
+  d.watchtower_enabled = rng.chance(0.6);
+  d.reserve_payments = rng.chance(0.25);
+
+  d.net.base_latency = static_cast<SimTime>(20 + rng.below(180));
+  d.net.jitter = static_cast<SimTime>(rng.below(120));
+  if (rng.chance(0.35)) d.net.loss_rate = 0.02 + rng.uniform() * 0.18;
+  if (rng.chance(0.25)) d.net.dup_rate = 0.02 + rng.uniform() * 0.12;
+
+  const std::size_t n_payments = 1 + rng.below(3);
+  d.funded_coins = static_cast<btc::Amount>(n_payments);
+
+  // --- the event schedule ---
+  SimTime last_payment_at = 0;
+  for (std::size_t i = 0; i < n_payments; ++i) {
+    ScenarioEvent ev;
+    ev.kind = ScenarioEvent::Kind::kFastPay;
+    ev.at = static_cast<SimTime>(1 + rng.below(30)) * kMinute;
+    ev.amount = static_cast<btc::Amount>(100'000 + rng.below(1'000'000));
+    last_payment_at = std::max(last_payment_at, ev.at);
+    cfg.events.push_back(ev);
+  }
+
+  if (rng.chance(0.45)) {
+    // Eclipse one node for a bounded interval (a miner, the customer, or
+    // the merchant — isolating the merchant stalls its confirmation view
+    // and drives the dispute path).
+    const int node = static_cast<int>(rng.below(d.honest_miners + 2));
+    const SimTime from = static_cast<SimTime>(2 + rng.below(40)) * kMinute;
+    const SimTime until = from + static_cast<SimTime>(1 + rng.below(18)) * kMinute;
+    cfg.events.push_back({ScenarioEvent::Kind::kIsolateNode, from, node});
+    cfg.events.push_back({ScenarioEvent::Kind::kReleaseNode, until, node});
+  }
+
+  if (d.watchtower_enabled && rng.chance(0.5)) {
+    const SimTime from = static_cast<SimTime>(5 + rng.below(40)) * kMinute;
+    const SimTime until = from + static_cast<SimTime>(3 + rng.below(25)) * kMinute;
+    cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerCrash, from});
+    cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerRestart, until});
+  }
+
+  if (rng.chance(0.4)) {
+    const SimTime from = static_cast<SimTime>(5 + rng.below(40)) * kMinute;
+    const SimTime until = from + static_cast<SimTime>(3 + rng.below(25)) * kMinute;
+    cfg.events.push_back({ScenarioEvent::Kind::kRelayerCrash, from});
+    cfg.events.push_back({ScenarioEvent::Kind::kRelayerRestart, until});
+  }
+
+  if (d.customer_online && rng.chance(0.3)) {
+    const SimTime from = static_cast<SimTime>(5 + rng.below(40)) * kMinute;
+    cfg.events.push_back({ScenarioEvent::Kind::kCustomerCrash, from});
+    if (rng.chance(0.7)) {
+      const SimTime until = from + static_cast<SimTime>(5 + rng.below(30)) * kMinute;
+      cfg.events.push_back({ScenarioEvent::Kind::kCustomerRestart, until});
+    }
+  }
+
+  if (rng.chance(0.5)) {
+    // A lossy epoch starting mid-run; usually healed later.
+    ScenarioEvent ev;
+    ev.kind = ScenarioEvent::Kind::kSetLossRate;
+    ev.at = static_cast<SimTime>(2 + rng.below(45)) * kMinute;
+    ev.rate = 0.05 + rng.uniform() * 0.30;
+    cfg.events.push_back(ev);
+    if (rng.chance(0.7)) {
+      ScenarioEvent heal;
+      heal.kind = ScenarioEvent::Kind::kSetLossRate;
+      heal.at = ev.at + static_cast<SimTime>(3 + rng.below(25)) * kMinute;
+      heal.rate = 0.0;
+      cfg.events.push_back(heal);
+    }
+  }
+  if (rng.chance(0.35)) {
+    ScenarioEvent ev;
+    ev.kind = ScenarioEvent::Kind::kSetDupRate;
+    ev.at = static_cast<SimTime>(2 + rng.below(45)) * kMinute;
+    ev.rate = 0.05 + rng.uniform() * 0.15;
+    cfg.events.push_back(ev);
+  }
+
+  std::stable_sort(cfg.events.begin(), cfg.events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) { return a.at < b.at; });
+
+  // Horizon: disputes against one escrow resolve sequentially, so budget
+  // a full dispute cycle per payment plus settling/poll slack.
+  SimTime last_event = last_payment_at;
+  for (const auto& ev : cfg.events) last_event = std::max(last_event, ev.at);
+  const SimTime per_payment =
+      static_cast<SimTime>(d.dispute_after_ms + d.evidence_window_ms) + 10 * kMinute;
+  cfg.horizon = last_event + static_cast<SimTime>(n_payments) * per_payment + 45 * kMinute;
+  return cfg;
+}
+
+ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& options) {
+  core::Deployment dep(config.deployment);
+  InvariantChecker checker(dep, options.mutate_invariant);
+  dep.network().set_observer([&checker](const sim::NetEvent&) { checker.check("net-event"); });
+
+  // Epoch-based loss needs the anti-entropy recovery path even when the
+  // initial rate was 0 (the deployment only arms it for lossy configs).
+  // Decided from the full schedule, not the mask, so shrinking never
+  // changes the sync topology.
+  const bool has_fault_epochs =
+      std::any_of(config.events.begin(), config.events.end(), [](const ScenarioEvent& ev) {
+        return ev.kind == ScenarioEvent::Kind::kSetLossRate ||
+               ev.kind == ScenarioEvent::Kind::kSetDupRate;
+      });
+  if (has_fault_epochs && config.deployment.net.loss_rate <= 0) {
+    dep.network().enable_sync(30 * kSecond);
+  }
+
+  ScenarioOutcome out;
+  bool watchtower_was_down = false;
+  for (std::size_t i = 0; i < config.events.size(); ++i) {
+    if (options.event_mask != nullptr && !(*options.event_mask)[i]) continue;
+    const auto& ev = config.events[i];
+    if (ev.at > dep.simulator().now()) dep.run_for(ev.at - dep.simulator().now());
+    if (checker.violation()) break;
+    apply_event(dep, ev, out, watchtower_was_down);
+    checker.check("after-event");
+    if (checker.violation()) break;
+  }
+  if (!checker.violation() && config.horizon > dep.simulator().now()) {
+    dep.run_for(config.horizon - dep.simulator().now());
+  }
+  checker.final_check();
+
+  const auto summary = dep.summarize();
+  out.settled = summary.payments_settled;
+  out.disputes_opened = summary.disputes_opened;
+  out.judged_for_merchant = summary.judged_for_merchant;
+  out.judged_for_customer = summary.judged_for_customer;
+  out.net_drops = dep.network().drops();
+  out.net_duplicates = dep.network().duplicates();
+  out.merchant_max_reorg = dep.merchant_node().chain().max_reorg_depth();
+  if (const auto* attacker = dep.attacker(); attacker != nullptr && attacker->outcome()) {
+    out.attack_released = attacker->outcome()->attack_released;
+    out.attacker_secret_blocks = attacker->outcome()->secret_blocks;
+  }
+  out.beyond_security_bound = checker.beyond_security_bound();
+  out.invariant_checks = checker.checks_run();
+  out.violation = checker.violation();
+  return out;
+}
+
+std::optional<FuzzReport> fuzz_one_seed(std::uint64_t seed, const std::string& mutate) {
+  const ScenarioConfig config = sample_scenario(seed);
+  RunOptions options;
+  options.mutate_invariant = mutate;
+  const ScenarioOutcome outcome = run_scenario(config, options);
+  if (!outcome.violation) return std::nullopt;
+
+  // Greedy delta-debugging: drop each event in turn and keep the drop
+  // when the same invariant still fails. Linear, deterministic, and good
+  // enough to cut schedules to the few events that matter.
+  std::vector<bool> mask(config.events.size(), true);
+  const std::string& invariant = outcome.violation->invariant;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = false;
+    RunOptions trial_options;
+    trial_options.event_mask = &mask;
+    trial_options.mutate_invariant = mutate;
+    const ScenarioOutcome trial = run_scenario(config, trial_options);
+    if (!trial.violation || trial.violation->invariant != invariant) mask[i] = true;
+  }
+
+  FuzzReport report;
+  report.seed = seed;
+  report.mutate = mutate;
+  report.violation = *outcome.violation;
+  report.config_line = config.summary();
+  for (std::size_t i = 0; i < config.events.size(); ++i) {
+    if (mask[i]) report.trace.push_back(config.events[i].describe());
+  }
+  report.repro_line = "fuzz_scenario_test --replay " + std::to_string(seed) +
+                      (mutate.empty() ? std::string{} : " --mutate " + mutate);
+  return report;
+}
+
+std::string format_report(const FuzzReport& report) {
+  std::ostringstream os;
+  os << "INVARIANT VIOLATION: " << report.violation.invariant << "\n"
+     << "  detail: " << report.violation.detail << "\n"
+     << "  sim time: " << fmt_minutes(report.violation.at) << " (check #"
+     << report.violation.check_index << ")\n"
+     << "  config: " << report.config_line << "\n"
+     << "  repro:  " << report.repro_line << "\n"
+     << "  minimized trace (" << report.trace.size() << " events):\n";
+  for (const auto& line : report.trace) os << "    " << line << "\n";
+  return os.str();
+}
+
+bool write_report(const FuzzReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << format_report(report);
+  return static_cast<bool>(out);
+}
+
+}  // namespace btcfast::testkit

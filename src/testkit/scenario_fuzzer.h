@@ -1,0 +1,114 @@
+// Randomized adversarial scenario fuzzer: samples a full deployment
+// configuration plus a timed event schedule (payments, double-spend
+// races, node isolation, message loss/duplication epochs, crash-restart
+// of watchtower/relayer/customer) from a single deterministic seed,
+// runs it against the live stack, and evaluates the protocol invariants
+// after every event. On a violation it greedily shrinks the schedule
+// and emits a one-line seed repro — `fuzz_scenario_test --replay <seed>`
+// replays the identical run on any platform.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/invariants.h"
+
+namespace btcfast::testkit {
+
+/// One externally injected event in a scenario schedule.
+struct ScenarioEvent {
+  enum class Kind {
+    kFastPay,           ///< customer pays `amount` sat (starts the race if adversarial)
+    kIsolateNode,       ///< eclipse abstract node index `node`
+    kReleaseNode,       ///< release it
+    kWatchtowerCrash,
+    kWatchtowerRestart,
+    kRelayerCrash,
+    kRelayerRestart,
+    kCustomerCrash,     ///< customer stops defending its disputes
+    kCustomerRestart,
+    kSetLossRate,       ///< failure-injection epoch boundary
+    kSetDupRate,
+  };
+  Kind kind = Kind::kFastPay;
+  SimTime at = 0;
+  int node = -1;          ///< abstract index: [0,miners) then customer, merchant
+  double rate = 0.0;      ///< loss/dup probability for kSet* events
+  btc::Amount amount = 0; ///< satoshis for kFastPay
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Everything a run needs, derived purely from the seed.
+struct ScenarioConfig {
+  std::uint64_t seed = 0;
+  core::DeploymentConfig deployment;
+  std::vector<ScenarioEvent> events;  ///< sorted by `at`
+  SimTime horizon = 0;                ///< run until here after the last event
+
+  /// One-line summary for repro reports and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Sample a scenario from a seed. Identical seeds produce identical
+/// configs and — because every RNG in the stack is seeded from them —
+/// identical runs, on every platform.
+[[nodiscard]] ScenarioConfig sample_scenario(std::uint64_t seed);
+
+/// What one run did; `violation` is set iff an invariant failed.
+struct ScenarioOutcome {
+  std::size_t payments_attempted = 0;
+  std::size_t payments_accepted = 0;
+  std::size_t settled = 0;
+  std::size_t disputes_opened = 0;
+  std::size_t judged_for_merchant = 0;
+  std::size_t judged_for_customer = 0;
+  std::uint64_t net_drops = 0;
+  std::uint64_t net_duplicates = 0;
+  std::uint32_t merchant_max_reorg = 0;
+  bool attack_released = false;
+  std::uint32_t attacker_secret_blocks = 0;
+  bool watchtower_cycled = false;  ///< crashed and later restarted
+  bool beyond_security_bound = false;
+  std::uint64_t invariant_checks = 0;
+  std::optional<Violation> violation;
+};
+
+struct RunOptions {
+  /// When set, events whose index is false are skipped (the shrinker's
+  /// delta-debugging handle). Must match config.events.size().
+  const std::vector<bool>* event_mask = nullptr;
+  /// Name of one invariant to negate (mutation testing). Empty = none.
+  std::string mutate_invariant;
+};
+
+/// Execute a scenario: build the deployment, hook the invariant checker
+/// onto the network observer, apply the schedule, run out the horizon,
+/// run the final checks.
+ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& options = {});
+
+/// A triaged violation: seed repro plus the minimized event trace.
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  std::string mutate;
+  Violation violation;
+  std::string config_line;
+  std::vector<std::string> trace;  ///< events that survived shrinking
+  std::string repro_line;          ///< paste-able reproduction command
+};
+
+/// Run one seed end to end; on violation, shrink the event schedule
+/// (greedy single-event removal, keeping the same invariant failing)
+/// and return the report. std::nullopt = the seed passed.
+[[nodiscard]] std::optional<FuzzReport> fuzz_one_seed(std::uint64_t seed,
+                                                      const std::string& mutate = {});
+
+/// Render a report as the text block the harness prints and dumps.
+[[nodiscard]] std::string format_report(const FuzzReport& report);
+
+/// Write the rendered report to `path`; returns false on I/O failure.
+bool write_report(const FuzzReport& report, const std::string& path);
+
+}  // namespace btcfast::testkit

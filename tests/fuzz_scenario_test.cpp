@@ -1,0 +1,341 @@
+// The adversarial scenario fuzzer harness. Two entry modes:
+//
+//   fuzz_scenario_test                       run the gtest suite (batch
+//                                            fuzz + directed coverage)
+//   fuzz_scenario_test --replay <seed>       replay exactly one sampled
+//            [--mutate <invariant>]          scenario and print its fate
+//
+// The batch test runs BTCFAST_SCENARIO_SEEDS seeds (default 100) from
+// BTCFAST_SCENARIO_BASE (default 1). On any invariant violation it
+// prints and dumps a one-line repro (`--replay <seed>`) plus the
+// shrunken event trace, so every red run is reproducible byte-for-byte.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "btc/header.h"
+#include "testkit/scenario_fuzzer.h"
+
+namespace btcfast::testkit {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::string report_path(std::uint64_t seed) {
+  const char* dir = std::getenv("BTCFAST_FUZZ_REPORT_DIR");
+  std::string base = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : std::string{};
+  return base + "fuzz_scenario_repro_" + std::to_string(seed) + ".txt";
+}
+
+// ---------------------------------------------------------------------
+// Batch fuzzing: many sampled seeds, every invariant checked after every
+// network event, shrink + repro on failure.
+// ---------------------------------------------------------------------
+
+TEST(ScenarioFuzz, BatchSeeds) {
+  const std::uint64_t count = env_u64("BTCFAST_SCENARIO_SEEDS", 100);
+  const std::uint64_t base = env_u64("BTCFAST_SCENARIO_BASE", 1);
+
+  std::size_t accepted = 0;
+  std::size_t settled = 0;
+  std::size_t disputes = 0;
+  std::size_t merchant_wins = 0;
+  std::size_t customer_wins = 0;
+  std::size_t releases = 0;
+  std::size_t beyond_bound = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t checks = 0;
+
+  for (std::uint64_t s = base; s < base + count; ++s) {
+    const ScenarioConfig config = sample_scenario(s);
+    const ScenarioOutcome outcome = run_scenario(config);
+    if (outcome.violation) {
+      // Build the full triaged report (with shrinking) and dump it.
+      const auto report = fuzz_one_seed(s);
+      ASSERT_TRUE(report.has_value());  // same seed, same violation
+      const std::string text = format_report(*report);
+      write_report(*report, report_path(s));
+      ADD_FAILURE() << text;
+      continue;
+    }
+    accepted += outcome.payments_accepted;
+    settled += outcome.settled;
+    disputes += outcome.disputes_opened;
+    merchant_wins += outcome.judged_for_merchant;
+    customer_wins += outcome.judged_for_customer;
+    releases += outcome.attack_released ? 1 : 0;
+    beyond_bound += outcome.beyond_security_bound ? 1 : 0;
+    drops += outcome.net_drops;
+    checks += outcome.invariant_checks;
+  }
+
+  std::cout << "[scenario-fuzz] seeds=" << count << " accepted=" << accepted
+            << " settled=" << settled << " disputes=" << disputes
+            << " merchant_wins=" << merchant_wins << " customer_wins=" << customer_wins
+            << " attacks_released=" << releases << " beyond_bound=" << beyond_bound
+            << " drops=" << drops << " invariant_checks=" << checks << "\n";
+
+  // The sampled space must actually exercise the protocol, not just
+  // spin an idle simulator.
+  EXPECT_GT(accepted, count / 2) << "fuzzer barely accepts payments";
+  EXPECT_GT(settled + merchant_wins + customer_wins, 0u);
+  EXPECT_GT(checks, count * 10) << "invariants barely evaluated";
+}
+
+// Same seed, same run: every observable counter must match. This is the
+// property the one-line repro depends on.
+TEST(ScenarioFuzz, ReplayIsDeterministic) {
+  const std::uint64_t seed = env_u64("BTCFAST_SCENARIO_BASE", 1) + 7;
+  const ScenarioConfig a = sample_scenario(seed);
+  const ScenarioConfig b = sample_scenario(seed);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.summary(), b.summary());
+
+  const ScenarioOutcome r1 = run_scenario(a);
+  const ScenarioOutcome r2 = run_scenario(b);
+  EXPECT_EQ(r1.payments_accepted, r2.payments_accepted);
+  EXPECT_EQ(r1.settled, r2.settled);
+  EXPECT_EQ(r1.disputes_opened, r2.disputes_opened);
+  EXPECT_EQ(r1.judged_for_merchant, r2.judged_for_merchant);
+  EXPECT_EQ(r1.judged_for_customer, r2.judged_for_customer);
+  EXPECT_EQ(r1.net_drops, r2.net_drops);
+  EXPECT_EQ(r1.net_duplicates, r2.net_duplicates);
+  EXPECT_EQ(r1.attacker_secret_blocks, r2.attacker_secret_blocks);
+  EXPECT_EQ(r1.invariant_checks, r2.invariant_checks);
+  EXPECT_EQ(r1.violation.has_value(), r2.violation.has_value());
+}
+
+// ---------------------------------------------------------------------
+// Mutation testing: negate one checker and the harness must (a) flag a
+// healthy run and (b) reproduce that flag from the printed seed. This
+// proves the checkers are live, not vacuously green.
+// ---------------------------------------------------------------------
+
+TEST(ScenarioFuzz, MutatedCheckerReproducesFromPrintedSeed) {
+  const char* kMutants[] = {"value-conservation", "escrow-accounting", "exposure-bounded",
+                            "no-double-release", "dispute-resolved"};
+  const std::uint64_t seed = 3;
+  for (const char* mutant : kMutants) {
+    SCOPED_TRACE(mutant);
+    const auto report = fuzz_one_seed(seed, mutant);
+    ASSERT_TRUE(report.has_value()) << "flipped checker did not fire";
+    EXPECT_EQ(report->violation.invariant, mutant);
+    // Parse the seed back out of the printed repro line and replay it.
+    const std::string& line = report->repro_line;
+    const auto pos = line.find("--replay ");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::uint64_t printed = std::strtoull(line.c_str() + pos + 9, nullptr, 10);
+    EXPECT_EQ(printed, seed);
+
+    RunOptions options;
+    options.mutate_invariant = mutant;
+    const ScenarioOutcome replayed = run_scenario(sample_scenario(printed), options);
+    ASSERT_TRUE(replayed.violation.has_value());
+    EXPECT_EQ(replayed.violation->invariant, report->violation.invariant);
+    EXPECT_EQ(replayed.violation->at, report->violation.at);
+    EXPECT_EQ(replayed.violation->check_index, report->violation.check_index);
+    EXPECT_EQ(replayed.violation->detail, report->violation.detail);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Directed coverage: deterministic configs guaranteeing each acceptance
+// scenario class is exercised regardless of what the sampler draws.
+// ---------------------------------------------------------------------
+
+core::DeploymentConfig fast_params_config(std::uint64_t seed) {
+  core::DeploymentConfig d;
+  d.seed = seed;
+  d.params.pow_limit = crypto::U256::one() << 250;
+  d.params.genesis_bits = btc::target_to_bits(d.params.pow_limit);
+  d.required_depth = 2;
+  d.settle_confirmations = 2;
+  d.dispute_after_ms = 15 * 60 * 1000;
+  d.evidence_window_ms = 30 * 60 * 1000;
+  d.poll_interval_ms = 30'000;
+  d.psc_block_interval_ms = 10'000;
+  d.funded_coins = 2;
+  return d;
+}
+
+ScenarioEvent pay_event(SimTime at, btc::Amount amount) {
+  ScenarioEvent ev;
+  ev.kind = ScenarioEvent::Kind::kFastPay;
+  ev.at = at;
+  ev.amount = amount;
+  return ev;
+}
+
+TEST(ScenarioDirected, SuccessfulFastPay) {
+  ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.deployment = fast_params_config(11);
+  // Leave comfortably more than settle_confirmations' worth of expected
+  // block time before the dispute timer, so the happy path stays clean.
+  cfg.deployment.dispute_after_ms = 60 * 60 * 1000;
+  cfg.events.push_back(pay_event(2 * kMinute, 500'000));
+  cfg.horizon = 2 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  EXPECT_EQ(out.settled, 1u);
+  EXPECT_EQ(out.disputes_opened, 0u);
+}
+
+TEST(ScenarioDirected, DoubleSpendLeadsToDisputeWin) {
+  ScenarioConfig cfg;
+  cfg.seed = 12;
+  cfg.deployment = fast_params_config(12);
+  // Impatient attacker: releases the conflicting branch as soon as it is
+  // ahead, orphaning the unconfirmed payment; the merchant's dispute
+  // then wins compensation because the customer cannot prove inclusion.
+  cfg.deployment.attacker_share = 0.30;
+  cfg.deployment.attacker_release_confirmations = 0;
+  cfg.deployment.attacker_give_up_deficit = 8;
+  cfg.deployment.settle_confirmations = 4;
+  cfg.events.push_back(pay_event(2 * kMinute, 500'000));
+  cfg.horizon = 3 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  if (out.attack_released && out.settled == 0) {
+    // The race actually displaced the payment: the dispute path must
+    // have made the merchant whole.
+    EXPECT_GE(out.disputes_opened, 1u);
+    EXPECT_GE(out.judged_for_merchant, 1u);
+  } else {
+    // The attack fizzled (gave up / payment confirmed anyway): the
+    // payment settles normally.
+    EXPECT_GE(out.settled + out.judged_for_merchant, 1u);
+  }
+}
+
+TEST(ScenarioDirected, ReorgPastJudgmentDepth) {
+  ScenarioConfig cfg;
+  cfg.seed = 13;
+  cfg.deployment = fast_params_config(13);
+  // Majority attacker that deliberately waits until the payment is past
+  // the judgment depth before releasing: the reorg defeats the k-conf
+  // bound, which the harness must classify as beyond the security bound
+  // rather than as a protocol violation.
+  cfg.deployment.attacker_share = 0.70;
+  cfg.deployment.attacker_release_confirmations = 3;  // > required_depth=2
+  cfg.deployment.attacker_give_up_deficit = 40;
+  cfg.deployment.settle_confirmations = 2;
+  cfg.events.push_back(pay_event(2 * kMinute, 500'000));
+  cfg.horizon = 4 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  EXPECT_TRUE(out.attack_released);
+  EXPECT_GT(out.attacker_secret_blocks, cfg.deployment.required_depth);
+  EXPECT_TRUE(out.beyond_security_bound);
+  EXPECT_GE(out.merchant_max_reorg, cfg.deployment.required_depth);
+}
+
+TEST(ScenarioDirected, WatchtowerCrashRestartDuringDispute) {
+  ScenarioConfig cfg;
+  cfg.seed = 14;
+  cfg.deployment = fast_params_config(14);
+  // Offline customer + impatient merchant: the dispute opens while the
+  // payment is still confirming (a wrongful dispute). The watchtower is
+  // the only defender — and it crashes before the dispute and restarts
+  // mid-window, so the defense must survive a crash-restart cycle.
+  cfg.deployment.customer_online = false;
+  cfg.deployment.watchtower_enabled = true;
+  cfg.deployment.settle_confirmations = 12;
+  cfg.deployment.dispute_after_ms = 10 * 60 * 1000;
+  cfg.deployment.evidence_window_ms = 45 * 60 * 1000;
+  cfg.events.push_back(pay_event(1 * kMinute, 500'000));
+  cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerCrash, 8 * kMinute});
+  cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerRestart, 30 * kMinute});
+  cfg.horizon = 4 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  EXPECT_GE(out.disputes_opened, 1u);
+  EXPECT_TRUE(out.watchtower_cycled);
+  // The restarted tower proves inclusion: judgment goes to the customer.
+  EXPECT_GE(out.judged_for_customer, 1u);
+  EXPECT_EQ(out.judged_for_merchant, 0u);
+}
+
+TEST(ScenarioDirected, MessageLossRecovery) {
+  ScenarioConfig cfg;
+  cfg.seed = 15;
+  cfg.deployment = fast_params_config(15);
+  cfg.deployment.net.loss_rate = 0.25;
+  cfg.deployment.net.dup_rate = 0.10;
+  cfg.events.push_back(pay_event(2 * kMinute, 500'000));
+  cfg.horizon = 3 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  EXPECT_GT(out.net_drops, 0u);
+  EXPECT_GT(out.net_duplicates, 0u);
+  // Anti-entropy sync must converge the views: the payment resolves
+  // (settled, or compensated if loss delayed it past the dispute timer).
+  EXPECT_GE(out.settled + out.judged_for_merchant + out.judged_for_customer, 1u);
+}
+
+}  // namespace
+}  // namespace btcfast::testkit
+
+namespace {
+
+int run_replay(std::uint64_t seed, const std::string& mutate) {
+  using namespace btcfast::testkit;
+  const ScenarioConfig config = sample_scenario(seed);
+  std::cout << "replaying " << config.summary() << "\n";
+  const auto report = fuzz_one_seed(seed, mutate);
+  if (report.has_value()) {
+    std::cout << format_report(*report);
+    return 1;
+  }
+  const ScenarioOutcome out = run_scenario(config);
+  std::cout << "seed " << seed << " passed: accepted=" << out.payments_accepted
+            << " settled=" << out.settled << " disputes=" << out.disputes_opened
+            << " merchant_wins=" << out.judged_for_merchant
+            << " customer_wins=" << out.judged_for_customer
+            << " beyond_bound=" << out.beyond_security_bound
+            << " checks=" << out.invariant_checks << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t replay_seed = 0;
+  bool replay = false;
+  std::string mutate;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay = true;
+      replay_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      mutate = argv[++i];
+    }
+  }
+  if (replay) return run_replay(replay_seed, mutate);
+
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

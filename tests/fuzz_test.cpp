@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "btc/chain.h"
 #include "btc/pow.h"
@@ -19,13 +20,25 @@
 namespace btcfast {
 namespace {
 
+// Per-seed iteration count for the decoder corpus. The default keeps the
+// tier-1 run fast; `scripts/tier1.sh --fuzz-smoke` raises it via
+// BTCFAST_FUZZ_ITERS (2000 x 5 seeds = a 10k-iteration corpus per
+// decoder) under the ASan/UBSan builds.
+int fuzz_iters(int fallback) {
+  static const int scaled = [] {
+    const char* v = std::getenv("BTCFAST_FUZZ_ITERS");
+    return (v != nullptr && *v != '\0') ? std::atoi(v) : 0;
+  }();
+  return scaled > 0 ? scaled : fallback;
+}
+
 // ---------------------------------------------------------------- parsers
 
 class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
   Rng rng(GetParam());
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < fuzz_iters(200); ++i) {
     const std::size_t len = rng.below(512);
     Bytes junk(len);
     rng.fill({junk.data(), junk.size()});
@@ -44,7 +57,7 @@ TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
 
 TEST_P(ParserFuzz, SuccessfulParsesRoundTrip) {
   Rng rng(GetParam() * 31 + 5);
-  for (int i = 0; i < 100; ++i) {
+  for (int i = 0; i < fuzz_iters(100); ++i) {
     const std::size_t len = rng.below(256);
     Bytes junk(len);
     rng.fill({junk.data(), junk.size()});
@@ -78,7 +91,7 @@ TEST_P(ParserFuzz, BitFlippedValidMessagesHandled) {
   auto pkg = wallet.create_fastpay(inv, coin, 2 * btc::kCoin, 0, 1000000);
   const Bytes valid = pkg.serialize();
 
-  for (int i = 0; i < 100; ++i) {
+  for (int i = 0; i < fuzz_iters(100); ++i) {
     Bytes mutated = valid;
     const std::size_t pos = rng.below(mutated.size());
     mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));

@@ -524,6 +524,81 @@ TEST_F(JudgerFixture, WithdrawBlockedDuringDispute) {
   EXPECT_NE(r.revert_reason.find("escrow-not-active"), std::string::npos);
 }
 
+TEST_F(JudgerFixture, EvidenceExactlyAtDeadlineCounts) {
+  // The window is inclusive: evidence landing at the exact deadline
+  // millisecond must count for BOTH sides, and judgment stays blocked
+  // until strictly after it.
+  ASSERT_TRUE(deposit().success);
+  btc::Transaction payment;
+  const auto binding = make_binding(40'000, 10 * kHour, &payment);
+  ASSERT_TRUE(open_dispute(binding, kHour).success);
+  const std::uint64_t deadline = view()->dispute_deadline_ms;
+  EXPECT_EQ(deadline, kHour + cfg.evidence_window_ms);
+
+  mine_block_with({payment});
+  for (std::uint32_t i = 1; i < cfg.required_depth; ++i) mine_block_with({});
+
+  const auto headers = *headers_since(btc_chain, cfg.initial_checkpoint);
+  ASSERT_TRUE(submit_merchant_evidence(headers, deadline).success);
+  const auto ev = build_inclusion_evidence(btc_chain, cfg.initial_checkpoint, payment.txid(),
+                                           cfg.required_depth);
+  ASSERT_TRUE(ev.has_value());
+  ASSERT_TRUE(submit_customer_evidence(*ev, deadline).success);
+  EXPECT_TRUE(view()->customer_proved);
+
+  // One millisecond later the window is closed for evidence...
+  const auto late = submit_merchant_evidence(headers, deadline + 1);
+  EXPECT_FALSE(late.success);
+  EXPECT_NE(late.revert_reason.find("evidence-window-closed"), std::string::npos);
+  // ...while judgment flips the other way across the same boundary.
+  EXPECT_EQ(judge_now(deadline).revert_reason, "evidence-window-open");
+  ASSERT_TRUE(judge_now(deadline + 1).success);
+  EXPECT_EQ(view()->state, EscrowState::kActive);
+}
+
+TEST_F(JudgerFixture, DuplicateOpenDisputeRejected) {
+  // One dispute at a time: a second openDispute while the escrow is
+  // DISPUTED reverts (same binding or a fresh one), and the failed
+  // call's bond is rolled back with the revert.
+  ASSERT_TRUE(deposit().success);
+  const auto binding = make_binding(40'000, 10 * kHour);
+  ASSERT_TRUE(open_dispute(binding, kHour).success);
+
+  const psc::Value merchant_before = psc.state().balance(merchant_psc);
+  const auto dup = open_dispute(binding, kHour + 1000);
+  EXPECT_FALSE(dup.success);
+  EXPECT_NE(dup.revert_reason.find("escrow-not-active"), std::string::npos);
+  EXPECT_EQ(psc.state().balance(merchant_psc), merchant_before - dup.gas_used);
+
+  const auto other_binding = make_binding(20'000, 10 * kHour);
+  const auto second = open_dispute(other_binding, kHour + 2000);
+  EXPECT_FALSE(second.success);
+  EXPECT_NE(second.revert_reason.find("escrow-not-active"), std::string::npos);
+  // Still exactly one dispute recorded against the original binding.
+  const auto v = view();
+  EXPECT_EQ(v->state, EscrowState::kDisputed);
+  EXPECT_EQ(v->dispute_compensation, 40'000u);
+}
+
+TEST_F(JudgerFixture, DisputeAfterWithdrawalRejected) {
+  // A binding can outlive the escrow: once the customer withdraws, a
+  // later openDispute must revert and cost the merchant nothing but gas.
+  // (The merchant fast path refuses such bindings up front by requiring
+  // unlock_time >= binding expiry; this is the contract-level backstop.)
+  ASSERT_TRUE(deposit(100'000, 0, /*unlock_delay=*/1000).success);
+  const auto binding = make_binding(40'000, 10 * kHour);
+  ASSERT_TRUE(psc.execute_now(wallet->make_withdraw_tx(judger), 5000).success);
+  EXPECT_EQ(view()->state, EscrowState::kEmpty);
+
+  const psc::Value merchant_before = psc.state().balance(merchant_psc);
+  const auto r = open_dispute(binding, 6000);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.revert_reason.find("escrow-not-active"), std::string::npos);
+  EXPECT_EQ(psc.state().balance(merchant_psc), merchant_before - r.gas_used);
+  EXPECT_EQ(view()->state, EscrowState::kEmpty);
+  EXPECT_EQ(view()->collateral, 0u);
+}
+
 TEST_F(JudgerFixture, GasCostsAreSane) {
   const auto r = deposit();
   ASSERT_TRUE(r.success);
