@@ -1,0 +1,188 @@
+// E11 — Gateway serving throughput: N customer threads hammer the
+// fast-pay gateway (wire decode -> reentrant evaluate -> sharded
+// reservation ledger) against M escrows, measuring sustained accepts/s
+// and tail latency, plus the admission-control shed behaviour under
+// deliberate overload. Emits BENCH_e11_gateway.json.
+//
+// The simulator is quiescent while customer threads run: the concurrent
+// stages only read node state, and the ledger is the single writer —
+// exactly the serving model documented in DESIGN.md §10.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+#include "common/thread_pool.h"
+#include "crypto/sigcache.h"
+#include "gateway/pipeline.h"
+#include "gateway/wire.h"
+
+using namespace btcfast;
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  // BTCFAST_GATEWAY_SMOKE=1 shrinks the run for the tier-1 smoke gate.
+  const bool smoke = std::getenv("BTCFAST_GATEWAY_SMOKE") != nullptr;
+  const std::size_t kEscrows = smoke ? 4 : 8;
+  const std::size_t kPayments = smoke ? 64 : 256;
+  const std::vector<std::size_t> thread_counts = smoke ? std::vector<std::size_t>{1, 4}
+                                                       : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t per_escrow = kPayments / kEscrows;
+
+  std::printf("# E11 — gateway serving throughput (%zu payments x %zu escrows)\n\n", kPayments,
+              kEscrows);
+
+  core::DeploymentConfig cfg;
+  cfg.seed = 11;
+  cfg.funded_coins = static_cast<btc::Amount>(kPayments);
+  // Collateral sized so one full run exactly fits each escrow.
+  cfg.collateral = cfg.compensation * static_cast<psc::Value>(per_escrow + 1);
+  // Low difficulty: funding hundreds of coins must cost microseconds of
+  // PoW per block, not milliseconds (same trick as the scenario fuzzer).
+  cfg.params.pow_limit = crypto::U256::one() << 250;
+  cfg.params.genesis_bits = btc::target_to_bits(cfg.params.pow_limit);
+  core::Deployment dep(cfg);
+
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto& judger = dep.judger_address();
+
+  // Escrow 1 is the deployment's own; stand up escrows 2..M for the same
+  // customer identity and fund them directly on the PSC chain.
+  std::vector<std::unique_ptr<core::CustomerWallet>> wallets;
+  dep.psc().mint(dep.customer_psc_address(),
+                 cfg.collateral * static_cast<psc::Value>(kEscrows));
+  for (std::size_t e = 2; e <= kEscrows; ++e) {
+    auto w = std::make_unique<core::CustomerWallet>(dep.customer().btc_identity(),
+                                                    dep.customer_psc_address(),
+                                                    static_cast<core::EscrowId>(e));
+    const auto receipt =
+        dep.psc().execute_now(w->make_deposit_tx(judger, cfg.collateral,
+                                                 cfg.escrow_unlock_delay_ms),
+                              now);
+    if (!receipt.success) {
+      std::fprintf(stderr, "escrow %zu deposit failed: %s\n", e, receipt.revert_reason.c_str());
+      return 1;
+    }
+    wallets.push_back(std::move(w));
+  }
+
+  // Pre-build one wire frame per payment, round-robin across escrows.
+  // Distinct coins and nonces: every binding/input signature is unique,
+  // so a cold run takes real verification misses.
+  const auto coins =
+      sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
+  if (coins.size() < kPayments) {
+    std::fprintf(stderr, "only %zu spendable coins (need %zu)\n", coins.size(), kPayments);
+    return 1;
+  }
+  std::vector<core::Invoice> invoices;
+  std::vector<Bytes> frames;
+  for (std::size_t i = 0; i < kPayments; ++i) {
+    core::Invoice inv =
+        dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now, 60ULL * 60 * 1000);
+    const std::size_t e = i % kEscrows;
+    core::FastPayPackage pkg =
+        (e == 0 ? dep.customer() : *wallets[e - 1])
+            .create_fastpay(inv, coins[i].first, coins[i].second.out.value, now,
+                            cfg.binding_ttl_ms);
+    gateway::SubmitFastPayRequest req;
+    req.invoice_id = inv.invoice_id;
+    req.package = std::move(pkg);
+    frames.push_back(gateway::make_frame(gateway::MsgType::kSubmitFastPay,
+                                         /*request_id=*/i + 1, req.serialize()));
+    invoices.push_back(std::move(inv));
+  }
+
+  auto run = [&](std::size_t threads, std::size_t max_inflight, double* out_wall_us) {
+    gateway::GatewayConfig gwcfg;
+    gwcfg.max_inflight = max_inflight;
+    auto gw = std::make_unique<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(),
+                                                 gwcfg);
+    for (const auto& inv : invoices) gw->register_invoice(inv);
+    for (std::size_t e = 1; e <= kEscrows; ++e) {
+      gw->track_escrow(static_cast<core::EscrowId>(e));
+    }
+    // Cold signature cache per run so thread counts are comparable.
+    crypto::SigCache::global().clear();
+
+    std::vector<std::thread> customers;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < threads; ++t) {
+      customers.emplace_back([&, t]() {
+        // Interleaved slices: every thread touches every escrow, which is
+        // the worst case for ledger stripe contention.
+        for (std::size_t i = t; i < frames.size(); i += threads) {
+          (void)gw->serve(frames[i], now);
+        }
+      });
+    }
+    for (auto& c : customers) c.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    *out_wall_us = elapsed_us(t0, t1);
+    return gw;
+  };
+
+  bench::Table throughput({"threads", "accepts", "rejects", "sheds", "accepts/s", "p50 (us)",
+                           "p99 (us)", "shed rate"});
+  bool coverage_ok = true;
+  for (const std::size_t threads : thread_counts) {
+    double wall_us = 0;
+    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us);
+    const auto& st = gw->stats();
+    const double accepts_s = st.accepts() / (wall_us / 1e6);
+    const double shed_rate = static_cast<double>(st.sheds()) / static_cast<double>(kPayments);
+    throughput.row({bench::fmt_u(threads), bench::fmt_u(st.accepts()), bench::fmt_u(st.rejects()),
+                    bench::fmt_u(st.sheds()), bench::fmt(accepts_s, 0),
+                    bench::fmt(st.latency().percentile_us(50), 1),
+                    bench::fmt(st.latency().percentile_us(99), 1), bench::fmt(shed_rate, 3)});
+    // Exactly per_escrow payments fit each escrow; the ledger must have
+    // granted all of them and not one more.
+    for (std::size_t e = 1; e <= kEscrows; ++e) {
+      const auto snap = gw->ledger().snapshot(static_cast<core::EscrowId>(e));
+      if (!snap || snap->view.reserved + snap->local_reserved > snap->view.collateral) {
+        coverage_ok = false;
+      }
+    }
+    if (st.accepts() != kPayments) coverage_ok = false;
+  }
+  throughput.print();
+
+  // Overload: more customer threads than admission slots — the surplus
+  // must be shed with RetryAfter, not queued.
+  const std::size_t overload_threads = 8;
+  const std::size_t overload_inflight = 2;
+  double overload_wall_us = 0;
+  const auto overloaded = run(overload_threads, overload_inflight, &overload_wall_us);
+  const double overload_shed_rate =
+      static_cast<double>(overloaded->stats().sheds()) / static_cast<double>(kPayments);
+  std::printf("\n# overload: threads=%zu max_inflight=%zu sheds=%llu (rate %.3f)\n",
+              overload_threads, overload_inflight,
+              static_cast<unsigned long long>(overloaded->stats().sheds()), overload_shed_rate);
+  std::printf("# coverage invariant (no escrow over-reserved, all accepted): %s\n",
+              coverage_ok ? "yes" : "NO");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e11_gateway");
+  doc.set("escrows", static_cast<std::uint64_t>(kEscrows));
+  doc.set("payments", static_cast<std::uint64_t>(kPayments));
+  doc.set("coverage_ok", coverage_ok ? "yes" : "no");
+  doc.set("overload_threads", static_cast<std::uint64_t>(overload_threads));
+  doc.set("overload_max_inflight", static_cast<std::uint64_t>(overload_inflight));
+  doc.set("overload_sheds", overloaded->stats().sheds());
+  doc.set("overload_shed_rate", overload_shed_rate);
+  doc.add_table("throughput", throughput);
+  doc.write("BENCH_e11_gateway.json");
+  return coverage_ok ? 0 : 1;
+}

@@ -113,11 +113,15 @@ class JsonDoc {
 
   void add_table(const std::string& name, const Table& t) { tables_.emplace_back(name, t); }
 
-  /// Write the document; returns false (and prints a warning) on I/O error.
+  /// Write the document atomically (temp file + rename), so a crashed or
+  /// interrupted bench never leaves a truncated BENCH_*.json behind and
+  /// concurrent readers only ever observe complete documents. Returns
+  /// false (and prints a warning) on I/O error.
   bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      std::fprintf(stderr, "warning: could not write %s\n", tmp.c_str());
       return false;
     }
     std::fprintf(f, "{\n");
@@ -144,7 +148,11 @@ class JsonDoc {
       std::fprintf(f, "  ]");
     }
     std::fprintf(f, "\n}\n");
-    std::fclose(f);
+    if (std::fclose(f) != 0 || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "warning: could not finalize %s\n", path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
     std::printf("# wrote %s\n", path.c_str());
     return true;
   }

@@ -2,7 +2,7 @@
 # Tier-1 gate: configure, build, and run the full test suite.
 #
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
-#                         [--fuzz-smoke] [--scenario-fuzz [N]]
+#                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -27,6 +27,11 @@
 #                      invariant violation the harness prints a one-line
 #                      repro ("fuzz_scenario_test --replay <seed>") and a
 #                      minimized event trace, and this script fails.
+#   --gateway-smoke    run the gateway serving bench in its short
+#                      4-thread configuration (BTCFAST_GATEWAY_SMOKE) in a
+#                      scratch cwd, then build the asan and ubsan trees and
+#                      run the gateway tests plus the wire-decoder fuzz
+#                      corpus (BTCFAST_FUZZ_ITERS=2000) there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +39,7 @@ preset="default"
 bench_smoke=0
 kernel_sanitize=0
 fuzz_smoke=0
+gateway_smoke=0
 scenario_fuzz=0
 scenario_seeds=25
 expect_seed_count=0
@@ -49,6 +55,7 @@ for arg in "$@"; do
     --bench-smoke) bench_smoke=1 ;;
     --kernel-sanitize) kernel_sanitize=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
+    --gateway-smoke) gateway_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -116,6 +123,29 @@ if [[ "$fuzz_smoke" == 1 ]]; then
     BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test"
   done
   echo "== fuzz smoke: clean =="
+fi
+
+if [[ "$gateway_smoke" == 1 ]]; then
+  # The serving-layer gate: a short run of the concurrent gateway bench
+  # (4 customer threads max, shrunk payment volume), then the gateway unit
+  # + pipeline tests and the wire-decoder fuzz corpus under both memory
+  # sanitizers. Run from a scratch cwd for the same reason as the bench
+  # smoke: keep the curated BENCH_e11_gateway.json artifact intact.
+  echo "== gateway smoke bench (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_e11_gateway
+  smoke_dir="$bindir/gateway-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_GATEWAY_SMOKE=1 "$repo_root/$bindir/bench/bench_e11_gateway")
+  for san in asan ubsan; do
+    echo "== gateway tests + wire fuzz under $san =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target gateway_test fuzz_test
+    "build-$san/tests/gateway_test"
+    BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test" \
+      --gtest_filter='*ParserFuzz*'
+  done
+  echo "== gateway smoke: clean =="
 fi
 
 if [[ "$scenario_fuzz" == 1 ]]; then

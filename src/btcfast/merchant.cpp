@@ -22,7 +22,7 @@ Invoice MerchantService::make_invoice(btc::Amount amount_sat, psc::Value compens
   return inv;
 }
 
-std::optional<EscrowView> MerchantService::fetch_escrow(EscrowId id) const {
+std::optional<EscrowView> MerchantService::escrow_view(EscrowId id) const {
   psc::PscTx q;
   q.from = config_.self_psc;
   q.to = config_.judger;
@@ -43,70 +43,115 @@ psc::Value MerchantService::outstanding_exposure(EscrowId escrow) const {
   return total;
 }
 
-AcceptDecision MerchantService::evaluate_fastpay(const FastPayPackage& pkg,
-                                                 const Invoice& invoice, std::uint64_t now_ms) {
-  auto reject = [](std::string why) { return AcceptDecision{false, std::move(why)}; };
+AcceptDecision MerchantService::evaluate_against(const FastPayPackage& pkg,
+                                                 const Invoice& invoice, std::uint64_t now_ms,
+                                                 const std::optional<EscrowView>& escrow,
+                                                 psc::Value outstanding) const {
+  auto reject = [](RejectReason code, std::string why) {
+    return AcceptDecision{false, std::move(why), code};
+  };
   const PaymentBinding& b = pkg.binding.binding;
 
   // 1. Invoice conformance.
-  if (now_ms > invoice.expires_at_ms) return reject("invoice expired");
-  if (b.merchant != config_.self_psc) return reject("binding names another merchant");
-  if (b.compensation < invoice.compensation) return reject("compensation below invoice");
-  if (b.expiry_ms < now_ms + config_.dispute_after_ms + config_.binding_safety_margin_ms) {
-    return reject("binding expires before a dispute could resolve");
+  if (now_ms > invoice.expires_at_ms) {
+    return reject(RejectReason::kInvoiceExpired, "invoice expired");
   }
-  if (b.btc_txid != pkg.payment_tx.txid()) return reject("binding txid mismatch");
+  if (b.merchant != config_.self_psc) {
+    return reject(RejectReason::kWrongMerchant, "binding names another merchant");
+  }
+  if (b.compensation < invoice.compensation) {
+    return reject(RejectReason::kCompensationBelowInvoice, "compensation below invoice");
+  }
+  if (b.expiry_ms < now_ms + config_.dispute_after_ms + config_.binding_safety_margin_ms) {
+    return reject(RejectReason::kBindingExpiresTooSoon,
+                  "binding expires before a dispute could resolve");
+  }
+  if (b.btc_txid != pkg.payment_tx.txid()) {
+    return reject(RejectReason::kTxidMismatch, "binding txid mismatch");
+  }
 
   // 2. The BTC transaction pays the invoice.
   btc::Amount paid = 0;
   for (const auto& out : pkg.payment_tx.outputs) {
     if (out.script_pubkey == invoice.pay_to) paid += out.value;
   }
-  if (paid < invoice.amount_sat) return reject("payment output below invoice amount");
+  if (paid < invoice.amount_sat) {
+    return reject(RejectReason::kUnderpayment, "payment output below invoice amount");
+  }
 
-  // 3. Escrow health (cached PSC view — no on-chain write).
-  const auto escrow = fetch_escrow(b.escrow_id);
-  if (!escrow) return reject("escrow lookup failed");
-  if (escrow->state != EscrowState::kActive) return reject("escrow not active");
+  // 3. Escrow health (caller-supplied view — no on-chain write).
+  if (!escrow) return reject(RejectReason::kEscrowLookupFailed, "escrow lookup failed");
+  if (escrow->state != EscrowState::kActive) {
+    return reject(RejectReason::kEscrowNotActive, "escrow not active");
+  }
   // Coverage: collateral net of on-chain reservations (other merchants'
   // locked exposure) and of our own unsettled optimistic acceptances.
   const psc::Value available =
       escrow->collateral > escrow->reserved ? escrow->collateral - escrow->reserved : 0;
-  if (available < b.compensation + outstanding_exposure(b.escrow_id)) {
-    return reject("collateral would not cover exposure");
+  if (available < b.compensation + outstanding) {
+    return reject(RejectReason::kInsufficientCollateral, "collateral would not cover exposure");
+  }
+  if (config_.per_escrow_exposure_cap > 0 &&
+      outstanding + b.compensation > config_.per_escrow_exposure_cap) {
+    return reject(RejectReason::kExposureCap, "per-escrow exposure cap exceeded");
   }
   // Binding must outlive neither the escrow unlock (customer could
   // withdraw before we can dispute).
-  if (escrow->unlock_time_ms < b.expiry_ms) return reject("escrow unlocks before binding expires");
+  if (escrow->unlock_time_ms < b.expiry_ms) {
+    return reject(RejectReason::kEscrowUnlocksTooSoon, "escrow unlocks before binding expires");
+  }
 
   // 4. Binding signature under the escrow's registered customer key.
   const auto customer_key =
       crypto::PublicKey::parse({escrow->customer_btc_key.data(), escrow->customer_btc_key.size()});
-  if (!customer_key) return reject("escrow holds an invalid customer key");
-  if (!pkg.binding.verify(*customer_key)) return reject("binding signature invalid");
+  if (!customer_key) {
+    return reject(RejectReason::kBadCustomerKey, "escrow holds an invalid customer key");
+  }
+  if (!pkg.binding.verify(*customer_key)) {
+    return reject(RejectReason::kBindingSigInvalid, "binding signature invalid");
+  }
 
   // 5. BTC transaction is currently spendable and unconflicted in our view.
   if (pkg.payment_tx.inputs.empty() || pkg.payment_tx.outputs.empty()) {
-    return reject("malformed payment tx");
+    return reject(RejectReason::kMalformedTx, "malformed payment tx");
   }
   btc::Amount in_value = 0;
   for (std::size_t i = 0; i < pkg.payment_tx.inputs.size(); ++i) {
     const auto& prevout = pkg.payment_tx.inputs[i].prevout;
     const auto coin = btc_node_.chain().utxo().get(prevout);
-    if (!coin) return reject("input missing or already spent: " + prevout.to_string());
+    if (!coin) {
+      return reject(RejectReason::kInputMissing,
+                    "input missing or already spent: " + prevout.to_string());
+    }
     if (auto conflict = btc_node_.mempool().spender_of(prevout)) {
       if (*conflict != b.btc_txid) {
-        return reject("input double-spent in mempool by " + conflict->to_string());
+        return reject(RejectReason::kInputConflict,
+                      "input double-spent in mempool by " + conflict->to_string());
       }
     }
     if (!btc::verify_input(pkg.payment_tx, i, coin->out.script_pubkey)) {
-      return reject("payment input signature invalid");
+      return reject(RejectReason::kInputSigInvalid, "payment input signature invalid");
     }
     in_value += coin->out.value;
   }
-  if (in_value < pkg.payment_tx.total_output()) return reject("payment inflates value");
+  if (in_value < pkg.payment_tx.total_output()) {
+    return reject(RejectReason::kValueInflation, "payment inflates value");
+  }
 
-  return AcceptDecision{true, {}};
+  return AcceptDecision{true, {}, RejectReason::kNone};
+}
+
+AcceptDecision MerchantService::evaluate_fastpay(const FastPayPackage& pkg,
+                                                 const Invoice& invoice, std::uint64_t now_ms) {
+  // Admission: a bounded book rejects loudly instead of growing silently.
+  if (config_.max_pending_payments > 0 &&
+      active_pending_count() >= config_.max_pending_payments) {
+    return AcceptDecision{false, "merchant pending-payment limit reached",
+                          RejectReason::kPendingLimit};
+  }
+  const EscrowId escrow_id = pkg.binding.binding.escrow_id;
+  return evaluate_against(pkg, invoice, now_ms, escrow_view(escrow_id),
+                          outstanding_exposure(escrow_id));
 }
 
 std::vector<AcceptDecision> MerchantService::evaluate_fastpay_batch(
@@ -118,7 +163,7 @@ std::vector<AcceptDecision> MerchantService::evaluate_fastpay_batch(
   std::vector<crypto::SigCheckJob> jobs;
   for (const auto& pkg : pkgs) {
     const PaymentBinding& b = pkg.binding.binding;
-    if (const auto escrow = fetch_escrow(b.escrow_id)) {
+    if (const auto escrow = escrow_view(b.escrow_id)) {
       crypto::SigCheckJob job;
       job.digest = b.signing_digest();
       job.pubkey = escrow->customer_btc_key;
@@ -218,7 +263,7 @@ std::vector<psc::PscTx> MerchantService::poll(std::uint64_t now_ms) {
     }
 
     // Dispute is open (or at least requested): follow its progress.
-    const auto escrow = fetch_escrow(b.escrow_id);
+    const auto escrow = escrow_view(b.escrow_id);
     if (!escrow) continue;
 
     // Retry path: our openDispute never took effect (the escrow only
@@ -286,6 +331,12 @@ std::size_t MerchantService::settled_count() const noexcept {
 std::size_t MerchantService::disputed_count() const noexcept {
   std::size_t n = 0;
   for (const auto& p : pending_) n += p.dispute_opened;
+  return n;
+}
+
+std::size_t MerchantService::active_pending_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : pending_) n += !p.settled && !p.judged;
   return n;
 }
 

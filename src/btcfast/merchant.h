@@ -30,6 +30,15 @@ class MerchantService {
     /// per payment. Off (optimistic mode) reproduces the paper's zero-fee
     /// fast path. See bench_ablation_reserve for the trade-off.
     bool reserve_payments = false;
+    /// Maximum unresolved accepted payments the merchant will carry
+    /// (0 = unbounded). Beyond it the fast path rejects with
+    /// RejectReason::kPendingLimit instead of silently growing the book.
+    std::size_t max_pending_payments = 0;
+    /// Merchant-side cap on total unsettled compensation against any one
+    /// escrow (0 = uncapped). Tighter than collateral coverage: a cautious
+    /// merchant bounds its exposure to a single customer even when the
+    /// escrow could technically cover more (RejectReason::kExposureCap).
+    psc::Value per_escrow_exposure_cap = 0;
   };
 
   /// A payment the merchant accepted and is tracking.
@@ -61,6 +70,17 @@ class MerchantService {
   [[nodiscard]] AcceptDecision evaluate_fastpay(const FastPayPackage& pkg,
                                                 const Invoice& invoice, std::uint64_t now_ms);
 
+  /// The reentrant acceptance core: the full fast-path decision against a
+  /// caller-supplied escrow view and outstanding-exposure figure. Const
+  /// and safe to call concurrently (from gateway worker threads) while
+  /// the simulation is quiescent — it only reads the merchant node's
+  /// chain/UTXO/mempool and the process-global signature cache.
+  /// evaluate_fastpay == pending-limit check + fetch_escrow + this.
+  [[nodiscard]] AcceptDecision evaluate_against(const FastPayPackage& pkg, const Invoice& invoice,
+                                                std::uint64_t now_ms,
+                                                const std::optional<EscrowView>& escrow,
+                                                psc::Value outstanding) const;
+
   /// Batch intake for N independent packages: a parallel phase verifies
   /// every signature (binding + per-input payment sigs) across the global
   /// thread pool, warming the signature cache; decisions are then made by
@@ -89,15 +109,25 @@ class MerchantService {
   [[nodiscard]] std::size_t disputed_count() const noexcept;
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] const sim::Party& btc_identity() const noexcept { return btc_; }
+  /// Read-only node access for callers that pre-stage parallel signature
+  /// checks (the gateway's batch intake mirrors evaluate_fastpay_batch).
+  [[nodiscard]] const sim::Node& btc_node() const noexcept { return btc_node_; }
 
   /// Exposure the merchant already carries against an escrow (sum of
   /// unsettled accepted compensations) — the fast path refuses bindings
   /// that would overrun the collateral.
   [[nodiscard]] psc::Value outstanding_exposure(EscrowId escrow) const;
 
- private:
-  [[nodiscard]] std::optional<EscrowView> fetch_escrow(EscrowId id) const;
+  /// Accepted payments still unresolved (neither settled nor judged) —
+  /// the quantity Config::max_pending_payments bounds.
+  [[nodiscard]] std::size_t active_pending_count() const noexcept;
 
+  /// Current escrow record from the PSC chain (view call, no write).
+  /// Public so the gateway's reconcile loop can refresh its reservation
+  /// ledger from the authoritative contract state.
+  [[nodiscard]] std::optional<EscrowView> escrow_view(EscrowId id) const;
+
+ private:
   sim::Party btc_;
   sim::Node& btc_node_;
   const psc::PscChain& psc_;

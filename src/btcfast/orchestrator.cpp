@@ -205,7 +205,17 @@ FastPayResult Deployment::perform_fastpay(btc::Amount amount_sat) {
   result.message_latency_ms = config_.net.base_latency + config_.net.jitter / 2;
 
   const auto t0 = std::chrono::steady_clock::now();
-  const AcceptDecision decision = merchant_->evaluate_fastpay(pkg, invoice, now);
+  AcceptDecision decision;
+  std::vector<psc::PscTx> actions;
+  if (accept_route_) {
+    // Gateway-routed acceptance: the route decides AND does the merchant
+    // bookkeeping; we only submit the PSC txs it hands back.
+    auto routed = accept_route_(pkg, invoice, now);
+    decision = std::move(routed.first);
+    actions = std::move(routed.second);
+  } else {
+    decision = merchant_->evaluate_fastpay(pkg, invoice, now);
+  }
   const auto t1 = std::chrono::steady_clock::now();
   result.decision_micros =
       std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(t1 - t0).count();
@@ -214,7 +224,10 @@ FastPayResult Deployment::perform_fastpay(btc::Amount amount_sat) {
   result.reject_reason = decision.reason;
   if (!decision.accepted) return result;
 
-  for (auto& tx : merchant_->accept_payment(pkg, invoice, now)) {
+  if (!accept_route_) {
+    actions = merchant_->accept_payment(pkg, invoice, now);
+  }
+  for (auto& tx : actions) {
     const auto id = psc_->submit(tx);
     submitted_txs_.emplace_back(tx.method, id);
   }

@@ -4,6 +4,7 @@
 // Tests, examples and benches all drive scenarios through this.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -152,6 +153,16 @@ class Deployment {
   /// Gas used by a named receipt class (diagnostics for E4).
   [[nodiscard]] std::vector<psc::Receipt> receipts_for(const std::string& method) const;
 
+  /// Alternate acceptance path, used to route perform_fastpay through the
+  /// gateway serving layer instead of calling the merchant directly. The
+  /// route returns the decision plus any PSC transactions to submit, and
+  /// owns the merchant bookkeeping (accept_payment) for accepted
+  /// payments; the deployment still submits the returned txs and runs the
+  /// attacker race. Clear with an empty function.
+  using AcceptRoute = std::function<std::pair<AcceptDecision, std::vector<psc::PscTx>>(
+      const FastPayPackage& pkg, const Invoice& invoice, std::uint64_t now_ms)>;
+  void set_accept_route(AcceptRoute route) { accept_route_ = std::move(route); }
+
  private:
   void schedule_psc_blocks();
   void schedule_monitors();
@@ -184,6 +195,7 @@ class Deployment {
   std::unique_ptr<Relayer> relayer_;
   std::unique_ptr<Watchtower> watchtower_;
 
+  AcceptRoute accept_route_;
   std::vector<std::pair<std::string, std::uint64_t>> submitted_txs_;  ///< (method, id)
   std::vector<std::pair<btc::OutPoint, btc::Coin>> customer_coins_;
   std::size_t next_coin_ = 0;

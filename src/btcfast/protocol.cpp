@@ -9,6 +9,36 @@ constexpr char kBindingDomain[] = "btcfast/payment-binding/v1";
 
 }  // namespace
 
+const char* describe(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "accepted";
+    case RejectReason::kInvoiceExpired: return "invoice-expired";
+    case RejectReason::kWrongMerchant: return "wrong-merchant";
+    case RejectReason::kCompensationBelowInvoice: return "compensation-below-invoice";
+    case RejectReason::kBindingExpiresTooSoon: return "binding-expires-too-soon";
+    case RejectReason::kTxidMismatch: return "txid-mismatch";
+    case RejectReason::kUnderpayment: return "underpayment";
+    case RejectReason::kEscrowLookupFailed: return "escrow-lookup-failed";
+    case RejectReason::kEscrowNotActive: return "escrow-not-active";
+    case RejectReason::kInsufficientCollateral: return "insufficient-collateral";
+    case RejectReason::kEscrowUnlocksTooSoon: return "escrow-unlocks-too-soon";
+    case RejectReason::kBadCustomerKey: return "bad-customer-key";
+    case RejectReason::kBindingSigInvalid: return "binding-sig-invalid";
+    case RejectReason::kMalformedTx: return "malformed-tx";
+    case RejectReason::kInputMissing: return "input-missing";
+    case RejectReason::kInputConflict: return "input-conflict";
+    case RejectReason::kInputSigInvalid: return "input-sig-invalid";
+    case RejectReason::kValueInflation: return "value-inflation";
+    case RejectReason::kPendingLimit: return "pending-limit";
+    case RejectReason::kExposureCap: return "exposure-cap";
+    case RejectReason::kMalformedFrame: return "malformed-frame";
+    case RejectReason::kUnknownInvoice: return "unknown-invoice";
+    case RejectReason::kOverloaded: return "overloaded";
+    case RejectReason::kMaxReason: break;
+  }
+  return "unknown";
+}
+
 Bytes PaymentBinding::serialize() const {
   Writer w;
   w.u64le(escrow_id);

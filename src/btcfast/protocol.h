@@ -72,10 +72,49 @@ struct FastPayPackage {
   [[nodiscard]] static std::optional<FastPayPackage> deserialize(ByteSpan data);
 };
 
+/// Machine-readable rejection codes for the fast-pay acceptance path.
+/// The human-oriented `reason` string stays authoritative for logs; the
+/// code is what the gateway wire protocol and per-reason counters key on.
+enum class RejectReason : std::uint16_t {
+  kNone = 0,  ///< accepted (no rejection)
+  // Invoice / binding conformance.
+  kInvoiceExpired = 1,
+  kWrongMerchant = 2,
+  kCompensationBelowInvoice = 3,
+  kBindingExpiresTooSoon = 4,
+  kTxidMismatch = 5,
+  kUnderpayment = 6,
+  // Escrow health.
+  kEscrowLookupFailed = 7,
+  kEscrowNotActive = 8,
+  kInsufficientCollateral = 9,
+  kEscrowUnlocksTooSoon = 10,
+  kBadCustomerKey = 11,
+  // Signatures and transaction validity.
+  kBindingSigInvalid = 12,
+  kMalformedTx = 13,
+  kInputMissing = 14,
+  kInputConflict = 15,
+  kInputSigInvalid = 16,
+  kValueInflation = 17,
+  // Merchant-side admission limits (MerchantService::Config).
+  kPendingLimit = 18,
+  kExposureCap = 19,
+  // Gateway serving-layer codes.
+  kMalformedFrame = 20,
+  kUnknownInvoice = 21,
+  kOverloaded = 22,  ///< shed with RetryAfter; resubmit later
+  kMaxReason = 23,   ///< array-sizing sentinel, never returned
+};
+
+/// Stable short slug for a rejection code (stats keys, wire diagnostics).
+[[nodiscard]] const char* describe(RejectReason reason) noexcept;
+
 /// Merchant-side acceptance decision with diagnostics.
 struct AcceptDecision {
   bool accepted = false;
-  std::string reason;  ///< populated on rejection
+  std::string reason;                       ///< populated on rejection
+  RejectReason code = RejectReason::kNone;  ///< machine-readable mirror of `reason`
 };
 
 }  // namespace btcfast::core

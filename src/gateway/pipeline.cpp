@@ -1,0 +1,354 @@
+#include "gateway/pipeline.h"
+
+#include <chrono>
+
+#include "crypto/batch_verify.h"
+#include "crypto/sigcache.h"
+
+namespace btcfast::gateway {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count());
+}
+
+/// Pull the request_id out of a frame header without copying the payload,
+/// so the shed path can echo it at near-zero cost. Returns 0 when the
+/// header itself is malformed.
+std::uint64_t peek_request_id(ByteSpan data) {
+  Reader r(data);
+  auto magic = r.u32le();
+  auto type = r.u8();
+  auto rid = r.u64le();
+  if (!magic || !type || !rid || *magic != kWireMagic) return 0;
+  return *rid;
+}
+
+/// RAII in-flight accounting: admission decisions and queue-depth stats
+/// stay correct on every exit path, including exceptions.
+struct InflightGuard {
+  std::atomic<std::size_t>& counter;
+  GatewayStats& stats;
+  std::size_t depth;
+
+  InflightGuard(std::atomic<std::size_t>& c, GatewayStats& s) : counter(c), stats(s) {
+    depth = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    stats.queue_enter();
+  }
+  ~InflightGuard() {
+    counter.fetch_sub(1, std::memory_order_relaxed);
+    stats.queue_exit();
+  }
+};
+
+}  // namespace
+
+Gateway::Gateway(core::MerchantService& merchant, common::ThreadPool& pool, GatewayConfig config)
+    : merchant_(merchant), pool_(pool), config_(config), ledger_(config.ledger_stripes) {}
+
+void Gateway::register_invoice(const core::Invoice& invoice) {
+  std::unique_lock lock(invoices_mu_);
+  invoices_[invoice.invoice_id] = invoice;
+}
+
+void Gateway::track_escrow(EscrowId id) {
+  tracked_.insert(id);
+  if (const auto view = merchant_.escrow_view(id)) {
+    ledger_.upsert_escrow(id, *view);
+  }
+}
+
+std::optional<EscrowView> Gateway::escrow_for(EscrowId id) {
+  if (const auto snap = ledger_.snapshot(id)) return snap->view;
+  if (!config_.lazy_escrow_fetch) return std::nullopt;
+  // Single-threaded mode only: the chain view call below is not safe
+  // against concurrent servers (see GatewayConfig::lazy_escrow_fetch).
+  const auto view = merchant_.escrow_view(id);
+  if (!view) return std::nullopt;
+  tracked_.insert(id);
+  ledger_.upsert_escrow(id, *view);
+  return view;
+}
+
+void Gateway::record_receipt(std::uint64_t request_id, bool accepted, RejectReason code,
+                             std::uint64_t now_ms) {
+  ReceiptInfoResponse r;
+  r.found = true;
+  r.accepted = accepted;
+  r.code = code;
+  r.decided_at_ms = now_ms;
+  std::lock_guard lock(receipts_mu_);
+  receipts_[request_id] = r;
+}
+
+Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
+  const auto start = Clock::now();
+  InflightGuard guard(inflight_, stats_);
+
+  // Admission before any parsing: when the gateway is saturated, the
+  // cheapest honest answer is "come back later" — unbounded queueing
+  // just converts overload into latency for everyone.
+  if (guard.depth > config_.max_inflight) {
+    stats_.on_shed();
+    RetryAfterResponse shed;
+    shed.retry_after_ms = config_.retry_after_ms;
+    shed.queue_depth = guard.depth;
+    return make_frame(MsgType::kRetryAfter, peek_request_id(frame_bytes), shed.serialize());
+  }
+
+  const auto frame = Frame::deserialize(frame_bytes);
+  if (!frame) {
+    stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
+    ErrorResponse err;
+    err.code = RejectReason::kMalformedFrame;
+    err.message = "undecodable frame";
+    return make_frame(MsgType::kError, peek_request_id(frame_bytes), err.serialize());
+  }
+
+  switch (frame->type) {
+    case MsgType::kSubmitFastPay: {
+      const Bytes resp = handle_submit(*frame, now_ms);
+      // handle_submit records accept/reject counters; latency is the
+      // full serve() span, recorded here once the response exists.
+      return resp;
+    }
+    case MsgType::kQueryEscrow:
+      return handle_query_escrow(*frame, now_ms);
+    case MsgType::kGetReceipt:
+      return handle_get_receipt(*frame);
+    default: {
+      ErrorResponse err;
+      err.code = RejectReason::kMalformedFrame;
+      err.message = "unexpected message type";
+      stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
+      return make_frame(MsgType::kError, frame->request_id, err.serialize());
+    }
+  }
+}
+
+Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
+  const auto start = Clock::now();
+  auto finish = [&](bool accepted, RejectReason code, std::string reason,
+                    ReservationId rid) -> Bytes {
+    record_receipt(frame.request_id, accepted, code, now_ms);
+    if (accepted) {
+      stats_.on_accept(elapsed_us(start));
+    } else {
+      stats_.on_reject(code, elapsed_us(start));
+    }
+    FastPayResultResponse resp;
+    resp.accepted = accepted;
+    resp.code = code;
+    resp.reason = std::move(reason);
+    resp.reservation_id = rid;
+    return make_frame(MsgType::kFastPayResult, frame.request_id, resp.serialize());
+  };
+
+  const auto req = SubmitFastPayRequest::deserialize(frame.payload);
+  if (!req) {
+    return finish(false, RejectReason::kMalformedFrame, "undecodable SubmitFastPay payload", 0);
+  }
+
+  std::optional<core::Invoice> invoice;
+  {
+    std::shared_lock lock(invoices_mu_);
+    if (auto it = invoices_.find(req->invoice_id); it != invoices_.end()) {
+      invoice = it->second;
+    }
+  }
+  if (!invoice) {
+    return finish(false, RejectReason::kUnknownInvoice, "invoice not registered", 0);
+  }
+
+  const core::PaymentBinding& b = req->package.binding.binding;
+  const auto escrow = escrow_for(b.escrow_id);
+  psc::Value outstanding = 0;
+  if (const auto snap = ledger_.snapshot(b.escrow_id)) outstanding = snap->local_reserved;
+
+  // Stage: evaluate. Const and read-only — many threads run this
+  // concurrently; signature checks go through the global SigCache.
+  const auto decision = merchant_.evaluate_against(req->package, *invoice, now_ms, escrow,
+                                                   outstanding);
+  if (!decision.accepted) {
+    return finish(false, decision.code, decision.reason, 0);
+  }
+
+  // Stage: reserve. The single serialization point — the ledger decides
+  // atomically whether this payment still fits the escrow's collateral
+  // (and the merchant's exposure cap) given every concurrent winner.
+  const std::uint64_t expires_at =
+      config_.reservation_ttl_ms > 0 ? now_ms + config_.reservation_ttl_ms : b.expiry_ms;
+  RejectReason deny = RejectReason::kNone;
+  const auto rid = ledger_.try_reserve(b.escrow_id, b.compensation, expires_at,
+                                       merchant_.config().per_escrow_exposure_cap, &deny);
+  if (!rid) {
+    return finish(false, deny, std::string("reservation denied: ") + core::describe(deny), 0);
+  }
+
+  // Stage: commit handoff. The merchant's book is bounded here (under
+  // the same lock as the queue, so racing accepts cannot overshoot
+  // max_pending_payments) and mutation is deferred to flush_accepted().
+  {
+    std::lock_guard lock(commit_mu_);
+    const std::size_t limit = merchant_.config().max_pending_payments;
+    if (limit > 0 && merchant_.active_pending_count() + commit_queue_.size() >= limit) {
+      (void)ledger_.release(*rid);
+      return finish(false, RejectReason::kPendingLimit, "merchant pending-payment limit reached",
+                    0);
+    }
+    Accepted a;
+    a.package = req->package;
+    a.invoice = *invoice;
+    a.now_ms = now_ms;
+    a.reservation_id = *rid;
+    commit_queue_.push_back(std::move(a));
+  }
+  return finish(true, RejectReason::kNone, {}, *rid);
+}
+
+Bytes Gateway::handle_query_escrow(const Frame& frame, std::uint64_t now_ms) {
+  (void)now_ms;
+  const auto req = QueryEscrowRequest::deserialize(frame.payload);
+  if (!req) {
+    ErrorResponse err;
+    err.code = RejectReason::kMalformedFrame;
+    err.message = "undecodable QueryEscrow payload";
+    return make_frame(MsgType::kError, frame.request_id, err.serialize());
+  }
+  EscrowInfoResponse resp;
+  (void)escrow_for(req->escrow_id);  // lazy mode: pull into the ledger
+  if (const auto snap = ledger_.snapshot(req->escrow_id)) {
+    resp.found = true;
+    resp.state = static_cast<std::uint64_t>(snap->view.state);
+    resp.collateral = snap->view.collateral;
+    resp.reserved = snap->view.reserved + snap->local_reserved;
+    resp.unlock_time_ms = snap->view.unlock_time_ms;
+  }
+  return make_frame(MsgType::kEscrowInfo, frame.request_id, resp.serialize());
+}
+
+Bytes Gateway::handle_get_receipt(const Frame& frame) {
+  const auto req = GetReceiptRequest::deserialize(frame.payload);
+  if (!req) {
+    ErrorResponse err;
+    err.code = RejectReason::kMalformedFrame;
+    err.message = "undecodable GetReceipt payload";
+    return make_frame(MsgType::kError, frame.request_id, err.serialize());
+  }
+  ReceiptInfoResponse resp;  // found=false default
+  {
+    std::lock_guard lock(receipts_mu_);
+    if (auto it = receipts_.find(req->request_id); it != receipts_.end()) {
+      resp = it->second;
+    }
+  }
+  return make_frame(MsgType::kReceiptInfo, frame.request_id, resp.serialize());
+}
+
+std::future<Bytes> Gateway::submit(Bytes frame_bytes, std::uint64_t now_ms) {
+  return pool_.submit([this, frame = std::move(frame_bytes), now_ms]() {
+    return serve(frame, now_ms);
+  });
+}
+
+std::vector<Bytes> Gateway::serve_batch(const std::vector<Bytes>& frames, std::uint64_t now_ms) {
+  // Phase 1 (parallel): pre-verify every signature the sequential serves
+  // below would check, warming the global cache — the same fast-verify
+  // pipeline MerchantService::evaluate_fastpay_batch uses.
+  std::vector<crypto::SigCheckJob> jobs;
+  for (const auto& bytes : frames) {
+    const auto frame = Frame::deserialize(bytes);
+    if (!frame || frame->type != MsgType::kSubmitFastPay) continue;
+    const auto req = SubmitFastPayRequest::deserialize(frame->payload);
+    if (!req) continue;
+    const core::PaymentBinding& b = req->package.binding.binding;
+    if (const auto escrow = escrow_for(b.escrow_id)) {
+      crypto::SigCheckJob job;
+      job.digest = b.signing_digest();
+      job.pubkey = escrow->customer_btc_key;
+      job.sig = req->package.binding.customer_sig;
+      jobs.push_back(job);
+    }
+    const auto& node = merchant_.btc_node();
+    for (std::size_t i = 0; i < req->package.payment_tx.inputs.size(); ++i) {
+      const auto& in = req->package.payment_tx.inputs[i];
+      if (const auto coin = node.chain().utxo().get(in.prevout)) {
+        crypto::SigCheckJob job;
+        job.digest = req->package.payment_tx.signature_hash(i, coin->out.script_pubkey);
+        job.pubkey = in.script_sig.pubkey;
+        job.sig = in.script_sig.signature;
+        jobs.push_back(job);
+      }
+    }
+  }
+  (void)crypto::batch_verify(pool_, jobs, &crypto::SigCache::global());
+
+  // Phase 2 (sequential): decisions in input order — identical responses
+  // to a plain serve() loop for any pool size, just with hot caches.
+  std::vector<Bytes> out;
+  out.reserve(frames.size());
+  for (const auto& bytes : frames) {
+    out.push_back(serve(bytes, now_ms));
+  }
+  return out;
+}
+
+std::vector<psc::PscTx> Gateway::flush_accepted() {
+  std::vector<Accepted> batch;
+  {
+    std::lock_guard lock(commit_mu_);
+    batch.swap(commit_queue_);
+  }
+  std::vector<psc::PscTx> actions;
+  for (auto& a : batch) {
+    auto txs = merchant_.accept_payment(a.package, a.invoice, a.now_ms);
+    for (auto& tx : txs) actions.push_back(std::move(tx));
+    live_reservations_.emplace(a.reservation_id, a.package.binding.binding.btc_txid);
+  }
+  return actions;
+}
+
+void Gateway::reconcile(std::uint64_t now_ms) {
+  // Refresh every tracked escrow from authoritative contract state. A
+  // reorg that shrank collateral, a judged dispute, a topped-up escrow —
+  // all become visible to try_reserve here.
+  std::vector<std::pair<EscrowId, EscrowView>> views;
+  views.reserve(tracked_.size());
+  for (const EscrowId id : tracked_) {
+    if (const auto view = merchant_.escrow_view(id)) views.emplace_back(id, *view);
+  }
+  ledger_.reconcile(views);
+
+  // Release reservations whose payments resolved (settled on BTC or
+  // judged on PSC) — the merchant book is the source of truth.
+  if (!live_reservations_.empty()) {
+    std::unordered_set<std::string> resolved;
+    for (const auto& p : merchant_.pending()) {
+      if (p.settled || p.judged) {
+        resolved.insert(p.package.binding.binding.btc_txid.to_string());
+      }
+    }
+    for (auto it = live_reservations_.begin(); it != live_reservations_.end();) {
+      if (resolved.count(it->second.to_string()) > 0) {
+        (void)ledger_.release(it->first);
+        it = live_reservations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Drop reservations past their deadline: the binding can no longer be
+  // disputed, so the collateral hold serves nobody.
+  (void)ledger_.expire_due(now_ms);
+}
+
+std::size_t Gateway::commit_queue_depth() const {
+  std::lock_guard lock(commit_mu_);
+  return commit_queue_.size();
+}
+
+}  // namespace btcfast::gateway

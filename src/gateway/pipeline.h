@@ -1,0 +1,135 @@
+// The gateway request pipeline: the concurrent front door in front of
+// MerchantService. Stages per SubmitFastPay frame:
+//
+//   admission (shed when > max_inflight in flight, typed RetryAfter)
+//     -> decode (total, fuzz-hardened wire decoders)
+//     -> evaluate (MerchantService::evaluate_against — const, reentrant,
+//        signature checks through the global SigCache)
+//     -> reserve (ReservationLedger::try_reserve — the one serialization
+//        point; two racing fast-pays cannot overcommit one escrow)
+//     -> respond (+ queue the accept for single-threaded commit)
+//
+// Threading contract: serve() is safe from any number of threads while
+// the merchant/simulation is quiescent — the concurrent stages only READ
+// node state. Mutation (merchant bookkeeping, BTC broadcast, PSC txs) is
+// deferred: accepted packages land in a commit queue that the control
+// thread drains with flush_accepted(). reconcile() (also control-thread)
+// refreshes escrow views from the contract each PSC block, releases
+// reservations for settled/judged payments, and expires stale ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "btcfast/merchant.h"
+#include "common/thread_pool.h"
+#include "gateway/reservation_ledger.h"
+#include "gateway/stats.h"
+#include "gateway/wire.h"
+
+namespace btcfast::gateway {
+
+struct GatewayConfig {
+  /// Admission bound: requests beyond this many concurrently in flight
+  /// are shed with kRetryAfter instead of queueing unboundedly.
+  std::size_t max_inflight = 256;
+  /// Hint returned in RetryAfter responses.
+  std::uint64_t retry_after_ms = 50;
+  /// Reservation lifetime; 0 = hold until the binding's own expiry.
+  std::uint64_t reservation_ttl_ms = 0;
+  /// Fetch untracked escrows from the PSC chain on demand. Only safe
+  /// when serve() is called single-threaded (the chain view call is not
+  /// thread-safe); concurrent deployments pre-register via track_escrow.
+  bool lazy_escrow_fetch = false;
+  std::size_t ledger_stripes = 16;
+};
+
+class Gateway {
+ public:
+  Gateway(core::MerchantService& merchant, common::ThreadPool& pool, GatewayConfig config);
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Make an invoice resolvable by SubmitFastPay frames.
+  void register_invoice(const core::Invoice& invoice);
+
+  /// Snapshot an escrow's contract state into the ledger (control thread).
+  void track_escrow(EscrowId id);
+
+  /// Serve one encoded frame, returning the encoded response frame.
+  /// Thread-safe; synchronous. `now_ms` is simulation/wall time supplied
+  /// by the caller so the gateway stays clockless and deterministic.
+  [[nodiscard]] Bytes serve(ByteSpan frame_bytes, std::uint64_t now_ms);
+
+  /// Asynchronous serve on the thread pool.
+  [[nodiscard]] std::future<Bytes> submit(Bytes frame_bytes, std::uint64_t now_ms);
+
+  /// Bulk intake: one parallel batch-verify pass warms the signature
+  /// cache across every submit frame (reusing the fast-verify engine),
+  /// then frames are served in order. Responses are index-aligned and
+  /// identical to serving sequentially — for any pool size.
+  [[nodiscard]] std::vector<Bytes> serve_batch(const std::vector<Bytes>& frames,
+                                               std::uint64_t now_ms);
+
+  /// Drain the commit queue (control thread only): run merchant
+  /// bookkeeping + BTC broadcast for every accepted payment, returning
+  /// the PSC transactions the caller must submit (reserved mode).
+  [[nodiscard]] std::vector<psc::PscTx> flush_accepted();
+
+  /// Control-thread sync point, run on each new PSC block: refresh every
+  /// tracked escrow view from the contract, release reservations whose
+  /// payments settled or were judged, and expire overdue reservations.
+  void reconcile(std::uint64_t now_ms);
+
+  [[nodiscard]] GatewayStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const GatewayStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ReservationLedger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] std::size_t commit_queue_depth() const;
+
+ private:
+  struct Accepted {
+    core::FastPayPackage package;
+    core::Invoice invoice;
+    std::uint64_t now_ms = 0;
+    ReservationId reservation_id = 0;
+  };
+
+  [[nodiscard]] Bytes handle_submit(const Frame& frame, std::uint64_t now_ms);
+  [[nodiscard]] Bytes handle_query_escrow(const Frame& frame, std::uint64_t now_ms);
+  [[nodiscard]] Bytes handle_get_receipt(const Frame& frame);
+  [[nodiscard]] std::optional<EscrowView> escrow_for(EscrowId id);
+  void record_receipt(std::uint64_t request_id, bool accepted, RejectReason code,
+                      std::uint64_t now_ms);
+
+  core::MerchantService& merchant_;
+  common::ThreadPool& pool_;
+  GatewayConfig config_;
+  ReservationLedger ledger_;
+  GatewayStats stats_;
+
+  std::atomic<std::size_t> inflight_{0};
+
+  mutable std::shared_mutex invoices_mu_;
+  std::unordered_map<std::uint64_t, core::Invoice> invoices_;
+
+  mutable std::mutex receipts_mu_;
+  std::unordered_map<std::uint64_t, ReceiptInfoResponse> receipts_;
+
+  mutable std::mutex commit_mu_;
+  std::vector<Accepted> commit_queue_;
+
+  // Control-thread state (no lock: reconcile/track_escrow/flush are
+  // single-threaded by contract).
+  std::unordered_set<EscrowId> tracked_;
+  std::unordered_map<ReservationId, btc::Txid> live_reservations_;
+};
+
+}  // namespace btcfast::gateway

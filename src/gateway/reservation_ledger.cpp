@@ -1,0 +1,131 @@
+#include "gateway/reservation_ledger.h"
+
+#include <algorithm>
+
+namespace btcfast::gateway {
+
+ReservationLedger::ReservationLedger(std::size_t stripes)
+    : stripes_(std::clamp<std::size_t>(stripes, 1, 256)) {}
+
+void ReservationLedger::upsert_escrow(EscrowId id, const EscrowView& view) {
+  Stripe& s = stripe_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.escrows[id].view = view;  // local_reserved / reservations survive
+}
+
+void ReservationLedger::erase_escrow(EscrowId id) {
+  Stripe& s = stripe_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.escrows.find(id);
+  if (it == s.escrows.end()) return;
+  for (const auto& [rid, res] : it->second.reservations) s.by_id.erase(rid);
+  s.escrows.erase(it);
+}
+
+std::optional<ReservationId> ReservationLedger::try_reserve(EscrowId id, psc::Value amount,
+                                                            std::uint64_t expires_at_ms,
+                                                            psc::Value exposure_cap,
+                                                            core::RejectReason* deny_reason) {
+  Stripe& s = stripe_for(id);
+  const auto stripe_idx =
+      static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size();
+  auto deny = [&](core::RejectReason why) -> std::optional<ReservationId> {
+    if (deny_reason) *deny_reason = why;
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.escrows.find(id);
+  if (it == s.escrows.end()) return deny(core::RejectReason::kEscrowLookupFailed);
+  Entry& e = it->second;
+  if (e.view.state != core::EscrowState::kActive) {
+    return deny(core::RejectReason::kEscrowNotActive);
+  }
+  if (e.view.unlock_time_ms < expires_at_ms) {
+    return deny(core::RejectReason::kEscrowUnlocksTooSoon);
+  }
+  // Coverage against the authoritative snapshot: everything already
+  // pledged (on-chain reservations plus our own live grants) plus this
+  // request must fit in the collateral.
+  const psc::Value committed = e.view.reserved + e.local_reserved;
+  if (committed + amount > e.view.collateral) {
+    return deny(core::RejectReason::kInsufficientCollateral);
+  }
+  if (exposure_cap > 0 && e.local_reserved + amount > exposure_cap) {
+    return deny(core::RejectReason::kExposureCap);
+  }
+  const ReservationId rid =
+      (next_id_.fetch_add(1, std::memory_order_relaxed) << 8) | stripe_idx;
+  e.local_reserved += amount;
+  e.reservations.emplace(rid, Reservation{id, amount, expires_at_ms});
+  s.by_id.emplace(rid, id);
+  granted_.fetch_add(1, std::memory_order_relaxed);
+  return rid;
+}
+
+bool ReservationLedger::release(ReservationId id) {
+  Stripe& s = stripes_[(id & 0xff) % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto by = s.by_id.find(id);
+  if (by == s.by_id.end()) return false;
+  auto esc = s.escrows.find(by->second);
+  s.by_id.erase(by);
+  if (esc == s.escrows.end()) return false;
+  auto res = esc->second.reservations.find(id);
+  if (res == esc->second.reservations.end()) return false;
+  esc->second.local_reserved -= res->second.amount;
+  esc->second.reservations.erase(res);
+  released_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t ReservationLedger::expire_due(std::uint64_t now_ms) {
+  std::size_t dropped = 0;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [eid, entry] : s.escrows) {
+      for (auto it = entry.reservations.begin(); it != entry.reservations.end();) {
+        if (it->second.expires_at_ms <= now_ms) {
+          entry.local_reserved -= it->second.amount;
+          s.by_id.erase(it->first);
+          it = entry.reservations.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  expired_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+void ReservationLedger::reconcile(const std::vector<std::pair<EscrowId, EscrowView>>& views) {
+  for (const auto& [id, view] : views) upsert_escrow(id, view);
+}
+
+std::optional<ReservationLedger::EscrowSnapshot> ReservationLedger::snapshot(EscrowId id) const {
+  const Stripe& s = stripe_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.escrows.find(id);
+  if (it == s.escrows.end()) return std::nullopt;
+  EscrowSnapshot out;
+  out.view = it->second.view;
+  out.local_reserved = it->second.local_reserved;
+  out.live_reservations = it->second.reservations.size();
+  return out;
+}
+
+std::optional<ReservationLedger::Reservation> ReservationLedger::find(ReservationId id) const {
+  const Stripe& s = stripes_[(id & 0xff) % stripes_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto by = s.by_id.find(id);
+  if (by == s.by_id.end()) return std::nullopt;
+  auto esc = s.escrows.find(by->second);
+  if (esc == s.escrows.end()) return std::nullopt;
+  auto res = esc->second.reservations.find(id);
+  if (res == esc->second.reservations.end()) return std::nullopt;
+  return res->second;
+}
+
+}  // namespace btcfast::gateway

@@ -1,0 +1,144 @@
+// Sharded in-memory reservation ledger: the gateway's defence against
+// concurrent overcommit. Two fast-pays racing against the same escrow
+// both pass the merchant's read-only evaluation (each sees the full
+// collateral); the ledger is the single serialization point that makes
+// exactly one of them win when only one fits.
+//
+// Escrows are partitioned across lock stripes by id hash, so unrelated
+// escrows never contend. Within a stripe, try_reserve checks
+//   on-chain reserved + local reservations + amount <= collateral
+// (and an optional merchant-side exposure cap) and records the
+// reservation atomically under the stripe lock. The invariant the TSan
+// hammer proves: at no instant does the sum of granted local
+// reservations plus the on-chain reserved figure exceed collateral.
+//
+// The ledger works on cached EscrowView snapshots; reconcile() refreshes
+// them from PayJudger state each PSC block (and is how a reorg that
+// shrinks collateral is noticed: subsequent try_reserves see the smaller
+// figure immediately).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "btcfast/payjudger.h"
+#include "btcfast/protocol.h"
+
+namespace btcfast::gateway {
+
+using core::EscrowId;
+using core::EscrowView;
+
+using ReservationId = std::uint64_t;
+
+class ReservationLedger {
+ public:
+  /// A granted reservation, released on settle/expiry/reject.
+  struct Reservation {
+    EscrowId escrow_id = 0;
+    psc::Value amount = 0;
+    std::uint64_t expires_at_ms = 0;
+  };
+
+  /// Point-in-time view of one escrow's ledger entry.
+  struct EscrowSnapshot {
+    EscrowView view;
+    psc::Value local_reserved = 0;   ///< sum of live gateway reservations
+    std::size_t live_reservations = 0;
+  };
+
+  explicit ReservationLedger(std::size_t stripes = 16);
+
+  ReservationLedger(const ReservationLedger&) = delete;
+  ReservationLedger& operator=(const ReservationLedger&) = delete;
+
+  /// Install or refresh the cached escrow view. Local reservations are
+  /// preserved — a view refresh must not forget exposure the gateway has
+  /// already promised against.
+  void upsert_escrow(EscrowId id, const EscrowView& view);
+
+  /// Forget an escrow entirely (e.g. judged to empty). Drops its local
+  /// reservations too.
+  void erase_escrow(EscrowId id);
+
+  /// Atomically reserve `amount` against the escrow if, and only if,
+  ///   view.reserved + local_reserved + amount <= view.collateral
+  /// and, when `exposure_cap > 0`,
+  ///   local_reserved + amount <= exposure_cap
+  /// and the escrow is known, ACTIVE, and unlocks after `expires_at_ms`.
+  /// Returns the reservation id, or nullopt without side effects; when
+  /// denied and `deny_reason` is non-null it carries the typed cause.
+  [[nodiscard]] std::optional<ReservationId> try_reserve(EscrowId id, psc::Value amount,
+                                                         std::uint64_t expires_at_ms,
+                                                         psc::Value exposure_cap = 0,
+                                                         core::RejectReason* deny_reason = nullptr);
+
+  /// Release a reservation (payment settled on-chain, or rejected after
+  /// reserve). Returns false if the id is unknown — double releases are
+  /// loud, not silent no-ops.
+  bool release(ReservationId id);
+
+  /// Drop every reservation whose expires_at_ms <= now. Returns how many
+  /// were dropped. An expired reservation means the binding itself can no
+  /// longer be disputed, so holding collateral for it is pointless.
+  std::size_t expire_due(std::uint64_t now_ms);
+
+  /// Refresh a batch of escrow views from authoritative contract state
+  /// (caller fetches them via MerchantService::escrow_view). Equivalent
+  /// to upsert_escrow per entry; named for the PSC-block reconcile loop.
+  void reconcile(const std::vector<std::pair<EscrowId, EscrowView>>& views);
+
+  [[nodiscard]] std::optional<EscrowSnapshot> snapshot(EscrowId id) const;
+  [[nodiscard]] std::optional<Reservation> find(ReservationId id) const;
+
+  /// Monotonic counters (relaxed; for stats only).
+  [[nodiscard]] std::uint64_t total_granted() const noexcept {
+    return granted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_denied() const noexcept {
+    return denied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_released() const noexcept {
+    return released_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_expired() const noexcept {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    EscrowView view;
+    psc::Value local_reserved = 0;
+    std::unordered_map<ReservationId, Reservation> reservations;
+  };
+
+  // Cache-line sized so stripe locks never false-share.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<EscrowId, Entry> escrows;
+    // Reservation ids carry their stripe index in the low byte, so
+    // release() goes straight to the owning stripe; this map completes
+    // the hop from id to escrow entry.
+    std::unordered_map<ReservationId, EscrowId> by_id;
+  };
+
+  [[nodiscard]] Stripe& stripe_for(EscrowId id) noexcept {
+    return stripes_[static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size()];
+  }
+  [[nodiscard]] const Stripe& stripe_for(EscrowId id) const noexcept {
+    return stripes_[static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size()];
+  }
+
+  std::vector<Stripe> stripes_;
+  std::atomic<ReservationId> next_id_{1};
+  std::atomic<std::uint64_t> granted_{0};
+  std::atomic<std::uint64_t> denied_{0};
+  std::atomic<std::uint64_t> released_{0};
+  std::atomic<std::uint64_t> expired_{0};
+};
+
+}  // namespace btcfast::gateway

@@ -1,0 +1,96 @@
+// Gateway observability: lock-free counters (accepts, rejects keyed by
+// RejectReason, sheds, queue depth) and a fixed-bucket latency histogram
+// with percentile estimation, dumped as a JSON object. Everything here is
+// safe to update from any worker thread; reads are racy-but-coherent
+// (relaxed atomics), which is fine for monitoring.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "btcfast/protocol.h"
+
+namespace btcfast::gateway {
+
+/// Power-of-two bucketed histogram over microsecond latencies. Bucket i
+/// covers [2^i, 2^(i+1)) us (bucket 0 also catches sub-microsecond);
+/// percentile() interpolates linearly inside the winning bucket, which is
+/// plenty of resolution for p50/p99 reporting across ns..minutes.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record_us(std::uint64_t us) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// p in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double percentile_us(double p) const noexcept;
+  [[nodiscard]] double mean_us() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// All gateway counters in one place.
+class GatewayStats {
+ public:
+  void on_accept(std::uint64_t latency_us) noexcept;
+  void on_reject(core::RejectReason code, std::uint64_t latency_us) noexcept;
+  void on_shed() noexcept;  ///< overload rejection before any work
+
+  void queue_enter() noexcept {
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    note_depth();
+  }
+  void queue_exit() noexcept { queue_depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t accepts() const noexcept {
+    return accepts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejects() const noexcept {
+    return rejects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sheds() const noexcept {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejects_for(core::RejectReason code) const noexcept;
+  [[nodiscard]] std::uint64_t queue_depth() const noexcept {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_queue_depth() const noexcept {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const LatencyHistogram& latency() const noexcept { return latency_; }
+
+  /// One JSON object: totals, per-reason reject counts (only nonzero
+  /// reasons, keyed by describe()), queue depths, latency percentiles.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Atomically write to_json() to `path` (temp file + rename), so a
+  /// monitoring reader never sees a torn file. Returns false on IO error.
+  bool write_json(const std::string& path) const;
+
+  void reset() noexcept;
+
+ private:
+  void note_depth() noexcept;
+
+  std::atomic<std::uint64_t> accepts_{0};
+  std::atomic<std::uint64_t> rejects_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(core::RejectReason::kMaxReason)>
+      by_reason_{};
+  LatencyHistogram latency_;
+};
+
+}  // namespace btcfast::gateway

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "btc/header.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gateway/pipeline.h"
+#include "gateway/wire.h"
 
 namespace btcfast::testkit {
 
@@ -126,7 +130,8 @@ std::string ScenarioConfig::summary() const {
      << " loss=" << deployment.net.loss_rate << " dup=" << deployment.net.dup_rate
      << " watchtower=" << deployment.watchtower_enabled
      << " customer_online=" << deployment.customer_online
-     << " reserve=" << deployment.reserve_payments << " events=" << events.size()
+     << " reserve=" << deployment.reserve_payments << " gateway=" << use_gateway
+     << " events=" << events.size()
      << " horizon=" << horizon / kMinute << "m";
   return os.str();
 }
@@ -167,6 +172,7 @@ ScenarioConfig sample_scenario(std::uint64_t seed) {
   d.customer_online = rng.chance(0.7);
   d.watchtower_enabled = rng.chance(0.6);
   d.reserve_payments = rng.chance(0.25);
+  cfg.use_gateway = rng.chance(0.5);
 
   d.net.base_latency = static_cast<SimTime>(20 + rng.below(180));
   d.net.jitter = static_cast<SimTime>(rng.below(120));
@@ -261,6 +267,45 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
   core::Deployment dep(config.deployment);
   InvariantChecker checker(dep, options.mutate_invariant);
   dep.network().set_observer([&checker](const sim::NetEvent&) { checker.check("net-event"); });
+
+  // Gateway-backed mode: every fast-pay goes over the wire protocol and
+  // through the serving pipeline + reservation ledger, and the decision
+  // comes back out of the decoded response frame — so the invariant
+  // harness validates the concurrent path's plumbing end to end. The
+  // simulator stays single-threaded, hence lazy escrow fetching is safe.
+  std::shared_ptr<gateway::Gateway> gw;
+  if (config.use_gateway) {
+    gateway::GatewayConfig gwcfg;
+    gwcfg.lazy_escrow_fetch = true;
+    gw = std::make_shared<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(), gwcfg);
+    dep.set_accept_route(
+        [gw](const core::FastPayPackage& pkg, const core::Invoice& invoice, std::uint64_t now_ms)
+            -> std::pair<core::AcceptDecision, std::vector<psc::PscTx>> {
+          gw->register_invoice(invoice);
+          gw->reconcile(now_ms);  // sync ledger with contract + merchant book
+          gateway::SubmitFastPayRequest req;
+          req.invoice_id = invoice.invoice_id;
+          req.package = pkg;
+          const Bytes frame = gateway::make_frame(gateway::MsgType::kSubmitFastPay,
+                                                  invoice.invoice_id, req.serialize());
+          const Bytes resp_bytes = gw->serve(frame, now_ms);
+          core::AcceptDecision decision;
+          decision.accepted = false;
+          decision.reason = "gateway: malformed response";
+          decision.code = core::RejectReason::kMalformedFrame;
+          if (const auto resp = gateway::Frame::deserialize(resp_bytes);
+              resp && resp->type == gateway::MsgType::kFastPayResult) {
+            if (const auto body = gateway::FastPayResultResponse::deserialize(resp->payload)) {
+              decision.accepted = body->accepted;
+              decision.reason = body->reason;
+              decision.code = body->code;
+            }
+          }
+          std::vector<psc::PscTx> txs;
+          if (decision.accepted) txs = gw->flush_accepted();
+          return {decision, txs};
+        });
+  }
 
   // Epoch-based loss needs the anti-entropy recovery path even when the
   // initial rate was 0 (the deployment only arms it for lossy configs).

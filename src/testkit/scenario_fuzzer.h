@@ -47,6 +47,10 @@ struct ScenarioConfig {
   core::DeploymentConfig deployment;
   std::vector<ScenarioEvent> events;  ///< sorted by `at`
   SimTime horizon = 0;                ///< run until here after the last event
+  /// Route fast-pays through the gateway serving layer (wire encode ->
+  /// pipeline -> reservation ledger -> commit) instead of calling the
+  /// merchant directly, so the invariants also exercise that path.
+  bool use_gateway = false;
 
   /// One-line summary for repro reports and logs.
   [[nodiscard]] std::string summary() const;

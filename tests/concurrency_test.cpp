@@ -1,8 +1,9 @@
-// Thread-safety hammer tests for the two shared read-mostly structures
-// on the hot verification path: Transaction::txid() memoization (striped
-// mutexes over a process-global memo) and the 64-shard signature cache.
-// These are the tests the TSan preset exists for — each spins N threads
-// against one shared object and asserts the results stay consistent.
+// Thread-safety hammer tests for the shared structures on the hot
+// serving path: Transaction::txid() memoization (striped mutexes over a
+// process-global memo), the 64-shard signature cache, and the gateway's
+// sharded reservation ledger. These are the tests the TSan preset exists
+// for — each spins N threads against one shared object and asserts the
+// results stay consistent.
 
 #include <atomic>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "crypto/ecdsa.h"
 #include "crypto/sha256.h"
 #include "crypto/sigcache.h"
+#include "gateway/reservation_ledger.h"
 
 namespace btcfast {
 namespace {
@@ -167,6 +169,95 @@ TEST(ConcurrencyTest, CachedVerifyConsistency) {
   EXPECT_EQ(wrong.load(), 0);
   // The valid triples should be serving from the cache by now.
   EXPECT_GT(cache.stats().hits, 0u);
+}
+
+gateway::ReservationLedger::EscrowSnapshot ledger_snapshot(const gateway::ReservationLedger& l,
+                                                           core::EscrowId id) {
+  const auto snap = l.snapshot(id);
+  EXPECT_TRUE(snap.has_value());
+  return snap.value_or(gateway::ReservationLedger::EscrowSnapshot{});
+}
+
+// THE overcommit race the reservation ledger exists to prevent: an escrow
+// whose collateral covers exactly K payments, hammered by N threads each
+// trying far more than K times. Exactly K grants must win — the sum of
+// reservations must never exceed the collateral, no matter how the
+// threads interleave. TSan validates the stripe-lock protocol; the
+// counters validate the invariant.
+TEST(ConcurrencyTest, LedgerConcurrentOvercommit) {
+  constexpr psc::Value kAmount = 10;
+  constexpr std::uint64_t kFits = 16;  // collateral covers exactly 16 grants
+  gateway::ReservationLedger ledger(4);
+
+  core::EscrowView view;
+  view.state = core::EscrowState::kActive;
+  view.collateral = kAmount * kFits;
+  view.unlock_time_ms = 1'000'000;
+  ledger.upsert_escrow(1, view);
+
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        if (ledger.try_reserve(1, kAmount, 500).has_value()) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wins.load(), kFits);
+  EXPECT_EQ(ledger.total_granted(), kFits);
+  EXPECT_EQ(ledger.total_denied(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread - kFits);
+  const auto snap = ledger_snapshot(ledger, 1);
+  EXPECT_EQ(snap.local_reserved, view.collateral);
+  EXPECT_EQ(snap.live_reservations, kFits);
+}
+
+// Reserve/release churn across many escrows and threads: every grant is
+// released exactly once, releases can race with grants on the same
+// stripe, and the ledger must drain back to zero.
+TEST(ConcurrencyTest, LedgerReserveReleaseChurn) {
+  constexpr std::uint64_t kEscrows = 6;
+  gateway::ReservationLedger ledger(4);
+  core::EscrowView view;
+  view.state = core::EscrowState::kActive;
+  view.collateral = 1'000'000;
+  view.unlock_time_ms = 1'000'000;
+  for (std::uint64_t e = 1; e <= kEscrows; ++e) ledger.upsert_escrow(e, view);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const core::EscrowId id = 1 + (t + static_cast<unsigned>(i)) % kEscrows;
+        const auto rid = ledger.try_reserve(id, 7, 500);
+        if (!rid.has_value() || !ledger.release(*rid)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // A second release of the same id must stay a loud no-op even
+        // while other threads mutate the stripe.
+        if (rid.has_value() && ledger.release(*rid)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ledger.total_granted(), ledger.total_released());
+  for (std::uint64_t e = 1; e <= kEscrows; ++e) {
+    const auto snap = ledger_snapshot(ledger, e);
+    EXPECT_EQ(snap.local_reserved, 0u);
+    EXPECT_EQ(snap.live_reservations, 0u);
+  }
 }
 
 }  // namespace

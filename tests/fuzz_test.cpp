@@ -16,6 +16,7 @@
 #include "btcsim/scenario.h"
 #include "common/rng.h"
 #include "crypto/base58.h"
+#include "gateway/wire.h"
 
 namespace btcfast {
 namespace {
@@ -50,6 +51,15 @@ TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
     (void)core::PaymentBinding::deserialize(junk);
     (void)core::SignedBinding::deserialize(junk);
     (void)core::FastPayPackage::deserialize(junk);
+    (void)gateway::Frame::deserialize(junk);
+    (void)gateway::SubmitFastPayRequest::deserialize(junk);
+    (void)gateway::QueryEscrowRequest::deserialize(junk);
+    (void)gateway::GetReceiptRequest::deserialize(junk);
+    (void)gateway::FastPayResultResponse::deserialize(junk);
+    (void)gateway::EscrowInfoResponse::deserialize(junk);
+    (void)gateway::ReceiptInfoResponse::deserialize(junk);
+    (void)gateway::RetryAfterResponse::deserialize(junk);
+    (void)gateway::ErrorResponse::deserialize(junk);
     (void)crypto::base58_decode(std::string(junk.begin(), junk.end()));
     (void)crypto::base58check_decode(std::string(junk.begin(), junk.end()));
   }
@@ -70,6 +80,21 @@ TEST_P(ParserFuzz, SuccessfulParsesRoundTrip) {
     }
     if (auto b = core::PaymentBinding::deserialize(junk)) {
       EXPECT_EQ(b->serialize(), junk);
+    }
+    // Gateway wire decoders: a successful parse must survive re-encoding
+    // (field-level round trip; varint prefixes may be re-canonicalized).
+    if (auto f = gateway::Frame::deserialize(junk)) {
+      const auto again = gateway::Frame::deserialize(f->serialize());
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(again->type, f->type);
+      EXPECT_EQ(again->request_id, f->request_id);
+      EXPECT_EQ(again->payload, f->payload);
+    }
+    if (auto e = gateway::EscrowInfoResponse::deserialize(junk)) {
+      EXPECT_EQ(e->serialize(), junk);  // fixed-width fields: exact
+    }
+    if (auto ra = gateway::RetryAfterResponse::deserialize(junk)) {
+      EXPECT_EQ(ra->serialize(), junk);
     }
   }
 }
@@ -101,6 +126,36 @@ TEST_P(ParserFuzz, BitFlippedValidMessagesHandled) {
       if (parsed->binding.binding != pkg.binding.binding) {
         EXPECT_FALSE(parsed->binding.verify(party.pub));
       }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, BitFlippedValidGatewayFramesHandled) {
+  Rng rng(GetParam() * 131 + 7);
+  const sim::Party party = sim::Party::make(GetParam() + 50);
+
+  core::Invoice inv;
+  inv.amount_sat = btc::kCoin;
+  inv.compensation = 1000;
+  inv.pay_to = party.script;
+  inv.merchant_psc = psc::Address::from_label("m");
+  inv.expires_at_ms = 1000000;
+  core::CustomerWallet wallet(party, psc::Address::from_label("c"), 1);
+  btc::OutPoint coin;
+  coin.txid.bytes[0] = 0x24;
+  gateway::SubmitFastPayRequest req;
+  req.invoice_id = 9;
+  req.package = wallet.create_fastpay(inv, coin, 2 * btc::kCoin, 0, 1000000);
+  const Bytes valid =
+      gateway::make_frame(gateway::MsgType::kSubmitFastPay, 1, req.serialize());
+
+  for (int i = 0; i < fuzz_iters(100); ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    // The whole decode chain must stay total: frame, then payload.
+    if (auto frame = gateway::Frame::deserialize(mutated)) {
+      (void)gateway::SubmitFastPayRequest::deserialize(frame->payload);
     }
   }
 }

@@ -1,0 +1,644 @@
+// Gateway serving-layer tests: wire decode hardening (every malformed
+// shape rejected, every well-formed message round-trips), the sharded
+// reservation ledger's overcommit/expiry/reconcile semantics, and the
+// full request pipeline against a live deployment — accept, typed
+// rejects, receipts, admission shed, and batch/sequential parity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "btcfast/customer.h"
+#include "btcfast/orchestrator.h"
+#include "common/thread_pool.h"
+#include "gateway/pipeline.h"
+#include "gateway/reservation_ledger.h"
+#include "gateway/stats.h"
+#include "gateway/wire.h"
+
+namespace btcfast::gateway {
+namespace {
+
+using core::RejectReason;
+
+// ------------------------------------------------------------------ wire
+
+/// A genuinely valid FastPayPackage without a full deployment (same idiom
+/// as the parser fuzzer): wallet-signed, never evaluated.
+core::FastPayPackage sample_package() {
+  const sim::Party party = sim::Party::make(77);
+  core::Invoice inv;
+  inv.amount_sat = btc::kCoin;
+  inv.compensation = 1000;
+  inv.pay_to = party.script;
+  inv.merchant_psc = psc::Address::from_label("m");
+  inv.expires_at_ms = 1000000;
+  core::CustomerWallet wallet(party, psc::Address::from_label("c"), 1);
+  btc::OutPoint coin;
+  coin.txid.bytes[0] = 0x42;
+  return wallet.create_fastpay(inv, coin, 2 * btc::kCoin, 0, 1000000);
+}
+
+TEST(GatewayWire, FrameRoundTrip) {
+  Frame f;
+  f.type = MsgType::kSubmitFastPay;
+  f.request_id = 0xdeadbeefcafe;
+  f.payload = {1, 2, 3, 4, 5};
+  const auto back = Frame::deserialize(f.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, f.type);
+  EXPECT_EQ(back->request_id, f.request_id);
+  EXPECT_EQ(back->payload, f.payload);
+}
+
+TEST(GatewayWire, FrameRejectsBadMagic) {
+  auto bytes = make_frame(MsgType::kQueryEscrow, 7, {});
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(Frame::deserialize(bytes).has_value());
+}
+
+TEST(GatewayWire, FrameRejectsUnknownType) {
+  Writer w;
+  w.u32le(kWireMagic);
+  w.u8(0x7f);  // not a MsgType
+  w.u64le(1);
+  w.varint(0);
+  EXPECT_FALSE(Frame::deserialize(std::move(w).take()).has_value());
+}
+
+TEST(GatewayWire, FrameRejectsEveryTruncation) {
+  const auto full = make_frame(MsgType::kGetReceipt, 9, {0xaa, 0xbb});
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(Frame::deserialize({full.data(), len}).has_value()) << "prefix len " << len;
+  }
+  EXPECT_TRUE(Frame::deserialize(full).has_value());
+}
+
+TEST(GatewayWire, FrameRejectsTrailingBytes) {
+  auto bytes = make_frame(MsgType::kGetReceipt, 9, {0xaa});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(Frame::deserialize(bytes).has_value());
+}
+
+TEST(GatewayWire, FrameRejectsOversizedPayloadAnnouncement) {
+  // Header announces a payload over the cap; decoder must refuse before
+  // attempting the (absent, absurd) allocation.
+  Writer w;
+  w.u32le(kWireMagic);
+  w.u8(static_cast<std::uint8_t>(MsgType::kSubmitFastPay));
+  w.u64le(1);
+  w.varint(kMaxFramePayload + 1);
+  EXPECT_FALSE(Frame::deserialize(std::move(w).take()).has_value());
+}
+
+TEST(GatewayWire, SubmitFastPayRoundTrip) {
+  SubmitFastPayRequest req;
+  req.invoice_id = 31337;
+  req.package = sample_package();
+  const auto back = SubmitFastPayRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->invoice_id, req.invoice_id);
+  EXPECT_EQ(back->package.binding, req.package.binding);
+  EXPECT_EQ(back->package.payment_tx, req.package.payment_tx);
+}
+
+TEST(GatewayWire, RequestAndResponseRoundTrips) {
+  {
+    QueryEscrowRequest q{42};
+    const auto back = QueryEscrowRequest::deserialize(q.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->escrow_id, 42u);
+  }
+  {
+    GetReceiptRequest g{99};
+    const auto back = GetReceiptRequest::deserialize(g.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->request_id, 99u);
+  }
+  {
+    FastPayResultResponse r;
+    r.accepted = false;
+    r.code = RejectReason::kUnderpayment;
+    r.reason = "payment output below invoice amount";
+    r.reservation_id = 0;
+    const auto back = FastPayResultResponse::deserialize(r.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->accepted);
+    EXPECT_EQ(back->code, RejectReason::kUnderpayment);
+    EXPECT_EQ(back->reason, r.reason);
+  }
+  {
+    EscrowInfoResponse e;
+    e.found = true;
+    e.state = 1;
+    e.collateral = 500;
+    e.reserved = 120;
+    e.unlock_time_ms = 777;
+    const auto back = EscrowInfoResponse::deserialize(e.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->found);
+    EXPECT_EQ(back->reserved, 120u);
+    EXPECT_EQ(back->unlock_time_ms, 777u);
+  }
+  {
+    ReceiptInfoResponse rc;
+    rc.found = true;
+    rc.accepted = true;
+    rc.code = RejectReason::kNone;
+    rc.decided_at_ms = 123456;
+    const auto back = ReceiptInfoResponse::deserialize(rc.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->found);
+    EXPECT_TRUE(back->accepted);
+    EXPECT_EQ(back->decided_at_ms, 123456u);
+  }
+  {
+    RetryAfterResponse ra{50, 9};
+    const auto back = RetryAfterResponse::deserialize(ra.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->retry_after_ms, 50u);
+    EXPECT_EQ(back->queue_depth, 9u);
+  }
+  {
+    ErrorResponse err;
+    err.code = RejectReason::kMalformedFrame;
+    err.message = "undecodable frame";
+    const auto back = ErrorResponse::deserialize(err.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->code, RejectReason::kMalformedFrame);
+    EXPECT_EQ(back->message, err.message);
+  }
+}
+
+TEST(GatewayWire, ResponsesRejectOutOfRangeEnums) {
+  // Reason code at/above the sentinel.
+  {
+    Writer w;
+    w.u8(0);
+    w.u16le(static_cast<std::uint16_t>(RejectReason::kMaxReason));
+    w.str_with_len("");
+    w.u64le(0);
+    EXPECT_FALSE(FastPayResultResponse::deserialize(std::move(w).take()).has_value());
+  }
+  // Bool encoded as 2.
+  {
+    Writer w;
+    w.u8(2);
+    w.u16le(0);
+    w.str_with_len("");
+    w.u64le(0);
+    EXPECT_FALSE(FastPayResultResponse::deserialize(std::move(w).take()).has_value());
+  }
+  {
+    Writer w;
+    w.u8(2);  // found
+    w.u64le(0);
+    w.u64le(0);
+    w.u64le(0);
+    w.u64le(0);
+    EXPECT_FALSE(EscrowInfoResponse::deserialize(std::move(w).take()).has_value());
+  }
+  {
+    Writer w;
+    w.u16le(999);  // nonsense reason
+    w.str_with_len("x");
+    EXPECT_FALSE(ErrorResponse::deserialize(std::move(w).take()).has_value());
+  }
+}
+
+TEST(GatewayWire, ReasonStringLengthBounded) {
+  FastPayResultResponse r;
+  r.reason = std::string(300, 'x');  // over the 256-byte wire cap
+  EXPECT_FALSE(FastPayResultResponse::deserialize(r.serialize()).has_value());
+}
+
+// ---------------------------------------------------------------- ledger
+
+core::EscrowView active_view(psc::Value collateral, psc::Value reserved = 0,
+                             std::uint64_t unlock_time_ms = 1'000'000) {
+  core::EscrowView v;
+  v.state = core::EscrowState::kActive;
+  v.collateral = collateral;
+  v.reserved = reserved;
+  v.unlock_time_ms = unlock_time_ms;
+  return v;
+}
+
+TEST(ReservationLedger, ReserveThenRelease) {
+  ReservationLedger ledger(4);
+  ledger.upsert_escrow(1, active_view(100));
+  const auto rid = ledger.try_reserve(1, 60, 500);
+  ASSERT_TRUE(rid.has_value());
+
+  auto snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 60u);
+  EXPECT_EQ(snap->live_reservations, 1u);
+
+  const auto res = ledger.find(*rid);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->escrow_id, 1u);
+  EXPECT_EQ(res->amount, 60u);
+  EXPECT_EQ(res->expires_at_ms, 500u);
+
+  EXPECT_TRUE(ledger.release(*rid));
+  snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 0u);
+  EXPECT_EQ(ledger.total_granted(), 1u);
+  EXPECT_EQ(ledger.total_released(), 1u);
+}
+
+TEST(ReservationLedger, DoubleReleaseIsLoud) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100));
+  const auto rid = ledger.try_reserve(1, 10, 500);
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_TRUE(ledger.release(*rid));
+  EXPECT_FALSE(ledger.release(*rid));  // second release: loud failure
+  EXPECT_FALSE(ledger.release(0xdead00));  // never-granted id
+  EXPECT_EQ(ledger.total_released(), 1u);
+}
+
+TEST(ReservationLedger, TypedDenials) {
+  ReservationLedger ledger;
+  RejectReason why = RejectReason::kNone;
+
+  EXPECT_FALSE(ledger.try_reserve(5, 1, 10, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kEscrowLookupFailed);
+
+  auto disputed = active_view(100);
+  disputed.state = core::EscrowState::kDisputed;
+  ledger.upsert_escrow(6, disputed);
+  EXPECT_FALSE(ledger.try_reserve(6, 1, 10, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kEscrowNotActive);
+
+  EXPECT_EQ(ledger.total_denied(), 2u);
+}
+
+TEST(ReservationLedger, UnlockTimeEdge) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100, 0, /*unlock_time_ms=*/1000));
+  RejectReason why = RejectReason::kNone;
+
+  // Reservation expiring exactly at unlock still fits (the dispute window
+  // closes no later than the collateral unlocks)...
+  EXPECT_TRUE(ledger.try_reserve(1, 1, /*expires_at_ms=*/1000).has_value());
+  // ...one millisecond past it does not.
+  EXPECT_FALSE(ledger.try_reserve(1, 1, 1001, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kEscrowUnlocksTooSoon);
+}
+
+TEST(ReservationLedger, ExactCollateralFitThenDenied) {
+  ReservationLedger ledger;
+  // 20 already reserved on-chain; 80 of local headroom remains.
+  ledger.upsert_escrow(1, active_view(100, /*reserved=*/20));
+  RejectReason why = RejectReason::kNone;
+
+  EXPECT_TRUE(ledger.try_reserve(1, 50, 500).has_value());
+  EXPECT_TRUE(ledger.try_reserve(1, 30, 500).has_value());  // exact fit
+  EXPECT_FALSE(ledger.try_reserve(1, 1, 500, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kInsufficientCollateral);
+
+  const auto snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->view.reserved + snap->local_reserved, snap->view.collateral);
+}
+
+TEST(ReservationLedger, ExposureCapDeniedBeforeCollateralExhausted) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(1000));
+  RejectReason why = RejectReason::kNone;
+
+  EXPECT_TRUE(ledger.try_reserve(1, 50, 500, /*exposure_cap=*/50).has_value());
+  EXPECT_FALSE(ledger.try_reserve(1, 1, 500, 50, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kExposureCap);
+  // Uncapped call against the same escrow still fits — the cap is a
+  // per-merchant policy, not a property of the escrow.
+  EXPECT_TRUE(ledger.try_reserve(1, 1, 500).has_value());
+}
+
+TEST(ReservationLedger, ExpiryAtDeadlineEdge) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100));
+  const auto rid = ledger.try_reserve(1, 40, /*expires_at_ms=*/5000);
+  ASSERT_TRUE(rid.has_value());
+
+  // One tick before the deadline: still alive.
+  EXPECT_EQ(ledger.expire_due(4999), 0u);
+  EXPECT_TRUE(ledger.find(*rid).has_value());
+
+  // At the deadline: dropped, headroom restored, id now unknown.
+  EXPECT_EQ(ledger.expire_due(5000), 1u);
+  EXPECT_FALSE(ledger.find(*rid).has_value());
+  EXPECT_FALSE(ledger.release(*rid));
+  const auto snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 0u);
+  EXPECT_EQ(ledger.total_expired(), 1u);
+}
+
+TEST(ReservationLedger, ReconcileAfterReorgPreservesLocalReservations) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100));
+  ASSERT_TRUE(ledger.try_reserve(1, 40, 500).has_value());
+
+  // A PSC reorg shrank the collateral to 60: the refreshed view must not
+  // forget the 40 the gateway already promised against.
+  ledger.reconcile({{1, active_view(60)}});
+  const auto snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->view.collateral, 60u);
+  EXPECT_EQ(snap->local_reserved, 40u);
+
+  // Headroom is now 20: a 21 overshoots, a 20 fits exactly.
+  RejectReason why = RejectReason::kNone;
+  EXPECT_FALSE(ledger.try_reserve(1, 21, 500, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kInsufficientCollateral);
+  EXPECT_TRUE(ledger.try_reserve(1, 20, 500).has_value());
+}
+
+TEST(ReservationLedger, EraseEscrowDropsItsReservations) {
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100));
+  const auto rid = ledger.try_reserve(1, 10, 500);
+  ASSERT_TRUE(rid.has_value());
+
+  ledger.erase_escrow(1);
+  EXPECT_FALSE(ledger.snapshot(1).has_value());
+  EXPECT_FALSE(ledger.find(*rid).has_value());
+  EXPECT_FALSE(ledger.release(*rid));
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(GatewayStatsTest, HistogramPercentilesAndMean) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record_us(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean_us(), 1000.0);
+  // 1000us lands in the [512, 1024) bucket; interpolation stays inside.
+  EXPECT_GE(h.percentile_us(50), 512.0);
+  EXPECT_LE(h.percentile_us(99), 1024.0);
+}
+
+TEST(GatewayStatsTest, CountersAndJson) {
+  GatewayStats st;
+  st.on_accept(10);
+  st.on_reject(RejectReason::kUnderpayment, 5);
+  st.on_reject(RejectReason::kUnderpayment, 5);
+  st.on_shed();
+  EXPECT_EQ(st.accepts(), 1u);
+  EXPECT_EQ(st.rejects(), 2u);
+  EXPECT_EQ(st.sheds(), 1u);
+  EXPECT_EQ(st.rejects_for(RejectReason::kUnderpayment), 2u);
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"accepts\""), std::string::npos);
+  EXPECT_NE(json.find("underpayment"), std::string::npos);
+
+  st.reset();
+  EXPECT_EQ(st.accepts(), 0u);
+  EXPECT_EQ(st.rejects_for(RejectReason::kUnderpayment), 0u);
+}
+
+// -------------------------------------------------------------- pipeline
+
+/// Deployment-backed harness mirroring MerchantUnit: a consistent world
+/// with one funded escrow, served through the gateway's wire front door.
+struct GatewayUnit : ::testing::Test {
+  GatewayUnit() {
+    core::DeploymentConfig cfg;
+    cfg.seed = 424;
+    cfg.funded_coins = 3;
+    dep = std::make_unique<core::Deployment>(cfg);
+    now = static_cast<std::uint64_t>(dep->simulator().now());
+    invoice = dep->merchant().make_invoice(5 * btc::kCoin, dep->config().compensation, now,
+                                           10ULL * 60 * 1000);
+    coins = sim::find_spendable(dep->customer_node().chain(),
+                                dep->customer().btc_identity().script);
+    pkg = dep->customer().create_fastpay(invoice, coins[0].first, coins[0].second.out.value, now,
+                                         dep->config().binding_ttl_ms);
+  }
+
+  std::unique_ptr<Gateway> make_gateway(GatewayConfig cfg = {}) {
+    auto gw = std::make_unique<Gateway>(dep->merchant(), pool, cfg);
+    gw->register_invoice(invoice);
+    gw->track_escrow(dep->customer().escrow_id());
+    return gw;
+  }
+
+  [[nodiscard]] Bytes submit_frame(std::uint64_t request_id,
+                                   const core::FastPayPackage& p) const {
+    SubmitFastPayRequest req;
+    req.invoice_id = invoice.invoice_id;
+    req.package = p;
+    return make_frame(MsgType::kSubmitFastPay, request_id, req.serialize());
+  }
+
+  static FastPayResultResponse decode_result(const Bytes& bytes) {
+    const auto frame = Frame::deserialize(bytes);
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::kFastPayResult);
+    const auto resp = FastPayResultResponse::deserialize(frame->payload);
+    EXPECT_TRUE(resp.has_value());
+    return resp.value_or(FastPayResultResponse{});
+  }
+
+  common::ThreadPool pool{0};  // inline: deterministic single-thread serve
+  std::unique_ptr<core::Deployment> dep;
+  std::uint64_t now = 0;
+  core::Invoice invoice{};
+  std::vector<std::pair<btc::OutPoint, btc::Coin>> coins;
+  core::FastPayPackage pkg{};
+};
+
+TEST_F(GatewayUnit, SubmitAcceptedEndToEnd) {
+  auto gw = make_gateway();
+  const auto resp = decode_result(gw->serve(submit_frame(1, pkg), now));
+  EXPECT_TRUE(resp.accepted) << resp.reason;
+  EXPECT_EQ(resp.code, RejectReason::kNone);
+  EXPECT_NE(resp.reservation_id, 0u);
+
+  // The accept reserved collateral and queued the commit.
+  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
+  EXPECT_EQ(gw->commit_queue_depth(), 1u);
+  EXPECT_EQ(gw->stats().accepts(), 1u);
+
+  // Flush runs the merchant bookkeeping; the book now carries it.
+  EXPECT_EQ(dep->merchant().pending().size(), 0u);
+  (void)gw->flush_accepted();
+  EXPECT_EQ(dep->merchant().pending().size(), 1u);
+  EXPECT_EQ(gw->commit_queue_depth(), 0u);
+
+  // The receipt is queryable by the submit frame's request id.
+  const auto receipt_bytes =
+      gw->serve(make_frame(MsgType::kGetReceipt, 2, GetReceiptRequest{1}.serialize()), now);
+  const auto rframe = Frame::deserialize(receipt_bytes);
+  ASSERT_TRUE(rframe.has_value());
+  EXPECT_EQ(rframe->type, MsgType::kReceiptInfo);
+  const auto receipt = ReceiptInfoResponse::deserialize(rframe->payload);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_TRUE(receipt->found);
+  EXPECT_TRUE(receipt->accepted);
+  EXPECT_EQ(receipt->decided_at_ms, now);
+}
+
+TEST_F(GatewayUnit, QueryEscrowReflectsLocalReservations) {
+  auto gw = make_gateway();
+  const auto query = [&]() -> EscrowInfoResponse {
+    const auto bytes = gw->serve(
+        make_frame(MsgType::kQueryEscrow, 5,
+                   QueryEscrowRequest{dep->customer().escrow_id()}.serialize()),
+        now);
+    const auto frame = Frame::deserialize(bytes);
+    EXPECT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::kEscrowInfo);
+    const auto resp = EscrowInfoResponse::deserialize(frame->payload);
+    EXPECT_TRUE(resp.has_value());
+    return resp.value_or(EscrowInfoResponse{});
+  };
+
+  const auto before = query();
+  ASSERT_TRUE(before.found);
+  EXPECT_EQ(before.state, static_cast<std::uint64_t>(core::EscrowState::kActive));
+
+  const auto resp = decode_result(gw->serve(submit_frame(1, pkg), now));
+  ASSERT_TRUE(resp.accepted) << resp.reason;
+
+  const auto after = query();
+  EXPECT_EQ(after.reserved, before.reserved + pkg.binding.binding.compensation);
+  EXPECT_EQ(after.collateral, before.collateral);
+}
+
+TEST_F(GatewayUnit, UnknownReceiptReportsNotFound) {
+  auto gw = make_gateway();
+  const auto bytes =
+      gw->serve(make_frame(MsgType::kGetReceipt, 3, GetReceiptRequest{777}.serialize()), now);
+  const auto frame = Frame::deserialize(bytes);
+  ASSERT_TRUE(frame.has_value());
+  const auto receipt = ReceiptInfoResponse::deserialize(frame->payload);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_FALSE(receipt->found);
+}
+
+TEST_F(GatewayUnit, UnknownInvoiceTypedReject) {
+  auto gw = make_gateway();
+  SubmitFastPayRequest req;
+  req.invoice_id = invoice.invoice_id + 12345;  // never registered
+  req.package = pkg;
+  const auto resp = decode_result(
+      gw->serve(make_frame(MsgType::kSubmitFastPay, 1, req.serialize()), now));
+  EXPECT_FALSE(resp.accepted);
+  EXPECT_EQ(resp.code, RejectReason::kUnknownInvoice);
+  EXPECT_EQ(gw->stats().rejects_for(RejectReason::kUnknownInvoice), 1u);
+}
+
+TEST_F(GatewayUnit, MalformedFrameGetsTypedError) {
+  auto gw = make_gateway();
+  const Bytes junk{0x00, 0x01, 0x02};
+  const auto bytes = gw->serve(junk, now);
+  const auto frame = Frame::deserialize(bytes);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kError);
+  const auto err = ErrorResponse::deserialize(frame->payload);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, RejectReason::kMalformedFrame);
+  EXPECT_EQ(gw->stats().rejects_for(RejectReason::kMalformedFrame), 1u);
+}
+
+TEST_F(GatewayUnit, OverloadShedsWithRetryAfter) {
+  GatewayConfig cfg;
+  cfg.max_inflight = 0;  // every request is over capacity
+  cfg.retry_after_ms = 75;
+  auto gw = make_gateway(cfg);
+  const auto bytes = gw->serve(submit_frame(42, pkg), now);
+  const auto frame = Frame::deserialize(bytes);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kRetryAfter);
+  EXPECT_EQ(frame->request_id, 42u);  // echoed from the shed frame header
+  const auto shed = RetryAfterResponse::deserialize(frame->payload);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->retry_after_ms, 75u);
+  EXPECT_EQ(gw->stats().sheds(), 1u);
+  EXPECT_EQ(gw->stats().accepts(), 0u);
+  // A shed request left no residue: no receipt, no reservation.
+  EXPECT_EQ(gw->commit_queue_depth(), 0u);
+}
+
+TEST_F(GatewayUnit, RejectParityWithDirectEvaluation) {
+  auto tampered = pkg;
+  tampered.binding.customer_sig[7] ^= 0x40;
+
+  const auto direct = dep->merchant().evaluate_fastpay(tampered, invoice, now);
+  ASSERT_FALSE(direct.accepted);
+
+  auto gw = make_gateway();
+  const auto resp = decode_result(gw->serve(submit_frame(1, tampered), now));
+  EXPECT_FALSE(resp.accepted);
+  EXPECT_EQ(resp.code, direct.code);
+  EXPECT_EQ(resp.code, RejectReason::kBindingSigInvalid);
+  EXPECT_EQ(resp.reason, direct.reason);
+  // No reservation was held for the reject.
+  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 0u);
+}
+
+TEST_F(GatewayUnit, ReconcileExpiresReservationAtTtlEdge) {
+  GatewayConfig cfg;
+  cfg.reservation_ttl_ms = 1000;
+  auto gw = make_gateway(cfg);
+  const auto resp = decode_result(gw->serve(submit_frame(1, pkg), now));
+  ASSERT_TRUE(resp.accepted) << resp.reason;
+
+  gw->reconcile(now + 999);
+  auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
+
+  gw->reconcile(now + 1000);
+  snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 0u);
+  EXPECT_EQ(gw->ledger().total_expired(), 1u);
+}
+
+TEST_F(GatewayUnit, ServeBatchMatchesSequentialServe) {
+  // Three frames covering accept, typed reject and unknown invoice; a
+  // pooled batch gateway and an inline sequential one must answer
+  // byte-identically (reservation ids included — both ledgers are fresh).
+  auto tampered = pkg;
+  tampered.binding.customer_sig[3] ^= 0x01;
+  SubmitFastPayRequest unknown;
+  unknown.invoice_id = invoice.invoice_id + 999;
+  unknown.package = pkg;
+
+  const std::vector<Bytes> frames = {
+      submit_frame(1, pkg),
+      submit_frame(2, tampered),
+      make_frame(MsgType::kSubmitFastPay, 3, unknown.serialize()),
+      make_frame(MsgType::kQueryEscrow, 4,
+                 QueryEscrowRequest{dep->customer().escrow_id()}.serialize()),
+  };
+
+  common::ThreadPool workers{2};
+  auto batch_gw = std::make_unique<Gateway>(dep->merchant(), workers, GatewayConfig{});
+  batch_gw->register_invoice(invoice);
+  batch_gw->track_escrow(dep->customer().escrow_id());
+  const auto batched = batch_gw->serve_batch(frames, now);
+
+  auto seq_gw = make_gateway();
+  std::vector<Bytes> sequential;
+  for (const auto& f : frames) sequential.push_back(seq_gw->serve(f, now));
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(batched[i], sequential[i]) << "response " << i << " diverged";
+  }
+  EXPECT_EQ(batch_gw->stats().accepts(), 1u);
+  EXPECT_EQ(batch_gw->stats().rejects(), 2u);
+}
+
+}  // namespace
+}  // namespace btcfast::gateway

@@ -40,11 +40,14 @@ struct MerchantUnit : ::testing::Test {
 TEST_F(MerchantUnit, ValidPackageAccepted) {
   const auto d = eval();
   EXPECT_TRUE(d.accepted) << d.reason;
+  EXPECT_EQ(d.code, RejectReason::kNone);
 }
 
 TEST_F(MerchantUnit, ExpiredInvoiceRejected) {
   now = invoice.expires_at_ms + 1;
-  EXPECT_EQ(eval().reason, "invoice expired");
+  const auto d = eval();
+  EXPECT_EQ(d.reason, "invoice expired");
+  EXPECT_EQ(d.code, RejectReason::kInvoiceExpired);
 }
 
 TEST_F(MerchantUnit, WrongMerchantBindingRejected) {
@@ -90,7 +93,9 @@ TEST_F(MerchantUnit, UnknownEscrowRejected) {
 
 TEST_F(MerchantUnit, ForgedBindingSignatureRejected) {
   pkg.binding.customer_sig[7] ^= 0x40;
-  EXPECT_EQ(eval().reason, "binding signature invalid");
+  const auto d = eval();
+  EXPECT_EQ(d.reason, "binding signature invalid");
+  EXPECT_EQ(d.code, RejectReason::kBindingSigInvalid);
 }
 
 TEST_F(MerchantUnit, BindingSignedByWrongKeyRejected) {
@@ -124,6 +129,72 @@ TEST_F(MerchantUnit, ExposureAccumulatesAcrossAccepts) {
   (void)dep->merchant().accept_payment(pkg, invoice, now);
   EXPECT_EQ(dep->merchant().outstanding_exposure(dep->customer().escrow_id()),
             pkg.binding.binding.compensation);
+}
+
+/// A second MerchantService over the same deployment world (same identity,
+/// node and PSC view) but with admission limits — Config is fixed at
+/// construction, so limit boundaries get their own instance.
+struct MerchantLimits : MerchantUnit {
+  MerchantService limited(std::size_t max_pending, psc::Value exposure_cap) {
+    MerchantService::Config cfg = dep->merchant().config();
+    cfg.max_pending_payments = max_pending;
+    cfg.per_escrow_exposure_cap = exposure_cap;
+    return MerchantService(dep->merchant().btc_identity(), dep->merchant_node(), dep->psc(),
+                           cfg);
+  }
+
+  FastPayPackage second_package() {
+    const auto coins = sim::find_spendable(dep->customer_node().chain(),
+                                           dep->customer().btc_identity().script);
+    return dep->customer().create_fastpay(invoice, coins[1].first, coins[1].second.out.value,
+                                          now, dep->config().binding_ttl_ms);
+  }
+};
+
+TEST_F(MerchantLimits, PendingLimitBoundary) {
+  auto svc = limited(/*max_pending=*/1, /*exposure_cap=*/0);
+
+  // First payment fits exactly at the bound...
+  const auto first = svc.evaluate_fastpay(pkg, invoice, now);
+  ASSERT_TRUE(first.accepted) << first.reason;
+  (void)svc.accept_payment(pkg, invoice, now);
+  EXPECT_EQ(svc.active_pending_count(), 1u);
+
+  // ...the next one trips it before any signature work.
+  const auto second = svc.evaluate_fastpay(second_package(), invoice, now);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(second.code, RejectReason::kPendingLimit);
+  EXPECT_EQ(second.reason, "merchant pending-payment limit reached");
+}
+
+TEST_F(MerchantLimits, PendingLimitOfTwoAdmitsSecond) {
+  auto svc = limited(/*max_pending=*/2, /*exposure_cap=*/0);
+  ASSERT_TRUE(svc.evaluate_fastpay(pkg, invoice, now).accepted);
+  (void)svc.accept_payment(pkg, invoice, now);
+  const auto second = svc.evaluate_fastpay(second_package(), invoice, now);
+  EXPECT_TRUE(second.accepted) << second.reason;
+}
+
+TEST_F(MerchantLimits, ExposureCapBoundary) {
+  // Cap set to exactly one compensation: the first payment lands on the
+  // boundary and is admitted; the second would exceed it.
+  auto svc = limited(/*max_pending=*/0, /*exposure_cap=*/invoice.compensation);
+
+  const auto first = svc.evaluate_fastpay(pkg, invoice, now);
+  ASSERT_TRUE(first.accepted) << first.reason;
+  (void)svc.accept_payment(pkg, invoice, now);
+  EXPECT_EQ(svc.outstanding_exposure(dep->customer().escrow_id()), invoice.compensation);
+
+  const auto second = svc.evaluate_fastpay(second_package(), invoice, now);
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(second.code, RejectReason::kExposureCap);
+}
+
+TEST_F(MerchantLimits, ExposureCapBelowOnePaymentRejectsImmediately) {
+  auto svc = limited(/*max_pending=*/0, /*exposure_cap=*/invoice.compensation - 1);
+  const auto d = svc.evaluate_fastpay(pkg, invoice, now);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.code, RejectReason::kExposureCap);
 }
 
 TEST_F(MerchantUnit, InvoiceIdsAreUnique) {
