@@ -86,13 +86,17 @@ AcceptDecision MerchantService::evaluate_against(const FastPayPackage& pkg,
   }
   // Coverage: collateral net of on-chain reservations (other merchants'
   // locked exposure) and of our own unsettled optimistic acceptances.
+  // `b.compensation` is attacker-chosen, so compare against the headroom
+  // instead of summing with `outstanding` — a near-2^64 compensation must
+  // not wrap the exposure total past the check.
   const psc::Value available =
       escrow->collateral > escrow->reserved ? escrow->collateral - escrow->reserved : 0;
-  if (available < b.compensation + outstanding) {
+  if (b.compensation > available || outstanding > available - b.compensation) {
     return reject(RejectReason::kInsufficientCollateral, "collateral would not cover exposure");
   }
   if (config_.per_escrow_exposure_cap > 0 &&
-      outstanding + b.compensation > config_.per_escrow_exposure_cap) {
+      (b.compensation > config_.per_escrow_exposure_cap ||
+       outstanding > config_.per_escrow_exposure_cap - b.compensation)) {
     return reject(RejectReason::kExposureCap, "per-escrow exposure cap exceeded");
   }
   // Binding must outlive neither the escrow unlock (customer could

@@ -75,13 +75,24 @@ std::optional<EscrowView> Gateway::escrow_for(EscrowId id) {
 
 void Gateway::record_receipt(std::uint64_t request_id, bool accepted, RejectReason code,
                              std::uint64_t now_ms) {
+  if (config_.max_receipts == 0) return;
   ReceiptInfoResponse r;
   r.found = true;
   r.accepted = accepted;
   r.code = code;
   r.decided_at_ms = now_ms;
   std::lock_guard lock(receipts_mu_);
-  receipts_[request_id] = r;
+  // Receipts are best-effort: request ids are client-chosen, so the cache
+  // is a bounded FIFO — oldest decisions fall out first, never the map
+  // growing with attacker-supplied fresh ids.
+  const bool inserted = receipts_.insert_or_assign(request_id, r).second;
+  if (inserted) {
+    receipt_order_.push_back(request_id);
+    while (receipts_.size() > config_.max_receipts) {
+      receipts_.erase(receipt_order_.front());
+      receipt_order_.pop_front();
+    }
+  }
 }
 
 Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
@@ -178,11 +189,12 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
 
   // Stage: reserve. The single serialization point — the ledger decides
   // atomically whether this payment still fits the escrow's collateral
-  // (and the merchant's exposure cap) given every concurrent winner.
-  const std::uint64_t expires_at =
-      config_.reservation_ttl_ms > 0 ? now_ms + config_.reservation_ttl_ms : b.expiry_ms;
+  // (and the merchant's exposure cap) given every concurrent winner. The
+  // hold lasts until the binding's own expiry: the merchant is exposed
+  // for as long as the binding is disputable, so releasing any earlier
+  // would undercount exposure and let later payments overcommit.
   RejectReason deny = RejectReason::kNone;
-  const auto rid = ledger_.try_reserve(b.escrow_id, b.compensation, expires_at,
+  const auto rid = ledger_.try_reserve(b.escrow_id, b.compensation, b.expiry_ms,
                                        merchant_.config().per_escrow_exposure_cap, &deny);
   if (!rid) {
     return finish(false, deny, std::string("reservation denied: ") + core::describe(deny), 0);

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -42,8 +43,11 @@ struct GatewayConfig {
   std::size_t max_inflight = 256;
   /// Hint returned in RetryAfter responses.
   std::uint64_t retry_after_ms = 50;
-  /// Reservation lifetime; 0 = hold until the binding's own expiry.
-  std::uint64_t reservation_ttl_ms = 0;
+  /// Bound on the best-effort receipt cache behind GetReceipt: oldest
+  /// receipts are evicted first once the cache is full (request ids are
+  /// client-chosen, so an unbounded map would let an untrusted client
+  /// exhaust gateway memory). 0 disables receipts entirely.
+  std::size_t max_receipts = 4096;
   /// Fetch untracked escrows from the PSC chain on demand. Only safe
   /// when serve() is called single-threaded (the chain view call is not
   /// thread-safe); concurrent deployments pre-register via track_escrow.
@@ -122,6 +126,7 @@ class Gateway {
 
   mutable std::mutex receipts_mu_;
   std::unordered_map<std::uint64_t, ReceiptInfoResponse> receipts_;
+  std::deque<std::uint64_t> receipt_order_;  ///< FIFO eviction order for receipts_
 
   mutable std::mutex commit_mu_;
   std::vector<Accepted> commit_queue_;

@@ -46,12 +46,16 @@ std::optional<ReservationId> ReservationLedger::try_reserve(EscrowId id, psc::Va
   }
   // Coverage against the authoritative snapshot: everything already
   // pledged (on-chain reservations plus our own live grants) plus this
-  // request must fit in the collateral.
-  const psc::Value committed = e.view.reserved + e.local_reserved;
-  if (committed + amount > e.view.collateral) {
+  // request must fit in the collateral. `amount` is attacker-chosen, so
+  // the comparisons subtract from the collateral instead of summing —
+  // a near-2^64 request must not wrap the total past the check.
+  if (amount > e.view.collateral ||
+      e.view.reserved > e.view.collateral - amount ||
+      e.local_reserved > e.view.collateral - amount - e.view.reserved) {
     return deny(core::RejectReason::kInsufficientCollateral);
   }
-  if (exposure_cap > 0 && e.local_reserved + amount > exposure_cap) {
+  if (exposure_cap > 0 &&
+      (amount > exposure_cap || e.local_reserved > exposure_cap - amount)) {
     return deny(core::RejectReason::kExposureCap);
   }
   const ReservationId rid =

@@ -5,6 +5,7 @@
 // rejects, receipts, admission shed, and batch/sequential parity.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "btcfast/customer.h"
@@ -337,6 +338,32 @@ TEST(ReservationLedger, ExpiryAtDeadlineEdge) {
   EXPECT_EQ(ledger.total_expired(), 1u);
 }
 
+TEST(ReservationLedger, NearMaxAmountCannotWrapCoverage) {
+  // Regression: with local_reserved = 10, an amount of 2^64 - 10 used to
+  // wrap `committed + amount` to 0, granting the reserve and then
+  // wrapping local_reserved itself to 0 — erasing all tracked exposure.
+  ReservationLedger ledger;
+  ledger.upsert_escrow(1, active_view(100));
+  ASSERT_TRUE(ledger.try_reserve(1, 10, 500).has_value());
+
+  RejectReason why = RejectReason::kNone;
+  const psc::Value huge = std::numeric_limits<psc::Value>::max() - 9;  // 2^64 - 10
+  EXPECT_FALSE(ledger.try_reserve(1, huge, 500, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kInsufficientCollateral);
+  // Exposure cap path is overflow-safe too.
+  EXPECT_FALSE(ledger.try_reserve(1, huge, 500, /*exposure_cap=*/50, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kInsufficientCollateral);
+
+  const auto snap = ledger.snapshot(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, 10u);
+
+  // A corrupted on-chain figure must not wrap `reserved + local` either.
+  ledger.upsert_escrow(2, active_view(100, /*reserved=*/std::numeric_limits<psc::Value>::max()));
+  EXPECT_FALSE(ledger.try_reserve(2, 1, 500, 0, &why).has_value());
+  EXPECT_EQ(why, RejectReason::kInsufficientCollateral);
+}
+
 TEST(ReservationLedger, ReconcileAfterReorgPreservesLocalReservations) {
   ReservationLedger ledger;
   ledger.upsert_escrow(1, active_view(100));
@@ -585,23 +612,83 @@ TEST_F(GatewayUnit, RejectParityWithDirectEvaluation) {
   EXPECT_EQ(snap->local_reserved, 0u);
 }
 
-TEST_F(GatewayUnit, ReconcileExpiresReservationAtTtlEdge) {
-  GatewayConfig cfg;
-  cfg.reservation_ttl_ms = 1000;
-  auto gw = make_gateway(cfg);
+TEST_F(GatewayUnit, ReservationHeldForFullBindingLifetime) {
+  // The collateral hold must cover the binding's entire disputable life:
+  // releasing it any earlier would undercount exposure and let later
+  // payments overcommit the escrow (the merchant is still owed the
+  // compensation if this payment double-spends).
+  auto gw = make_gateway();
   const auto resp = decode_result(gw->serve(submit_frame(1, pkg), now));
   ASSERT_TRUE(resp.accepted) << resp.reason;
+  const std::uint64_t expiry = pkg.binding.binding.expiry_ms;
 
-  gw->reconcile(now + 999);
+  gw->reconcile(expiry - 1);
   auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
 
-  gw->reconcile(now + 1000);
+  gw->reconcile(expiry);
   snap = gw->ledger().snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, 0u);
   EXPECT_EQ(gw->ledger().total_expired(), 1u);
+}
+
+TEST_F(GatewayUnit, HugeCompensationBindingCannotWrapCoverage) {
+  // Regression: with one small reservation live (local_reserved = s), a
+  // self-signed binding asking for 2^64 - s used to wrap the unsigned
+  // coverage sums to 0 in both evaluate_against and try_reserve, erasing
+  // all tracked exposure. Both checks are overflow-safe now.
+  auto gw = make_gateway();
+  const auto first = decode_result(gw->serve(submit_frame(1, pkg), now));
+  ASSERT_TRUE(first.accepted) << first.reason;
+  (void)gw->flush_accepted();
+  const auto outstanding = pkg.binding.binding.compensation;
+
+  auto evil = dep->customer().create_fastpay(invoice, coins[1].first, coins[1].second.out.value,
+                                             now, dep->config().binding_ttl_ms);
+  evil.binding.binding.compensation =
+      std::numeric_limits<psc::Value>::max() - outstanding + 1;  // sum wraps to 0
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      evil.binding.binding.signing_digest());
+  evil.binding.customer_sig = sig.serialize();
+
+  const auto resp = decode_result(gw->serve(submit_frame(2, evil), now));
+  EXPECT_FALSE(resp.accepted);
+  EXPECT_EQ(resp.code, RejectReason::kInsufficientCollateral);
+  // The small reservation is still tracked — nothing was erased.
+  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, outstanding);
+}
+
+TEST_F(GatewayUnit, ReceiptCacheBoundedFifo) {
+  GatewayConfig cfg;
+  cfg.max_receipts = 2;
+  auto gw = make_gateway(cfg);
+  const auto receipt_for = [&](std::uint64_t request_id) -> ReceiptInfoResponse {
+    const auto bytes = gw->serve(
+        make_frame(MsgType::kGetReceipt, 100 + request_id,
+                   GetReceiptRequest{request_id}.serialize()),
+        now);
+    const auto frame = Frame::deserialize(bytes);
+    EXPECT_TRUE(frame.has_value());
+    const auto resp = ReceiptInfoResponse::deserialize(frame->payload);
+    EXPECT_TRUE(resp.has_value());
+    return resp.value_or(ReceiptInfoResponse{});
+  };
+
+  // Three decisions under a cap of two: the attacker model is a client
+  // streaming fresh request ids, so the oldest receipt must fall out.
+  SubmitFastPayRequest req;
+  req.invoice_id = invoice.invoice_id + 999;  // unknown invoice: cheap reject
+  req.package = pkg;
+  for (std::uint64_t rid = 1; rid <= 3; ++rid) {
+    (void)gw->serve(make_frame(MsgType::kSubmitFastPay, rid, req.serialize()), now);
+  }
+  EXPECT_FALSE(receipt_for(1).found);  // evicted
+  EXPECT_TRUE(receipt_for(2).found);
+  EXPECT_TRUE(receipt_for(3).found);
 }
 
 TEST_F(GatewayUnit, ServeBatchMatchesSequentialServe) {

@@ -3,6 +3,8 @@
 // exercised directly (the integration suite covers the happy paths).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "btcfast/orchestrator.h"
 
 namespace btcfast::core {
@@ -188,6 +190,28 @@ TEST_F(MerchantLimits, ExposureCapBoundary) {
   const auto second = svc.evaluate_fastpay(second_package(), invoice, now);
   EXPECT_FALSE(second.accepted);
   EXPECT_EQ(second.code, RejectReason::kExposureCap);
+}
+
+TEST_F(MerchantLimits, HugeCompensationCannotWrapCoverageCheck) {
+  // Regression: with outstanding exposure s > 0, a self-signed binding
+  // asking for 2^64 - s used to wrap `b.compensation + outstanding` to 0
+  // and pass the coverage check, accepting unlimited exposure.
+  auto svc = limited(/*max_pending=*/0, /*exposure_cap=*/0);
+  ASSERT_TRUE(svc.evaluate_fastpay(pkg, invoice, now).accepted);
+  (void)svc.accept_payment(pkg, invoice, now);
+  const auto outstanding = svc.outstanding_exposure(dep->customer().escrow_id());
+  ASSERT_GT(outstanding, 0u);
+
+  auto evil = second_package();
+  evil.binding.binding.compensation =
+      std::numeric_limits<psc::Value>::max() - outstanding + 1;  // sum wraps to 0
+  const auto sig = crypto::ecdsa_sign(dep->customer().btc_identity().key,
+                                      evil.binding.binding.signing_digest());
+  evil.binding.customer_sig = sig.serialize();
+
+  const auto d = svc.evaluate_fastpay(evil, invoice, now);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.code, RejectReason::kInsufficientCollateral);
 }
 
 TEST_F(MerchantLimits, ExposureCapBelowOnePaymentRejectsImmediately) {
