@@ -10,9 +10,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_table.h"
 #include "btcfast/orchestrator.h"
@@ -20,6 +23,7 @@
 #include "crypto/sigcache.h"
 #include "gateway/pipeline.h"
 #include "gateway/wire.h"
+#include "store/recovery.h"
 
 using namespace btcfast;
 
@@ -105,11 +109,13 @@ int main() {
     invoices.push_back(std::move(inv));
   }
 
-  auto run = [&](std::size_t threads, std::size_t max_inflight, double* out_wall_us) {
+  auto run = [&](std::size_t threads, std::size_t max_inflight, double* out_wall_us,
+                 store::DurableStore* store = nullptr) {
     gateway::GatewayConfig gwcfg;
     gwcfg.max_inflight = max_inflight;
     auto gw = std::make_unique<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(),
                                                  gwcfg);
+    if (store != nullptr) gw->attach_store(store);
     for (const auto& inv : invoices) gw->register_invoice(inv);
     for (std::size_t e = 1; e <= kEscrows; ++e) {
       gw->track_escrow(static_cast<core::EscrowId>(e));
@@ -159,6 +165,39 @@ int main() {
   }
   throughput.print();
 
+  // Persistence cost: the same serve loop with the durable store
+  // attached — every accept WAL-commits a kReserve before its response,
+  // so the delta vs the table above is the price of ack-time durability.
+  bench::Table durable_table(
+      {"threads", "accepts", "accepts/s", "wal appends", "fsyncs", "p99 (us)"});
+  for (const std::size_t threads : thread_counts) {
+    const auto store_dir =
+        std::filesystem::temp_directory_path() /
+        ("btcfast-bench-e11-store-" + std::to_string(threads) + "-" +
+         std::to_string(static_cast<unsigned long>(::getpid())));
+    std::filesystem::remove_all(store_dir);
+    store::StoreOptions sopts;
+    sopts.policy = store::FsyncPolicy::kBatch;
+    auto st = store::DurableStore::open(store_dir.string(), sopts);
+    if (st == nullptr) {
+      std::fprintf(stderr, "cannot open durable store in %s\n", store_dir.string().c_str());
+      return 1;
+    }
+    double wall_us = 0;
+    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us, st.get());
+    const auto& st_stats = gw->stats();
+    const double accepts_s = st_stats.accepts() / (wall_us / 1e6);
+    durable_table.row({bench::fmt_u(threads), bench::fmt_u(st_stats.accepts()),
+                       bench::fmt(accepts_s, 0), bench::fmt_u(st->wal_appends()),
+                       bench::fmt_u(st->wal_syncs()),
+                       bench::fmt(st_stats.latency().percentile_us(99), 1)});
+    if (st_stats.accepts() != kPayments) coverage_ok = false;
+    st.reset();
+    std::filesystem::remove_all(store_dir);
+  }
+  std::printf("\n# with durable store attached (batch fsync)\n");
+  durable_table.print();
+
   // Overload: more customer threads than admission slots — the surplus
   // must be shed with RetryAfter, not queued.
   const std::size_t overload_threads = 8;
@@ -183,6 +222,7 @@ int main() {
   doc.set("overload_sheds", overloaded->stats().sheds());
   doc.set("overload_shed_rate", overload_shed_rate);
   doc.add_table("throughput", throughput);
+  doc.add_table("durable_throughput", durable_table);
   doc.write("BENCH_e11_gateway.json");
   return coverage_ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
 #                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
+#                         [--store-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -32,6 +33,12 @@
 #                      scratch cwd, then build the asan and ubsan trees and
 #                      run the gateway tests plus the wire-decoder fuzz
 #                      corpus (BTCFAST_FUZZ_ITERS=2000) there.
+#   --store-smoke      the durability gate: run the full recovery + fault
+#                      suite (store_test) and the WAL/snapshot corruption
+#                      fuzz corpus (BTCFAST_FUZZ_ITERS=2000) under both
+#                      memory sanitizers, plus the durability bench in its
+#                      short configuration (BTCFAST_DURABILITY_SMOKE) in a
+#                      scratch cwd.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +47,7 @@ bench_smoke=0
 kernel_sanitize=0
 fuzz_smoke=0
 gateway_smoke=0
+store_smoke=0
 scenario_fuzz=0
 scenario_seeds=25
 expect_seed_count=0
@@ -56,6 +64,7 @@ for arg in "$@"; do
     --kernel-sanitize) kernel_sanitize=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
     --gateway-smoke) gateway_smoke=1 ;;
+    --store-smoke) store_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -146,6 +155,29 @@ if [[ "$gateway_smoke" == 1 ]]; then
       --gtest_filter='*ParserFuzz*'
   done
   echo "== gateway smoke: clean =="
+fi
+
+if [[ "$store_smoke" == 1 ]]; then
+  # The durability gate: crash-consistency and corruption handling are
+  # exactly where latent memory bugs hide (torn buffers, partial reads),
+  # so the whole store suite runs under both memory sanitizers — the
+  # FaultFile crash-shim tests, byte-exact recovery at every crash point,
+  # and the WAL/snapshot corruption fuzz corpus at its promoted budget.
+  echo "== store smoke bench (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_e12_durability
+  smoke_dir="$bindir/store-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_DURABILITY_SMOKE=1 "$repo_root/$bindir/bench/bench_e12_durability")
+  for san in asan ubsan; do
+    echo "== store recovery + fault suite under $san =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target store_test fuzz_test
+    "build-$san/tests/store_test"
+    BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test" \
+      --gtest_filter='*ParserFuzz*:*StoreFuzz*'
+  done
+  echo "== store smoke: clean =="
 fi
 
 if [[ "$scenario_fuzz" == 1 ]]; then

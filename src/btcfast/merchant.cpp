@@ -223,6 +223,19 @@ std::vector<psc::PscTx> MerchantService::accept_payment(const FastPayPackage& pk
   return actions;
 }
 
+void MerchantService::restore_pending(const FastPayPackage& pkg, const Invoice& invoice,
+                                      std::uint64_t accepted_at_ms) {
+  PendingPayment p;
+  p.package = pkg;
+  p.invoice = invoice;
+  p.accepted_at_ms = accepted_at_ms;
+  // Reserved mode's on-chain reservation (if it happened) lives in the
+  // contract, not in this flag; leaving it false just means poll() won't
+  // try to release a reservation this process can't prove it made.
+  pending_.push_back(std::move(p));
+  if (invoice.invoice_id >= next_invoice_id_) next_invoice_id_ = invoice.invoice_id + 1;
+}
+
 std::vector<psc::PscTx> MerchantService::poll(std::uint64_t now_ms) {
   std::vector<psc::PscTx> actions;
 

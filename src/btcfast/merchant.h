@@ -104,6 +104,15 @@ class MerchantService {
   /// judge requests).
   [[nodiscard]] std::vector<psc::PscTx> poll(std::uint64_t now_ms);
 
+  /// Reinstall an accepted payment recovered from the durable store
+  /// after a crash: book-only — no BTC rebroadcast (the tx was already
+  /// on the network pre-crash) and no fresh reservePayment; poll()'s
+  /// settle/dispute machinery picks the payment up from here. Also bumps
+  /// the invoice-id counter past the restored invoice so new invoices
+  /// never collide with recovered ones.
+  void restore_pending(const FastPayPackage& pkg, const Invoice& invoice,
+                       std::uint64_t accepted_at_ms);
+
   [[nodiscard]] const std::vector<PendingPayment>& pending() const noexcept { return pending_; }
   [[nodiscard]] std::size_t settled_count() const noexcept;
   [[nodiscard]] std::size_t disputed_count() const noexcept;

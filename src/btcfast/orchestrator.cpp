@@ -109,6 +109,17 @@ Deployment::Deployment(DeploymentConfig config)
     watchtower_->protect(customer_->escrow_id());
   }
 
+  if (!config_.store_dir.empty()) {
+    store_ = store::DurableStore::open(config_.store_dir, config_.store_options, &last_recovery_);
+    if (!store_) {
+      BTCFAST_LOG(LogLevel::kError, "deploy")
+          << "durable store open failed: " << last_recovery_.error;
+    } else if (watchtower_) {
+      watchtower_->attach_store(store_.get());
+      watchtower_->restore(store_->image_copy());
+    }
+  }
+
   if (config_.net.loss_rate > 0) {
     // Lossy-network runs need the anti-entropy recovery path.
     net_->enable_sync(30 * kSecond);
@@ -244,6 +255,36 @@ FastPayResult Deployment::perform_fastpay(btc::Amount amount_sat) {
 }
 
 void Deployment::run_for(SimTime duration) { sim_->run_until(sim_->now() + duration); }
+
+bool Deployment::restart_watchtower_from_store() {
+  if (!store_ || !config_.watchtower_enabled) return false;
+
+  // Capture the pre-crash image, make it durable, then genuinely wipe:
+  // both the tower and the store handle are destroyed before recovery.
+  store_->sync();
+  const Bytes expect = store_->image_copy().serialize();
+  watchtower_.reset();
+  store_.reset();
+  watchtower_online_ = false;
+
+  store_ = store::DurableStore::open(config_.store_dir, config_.store_options, &last_recovery_);
+  if (!store_) {
+    BTCFAST_LOG(LogLevel::kError, "deploy")
+        << "store recovery failed: " << last_recovery_.error;
+    return false;
+  }
+  const bool exact = store_->image_copy().serialize() == expect;
+
+  Watchtower::Config wcfg;
+  wcfg.judger = judger_addr_;
+  wcfg.self_psc = psc::Address::from_label("deployment/watchtower");
+  watchtower_ = std::make_unique<Watchtower>(net_->node(miner_node_ids_[0]), *psc_, wcfg);
+  watchtower_->protect(customer_->escrow_id());
+  watchtower_->attach_store(store_.get());
+  watchtower_->restore(store_->image_copy());
+  watchtower_online_ = true;
+  return exact;
+}
 
 std::optional<EscrowView> Deployment::escrow_view() const {
   psc::PscTx q;

@@ -8,12 +8,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "btcfast/customer.h"
 #include "btcfast/merchant.h"
 #include "btcfast/relayer.h"
 #include "btcfast/watchtower.h"
 #include "btcsim/attacker.h"
 #include "btcsim/miner.h"
+#include "store/recovery.h"
 
 namespace btcfast::core {
 
@@ -51,6 +54,13 @@ struct DeploymentConfig {
   /// Run a Watchtower protecting the customer's escrow from an
   /// independent Bitcoin view.
   bool watchtower_enabled = false;
+
+  /// When non-empty, open a DurableStore at this directory and attach it
+  /// to the watchtower (and to any gateway the caller wires up via
+  /// Deployment::store()). Restart toggles then actually drop in-memory
+  /// state and recover from disk instead of pretending.
+  std::string store_dir;
+  store::StoreOptions store_options{};
 
   std::uint64_t seed = 1;
   sim::NetworkConfig net{};
@@ -145,6 +155,18 @@ class Deployment {
   /// keeps its in-memory state, modelling a crash + restart of the same
   /// process rather than a wipe.
   void set_watchtower_online(bool online) noexcept { watchtower_online_ = online; }
+  /// Durable-store variant of a watchtower restart: discards the tower's
+  /// in-memory state entirely, closes the store, reopens it from disk
+  /// (snapshot + WAL replay) and rebuilds the tower from the recovered
+  /// image. Returns true iff recovery succeeded AND the recovered state
+  /// image is byte-identical to the pre-crash one (exactness check).
+  /// Requires `store_dir` configured and the watchtower enabled. Any
+  /// gateway holding the old store pointer must re-attach afterwards.
+  [[nodiscard]] bool restart_watchtower_from_store();
+  [[nodiscard]] store::DurableStore* store() noexcept { return store_.get(); }
+  [[nodiscard]] const store::RecoveryInfo& last_recovery() const noexcept {
+    return last_recovery_;
+  }
   void set_relayer_online(bool online) noexcept { relayer_online_ = online; }
   void set_customer_online(bool online) noexcept { config_.customer_online = online; }
   [[nodiscard]] bool watchtower_online() const noexcept { return watchtower_online_; }
@@ -194,6 +216,8 @@ class Deployment {
   std::unique_ptr<MerchantService> merchant_;
   std::unique_ptr<Relayer> relayer_;
   std::unique_ptr<Watchtower> watchtower_;
+  std::unique_ptr<store::DurableStore> store_;
+  store::RecoveryInfo last_recovery_{};
 
   AcceptRoute accept_route_;
   std::vector<std::pair<std::string, std::uint64_t>> submitted_txs_;  ///< (method, id)

@@ -107,6 +107,38 @@ bool SignedBinding::verify(const crypto::PublicKey& customer_key) const {
                                      {customer_sig.data(), customer_sig.size()});
 }
 
+Bytes Invoice::serialize() const {
+  Writer w;
+  w.u64le(invoice_id);
+  w.i64le(amount_sat);
+  w.u64le(compensation);
+  w.bytes({pay_to.dest.bytes.data(), pay_to.dest.bytes.size()});
+  w.bytes({merchant_psc.bytes.data(), merchant_psc.bytes.size()});
+  w.u64le(expires_at_ms);
+  return std::move(w).take();
+}
+
+std::optional<Invoice> Invoice::deserialize(ByteSpan data) {
+  Reader r(data);
+  auto id = r.u64le();
+  auto amount = r.i64le();
+  auto comp = r.u64le();
+  auto pay_to = r.bytes(20);
+  auto merchant = r.bytes(20);
+  auto expires = r.u64le();
+  if (!id || !amount || !comp || !pay_to || !merchant || !expires || !r.at_end()) {
+    return std::nullopt;
+  }
+  Invoice inv;
+  inv.invoice_id = *id;
+  inv.amount_sat = *amount;
+  inv.compensation = *comp;
+  inv.pay_to.dest.bytes = to_array<20>(*pay_to);
+  inv.merchant_psc.bytes = to_array<20>(*merchant);
+  inv.expires_at_ms = *expires;
+  return inv;
+}
+
 Bytes FastPayPackage::serialize() const {
   Writer w;
   w.bytes_with_len(payment_tx.serialize());

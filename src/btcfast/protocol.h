@@ -61,6 +61,9 @@ struct Invoice {
   btc::ScriptPubKey pay_to{};         ///< merchant's BTC destination
   psc::Address merchant_psc{};        ///< merchant's PSC payout address
   std::uint64_t expires_at_ms = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Invoice> deserialize(ByteSpan data);
 };
 
 /// The fast-pay message: everything the merchant needs to decide.

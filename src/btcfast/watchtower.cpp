@@ -7,6 +7,15 @@ Watchtower::Watchtower(sim::Node& btc_node, const psc::PscChain& psc, Config con
 
 void Watchtower::protect(EscrowId escrow) { protected_.insert(escrow); }
 
+void Watchtower::restore(const store::StateImage& image) {
+  logged_disputes_.clear();
+  for (const auto& d : image.open_disputes) {
+    btc::Txid txid;
+    txid.bytes = d.txid;
+    logged_disputes_.emplace(d.escrow_id, txid);
+  }
+}
+
 std::optional<EscrowView> Watchtower::fetch_escrow(EscrowId id) const {
   psc::PscTx q;
   q.from = config_.self_psc;
@@ -18,11 +27,49 @@ std::optional<EscrowView> Watchtower::fetch_escrow(EscrowId id) const {
   return PayJudger::decode_escrow_view(r.return_data);
 }
 
+void Watchtower::note_dispute_open(EscrowId id, const EscrowView& view) {
+  const auto it = logged_disputes_.find(id);
+  if (it != logged_disputes_.end()) {
+    if (it->second == view.disputed_txid) return;  // already on the log
+    // Same escrow, new txid: the earlier dispute must have closed while
+    // we only saw the end state. Retire it before opening the new one.
+    note_dispute_closed(id);
+  }
+  if (store_ != nullptr) {
+    store::StoreRecord rec;
+    rec.kind = store::RecordKind::kDisputeOpen;
+    rec.escrow_id = id;
+    rec.amount = view.dispute_compensation;
+    rec.expires_at_ms = view.dispute_deadline_ms;
+    rec.txid = view.disputed_txid.bytes;
+    if (store_->append(rec)) (void)store_->commit();
+  }
+  logged_disputes_[id] = view.disputed_txid;
+}
+
+void Watchtower::note_dispute_closed(EscrowId id) {
+  const auto it = logged_disputes_.find(id);
+  if (it == logged_disputes_.end()) return;
+  if (store_ != nullptr) {
+    store::StoreRecord rec;
+    rec.kind = store::RecordKind::kDisputeResolve;
+    rec.escrow_id = id;
+    rec.txid = it->second.bytes;
+    if (store_->append(rec)) (void)store_->commit();
+  }
+  logged_disputes_.erase(it);
+}
+
 std::vector<psc::PscTx> Watchtower::poll(std::uint64_t now_ms) {
   std::vector<psc::PscTx> actions;
   for (const EscrowId id : protected_) {
     const auto view = fetch_escrow(id);
-    if (!view || view->state != EscrowState::kDisputed) continue;
+    if (!view) continue;
+    if (view->state != EscrowState::kDisputed) {
+      note_dispute_closed(id);  // dispute we logged has since resolved
+      continue;
+    }
+    note_dispute_open(id, *view);
 
     if (now_ms > view->dispute_deadline_ms) {
       // Window closed: push for judgment so the escrow unlocks.

@@ -7,6 +7,7 @@
 // dispute against an offline customer would succeed by default.
 #pragma once
 
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "btcfast/payjudger.h"
 #include "btcsim/node.h"
 #include "psc/chain.h"
+#include "store/recovery.h"
 
 namespace btcfast::core {
 
@@ -38,8 +40,24 @@ class Watchtower {
 
   [[nodiscard]] std::size_t defenses_filed() const noexcept { return defenses_filed_; }
 
+  /// Attach a durable store: poll() then logs dispute-open when a
+  /// protected escrow enters DISPUTED and dispute-resolve when it
+  /// leaves, making the dispute queue crash-recoverable. Not owned.
+  void attach_store(store::DurableStore* store) noexcept { store_ = store; }
+
+  /// Seed the dispute tracking from a recovered image after a restart:
+  /// disputes recorded open survive the crash, so the resolve edge is
+  /// still logged exactly once when the contract moves on.
+  void restore(const store::StateImage& image);
+
+  [[nodiscard]] std::size_t open_disputes_tracked() const noexcept {
+    return logged_disputes_.size();
+  }
+
  private:
   [[nodiscard]] std::optional<EscrowView> fetch_escrow(EscrowId id) const;
+  void note_dispute_open(EscrowId id, const EscrowView& view);
+  void note_dispute_closed(EscrowId id);
 
   sim::Node& btc_node_;
   const psc::PscChain& psc_;
@@ -47,6 +65,9 @@ class Watchtower {
   std::unordered_set<EscrowId> protected_;
   std::size_t defenses_filed_ = 0;
   std::uint32_t required_depth_ = 0;  ///< learned from getParams on first use
+  store::DurableStore* store_ = nullptr;
+  /// Disputes we logged open and haven't seen resolve (escrow -> txid).
+  std::unordered_map<EscrowId, btc::Txid> logged_disputes_;
 };
 
 }  // namespace btcfast::core

@@ -49,6 +49,43 @@ struct InflightGuard {
 Gateway::Gateway(core::MerchantService& merchant, common::ThreadPool& pool, GatewayConfig config)
     : merchant_(merchant), pool_(pool), config_(config), ledger_(config.ledger_stripes) {}
 
+void Gateway::attach_store(store::DurableStore* store) {
+  store_ = store;
+  sync_store_stats();
+}
+
+void Gateway::sync_store_stats() {
+  if (store_ == nullptr) return;
+  stats_.set_store_metrics(store_->wal_appends(), store_->wal_syncs(),
+                           store_->recovery().replayed_records, store_->snapshot_bytes());
+}
+
+bool Gateway::restore_from(const store::StateImage& image) {
+  bool ok = true;
+  for (const auto& r : image.reservations) {
+    if (!ledger_.restore_reservation(r.id, r.escrow_id, r.amount, r.expires_at_ms)) ok = false;
+    tracked_.insert(r.escrow_id);
+  }
+  for (const auto& a : image.accepted) {
+    const auto pkg = core::FastPayPackage::deserialize(a.package);
+    const auto inv = core::Invoice::deserialize(a.invoice);
+    if (!pkg || !inv) {
+      ok = false;
+      continue;
+    }
+    merchant_.restore_pending(*pkg, *inv, a.accepted_at_ms);
+    live_reservations_.emplace(a.reservation_id, pkg->binding.binding.btc_txid);
+    tracked_.insert(pkg->binding.binding.escrow_id);
+  }
+  // Restored ledger entries carry a placeholder view until refreshed;
+  // pull authoritative contract state now so try_reserve sees reality.
+  for (const EscrowId id : tracked_) {
+    if (const auto view = merchant_.escrow_view(id)) ledger_.upsert_escrow(id, *view);
+  }
+  sync_store_stats();
+  return ok;
+}
+
 void Gateway::register_invoice(const core::Invoice& invoice) {
   std::unique_lock lock(invoices_mu_);
   invoices_[invoice.invoice_id] = invoice;
@@ -200,6 +237,24 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
     return finish(false, deny, std::string("reservation denied: ") + core::describe(deny), 0);
   }
 
+  // Stage: durability. The reservation hits the WAL before the accept
+  // response exists — a crash after this point recovers with the
+  // collateral still held, so the acked binding stays covered.
+  if (store_ != nullptr) {
+    store::StoreRecord rec;
+    rec.kind = store::RecordKind::kReserve;
+    rec.reservation_id = *rid;
+    rec.escrow_id = b.escrow_id;
+    rec.amount = b.compensation;
+    rec.expires_at_ms = b.expiry_ms;
+    rec.txid = b.btc_txid.bytes;
+    if (!store_->append(rec) || !store_->commit()) {
+      (void)ledger_.release(*rid);
+      return finish(false, RejectReason::kOverloaded, "durable store commit failed", 0);
+    }
+    sync_store_stats();
+  }
+
   // Stage: commit handoff. The merchant's book is bounded here (under
   // the same lock as the queue, so racing accepts cannot overshoot
   // max_pending_payments) and mutation is deferred to flush_accepted().
@@ -208,6 +263,14 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
     const std::size_t limit = merchant_.config().max_pending_payments;
     if (limit > 0 && merchant_.active_pending_count() + commit_queue_.size() >= limit) {
       (void)ledger_.release(*rid);
+      if (store_ != nullptr) {
+        store::StoreRecord rec;
+        rec.kind = store::RecordKind::kRelease;
+        rec.reservation_id = *rid;
+        rec.cause = store::ReleaseCause::kRejected;
+        (void)store_->append(rec);
+        (void)store_->commit();
+      }
       return finish(false, RejectReason::kPendingLimit, "merchant pending-payment limit reached",
                     0);
     }
@@ -314,6 +377,23 @@ std::vector<psc::PscTx> Gateway::flush_accepted() {
     std::lock_guard lock(commit_mu_);
     batch.swap(commit_queue_);
   }
+  // The queue drains through the WAL first: the accepted bindings are
+  // group-committed before any merchant bookkeeping or BTC broadcast, so
+  // a crash mid-flush recovers with every binding it committed to — and
+  // none it didn't.
+  if (store_ != nullptr && !batch.empty()) {
+    for (const auto& a : batch) {
+      store::StoreRecord rec;
+      rec.kind = store::RecordKind::kAcceptCommit;
+      rec.reservation_id = a.reservation_id;
+      rec.accepted_at_ms = a.now_ms;
+      rec.package = a.package.serialize();
+      rec.invoice = a.invoice.serialize();
+      (void)store_->append(rec);
+    }
+    (void)store_->commit();
+    sync_store_stats();
+  }
   std::vector<psc::PscTx> actions;
   for (auto& a : batch) {
     auto txs = merchant_.accept_payment(a.package, a.invoice, a.now_ms);
@@ -336,6 +416,16 @@ void Gateway::reconcile(std::uint64_t now_ms) {
 
   // Release reservations whose payments resolved (settled on BTC or
   // judged on PSC) — the merchant book is the source of truth.
+  bool logged = false;
+  auto log_release = [&](ReservationId rid, store::ReleaseCause cause) {
+    if (store_ == nullptr) return;
+    store::StoreRecord rec;
+    rec.kind = store::RecordKind::kRelease;
+    rec.reservation_id = rid;
+    rec.cause = cause;
+    (void)store_->append(rec);
+    logged = true;
+  };
   if (!live_reservations_.empty()) {
     std::unordered_set<std::string> resolved;
     for (const auto& p : merchant_.pending()) {
@@ -346,6 +436,7 @@ void Gateway::reconcile(std::uint64_t now_ms) {
     for (auto it = live_reservations_.begin(); it != live_reservations_.end();) {
       if (resolved.count(it->second.to_string()) > 0) {
         (void)ledger_.release(it->first);
+        log_release(it->first, store::ReleaseCause::kResolved);
         it = live_reservations_.erase(it);
       } else {
         ++it;
@@ -355,7 +446,13 @@ void Gateway::reconcile(std::uint64_t now_ms) {
 
   // Drop reservations past their deadline: the binding can no longer be
   // disputed, so the collateral hold serves nobody.
-  (void)ledger_.expire_due(now_ms);
+  std::vector<ReservationId> expired;
+  (void)ledger_.expire_due(now_ms, store_ != nullptr ? &expired : nullptr);
+  for (const ReservationId rid : expired) log_release(rid, store::ReleaseCause::kExpired);
+  if (logged) {
+    (void)store_->commit();
+    sync_store_stats();
+  }
 }
 
 std::size_t Gateway::commit_queue_depth() const {

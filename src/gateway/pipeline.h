@@ -34,6 +34,7 @@
 #include "gateway/reservation_ledger.h"
 #include "gateway/stats.h"
 #include "gateway/wire.h"
+#include "store/recovery.h"
 
 namespace btcfast::gateway {
 
@@ -61,6 +62,21 @@ class Gateway {
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
+
+  /// Attach a durable store: from here on every granted reservation is
+  /// WAL-committed before its accept response leaves serve(), and
+  /// flush_accepted() drains the commit queue through the WAL before
+  /// running merchant bookkeeping. Pass nullptr to detach. The store
+  /// outlives the gateway's use of it (not owned).
+  void attach_store(store::DurableStore* store);
+
+  /// Rebuild gateway state from a recovered image (fresh gateway,
+  /// control thread): reservations back into the ledger, accepted
+  /// bindings back into the merchant book and the settle-release map.
+  /// The ledger must be configured with the same `ledger_stripes` the
+  /// log was written under. Returns false if any entry fails to decode
+  /// or re-install — recovery then must not be trusted.
+  [[nodiscard]] bool restore_from(const store::StateImage& image);
 
   /// Make an invoice resolvable by SubmitFastPay frames.
   void register_invoice(const core::Invoice& invoice);
@@ -112,12 +128,14 @@ class Gateway {
   [[nodiscard]] std::optional<EscrowView> escrow_for(EscrowId id);
   void record_receipt(std::uint64_t request_id, bool accepted, RejectReason code,
                       std::uint64_t now_ms);
+  void sync_store_stats();
 
   core::MerchantService& merchant_;
   common::ThreadPool& pool_;
   GatewayConfig config_;
   ReservationLedger ledger_;
   GatewayStats stats_;
+  store::DurableStore* store_ = nullptr;
 
   std::atomic<std::size_t> inflight_{0};
 

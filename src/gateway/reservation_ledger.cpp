@@ -83,7 +83,8 @@ bool ReservationLedger::release(ReservationId id) {
   return true;
 }
 
-std::size_t ReservationLedger::expire_due(std::uint64_t now_ms) {
+std::size_t ReservationLedger::expire_due(std::uint64_t now_ms,
+                                          std::vector<ReservationId>* expired) {
   std::size_t dropped = 0;
   for (Stripe& s : stripes_) {
     std::lock_guard<std::mutex> lock(s.mu);
@@ -92,6 +93,7 @@ std::size_t ReservationLedger::expire_due(std::uint64_t now_ms) {
         if (it->second.expires_at_ms <= now_ms) {
           entry.local_reserved -= it->second.amount;
           s.by_id.erase(it->first);
+          if (expired != nullptr) expired->push_back(it->first);
           it = entry.reservations.erase(it);
           ++dropped;
         } else {
@@ -102,6 +104,30 @@ std::size_t ReservationLedger::expire_due(std::uint64_t now_ms) {
   }
   expired_.fetch_add(dropped, std::memory_order_relaxed);
   return dropped;
+}
+
+bool ReservationLedger::restore_reservation(ReservationId id, EscrowId escrow_id,
+                                            psc::Value amount, std::uint64_t expires_at_ms) {
+  Stripe& s = stripe_for(escrow_id);
+  const auto stripe_idx =
+      static_cast<std::size_t>(escrow_id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size();
+  // Ids embed their owning stripe in the low byte (see try_reserve);
+  // release() relies on it, so a log written under a different stripe
+  // count cannot be restored into this ledger.
+  if ((id & 0xff) != stripe_idx) return false;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.by_id.contains(id)) return false;
+  Entry& e = s.escrows[escrow_id];  // default view until reconcile refreshes it
+  e.local_reserved += amount;
+  e.reservations.emplace(id, Reservation{escrow_id, amount, expires_at_ms});
+  s.by_id.emplace(id, escrow_id);
+  // Keep fresh grants collision-free with every restored id.
+  const ReservationId counter = (id >> 8) + 1;
+  ReservationId cur = next_id_.load(std::memory_order_relaxed);
+  while (counter > cur &&
+         !next_id_.compare_exchange_weak(cur, counter, std::memory_order_relaxed)) {
+  }
+  return true;
 }
 
 void ReservationLedger::reconcile(const std::vector<std::pair<EscrowId, EscrowView>>& views) {

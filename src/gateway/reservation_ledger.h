@@ -83,9 +83,20 @@ class ReservationLedger {
   bool release(ReservationId id);
 
   /// Drop every reservation whose expires_at_ms <= now. Returns how many
-  /// were dropped. An expired reservation means the binding itself can no
-  /// longer be disputed, so holding collateral for it is pointless.
-  std::size_t expire_due(std::uint64_t now_ms);
+  /// were dropped; when `expired` is non-null the dropped ids are
+  /// appended (the durable store logs each as a release). An expired
+  /// reservation means the binding itself can no longer be disputed, so
+  /// holding collateral for it is pointless.
+  std::size_t expire_due(std::uint64_t now_ms, std::vector<ReservationId>* expired = nullptr);
+
+  /// Re-install a reservation recovered from the durable store, creating
+  /// the escrow entry if the view hasn't been re-tracked yet (the caller
+  /// refreshes views via reconcile right after). Fails if the id's
+  /// embedded stripe index doesn't match this ledger's stripe count —
+  /// recovery must run with the same `ledger_stripes` the log was
+  /// written under — or if the id is already present.
+  bool restore_reservation(ReservationId id, EscrowId escrow_id, psc::Value amount,
+                           std::uint64_t expires_at_ms);
 
   /// Refresh a batch of escrow views from authoritative contract state
   /// (caller fetches them via MerchantService::escrow_view). Equivalent

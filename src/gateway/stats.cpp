@@ -98,6 +98,12 @@ std::string GatewayStats::to_json() const {
     os << "\n    \"" << core::describe(static_cast<core::RejectReason>(i)) << "\": " << c;
   }
   os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"store\": {\n";
+  os << "    \"wal_appends\": " << store_wal_appends() << ",\n";
+  os << "    \"fsyncs\": " << store_wal_fsyncs() << ",\n";
+  os << "    \"recovery_replayed_records\": " << store_recovery_replayed() << ",\n";
+  os << "    \"snapshot_bytes\": " << store_snapshot_bytes() << "\n";
+  os << "  },\n";
   os << "  \"latency_us\": {\n";
   os << "    \"count\": " << latency_.count() << ",\n";
   os << "    \"mean\": " << latency_.mean_us() << ",\n";
@@ -130,6 +136,10 @@ void GatewayStats::reset() noexcept {
   queue_depth_.store(0, std::memory_order_relaxed);
   peak_queue_depth_.store(0, std::memory_order_relaxed);
   for (auto& r : by_reason_) r.store(0, std::memory_order_relaxed);
+  store_wal_appends_.store(0, std::memory_order_relaxed);
+  store_wal_fsyncs_.store(0, std::memory_order_relaxed);
+  store_recovery_replayed_.store(0, std::memory_order_relaxed);
+  store_snapshot_bytes_.store(0, std::memory_order_relaxed);
   latency_.reset();
 }
 

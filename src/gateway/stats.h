@@ -70,6 +70,29 @@ class GatewayStats {
   }
   [[nodiscard]] const LatencyHistogram& latency() const noexcept { return latency_; }
 
+  /// Mirror the durable store's counters into the stats dump (the
+  /// gateway refreshes these after each commit point). All zeros when no
+  /// store is attached.
+  void set_store_metrics(std::uint64_t wal_appends, std::uint64_t wal_fsyncs,
+                         std::uint64_t recovery_replayed, std::uint64_t snapshot_bytes) noexcept {
+    store_wal_appends_.store(wal_appends, std::memory_order_relaxed);
+    store_wal_fsyncs_.store(wal_fsyncs, std::memory_order_relaxed);
+    store_recovery_replayed_.store(recovery_replayed, std::memory_order_relaxed);
+    store_snapshot_bytes_.store(snapshot_bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t store_wal_appends() const noexcept {
+    return store_wal_appends_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t store_wal_fsyncs() const noexcept {
+    return store_wal_fsyncs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t store_recovery_replayed() const noexcept {
+    return store_recovery_replayed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t store_snapshot_bytes() const noexcept {
+    return store_snapshot_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// One JSON object: totals, per-reason reject counts (only nonzero
   /// reasons, keyed by describe()), queue depths, latency percentiles.
   [[nodiscard]] std::string to_json() const;
@@ -90,6 +113,10 @@ class GatewayStats {
   std::atomic<std::uint64_t> peak_queue_depth_{0};
   std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(core::RejectReason::kMaxReason)>
       by_reason_{};
+  std::atomic<std::uint64_t> store_wal_appends_{0};
+  std::atomic<std::uint64_t> store_wal_fsyncs_{0};
+  std::atomic<std::uint64_t> store_recovery_replayed_{0};
+  std::atomic<std::uint64_t> store_snapshot_bytes_{0};
   LatencyHistogram latency_;
 };
 

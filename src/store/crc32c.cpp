@@ -1,0 +1,104 @@
+#include "store/crc32c.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#endif
+
+namespace btcfast::store {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+/// Slicing-by-8 tables, built once at first use.
+struct Tables {
+  std::uint32_t t[8][256];
+
+  Tables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+std::uint32_t load32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint32_t crc32c_sw(ByteSpan data, std::uint32_t crc) noexcept {
+  const auto& t = tables().t;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ load32le(p);
+    const std::uint32_t hi = load32le(p + 4);
+    crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^ t[5][(lo >> 16) & 0xff] ^ t[4][lo >> 24] ^
+          t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^ t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+bool detect_sse42() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & (1u << 20)) != 0;  // SSE4.2
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(ByteSpan data,
+                                                          std::uint32_t crc) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (n-- > 0) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+
+const bool kHaveSse42 = detect_sse42();
+
+#endif  // x86_64
+
+}  // namespace
+
+bool crc32c_hw_enabled() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return kHaveSse42;
+#else
+  return false;
+#endif
+}
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) noexcept {
+  const std::uint32_t crc = ~seed;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (kHaveSse42) return ~crc32c_hw(data, crc);
+#endif
+  return ~crc32c_sw(data, crc);
+}
+
+}  // namespace btcfast::store

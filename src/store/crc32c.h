@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum
+// guarding every WAL record and snapshot body. Chosen over plain CRC32
+// for its better burst-error detection and because x86 carries it in
+// hardware (SSE4.2 CRC32 instruction) — the software path is
+// slicing-by-8, the hardware path is picked once at startup.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace btcfast::store {
+
+/// One-shot / incremental CRC32C. Pass the previous return value as
+/// `seed` to continue a running checksum; start from 0.
+[[nodiscard]] std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+/// True when the process is using the SSE4.2 hardware instruction.
+[[nodiscard]] bool crc32c_hw_enabled() noexcept;
+
+}  // namespace btcfast::store

@@ -1,0 +1,70 @@
+// Crash-consistency test shim: an in-memory AppendFile that can cut a
+// write at an arbitrary byte offset or drop fsyncs, modelling the two
+// crash artifacts a real disk produces — a torn final write, and data
+// that was written but never made stable. `durable()` is what a reader
+// would see after the machine died: everything up to the last successful
+// sync, plus whatever the OS happened to have written since (the
+// pessimistic view keeps only the synced prefix; tests choose).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "store/wal.h"
+
+namespace btcfast::store {
+
+class FaultFile final : public AppendFile {
+ public:
+  FaultFile() = default;
+
+  /// Fail (and truncate) the write that would push the file past
+  /// `limit` bytes total; the prefix up to `limit` is kept, modelling a
+  /// torn write. SIZE_MAX disables the fault.
+  void cut_writes_at(std::uint64_t limit) noexcept { write_limit_ = limit; }
+
+  /// All sync() calls from now on report success but do nothing — the
+  /// "power failed before the final fsync" case.
+  void drop_syncs(bool drop) noexcept { drop_syncs_ = drop; }
+
+  bool append(ByteSpan chunk) override {
+    if (data_.size() + chunk.size() <= write_limit_) {
+      append_bytes(data_, chunk);
+      return true;
+    }
+    const std::uint64_t room = write_limit_ > data_.size() ? write_limit_ - data_.size() : 0;
+    append_bytes(data_, {chunk.data(), static_cast<std::size_t>(
+                                           std::min<std::uint64_t>(room, chunk.size()))});
+    return false;  // torn write
+  }
+
+  bool sync() override {
+    if (!drop_syncs_) synced_bytes_ = data_.size();
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+
+  /// Everything ever written (what survives if the OS flushed it all).
+  [[nodiscard]] const Bytes& written() const noexcept { return data_; }
+
+  /// The pessimistic post-crash image: only the prefix covered by a
+  /// completed fsync.
+  [[nodiscard]] Bytes durable() const {
+    return Bytes(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(synced_bytes_));
+  }
+
+  [[nodiscard]] std::uint64_t synced_bytes() const noexcept { return synced_bytes_; }
+
+ private:
+  static void append_bytes(Bytes& out, ByteSpan chunk) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+
+  Bytes data_;
+  std::uint64_t synced_bytes_ = 0;
+  std::uint64_t write_limit_ = UINT64_MAX;
+  bool drop_syncs_ = false;
+};
+
+}  // namespace btcfast::store

@@ -1,0 +1,111 @@
+// DurableStore: the directory-level store tying WAL and snapshots
+// together. Layout inside the store directory:
+//
+//   snap-<seq:016x>.snap   state through WAL sequence <seq>
+//   wal-<seq:016x>.wal     segment whose first record is <seq>
+//
+// open() loads the newest decodable snapshot, replays every WAL segment
+// record with seq > snapshot.last_seq (contiguity enforced), and starts
+// a fresh active segment at the next sequence number. take_snapshot()
+// persists the live image atomically, rotates the WAL, and prunes the
+// segments and older snapshots the new snapshot makes obsolete.
+//
+// All public methods are mutex-serialized: the gateway's serve() workers
+// append concurrently while the control thread commits/snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace btcfast::store {
+
+struct StoreOptions {
+  FsyncPolicy policy = FsyncPolicy::kBatch;
+  std::size_t batch_records = 32;
+  /// Auto-compaction: take a snapshot after this many records applied
+  /// since the last one. 0 = snapshots only on explicit take_snapshot().
+  std::size_t snapshot_every = 0;
+};
+
+/// What open() found on disk.
+struct RecoveryInfo {
+  std::uint64_t snapshot_seq = 0;       ///< 0 = recovered from scratch
+  std::uint64_t replayed_records = 0;   ///< WAL records applied after the snapshot
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t snapshots_skipped = 0;  ///< newer snapshots that failed to decode
+  bool truncated_tail = false;          ///< final segment ended in a torn write
+  std::string error;                    ///< nonempty: recovery failed closed
+};
+
+class DurableStore {
+ public:
+  /// Open or create the store at `dir`. Returns nullptr (with
+  /// info->error set when `info` is non-null) on mid-log corruption or
+  /// IO failure — never a silently partial recovery.
+  [[nodiscard]] static std::unique_ptr<DurableStore> open(const std::string& dir,
+                                                          StoreOptions options,
+                                                          RecoveryInfo* info = nullptr);
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Append one event: serialize, frame into the WAL buffer, apply to
+  /// the live image. Returns the assigned sequence number, or nullopt if
+  /// the record is an invalid transition (see apply_record) — in which
+  /// case nothing was logged.
+  [[nodiscard]] std::optional<std::uint64_t> append(const StoreRecord& record);
+
+  /// Group-commit the buffered appends (fsync per policy).
+  bool commit();
+
+  /// commit() + unconditional fsync.
+  bool sync();
+
+  /// Compact: write the live image as a new snapshot, rotate the WAL,
+  /// prune obsolete segments and older snapshots.
+  bool take_snapshot();
+
+  /// Thread-safe copy of the live image.
+  [[nodiscard]] StateImage image_copy() const;
+
+  [[nodiscard]] const RecoveryInfo& recovery() const noexcept { return recovery_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  // Metrics for the gateway stats dump.
+  [[nodiscard]] std::uint64_t wal_appends() const;
+  [[nodiscard]] std::uint64_t wal_syncs() const;
+  [[nodiscard]] std::uint64_t wal_bytes() const;
+  [[nodiscard]] std::uint64_t snapshot_bytes() const;  ///< size of the newest snapshot
+  [[nodiscard]] std::uint64_t snapshots_taken() const;
+
+ private:
+  DurableStore(std::string dir, StoreOptions options);
+
+  bool take_snapshot_locked();
+  [[nodiscard]] std::string segment_path(std::uint64_t first_seq) const;
+  [[nodiscard]] std::string snapshot_path(std::uint64_t seq) const;
+
+  std::string dir_;
+  StoreOptions options_;
+  RecoveryInfo recovery_;
+
+  mutable std::mutex mu_;
+  StateImage image_;
+  std::unique_ptr<Wal> wal_;
+  std::uint64_t active_segment_start_ = 1;
+  std::uint64_t records_since_snapshot_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  // Carried across WAL rotations so metrics survive take_snapshot().
+  std::uint64_t retired_appends_ = 0;
+  std::uint64_t retired_syncs_ = 0;
+  std::uint64_t retired_bytes_ = 0;
+};
+
+}  // namespace btcfast::store

@@ -1,9 +1,12 @@
 #include "testkit/scenario_fuzzer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "btc/header.h"
 #include "common/rng.h"
@@ -32,8 +35,8 @@ sim::NodeId resolve_node(core::Deployment& dep, int index) {
   return dep.merchant_node_id();
 }
 
-void apply_event(core::Deployment& dep, const ScenarioEvent& ev, ScenarioOutcome& out,
-                 bool& watchtower_was_down) {
+void apply_event(core::Deployment& dep, gateway::Gateway* gw, const ScenarioEvent& ev,
+                 ScenarioOutcome& out, bool& watchtower_was_down) {
   using K = ScenarioEvent::Kind;
   switch (ev.kind) {
     case K::kFastPay: {
@@ -53,7 +56,17 @@ void apply_event(core::Deployment& dep, const ScenarioEvent& ev, ScenarioOutcome
       watchtower_was_down = true;
       break;
     case K::kWatchtowerRestart:
-      dep.set_watchtower_online(true);
+      if (dep.store() != nullptr && dep.watchtower() != nullptr) {
+        // Real crash semantics: tower + store handle destroyed, state
+        // recovered from the snapshot + WAL on disk. Non-exact recovery
+        // (or a failed reopen) is latched and reported as a violation.
+        if (!dep.restart_watchtower_from_store()) out.store_recovery_exact = false;
+        out.store_recovered = true;
+        // The gateway held a pointer into the old store instance.
+        if (gw != nullptr) gw->attach_store(dep.store());
+      } else {
+        dep.set_watchtower_online(true);
+      }
       if (watchtower_was_down) out.watchtower_cycled = true;
       break;
     case K::kRelayerCrash:
@@ -131,7 +144,7 @@ std::string ScenarioConfig::summary() const {
      << " watchtower=" << deployment.watchtower_enabled
      << " customer_online=" << deployment.customer_online
      << " reserve=" << deployment.reserve_payments << " gateway=" << use_gateway
-     << " events=" << events.size()
+     << " store=" << use_store << " events=" << events.size()
      << " horizon=" << horizon / kMinute << "m";
   return os.str();
 }
@@ -260,11 +273,30 @@ ScenarioConfig sample_scenario(std::uint64_t seed) {
   const SimTime per_payment =
       static_cast<SimTime>(d.dispute_after_ms + d.evidence_window_ms) + 10 * kMinute;
   cfg.horizon = last_event + static_cast<SimTime>(n_payments) * per_payment + 45 * kMinute;
+
+  // Drawn last so adding durability to the sampler left every earlier
+  // draw — and therefore existing seed repros — unchanged.
+  cfg.use_store = rng.chance(0.5);
   return cfg;
 }
 
 ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& options) {
-  core::Deployment dep(config.deployment);
+  // Durable mode runs against a per-seed scratch directory, wiped before
+  // the deployment opens it (shrink replays reuse the same path) and
+  // after the run. Simulated crashes never lose the page cache, so the
+  // fuzzer skips real fsyncs to keep a batch of hundreds of seeds cheap.
+  core::DeploymentConfig dcfg = config.deployment;
+  std::filesystem::path store_dir;
+  if (config.use_store) {
+    store_dir = std::filesystem::temp_directory_path() /
+                ("btcfast-fuzz-store-" + std::to_string(config.seed) + "-" +
+                 std::to_string(static_cast<unsigned long>(::getpid())));
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+    dcfg.store_dir = store_dir.string();
+    dcfg.store_options.policy = store::FsyncPolicy::kNone;
+  }
+  core::Deployment dep(dcfg);
   InvariantChecker checker(dep, options.mutate_invariant);
   dep.network().set_observer([&checker](const sim::NetEvent&) { checker.check("net-event"); });
 
@@ -278,6 +310,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
     gateway::GatewayConfig gwcfg;
     gwcfg.lazy_escrow_fetch = true;
     gw = std::make_shared<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(), gwcfg);
+    if (dep.store() != nullptr) gw->attach_store(dep.store());
     dep.set_accept_route(
         [gw](const core::FastPayPackage& pkg, const core::Invoice& invoice, std::uint64_t now_ms)
             -> std::pair<core::AcceptDecision, std::vector<psc::PscTx>> {
@@ -327,7 +360,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
     const auto& ev = config.events[i];
     if (ev.at > dep.simulator().now()) dep.run_for(ev.at - dep.simulator().now());
     if (checker.violation()) break;
-    apply_event(dep, ev, out, watchtower_was_down);
+    apply_event(dep, gw.get(), ev, out, watchtower_was_down);
     checker.check("after-event");
     if (checker.violation()) break;
   }
@@ -351,6 +384,18 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
   out.beyond_security_bound = checker.beyond_security_bound();
   out.invariant_checks = checker.checks_run();
   out.violation = checker.violation();
+  if (!out.violation && out.store_recovered && !out.store_recovery_exact) {
+    Violation v;
+    v.invariant = "store-recovery-exact";
+    v.detail = "post-crash recovery image differs from the pre-crash durable state";
+    v.at = dep.simulator().now();
+    v.check_index = checker.checks_run();
+    out.violation = v;
+  }
+  if (!store_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+  }
   return out;
 }
 

@@ -51,6 +51,11 @@ struct ScenarioConfig {
   /// pipeline -> reservation ledger -> commit) instead of calling the
   /// merchant directly, so the invariants also exercise that path.
   bool use_gateway = false;
+  /// Back the run with a DurableStore in a scratch directory: every
+  /// reservation/accept/dispute is WAL-logged, and watchtower restart
+  /// events genuinely wipe in-memory state and recover from disk. A
+  /// non-byte-exact recovery is reported as a violation.
+  bool use_store = false;
 
   /// One-line summary for repro reports and logs.
   [[nodiscard]] std::string summary() const;
@@ -75,6 +80,8 @@ struct ScenarioOutcome {
   bool attack_released = false;
   std::uint32_t attacker_secret_blocks = 0;
   bool watchtower_cycled = false;  ///< crashed and later restarted
+  bool store_recovered = false;       ///< at least one restart went through disk recovery
+  bool store_recovery_exact = true;   ///< every recovery was byte-identical to pre-crash
   bool beyond_security_bound = false;
   std::uint64_t invariant_checks = 0;
   std::optional<Violation> violation;

@@ -276,6 +276,38 @@ TEST(ScenarioDirected, WatchtowerCrashRestartDuringDispute) {
   EXPECT_EQ(out.judged_for_merchant, 0u);
 }
 
+TEST(ScenarioDirected, WatchtowerCrashRestartRecoversFromStore) {
+  ScenarioConfig cfg;
+  cfg.seed = 16;
+  cfg.deployment = fast_params_config(16);
+  // Same wrongful-dispute setup as above, but durable: the restart
+  // genuinely wipes the tower and rebuilds it from snapshot + WAL, and
+  // the run fails unless the recovered image is byte-identical to the
+  // pre-crash state. The gateway route makes the reservation/accept
+  // records flow through the same store.
+  cfg.deployment.customer_online = false;
+  cfg.deployment.watchtower_enabled = true;
+  cfg.deployment.settle_confirmations = 12;
+  cfg.deployment.dispute_after_ms = 10 * 60 * 1000;
+  cfg.deployment.evidence_window_ms = 45 * 60 * 1000;
+  cfg.use_gateway = true;
+  cfg.use_store = true;
+  cfg.events.push_back(pay_event(1 * kMinute, 500'000));
+  cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerCrash, 8 * kMinute});
+  cfg.events.push_back({ScenarioEvent::Kind::kWatchtowerRestart, 30 * kMinute});
+  cfg.horizon = 4 * kHour;
+
+  const ScenarioOutcome out = run_scenario(cfg);
+  ASSERT_FALSE(out.violation.has_value()) << out.violation->invariant << ": "
+                                          << out.violation->detail;
+  EXPECT_EQ(out.payments_accepted, 1u);
+  EXPECT_TRUE(out.watchtower_cycled);
+  EXPECT_TRUE(out.store_recovered);
+  EXPECT_TRUE(out.store_recovery_exact);
+  EXPECT_GE(out.judged_for_customer, 1u);
+  EXPECT_EQ(out.judged_for_merchant, 0u);
+}
+
 TEST(ScenarioDirected, MessageLossRecovery) {
   ScenarioConfig cfg;
   cfg.seed = 15;

@@ -17,6 +17,9 @@
 #include "common/rng.h"
 #include "crypto/base58.h"
 #include "gateway/wire.h"
+#include "store/records.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
 
 namespace btcfast {
 namespace {
@@ -62,6 +65,9 @@ TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
     (void)gateway::ErrorResponse::deserialize(junk);
     (void)crypto::base58_decode(std::string(junk.begin(), junk.end()));
     (void)crypto::base58check_decode(std::string(junk.begin(), junk.end()));
+    (void)store::StoreRecord::deserialize(junk);
+    (void)store::decode_snapshot(junk);
+    (void)store::scan_wal(junk);
   }
 }
 
@@ -161,6 +167,138 @@ TEST_P(ParserFuzz, BitFlippedValidGatewayFramesHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+// ------------------------------------------------------- durable store
+
+class StoreFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+
+/// A WAL image of `n` random-payload records, recording each payload so
+/// the corruption tests can check "never fabricated, never altered".
+struct WalImage {
+  Bytes bytes;
+  std::vector<Bytes> payloads;
+};
+
+WalImage sample_wal(Rng& rng, std::size_t n) {
+  WalImage img;
+  store::append_wal_header(img.bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes payload(1 + rng.below(64));
+    rng.fill({payload.data(), payload.size()});
+    store::append_wal_record(img.bytes, i + 1, payload);
+    img.payloads.push_back(std::move(payload));
+  }
+  return img;
+}
+
+/// The safety property every corrupted scan must satisfy: either the
+/// scan fails closed, or it returns a strict-or-full prefix of the
+/// original records, byte-identical — corruption may drop a suffix but
+/// can never invent or alter a record.
+void expect_prefix_or_error(const store::WalScan& scan, const WalImage& img,
+                            const std::string& what) {
+  if (!scan.ok()) return;
+  ASSERT_LE(scan.records.size(), img.payloads.size()) << what;
+  for (std::size_t r = 0; r < scan.records.size(); ++r) {
+    ASSERT_EQ(scan.records[r].seq, r + 1) << what;
+    ASSERT_EQ(scan.records[r].payload, img.payloads[r]) << what;
+  }
+}
+
+}  // namespace
+
+TEST_P(StoreFuzz, TruncatedWalYieldsOnlyCompletePrefix) {
+  Rng rng(GetParam() * 271 + 9);
+  for (int i = 0; i < fuzz_iters(50); ++i) {
+    const WalImage img = sample_wal(rng, 1 + rng.below(6));
+    const std::size_t cut = rng.below(img.bytes.size() + 1);
+    const auto scan = store::scan_wal({img.bytes.data(), cut}, 1);
+    ASSERT_TRUE(scan.ok()) << scan.error;  // a prefix is always a crash shape
+    expect_prefix_or_error(scan, img, "cut " + std::to_string(cut));
+    EXPECT_EQ(scan.truncated_tail, cut != img.bytes.size() &&
+                                       scan.valid_bytes != cut);
+  }
+}
+
+TEST_P(StoreFuzz, BitFlippedWalNeverFabricatesRecords) {
+  Rng rng(GetParam() * 911 + 13);
+  for (int i = 0; i < fuzz_iters(50); ++i) {
+    const WalImage img = sample_wal(rng, 1 + rng.below(6));
+    Bytes mutated = img.bytes;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    expect_prefix_or_error(store::scan_wal(mutated, 1), img,
+                           "flip at " + std::to_string(pos));
+  }
+}
+
+TEST_P(StoreFuzz, DuplicateAndReorderedSequencesFailClosed) {
+  Rng rng(GetParam() * 577 + 21);
+  for (int i = 0; i < fuzz_iters(50); ++i) {
+    Bytes image;
+    store::append_wal_header(image);
+    // Two records with a broken sequence relation: duplicate, skip, or
+    // regression. Replay protection must refuse all of them.
+    const std::uint64_t first = 1 + rng.below(100);
+    std::uint64_t second = first + 1;
+    switch (rng.below(3)) {
+      case 0: second = first; break;                    // duplicate
+      case 1: second = first + 2 + rng.below(10); break;  // gap
+      case 2: second = first - rng.below(first); break;   // regression
+    }
+    Bytes p1(8), p2(8);
+    rng.fill({p1.data(), p1.size()});
+    rng.fill({p2.data(), p2.size()});
+    store::append_wal_record(image, first, p1);
+    store::append_wal_record(image, second, p2);
+    const auto scan = store::scan_wal(image, first);
+    EXPECT_FALSE(scan.ok()) << "first=" << first << " second=" << second;
+  }
+}
+
+TEST_P(StoreFuzz, BitFlippedSnapshotsFailClosed) {
+  Rng rng(GetParam() * 383 + 29);
+  store::StateImage img;
+  img.last_seq = 12;
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    store::ReservationImage res;
+    res.id = 100u + i;
+    res.escrow_id = 1 + rng.below(3);
+    res.amount = 1 + rng.below(1'000'000);
+    res.expires_at_ms = rng.below(1'000'000);
+    res.txid[0] = i;
+    img.reservations.push_back(res);
+  }
+  store::DisputeImage dis;
+  dis.escrow_id = 2;
+  dis.txid[3] = 0x7e;
+  dis.amount = 55;
+  dis.deadline_ms = 123'456;
+  img.open_disputes.push_back(dis);
+  const Bytes enc = store::encode_snapshot(img);
+  const Bytes canonical = img.serialize();
+
+  for (int i = 0; i < fuzz_iters(200); ++i) {
+    Bytes mutated = enc;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    // Snapshots have no torn-tail tolerance: any flip is fatal (the CRC
+    // covers every byte past the magic, and the magic itself gates).
+    EXPECT_FALSE(store::decode_snapshot(mutated).has_value())
+        << "flip at " << pos;
+    // Truncation too — atomic rename means partial snapshots never count.
+    const auto trunc = store::decode_snapshot({enc.data(), rng.below(enc.size())});
+    EXPECT_FALSE(trunc.has_value());
+  }
+  // The unmutated image still decodes to the same canonical bytes.
+  const auto back = store::decode_snapshot(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->serialize(), canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzz, ::testing::Range<std::uint64_t>(1, 6));
 
 // ------------------------------------------------------ escrow invariants
 
