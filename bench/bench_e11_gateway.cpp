@@ -1,12 +1,22 @@
 // E11 — Gateway serving throughput: N customer threads hammer the
-// fast-pay gateway (wire decode -> reentrant evaluate -> sharded
-// reservation ledger) against M escrows, measuring sustained accepts/s
-// and tail latency, plus the admission-control shed behaviour under
-// deliberate overload. Emits BENCH_e11_gateway.json.
+// sharded fast-pay gateway (wire decode -> micro-batched verify ->
+// reentrant evaluate -> per-shard reservation ledger) against M escrows,
+// measuring sustained accepts/s, tail latency and the per-stage time
+// breakdown, plus the admission-control shed behaviour under deliberate
+// overload. Emits BENCH_e11_gateway.json.
+//
+// Workload methodology (the old fixed-256-payment run saturated in
+// ~90 ms and conflated setup with steady state):
+//   - the payment count scales with the thread count (per_thread each),
+//     so every configuration runs long enough to measure;
+//   - a warm-up slice runs first and the stats are reset after it, so
+//     the table reports steady state, not cache/allocator warm-up;
+//   - every frame carries unique signatures, so steady state still pays
+//     real (batched) verification work, not just cache hits.
 //
 // The simulator is quiescent while customer threads run: the concurrent
-// stages only read node state, and the ledger is the single writer —
-// exactly the serving model documented in DESIGN.md §10.
+// stages only read node state, and the per-shard ledgers are the only
+// writers — exactly the serving model documented in DESIGN.md §10.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -34,26 +44,45 @@ double elapsed_us(std::chrono::steady_clock::time_point a,
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(b - a).count();
 }
 
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+constexpr gateway::Stage kStages[] = {
+    gateway::Stage::kDecode, gateway::Stage::kVerify,  gateway::Stage::kEvaluate,
+    gateway::Stage::kReserve, gateway::Stage::kWal,    gateway::Stage::kCommit,
+    gateway::Stage::kRespond,
+};
+
 }  // namespace
 
 int main() {
   // BTCFAST_GATEWAY_SMOKE=1 shrinks the run for the tier-1 smoke gate.
   const bool smoke = std::getenv("BTCFAST_GATEWAY_SMOKE") != nullptr;
   const std::size_t kEscrows = smoke ? 4 : 8;
-  const std::size_t kPayments = smoke ? 64 : 256;
-  const std::vector<std::size_t> thread_counts = smoke ? std::vector<std::size_t>{1, 4}
+  const std::vector<std::size_t> thread_counts = smoke ? std::vector<std::size_t>{1, 8}
                                                        : std::vector<std::size_t>{1, 2, 4, 8};
-  const std::size_t per_escrow = kPayments / kEscrows;
+  const std::size_t max_threads = thread_counts.back();
+  // Steady-state payments grow with the thread count so a 8-thread run
+  // has 8x the work of a 1-thread run instead of finishing 8x sooner.
+  const std::size_t per_thread = env_size("BTCFAST_E11_PER_THREAD", smoke ? 32 : 512);
+  const std::size_t kWarmup = smoke ? 32 : 128;
+  const std::size_t kSteadyMax = per_thread * max_threads;
+  const std::size_t kPayments = kWarmup + kSteadyMax;  // distinct frames prebuilt
+  const std::size_t per_escrow = (kPayments + kEscrows - 1) / kEscrows;
 
-  std::printf("# E11 — gateway serving throughput (%zu payments x %zu escrows)\n\n", kPayments,
-              kEscrows);
+  std::printf("# E11 — gateway serving throughput (%zu/thread + %zu warm-up, %zu escrows)\n\n",
+              per_thread, kWarmup, kEscrows);
 
   core::DeploymentConfig cfg;
   cfg.seed = 11;
   cfg.funded_coins = static_cast<btc::Amount>(kPayments);
-  // Collateral sized so one full run exactly fits each escrow.
+  // Collateral sized so the largest run fits each escrow.
   cfg.collateral = cfg.compensation * static_cast<psc::Value>(per_escrow + 1);
-  // Low difficulty: funding hundreds of coins must cost microseconds of
+  // Low difficulty: funding thousands of coins must cost microseconds of
   // PoW per block, not milliseconds (same trick as the scenario fuzzer).
   cfg.params.pow_limit = crypto::U256::one() << 250;
   cfg.params.genesis_bits = btc::target_to_bits(cfg.params.pow_limit);
@@ -84,7 +113,9 @@ int main() {
 
   // Pre-build one wire frame per payment, round-robin across escrows.
   // Distinct coins and nonces: every binding/input signature is unique,
-  // so a cold run takes real verification misses.
+  // so steady state takes real verification misses. Frames [0, kWarmup)
+  // are the warm-up slice; each run then serves the next
+  // per_thread * threads frames.
   const auto coins =
       sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
   if (coins.size() < kPayments) {
@@ -110,7 +141,7 @@ int main() {
   }
 
   auto run = [&](std::size_t threads, std::size_t max_inflight, double* out_wall_us,
-                 store::DurableStore* store = nullptr) {
+                 std::size_t* out_steady, store::DurableStore* store = nullptr) {
     gateway::GatewayConfig gwcfg;
     gwcfg.max_inflight = max_inflight;
     auto gw = std::make_unique<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(),
@@ -123,54 +154,88 @@ int main() {
     // Cold signature cache per run so thread counts are comparable.
     crypto::SigCache::global().clear();
 
-    std::vector<std::thread> customers;
+    const std::size_t steady = per_thread * threads;
+    *out_steady = steady;
+    auto serve_slice = [&](std::size_t begin, std::size_t count) {
+      std::vector<std::thread> customers;
+      for (std::size_t t = 0; t < threads; ++t) {
+        customers.emplace_back([&, t]() {
+          // Interleaved slices: every thread touches every escrow, which
+          // is the worst case for shard/stripe contention.
+          for (std::size_t i = t; i < count; i += threads) {
+            (void)gw->serve(frames[begin + i], now);
+          }
+        });
+      }
+      for (auto& c : customers) c.join();
+    };
+
+    // Warm-up, then reset so the measured window is steady state only.
+    serve_slice(0, kWarmup);
+    gw->reset_stats();
+
     const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t t = 0; t < threads; ++t) {
-      customers.emplace_back([&, t]() {
-        // Interleaved slices: every thread touches every escrow, which is
-        // the worst case for ledger stripe contention.
-        for (std::size_t i = t; i < frames.size(); i += threads) {
-          (void)gw->serve(frames[i], now);
-        }
-      });
-    }
-    for (auto& c : customers) c.join();
+    serve_slice(kWarmup, steady);
     const auto t1 = std::chrono::steady_clock::now();
     *out_wall_us = elapsed_us(t0, t1);
     return gw;
   };
 
-  bench::Table throughput({"threads", "accepts", "rejects", "sheds", "accepts/s", "p50 (us)",
-                           "p99 (us)", "shed rate"});
+  bench::Table throughput({"threads", "payments", "accepts", "rejects", "sheds", "accepts/s",
+                           "p50 (us)", "p99 (us)"});
+  bench::Table stage_table({"threads", "stage", "count", "mean (us)", "p50 (us)", "p99 (us)"});
   bool coverage_ok = true;
+  double accepts_s_first = 0, accepts_s_last = 0, p99_last = 0;
+  std::uint64_t batcher_batches = 0, batcher_coalesced = 0;
   for (const std::size_t threads : thread_counts) {
     double wall_us = 0;
-    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us);
-    const auto& st = gw->stats();
+    std::size_t steady = 0;
+    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us, &steady);
+    const auto st = gw->stats();
     const double accepts_s = st.accepts() / (wall_us / 1e6);
-    const double shed_rate = static_cast<double>(st.sheds()) / static_cast<double>(kPayments);
-    throughput.row({bench::fmt_u(threads), bench::fmt_u(st.accepts()), bench::fmt_u(st.rejects()),
-                    bench::fmt_u(st.sheds()), bench::fmt(accepts_s, 0),
-                    bench::fmt(st.latency().percentile_us(50), 1),
-                    bench::fmt(st.latency().percentile_us(99), 1), bench::fmt(shed_rate, 3)});
-    // Exactly per_escrow payments fit each escrow; the ledger must have
-    // granted all of them and not one more.
+    if (threads == thread_counts.front()) accepts_s_first = accepts_s;
+    if (threads == max_threads) {
+      accepts_s_last = accepts_s;
+      p99_last = st.latency().percentile_us(99);
+      batcher_batches = gw->batcher().batches();
+      batcher_coalesced = gw->batcher().coalesced_jobs();
+    }
+    throughput.row({bench::fmt_u(threads), bench::fmt_u(steady), bench::fmt_u(st.accepts()),
+                    bench::fmt_u(st.rejects()), bench::fmt_u(st.sheds()),
+                    bench::fmt(accepts_s, 0), bench::fmt(st.latency().percentile_us(50), 1),
+                    bench::fmt(st.latency().percentile_us(99), 1)});
+    for (const auto stage : kStages) {
+      const auto& h = st.stage(stage);
+      if (h.count() == 0) continue;
+      stage_table.row({bench::fmt_u(threads), gateway::stage_name(stage), bench::fmt_u(h.count()),
+                       bench::fmt(h.mean_us(), 1), bench::fmt(h.percentile_us(50), 1),
+                       bench::fmt(h.percentile_us(99), 1)});
+    }
+    // Every steady payment fits its escrow; the ledgers must have
+    // granted all of them and over-reserved none.
     for (std::size_t e = 1; e <= kEscrows; ++e) {
-      const auto snap = gw->ledger().snapshot(static_cast<core::EscrowId>(e));
+      const auto snap = gw->escrow_snapshot(static_cast<core::EscrowId>(e));
       if (!snap || snap->view.reserved + snap->local_reserved > snap->view.collateral) {
         coverage_ok = false;
       }
     }
-    if (st.accepts() != kPayments) coverage_ok = false;
+    if (st.accepts() != steady) coverage_ok = false;
   }
   throughput.print();
+  std::printf("\n# per-stage latency breakdown (steady state)\n");
+  stage_table.print();
+
+  const double scale_ratio = accepts_s_first > 0 ? accepts_s_last / accepts_s_first : 0;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("\n# scaling: %zu-thread / 1-thread accepts/s = %.2fx (hardware threads: %u)\n",
+              max_threads, scale_ratio, hw_threads);
 
   // Persistence cost: the same serve loop with the durable store
   // attached — every accept WAL-commits a kReserve before its response,
   // so the delta vs the table above is the price of ack-time durability.
   bench::Table durable_table(
       {"threads", "accepts", "accepts/s", "wal appends", "fsyncs", "p99 (us)"});
-  for (const std::size_t threads : thread_counts) {
+  for (const std::size_t threads : {std::size_t{1}, max_threads}) {
     const auto store_dir =
         std::filesystem::temp_directory_path() /
         ("btcfast-bench-e11-store-" + std::to_string(threads) + "-" +
@@ -184,14 +249,15 @@ int main() {
       return 1;
     }
     double wall_us = 0;
-    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us, st.get());
-    const auto& st_stats = gw->stats();
+    std::size_t steady = 0;
+    const auto gw = run(threads, /*max_inflight=*/1024, &wall_us, &steady, st.get());
+    const auto st_stats = gw->stats();
     const double accepts_s = st_stats.accepts() / (wall_us / 1e6);
     durable_table.row({bench::fmt_u(threads), bench::fmt_u(st_stats.accepts()),
                        bench::fmt(accepts_s, 0), bench::fmt_u(st->wal_appends()),
                        bench::fmt_u(st->wal_syncs()),
                        bench::fmt(st_stats.latency().percentile_us(99), 1)});
-    if (st_stats.accepts() != kPayments) coverage_ok = false;
+    if (st_stats.accepts() != steady) coverage_ok = false;
     st.reset();
     std::filesystem::remove_all(store_dir);
   }
@@ -203,9 +269,11 @@ int main() {
   const std::size_t overload_threads = 8;
   const std::size_t overload_inflight = 2;
   double overload_wall_us = 0;
-  const auto overloaded = run(overload_threads, overload_inflight, &overload_wall_us);
-  const double overload_shed_rate =
-      static_cast<double>(overloaded->stats().sheds()) / static_cast<double>(kPayments);
+  std::size_t overload_steady = 0;
+  const auto overloaded =
+      run(overload_threads, overload_inflight, &overload_wall_us, &overload_steady);
+  const double overload_shed_rate = static_cast<double>(overloaded->stats().sheds()) /
+                                    static_cast<double>(overload_steady);
   std::printf("\n# overload: threads=%zu max_inflight=%zu sheds=%llu (rate %.3f)\n",
               overload_threads, overload_inflight,
               static_cast<unsigned long long>(overloaded->stats().sheds()), overload_shed_rate);
@@ -215,13 +283,22 @@ int main() {
   bench::JsonDoc doc;
   doc.set("experiment", "e11_gateway");
   doc.set("escrows", static_cast<std::uint64_t>(kEscrows));
-  doc.set("payments", static_cast<std::uint64_t>(kPayments));
+  doc.set("per_thread_payments", static_cast<std::uint64_t>(per_thread));
+  doc.set("warmup_payments", static_cast<std::uint64_t>(kWarmup));
+  doc.set("shards", static_cast<std::uint64_t>(gateway::GatewayConfig{}.shards));
+  doc.set("hw_threads", static_cast<std::uint64_t>(hw_threads));
+  doc.set("scale_threads", static_cast<std::uint64_t>(max_threads));
+  doc.set("scale_ratio", scale_ratio);
+  doc.set("p99_us_at_max_threads", p99_last);
+  doc.set("verify_batches", batcher_batches);
+  doc.set("verify_coalesced_jobs", batcher_coalesced);
   doc.set("coverage_ok", coverage_ok ? "yes" : "no");
   doc.set("overload_threads", static_cast<std::uint64_t>(overload_threads));
   doc.set("overload_max_inflight", static_cast<std::uint64_t>(overload_inflight));
   doc.set("overload_sheds", overloaded->stats().sheds());
   doc.set("overload_shed_rate", overload_shed_rate);
   doc.add_table("throughput", throughput);
+  doc.add_table("stage_breakdown", stage_table);
   doc.add_table("durable_throughput", durable_table);
   doc.write("BENCH_e11_gateway.json");
   return coverage_ok ? 0 : 1;

@@ -201,9 +201,14 @@ std::vector<AcceptDecision> MerchantService::evaluate_fastpay_batch(
 std::vector<psc::PscTx> MerchantService::accept_payment(const FastPayPackage& pkg,
                                                         const Invoice& invoice,
                                                         std::uint64_t now_ms) {
+  return accept_payment(FastPayPackage(pkg), Invoice(invoice), now_ms);
+}
+
+std::vector<psc::PscTx> MerchantService::accept_payment(FastPayPackage&& pkg, Invoice&& invoice,
+                                                        std::uint64_t now_ms) {
   PendingPayment p;
-  p.package = pkg;
-  p.invoice = invoice;
+  p.package = std::move(pkg);
+  p.invoice = std::move(invoice);
   p.accepted_at_ms = now_ms;
 
   std::vector<psc::PscTx> actions;
@@ -212,14 +217,14 @@ std::vector<psc::PscTx> MerchantService::accept_payment(const FastPayPackage& pk
     tx.from = config_.self_psc;
     tx.to = config_.judger;
     tx.method = "reservePayment";
-    tx.args = encode_open_dispute_args(pkg.binding.binding.escrow_id, pkg.binding);
+    tx.args = encode_open_dispute_args(p.package.binding.binding.escrow_id, p.package.binding);
     actions.push_back(std::move(tx));
     p.reserved = true;
   }
 
   pending_.push_back(std::move(p));
   // Broadcast through our own node so the network confirms it.
-  btc_node_.receive_tx(pkg.payment_tx);
+  btc_node_.receive_tx(pending_.back().package.payment_tx);
   return actions;
 }
 

@@ -98,6 +98,11 @@ class MerchantService {
   [[nodiscard]] std::vector<psc::PscTx> accept_payment(const FastPayPackage& pkg,
                                                        const Invoice& invoice,
                                                        std::uint64_t now_ms);
+  /// Move overload for bulk drains (the gateway's epoch flush hands over
+  /// thousands of packages per call): the package and invoice move into
+  /// the pending book instead of being deep-copied.
+  [[nodiscard]] std::vector<psc::PscTx> accept_payment(FastPayPackage&& pkg, Invoice&& invoice,
+                                                       std::uint64_t now_ms);
 
   /// Periodic monitoring: settles confirmed payments and returns any PSC
   /// transactions the merchant must submit (dispute open / evidence /

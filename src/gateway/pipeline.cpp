@@ -1,5 +1,6 @@
 #include "gateway/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "crypto/batch_verify.h"
@@ -13,6 +14,11 @@ using Clock = std::chrono::steady_clock;
 std::uint64_t elapsed_us(Clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count());
+}
+
+std::uint64_t between_us(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
 }
 
 /// Pull the request_id out of a frame header without copying the payload,
@@ -47,7 +53,20 @@ struct InflightGuard {
 }  // namespace
 
 Gateway::Gateway(core::MerchantService& merchant, common::ThreadPool& pool, GatewayConfig config)
-    : merchant_(merchant), pool_(pool), config_(config), ledger_(config.ledger_stripes) {}
+    : merchant_(merchant),
+      pool_(pool),
+      config_(config),
+      batcher_(pool, &crypto::SigCache::global(),
+               VerifyBatcher::Config{config.verify_batch_max, config.verify_batch_wait_us}) {
+  const std::size_t n = std::clamp<std::size_t>(config_.shards, 1, 64);
+  config_.shards = n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.ledger_stripes, reservation_ids_));
+  }
+  receipt_cap_ =
+      config_.max_receipts == 0 ? 0 : std::max<std::size_t>(1, config_.max_receipts / n);
+}
 
 void Gateway::attach_store(store::DurableStore* store) {
   store_ = store;
@@ -56,14 +75,16 @@ void Gateway::attach_store(store::DurableStore* store) {
 
 void Gateway::sync_store_stats() {
   if (store_ == nullptr) return;
-  stats_.set_store_metrics(store_->wal_appends(), store_->wal_syncs(),
-                           store_->recovery().replayed_records, store_->snapshot_bytes());
+  front_stats_.set_store_metrics(store_->wal_appends(), store_->wal_syncs(),
+                                 store_->recovery().replayed_records, store_->snapshot_bytes());
 }
 
 bool Gateway::restore_from(const store::StateImage& image) {
   bool ok = true;
   for (const auto& r : image.reservations) {
-    if (!ledger_.restore_reservation(r.id, r.escrow_id, r.amount, r.expires_at_ms)) ok = false;
+    Shard& sh = shard_for(r.escrow_id);
+    if (!sh.ledger.restore_reservation(r.id, r.escrow_id, r.amount, r.expires_at_ms)) ok = false;
+    std::lock_guard lock(tracked_mu_);
     tracked_.insert(r.escrow_id);
   }
   for (const auto& a : image.accepted) {
@@ -74,13 +95,20 @@ bool Gateway::restore_from(const store::StateImage& image) {
       continue;
     }
     merchant_.restore_pending(*pkg, *inv, a.accepted_at_ms);
-    live_reservations_.emplace(a.reservation_id, pkg->binding.binding.btc_txid);
-    tracked_.insert(pkg->binding.binding.escrow_id);
+    const EscrowId eid = pkg->binding.binding.escrow_id;
+    shard_for(eid).live_reservations.emplace(a.reservation_id, pkg->binding.binding.btc_txid);
+    std::lock_guard lock(tracked_mu_);
+    tracked_.insert(eid);
   }
   // Restored ledger entries carry a placeholder view until refreshed;
   // pull authoritative contract state now so try_reserve sees reality.
-  for (const EscrowId id : tracked_) {
-    if (const auto view = merchant_.escrow_view(id)) ledger_.upsert_escrow(id, *view);
+  std::vector<EscrowId> ids;
+  {
+    std::lock_guard lock(tracked_mu_);
+    ids.assign(tracked_.begin(), tracked_.end());
+  }
+  for (const EscrowId id : ids) {
+    if (const auto view = merchant_.escrow_view(id)) shard_for(id).ledger.upsert_escrow(id, *view);
   }
   sync_store_stats();
   return ok;
@@ -92,55 +120,66 @@ void Gateway::register_invoice(const core::Invoice& invoice) {
 }
 
 void Gateway::track_escrow(EscrowId id) {
-  tracked_.insert(id);
+  {
+    std::lock_guard lock(tracked_mu_);
+    tracked_.insert(id);
+  }
   if (const auto view = merchant_.escrow_view(id)) {
-    ledger_.upsert_escrow(id, *view);
+    shard_for(id).ledger.upsert_escrow(id, *view);
   }
 }
 
 std::optional<EscrowView> Gateway::escrow_for(EscrowId id) {
-  if (const auto snap = ledger_.snapshot(id)) return snap->view;
+  Shard& sh = shard_for(id);
+  if (const auto snap = sh.ledger.snapshot(id)) return snap->view;
   if (!config_.lazy_escrow_fetch) return std::nullopt;
-  // Single-threaded mode only: the chain view call below is not safe
-  // against concurrent servers (see GatewayConfig::lazy_escrow_fetch).
+  // The chain view call is not reentrant, so lazy fetches serialize on a
+  // gateway-wide lock; re-check the ledger first so only the one thread
+  // that actually fetched pays the contract call.
+  std::lock_guard fetch_lock(lazy_fetch_mu_);
+  if (const auto snap = sh.ledger.snapshot(id)) return snap->view;
   const auto view = merchant_.escrow_view(id);
   if (!view) return std::nullopt;
-  tracked_.insert(id);
-  ledger_.upsert_escrow(id, *view);
+  {
+    std::lock_guard lock(tracked_mu_);
+    tracked_.insert(id);
+  }
+  sh.ledger.upsert_escrow(id, *view);
   return view;
 }
 
 void Gateway::record_receipt(std::uint64_t request_id, bool accepted, RejectReason code,
                              std::uint64_t now_ms) {
-  if (config_.max_receipts == 0) return;
+  if (receipt_cap_ == 0) return;
+  Shard& sh = receipt_shard(request_id);
   ReceiptInfoResponse r;
   r.found = true;
   r.accepted = accepted;
   r.code = code;
   r.decided_at_ms = now_ms;
-  std::lock_guard lock(receipts_mu_);
-  // Receipts are best-effort: request ids are client-chosen, so the cache
-  // is a bounded FIFO — oldest decisions fall out first, never the map
-  // growing with attacker-supplied fresh ids.
-  const bool inserted = receipts_.insert_or_assign(request_id, r).second;
+  std::lock_guard lock(sh.receipts_mu);
+  // Receipts are best-effort: request ids are client-chosen, so each
+  // shard's cache is a bounded FIFO — oldest decisions fall out first,
+  // never the map growing with attacker-supplied fresh ids.
+  const bool inserted = sh.receipts.insert_or_assign(request_id, r).second;
   if (inserted) {
-    receipt_order_.push_back(request_id);
-    while (receipts_.size() > config_.max_receipts) {
-      receipts_.erase(receipt_order_.front());
-      receipt_order_.pop_front();
+    sh.receipt_order.push_back(request_id);
+    while (sh.receipts.size() > receipt_cap_) {
+      sh.receipts.erase(sh.receipt_order.front());
+      sh.receipt_order.pop_front();
     }
   }
 }
 
 Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
   const auto start = Clock::now();
-  InflightGuard guard(inflight_, stats_);
+  InflightGuard guard(inflight_, front_stats_);
 
   // Admission before any parsing: when the gateway is saturated, the
   // cheapest honest answer is "come back later" — unbounded queueing
   // just converts overload into latency for everyone.
   if (guard.depth > config_.max_inflight) {
-    stats_.on_shed();
+    front_stats_.on_shed();
     RetryAfterResponse shed;
     shed.retry_after_ms = config_.retry_after_ms;
     shed.queue_depth = guard.depth;
@@ -149,7 +188,7 @@ Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
 
   const auto frame = Frame::deserialize(frame_bytes);
   if (!frame) {
-    stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
+    front_stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
     ErrorResponse err;
     err.code = RejectReason::kMalformedFrame;
     err.message = "undecodable frame";
@@ -160,7 +199,7 @@ Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
     case MsgType::kSubmitFastPay: {
       const Bytes resp = handle_submit(*frame, now_ms);
       // handle_submit records accept/reject counters; latency is the
-      // full serve() span, recorded here once the response exists.
+      // full serve() span, recorded there once the response exists.
       return resp;
     }
     case MsgType::kQueryEscrow:
@@ -171,7 +210,7 @@ Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
       ErrorResponse err;
       err.code = RejectReason::kMalformedFrame;
       err.message = "unexpected message type";
-      stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
+      front_stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
       return make_frame(MsgType::kError, frame->request_id, err.serialize());
     }
   }
@@ -179,26 +218,46 @@ Bytes Gateway::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
 
 Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
   const auto start = Clock::now();
+  auto req = SubmitFastPayRequest::deserialize(frame.payload);
+  if (!req) {
+    // No escrow id to route by — the malformed reject is front-door work.
+    record_receipt(frame.request_id, false, RejectReason::kMalformedFrame, now_ms);
+    front_stats_.on_reject(RejectReason::kMalformedFrame, elapsed_us(start));
+    FastPayResultResponse resp;
+    resp.accepted = false;
+    resp.code = RejectReason::kMalformedFrame;
+    resp.reason = "undecodable SubmitFastPay payload";
+    return make_frame(MsgType::kFastPayResult, frame.request_id, resp.serialize());
+  }
+
+  const core::PaymentBinding& b = req->package.binding.binding;
+  Shard& sh = shard_for(b.escrow_id);
+  auto stage_start = start;
+  auto mark = [&](Stage stage) {
+    const auto now = Clock::now();
+    sh.stats.on_stage(stage, between_us(stage_start, now));
+    stage_start = now;
+  };
+  mark(Stage::kDecode);
+
   auto finish = [&](bool accepted, RejectReason code, std::string reason,
                     ReservationId rid) -> Bytes {
+    stage_start = Clock::now();
     record_receipt(frame.request_id, accepted, code, now_ms);
-    if (accepted) {
-      stats_.on_accept(elapsed_us(start));
-    } else {
-      stats_.on_reject(code, elapsed_us(start));
-    }
     FastPayResultResponse resp;
     resp.accepted = accepted;
     resp.code = code;
     resp.reason = std::move(reason);
     resp.reservation_id = rid;
-    return make_frame(MsgType::kFastPayResult, frame.request_id, resp.serialize());
+    Bytes out = make_frame(MsgType::kFastPayResult, frame.request_id, resp.serialize());
+    mark(Stage::kRespond);
+    if (accepted) {
+      sh.stats.on_accept(elapsed_us(start));
+    } else {
+      sh.stats.on_reject(code, elapsed_us(start));
+    }
+    return out;
   };
-
-  const auto req = SubmitFastPayRequest::deserialize(frame.payload);
-  if (!req) {
-    return finish(false, RejectReason::kMalformedFrame, "undecodable SubmitFastPay payload", 0);
-  }
 
   std::optional<core::Invoice> invoice;
   {
@@ -211,28 +270,63 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
     return finish(false, RejectReason::kUnknownInvoice, "invoice not registered", 0);
   }
 
-  const core::PaymentBinding& b = req->package.binding.binding;
   const auto escrow = escrow_for(b.escrow_id);
   psc::Value outstanding = 0;
-  if (const auto snap = ledger_.snapshot(b.escrow_id)) outstanding = snap->local_reserved;
+  if (const auto snap = sh.ledger.snapshot(b.escrow_id)) outstanding = snap->local_reserved;
+
+  // Stage: verify. Opportunistic micro-batch — this request's signature
+  // jobs coalesce with every other concurrently in-flight submit into
+  // one batch_verify that warms the global SigCache, so the inline
+  // checks inside evaluate_against below are cache hits. Zero-latency
+  // when single-threaded (no window opens) or disabled.
+  if (config_.verify_batch_max > 0 && escrow.has_value()) {
+    stage_start = Clock::now();
+    std::vector<crypto::SigCheckJob> jobs;
+    jobs.reserve(1 + req->package.payment_tx.inputs.size());
+    {
+      crypto::SigCheckJob job;
+      job.digest = b.signing_digest();
+      job.pubkey = escrow->customer_btc_key;
+      job.sig = req->package.binding.customer_sig;
+      jobs.push_back(job);
+    }
+    const auto& node = merchant_.btc_node();
+    for (std::size_t i = 0; i < req->package.payment_tx.inputs.size(); ++i) {
+      const auto& in = req->package.payment_tx.inputs[i];
+      if (const auto coin = node.chain().utxo().get(in.prevout)) {
+        crypto::SigCheckJob job;
+        job.digest = req->package.payment_tx.signature_hash(i, coin->out.script_pubkey);
+        job.pubkey = in.script_sig.pubkey;
+        job.sig = in.script_sig.signature;
+        jobs.push_back(job);
+      }
+    }
+    const bool allow_wait = inflight_.load(std::memory_order_relaxed) > 1;
+    (void)batcher_.verify(std::move(jobs), allow_wait);
+    mark(Stage::kVerify);
+  }
 
   // Stage: evaluate. Const and read-only — many threads run this
   // concurrently; signature checks go through the global SigCache.
-  const auto decision = merchant_.evaluate_against(req->package, *invoice, now_ms, escrow,
-                                                   outstanding);
+  stage_start = Clock::now();
+  const auto decision =
+      merchant_.evaluate_against(req->package, *invoice, now_ms, escrow, outstanding);
+  mark(Stage::kEvaluate);
   if (!decision.accepted) {
     return finish(false, decision.code, decision.reason, 0);
   }
 
-  // Stage: reserve. The single serialization point — the ledger decides
-  // atomically whether this payment still fits the escrow's collateral
-  // (and the merchant's exposure cap) given every concurrent winner. The
-  // hold lasts until the binding's own expiry: the merchant is exposed
-  // for as long as the binding is disputable, so releasing any earlier
-  // would undercount exposure and let later payments overcommit.
+  // Stage: reserve. The per-escrow serialization point — the shard's
+  // ledger decides atomically whether this payment still fits the
+  // escrow's collateral (and the merchant's exposure cap) given every
+  // concurrent winner. The hold lasts until the binding's own expiry:
+  // the merchant is exposed for as long as the binding is disputable, so
+  // releasing any earlier would undercount exposure and let later
+  // payments overcommit.
   RejectReason deny = RejectReason::kNone;
-  const auto rid = ledger_.try_reserve(b.escrow_id, b.compensation, b.expiry_ms,
-                                       merchant_.config().per_escrow_exposure_cap, &deny);
+  const auto rid = sh.ledger.try_reserve(b.escrow_id, b.compensation, b.expiry_ms,
+                                         merchant_.config().per_escrow_exposure_cap, &deny);
+  mark(Stage::kReserve);
   if (!rid) {
     return finish(false, deny, std::string("reservation denied: ") + core::describe(deny), 0);
   }
@@ -249,38 +343,43 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
     rec.expires_at_ms = b.expiry_ms;
     rec.txid = b.btc_txid.bytes;
     if (!store_->append(rec) || !store_->commit()) {
-      (void)ledger_.release(*rid);
+      (void)sh.ledger.release(*rid);
       return finish(false, RejectReason::kOverloaded, "durable store commit failed", 0);
     }
     sync_store_stats();
+    mark(Stage::kWal);
   }
 
-  // Stage: commit handoff. The merchant's book is bounded here (under
-  // the same lock as the queue, so racing accepts cannot overshoot
-  // max_pending_payments) and mutation is deferred to flush_accepted().
-  {
-    std::lock_guard lock(commit_mu_);
-    const std::size_t limit = merchant_.config().max_pending_payments;
-    if (limit > 0 && merchant_.active_pending_count() + commit_queue_.size() >= limit) {
-      (void)ledger_.release(*rid);
-      if (store_ != nullptr) {
-        store::StoreRecord rec;
-        rec.kind = store::RecordKind::kRelease;
-        rec.reservation_id = *rid;
-        rec.cause = store::ReleaseCause::kRejected;
-        (void)store_->append(rec);
-        (void)store_->commit();
-      }
-      return finish(false, RejectReason::kPendingLimit, "merchant pending-payment limit reached",
-                    0);
+  // Stage: commit handoff. The merchant's book is bounded by claiming a
+  // slot on the queued-accepts counter before the queue push — racing
+  // accepts across shards cannot overshoot max_pending_payments, and no
+  // cross-shard lock is taken.
+  const std::size_t limit = merchant_.config().max_pending_payments;
+  const std::size_t claimed = queued_accepts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (limit > 0 && merchant_.active_pending_count() + claimed > limit) {
+    queued_accepts_.fetch_sub(1, std::memory_order_acq_rel);
+    (void)sh.ledger.release(*rid);
+    if (store_ != nullptr) {
+      store::StoreRecord rec;
+      rec.kind = store::RecordKind::kRelease;
+      rec.reservation_id = *rid;
+      rec.cause = store::ReleaseCause::kRejected;
+      (void)store_->append(rec);
+      (void)store_->commit();
     }
+    return finish(false, RejectReason::kPendingLimit, "merchant pending-payment limit reached",
+                  0);
+  }
+  {
     Accepted a;
-    a.package = req->package;
+    a.package = std::move(req->package);
     a.invoice = *invoice;
     a.now_ms = now_ms;
     a.reservation_id = *rid;
-    commit_queue_.push_back(std::move(a));
+    std::lock_guard lock(sh.commit_mu);
+    sh.commit_queue.push_back(std::move(a));
   }
+  mark(Stage::kCommit);
   return finish(true, RejectReason::kNone, {}, *rid);
 }
 
@@ -295,7 +394,7 @@ Bytes Gateway::handle_query_escrow(const Frame& frame, std::uint64_t now_ms) {
   }
   EscrowInfoResponse resp;
   (void)escrow_for(req->escrow_id);  // lazy mode: pull into the ledger
-  if (const auto snap = ledger_.snapshot(req->escrow_id)) {
+  if (const auto snap = shard_for(req->escrow_id).ledger.snapshot(req->escrow_id)) {
     resp.found = true;
     resp.state = static_cast<std::uint64_t>(snap->view.state);
     resp.collateral = snap->view.collateral;
@@ -315,8 +414,9 @@ Bytes Gateway::handle_get_receipt(const Frame& frame) {
   }
   ReceiptInfoResponse resp;  // found=false default
   {
-    std::lock_guard lock(receipts_mu_);
-    if (auto it = receipts_.find(req->request_id); it != receipts_.end()) {
+    Shard& sh = receipt_shard(req->request_id);
+    std::lock_guard lock(sh.receipts_mu);
+    if (auto it = sh.receipts.find(req->request_id); it != sh.receipts.end()) {
       resp = it->second;
     }
   }
@@ -372,33 +472,57 @@ std::vector<Bytes> Gateway::serve_batch(const std::vector<Bytes>& frames, std::u
 }
 
 std::vector<psc::PscTx> Gateway::flush_accepted() {
-  std::vector<Accepted> batch;
-  {
-    std::lock_guard lock(commit_mu_);
-    batch.swap(commit_queue_);
+  // Seal the epoch: swap out every shard's queue. Items accepted after
+  // this point land in the next epoch.
+  std::vector<std::vector<Accepted>> epoch(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard lock(shards_[i]->commit_mu);
+    epoch[i].swap(shards_[i]->commit_queue);
+    total += epoch[i].size();
   }
-  // The queue drains through the WAL first: the accepted bindings are
+  if (total > 0) queued_accepts_.fetch_sub(total, std::memory_order_acq_rel);
+
+  // The epoch drains through the WAL first: the accepted bindings are
   // group-committed before any merchant bookkeeping or BTC broadcast, so
   // a crash mid-flush recovers with every binding it committed to — and
-  // none it didn't.
-  if (store_ != nullptr && !batch.empty()) {
-    for (const auto& a : batch) {
-      store::StoreRecord rec;
+  // none it didn't. Record encoding (package/invoice serialization) is
+  // the expensive part, so it fans across the pool; the appends and the
+  // single fsync stay sequential, preserving the byte layout a
+  // single-threaded flush would write.
+  if (store_ != nullptr && total > 0) {
+    std::vector<store::StoreRecord> records(total);
+    std::vector<const Accepted*> flat;
+    flat.reserve(total);
+    for (const auto& q : epoch) {
+      for (const auto& a : q) flat.push_back(&a);
+    }
+    pool_.parallel_for(flat.size(), [&](std::size_t i) {
+      const Accepted& a = *flat[i];
+      store::StoreRecord& rec = records[i];
       rec.kind = store::RecordKind::kAcceptCommit;
       rec.reservation_id = a.reservation_id;
       rec.accepted_at_ms = a.now_ms;
       rec.package = a.package.serialize();
       rec.invoice = a.invoice.serialize();
-      (void)store_->append(rec);
-    }
+    });
+    for (auto& rec : records) (void)store_->append(rec);
     (void)store_->commit();
     sync_store_stats();
   }
+
+  // Apply merchant bookkeeping deterministically: shard order, then
+  // queue order. The merchant book and BTC broadcast are not
+  // thread-safe, and a parallel apply would make broadcast order depend
+  // on scheduling — this stays the control thread's job by design.
   std::vector<psc::PscTx> actions;
-  for (auto& a : batch) {
-    auto txs = merchant_.accept_payment(a.package, a.invoice, a.now_ms);
-    for (auto& tx : txs) actions.push_back(std::move(tx));
-    live_reservations_.emplace(a.reservation_id, a.package.binding.binding.btc_txid);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (auto& a : epoch[i]) {
+      const btc::Txid txid = a.package.binding.binding.btc_txid;
+      auto txs = merchant_.accept_payment(std::move(a.package), std::move(a.invoice), a.now_ms);
+      for (auto& tx : txs) actions.push_back(std::move(tx));
+      shards_[i]->live_reservations.emplace(a.reservation_id, txid);
+    }
   }
   return actions;
 }
@@ -407,12 +531,14 @@ void Gateway::reconcile(std::uint64_t now_ms) {
   // Refresh every tracked escrow from authoritative contract state. A
   // reorg that shrank collateral, a judged dispute, a topped-up escrow —
   // all become visible to try_reserve here.
-  std::vector<std::pair<EscrowId, EscrowView>> views;
-  views.reserve(tracked_.size());
-  for (const EscrowId id : tracked_) {
-    if (const auto view = merchant_.escrow_view(id)) views.emplace_back(id, *view);
+  std::vector<EscrowId> ids;
+  {
+    std::lock_guard lock(tracked_mu_);
+    ids.assign(tracked_.begin(), tracked_.end());
   }
-  ledger_.reconcile(views);
+  for (const EscrowId id : ids) {
+    if (const auto view = merchant_.escrow_view(id)) shard_for(id).ledger.upsert_escrow(id, *view);
+  }
 
   // Release reservations whose payments resolved (settled on BTC or
   // judged on PSC) — the merchant book is the source of truth.
@@ -426,18 +552,23 @@ void Gateway::reconcile(std::uint64_t now_ms) {
     (void)store_->append(rec);
     logged = true;
   };
-  if (!live_reservations_.empty()) {
-    std::unordered_set<std::string> resolved;
-    for (const auto& p : merchant_.pending()) {
-      if (p.settled || p.judged) {
-        resolved.insert(p.package.binding.binding.btc_txid.to_string());
+  std::unordered_set<std::string> resolved;
+  bool resolved_built = false;
+  for (auto& shard : shards_) {
+    if (shard->live_reservations.empty()) continue;
+    if (!resolved_built) {
+      for (const auto& p : merchant_.pending()) {
+        if (p.settled || p.judged) {
+          resolved.insert(p.package.binding.binding.btc_txid.to_string());
+        }
       }
+      resolved_built = true;
     }
-    for (auto it = live_reservations_.begin(); it != live_reservations_.end();) {
+    for (auto it = shard->live_reservations.begin(); it != shard->live_reservations.end();) {
       if (resolved.count(it->second.to_string()) > 0) {
-        (void)ledger_.release(it->first);
+        (void)shard->ledger.release(it->first);
         log_release(it->first, store::ReleaseCause::kResolved);
-        it = live_reservations_.erase(it);
+        it = shard->live_reservations.erase(it);
       } else {
         ++it;
       }
@@ -447,7 +578,9 @@ void Gateway::reconcile(std::uint64_t now_ms) {
   // Drop reservations past their deadline: the binding can no longer be
   // disputed, so the collateral hold serves nobody.
   std::vector<ReservationId> expired;
-  (void)ledger_.expire_due(now_ms, store_ != nullptr ? &expired : nullptr);
+  for (auto& shard : shards_) {
+    (void)shard->ledger.expire_due(now_ms, store_ != nullptr ? &expired : nullptr);
+  }
   for (const ReservationId rid : expired) log_release(rid, store::ReleaseCause::kExpired);
   if (logged) {
     (void)store_->commit();
@@ -455,9 +588,57 @@ void Gateway::reconcile(std::uint64_t now_ms) {
   }
 }
 
+GatewayStats Gateway::stats() const {
+  GatewayStats out(front_stats_);
+  for (const auto& shard : shards_) out.accumulate(shard->stats);
+  return out;
+}
+
+const GatewayStats& Gateway::shard_stats(std::size_t i) const {
+  return shards_[i % shards_.size()]->stats;
+}
+
+void Gateway::reset_stats() {
+  front_stats_.reset();
+  for (auto& shard : shards_) shard->stats.reset();
+  sync_store_stats();
+}
+
+std::optional<ReservationLedger::EscrowSnapshot> Gateway::escrow_snapshot(EscrowId id) const {
+  return shard_for(id).ledger.snapshot(id);
+}
+
+std::uint64_t Gateway::reservations_granted() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ledger.total_granted();
+  return n;
+}
+
+std::uint64_t Gateway::reservations_denied() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ledger.total_denied();
+  return n;
+}
+
+std::uint64_t Gateway::reservations_released() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ledger.total_released();
+  return n;
+}
+
+std::uint64_t Gateway::reservations_expired() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ledger.total_expired();
+  return n;
+}
+
 std::size_t Gateway::commit_queue_depth() const {
-  std::lock_guard lock(commit_mu_);
-  return commit_queue_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->commit_mu);
+    n += shard->commit_queue.size();
+  }
+  return n;
 }
 
 }  // namespace btcfast::gateway

@@ -1,27 +1,45 @@
 // The gateway request pipeline: the concurrent front door in front of
-// MerchantService. Stages per SubmitFastPay frame:
+// MerchantService, sharded by escrow affinity. Stages per SubmitFastPay
+// frame:
 //
 //   admission (shed when > max_inflight in flight, typed RetryAfter)
 //     -> decode (total, fuzz-hardened wire decoders)
+//     -> route (escrow affinity byte -> owning shard: its ledger
+//        stripes, commit queue, receipt cache and stats are private, so
+//        traffic on unrelated escrows never contends)
+//     -> verify (opportunistic micro-batch: concurrently in-flight
+//        signature jobs coalesce into one crypto::batch_verify that
+//        warms the global SigCache — bounded wait, zero added latency
+//        when serving single-threaded)
 //     -> evaluate (MerchantService::evaluate_against — const, reentrant,
-//        signature checks through the global SigCache)
-//     -> reserve (ReservationLedger::try_reserve — the one serialization
-//        point; two racing fast-pays cannot overcommit one escrow)
-//     -> respond (+ queue the accept for single-threaded commit)
+//        signature checks hit the SigCache warmed above)
+//     -> reserve (ReservationLedger::try_reserve on the shard's ledger —
+//        the per-escrow serialization point; two racing fast-pays cannot
+//        overcommit one escrow)
+//     -> respond (+ queue the accept on the shard for epoch flush)
+//
+// Reservation ids draw from one gateway-wide counter and embed the
+// escrow's geometry-independent affinity byte, so an N-shard gateway
+// returns byte-identical responses to a 1-shard gateway for the same
+// frame sequence.
 //
 // Threading contract: serve() is safe from any number of threads while
 // the merchant/simulation is quiescent — the concurrent stages only READ
-// node state. Mutation (merchant bookkeeping, BTC broadcast, PSC txs) is
-// deferred: accepted packages land in a commit queue that the control
-// thread drains with flush_accepted(). reconcile() (also control-thread)
-// refreshes escrow views from the contract each PSC block, releases
-// reservations for settled/judged payments, and expires stale ones.
+// node state (lazy escrow fetch, when enabled, is serialized by a
+// gateway-wide fetch lock). Mutation (merchant bookkeeping, BTC
+// broadcast, PSC txs) is deferred: accepted packages land in per-shard
+// commit queues that the control thread drains with flush_accepted() —
+// one sealed epoch, one group-commit fsync, then deterministic apply.
+// reconcile() (also control-thread) refreshes escrow views from the
+// contract each PSC block, releases reservations for settled/judged
+// payments, and expires stale ones.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -33,6 +51,7 @@
 #include "common/thread_pool.h"
 #include "gateway/reservation_ledger.h"
 #include "gateway/stats.h"
+#include "gateway/verify_batcher.h"
 #include "gateway/wire.h"
 #include "store/recovery.h"
 
@@ -47,13 +66,30 @@ struct GatewayConfig {
   /// Bound on the best-effort receipt cache behind GetReceipt: oldest
   /// receipts are evicted first once the cache is full (request ids are
   /// client-chosen, so an unbounded map would let an untrusted client
-  /// exhaust gateway memory). 0 disables receipts entirely.
+  /// exhaust gateway memory). The budget is split evenly across shards
+  /// (at least 1 per shard). 0 disables receipts entirely.
   std::size_t max_receipts = 4096;
-  /// Fetch untracked escrows from the PSC chain on demand. Only safe
-  /// when serve() is called single-threaded (the chain view call is not
-  /// thread-safe); concurrent deployments pre-register via track_escrow.
+  /// Fetch untracked escrows from the PSC chain on demand. Safe under
+  /// concurrent serve(): the chain view call is serialized by a
+  /// gateway-wide fetch lock, so only the first request for an unknown
+  /// escrow pays it. Concurrent deployments that want zero locking on
+  /// the hot path still pre-register via track_escrow.
   bool lazy_escrow_fetch = false;
+  /// Reservation-ledger lock stripes per shard.
   std::size_t ledger_stripes = 16;
+  /// Escrow-affinity pipeline shards (clamped to [1, 64]). Each shard
+  /// owns its ledger stripes, commit queue, receipt cache and stats;
+  /// responses are byte-identical for any value.
+  std::size_t shards = 8;
+  /// Hot-path verify micro-batching: a leader collects up to this many
+  /// concurrently submitted signature jobs before flushing one
+  /// batch_verify. 0 disables the prefetch stage entirely (evaluate
+  /// verifies inline, as before).
+  std::size_t verify_batch_max = 64;
+  /// Bounded window the batch leader waits for followers. Only applies
+  /// when more than one request is in flight — single-threaded serving
+  /// never waits.
+  std::uint64_t verify_batch_wait_us = 100;
 };
 
 class Gateway {
@@ -65,17 +101,18 @@ class Gateway {
 
   /// Attach a durable store: from here on every granted reservation is
   /// WAL-committed before its accept response leaves serve(), and
-  /// flush_accepted() drains the commit queue through the WAL before
+  /// flush_accepted() drains the commit queues through the WAL before
   /// running merchant bookkeeping. Pass nullptr to detach. The store
   /// outlives the gateway's use of it (not owned).
   void attach_store(store::DurableStore* store);
 
   /// Rebuild gateway state from a recovered image (fresh gateway,
-  /// control thread): reservations back into the ledger, accepted
-  /// bindings back into the merchant book and the settle-release map.
-  /// The ledger must be configured with the same `ledger_stripes` the
-  /// log was written under. Returns false if any entry fails to decode
-  /// or re-install — recovery then must not be trusted.
+  /// control thread): reservations back into the owning shard's ledger,
+  /// accepted bindings back into the merchant book and the
+  /// settle-release map. Reservation ids are geometry-independent, so
+  /// the shard/stripe counts need not match the writer's. Returns false
+  /// if any entry fails to decode or re-install — recovery then must not
+  /// be trusted.
   [[nodiscard]] bool restore_from(const store::StateImage& image);
 
   /// Make an invoice resolvable by SubmitFastPay frames.
@@ -99,9 +136,12 @@ class Gateway {
   [[nodiscard]] std::vector<Bytes> serve_batch(const std::vector<Bytes>& frames,
                                                std::uint64_t now_ms);
 
-  /// Drain the commit queue (control thread only): run merchant
-  /// bookkeeping + BTC broadcast for every accepted payment, returning
-  /// the PSC transactions the caller must submit (reserved mode).
+  /// Drain every shard's commit queue as one epoch (control thread
+  /// only): seal the queues, encode the accept records in parallel on
+  /// the pool, group-commit them through the WAL with a single fsync,
+  /// then apply merchant bookkeeping + BTC broadcast deterministically
+  /// (shard order, then queue order). Returns the PSC transactions the
+  /// caller must submit (reserved mode).
   [[nodiscard]] std::vector<psc::PscTx> flush_accepted();
 
   /// Control-thread sync point, run on each new PSC block: refresh every
@@ -109,10 +149,28 @@ class Gateway {
   /// payments settled or were judged, and expire overdue reservations.
   void reconcile(std::uint64_t now_ms);
 
-  [[nodiscard]] GatewayStats& stats() noexcept { return stats_; }
-  [[nodiscard]] const GatewayStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] ReservationLedger& ledger() noexcept { return ledger_; }
+  /// Aggregated counters across the admission front and every shard
+  /// (relaxed snapshot; safe during concurrent serve).
+  [[nodiscard]] GatewayStats stats() const;
+  /// One shard's private counters (i < shard_count()).
+  [[nodiscard]] const GatewayStats& shard_stats(std::size_t i) const;
+  void reset_stats();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_index(EscrowId id) const noexcept {
+    return ReservationLedger::affinity(id) % shards_.size();
+  }
+
+  /// Ledger views, routed to the owning shard.
+  [[nodiscard]] std::optional<ReservationLedger::EscrowSnapshot> escrow_snapshot(
+      EscrowId id) const;
+  [[nodiscard]] std::uint64_t reservations_granted() const noexcept;
+  [[nodiscard]] std::uint64_t reservations_denied() const noexcept;
+  [[nodiscard]] std::uint64_t reservations_released() const noexcept;
+  [[nodiscard]] std::uint64_t reservations_expired() const noexcept;
+
   [[nodiscard]] std::size_t commit_queue_depth() const;
+  [[nodiscard]] const VerifyBatcher& batcher() const noexcept { return batcher_; }
 
  private:
   struct Accepted {
@@ -121,6 +179,37 @@ class Gateway {
     std::uint64_t now_ms = 0;
     ReservationId reservation_id = 0;
   };
+
+  /// Everything one escrow-affinity shard owns. Requests for different
+  /// shards share nothing on the hot path except the global SigCache,
+  /// the in-flight counter and the reservation-id counter (all atomic).
+  struct Shard {
+    Shard(std::size_t stripes, std::atomic<ReservationId>& ids) : ledger(stripes, &ids) {}
+
+    ReservationLedger ledger;
+    GatewayStats stats;
+
+    std::mutex commit_mu;
+    std::vector<Accepted> commit_queue;
+
+    mutable std::mutex receipts_mu;
+    std::unordered_map<std::uint64_t, ReceiptInfoResponse> receipts;
+    std::deque<std::uint64_t> receipt_order;  ///< FIFO eviction order
+
+    // Control-thread state (flush/reconcile are single-threaded by
+    // contract, so no lock).
+    std::unordered_map<ReservationId, btc::Txid> live_reservations;
+  };
+
+  [[nodiscard]] Shard& shard_for(EscrowId id) noexcept { return *shards_[shard_index(id)]; }
+  [[nodiscard]] const Shard& shard_for(EscrowId id) const noexcept {
+    return *shards_[shard_index(id)];
+  }
+  /// Receipts route by request id (GetReceipt carries nothing else).
+  [[nodiscard]] Shard& receipt_shard(std::uint64_t request_id) noexcept {
+    return *shards_[static_cast<std::size_t>((request_id * 0x9e3779b97f4a7c15ull) >> 56) %
+                    shards_.size()];
+  }
 
   [[nodiscard]] Bytes handle_submit(const Frame& frame, std::uint64_t now_ms);
   [[nodiscard]] Bytes handle_query_escrow(const Frame& frame, std::uint64_t now_ms);
@@ -133,26 +222,37 @@ class Gateway {
   core::MerchantService& merchant_;
   common::ThreadPool& pool_;
   GatewayConfig config_;
-  ReservationLedger ledger_;
-  GatewayStats stats_;
   store::DurableStore* store_ = nullptr;
 
+  /// One id space shared by every shard's ledger: grants are globally
+  /// unique and independent of shard count.
+  std::atomic<ReservationId> reservation_ids_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t receipt_cap_ = 0;  ///< per-shard receipt budget
+
+  /// Admission-front counters: sheds, top-level malformed frames, and
+  /// the live queue depth (work that hasn't been routed to a shard yet).
+  GatewayStats front_stats_;
+  VerifyBatcher batcher_;
+
   std::atomic<std::size_t> inflight_{0};
+  /// Accepts queued across all shards but not yet applied; bounds the
+  /// merchant book (active + queued <= max_pending_payments) without a
+  /// cross-shard lock.
+  std::atomic<std::size_t> queued_accepts_{0};
 
   mutable std::shared_mutex invoices_mu_;
   std::unordered_map<std::uint64_t, core::Invoice> invoices_;
 
-  mutable std::mutex receipts_mu_;
-  std::unordered_map<std::uint64_t, ReceiptInfoResponse> receipts_;
-  std::deque<std::uint64_t> receipt_order_;  ///< FIFO eviction order for receipts_
+  /// Serializes lazy escrow fetches: PscChain::view_call is not safe
+  /// against concurrent callers, so the first request for an unknown
+  /// escrow takes this lock, re-checks the ledger, then fetches.
+  std::mutex lazy_fetch_mu_;
 
-  mutable std::mutex commit_mu_;
-  std::vector<Accepted> commit_queue_;
-
-  // Control-thread state (no lock: reconcile/track_escrow/flush are
-  // single-threaded by contract).
+  /// Escrows to refresh on reconcile. Guarded because lazy fetch inserts
+  /// from serve threads; control-thread paths take the same lock.
+  mutable std::mutex tracked_mu_;
   std::unordered_set<EscrowId> tracked_;
-  std::unordered_map<ReservationId, btc::Txid> live_reservations_;
 };
 
 }  // namespace btcfast::gateway

@@ -4,8 +4,9 @@
 
 namespace btcfast::gateway {
 
-ReservationLedger::ReservationLedger(std::size_t stripes)
-    : stripes_(std::clamp<std::size_t>(stripes, 1, 256)) {}
+ReservationLedger::ReservationLedger(std::size_t stripes, std::atomic<ReservationId>* shared_ids)
+    : stripes_(std::clamp<std::size_t>(stripes, 1, 256)),
+      next_id_(shared_ids != nullptr ? shared_ids : &own_next_id_) {}
 
 void ReservationLedger::upsert_escrow(EscrowId id, const EscrowView& view) {
   Stripe& s = stripe_for(id);
@@ -27,8 +28,6 @@ std::optional<ReservationId> ReservationLedger::try_reserve(EscrowId id, psc::Va
                                                             psc::Value exposure_cap,
                                                             core::RejectReason* deny_reason) {
   Stripe& s = stripe_for(id);
-  const auto stripe_idx =
-      static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size();
   auto deny = [&](core::RejectReason why) -> std::optional<ReservationId> {
     if (deny_reason) *deny_reason = why;
     denied_.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +58,7 @@ std::optional<ReservationId> ReservationLedger::try_reserve(EscrowId id, psc::Va
     return deny(core::RejectReason::kExposureCap);
   }
   const ReservationId rid =
-      (next_id_.fetch_add(1, std::memory_order_relaxed) << 8) | stripe_idx;
+      (next_id_->fetch_add(1, std::memory_order_relaxed) << 8) | affinity(id);
   e.local_reserved += amount;
   e.reservations.emplace(rid, Reservation{id, amount, expires_at_ms});
   s.by_id.emplace(rid, id);
@@ -68,6 +67,8 @@ std::optional<ReservationId> ReservationLedger::try_reserve(EscrowId id, psc::Va
 }
 
 bool ReservationLedger::release(ReservationId id) {
+  // The low byte is the escrow's affinity byte, so affinity % stripes
+  // lands on the same stripe stripe_for(escrow_id) would.
   Stripe& s = stripes_[(id & 0xff) % stripes_.size()];
   std::lock_guard<std::mutex> lock(s.mu);
   auto by = s.by_id.find(id);
@@ -109,12 +110,11 @@ std::size_t ReservationLedger::expire_due(std::uint64_t now_ms,
 bool ReservationLedger::restore_reservation(ReservationId id, EscrowId escrow_id,
                                             psc::Value amount, std::uint64_t expires_at_ms) {
   Stripe& s = stripe_for(escrow_id);
-  const auto stripe_idx =
-      static_cast<std::size_t>(escrow_id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size();
-  // Ids embed their owning stripe in the low byte (see try_reserve);
-  // release() relies on it, so a log written under a different stripe
-  // count cannot be restored into this ledger.
-  if ((id & 0xff) != stripe_idx) return false;
+  // Ids embed their escrow's affinity byte (see try_reserve); release()
+  // routes by it, so an id that disagrees with its claimed escrow is a
+  // corrupt or foreign record. The check is geometry-independent: a log
+  // written under any stripe/shard count restores anywhere.
+  if ((id & 0xff) != affinity(escrow_id)) return false;
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.by_id.contains(id)) return false;
   Entry& e = s.escrows[escrow_id];  // default view until reconcile refreshes it
@@ -123,9 +123,9 @@ bool ReservationLedger::restore_reservation(ReservationId id, EscrowId escrow_id
   s.by_id.emplace(id, escrow_id);
   // Keep fresh grants collision-free with every restored id.
   const ReservationId counter = (id >> 8) + 1;
-  ReservationId cur = next_id_.load(std::memory_order_relaxed);
+  ReservationId cur = next_id_->load(std::memory_order_relaxed);
   while (counter > cur &&
-         !next_id_.compare_exchange_weak(cur, counter, std::memory_order_relaxed)) {
+         !next_id_->compare_exchange_weak(cur, counter, std::memory_order_relaxed)) {
   }
   return true;
 }

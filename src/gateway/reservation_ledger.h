@@ -51,7 +51,13 @@ class ReservationLedger {
     std::size_t live_reservations = 0;
   };
 
-  explicit ReservationLedger(std::size_t stripes = 16);
+  /// `shared_ids`, when non-null, is the reservation-id counter to draw
+  /// from instead of a private one. The sharded gateway points every
+  /// shard's ledger at one process-wide counter so the ids it hands out
+  /// are independent of shard count — a 4-shard gateway serving a frame
+  /// sequence produces byte-identical responses to a 1-shard gateway.
+  explicit ReservationLedger(std::size_t stripes = 16,
+                             std::atomic<ReservationId>* shared_ids = nullptr);
 
   ReservationLedger(const ReservationLedger&) = delete;
   ReservationLedger& operator=(const ReservationLedger&) = delete;
@@ -92,9 +98,10 @@ class ReservationLedger {
   /// Re-install a reservation recovered from the durable store, creating
   /// the escrow entry if the view hasn't been re-tracked yet (the caller
   /// refreshes views via reconcile right after). Fails if the id's
-  /// embedded stripe index doesn't match this ledger's stripe count —
-  /// recovery must run with the same `ledger_stripes` the log was
-  /// written under — or if the id is already present.
+  /// embedded affinity byte doesn't match the escrow id's (a corrupt or
+  /// foreign record), or if the id is already present. Because the
+  /// affinity byte is geometry-independent, a log written under any
+  /// stripe or shard count restores into any ledger.
   bool restore_reservation(ReservationId id, EscrowId escrow_id, psc::Value amount,
                            std::uint64_t expires_at_ms);
 
@@ -120,6 +127,15 @@ class ReservationLedger {
     return expired_.load(std::memory_order_relaxed);
   }
 
+  /// The escrow's affinity byte: a geometry-independent hash used as the
+  /// low byte of every reservation id granted against it, and by the
+  /// gateway to route the escrow to a shard. Deriving stripe (affinity %
+  /// stripes) and shard (affinity % shards) from the same byte means a
+  /// reservation id alone is enough to find its stripe in any geometry.
+  [[nodiscard]] static constexpr std::uint8_t affinity(EscrowId id) noexcept {
+    return static_cast<std::uint8_t>((id * 0x9e3779b97f4a7c15ull) >> 56);
+  }
+
  private:
   struct Entry {
     EscrowView view;
@@ -131,21 +147,22 @@ class ReservationLedger {
   struct alignas(64) Stripe {
     mutable std::mutex mu;
     std::unordered_map<EscrowId, Entry> escrows;
-    // Reservation ids carry their stripe index in the low byte, so
-    // release() goes straight to the owning stripe; this map completes
-    // the hop from id to escrow entry.
+    // Reservation ids carry their escrow's affinity byte in the low
+    // byte, so release() goes straight to the owning stripe; this map
+    // completes the hop from id to escrow entry.
     std::unordered_map<ReservationId, EscrowId> by_id;
   };
 
   [[nodiscard]] Stripe& stripe_for(EscrowId id) noexcept {
-    return stripes_[static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size()];
+    return stripes_[affinity(id) % stripes_.size()];
   }
   [[nodiscard]] const Stripe& stripe_for(EscrowId id) const noexcept {
-    return stripes_[static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ull >> 32) % stripes_.size()];
+    return stripes_[affinity(id) % stripes_.size()];
   }
 
   std::vector<Stripe> stripes_;
-  std::atomic<ReservationId> next_id_{1};
+  std::atomic<ReservationId> own_next_id_{1};
+  std::atomic<ReservationId>* next_id_;  ///< &own_next_id_ or a shared counter
   std::atomic<std::uint64_t> granted_{0};
   std::atomic<std::uint64_t> denied_{0};
   std::atomic<std::uint64_t> released_{0};

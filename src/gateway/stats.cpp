@@ -14,6 +14,15 @@ void LatencyHistogram::record_us(std::uint64_t us) noexcept {
   sum_us_.fetch_add(us, std::memory_order_relaxed);
 }
 
+void LatencyHistogram::accumulate(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const auto c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
 double LatencyHistogram::percentile_us(double p) const noexcept {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
@@ -46,6 +55,48 @@ void LatencyHistogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_us_.store(0, std::memory_order_relaxed);
+}
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kDecode: return "decode";
+    case Stage::kVerify: return "verify";
+    case Stage::kEvaluate: return "evaluate";
+    case Stage::kReserve: return "reserve";
+    case Stage::kWal: return "wal";
+    case Stage::kCommit: return "commit";
+    case Stage::kRespond: return "respond";
+  }
+  return "unknown";
+}
+
+void GatewayStats::accumulate(const GatewayStats& other) noexcept {
+  accepts_.fetch_add(other.accepts(), std::memory_order_relaxed);
+  rejects_.fetch_add(other.rejects(), std::memory_order_relaxed);
+  sheds_.fetch_add(other.sheds(), std::memory_order_relaxed);
+  queue_depth_.fetch_add(other.queue_depth(), std::memory_order_relaxed);
+  // Peak depth is a high-water mark: summing shard peaks would report a
+  // depth the queue never reached, so take the max.
+  const auto other_peak = other.peak_queue_depth();
+  auto peak = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (other_peak > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, other_peak, std::memory_order_relaxed)) {
+  }
+  for (std::size_t i = 0; i < by_reason_.size(); ++i) {
+    const auto c = other.by_reason_[i].load(std::memory_order_relaxed);
+    if (c != 0) by_reason_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  auto take_max = [](std::atomic<std::uint64_t>& dst, std::uint64_t v) {
+    auto cur = dst.load(std::memory_order_relaxed);
+    while (v > cur && !dst.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  };
+  take_max(store_wal_appends_, other.store_wal_appends());
+  take_max(store_wal_fsyncs_, other.store_wal_fsyncs());
+  take_max(store_recovery_replayed_, other.store_recovery_replayed());
+  take_max(store_snapshot_bytes_, other.store_snapshot_bytes());
+  latency_.accumulate(other.latency_);
+  for (std::size_t i = 0; i < kStageCount; ++i) stages_[i].accumulate(other.stages_[i]);
 }
 
 void GatewayStats::on_accept(std::uint64_t latency_us) noexcept {
@@ -110,7 +161,16 @@ std::string GatewayStats::to_json() const {
   os << "    \"p50\": " << latency_.percentile_us(50) << ",\n";
   os << "    \"p90\": " << latency_.percentile_us(90) << ",\n";
   os << "    \"p99\": " << latency_.percentile_us(99) << "\n";
-  os << "  }\n";
+  os << "  },\n";
+  os << "  \"stages_us\": {";
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto& h = stages_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    \"" << stage_name(static_cast<Stage>(i)) << "\": {"
+       << "\"count\": " << h.count() << ", \"mean\": " << h.mean_us()
+       << ", \"p50\": " << h.percentile_us(50) << ", \"p99\": " << h.percentile_us(99) << "}";
+  }
+  os << "\n  }\n";
   os << "}\n";
   return os.str();
 }
@@ -141,6 +201,7 @@ void GatewayStats::reset() noexcept {
   store_recovery_replayed_.store(0, std::memory_order_relaxed);
   store_snapshot_bytes_.store(0, std::memory_order_relaxed);
   latency_.reset();
+  for (auto& s : stages_) s.reset();
 }
 
 }  // namespace btcfast::gateway

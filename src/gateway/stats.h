@@ -22,7 +22,16 @@ class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 40;
 
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram& other) noexcept { accumulate(other); }
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
   void record_us(std::uint64_t us) noexcept;
+
+  /// Fold another histogram's counts into this one (relaxed reads, so a
+  /// concurrent recorder yields a racy-but-coherent snapshot — the same
+  /// guarantee every other read here gives).
+  void accumulate(const LatencyHistogram& other) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -39,9 +48,33 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> sum_us_{0};
 };
 
+/// Pipeline stages instrumented with per-stage latency histograms, so a
+/// p99 blow-up is attributable to decode vs verify vs WAL without a
+/// profiler. kVerify covers the opportunistic micro-batch prefetch,
+/// kEvaluate the merchant decision core, kCommit the queue handoff,
+/// kRespond receipt recording + frame encoding.
+enum class Stage : std::size_t {
+  kDecode = 0,
+  kVerify,
+  kEvaluate,
+  kReserve,
+  kWal,
+  kCommit,
+  kRespond,
+};
+inline constexpr std::size_t kStageCount = 7;
+
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
 /// All gateway counters in one place.
 class GatewayStats {
  public:
+  GatewayStats() = default;
+  /// Copying takes a relaxed snapshot — this is how Gateway::stats()
+  /// returns an aggregated view over per-shard instances.
+  GatewayStats(const GatewayStats& other) noexcept { accumulate(other); }
+  GatewayStats& operator=(const GatewayStats&) = delete;
+
   void on_accept(std::uint64_t latency_us) noexcept;
   void on_reject(core::RejectReason code, std::uint64_t latency_us) noexcept;
   void on_shed() noexcept;  ///< overload rejection before any work
@@ -69,6 +102,18 @@ class GatewayStats {
     return peak_queue_depth_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] const LatencyHistogram& latency() const noexcept { return latency_; }
+
+  void on_stage(Stage stage, std::uint64_t latency_us) noexcept {
+    stages_[static_cast<std::size_t>(stage) % kStageCount].record_us(latency_us);
+  }
+  [[nodiscard]] const LatencyHistogram& stage(Stage stage) const noexcept {
+    return stages_[static_cast<std::size_t>(stage) % kStageCount];
+  }
+
+  /// Fold `other`'s counters into this instance (per-shard -> aggregate).
+  /// Store metrics are process-wide gauges, not per-shard counters, so
+  /// accumulate takes max instead of sum for them.
+  void accumulate(const GatewayStats& other) noexcept;
 
   /// Mirror the durable store's counters into the stats dump (the
   /// gateway refreshes these after each commit point). All zeros when no
@@ -118,6 +163,7 @@ class GatewayStats {
   std::atomic<std::uint64_t> store_recovery_replayed_{0};
   std::atomic<std::uint64_t> store_snapshot_bytes_{0};
   LatencyHistogram latency_;
+  std::array<LatencyHistogram, kStageCount> stages_;
 };
 
 }  // namespace btcfast::gateway

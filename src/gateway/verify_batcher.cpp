@@ -1,0 +1,56 @@
+#include "gateway/verify_batcher.h"
+
+#include <chrono>
+
+namespace btcfast::gateway {
+
+std::vector<std::uint8_t> VerifyBatcher::verify(std::vector<crypto::SigCheckJob> jobs,
+                                                bool allow_wait) {
+  if (jobs.empty()) return {};
+  jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
+
+  if (!allow_wait) {
+    // Single-threaded fast path: no window, no added latency.
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return crypto::batch_verify(pool_, jobs, cache_);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (open_ != nullptr) {
+    // Follower: append to the open window and sleep until the leader
+    // publishes. Our results occupy [offset, offset + n) of the batch.
+    auto batch = open_;
+    const std::size_t offset = batch->jobs.size();
+    const std::size_t n = jobs.size();
+    batch->jobs.insert(batch->jobs.end(), jobs.begin(), jobs.end());
+    coalesced_.fetch_add(n, std::memory_order_relaxed);
+    if (batch->jobs.size() >= config_.max_batch) batch->leader_wake.notify_one();
+    batch->done.wait(lock, [&] { return batch->flushed; });
+    return {batch->results.begin() + static_cast<std::ptrdiff_t>(offset),
+            batch->results.begin() + static_cast<std::ptrdiff_t>(offset + n)};
+  }
+
+  // Leader: open a window, wait (bounded) for followers, then run one
+  // batch_verify over everything collected.
+  auto batch = std::make_shared<Batch>();
+  const std::size_t n = jobs.size();
+  batch->jobs = std::move(jobs);
+  open_ = batch;
+  batch->leader_wake.wait_for(lock, std::chrono::microseconds(config_.max_wait_us),
+                              [&] { return batch->jobs.size() >= config_.max_batch; });
+  // Close the window: late arrivals open a fresh batch while we verify.
+  open_.reset();
+  std::vector<crypto::SigCheckJob> collected = std::move(batch->jobs);
+  lock.unlock();
+
+  std::vector<std::uint8_t> results = crypto::batch_verify(pool_, collected, cache_);
+
+  lock.lock();
+  batch->results = std::move(results);
+  batch->flushed = true;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch->done.notify_all();
+  return {batch->results.begin(), batch->results.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace btcfast::gateway

@@ -1,0 +1,89 @@
+// Opportunistic micro-batching for hot-path signature verification.
+//
+// Each serve() used to pay a cold ~330 us ECDSA verify inline. With N
+// requests in flight that is N independent scalar verifies, even though
+// crypto::batch_verify can fan the same work across the pool with far
+// better cache behaviour. The batcher closes that gap without changing
+// the caller contract: a thread submits its verify jobs and either
+// becomes the *leader* of the currently-open batch (waits a bounded
+// window for followers, then runs one batch_verify over everything
+// collected) or a *follower* (appends its jobs and sleeps until the
+// leader publishes results). Either way the verified-valid triples land
+// in the shared SigCache, so the caller's subsequent inline verification
+// (merchant evaluate) is a cache hit.
+//
+// The window only opens when the caller says concurrency is plausible
+// (`allow_wait`): a single-threaded caller verifies immediately and pays
+// zero added latency, which also keeps deterministic single-thread runs
+// (scenario fuzzer, inline pools) byte-for-byte identical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "crypto/batch_verify.h"
+
+namespace btcfast::gateway {
+
+class VerifyBatcher {
+ public:
+  struct Config {
+    std::size_t max_batch = 64;        ///< leader flushes once this many jobs collect
+    std::uint64_t max_wait_us = 100;   ///< leader's bounded wait for followers
+  };
+
+  VerifyBatcher(common::ThreadPool& pool, crypto::SigCache* cache, Config config)
+      : pool_(pool), cache_(cache), config_(config) {
+    if (config_.max_batch == 0) config_.max_batch = 1;
+  }
+
+  VerifyBatcher(const VerifyBatcher&) = delete;
+  VerifyBatcher& operator=(const VerifyBatcher&) = delete;
+
+  /// Verify `jobs`, populating the cache with the valid ones. Returns
+  /// per-job verdicts in input order. `allow_wait == false` verifies
+  /// inline with no batching window (single-threaded fast path).
+  [[nodiscard]] std::vector<std::uint8_t> verify(std::vector<crypto::SigCheckJob> jobs,
+                                                 bool allow_wait);
+
+  /// Monotonic counters (relaxed; for stats/bench only).
+  [[nodiscard]] std::uint64_t batches() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t jobs_verified() const noexcept {
+    return jobs_.load(std::memory_order_relaxed);
+  }
+  /// Jobs that rode along in a batch another thread led.
+  [[nodiscard]] std::uint64_t coalesced_jobs() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One open collection window. Followers append under `mu` and wait on
+  /// `done`; the leader flushes and publishes `results`.
+  struct Batch {
+    std::vector<crypto::SigCheckJob> jobs;
+    std::vector<std::uint8_t> results;
+    bool flushed = false;
+    std::condition_variable done;
+    std::condition_variable leader_wake;  ///< kicks the leader when the batch fills
+  };
+
+  common::ThreadPool& pool_;
+  crypto::SigCache* cache_;
+  Config config_;
+
+  std::mutex mu_;
+  std::shared_ptr<Batch> open_;  ///< null when no window is open
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace btcfast::gateway

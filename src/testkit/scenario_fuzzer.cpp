@@ -144,7 +144,7 @@ std::string ScenarioConfig::summary() const {
      << " watchtower=" << deployment.watchtower_enabled
      << " customer_online=" << deployment.customer_online
      << " reserve=" << deployment.reserve_payments << " gateway=" << use_gateway
-     << " store=" << use_store << " events=" << events.size()
+     << " store=" << use_store << " shards=" << gateway_shards << " events=" << events.size()
      << " horizon=" << horizon / kMinute << "m";
   return os.str();
 }
@@ -277,6 +277,12 @@ ScenarioConfig sample_scenario(std::uint64_t seed) {
   // Drawn last so adding durability to the sampler left every earlier
   // draw — and therefore existing seed repros — unchanged.
   cfg.use_store = rng.chance(0.5);
+  // Same trick again for the sharded gateway: the shard-count draw comes
+  // after every pre-existing draw, so seeds sampled before it existed
+  // still replay identically. 1/2/4/8 shards all must produce the same
+  // decisions (responses are geometry-independent by design — this is
+  // the fuzzer's standing check of that claim).
+  cfg.gateway_shards = std::size_t{1} << rng.below(4);
   return cfg;
 }
 
@@ -309,6 +315,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
   if (config.use_gateway) {
     gateway::GatewayConfig gwcfg;
     gwcfg.lazy_escrow_fetch = true;
+    gwcfg.shards = config.gateway_shards == 0 ? 1 : config.gateway_shards;
     gw = std::make_shared<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(), gwcfg);
     if (dep.store() != nullptr) gw->attach_store(dep.store());
     dep.set_accept_route(

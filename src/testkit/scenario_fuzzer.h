@@ -8,6 +8,7 @@
 // replays the identical run on any platform.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -56,6 +57,10 @@ struct ScenarioConfig {
   /// events genuinely wipe in-memory state and recover from disk. A
   /// non-byte-exact recovery is reported as a violation.
   bool use_store = false;
+  /// Escrow-affinity shard count for the gateway pipeline (sampled from
+  /// {1, 2, 4, 8}); decisions must be identical for every value, so any
+  /// seed doubles as a sharding-parity check.
+  std::size_t gateway_shards = 1;
 
   /// One-line summary for repro reports and logs.
   [[nodiscard]] std::string summary() const;

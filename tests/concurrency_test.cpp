@@ -6,16 +6,20 @@
 // results stay consistent.
 
 #include <atomic>
+#include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "btc/transaction.h"
+#include "common/thread_pool.h"
 #include "crypto/ecdsa.h"
 #include "crypto/sha256.h"
 #include "crypto/sigcache.h"
 #include "gateway/reservation_ledger.h"
+#include "gateway/verify_batcher.h"
 
 namespace btcfast {
 namespace {
@@ -258,6 +262,131 @@ TEST(ConcurrencyTest, LedgerReserveReleaseChurn) {
     EXPECT_EQ(snap.local_reserved, 0u);
     EXPECT_EQ(snap.live_reservations, 0u);
   }
+}
+
+// The gateway's hot-path verify micro-batcher under contention: N
+// threads submit small job batches (mixed valid/invalid signatures)
+// with the coalescing window open. Whoever leads, every caller must get
+// back the correct verdict for ITS jobs in ITS order, and exactly the
+// valid triples must land in the cache.
+TEST(ConcurrencyTest, VerifyBatcherHammer) {
+  const auto key = crypto::PrivateKey::from_scalar(crypto::U256{0xba7c4});
+  ASSERT_TRUE(key.has_value());
+  const auto pub = crypto::PublicKey::derive(*key);
+  const auto pub_bytes = pub.serialize();
+
+  constexpr int kMessages = 24;
+  std::vector<crypto::SigCheckJob> jobs(kMessages);
+  for (int i = 0; i < kMessages; ++i) {
+    crypto::Sha256Digest d{};
+    d[0] = static_cast<std::uint8_t>(i);
+    d[1] = 0x77;
+    jobs[static_cast<std::size_t>(i)].digest = d;
+    jobs[static_cast<std::size_t>(i)].pubkey = pub_bytes;
+    auto sig = crypto::ecdsa_sign(*key, d).serialize();
+    if (i % 3 == 2) sig[11] ^= 0x01;  // corrupt every 3rd signature
+    jobs[static_cast<std::size_t>(i)].sig = sig;
+  }
+
+  common::ThreadPool pool(2);
+  crypto::SigCache cache(1 << 12);
+  gateway::VerifyBatcher batcher(pool, &cache, {/*max_batch=*/16, /*max_wait_us=*/200});
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 30; ++round) {
+        // Each call submits a 3-job slice starting at a thread-dependent
+        // offset, so concurrent batches interleave different job mixes.
+        const int base = (static_cast<int>(t) + round) % (kMessages - 3);
+        std::vector<crypto::SigCheckJob> slice(jobs.begin() + base, jobs.begin() + base + 3);
+        const auto verdicts = batcher.verify(std::move(slice), /*allow_wait=*/true);
+        if (verdicts.size() != 3) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (int j = 0; j < 3; ++j) {
+          const bool expected = ((base + j) % 3 != 2);
+          if ((verdicts[static_cast<std::size_t>(j)] != 0) != expected) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+
+  // Exactly the valid triples are cache residents; not one corrupt one.
+  for (int i = 0; i < kMessages; ++i) {
+    const auto& job = jobs[static_cast<std::size_t>(i)];
+    const auto k = crypto::SigCache::make_key(job.digest, {job.pubkey.data(), job.pubkey.size()},
+                                              {job.sig.data(), job.sig.size()});
+    EXPECT_EQ(cache.contains(k), i % 3 != 2) << "job " << i;
+  }
+  EXPECT_GT(batcher.batches(), 0u);
+  EXPECT_EQ(batcher.jobs_verified(), static_cast<std::uint64_t>(kThreads) * 30 * 3);
+}
+
+// Multiple per-shard ledgers drawing from ONE shared id counter — the
+// sharded gateway's setup. Grants must stay globally unique across the
+// ledgers, every id must route back to its own ledger for release, and
+// the affinity byte must match the escrow that granted it.
+TEST(ConcurrencyTest, ShardedLedgersShareOneIdSpace) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint64_t kEscrows = 12;
+  std::atomic<gateway::ReservationId> ids{1};
+  std::vector<std::unique_ptr<gateway::ReservationLedger>> shards;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards.push_back(std::make_unique<gateway::ReservationLedger>(4, &ids));
+  }
+  auto shard_of = [&](core::EscrowId id) -> gateway::ReservationLedger& {
+    return *shards[gateway::ReservationLedger::affinity(id) % kShards];
+  };
+
+  core::EscrowView view;
+  view.state = core::EscrowState::kActive;
+  view.collateral = 1'000'000;
+  view.unlock_time_ms = 1'000'000;
+  for (std::uint64_t e = 1; e <= kEscrows; ++e) shard_of(e).upsert_escrow(e, view);
+
+  std::vector<std::vector<gateway::ReservationId>> granted(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const core::EscrowId id = 1 + (t + static_cast<unsigned>(i)) % kEscrows;
+        auto& ledger = shard_of(id);
+        const auto rid = ledger.try_reserve(id, 5, 500);
+        if (!rid.has_value() ||
+            (*rid & 0xff) != gateway::ReservationLedger::affinity(id)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        granted[t].push_back(*rid);
+        if (i % 2 == 0 && !ledger.release(*rid)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Global uniqueness across every shard's grants.
+  std::set<gateway::ReservationId> seen;
+  for (const auto& per_thread : granted) {
+    for (const auto rid : per_thread) {
+      EXPECT_TRUE(seen.insert(rid).second) << "duplicate reservation id " << rid;
+    }
+  }
+  std::uint64_t total_granted = 0;
+  for (const auto& shard : shards) total_granted += shard->total_granted();
+  EXPECT_EQ(total_granted, seen.size());
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 // rejects, receipts, admission shed, and batch/sequential parity.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <thread>
 
 #include "btcfast/customer.h"
 #include "btcfast/orchestrator.h"
@@ -486,7 +488,7 @@ TEST_F(GatewayUnit, SubmitAcceptedEndToEnd) {
   EXPECT_NE(resp.reservation_id, 0u);
 
   // The accept reserved collateral and queued the commit.
-  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
   EXPECT_EQ(gw->commit_queue_depth(), 1u);
@@ -607,7 +609,7 @@ TEST_F(GatewayUnit, RejectParityWithDirectEvaluation) {
   EXPECT_EQ(resp.code, RejectReason::kBindingSigInvalid);
   EXPECT_EQ(resp.reason, direct.reason);
   // No reservation was held for the reject.
-  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, 0u);
 }
@@ -623,15 +625,15 @@ TEST_F(GatewayUnit, ReservationHeldForFullBindingLifetime) {
   const std::uint64_t expiry = pkg.binding.binding.expiry_ms;
 
   gw->reconcile(expiry - 1);
-  auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
 
   gw->reconcile(expiry);
-  snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  snap = gw->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, 0u);
-  EXPECT_EQ(gw->ledger().total_expired(), 1u);
+  EXPECT_EQ(gw->reservations_expired(), 1u);
 }
 
 TEST_F(GatewayUnit, HugeCompensationBindingCannotWrapCoverage) {
@@ -657,7 +659,7 @@ TEST_F(GatewayUnit, HugeCompensationBindingCannotWrapCoverage) {
   EXPECT_FALSE(resp.accepted);
   EXPECT_EQ(resp.code, RejectReason::kInsufficientCollateral);
   // The small reservation is still tracked — nothing was erased.
-  const auto snap = gw->ledger().snapshot(dep->customer().escrow_id());
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, outstanding);
 }
@@ -665,6 +667,9 @@ TEST_F(GatewayUnit, HugeCompensationBindingCannotWrapCoverage) {
 TEST_F(GatewayUnit, ReceiptCacheBoundedFifo) {
   GatewayConfig cfg;
   cfg.max_receipts = 2;
+  // One shard so all three receipts share one FIFO and the global cap is
+  // exact; with N shards the budget is split per shard.
+  cfg.shards = 1;
   auto gw = make_gateway(cfg);
   const auto receipt_for = [&](std::uint64_t request_id) -> ReceiptInfoResponse {
     const auto bytes = gw->serve(
@@ -725,6 +730,178 @@ TEST_F(GatewayUnit, ServeBatchMatchesSequentialServe) {
   }
   EXPECT_EQ(batch_gw->stats().accepts(), 1u);
   EXPECT_EQ(batch_gw->stats().rejects(), 2u);
+}
+
+TEST_F(GatewayUnit, ShardedVsUnshardedParity) {
+  // The shard count is a pure performance knob: reservation ids draw
+  // from one gateway-wide counter and embed a geometry-independent
+  // affinity byte, so an N-shard gateway must answer every frame with
+  // the exact bytes the 1-shard gateway produces — accepts (including
+  // the reservation id), typed rejects, queries and receipts alike.
+  auto tampered = pkg;
+  tampered.binding.customer_sig[3] ^= 0x01;
+  SubmitFastPayRequest unknown;
+  unknown.invoice_id = invoice.invoice_id + 999;
+  unknown.package = pkg;
+
+  const std::vector<Bytes> frames = {
+      submit_frame(1, pkg),
+      submit_frame(2, tampered),
+      make_frame(MsgType::kSubmitFastPay, 3, unknown.serialize()),
+      make_frame(MsgType::kQueryEscrow, 4,
+                 QueryEscrowRequest{dep->customer().escrow_id()}.serialize()),
+      make_frame(MsgType::kGetReceipt, 5, GetReceiptRequest{1}.serialize()),
+      make_frame(MsgType::kGetReceipt, 6, GetReceiptRequest{2}.serialize()),
+      make_frame(MsgType::kSubmitFastPay, 7, Bytes{0xde, 0xad}),  // malformed payload
+  };
+
+  GatewayConfig one;
+  one.shards = 1;
+  auto gw1 = make_gateway(one);
+  GatewayConfig many;
+  many.shards = 4;
+  auto gwn = make_gateway(many);
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Bytes a = gw1->serve(frames[i], now);
+    const Bytes b = gwn->serve(frames[i], now);
+    EXPECT_EQ(a, b) << "response " << i << " diverged between 1 and 4 shards";
+  }
+  EXPECT_EQ(gw1->stats().accepts(), gwn->stats().accepts());
+  EXPECT_EQ(gw1->stats().rejects(), gwn->stats().rejects());
+  EXPECT_EQ(gw1->reservations_granted(), gwn->reservations_granted());
+  EXPECT_EQ(gw1->commit_queue_depth(), gwn->commit_queue_depth());
+}
+
+TEST_F(GatewayUnit, LazyFetchSafeUnderConcurrentServe) {
+  // lazy_escrow_fetch used to be documented single-thread-only; the
+  // chain-view fetch is now serialized under a gateway-wide lock, so
+  // hammering an UNTRACKED escrow from many threads must neither race
+  // (TSan's job) nor fetch inconsistent views: exactly one thread pays
+  // the contract call, everyone sees the same escrow afterwards.
+  GatewayConfig cfg;
+  cfg.lazy_escrow_fetch = true;
+  auto gw = std::make_unique<Gateway>(dep->merchant(), pool, cfg);
+  gw->register_invoice(invoice);  // escrow deliberately NOT tracked
+
+  const Bytes query = make_frame(MsgType::kQueryEscrow, 9,
+                                 QueryEscrowRequest{dep->customer().escrow_id()}.serialize());
+  std::atomic<int> not_found{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const auto frame = Frame::deserialize(gw->serve(query, now));
+        ASSERT_TRUE(frame.has_value());
+        const auto resp = EscrowInfoResponse::deserialize(frame->payload);
+        ASSERT_TRUE(resp.has_value());
+        if (!resp->found) not_found.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(not_found.load(), 0);
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GT(snap->view.collateral, 0u);
+}
+
+TEST_F(GatewayUnit, ConcurrentShardedServeNeverOvercommits) {
+  // The end-to-end TSan hammer: many threads drive real submit frames
+  // (valid, tampered, unknown-invoice) through the sharded pipeline and
+  // the verify micro-batcher at once. The escrow's collateral must cover
+  // every accept no matter how the threads interleave, and the counters
+  // must reconcile exactly.
+  GatewayConfig cfg;
+  cfg.shards = 4;
+  cfg.verify_batch_max = 16;
+  cfg.verify_batch_wait_us = 50;
+  auto gw = make_gateway(cfg);
+
+  auto tampered = pkg;
+  tampered.binding.customer_sig[3] ^= 0x01;
+  SubmitFastPayRequest unknown;
+  unknown.invoice_id = invoice.invoice_id + 999;
+  unknown.package = pkg;
+  const Bytes bad_sig = submit_frame(2, tampered);
+  const Bytes bad_invoice = make_frame(MsgType::kSubmitFastPay, 3, unknown.serialize());
+
+  std::atomic<std::uint64_t> accepts{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        // Every thread races the SAME valid package (distinct request
+        // ids): each accept re-reserves the compensation, so the
+        // collateral cap is what bounds the winners.
+        const auto resp =
+            decode_result(gw->serve(submit_frame(100 + t * 1000 + i, pkg), now));
+        if (resp.accepted) accepts.fetch_add(1, std::memory_order_relaxed);
+        (void)gw->serve(bad_sig, now);
+        (void)gw->serve(bad_invoice, now);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_LE(snap->view.reserved + snap->local_reserved, snap->view.collateral);
+  EXPECT_EQ(snap->local_reserved, accepts.load() * pkg.binding.binding.compensation);
+  EXPECT_EQ(gw->stats().accepts(), accepts.load());
+  EXPECT_EQ(gw->reservations_granted(), accepts.load());
+  EXPECT_EQ(gw->commit_queue_depth(), accepts.load());
+  EXPECT_GT(gw->batcher().jobs_verified(), 0u);
+}
+
+TEST_F(GatewayUnit, PendingLimitClaimedAtomicallyAcrossQueues) {
+  // The pending-payment bound is enforced with an atomic slot claim
+  // instead of the old cross-shard commit lock; the boundary must stay
+  // exact: limit 1 -> first accept wins the slot, second is rejected
+  // with kPendingLimit even before any flush.
+  core::MerchantService::Config mcfg = dep->merchant().config();
+  mcfg.max_pending_payments = 1;
+  core::MerchantService limited(dep->merchant().btc_identity(), dep->merchant_node(), dep->psc(),
+                                mcfg);
+  auto gw = std::make_unique<Gateway>(limited, pool, GatewayConfig{});
+  gw->register_invoice(invoice);
+  gw->track_escrow(dep->customer().escrow_id());
+
+  const auto second_pkg = dep->customer().create_fastpay(
+      invoice, coins[1].first, coins[1].second.out.value, now, dep->config().binding_ttl_ms);
+  const auto first = decode_result(gw->serve(submit_frame(1, pkg), now));
+  EXPECT_TRUE(first.accepted) << first.reason;
+  const auto second = decode_result(gw->serve(submit_frame(2, second_pkg), now));
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(second.code, RejectReason::kPendingLimit);
+  // The rejected claim released both the slot and the reservation.
+  EXPECT_EQ(gw->commit_queue_depth(), 1u);
+  const auto snap = gw->escrow_snapshot(dep->customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
+}
+
+TEST_F(GatewayUnit, StageHistogramsPopulated) {
+  // One accepted submit must leave a sample in every stage it crossed;
+  // the JSON dump carries the per-stage section.
+  auto gw = make_gateway();
+  const auto resp = decode_result(gw->serve(submit_frame(1, pkg), now));
+  ASSERT_TRUE(resp.accepted) << resp.reason;
+
+  const auto st = gw->stats();
+  EXPECT_EQ(st.stage(Stage::kDecode).count(), 1u);
+  EXPECT_EQ(st.stage(Stage::kVerify).count(), 1u);
+  EXPECT_EQ(st.stage(Stage::kEvaluate).count(), 1u);
+  EXPECT_EQ(st.stage(Stage::kReserve).count(), 1u);
+  EXPECT_EQ(st.stage(Stage::kWal).count(), 0u);  // no store attached
+  EXPECT_EQ(st.stage(Stage::kCommit).count(), 1u);
+  EXPECT_EQ(st.stage(Stage::kRespond).count(), 1u);
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"stages_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"evaluate\""), std::string::npos);
+
+  gw->reset_stats();
+  EXPECT_EQ(gw->stats().stage(Stage::kDecode).count(), 0u);
 }
 
 }  // namespace

@@ -907,7 +907,7 @@ TEST_F(StoreGatewayUnit, CrashBetweenAcceptAndFlushKeepsReservationNotAccept) {
   // The binding was never booked (crash before flush), so the merchant
   // book is empty — but the collateral hold survived the crash.
   EXPECT_EQ(dep->merchant().pending().size(), 0u);
-  const auto snap = gw2->ledger().snapshot(dep->customer().escrow_id());
+  const auto snap = gw2->escrow_snapshot(dep->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
 
@@ -975,7 +975,7 @@ TEST_F(StoreGatewayUnit, RecoveryRestoresFlushedAcceptsIntoFreshProcess) {
   EXPECT_EQ(restored.package.binding.binding.btc_txid, pkg.payment_tx.txid());
   EXPECT_EQ(restored.invoice.invoice_id, invoice.invoice_id);
   EXPECT_EQ(restored.accepted_at_ms, now);
-  const auto snap = gw2->ledger().snapshot(dep2->customer().escrow_id());
+  const auto snap = gw2->escrow_snapshot(dep2->customer().escrow_id());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->local_reserved, pkg.binding.binding.compensation);
   gw2.reset();
