@@ -144,6 +144,15 @@ int main() {
                  std::size_t* out_steady, store::DurableStore* store = nullptr) {
     gateway::GatewayConfig gwcfg;
     gwcfg.max_inflight = max_inflight;
+    // BTCFAST_PUBKEY_PRECOMP_CAP bounds (or, at 0, disables) the
+    // per-pubkey GLV precomp cache, so runs can compare cached vs
+    // uncached verify without a rebuild.
+    gwcfg.pubkey_precomp_max =
+        env_size("BTCFAST_PUBKEY_PRECOMP_CAP", gwcfg.pubkey_precomp_max);
+    if (const char* cap = std::getenv("BTCFAST_PUBKEY_PRECOMP_CAP");
+        cap != nullptr && cap[0] == '0' && cap[1] == '\0') {
+      gwcfg.pubkey_precomp_max = 0;
+    }
     auto gw = std::make_unique<gateway::Gateway>(dep.merchant(), common::ThreadPool::global(),
                                                  gwcfg);
     if (store != nullptr) gw->attach_store(store);
@@ -151,8 +160,10 @@ int main() {
     for (std::size_t e = 1; e <= kEscrows; ++e) {
       gw->track_escrow(static_cast<core::EscrowId>(e));
     }
-    // Cold signature cache per run so thread counts are comparable.
+    // Cold caches per run so thread counts are comparable: the sig cache
+    // replays and the per-pubkey precomp tables both reset.
     crypto::SigCache::global().clear();
+    crypto::PubkeyPrecompCache::global().clear();
 
     const std::size_t steady = per_thread * threads;
     *out_steady = steady;
@@ -187,6 +198,8 @@ int main() {
   bool coverage_ok = true;
   double accepts_s_first = 0, accepts_s_last = 0, p99_last = 0;
   std::uint64_t batcher_batches = 0, batcher_coalesced = 0;
+  std::uint64_t sig_hits = 0, sig_misses = 0;
+  std::uint64_t pre_hits = 0, pre_misses = 0, pre_insertions = 0, pre_evictions = 0;
   for (const std::size_t threads : thread_counts) {
     double wall_us = 0;
     std::size_t steady = 0;
@@ -199,6 +212,12 @@ int main() {
       p99_last = st.latency().percentile_us(99);
       batcher_batches = gw->batcher().batches();
       batcher_coalesced = gw->batcher().coalesced_jobs();
+      sig_hits = st.sigcache_hits();
+      sig_misses = st.sigcache_misses();
+      pre_hits = st.precomp_hits();
+      pre_misses = st.precomp_misses();
+      pre_insertions = st.precomp_insertions();
+      pre_evictions = st.precomp_evictions();
     }
     throughput.row({bench::fmt_u(threads), bench::fmt_u(steady), bench::fmt_u(st.accepts()),
                     bench::fmt_u(st.rejects()), bench::fmt_u(st.sheds()),
@@ -292,6 +311,15 @@ int main() {
   doc.set("p99_us_at_max_threads", p99_last);
   doc.set("verify_batches", batcher_batches);
   doc.set("verify_coalesced_jobs", batcher_coalesced);
+  doc.set("pubkey_precomp_cap",
+          static_cast<std::uint64_t>(env_size(
+              "BTCFAST_PUBKEY_PRECOMP_CAP", crypto::PubkeyPrecompCache::kDefaultMaxEntries)));
+  doc.set("sigcache_hits", sig_hits);
+  doc.set("sigcache_misses", sig_misses);
+  doc.set("precomp_hits", pre_hits);
+  doc.set("precomp_misses", pre_misses);
+  doc.set("precomp_insertions", pre_insertions);
+  doc.set("precomp_evictions", pre_evictions);
   doc.set("coverage_ok", coverage_ok ? "yes" : "no");
   doc.set("overload_threads", static_cast<std::uint64_t>(overload_threads));
   doc.set("overload_max_inflight", static_cast<std::uint64_t>(overload_inflight));

@@ -3,7 +3,7 @@
 #
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
 #                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
-#                         [--store-smoke]
+#                         [--store-smoke] [--verify-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -44,12 +44,23 @@
 #                      memory sanitizers, plus the durability bench in its
 #                      short configuration (BTCFAST_DURABILITY_SMOKE) in a
 #                      scratch cwd.
+#   --verify-smoke     the ECDSA verify-speed gate: run the hand-timed
+#                      verify section of bench_micro_crypto
+#                      (BTCFAST_VERIFY_SMOKE=1) in a scratch cwd and fail
+#                      if the GLV cold / warm-precomp paths fall under
+#                      their relative floors (1.5x / 2.0x vs the frozen
+#                      shamir baseline). Set BTCFAST_VERIFY_BUDGET_US to
+#                      additionally enforce an absolute cold-verify budget
+#                      in microseconds; without it, the absolute check
+#                      self-skips (wall-clock budgets are meaningless on
+#                      an arbitrarily loaded or throttled runner).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset="default"
 bench_smoke=0
 kernel_sanitize=0
+verify_smoke=0
 fuzz_smoke=0
 gateway_smoke=0
 store_smoke=0
@@ -70,6 +81,7 @@ for arg in "$@"; do
     --fuzz-smoke) fuzz_smoke=1 ;;
     --gateway-smoke) gateway_smoke=1 ;;
     --store-smoke) store_smoke=1 ;;
+    --verify-smoke) verify_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -116,8 +128,10 @@ if [[ "$kernel_sanitize" == 1 ]]; then
     echo "== kernel tests under $san (scalar SHA-256 pinned) =="
     cmake --preset "$san"
     cmake --build --preset "$san" -j "$jobs" \
-      --target sha256_kernel_test crypto_test crypto_property_test thread_pool_test
-    for t in sha256_kernel_test crypto_test crypto_property_test thread_pool_test; do
+      --target sha256_kernel_test crypto_test crypto_property_test thread_pool_test \
+               sigcache_test
+    for t in sha256_kernel_test crypto_test crypto_property_test thread_pool_test \
+             sigcache_test; do
       "build-$san/tests/$t"
     done
   done
@@ -208,6 +222,21 @@ if [[ "$store_smoke" == 1 ]]; then
       --gtest_filter='*ParserFuzz*:*StoreFuzz*'
   done
   echo "== store smoke: clean =="
+fi
+
+if [[ "$verify_smoke" == 1 ]]; then
+  # The verify-speed gate: the GLV + precomp verify engine must hold its
+  # speedup over the frozen shamir baseline. Ratios are load-resilient
+  # (both sides run on the same machine in the same process), so they are
+  # always enforced; the absolute microsecond budget only applies when
+  # the caller pins one via BTCFAST_VERIFY_BUDGET_US.
+  echo "== verify smoke (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_micro_crypto
+  smoke_dir="$bindir/verify-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_VERIFY_SMOKE=1 "$repo_root/$bindir/bench/bench_micro_crypto")
+  echo "== verify smoke: clean =="
 fi
 
 if [[ "$scenario_fuzz" == 1 ]]; then

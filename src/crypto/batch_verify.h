@@ -2,6 +2,14 @@
 // thread pool with deterministic, input-ordered results. Used by the
 // merchant to warm the signature cache over a whole intake batch, and
 // by benches to measure the parallel crypto ceiling.
+//
+// The batch is verified in stages rather than job-by-job: signature
+// cache probes and parses fan out first, the surviving jobs are grouped
+// by pubkey (escrow traffic repeats payers, so a batch usually holds
+// far fewer distinct keys than jobs), per-key GLV tables are built (or
+// fetched from the PubkeyPrecompCache) once per key, all the per-job
+// mod-n scalar inversions collapse into ONE Montgomery-trick inversion,
+// and finally the half-length GLV chains fan back out per job.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +33,12 @@ struct SigCheckJob {
 /// Verify every job, fanning across `pool` (inline when the pool has no
 /// workers). `results[i]` is 1 iff `jobs[i]` verifies — ordering matches
 /// the input regardless of thread count. Verified-valid jobs are
-/// inserted into `cache` when non-null.
+/// inserted into `cache` when non-null; distinct verified keys are
+/// reported to `precomp` when non-null (and resident precomp tables
+/// skip decompression and table building for their jobs).
 [[nodiscard]] std::vector<std::uint8_t> batch_verify(common::ThreadPool& pool,
                                                      const std::vector<SigCheckJob>& jobs,
-                                                     SigCache* cache);
+                                                     SigCache* cache,
+                                                     PubkeyPrecompCache* precomp = nullptr);
 
 }  // namespace btcfast::crypto

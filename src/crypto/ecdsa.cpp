@@ -112,23 +112,79 @@ Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) noexcept
   }
 }
 
-bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, const Signature& sig) noexcept {
+namespace {
+
+/// x(R) ≡ r (mod n) without normalizing R: x(R) = X/Z², so the affine x
+/// is a candidate c < p with c ≡ r (mod n) iff X == c·Z² (mod p). The
+/// candidates are r itself and, only when r + n < p, r + n.
+bool check_r_matches(const U256& r, const secp::JacobianPoint& rj) noexcept {
+  if (rj.is_infinity()) return false;
+  const U256 zz = secp::fsqr(rj.z);
+  if (secp::fmul(r, zz) == rj.x) return true;
+  return r < secp::field_p() - secp::order_n() && secp::fmul(r + secp::order_n(), zz) == rj.x;
+}
+
+/// Range-check the signature and derive the two verify scalars.
+bool verify_scalars(const Sha256Digest& digest, const Signature& sig, U256& u1,
+                    U256& u2) noexcept {
   const U256& n = secp::order_n();
   if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= n || sig.s >= n) return false;
-
   const U256 z = digest_to_scalar(digest);
   const U256 w = secp::ninv(sig.s);
-  const U256 u1 = secp::nmul(z, w);
-  const U256 u2 = secp::nmul(sig.r, w);
+  u1 = secp::nmul(z, w);
+  u2 = secp::nmul(sig.r, w);
+  return true;
+}
 
-  const secp::JacobianPoint rj = secp::double_scalar_mul(u1, u2, key.point());
-  if (rj.is_infinity()) return false;
-  // x(R) ≡ r (mod n) without normalizing R: x(R) = X/Z², so the affine x
-  // is a candidate c < p with c ≡ r (mod n) iff X == c·Z² (mod p). The
-  // candidates are r itself and, only when r + n < p, r + n.
-  const U256 zz = secp::fsqr(rj.z);
-  if (secp::fmul(sig.r, zz) == rj.x) return true;
-  return sig.r < secp::field_p() - n && secp::fmul(sig.r + n, zz) == rj.x;
+/// Same derivation through the frozen binary-GCD inverse: the baseline
+/// verify must keep the full PR-6 cost profile, inversion included.
+bool verify_scalars_baseline(const Sha256Digest& digest, const Signature& sig, U256& u1,
+                             U256& u2) noexcept {
+  const U256& n = secp::order_n();
+  if (sig.r.is_zero() || sig.s.is_zero() || sig.r >= n || sig.s >= n) return false;
+  const U256 z = digest_to_scalar(digest);
+  const U256 w = secp::ninv_baseline(sig.s);
+  u1 = secp::nmul(z, w);
+  u2 = secp::nmul(sig.r, w);
+  return true;
+}
+
+}  // namespace
+
+bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, const Signature& sig) noexcept {
+  U256 u1, u2;
+  if (!verify_scalars(digest, sig, u1, u2)) return false;
+  return check_r_matches(sig.r, secp::double_scalar_mul(u1, u2, key.point()));
+}
+
+bool ecdsa_verify_precomp(const Sha256Digest& digest, const Signature& sig,
+                          const secp::PubkeyPrecomp& pre) noexcept {
+  U256 u1, u2;
+  if (!verify_scalars(digest, sig, u1, u2)) return false;
+  return check_r_matches(sig.r, secp::double_scalar_mul_precomp(u1, u2, pre));
+}
+
+bool ecdsa_verify_baseline(const PublicKey& key, const Sha256Digest& digest,
+                           const Signature& sig) noexcept {
+  U256 u1, u2;
+  if (!verify_scalars_baseline(digest, sig, u1, u2)) return false;
+  return check_r_matches(sig.r, secp::double_scalar_mul_shamir(u1, u2, key.point()));
+}
+
+bool ecdsa_verify_prepared(const Sha256Digest& digest, const Signature& sig, const U256& w,
+                           const secp::PointTables& tables) noexcept {
+  // u2 = r·w is nonzero mod the prime n (r, w both nonzero), so the
+  // tables path needs no u2 == 0 fallback.
+  const U256 z = digest_to_scalar(digest);
+  return check_r_matches(sig.r, secp::double_scalar_mul_tables(secp::nmul(z, w),
+                                                               secp::nmul(sig.r, w), tables));
+}
+
+bool ecdsa_verify_prepared(const Sha256Digest& digest, const Signature& sig, const U256& w,
+                           const secp::PubkeyPrecomp& pre) noexcept {
+  const U256 z = digest_to_scalar(digest);
+  return check_r_matches(sig.r, secp::double_scalar_mul_precomp(secp::nmul(z, w),
+                                                                secp::nmul(sig.r, w), pre));
 }
 
 }  // namespace btcfast::crypto

@@ -63,4 +63,25 @@ struct Signature {
 [[nodiscard]] bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest,
                                 const Signature& sig) noexcept;
 
+/// Verify against cached wide wNAF tables for the key (see
+/// secp::build_pubkey_precomp / PubkeyPrecompCache): skips the per-call
+/// table build and the point decompression a wire-encoded caller would
+/// pay. `pre` must have been built from `key`'s point.
+[[nodiscard]] bool ecdsa_verify_precomp(const Sha256Digest& digest, const Signature& sig,
+                                        const secp::PubkeyPrecomp& pre) noexcept;
+
+/// Verify via the retained pre-GLV Shamir kernel. Baseline for benches
+/// and cross-kernel property tests only — not a production path.
+[[nodiscard]] bool ecdsa_verify_baseline(const PublicKey& key, const Sha256Digest& digest,
+                                         const Signature& sig) noexcept;
+
+// Staged-verify building blocks for batch_verify: the caller has already
+// range-checked the signature (Signature::parse) and holds w = s⁻¹ mod n
+// from a batch-amortized Montgomery inversion; these derive (u1, u2) and
+// run the GLV chain against prebuilt tables.
+[[nodiscard]] bool ecdsa_verify_prepared(const Sha256Digest& digest, const Signature& sig,
+                                         const U256& w, const secp::PointTables& tables) noexcept;
+[[nodiscard]] bool ecdsa_verify_prepared(const Sha256Digest& digest, const Signature& sig,
+                                         const U256& w, const secp::PubkeyPrecomp& pre) noexcept;
+
 }  // namespace btcfast::crypto

@@ -1,6 +1,7 @@
 #include "crypto/merkle.h"
 
 #include <cstring>
+#include <thread>
 
 #include "common/thread_pool.h"
 
@@ -26,8 +27,12 @@ void reduce_level(const std::vector<Hash32>& level, std::vector<Hash32>& out) {
     const Hash32& right = (2 * i + 1 < level.size()) ? level[2 * i + 1] : level[2 * i];
     out[i] = hash_pair(left, right);
   };
+  // Fan out only when it can actually win: a big enough level AND real
+  // hardware parallelism. On one core (common in containers) the pool
+  // path just time-slices the same work with extra context switches.
+  static const bool multi_core = std::thread::hardware_concurrency() > 1;
   auto& pool = common::ThreadPool::global();
-  if (pairs >= kMerkleParallelPairs && pool.thread_count() > 0) {
+  if (multi_core && pairs >= kMerkleParallelPairs && pool.thread_count() > 0) {
     pool.parallel_for(pairs, hash_one);
   } else {
     for (std::size_t i = 0; i < pairs; ++i) hash_one(i);

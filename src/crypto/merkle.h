@@ -16,9 +16,14 @@ using Hash32 = ByteArray<32>;
 
 /// Levels with at least this many pairs are hashed across the global
 /// thread pool (one indexed output slot per pair, so the root is
-/// byte-identical for every thread count). Below it the pool dispatch
-/// overhead exceeds the ~3 compressions a pair costs.
-inline constexpr std::size_t kMerkleParallelPairs = 256;
+/// byte-identical for every thread count). A pair costs ~3 SHA-256
+/// compressions (~250 ns), so a level must carry several thousand pairs
+/// before the wake/steal/join overhead of a pool dispatch amortizes —
+/// the old 256-pair cutover measured *slower* than serial at 512 and
+/// 4096 leaves. The pool path additionally requires more than one
+/// hardware thread (see reduce_level): on a single-core host every
+/// dispatch is pure context-switch overhead.
+inline constexpr std::size_t kMerkleParallelPairs = 4096;
 
 /// Compute the Merkle root of a non-empty list of leaf hashes using
 /// Bitcoin's rule (duplicate the last node at odd-sized levels).

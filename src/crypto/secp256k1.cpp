@@ -212,6 +212,40 @@ AffinePoint make_generator() {
 
 const AffinePoint kG = make_generator();
 
+// --- GLV endomorphism constants ---------------------------------------
+// φ(x, y) = (β·x, y) equals multiplication by λ; (λ, β) is the matched
+// cube-root pair, and (g1, g2, -b1, -b2) drive the lattice decomposition
+// k ≡ k1 + λ·k2 (mod n) with |k1|, |k2| ≲ 2^128:
+//   c1 = round(k·g1 / 2^384),  c2 = round(k·g2 / 2^384)
+//   k2 = c1·(-b1) + c2·(-b2) (mod n),  k1 = k - λ·k2 (mod n)
+const U256 kLambda =
+    *U256::from_hex("5363ad4cc05c30e0a5261c028812645a122e22ea20816678df02967c1b23bd72");
+const U256 kBeta =
+    *U256::from_hex("7ae96a2b657c07106e64479eac3434e99cf0497512f58995c1396c28719501ee");
+const U256 kGlvG1 =
+    *U256::from_hex("3086d221a7d46bcde86c90e49284eb153daa8a1471e8ca7fe893209a45dbb031");
+const U256 kGlvG2 =
+    *U256::from_hex("e4437ed6010e88286f547fa90abfe4c4221208ac9df506c61571b4ae8ac47f71");
+const U256 kGlvMinusB1 = *U256::from_hex("e4437ed6010e88286f547fa90abfe4c3");
+const U256 kGlvMinusB2 =
+    *U256::from_hex("fffffffffffffffffffffffffffffffe8a280ac50774346dd765cda83db1562c");
+
+/// round(k·g / 2^384): take limbs 6..7 of the 512-bit product, rounding
+/// on bit 383. Results fit well under 2^129 for the GLV g constants.
+inline U256 mul_shift_384(const U256& k, const U256& g) noexcept {
+  const U512 prod = k.mul_wide(g);
+  U256 r;
+  r.w[0] = prod.w[6];
+  r.w[1] = prod.w[7];
+  r.w[2] = 0;
+  r.w[3] = 0;
+  if ((prod.w[5] >> 63) != 0) r += U256::one();  // cannot overflow 128 bits meaningfully
+  return r;
+}
+
+/// -a mod n.
+inline U256 nneg(const U256& a) noexcept { return a.is_zero() ? a : kN - a; }
+
 }  // namespace
 
 const U256& field_p() noexcept { return kP; }
@@ -272,11 +306,15 @@ U256 nadd(const U256& a, const U256& b) noexcept { return addmod(a, b, kN); }
 
 U256 nmul(const U256& a, const U256& b) noexcept { return reduce512_n(a.mul_wide(b)); }
 
-U256 ninv(const U256& a) noexcept { return invmod_odd(a, kN); }
+U256 ninv(const U256& a) noexcept { return invmod_odd_var(a, kN); }
+
+U256 ninv_baseline(const U256& a) noexcept { return invmod_odd(a, kN); }
 
 U256 nreduce(const U256& a) noexcept { return a >= kN ? a - kN : a; }
 
-U256 finv(const U256& a) noexcept { return invmod_odd(a, kP); }
+U256 finv(const U256& a) noexcept { return invmod_odd_var(a, kP); }
+
+U256 finv_baseline(const U256& a) noexcept { return invmod_odd(a, kP); }
 
 std::optional<U256> fsqrt(const U256& a) noexcept {
   // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
@@ -419,17 +457,18 @@ const BaseTable& base_table() {
 /// Width-w NAF digits (odd values in ±{1, 3, ..., 2^w - 1}), LSB first,
 /// written into `out` (needs room for 257). Returns the digit count.
 /// Flat limb arithmetic: the scalar shrinks by one bit per digit.
-int wnaf_digits(std::int8_t* out, const U256& k, unsigned width) noexcept {
+/// Digits are int16 so widths up to 14 fit (width-8 digits reach ±255).
+int wnaf_digits(std::int16_t* out, const U256& k, unsigned width) noexcept {
   u64 l[4] = {k.w[0], k.w[1], k.w[2], k.w[3]};
   const u64 mask = (1ULL << (width + 1)) - 1;
   const u64 half = 1ULL << width;
   int len = 0;
   while ((l[0] | l[1] | l[2] | l[3]) != 0) {
-    std::int8_t d = 0;
+    std::int16_t d = 0;
     if (l[0] & 1) {
       const u64 m = l[0] & mask;
       if (m >= half) {
-        d = static_cast<std::int8_t>(static_cast<int>(m) - static_cast<int>(mask + 1));
+        d = static_cast<std::int16_t>(static_cast<int>(m) - static_cast<int>(mask + 1));
         // k += (2^(w+1) - m)
         u64 add = (mask + 1) - m;
         for (int i = 0; i < 4 && add != 0; ++i) {
@@ -438,7 +477,7 @@ int wnaf_digits(std::int8_t* out, const U256& k, unsigned width) noexcept {
           add = static_cast<u64>(s >> 64);
         }
       } else {
-        d = static_cast<std::int8_t>(m);
+        d = static_cast<std::int16_t>(m);
         // k -= m (only clears low bits; no borrow can propagate past a
         // nonzero limb chain because k ≥ m by construction)
         u64 borrow = m;
@@ -472,8 +511,10 @@ std::vector<AffinePoint> odd_multiples_affine(const AffinePoint& p, std::size_t 
 constexpr std::size_t kPointTableSize = 16;  // wNAF-5 odd multiples
 
 /// Stack-allocated variant of odd_multiples_affine for the per-call
-/// scalar_mul / double_scalar_mul tables — the verify hot path makes no
-/// heap allocation.
+/// scalar_mul / double_scalar_mul_shamir tables — no heap allocation.
+/// Pinned to the binary-GCD finv_baseline: this build (one inversion per
+/// table) is part of the frozen baseline verify kernel that the bench
+/// speedup ratios are measured against.
 void odd_multiples_affine_16(const AffinePoint& p, AffinePoint out[kPointTableSize]) noexcept {
   JacobianPoint jac[kPointTableSize];
   jac[0] = to_jacobian(p);
@@ -486,7 +527,7 @@ void odd_multiples_affine_16(const AffinePoint& p, AffinePoint out[kPointTableSi
     prefix[i] = acc;
     acc = fmul(acc, jac[i].z);
   }
-  U256 inv_all = finv(acc);
+  U256 inv_all = finv_baseline(acc);
   for (std::size_t i = kPointTableSize; i-- > 0;) {
     const U256 zinv = fmul(inv_all, prefix[i]);
     inv_all = fmul(inv_all, jac[i].z);
@@ -499,22 +540,36 @@ inline AffinePoint affine_neg(const AffinePoint& p) noexcept {
   return {p.x, fneg(p.y), false};
 }
 
-/// Static wNAF-7 generator table: 1G, 3G, ..., 127G (64 affine points).
-/// Lets double_scalar_mul fold u1·G into the shared doubling chain with
-/// ~256/8 additions instead of the comb's 64.
+/// Static generator table: 1G, 3G, ..., 511G (256 affine points) — wide
+/// enough for the GLV chain's wNAF-9 digits; the legacy Shamir kernel's
+/// wNAF-7 digits index the first 64 entries (the same points PR-6 built).
+/// 256 entries × 64 bytes = 16 KiB per table (G and λG), built once.
 const std::vector<AffinePoint>& gen_odd_multiples() {
-  static const std::vector<AffinePoint> table = odd_multiples_affine(kG, 64);
+  static const std::vector<AffinePoint> table = odd_multiples_affine(kG, 256);
+  return table;
+}
+
+/// Static λG table: elementwise β·x image of the generator table, because
+/// λ·((2i+1)·G) = φ((2i+1)·G) = (β·x_i, y_i).
+const std::vector<AffinePoint>& gen_lambda_odd_multiples() {
+  static const std::vector<AffinePoint> table = [] {
+    const auto& g = gen_odd_multiples();
+    std::vector<AffinePoint> t(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) t[i] = AffinePoint{fmul(kBeta, g[i].x), g[i].y, false};
+    return t;
+  }();
   return table;
 }
 
 constexpr unsigned kWnafWidthPoint = 5;  // per-call tables: 16 entries
-constexpr unsigned kWnafWidthBase = 7;   // static G table: 64 entries
+constexpr unsigned kWnafWidthBase = 7;   // legacy Shamir G digits: 64 entries
+constexpr unsigned kWnafWidthGlvBase = 9;  // GLV half-scalar G digits: 256 entries
 
 }  // namespace
 
 JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) noexcept {
   if (k.is_zero() || p.infinity) return JacobianPoint::identity();
-  std::int8_t naf[264];
+  std::int16_t naf[264];
   const int len = wnaf_digits(naf, k, kWnafWidthPoint);
   AffinePoint table[kPointTableSize];
   odd_multiples_affine_16(p, table);
@@ -556,15 +611,16 @@ JacobianPoint scalar_mul_base(const U256& k) noexcept {
   return acc;
 }
 
-JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoint& p) noexcept {
+JacobianPoint double_scalar_mul_shamir(const U256& u1, const U256& u2,
+                                       const AffinePoint& p) noexcept {
   // Shamir's trick, interleaved: one shared doubling chain; u1·G digits
   // come from the static wNAF-7 generator table, u2·P digits from a
   // per-call batch-normalized wNAF-5 table.
   if (u2.is_zero() || p.infinity) return scalar_mul_base(u1);
   if (u1.is_zero()) return scalar_mul(u2, p);
 
-  std::int8_t naf1[264];
-  std::int8_t naf2[264];
+  std::int16_t naf1[264];
+  std::int16_t naf2[264];
   const int len1 = wnaf_digits(naf1, u1, kWnafWidthBase);
   const int len2 = wnaf_digits(naf2, u2, kWnafWidthPoint);
   const auto& gtab = gen_odd_multiples();
@@ -592,6 +648,214 @@ JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoin
     }
   }
   return acc;
+}
+
+const U256& glv_lambda() noexcept { return kLambda; }
+const U256& glv_beta() noexcept { return kBeta; }
+
+GlvSplit glv_split(const U256& k) noexcept {
+  // Lattice round-off: both representatives land in [0, n); the signed
+  // value is the representative itself when ≤ n/2, else representative−n.
+  const U256 c1 = mul_shift_384(k, kGlvG1);
+  const U256 c2 = mul_shift_384(k, kGlvG2);
+  const U256 r2 = nadd(nmul(c1, kGlvMinusB1), nmul(c2, kGlvMinusB2));
+  const U256 r1 = nadd(nreduce(k), nneg(nmul(r2, kLambda)));
+  GlvSplit s;
+  s.neg1 = r1 > kHalfN;
+  s.k1 = s.neg1 ? kN - r1 : r1;
+  s.neg2 = r2 > kHalfN;
+  s.k2 = s.neg2 ? kN - r2 : r2;
+  return s;
+}
+
+namespace {
+
+/// acc = 2·acc in place — dbl-2009-l like jdouble, minus the 96-byte
+/// struct copy per iteration that `acc = jdouble(acc)` costs the chain.
+inline void jdouble_ip(JacobianPoint& p) noexcept {
+  if (p.is_infinity() || p.y.is_zero()) {
+    p = JacobianPoint::identity();
+    return;
+  }
+  const U256 a = fsqr(p.x);
+  const U256 b = fsqr(p.y);
+  const U256 c = fsqr(b);
+  U256 d = fsub(fsub(fsqr(fadd(p.x, b)), a), c);
+  d = fadd(d, d);
+  const U256 e = fadd(fadd(a, a), a);
+  const U256 x3 = fsub(fsqr(e), fadd(d, d));
+  U256 c8 = fadd(c, c);
+  c8 = fadd(c8, c8);
+  c8 = fadd(c8, c8);
+  p.z = fmul(fadd(p.y, p.y), p.z);  // uses the original Y1 — before the overwrite
+  p.y = fsub(fmul(e, fsub(d, x3)), c8);
+  p.x = x3;
+}
+
+/// acc += (bx, ±by) in place for an affine non-infinity operand; `neg`
+/// folds the wNAF sign into s2 (fneg(y·k) ≡ (−y)·k mod p) so the table
+/// entry is never copied or rewritten.
+inline void jadd_mixed_ip(JacobianPoint& a, const U256& bx, const U256& by, bool neg) noexcept {
+  if (a.is_infinity()) {
+    a.x = bx;
+    a.y = neg ? fneg(by) : by;
+    a.z = U256::one();
+    return;
+  }
+  const U256 z1z1 = fsqr(a.z);
+  const U256 u2 = fmul(bx, z1z1);
+  U256 s2 = fmul(by, fmul(z1z1, a.z));
+  if (neg) s2 = fneg(s2);
+  if (a.x == u2) {
+    if (a.y != s2) {
+      a = JacobianPoint::identity();
+      return;
+    }
+    jdouble_ip(a);
+    return;
+  }
+  const U256 h = fsub(u2, a.x);
+  const U256 r = fsub(s2, a.y);
+  const U256 h2 = fsqr(h);
+  const U256 h3 = fmul(h2, h);
+  const U256 u1h2 = fmul(a.x, h2);
+  const U256 x3 = fsub(fsub(fsqr(r), h3), fadd(u1h2, u1h2));
+  a.y = fsub(fmul(r, fsub(u1h2, x3)), fmul(a.y, h3));
+  a.x = x3;
+  a.z = fmul(h, a.z);
+}
+
+/// Four-stream GLV wNAF chain computing u1·G + u2·Q: both scalars are
+/// split into ~128-bit halves, so the shared doubling chain is ~128 deep
+/// instead of ~256. G / λG digits come from the static wNAF-8 tables;
+/// Q / λQ digits from `qtab`/`lqtab` (width `qwidth`), which are either
+/// true affine (`qz == nullptr`, the precomp-cache path) or
+/// effective-affine on the isomorphism with Jacobian Z = *qz (the
+/// inversion-free per-call path) — in the latter frame the static G
+/// entries are mapped in by (x·Z², y·Z³) on use and the accumulator's Z
+/// is rescaled once at the end.
+JacobianPoint glv_chain(const U256& u1, const U256& u2, const AffinePoint* qtab,
+                        const AffinePoint* lqtab, unsigned qwidth, const U256* qz) noexcept {
+  const GlvSplit s1 = glv_split(u1);
+  const GlvSplit s2 = glv_split(u2);
+  // Half-scalar magnitudes stay under 2^130, so 140 digits suffice.
+  std::int16_t naf[4][140];
+  int len[4];
+  len[0] = wnaf_digits(naf[0], s1.k1, kWnafWidthGlvBase);
+  len[1] = wnaf_digits(naf[1], s1.k2, kWnafWidthGlvBase);
+  len[2] = wnaf_digits(naf[2], s2.k1, qwidth);
+  len[3] = wnaf_digits(naf[3], s2.k2, qwidth);
+  const bool neg[4] = {s1.neg1, s1.neg2, s2.neg1, s2.neg2};
+
+  const auto& gtab = gen_odd_multiples();
+  const auto& lgtab = gen_lambda_odd_multiples();
+  const AffinePoint* tabs[4] = {gtab.data(), lgtab.data(), qtab, lqtab};
+
+  const bool iso = qz != nullptr;
+  U256 zz, zzz;
+  if (iso) {
+    zz = fsqr(*qz);
+    zzz = fmul(zz, *qz);
+  }
+
+  int top = 0;
+  for (int t = 0; t < 4; ++t) top = len[t] > top ? len[t] : top;
+
+  JacobianPoint acc = JacobianPoint::identity();
+  for (int i = top; i-- > 0;) {
+    jdouble_ip(acc);
+    for (int t = 0; t < 4; ++t) {
+      if (i >= len[t]) continue;
+      const int d = naf[t][i];
+      if (d == 0) continue;
+      const AffinePoint& e = tabs[t][static_cast<std::size_t>(((d < 0 ? -d : d) - 1) / 2)];
+      const bool flip = (d < 0) != neg[t];
+      if (iso && t < 2) {
+        // Map the true-affine static entry into the shared frame.
+        jadd_mixed_ip(acc, fmul(e.x, zz), fmul(e.y, zzz), flip);
+      } else {
+        jadd_mixed_ip(acc, e.x, e.y, flip);
+      }
+    }
+  }
+  if (iso && !acc.is_infinity()) acc.z = fmul(acc.z, *qz);
+  return acc;
+}
+
+}  // namespace
+
+void build_point_tables(const AffinePoint& p, PointTables& out) noexcept {
+  // Odd multiples 1P, 3P, ..., 31P via a co-Z ZADDU ladder (5M + 2S per
+  // entry instead of a full Jacobian add), then a global-Z rescale so the
+  // whole table shares one projective frame — no field inversion anywhere.
+  const JacobianPoint d = jdouble(to_jacobian(p));  // 2P, z = 2y (never 0 on secp256k1)
+  const U256 dzz = fsqr(d.z);
+  const U256 dzzz = fmul(dzz, d.z);
+  U256 x[kPointTableEntries];
+  U256 y[kPointTableEntries];
+  U256 h[kPointTableEntries];  // h[i] = frame_i / frame_{i-1}
+  x[0] = fmul(p.x, dzz);  // P rescaled into 2P's frame
+  y[0] = fmul(p.y, dzzz);
+  U256 bx = d.x;  // 2P, co-Z with the current odd multiple
+  U256 by = d.y;
+  for (std::size_t i = 1; i < kPointTableEntries; ++i) {
+    // ZADDU(P1 = 2P, P2 = (2i-1)P), both in frame_{i-1}: produces
+    // (2i+1)P and 2P rescaled, co-Z in frame_i = frame_{i-1}·(X2-X1).
+    const U256 dx = fsub(x[i - 1], bx);
+    const U256 a = fsqr(dx);
+    const U256 b = fmul(bx, a);
+    const U256 c = fmul(x[i - 1], a);
+    const U256 dy = fsub(y[i - 1], by);
+    const U256 x3 = fsub(fsub(fsqr(dy), b), c);
+    const U256 a1 = fmul(by, fsub(c, b));
+    y[i] = fsub(fmul(dy, fsub(b, x3)), a1);
+    x[i] = x3;
+    h[i] = dx;
+    bx = b;
+    by = a1;
+  }
+  // Normalize every entry into the deepest frame (frame_15).
+  out.q[kPointTableEntries - 1] = AffinePoint{x[kPointTableEntries - 1], y[kPointTableEntries - 1], false};
+  U256 cprod = U256::one();
+  for (std::size_t i = kPointTableEntries - 1; i-- > 0;) {
+    cprod = fmul(cprod, h[i + 1]);
+    const U256 c2 = fsqr(cprod);
+    out.q[i] = AffinePoint{fmul(x[i], c2), fmul(y[i], fmul(c2, cprod)), false};
+  }
+  out.z = fmul(d.z, cprod);
+  // λQ table: the endomorphism commutes with the frame scaling, so it is
+  // still just the β·x map.
+  for (std::size_t i = 0; i < kPointTableEntries; ++i) {
+    out.lq[i] = AffinePoint{fmul(kBeta, out.q[i].x), out.q[i].y, false};
+  }
+}
+
+JacobianPoint double_scalar_mul_tables(const U256& u1, const U256& u2,
+                                       const PointTables& tables) noexcept {
+  return glv_chain(u1, u2, tables.q, tables.lq, kWnafWidthPoint, &tables.z);
+}
+
+JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoint& p) noexcept {
+  if (u2.is_zero() || p.infinity) return scalar_mul_base(u1);
+  PointTables tables;
+  build_point_tables(p, tables);
+  return double_scalar_mul_tables(u1, u2, tables);
+}
+
+PubkeyPrecomp build_pubkey_precomp(const AffinePoint& p) {
+  PubkeyPrecomp pre;
+  const auto q = odd_multiples_affine(p, PubkeyPrecomp::kEntries);
+  for (std::size_t i = 0; i < PubkeyPrecomp::kEntries; ++i) {
+    pre.q[i] = q[i];
+    pre.lq[i] = AffinePoint{fmul(kBeta, q[i].x), q[i].y, false};
+  }
+  return pre;
+}
+
+JacobianPoint double_scalar_mul_precomp(const U256& u1, const U256& u2,
+                                        const PubkeyPrecomp& pre) noexcept {
+  if (u2.is_zero()) return scalar_mul_base(u1);
+  return glv_chain(u1, u2, pre.q, pre.lq, PubkeyPrecomp::kWidth, nullptr);
 }
 
 bool on_curve(const AffinePoint& p) noexcept {

@@ -90,13 +90,153 @@ SigCache& SigCache::global() {
   return cache;
 }
 
+PubkeyPrecompCache::PubkeyPrecompCache(std::size_t max_entries)
+    : max_entries_(max_entries), shards_(kShardCount) {}
+
+PubkeyPrecompCache::Shard& PubkeyPrecompCache::shard_for(const Key& key) const noexcept {
+  // Byte 9 is independent of the x-coordinate bytes KeyHash consumes.
+  return shards_[key[9] & (kShardCount - 1)];
+}
+
+std::size_t PubkeyPrecompCache::per_shard_cap() const noexcept {
+  const std::size_t max = max_entries_.load(std::memory_order_relaxed);
+  const std::size_t cap = (max + kShardCount - 1) / kShardCount;
+  return cap == 0 ? 0 : (cap < 1 ? 1 : cap);
+}
+
+void PubkeyPrecompCache::evict_one(Shard& s, const Key& incoming) {
+  // Same O(1) pseudo-random-bucket scheme as SigCache: no recency
+  // bookkeeping, deterministic for a fixed insertion sequence.
+  const std::size_t buckets = s.entries.bucket_count();
+  std::size_t b;
+  __builtin_memcpy(&b, incoming.data() + 16, sizeof(b));
+  for (std::size_t probe = 0; probe < buckets; ++probe) {
+    const std::size_t bucket = (b + probe) % buckets;
+    if (s.entries.bucket_size(bucket) > 0) {
+      s.entries.erase(s.entries.begin(bucket)->first);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const secp::PubkeyPrecomp> PubkeyPrecompCache::lookup(const Key& key) {
+  if (max_entries_.load(std::memory_order_relaxed) == 0) return nullptr;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.entries.find(key);
+  if (it != s.entries.end() && it->second != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PubkeyPrecompCache::note_verified(const Key& key, const secp::AffinePoint& point) {
+  if (max_entries_.load(std::memory_order_relaxed) == 0) return;
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) {
+      // First sighting: marker only — a one-shot payer never pays a build.
+      if (s.entries.size() >= per_shard_cap()) evict_one(s, key);
+      s.entries.emplace(key, nullptr);
+      return;
+    }
+    if (it->second != nullptr) return;  // tables already published
+  }
+  // Second sighting: build the ~18 KiB tables outside the shard lock so
+  // concurrent lookups of other keys don't stall behind ~100 µs of point
+  // arithmetic. A racing builder does redundant work but publishes an
+  // identical value, so last-write-wins is harmless.
+  auto built = std::make_shared<const secp::PubkeyPrecomp>(secp::build_pubkey_precomp(point));
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.entries.find(key);
+  if (it == s.entries.end()) return;  // evicted while building: drop the work
+  if (it->second == nullptr) {
+    it->second = std::move(built);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PubkeyPrecompCache::set_capacity(std::size_t max_entries) {
+  max_entries_.store(max_entries, std::memory_order_relaxed);
+  if (max_entries == 0) {
+    clear();
+    return;
+  }
+  const std::size_t cap = per_shard_cap();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    while (s.entries.size() > cap) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      s.entries.erase(s.entries.begin());
+    }
+  }
+}
+
+std::size_t PubkeyPrecompCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.entries.size();
+  }
+  return n;
+}
+
+PubkeyPrecompCache::Stats PubkeyPrecompCache::stats() const noexcept {
+  return Stats{hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed),
+               insertions_.load(std::memory_order_relaxed),
+               evictions_.load(std::memory_order_relaxed)};
+}
+
+void PubkeyPrecompCache::reset_stats() noexcept {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+void PubkeyPrecompCache::clear() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.entries.clear();
+  }
+}
+
+PubkeyPrecompCache& PubkeyPrecompCache::global() {
+  static PubkeyPrecompCache cache;
+  return cache;
+}
+
 bool ecdsa_verify_cached(SigCache* cache, ByteSpan pubkey33, const Sha256Digest& digest,
-                         ByteSpan sig64) noexcept {
+                         ByteSpan sig64, PubkeyPrecompCache* precomp) noexcept {
   if (pubkey33.size() != 33 || sig64.size() != 64) return false;
   SigCache::Key key{};
   if (cache != nullptr) {
     key = SigCache::make_key(digest, pubkey33, sig64);
     if (cache->contains(key)) return true;
+  }
+  if (precomp != nullptr) {
+    PubkeyPrecompCache::Key pk{};
+    for (std::size_t i = 0; i < 33; ++i) pk[i] = pubkey33[i];
+    if (const auto pre = precomp->lookup(pk)) {
+      // Warm repeat-payer path: no decompression, no table build.
+      const auto sig = Signature::parse(sig64);
+      if (!sig || !ecdsa_verify_precomp(digest, *sig, *pre)) return false;
+      if (cache != nullptr) cache->insert(key);
+      return true;
+    }
+    const auto pub = PublicKey::parse(pubkey33);
+    if (!pub) return false;
+    const auto sig = Signature::parse(sig64);
+    if (!sig) return false;
+    if (!ecdsa_verify(*pub, digest, *sig)) return false;
+    if (cache != nullptr) cache->insert(key);
+    precomp->note_verified(pk, pub->point());
+    return true;
   }
   const auto pub = PublicKey::parse(pubkey33);
   if (!pub) return false;
@@ -108,7 +248,7 @@ bool ecdsa_verify_cached(SigCache* cache, ByteSpan pubkey33, const Sha256Digest&
 }
 
 bool ecdsa_verify_cached(SigCache* cache, const PublicKey& pubkey, const Sha256Digest& digest,
-                         ByteSpan sig64) noexcept {
+                         ByteSpan sig64, PubkeyPrecompCache* precomp) noexcept {
   if (sig64.size() != 64) return false;
   const auto enc = pubkey.serialize();  // compression is cheap (no curve math)
   SigCache::Key key{};
@@ -118,6 +258,17 @@ bool ecdsa_verify_cached(SigCache* cache, const PublicKey& pubkey, const Sha256D
   }
   const auto sig = Signature::parse(sig64);
   if (!sig) return false;
+  if (precomp != nullptr) {
+    if (const auto pre = precomp->lookup(enc)) {
+      if (!ecdsa_verify_precomp(digest, *sig, *pre)) return false;
+      if (cache != nullptr) cache->insert(key);
+      return true;
+    }
+    if (!ecdsa_verify(pubkey, digest, *sig)) return false;
+    if (cache != nullptr) cache->insert(key);
+    precomp->note_verified(enc, pubkey.point());
+    return true;
+  }
   if (!ecdsa_verify(pubkey, digest, *sig)) return false;
   if (cache != nullptr) cache->insert(key);
   return true;

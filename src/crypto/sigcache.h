@@ -13,7 +13,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -94,16 +96,104 @@ class SigCache {
   std::atomic<std::uint64_t> evictions_{0};
 };
 
-/// Cache-aware ECDSA verification over raw wire encodings. On a hit the
-/// pubkey is never even decompressed; on a miss the triple is verified
-/// and, if valid, inserted. Passing a null cache degrades to plain
-/// parse + verify.
+/// Per-pubkey GLV precomp table cache (sibling of SigCache, keyed by the
+/// 33-byte compressed pubkey). Escrow-bound customers are repeat payers:
+/// once a key's wide wNAF-8 tables are resident, a verify against that
+/// key skips point decompression and the per-call table build entirely
+/// and runs the half-length GLV chain over the wider window.
+///
+/// Entries are ~18 KiB, so the cache is deliberately small (default 512
+/// keys ≈ 9 MiB) and builds lazily on the *second* sighting of a key — a
+/// one-shot payer never pays the ~100 µs table build. Values are
+/// shared_ptr so a reader keeps its tables alive across a concurrent
+/// eviction.
+class PubkeyPrecompCache {
+ public:
+  using Key = ByteArray<33>;
+
+  /// `max_entries` bounds resident keys across all shards (markers for
+  /// once-seen keys count too). 0 disables the cache entirely.
+  explicit PubkeyPrecompCache(std::size_t max_entries = kDefaultMaxEntries);
+
+  static constexpr std::size_t kDefaultMaxEntries = 512;
+
+  /// Tables for the key, or null when absent / not yet built / disabled.
+  [[nodiscard]] std::shared_ptr<const secp::PubkeyPrecomp> lookup(const Key& key);
+
+  /// Report a *successful* verification against `point` (the decompressed
+  /// key): first sighting drops a marker, second builds and publishes the
+  /// wide tables (build runs outside the shard lock). Only-valid keys get
+  /// this far, so the cache can never hold tables for a point that was
+  /// not on the curve.
+  void note_verified(const Key& key, const secp::AffinePoint& point);
+
+  /// Re-bound the cache; trims overflowing shards immediately. 0 disables
+  /// (and clears).
+  void set_capacity(std::size_t max_entries);
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;        // lookup returned built tables
+    std::uint64_t misses = 0;      // lookup found nothing usable
+    std::uint64_t insertions = 0;  // table builds published
+    std::uint64_t evictions = 0;   // resident keys displaced (markers too)
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+  void reset_stats() noexcept;
+  void clear();
+
+  /// Process-wide cache used by the gateway verify path.
+  [[nodiscard]] static PubkeyPrecompCache& global();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h;
+      static_assert(sizeof(h) <= 32);
+      __builtin_memcpy(&h, k.data() + 1, sizeof(h));  // x-coordinate bytes: uniform
+      return h;
+    }
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    // null mapped value = seen-once marker (two-touch build policy).
+    std::unordered_map<Key, std::shared_ptr<const secp::PubkeyPrecomp>, KeyHash> entries;
+  };
+
+  static constexpr std::size_t kShardBits = 4;
+  static constexpr std::size_t kShardCount = 1 << kShardBits;
+
+  [[nodiscard]] Shard& shard_for(const Key& key) const noexcept;
+  [[nodiscard]] std::size_t per_shard_cap() const noexcept;
+  /// Evict one pseudo-random resident to make room; caller holds the lock.
+  void evict_one(Shard& s, const Key& incoming);
+
+  std::atomic<std::size_t> max_entries_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Cache-aware ECDSA verification over raw wire encodings. On a SigCache
+/// hit the pubkey is never even decompressed; on a miss, resident precomp
+/// tables (if `precomp` is non-null) still skip decompression *and* the
+/// per-call table build; the slow path verifies cold and, if valid,
+/// inserts into both caches. Null caches degrade to plain parse + verify.
 [[nodiscard]] bool ecdsa_verify_cached(SigCache* cache, ByteSpan pubkey33,
-                                       const Sha256Digest& digest, ByteSpan sig64) noexcept;
+                                       const Sha256Digest& digest, ByteSpan sig64,
+                                       PubkeyPrecompCache* precomp = nullptr) noexcept;
 
 /// Overload for callers that already hold a parsed key — a miss skips the
 /// (expensive) decompression the span overload would redo.
 [[nodiscard]] bool ecdsa_verify_cached(SigCache* cache, const PublicKey& pubkey,
-                                       const Sha256Digest& digest, ByteSpan sig64) noexcept;
+                                       const Sha256Digest& digest, ByteSpan sig64,
+                                       PubkeyPrecompCache* precomp = nullptr) noexcept;
 
 }  // namespace btcfast::crypto

@@ -1,5 +1,6 @@
 #include "crypto/uint256.h"
 
+#include <array>
 #include <cstring>
 
 #include "common/hex.h"
@@ -432,6 +433,265 @@ U256 invmod_odd(const U256& a, const U256& m) noexcept {
   r.w[2] = x[2];
   r.w[3] = x[3];
   return r;
+}
+
+namespace {
+
+// --- Batched-divstep (Bernstein–Yang safegcd) modular inverse ----------
+//
+// The binary GCD above retires one bit per shift/subtract round, and each
+// round carries an unpredictable branch — on varied inputs (every verify
+// sees a fresh s) it measures ~2.5x slower than on a hot loop replaying
+// one value. The divstep form fixes this: 62 division steps run entirely
+// on the LOW limbs of f and g, accumulating a 2x2 transition matrix of
+// 62-bit integers, and only then is the matrix applied once to the full
+// 5-limb numbers. The O(bits²) limb traffic of the schoolbook loop
+// collapses to ~12 matrix applications.
+//
+// Like the binary GCD (and the rest of this library) this is VARIABLE
+// TIME. Verify inputs are public, and signing already leaks through the
+// vartime scalar ladder, so no side-channel regression is introduced.
+//
+// Representation: signed 62-bit limbs, value = Σ v[i]·2^(62·i), i < 5.
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+constexpr i64 kM62 = static_cast<i64>(UINT64_MAX >> 2);
+
+struct Signed62 {
+  i64 v[5];
+};
+
+Signed62 to_signed62(const std::uint64_t w[4]) noexcept {
+  Signed62 r;
+  r.v[0] = static_cast<i64>(w[0] & static_cast<std::uint64_t>(kM62));
+  r.v[1] = static_cast<i64>(((w[0] >> 62) | (w[1] << 2)) & static_cast<std::uint64_t>(kM62));
+  r.v[2] = static_cast<i64>(((w[1] >> 60) | (w[2] << 4)) & static_cast<std::uint64_t>(kM62));
+  r.v[3] = static_cast<i64>(((w[2] >> 58) | (w[3] << 6)) & static_cast<std::uint64_t>(kM62));
+  r.v[4] = static_cast<i64>(w[3] >> 56);
+  return r;
+}
+
+U256 from_signed62(const Signed62& s) noexcept {
+  // Caller guarantees the value is normalized into [0, 2^256).
+  U256 r;
+  const std::uint64_t v0 = static_cast<std::uint64_t>(s.v[0]);
+  const std::uint64_t v1 = static_cast<std::uint64_t>(s.v[1]);
+  const std::uint64_t v2 = static_cast<std::uint64_t>(s.v[2]);
+  const std::uint64_t v3 = static_cast<std::uint64_t>(s.v[3]);
+  const std::uint64_t v4 = static_cast<std::uint64_t>(s.v[4]);
+  r.w[0] = v0 | (v1 << 62);
+  r.w[1] = (v1 >> 2) | (v2 << 60);
+  r.w[2] = (v2 >> 4) | (v3 << 58);
+  r.w[3] = (v3 >> 6) | (v4 << 56);
+  return r;
+}
+
+/// Transition matrix for 62 divsteps; entries fit in 63 bits and
+/// det = ±2^62.
+struct Trans62 {
+  i64 u, v, q, r;
+};
+
+/// -(2i+1)^{-1} mod 2^8: picking w = g·tab[(f>>1)&127] (mod 2^limit)
+/// zeroes limit low bits of g + w·f in one multiply-add.
+constexpr std::array<std::uint8_t, 128> make_neg_inv256() {
+  std::array<std::uint8_t, 128> t{};
+  for (int i = 0; i < 128; ++i) {
+    const std::uint8_t f = static_cast<std::uint8_t>(2 * i + 1);
+    std::uint8_t x = f;  // f^-1 mod 2^3 (odd² ≡ 1 mod 8)
+    x = static_cast<std::uint8_t>(x * (2 - f * x));  // mod 2^6
+    x = static_cast<std::uint8_t>(x * (2 - f * x));  // mod 2^8 (and beyond)
+    t[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(-x);
+  }
+  return t;
+}
+constexpr std::array<std::uint8_t, 128> kNegInv256 = make_neg_inv256();
+
+/// Run 62 divsteps on the low limbs of f and g (variable time): returns
+/// the new eta and fills `t` with the accumulated transition, such that
+/// [f'; g'] = t·[f; g] / 2^62 holds for the full-width values.
+i64 divsteps62_var(i64 eta, std::uint64_t f0, std::uint64_t g0, Trans62& t) noexcept {
+  std::uint64_t u = 1, v = 0, q = 0, r = 1;
+  std::uint64_t f = f0, g = g0;
+  int i = 62;
+  while (true) {
+    // Strip trailing zeros of g (bounded by the steps left).
+    const int zeros =
+        __builtin_ctzll(g | (i < 64 ? (~std::uint64_t{0}) << i : std::uint64_t{0}));
+    g >>= zeros;
+    u <<= zeros;
+    v <<= zeros;
+    eta -= zeros;
+    i -= zeros;
+    if (i == 0) break;
+    // f and g both odd now.
+    if (eta < 0) {
+      eta = -eta;
+      std::uint64_t tmp = f;
+      f = g;
+      g = static_cast<std::uint64_t>(-static_cast<i64>(tmp));
+      tmp = u;
+      u = q;
+      q = static_cast<std::uint64_t>(-static_cast<i64>(tmp));
+      tmp = v;
+      v = r;
+      r = static_cast<std::uint64_t>(-static_cast<i64>(tmp));
+    }
+    // Cancel up to 8 low bits of g per round (more when eta allows less).
+    const int limit = (eta + 1) > static_cast<i64>(i) ? i : static_cast<int>(eta) + 1;
+    const std::uint64_t mask = (UINT64_MAX >> (64 - limit)) & 255U;
+    const std::uint64_t w = (g * kNegInv256[(f >> 1) & 127]) & mask;
+    g += w * f;
+    q += w * u;
+    r += w * v;
+  }
+  t.u = static_cast<i64>(u);
+  t.v = static_cast<i64>(v);
+  t.q = static_cast<i64>(q);
+  t.r = static_cast<i64>(r);
+  return eta;
+}
+
+/// [f; g] ← t·[f; g] / 2^62 over the full signed-62 numbers.
+void update_fg62(Signed62& f, Signed62& g, const Trans62& t) noexcept {
+  i128 cf = static_cast<i128>(t.u) * f.v[0] + static_cast<i128>(t.v) * g.v[0];
+  i128 cg = static_cast<i128>(t.q) * f.v[0] + static_cast<i128>(t.r) * g.v[0];
+  cf >>= 62;  // low 62 bits are zero by construction of the matrix
+  cg >>= 62;
+  for (int j = 1; j < 5; ++j) {
+    cf += static_cast<i128>(t.u) * f.v[j] + static_cast<i128>(t.v) * g.v[j];
+    cg += static_cast<i128>(t.q) * f.v[j] + static_cast<i128>(t.r) * g.v[j];
+    f.v[j - 1] = static_cast<i64>(cf) & kM62;
+    cf >>= 62;
+    g.v[j - 1] = static_cast<i64>(cg) & kM62;
+    cg >>= 62;
+  }
+  f.v[4] = static_cast<i64>(cf);
+  g.v[4] = static_cast<i64>(cg);
+}
+
+/// [d; e] ← t·[d; e] / 2^62 (mod m): multiples of m are folded in so the
+/// division by 2^62 is exact, keeping d ≡ (matrix-combined) values mod m.
+void update_de62(Signed62& d, Signed62& e, const Trans62& t, const Signed62& m,
+                 std::uint64_t m_inv62) noexcept {
+  const i64 sd = d.v[4] >> 63;
+  const i64 se = e.v[4] >> 63;
+  i64 md = (t.u & sd) + (t.v & se);
+  i64 me = (t.q & sd) + (t.r & se);
+  i128 cd = static_cast<i128>(t.u) * d.v[0] + static_cast<i128>(t.v) * e.v[0];
+  i128 ce = static_cast<i128>(t.q) * d.v[0] + static_cast<i128>(t.r) * e.v[0];
+  md -= static_cast<i64>((m_inv62 * static_cast<std::uint64_t>(cd) +
+                          static_cast<std::uint64_t>(md)) &
+                         static_cast<std::uint64_t>(kM62));
+  me -= static_cast<i64>((m_inv62 * static_cast<std::uint64_t>(ce) +
+                          static_cast<std::uint64_t>(me)) &
+                         static_cast<std::uint64_t>(kM62));
+  cd += static_cast<i128>(m.v[0]) * md;
+  ce += static_cast<i128>(m.v[0]) * me;
+  cd >>= 62;
+  ce >>= 62;
+  for (int j = 1; j < 5; ++j) {
+    cd += static_cast<i128>(t.u) * d.v[j] + static_cast<i128>(t.v) * e.v[j] +
+          static_cast<i128>(m.v[j]) * md;
+    ce += static_cast<i128>(t.q) * d.v[j] + static_cast<i128>(t.r) * e.v[j] +
+          static_cast<i128>(m.v[j]) * me;
+    d.v[j - 1] = static_cast<i64>(cd) & kM62;
+    cd >>= 62;
+    e.v[j - 1] = static_cast<i64>(ce) & kM62;
+    ce >>= 62;
+  }
+  d.v[4] = static_cast<i64>(cd);
+  e.v[4] = static_cast<i64>(ce);
+}
+
+/// Limbs 0..3 stay in [0, 2^62); the top limb carries the sign.
+void add_m62(Signed62& d, const Signed62& m) noexcept {
+  i128 c = 0;
+  for (int j = 0; j < 4; ++j) {
+    c += static_cast<i128>(d.v[j]) + m.v[j];
+    d.v[j] = static_cast<i64>(c) & kM62;
+    c >>= 62;
+  }
+  d.v[4] = static_cast<i64>(c + d.v[4] + m.v[4]);
+}
+
+bool sub_m62_if_ge(Signed62& d, const Signed62& m) noexcept {
+  Signed62 r;
+  i128 c = 0;
+  for (int j = 0; j < 4; ++j) {
+    c += static_cast<i128>(d.v[j]) - m.v[j];
+    r.v[j] = static_cast<i64>(c) & kM62;
+    c >>= 62;  // arithmetic shift: propagates the borrow
+  }
+  r.v[4] = static_cast<i64>(c + d.v[4] - m.v[4]);
+  if (r.v[4] < 0) return false;  // d < m: keep d
+  d = r;
+  return true;
+}
+
+void neg62(Signed62& d) noexcept {
+  i128 c = 0;
+  for (int j = 0; j < 4; ++j) {
+    c -= d.v[j];
+    d.v[j] = static_cast<i64>(c) & kM62;
+    c >>= 62;
+  }
+  d.v[4] = static_cast<i64>(c - d.v[4]);
+}
+
+}  // namespace
+
+U256 invmod_odd_var(const U256& a, const U256& m) noexcept {
+  const U256 ar = a < m ? a : a % m;
+  if (ar.is_zero()) return U256::zero();
+
+  Signed62 f = to_signed62(m.w);
+  Signed62 g = to_signed62(ar.w);
+  Signed62 d{{0, 0, 0, 0, 0}};
+  Signed62 e{{1, 0, 0, 0, 0}};
+  // Invariants: a·d ≡ f and a·e ≡ g (mod m). They hold initially
+  // (f = m ≡ 0, g = a) and each update preserves them, so when g reaches
+  // 0 and f = ±gcd(a, m) = ±1, d is ±a⁻¹.
+
+  // m⁻¹ mod 2^62 by Newton lifting (odd² ≡ 1 mod 8 seeds 3 bits).
+  std::uint64_t mi = m.w[0];
+  for (int it = 0; it < 5; ++it) mi *= 2 - m.w[0] * mi;
+  mi &= static_cast<std::uint64_t>(kM62);
+
+  const Signed62 m62 = to_signed62(m.w);
+  i64 eta = -1;
+  // ⌈(49·256 + 57) / 17⌉ = 741 divsteps suffice for 256-bit inputs;
+  // 12 batches of 62 cover that with slack. The loop almost always exits
+  // early on g == 0.
+  for (int round = 0; round < 14; ++round) {
+    Trans62 t;
+    eta = divsteps62_var(eta, static_cast<std::uint64_t>(f.v[0]),
+                         static_cast<std::uint64_t>(g.v[0]), t);
+    update_de62(d, e, t, m62, mi);
+    update_fg62(f, g, t);
+    if ((g.v[0] | g.v[1] | g.v[2] | g.v[3] | g.v[4]) == 0) break;
+  }
+  if ((g.v[0] | g.v[1] | g.v[2] | g.v[3] | g.v[4]) != 0) {
+    return invmod_odd(ar, m);  // defensive: should be unreachable
+  }
+
+  // f holds ±gcd. gcd != 1 means no inverse (mirrors invmod_odd's
+  // garbage-in behavior closely enough: return 0). When f = -1, the
+  // invariant gives a·d ≡ -1, so negate d along with it.
+  const bool neg_f = f.v[4] < 0;
+  Signed62 af = f;
+  if (neg_f) neg62(af);
+  if (!(af.v[0] == 1 && (af.v[1] | af.v[2] | af.v[3] | af.v[4]) == 0)) return U256::zero();
+  if (neg_f) neg62(d);
+
+  // |d| stays within a few multiples of m through the updates; bounded
+  // conditional adds/subtracts land it in [0, m).
+  for (int k = 0; k < 4 && d.v[4] < 0; ++k) add_m62(d, m62);
+  while (sub_m62_if_ge(d, m62)) {
+  }
+  return from_signed62(d);
 }
 
 }  // namespace btcfast::crypto

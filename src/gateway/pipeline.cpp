@@ -57,7 +57,9 @@ Gateway::Gateway(core::MerchantService& merchant, common::ThreadPool& pool, Gate
       pool_(pool),
       config_(config),
       batcher_(pool, &crypto::SigCache::global(),
-               VerifyBatcher::Config{config.verify_batch_max, config.verify_batch_wait_us}) {
+               VerifyBatcher::Config{config.verify_batch_max, config.verify_batch_wait_us},
+               &crypto::PubkeyPrecompCache::global()) {
+  crypto::PubkeyPrecompCache::global().set_capacity(config_.pubkey_precomp_max);
   const std::size_t n = std::clamp<std::size_t>(config_.shards, 1, 64);
   config_.shards = n;
   shards_.reserve(n);
@@ -459,7 +461,8 @@ std::vector<Bytes> Gateway::serve_batch(const std::vector<Bytes>& frames, std::u
       }
     }
   }
-  (void)crypto::batch_verify(pool_, jobs, &crypto::SigCache::global());
+  (void)crypto::batch_verify(pool_, jobs, &crypto::SigCache::global(),
+                             &crypto::PubkeyPrecompCache::global());
 
   // Phase 2 (sequential): decisions in input order — identical responses
   // to a plain serve() loop for any pool size, just with hot caches.
@@ -591,6 +594,13 @@ void Gateway::reconcile(std::uint64_t now_ms) {
 GatewayStats Gateway::stats() const {
   GatewayStats out(front_stats_);
   for (const auto& shard : shards_) out.accumulate(shard->stats);
+  // The crypto caches are process-wide; snapshot their counters as
+  // gauges so the JSON dump shows verify-cache efficacy next to the
+  // serving counters.
+  const auto sig = crypto::SigCache::global().stats();
+  const auto pre = crypto::PubkeyPrecompCache::global().stats();
+  out.set_cache_metrics(sig.hits, sig.misses, sig.insertions, sig.evictions, pre.hits, pre.misses,
+                        pre.insertions, pre.evictions);
   return out;
 }
 

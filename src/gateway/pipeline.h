@@ -90,6 +90,12 @@ struct GatewayConfig {
   /// when more than one request is in flight — single-threaded serving
   /// never waits.
   std::uint64_t verify_batch_wait_us = 100;
+  /// Bound on the process-wide per-pubkey GLV precomp table cache
+  /// (entries are ~18 KiB, so the default 512 keys is ~9 MiB). Applied
+  /// to crypto::PubkeyPrecompCache::global() at construction; 0 disables
+  /// precomp caching entirely (verifies still run the GLV fast path,
+  /// just with per-call tables).
+  std::size_t pubkey_precomp_max = crypto::PubkeyPrecompCache::kDefaultMaxEntries;
 };
 
 class Gateway {

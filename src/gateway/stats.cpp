@@ -95,6 +95,14 @@ void GatewayStats::accumulate(const GatewayStats& other) noexcept {
   take_max(store_wal_fsyncs_, other.store_wal_fsyncs());
   take_max(store_recovery_replayed_, other.store_recovery_replayed());
   take_max(store_snapshot_bytes_, other.store_snapshot_bytes());
+  take_max(sigcache_hits_, other.sigcache_hits());
+  take_max(sigcache_misses_, other.sigcache_misses());
+  take_max(sigcache_insertions_, other.sigcache_insertions());
+  take_max(sigcache_evictions_, other.sigcache_evictions());
+  take_max(precomp_hits_, other.precomp_hits());
+  take_max(precomp_misses_, other.precomp_misses());
+  take_max(precomp_insertions_, other.precomp_insertions());
+  take_max(precomp_evictions_, other.precomp_evictions());
   latency_.accumulate(other.latency_);
   for (std::size_t i = 0; i < kStageCount; ++i) stages_[i].accumulate(other.stages_[i]);
 }
@@ -155,6 +163,14 @@ std::string GatewayStats::to_json() const {
   os << "    \"recovery_replayed_records\": " << store_recovery_replayed() << ",\n";
   os << "    \"snapshot_bytes\": " << store_snapshot_bytes() << "\n";
   os << "  },\n";
+  os << "  \"caches\": {\n";
+  os << "    \"sigcache\": {\"hits\": " << sigcache_hits() << ", \"misses\": " << sigcache_misses()
+     << ", \"insertions\": " << sigcache_insertions() << ", \"evictions\": " << sigcache_evictions()
+     << "},\n";
+  os << "    \"pubkey_precomp\": {\"hits\": " << precomp_hits()
+     << ", \"misses\": " << precomp_misses() << ", \"insertions\": " << precomp_insertions()
+     << ", \"evictions\": " << precomp_evictions() << "}\n";
+  os << "  },\n";
   os << "  \"latency_us\": {\n";
   os << "    \"count\": " << latency_.count() << ",\n";
   os << "    \"mean\": " << latency_.mean_us() << ",\n";
@@ -200,6 +216,7 @@ void GatewayStats::reset() noexcept {
   store_wal_fsyncs_.store(0, std::memory_order_relaxed);
   store_recovery_replayed_.store(0, std::memory_order_relaxed);
   store_snapshot_bytes_.store(0, std::memory_order_relaxed);
+  set_cache_metrics(0, 0, 0, 0, 0, 0, 0, 0);
   latency_.reset();
   for (auto& s : stages_) s.reset();
 }

@@ -138,6 +138,48 @@ class GatewayStats {
     return store_snapshot_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Mirror the process-wide crypto cache counters (SigCache and the
+  /// per-pubkey GLV precomp cache) into the stats dump. Like the store
+  /// metrics these are gauges filled at snapshot time, so accumulate()
+  /// takes max instead of summing them across shards.
+  void set_cache_metrics(std::uint64_t sig_hits, std::uint64_t sig_misses,
+                         std::uint64_t sig_insertions, std::uint64_t sig_evictions,
+                         std::uint64_t pre_hits, std::uint64_t pre_misses,
+                         std::uint64_t pre_insertions, std::uint64_t pre_evictions) noexcept {
+    sigcache_hits_.store(sig_hits, std::memory_order_relaxed);
+    sigcache_misses_.store(sig_misses, std::memory_order_relaxed);
+    sigcache_insertions_.store(sig_insertions, std::memory_order_relaxed);
+    sigcache_evictions_.store(sig_evictions, std::memory_order_relaxed);
+    precomp_hits_.store(pre_hits, std::memory_order_relaxed);
+    precomp_misses_.store(pre_misses, std::memory_order_relaxed);
+    precomp_insertions_.store(pre_insertions, std::memory_order_relaxed);
+    precomp_evictions_.store(pre_evictions, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sigcache_hits() const noexcept {
+    return sigcache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sigcache_misses() const noexcept {
+    return sigcache_misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sigcache_insertions() const noexcept {
+    return sigcache_insertions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sigcache_evictions() const noexcept {
+    return sigcache_evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t precomp_hits() const noexcept {
+    return precomp_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t precomp_misses() const noexcept {
+    return precomp_misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t precomp_insertions() const noexcept {
+    return precomp_insertions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t precomp_evictions() const noexcept {
+    return precomp_evictions_.load(std::memory_order_relaxed);
+  }
+
   /// One JSON object: totals, per-reason reject counts (only nonzero
   /// reasons, keyed by describe()), queue depths, latency percentiles.
   [[nodiscard]] std::string to_json() const;
@@ -162,6 +204,14 @@ class GatewayStats {
   std::atomic<std::uint64_t> store_wal_fsyncs_{0};
   std::atomic<std::uint64_t> store_recovery_replayed_{0};
   std::atomic<std::uint64_t> store_snapshot_bytes_{0};
+  std::atomic<std::uint64_t> sigcache_hits_{0};
+  std::atomic<std::uint64_t> sigcache_misses_{0};
+  std::atomic<std::uint64_t> sigcache_insertions_{0};
+  std::atomic<std::uint64_t> sigcache_evictions_{0};
+  std::atomic<std::uint64_t> precomp_hits_{0};
+  std::atomic<std::uint64_t> precomp_misses_{0};
+  std::atomic<std::uint64_t> precomp_insertions_{0};
+  std::atomic<std::uint64_t> precomp_evictions_{0};
   LatencyHistogram latency_;
   std::array<LatencyHistogram, kStageCount> stages_;
 };

@@ -12,7 +12,7 @@ std::vector<std::uint8_t> VerifyBatcher::verify(std::vector<crypto::SigCheckJob>
   if (!allow_wait) {
     // Single-threaded fast path: no window, no added latency.
     batches_.fetch_add(1, std::memory_order_relaxed);
-    return crypto::batch_verify(pool_, jobs, cache_);
+    return crypto::batch_verify(pool_, jobs, cache_, precomp_);
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -43,7 +43,7 @@ std::vector<std::uint8_t> VerifyBatcher::verify(std::vector<crypto::SigCheckJob>
   std::vector<crypto::SigCheckJob> collected = std::move(batch->jobs);
   lock.unlock();
 
-  std::vector<std::uint8_t> results = crypto::batch_verify(pool_, collected, cache_);
+  std::vector<std::uint8_t> results = crypto::batch_verify(pool_, collected, cache_, precomp_);
 
   lock.lock();
   batch->results = std::move(results);

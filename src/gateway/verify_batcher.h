@@ -37,8 +37,12 @@ class VerifyBatcher {
     std::uint64_t max_wait_us = 100;   ///< leader's bounded wait for followers
   };
 
-  VerifyBatcher(common::ThreadPool& pool, crypto::SigCache* cache, Config config)
-      : pool_(pool), cache_(cache), config_(config) {
+  /// `precomp` (optional) is the per-pubkey GLV table cache handed down
+  /// to batch_verify — repeat-payer keys skip decompression and table
+  /// building, and shard affinity upstream keeps it hot per escrow.
+  VerifyBatcher(common::ThreadPool& pool, crypto::SigCache* cache, Config config,
+                crypto::PubkeyPrecompCache* precomp = nullptr)
+      : pool_(pool), cache_(cache), precomp_(precomp), config_(config) {
     if (config_.max_batch == 0) config_.max_batch = 1;
   }
 
@@ -76,6 +80,7 @@ class VerifyBatcher {
 
   common::ThreadPool& pool_;
   crypto::SigCache* cache_;
+  crypto::PubkeyPrecompCache* precomp_;
   Config config_;
 
   std::mutex mu_;

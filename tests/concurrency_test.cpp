@@ -175,6 +175,65 @@ TEST(ConcurrencyTest, CachedVerifyConsistency) {
   EXPECT_GT(cache.stats().hits, 0u);
 }
 
+// PubkeyPrecompCache under concurrent note_verified/lookup/evict churn:
+// many threads verify signatures from a shared pool of keys through a
+// deliberately tiny cache, so markers, table builds (outside the shard
+// lock), publishes, hits, and evictions all interleave. TSan validates
+// the shard protocol; the assertions validate that warm answers always
+// match cold verification.
+TEST(ConcurrencyTest, PubkeyPrecompCacheHammer) {
+  constexpr int kKeys = 12;
+  constexpr int kMessagesPerKey = 4;
+  std::vector<ByteArray<33>> pubkeys;
+  std::vector<std::vector<crypto::Sha256Digest>> digests(kKeys);
+  std::vector<std::vector<ByteArray<64>>> sigs(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    const auto key = *crypto::PrivateKey::from_scalar(crypto::U256(0xbeef + k));
+    pubkeys.push_back(crypto::PublicKey::derive(key).serialize());
+    for (int m = 0; m < kMessagesPerKey; ++m) {
+      crypto::Sha256Digest d{};
+      d[0] = static_cast<std::uint8_t>(k);
+      d[1] = static_cast<std::uint8_t>(m);
+      digests[static_cast<std::size_t>(k)].push_back(d);
+      auto sig = crypto::ecdsa_sign(key, d).serialize();
+      if (m == kMessagesPerKey - 1) sig[11] ^= 0x02;  // one bad sig per key
+      sigs[static_cast<std::size_t>(k)].push_back(sig);
+    }
+  }
+
+  // Capacity far below the key count (4 entries over 16 shards): builds
+  // and evictions race with lookups for the whole run. No SigCache, so
+  // every call does a real verify through whichever kernel is resident.
+  crypto::PubkeyPrecompCache pre(4);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 60; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          const int m = static_cast<int>((t + static_cast<unsigned>(round + k)) %
+                                         kMessagesPerKey);
+          const auto& pk = pubkeys[static_cast<std::size_t>(k)];
+          const bool ok = crypto::ecdsa_verify_cached(
+              nullptr, {pk.data(), pk.size()},
+              digests[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)],
+              {sigs[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)].data(), 64}, &pre);
+          const bool expected = (m != kMessagesPerKey - 1);
+          if (ok != expected) wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (t == 0 && round == 30) pre.set_capacity(8);  // resize mid-flight
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const auto stats = pre.stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
 gateway::ReservationLedger::EscrowSnapshot ledger_snapshot(const gateway::ReservationLedger& l,
                                                            core::EscrowId id) {
   const auto snap = l.snapshot(id);

@@ -178,6 +178,40 @@ TEST_P(FastKernelEquivalence, BinaryGcdInverseMatchesFermat) {
   }
 }
 
+TEST_P(FastKernelEquivalence, DivstepsInverseMatchesBinaryGcd) {
+  Rng rng(GetParam() * 6151 + 11);
+  for (int i = 0; i < 40; ++i) {
+    const U256 a = random_scalar(rng);
+    EXPECT_EQ(invmod_odd_var(a, secp::order_n()), invmod_odd(a, secp::order_n()));
+    const U256 b = random_u256(rng) % secp::field_p();
+    if (!b.is_zero()) {
+      EXPECT_EQ(invmod_odd_var(b, secp::field_p()), invmod_odd(b, secp::field_p()));
+    }
+  }
+}
+
+TEST(FastKernelEdgeCases, DivstepsInverseEdges) {
+  const U256& n = secp::order_n();
+  const U256& p = secp::field_p();
+  for (const U256* m : {&n, &p}) {
+    // 1, m-1, tiny, sparse high-bit, and near-half patterns.
+    const U256 cases[] = {U256::one(),           *m - U256::one(),     U256(2),
+                          U256(3),               U256::one() << 255,   (U256::one() << 255) | U256::one(),
+                          *m >> 1,               (*m >> 1) + U256::one()};
+    for (const U256& a : cases) {
+      const U256 r = invmod_odd_var(a, *m);
+      EXPECT_EQ(r, invmod_odd(a, *m)) << a.to_hex();
+      // Round-trip: a * a^-1 == 1 (mod m). mulmod via 512-bit divmod.
+      EXPECT_EQ(divmod(a.mul_wide(r), *m).remainder, U256::one()) << a.to_hex();
+    }
+  }
+  // a == 0 and a >= m are handled like the hot-path callers expect.
+  EXPECT_TRUE(invmod_odd_var(U256::zero(), n).is_zero());
+  EXPECT_EQ(invmod_odd_var(n + U256(5), n), invmod_odd(U256(5), n));
+  // Non-coprime input to an odd composite modulus: no inverse, returns 0.
+  EXPECT_TRUE(invmod_odd_var(U256(3), U256(9)).is_zero());
+}
+
 TEST_P(FastKernelEquivalence, SquareMatchesSelfMultiply) {
   Rng rng(GetParam() * 7919 + 1);
   const U256 a = random_u256(rng) % secp::field_p();
@@ -223,6 +257,100 @@ TEST(FastKernelEdgeCases, EdgeScalars) {
   EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(n_minus_1, n_minus_1, p)),
             secp::to_affine(secp::jadd(secp::scalar_mul_naive(n_minus_1, secp::generator()),
                                        secp::scalar_mul_naive(n_minus_1, p))));
+}
+
+// --- GLV endomorphism: decomposition identities and the four-stream
+// multi-scalar kernels (per-call shared-frame tables and the cached
+// wide-precomp variant) pinned against the naive reference. ---
+
+class GlvProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlvProperty, SplitRecombinesWithSignsAndBounds) {
+  Rng rng(GetParam() * 6151 + 11);
+  const U256& n = secp::order_n();
+  for (int i = 0; i < 50; ++i) {
+    const U256 k = random_scalar(rng);
+    const auto s = secp::glv_split(k);
+    // Magnitudes stay half-length: the lattice bound is < 2^129.
+    if (!s.k1.is_zero()) { EXPECT_LE(s.k1.top_bit(), 129); }
+    if (!s.k2.is_zero()) { EXPECT_LE(s.k2.top_bit(), 129); }
+    // A negated magnitude is never zero (zero never exceeds n/2).
+    if (s.neg1) { EXPECT_FALSE(s.k1.is_zero()); }
+    if (s.neg2) { EXPECT_FALSE(s.k2.is_zero()); }
+    // k ≡ (±k1) + λ·(±k2) (mod n).
+    const U256 t1 = s.neg1 ? n - s.k1 : s.k1;
+    const U256 t2 = s.neg2 ? n - s.k2 : s.k2;
+    EXPECT_EQ(secp::nadd(t1, secp::nmul(secp::glv_lambda(), t2)), k);
+  }
+}
+
+TEST_P(GlvProperty, EndomorphismIsLambdaMultiplication) {
+  Rng rng(GetParam() * 271 + 5);
+  // φ(P) = (β·x, y) must equal λ·P for arbitrary P.
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const secp::AffinePoint phi{secp::fmul(secp::glv_beta(), p.x), p.y, false};
+  EXPECT_TRUE(secp::on_curve(phi));
+  EXPECT_EQ(phi, secp::to_affine(secp::scalar_mul_naive(secp::glv_lambda(), p)));
+}
+
+TEST_P(GlvProperty, MultiScalarMatchesNaiveComposition) {
+  Rng rng(GetParam() * 389 + 7);
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  for (int i = 0; i < 10; ++i) {
+    const U256 u1 = random_scalar(rng);
+    const U256 u2 = random_scalar(rng);
+    const auto naive = secp::to_affine(secp::jadd(secp::scalar_mul_naive(u1, secp::generator()),
+                                                  secp::scalar_mul_naive(u2, p)));
+    // GLV with per-call shared-frame tables (the cold verify path).
+    EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(u1, u2, p)), naive);
+    // Legacy Shamir baseline stays equivalent too.
+    EXPECT_EQ(secp::to_affine(secp::double_scalar_mul_shamir(u1, u2, p)), naive);
+  }
+}
+
+TEST_P(GlvProperty, PrecompKernelMatchesPerCallKernel) {
+  Rng rng(GetParam() * 911 + 13);
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const auto pre = secp::build_pubkey_precomp(p);
+  secp::PointTables tables;
+  secp::build_point_tables(p, tables);
+  for (int i = 0; i < 10; ++i) {
+    const U256 u1 = random_scalar(rng);
+    const U256 u2 = random_scalar(rng);
+    const auto cold = secp::to_affine(secp::double_scalar_mul_tables(u1, u2, tables));
+    const auto warm = secp::to_affine(secp::double_scalar_mul_precomp(u1, u2, pre));
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(warm, secp::to_affine(secp::double_scalar_mul_shamir(u1, u2, p)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlvProperty, ::testing::Range<std::uint64_t>(500, 510));
+
+TEST(GlvEdgeCases, EdgeScalarSplitsAndKernels) {
+  Rng rng(987654);
+  const U256& n = secp::order_n();
+  const auto p = secp::to_affine(secp::scalar_mul_base(random_scalar(rng)));
+  const auto pre = secp::build_pubkey_precomp(p);
+
+  const U256 edges[] = {U256::zero(),          U256::one(),
+                        n - U256::one(),       secp::half_order(),
+                        secp::half_order() + U256::one(), secp::glv_lambda(),
+                        n - secp::glv_lambda()};
+  for (const U256& k : edges) {
+    // Split recombines even at the extremes (0 splits to (0, 0)).
+    const auto s = secp::glv_split(k);
+    const U256 t1 = s.neg1 ? n - s.k1 : s.k1;
+    const U256 t2 = s.neg2 ? n - s.k2 : s.k2;
+    EXPECT_EQ(secp::nadd(t1, secp::nmul(secp::glv_lambda(), t2)), k);
+    // Every (edge, edge) pair through both GLV kernels vs the reference.
+    for (const U256& u2 : edges) {
+      if (u2.is_zero()) continue;  // precomp kernel requires u2 != 0 upstream
+      const auto naive = secp::to_affine(secp::jadd(
+          secp::scalar_mul_naive(k, secp::generator()), secp::scalar_mul_naive(u2, p)));
+      EXPECT_EQ(secp::to_affine(secp::double_scalar_mul(k, u2, p)), naive);
+      EXPECT_EQ(secp::to_affine(secp::double_scalar_mul_precomp(k, u2, pre)), naive);
+    }
+  }
 }
 
 class EcdsaProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -429,6 +429,31 @@ TEST(GatewayStatsTest, CountersAndJson) {
   EXPECT_EQ(st.rejects_for(RejectReason::kUnderpayment), 0u);
 }
 
+TEST(GatewayStatsTest, CacheGaugesInJson) {
+  GatewayStats st;
+  st.set_cache_metrics(10, 2, 8, 1, 20, 4, 3, 0);
+  EXPECT_EQ(st.sigcache_hits(), 10u);
+  EXPECT_EQ(st.precomp_hits(), 20u);
+  EXPECT_EQ(st.precomp_evictions(), 0u);
+  const std::string json = st.to_json();
+  EXPECT_NE(json.find("\"caches\""), std::string::npos);
+  EXPECT_NE(json.find("\"sigcache\""), std::string::npos);
+  EXPECT_NE(json.find("\"pubkey_precomp\""), std::string::npos);
+
+  // accumulate() treats the cache fields as gauges: take-max, not sum.
+  GatewayStats other;
+  other.set_cache_metrics(4, 9, 1, 2, 5, 11, 1, 7);
+  st.accumulate(other);
+  EXPECT_EQ(st.sigcache_hits(), 10u);
+  EXPECT_EQ(st.sigcache_misses(), 9u);
+  EXPECT_EQ(st.precomp_hits(), 20u);
+  EXPECT_EQ(st.precomp_evictions(), 7u);
+
+  st.reset();
+  EXPECT_EQ(st.sigcache_hits(), 0u);
+  EXPECT_EQ(st.precomp_hits(), 0u);
+}
+
 // -------------------------------------------------------------- pipeline
 
 /// Deployment-backed harness mirroring MerchantUnit: a consistent world

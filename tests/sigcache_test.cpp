@@ -161,5 +161,125 @@ TEST(SigCache, ClearDropsEntriesButKeepsStats) {
   EXPECT_EQ(cache.stats().insertions, 2u);
 }
 
+// --- PubkeyPrecompCache: two-touch build policy, warm-path soundness,
+// bounded eviction, disable knob. ---
+
+/// Distinct valid triples for ONE key (a repeat payer).
+Triple make_triple_for_key(const PrivateKey& key, std::uint64_t msg_seed) {
+  Rng rng(msg_seed);
+  const auto msg = rng.bytes<40>();
+  Triple t;
+  t.digest = sha256({msg.data(), msg.size()});
+  t.pubkey = PublicKey::derive(key).serialize();
+  t.sig = ecdsa_sign(key, t.digest).serialize();
+  return t;
+}
+
+bool check_pre(SigCache* cache, PubkeyPrecompCache& pre, const Triple& t) {
+  return ecdsa_verify_cached(cache, {t.pubkey.data(), t.pubkey.size()}, t.digest,
+                             {t.sig.data(), t.sig.size()}, &pre);
+}
+
+TEST(PubkeyPrecompCache, TwoTouchBuildThenWarmHits) {
+  PubkeyPrecompCache pre;
+  const auto key = *PrivateKey::from_scalar(U256(0x5151));
+  const auto pk = PublicKey::derive(key).serialize();
+
+  // First verified sighting: marker only, no tables yet.
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 1)));
+  EXPECT_EQ(pre.lookup(pk), nullptr);
+  EXPECT_EQ(pre.stats().insertions, 0u);
+
+  // Second: tables built and published.
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 2)));
+  EXPECT_NE(pre.lookup(pk), nullptr);
+  EXPECT_EQ(pre.stats().insertions, 1u);
+
+  // Third: served warm, and the warm kernel agrees with the cold one.
+  pre.reset_stats();
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 3)));
+  EXPECT_EQ(pre.stats().hits, 1u);
+  EXPECT_EQ(pre.stats().misses, 0u);
+}
+
+TEST(PubkeyPrecompCache, WarmPathStillRejectsInvalidSignatures) {
+  PubkeyPrecompCache pre;
+  const auto key = *PrivateKey::from_scalar(U256(0x7272));
+  // Warm the key, then corrupt a fresh signature: the wide-table kernel
+  // must reject exactly like the cold path.
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 10)));
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 11)));
+  auto bad = make_triple_for_key(key, 12);
+  bad.sig[9] ^= 0x04;
+  EXPECT_FALSE(check_pre(nullptr, pre, bad));
+  auto bad_digest = make_triple_for_key(key, 13);
+  bad_digest.digest[3] ^= 0x40;
+  EXPECT_FALSE(check_pre(nullptr, pre, bad_digest));
+}
+
+TEST(PubkeyPrecompCache, InvalidVerifiesAreNeverNoted) {
+  PubkeyPrecompCache pre;
+  const auto key = *PrivateKey::from_scalar(U256(0x9393));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto bad = make_triple_for_key(key, 20 + i);
+    bad.sig[1] ^= 0x10;
+    EXPECT_FALSE(check_pre(nullptr, pre, bad));
+  }
+  EXPECT_EQ(pre.size(), 0u);  // not even a marker
+}
+
+TEST(PubkeyPrecompCache, BoundedEviction) {
+  PubkeyPrecompCache pre(8);  // tiny: forces displacement
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    const auto key = *PrivateKey::from_scalar(U256(k * 7 + 1));
+    // Two touches so some keys get real tables, not just markers.
+    EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, k * 2)));
+    EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, k * 2 + 1)));
+    EXPECT_LE(pre.size(), 16u);  // per-shard cap rounds 8 up across 16 shards
+  }
+  EXPECT_GT(pre.stats().evictions, 0u);
+}
+
+TEST(PubkeyPrecompCache, ZeroCapacityDisables) {
+  PubkeyPrecompCache pre(0);
+  const auto key = *PrivateKey::from_scalar(U256(0xabcd));
+  const auto pk = PublicKey::derive(key).serialize();
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 30)));
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 31)));
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 32)));
+  EXPECT_EQ(pre.lookup(pk), nullptr);
+  EXPECT_EQ(pre.size(), 0u);
+  const auto st = pre.stats();
+  EXPECT_EQ(st.hits + st.misses + st.insertions + st.evictions, 0u);
+
+  // Re-enabling via set_capacity brings the machinery back.
+  pre.set_capacity(64);
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 33)));
+  EXPECT_TRUE(check_pre(nullptr, pre, make_triple_for_key(key, 34)));
+  EXPECT_NE(pre.lookup(pk), nullptr);
+}
+
+TEST(PubkeyPrecompCache, SigCacheAndPrecompCompose) {
+  SigCache cache;
+  PubkeyPrecompCache pre;
+  const auto key = *PrivateKey::from_scalar(U256(0x4242));
+  const auto t1 = make_triple_for_key(key, 40);
+  const auto t2 = make_triple_for_key(key, 41);
+  // Two distinct messages: both verify cold-ish, second touch builds.
+  EXPECT_TRUE(check_pre(&cache, pre, t1));
+  EXPECT_TRUE(check_pre(&cache, pre, t2));
+  // Replay of t1 is a SigCache hit — the precomp cache is not consulted.
+  pre.reset_stats();
+  EXPECT_TRUE(check_pre(&cache, pre, t1));
+  EXPECT_EQ(pre.stats().hits + pre.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // A third fresh message rides the warm precomp path and lands in the
+  // SigCache too.
+  const auto t3 = make_triple_for_key(key, 42);
+  EXPECT_TRUE(check_pre(&cache, pre, t3));
+  EXPECT_EQ(pre.stats().hits, 1u);
+  EXPECT_TRUE(check_pre(&cache, pre, t3));  // now a SigCache hit
+}
+
 }  // namespace
 }  // namespace btcfast::crypto

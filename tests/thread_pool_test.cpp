@@ -156,6 +156,60 @@ TEST(BatchVerify, NullCacheAndEmptyBatch) {
   for (std::size_t i = 0; i < jobs.size(); ++i) EXPECT_EQ(results[i], i % 3 == 2 ? 0 : 1);
 }
 
+// Repeat-payer batches: 4 distinct keys spread across n jobs, so the
+// precomp path (group-by-pubkey, shared per-key tables) is exercised.
+std::vector<crypto::SigCheckJob> make_repeat_key_jobs(int n, std::uint64_t key_seed,
+                                                      std::uint64_t msg_seed) {
+  Rng rng(msg_seed);
+  std::vector<crypto::PrivateKey> keys;
+  for (int k = 0; k < 4; ++k) {
+    keys.push_back(*crypto::PrivateKey::from_scalar(crypto::U256(key_seed * 100 + k + 1)));
+  }
+  std::vector<crypto::SigCheckJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    const auto& key = keys[i % keys.size()];
+    const auto msg = rng.bytes<48>();
+    crypto::SigCheckJob job;
+    job.digest = crypto::sha256({msg.data(), msg.size()});
+    job.pubkey = crypto::PublicKey::derive(key).serialize();
+    job.sig = crypto::ecdsa_sign(key, job.digest).serialize();
+    if (i % 3 == 2) job.sig[7] ^= 0x20;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(BatchVerify, PrecompCacheMatchesColdResultsAndWarmsUp) {
+  const auto jobs = make_repeat_key_jobs(24, 9, 9);
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    common::ThreadPool pool(threads);
+    crypto::SigCache cold_cache;
+    const auto reference = crypto::batch_verify(pool, jobs, &cold_cache);
+
+    crypto::SigCache cache;
+    crypto::PubkeyPrecompCache pre;
+    const auto first = crypto::batch_verify(pool, jobs, &cache, &pre);
+    EXPECT_EQ(first, reference) << "threads " << threads;
+    // Each distinct key had a valid signature, so the batch notes every
+    // key once; a second batch notes them again, which builds tables.
+    crypto::SigCache cache2;
+    const auto fresh = make_repeat_key_jobs(24, 9, 1009);
+    (void)crypto::batch_verify(pool, fresh, &cache2, &pre);
+    EXPECT_EQ(pre.stats().insertions, 4u) << "threads " << threads;
+    // Third batch of new messages rides the warm tables and must agree
+    // with a precomp-free run bit for bit.
+    const auto third = make_repeat_key_jobs(24, 9, 2009);
+    crypto::SigCache cache3;
+    pre.reset_stats();
+    const auto warm = crypto::batch_verify(pool, third, &cache3, &pre);
+    crypto::SigCache cache4;
+    const auto cold = crypto::batch_verify(pool, third, &cache4);
+    EXPECT_EQ(warm, cold) << "threads " << threads;
+    EXPECT_EQ(pre.stats().hits, 4u) << "threads " << threads;
+  }
+}
+
 // --- 1-vs-N integration: identical merchant outcomes --------------------
 
 std::vector<core::AcceptDecision> run_batch_intake(std::size_t threads) {
