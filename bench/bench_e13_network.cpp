@@ -1,0 +1,490 @@
+// E13 — TCP front-end throughput: fork-based loopback load generator
+// against the epoll gateway server. Each forked client process opens a
+// real TCP connection, pipelines fast-pay submissions in windows, and
+// reassembles responses with the same FrameAssembler the server uses;
+// latency is measured on the client side of the socket, so the numbers
+// include framing, epoll dispatch, and write-back — not just
+// Gateway::serve. Emits BENCH_e13_network.json.
+//
+// Three phases:
+//   1. load  — BTCFAST_E13_CLIENTS processes x BTCFAST_E13_REQUESTS
+//      submissions each, pipelined BTCFAST_E13_PIPELINE deep: accepts/s
+//      and client-observed p50/p99.
+//   2. abuse — one client repeatedly sends garbage magic: expects a typed
+//      kError reply per offence, then a ban, then refused reconnects.
+//   3. overload — a burst against a zero-admission gateway: every frame
+//      must come back kRetryAfter (the shed path over real sockets).
+//
+// Forked clients inherit the prebuilt frames copy-on-write, report
+// through a pipe (counts + raw latencies), and _exit without running
+// destructors — the parent owns every real resource.
+//
+// BTCFAST_E13_SMOKE=1 shrinks everything for the tier-1 net-smoke gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_table.h"
+#include "btcfast/orchestrator.h"
+#include "common/thread_pool.h"
+#include "gateway/pipeline.h"
+#include "gateway/wire.h"
+#include "net/frame_assembler.h"
+#include "net/server.h"
+
+using namespace btcfast;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct timeval tv{};
+  tv.tv_sec = 30;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) return fd;
+    if (errno == ECONNREFUSED) {
+      ::usleep(10'000);  // listener not up yet
+      continue;
+    }
+    break;
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool write_full(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_full(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Fixed-size head of every child's pipe report; `nlat` doubles
+/// (latencies in microseconds) follow.
+struct ChildReport {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;    ///< kFastPayResult (load) / kError replies (abuse)
+  std::uint64_t shed = 0;  ///< kRetryAfter
+  std::uint64_t err = 0;   ///< kError + transport failures (load) / refused conns (abuse)
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t nlat = 0;
+};
+
+/// Load client: submit a contiguous slice of prebuilt frames, `pipeline`
+/// at a time, classifying responses by wire type.
+void run_load_client(std::uint16_t port, const std::vector<Bytes>& frames, std::size_t begin,
+                     std::size_t count, std::size_t pipeline, int out_fd) {
+  ChildReport rep;
+  std::vector<double> lat;
+  lat.reserve(count);
+  const int fd = connect_loopback(port);
+  if (fd < 0) {
+    rep.err = count;
+    (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(&rep), sizeof(rep));
+    return;
+  }
+  net::FrameAssembler assembler;
+  std::uint8_t buf[65536];
+  rep.start_ns = mono_ns();
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t batch = std::min(pipeline, count - done);
+    Bytes out;
+    for (std::size_t i = 0; i < batch; ++i) append(out, frames[begin + done + i]);
+    const std::uint64_t t_send = mono_ns();
+    if (!write_full(fd, out.data(), out.size())) {
+      rep.err += count - done;
+      break;
+    }
+    rep.sent += batch;
+    std::size_t got = 0;
+    while (got < batch) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      if (!assembler.feed({buf, static_cast<std::size_t>(n)})) break;
+      while (auto frame = assembler.next_frame()) {
+        lat.push_back(static_cast<double>(mono_ns() - t_send) / 1e3);
+        switch ((*frame)[4]) {
+          case static_cast<std::uint8_t>(gateway::MsgType::kFastPayResult): ++rep.ok; break;
+          case static_cast<std::uint8_t>(gateway::MsgType::kRetryAfter): ++rep.shed; break;
+          default: ++rep.err; break;
+        }
+        ++got;
+      }
+    }
+    if (got < batch) {
+      rep.err += batch - got;
+      break;
+    }
+    done += batch;
+  }
+  rep.end_ns = mono_ns();
+  ::close(fd);
+  rep.nlat = lat.size();
+  (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(&rep), sizeof(rep));
+  (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(lat.data()),
+                   lat.size() * sizeof(double));
+}
+
+/// Abuse client: each attempt connects and sends garbage magic. Early
+/// attempts must earn a typed kError reply (counted in ok); once the
+/// score crosses the ban threshold, connects are cut without a single
+/// response byte (counted in err as refusals).
+void run_abuse_client(std::uint16_t port, std::size_t attempts, int out_fd) {
+  ChildReport rep;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const int fd = connect_loopback(port);
+    if (fd < 0) {
+      ++rep.err;
+      continue;
+    }
+    ++rep.sent;
+    const std::uint8_t garbage[16] = {0xde, 0xad, 0xbe, 0xef};
+    (void)write_full(fd, garbage, sizeof(garbage));
+    net::FrameAssembler assembler;
+    bool any_reply = false;
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;  // server closes after flushing the error
+      any_reply = true;
+      (void)assembler.feed({buf, static_cast<std::size_t>(n)});
+    }
+    while (auto frame = assembler.next_frame()) {
+      if ((*frame)[4] == static_cast<std::uint8_t>(gateway::MsgType::kError)) ++rep.ok;
+    }
+    if (!any_reply) ++rep.err;  // banned: cut on arrival
+    ::close(fd);
+  }
+  (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(&rep), sizeof(rep));
+}
+
+/// Overload client: one pipelined burst against a zero-admission
+/// gateway; every frame must bounce back as kRetryAfter.
+void run_overload_client(std::uint16_t port, std::size_t burst, int out_fd) {
+  ChildReport rep;
+  const int fd = connect_loopback(port);
+  if (fd >= 0) {
+    Bytes out;
+    for (std::size_t i = 0; i < burst; ++i) {
+      append(out, gateway::make_frame(gateway::MsgType::kGetReceipt, i + 1, Bytes{1, 2, 3}));
+    }
+    rep.sent = burst;
+    if (write_full(fd, out.data(), out.size())) {
+      net::FrameAssembler assembler;
+      std::uint8_t buf[65536];
+      std::size_t got = 0;
+      while (got < burst) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        if (!assembler.feed({buf, static_cast<std::size_t>(n)})) break;
+        while (auto frame = assembler.next_frame()) {
+          if ((*frame)[4] == static_cast<std::uint8_t>(gateway::MsgType::kRetryAfter)) {
+            ++rep.shed;
+          } else {
+            ++rep.err;
+          }
+          ++got;
+        }
+      }
+    }
+    ::close(fd);
+  } else {
+    rep.err = burst;
+  }
+  (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(&rep), sizeof(rep));
+}
+
+/// Fork `n` children, run `body(child_index, pipe_write_fd)` in each, and
+/// collect one ChildReport (+ its latency tail) per child.
+template <typename Body>
+std::vector<std::pair<ChildReport, std::vector<double>>> fork_clients(std::size_t n, Body body) {
+  std::vector<int> read_fds;
+  std::vector<pid_t> pids;
+  for (std::size_t c = 0; c < n; ++c) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) std::abort();
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(pipe_fds[0]);
+      body(c, pipe_fds[1]);
+      ::close(pipe_fds[1]);
+      ::_exit(0);  // no destructors: the parent owns the real resources
+    }
+    ::close(pipe_fds[1]);
+    read_fds.push_back(pipe_fds[0]);
+    pids.push_back(pid);
+  }
+  std::vector<std::pair<ChildReport, std::vector<double>>> reports;
+  for (std::size_t c = 0; c < n; ++c) {
+    ChildReport rep;
+    std::vector<double> lat;
+    if (read_full(read_fds[c], reinterpret_cast<std::uint8_t*>(&rep), sizeof(rep))) {
+      lat.resize(rep.nlat);
+      if (rep.nlat > 0 &&
+          !read_full(read_fds[c], reinterpret_cast<std::uint8_t*>(lat.data()),
+                     lat.size() * sizeof(double))) {
+        lat.clear();
+      }
+    }
+    ::close(read_fds[c]);
+    int status = 0;
+    (void)::waitpid(pids[c], &status, 0);
+    reports.emplace_back(rep, std::move(lat));
+  }
+  return reports;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p / 100.0 * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("BTCFAST_E13_SMOKE") != nullptr;
+  const std::size_t kClients = env_size("BTCFAST_E13_CLIENTS", smoke ? 2 : 4);
+  const std::size_t kRequests = env_size("BTCFAST_E13_REQUESTS", smoke ? 25 : 300);
+  const std::size_t kPipeline = env_size("BTCFAST_E13_PIPELINE", smoke ? 8 : 16);
+  const std::size_t kTotal = kClients * kRequests;
+  const std::size_t kEscrows = 4;
+  const std::size_t per_escrow = (kTotal + kEscrows - 1) / kEscrows;
+
+  std::printf("# E13 — TCP front end (%zu clients x %zu requests, pipeline %zu)\n\n", kClients,
+              kRequests, kPipeline);
+
+  core::DeploymentConfig cfg;
+  cfg.seed = 13;
+  cfg.funded_coins = static_cast<btc::Amount>(kTotal);
+  cfg.collateral = cfg.compensation * static_cast<psc::Value>(per_escrow + 1);
+  cfg.params.pow_limit = crypto::U256::one() << 250;
+  cfg.params.genesis_bits = btc::target_to_bits(cfg.params.pow_limit);
+  core::Deployment dep(cfg);
+
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto& judger = dep.judger_address();
+
+  std::vector<std::unique_ptr<core::CustomerWallet>> wallets;
+  dep.psc().mint(dep.customer_psc_address(), cfg.collateral * static_cast<psc::Value>(kEscrows));
+  for (std::size_t e = 2; e <= kEscrows; ++e) {
+    auto w = std::make_unique<core::CustomerWallet>(dep.customer().btc_identity(),
+                                                    dep.customer_psc_address(),
+                                                    static_cast<core::EscrowId>(e));
+    const auto receipt = dep.psc().execute_now(
+        w->make_deposit_tx(judger, cfg.collateral, cfg.escrow_unlock_delay_ms), now);
+    if (!receipt.success) {
+      std::fprintf(stderr, "escrow %zu deposit failed: %s\n", e, receipt.revert_reason.c_str());
+      return 1;
+    }
+    wallets.push_back(std::move(w));
+  }
+
+  const auto coins =
+      sim::find_spendable(dep.customer_node().chain(), dep.customer().btc_identity().script);
+  if (coins.size() < kTotal) {
+    std::fprintf(stderr, "only %zu spendable coins (need %zu)\n", coins.size(), kTotal);
+    return 1;
+  }
+  std::vector<core::Invoice> invoices;
+  std::vector<Bytes> frames;  // inherited copy-on-write by the forked clients
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    core::Invoice inv =
+        dep.merchant().make_invoice(2 * btc::kCoin, cfg.compensation, now, 60ULL * 60 * 1000);
+    const std::size_t e = i % kEscrows;
+    core::FastPayPackage pkg =
+        (e == 0 ? dep.customer() : *wallets[e - 1])
+            .create_fastpay(inv, coins[i].first, coins[i].second.out.value, now, cfg.binding_ttl_ms);
+    gateway::SubmitFastPayRequest req;
+    req.invoice_id = inv.invoice_id;
+    req.package = std::move(pkg);
+    frames.push_back(
+        gateway::make_frame(gateway::MsgType::kSubmitFastPay, /*request_id=*/i + 1,
+                            req.serialize()));
+    invoices.push_back(std::move(inv));
+  }
+
+  gateway::Gateway gw(dep.merchant(), common::ThreadPool::global(), gateway::GatewayConfig{});
+  for (const auto& inv : invoices) gw.register_invoice(inv);
+  for (std::size_t e = 1; e <= kEscrows; ++e) gw.track_escrow(static_cast<core::EscrowId>(e));
+
+  net::GatewayHandler handler(gw);
+  handler.pin_time(now);  // sim clock is quiescent; sockets run on real time
+  net::ServerConfig scfg;
+  net::TcpServer server(handler, scfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  const std::uint16_t port = server.port();
+  std::thread loop([&] { server.run(); });
+
+  // --- phase 1: load -----------------------------------------------------
+  const auto load = fork_clients(kClients, [&](std::size_t c, int out_fd) {
+    run_load_client(port, frames, c * kRequests, kRequests, kPipeline, out_fd);
+  });
+
+  bench::Table per_client({"client", "sent", "ok", "shed", "err", "p50 (us)", "p99 (us)"});
+  ChildReport total;
+  std::vector<double> lat_all;
+  std::uint64_t start_min = ~0ULL, end_max = 0;
+  for (std::size_t c = 0; c < load.size(); ++c) {
+    const auto& [rep, lat] = load[c];
+    total.sent += rep.sent;
+    total.ok += rep.ok;
+    total.shed += rep.shed;
+    total.err += rep.err;
+    start_min = std::min(start_min, rep.start_ns);
+    end_max = std::max(end_max, rep.end_ns);
+    auto mine = lat;
+    std::sort(mine.begin(), mine.end());
+    per_client.row({bench::fmt_u(c), bench::fmt_u(rep.sent), bench::fmt_u(rep.ok),
+                    bench::fmt_u(rep.shed), bench::fmt_u(rep.err),
+                    bench::fmt(percentile(mine, 50), 1), bench::fmt(percentile(mine, 99), 1)});
+    lat_all.insert(lat_all.end(), lat.begin(), lat.end());
+  }
+  std::sort(lat_all.begin(), lat_all.end());
+  const double wall_s =
+      end_max > start_min ? static_cast<double>(end_max - start_min) / 1e9 : 0;
+  const double accepts_s = wall_s > 0 ? static_cast<double>(total.ok) / wall_s : 0;
+  const double p50 = percentile(lat_all, 50), p99 = percentile(lat_all, 99);
+  per_client.print();
+  std::printf("\n# load: %llu ok in %.3f s = %.0f accepts/s, p50 %.1f us, p99 %.1f us\n",
+              static_cast<unsigned long long>(total.ok), wall_s, accepts_s, p50, p99);
+
+  // --- phase 2: abuse ----------------------------------------------------
+  const std::size_t kAbuseAttempts = 6;
+  const auto abuse = fork_clients(
+      1, [&](std::size_t, int out_fd) { run_abuse_client(port, kAbuseAttempts, out_fd); });
+  const auto& abuse_rep = abuse[0].first;
+  std::printf("# abuse: %llu error replies, %llu refused of %zu attempts\n",
+              static_cast<unsigned long long>(abuse_rep.ok),
+              static_cast<unsigned long long>(abuse_rep.err), kAbuseAttempts);
+
+  server.stop();
+  loop.join();
+  server.fold_into(gw);
+  const auto net = server.stats();
+  const auto gwst = gw.stats();
+
+  // --- phase 3: overload (separate zero-admission gateway) ---------------
+  gateway::GatewayConfig shed_cfg;
+  shed_cfg.max_inflight = 0;  // every request sheds: the kRetryAfter path end-to-end
+  gateway::Gateway gw_shed(dep.merchant(), common::ThreadPool::global(), shed_cfg);
+  net::GatewayHandler shed_handler(gw_shed);
+  shed_handler.pin_time(now);
+  net::TcpServer shed_server(shed_handler, scfg);
+  if (!shed_server.start()) {
+    std::fprintf(stderr, "overload server start failed\n");
+    return 1;
+  }
+  const std::uint16_t shed_port = shed_server.port();
+  std::thread shed_loop([&] { shed_server.run(); });
+  const std::size_t kBurst = kPipeline * 4;
+  const auto overload = fork_clients(
+      1, [&](std::size_t, int out_fd) { run_overload_client(shed_port, kBurst, out_fd); });
+  shed_server.stop();
+  shed_loop.join();
+  const auto& over_rep = overload[0].first;
+  const auto shed_net = shed_server.stats();
+  std::printf("# overload: %llu of %zu frames shed (server saw %llu, paused reads %llu times)\n",
+              static_cast<unsigned long long>(over_rep.shed), kBurst,
+              static_cast<unsigned long long>(shed_net.sheds_seen),
+              static_cast<unsigned long long>(shed_net.read_pauses));
+
+  const bool coverage_ok = total.ok + total.shed + total.err == kTotal && total.ok > 0 &&
+                           gwst.accepts() == total.ok && abuse_rep.ok >= 1 && abuse_rep.err >= 1 &&
+                           net.bans_issued >= 1 && net.conns_refused_banned >= 1 &&
+                           over_rep.shed == kBurst && shed_net.sheds_seen >= kBurst;
+  std::printf("# coverage (all answered, parity with gateway accepts, ban + shed exercised): %s\n",
+              coverage_ok ? "yes" : "NO");
+
+  bench::JsonDoc doc;
+  doc.set("experiment", "e13_network");
+  doc.set("clients", static_cast<std::uint64_t>(kClients));
+  doc.set("requests_per_client", static_cast<std::uint64_t>(kRequests));
+  doc.set("pipeline", static_cast<std::uint64_t>(kPipeline));
+  doc.set("total_requests", static_cast<std::uint64_t>(kTotal));
+  doc.set("ok", total.ok);
+  doc.set("shed", total.shed);
+  doc.set("errors", total.err);
+  doc.set("accepts_per_s", accepts_s);
+  doc.set("p50_us", p50);
+  doc.set("p99_us", p99);
+  doc.set("gateway_accepts", gwst.accepts());
+  doc.set("net_conns_accepted", net.conns_accepted);
+  doc.set("net_frames_in", net.frames_in);
+  doc.set("net_responses_out", net.responses_out);
+  doc.set("net_bytes_in", net.bytes_in);
+  doc.set("net_bytes_out", net.bytes_out);
+  doc.set("net_framing_errors", net.framing_errors);
+  doc.set("net_bans_issued", net.bans_issued);
+  doc.set("net_conns_refused_banned", net.conns_refused_banned);
+  doc.set("net_sheds_seen", net.sheds_seen);
+  doc.set("net_read_pauses", net.read_pauses);
+  doc.set("net_write_overflows", net.write_overflows);
+  doc.set("abuse_attempts", static_cast<std::uint64_t>(kAbuseAttempts));
+  doc.set("abuse_error_replies", abuse_rep.ok);
+  doc.set("abuse_refused", abuse_rep.err);
+  doc.set("overload_burst", static_cast<std::uint64_t>(kBurst));
+  doc.set("overload_sheds", shed_net.sheds_seen);
+  doc.set("overload_read_pauses", shed_net.read_pauses);
+  doc.set("coverage_ok", coverage_ok ? "yes" : "no");
+  doc.add_table("per_client", per_client);
+  doc.write("BENCH_e13_network.json");
+  return coverage_ok ? 0 : 1;
+}

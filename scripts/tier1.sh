@@ -3,7 +3,7 @@
 #
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
 #                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
-#                         [--store-smoke] [--verify-smoke]
+#                         [--store-smoke] [--verify-smoke] [--net-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -44,6 +44,15 @@
 #                      memory sanitizers, plus the durability bench in its
 #                      short configuration (BTCFAST_DURABILITY_SMOKE) in a
 #                      scratch cwd.
+#   --net-smoke        the TCP front-end gate: run the network torture
+#                      suite (net_test) and the frame-reassembly fuzz
+#                      corpus (BTCFAST_FUZZ_ITERS=2000) under both memory
+#                      sanitizers, then the fork-based loopback load bench
+#                      in its short configuration (BTCFAST_E13_SMOKE) in a
+#                      scratch cwd, asserting accepts/s > 0 and that the
+#                      ban + shed coverage invariants held. The bench's
+#                      size knobs (BTCFAST_E13_CLIENTS / _REQUESTS /
+#                      _PIPELINE) pass through for bigger machines.
 #   --verify-smoke     the ECDSA verify-speed gate: run the hand-timed
 #                      verify section of bench_micro_crypto
 #                      (BTCFAST_VERIFY_SMOKE=1) in a scratch cwd and fail
@@ -61,6 +70,7 @@ preset="default"
 bench_smoke=0
 kernel_sanitize=0
 verify_smoke=0
+net_smoke=0
 fuzz_smoke=0
 gateway_smoke=0
 store_smoke=0
@@ -82,6 +92,7 @@ for arg in "$@"; do
     --gateway-smoke) gateway_smoke=1 ;;
     --store-smoke) store_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
+    --net-smoke) net_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -222,6 +233,46 @@ if [[ "$store_smoke" == 1 ]]; then
       --gtest_filter='*ParserFuzz*:*StoreFuzz*'
   done
   echo "== store smoke: clean =="
+fi
+
+if [[ "$net_smoke" == 1 ]]; then
+  # The TCP front-end gate. Socket code is where lifetime bugs hide
+  # (buffers freed while epoll still references the fd, short reads into
+  # stale spans), so the whole torture suite plus the reassembly fuzz
+  # corpus runs under both memory sanitizers first. Then the fork-based
+  # loopback bench runs short in the default tree: real TCP clients, real
+  # bans, real sheds — and the smoke JSON must show a nonzero accept rate
+  # with every coverage invariant intact.
+  for san in asan ubsan; do
+    echo "== net torture suite + reassembly fuzz under $san =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target net_test fuzz_test
+    "build-$san/tests/net_test"
+    BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test" \
+      --gtest_filter='*NetFuzz*'
+  done
+  echo "== net smoke bench (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_e13_network
+  smoke_dir="$bindir/net-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_E13_SMOKE=1 "$repo_root/$bindir/bench/bench_e13_network")
+  smoke_json="$smoke_dir/BENCH_e13_network.json"
+  json_field() { sed -n "s/^[[:space:]]*\"$1\":[[:space:]]*\"\{0,1\}\([0-9.a-z]*\)\"\{0,1\}.*/\1/p" "$smoke_json" | head -n1; }
+  accepts_s="$(json_field accepts_per_s)"
+  coverage="$(json_field coverage_ok)"
+  if [[ -z "$accepts_s" || -z "$coverage" ]]; then
+    echo "== net smoke: FAILED to parse $smoke_json =="
+    exit 1
+  elif [[ "$coverage" != "yes" ]]; then
+    echo "== net smoke: FAILED — coverage_ok=$coverage =="
+    exit 1
+  elif awk -v a="$accepts_s" 'BEGIN{exit !(a > 0)}'; then
+    echo "== net smoke: ${accepts_s} accepts/s over loopback, coverage intact =="
+  else
+    echo "== net smoke: FAILED — accepts_per_s=$accepts_s =="
+    exit 1
+  fi
 fi
 
 if [[ "$verify_smoke" == 1 ]]; then

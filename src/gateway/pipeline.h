@@ -178,6 +178,16 @@ class Gateway {
   [[nodiscard]] std::size_t commit_queue_depth() const;
   [[nodiscard]] const VerifyBatcher& batcher() const noexcept { return batcher_; }
 
+  /// Mirror the TCP front end's counters into the stats JSON (gauge
+  /// slots on the front stats, same pattern as the store metrics). The
+  /// net server calls this via TcpServer::fold_into.
+  void set_net_metrics(std::uint64_t conns_accepted, std::uint64_t conns_active,
+                       std::uint64_t bans, std::uint64_t frames_in, std::uint64_t sheds_seen,
+                       std::uint64_t disconnects) noexcept {
+    front_stats_.set_net_metrics(conns_accepted, conns_active, bans, frames_in, sheds_seen,
+                                 disconnects);
+  }
+
  private:
   struct Accepted {
     core::FastPayPackage package;

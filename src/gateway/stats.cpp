@@ -103,6 +103,12 @@ void GatewayStats::accumulate(const GatewayStats& other) noexcept {
   take_max(precomp_misses_, other.precomp_misses());
   take_max(precomp_insertions_, other.precomp_insertions());
   take_max(precomp_evictions_, other.precomp_evictions());
+  take_max(net_conns_accepted_, other.net_conns_accepted());
+  take_max(net_conns_active_, other.net_conns_active());
+  take_max(net_bans_, other.net_bans());
+  take_max(net_frames_in_, other.net_frames_in());
+  take_max(net_sheds_seen_, other.net_sheds_seen());
+  take_max(net_disconnects_, other.net_disconnects());
   latency_.accumulate(other.latency_);
   for (std::size_t i = 0; i < kStageCount; ++i) stages_[i].accumulate(other.stages_[i]);
 }
@@ -171,6 +177,14 @@ std::string GatewayStats::to_json() const {
      << ", \"misses\": " << precomp_misses() << ", \"insertions\": " << precomp_insertions()
      << ", \"evictions\": " << precomp_evictions() << "}\n";
   os << "  },\n";
+  os << "  \"net\": {\n";
+  os << "    \"conns_accepted\": " << net_conns_accepted() << ",\n";
+  os << "    \"conns_active\": " << net_conns_active() << ",\n";
+  os << "    \"bans\": " << net_bans() << ",\n";
+  os << "    \"frames_in\": " << net_frames_in() << ",\n";
+  os << "    \"sheds_seen\": " << net_sheds_seen() << ",\n";
+  os << "    \"disconnects\": " << net_disconnects() << "\n";
+  os << "  },\n";
   os << "  \"latency_us\": {\n";
   os << "    \"count\": " << latency_.count() << ",\n";
   os << "    \"mean\": " << latency_.mean_us() << ",\n";
@@ -217,6 +231,7 @@ void GatewayStats::reset() noexcept {
   store_recovery_replayed_.store(0, std::memory_order_relaxed);
   store_snapshot_bytes_.store(0, std::memory_order_relaxed);
   set_cache_metrics(0, 0, 0, 0, 0, 0, 0, 0);
+  set_net_metrics(0, 0, 0, 0, 0, 0);
   latency_.reset();
   for (auto& s : stages_) s.reset();
 }

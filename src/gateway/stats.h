@@ -180,6 +180,38 @@ class GatewayStats {
     return precomp_evictions_.load(std::memory_order_relaxed);
   }
 
+  /// Mirror the TCP front end's counters (src/net TcpServer) into the
+  /// stats dump. Gauges filled at snapshot time, like the store metrics,
+  /// so accumulate() takes max instead of summing across shards.
+  void set_net_metrics(std::uint64_t conns_accepted, std::uint64_t conns_active,
+                       std::uint64_t bans, std::uint64_t frames_in, std::uint64_t sheds_seen,
+                       std::uint64_t disconnects) noexcept {
+    net_conns_accepted_.store(conns_accepted, std::memory_order_relaxed);
+    net_conns_active_.store(conns_active, std::memory_order_relaxed);
+    net_bans_.store(bans, std::memory_order_relaxed);
+    net_frames_in_.store(frames_in, std::memory_order_relaxed);
+    net_sheds_seen_.store(sheds_seen, std::memory_order_relaxed);
+    net_disconnects_.store(disconnects, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_conns_accepted() const noexcept {
+    return net_conns_accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_conns_active() const noexcept {
+    return net_conns_active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_bans() const noexcept {
+    return net_bans_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_frames_in() const noexcept {
+    return net_frames_in_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_sheds_seen() const noexcept {
+    return net_sheds_seen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t net_disconnects() const noexcept {
+    return net_disconnects_.load(std::memory_order_relaxed);
+  }
+
   /// One JSON object: totals, per-reason reject counts (only nonzero
   /// reasons, keyed by describe()), queue depths, latency percentiles.
   [[nodiscard]] std::string to_json() const;
@@ -212,6 +244,12 @@ class GatewayStats {
   std::atomic<std::uint64_t> precomp_misses_{0};
   std::atomic<std::uint64_t> precomp_insertions_{0};
   std::atomic<std::uint64_t> precomp_evictions_{0};
+  std::atomic<std::uint64_t> net_conns_accepted_{0};
+  std::atomic<std::uint64_t> net_conns_active_{0};
+  std::atomic<std::uint64_t> net_bans_{0};
+  std::atomic<std::uint64_t> net_frames_in_{0};
+  std::atomic<std::uint64_t> net_sheds_seen_{0};
+  std::atomic<std::uint64_t> net_disconnects_{0};
   LatencyHistogram latency_;
   std::array<LatencyHistogram, kStageCount> stages_;
 };

@@ -1,0 +1,54 @@
+#include "net/ban_list.h"
+
+namespace btcfast::net {
+
+bool BanList::is_banned(const std::string& addr, std::uint64_t now_ms) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(addr);
+  if (it == entries_.end()) return false;
+  if (it->second.banned_until_ms == 0) return false;
+  if (now_ms >= it->second.banned_until_ms) {
+    entries_.erase(it);  // served its time; score resets with the entry
+    return false;
+  }
+  return true;
+}
+
+bool BanList::misbehave(const std::string& addr, std::uint32_t points, std::uint64_t now_ms) {
+  std::lock_guard lock(mu_);
+  Entry& e = entries_[addr];
+  if (e.banned_until_ms != 0 && now_ms < e.banned_until_ms) return false;  // already banned
+  // Saturating add: a hostile peer must not wrap its own score back down.
+  const std::uint64_t next = static_cast<std::uint64_t>(e.score) + points;
+  e.score = next > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(next);
+  if (e.score < config_.threshold) return false;
+  e.banned_until_ms = now_ms + config_.duration_ms;
+  bans_issued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BanList::ban(const std::string& addr, std::uint64_t now_ms) {
+  std::lock_guard lock(mu_);
+  Entry& e = entries_[addr];
+  e.score = config_.threshold;
+  e.banned_until_ms = now_ms + config_.duration_ms;
+  bans_issued_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t BanList::score(const std::string& addr) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(addr);
+  return it == entries_.end() ? 0 : it->second.score;
+}
+
+std::size_t BanList::tracked() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void BanList::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace btcfast::net

@@ -1,0 +1,67 @@
+// Per-address misbehavior scoring and bans for the TCP front end.
+// Malformed framing, oversized length announcements and timeout abuse
+// each add points; crossing the threshold bans the address for a
+// configured window, during which new connections are refused at accept.
+// Entries are pruned when their ban expires (score included — a peer that
+// served its ban starts clean), so the map is bounded by the number of
+// distinct addresses misbehaving inside one ban window.
+//
+// Thread-safe: the server sweeps and scores from its loop thread while
+// tests and monitoring read from others.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace btcfast::net {
+
+struct BanConfig {
+  /// Cumulative score at which an address is banned.
+  std::uint32_t threshold = 100;
+  /// How long a ban lasts. After expiry the address starts clean.
+  std::uint64_t duration_ms = 60'000;
+};
+
+class BanList {
+ public:
+  explicit BanList(BanConfig config = {}) : config_(config) {}
+
+  /// Is this address currently banned? Prunes the entry once its ban has
+  /// expired, which also resets the score.
+  [[nodiscard]] bool is_banned(const std::string& addr, std::uint64_t now_ms);
+
+  /// Add misbehavior points. Returns true when this call crossed the
+  /// threshold and the address is now banned.
+  bool misbehave(const std::string& addr, std::uint32_t points, std::uint64_t now_ms);
+
+  /// Unconditional ban (operator action / tests).
+  void ban(const std::string& addr, std::uint64_t now_ms);
+
+  /// Current score (0 if untracked).
+  [[nodiscard]] std::uint32_t score(const std::string& addr) const;
+
+  /// Total bans ever issued.
+  [[nodiscard]] std::uint64_t bans_issued() const noexcept {
+    return bans_issued_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t tracked() const;
+  void clear();
+
+  [[nodiscard]] const BanConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::uint32_t score = 0;
+    std::uint64_t banned_until_ms = 0;  ///< 0 = not banned
+  };
+
+  BanConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::atomic<std::uint64_t> bans_issued_{0};
+};
+
+}  // namespace btcfast::net

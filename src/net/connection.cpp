@@ -1,0 +1,116 @@
+#include "net/connection.h"
+
+#include <cerrno>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace btcfast::net {
+
+Connection::Connection(int fd, std::string peer, ConnConfig config, std::uint64_t now_ms)
+    : fd_(fd),
+      peer_(std::move(peer)),
+      config_(config),
+      assembler_(config.max_frame_payload),
+      last_activity_ms_(now_ms) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  // Request/response framing and Nagle are a bad mix: once the first
+  // response goes out, delayed ACKs on the peer hold every small segment
+  // for an RTT+. Fails harmlessly on non-TCP fds (the socketpair tests).
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (config_.so_sndbuf > 0) {
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                       sizeof(config_.so_sndbuf));
+  }
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::ReadEvent Connection::on_readable(std::uint64_t now_ms) {
+  ReadEvent ev;
+  Bytes chunk(config_.read_chunk);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      bytes_in_ += static_cast<std::uint64_t>(n);
+      last_activity_ms_ = now_ms;
+      if (!assembler_.feed({chunk.data(), static_cast<std::size_t>(n)})) break;
+      while (auto frame = assembler_.next_frame()) ev.frames.push_back(std::move(*frame));
+      if (assembler_.poisoned()) break;
+      // Frame-stall clock: arm it when bytes of an incomplete frame are
+      // pending, clear it once the stream is back on a frame boundary.
+      frame_started_ms_ = assembler_.mid_frame()
+                              ? (frame_started_ms_ == 0 ? now_ms : frame_started_ms_)
+                              : 0;
+      continue;
+    }
+    if (n == 0) {
+      ev.eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ev.eof = true;  // fatal socket error: treat as peer loss
+    break;
+  }
+  if (assembler_.poisoned()) {
+    ev.framing_error = true;
+    ev.framing_error_rid = assembler_.error_request_id();
+    ev.framing_kind = assembler_.error();
+    frame_started_ms_ = 0;
+  }
+  return ev;
+}
+
+bool Connection::queue_response(ByteSpan frame) {
+  if (write_buffered() + frame.size() > config_.write_buffer_hard) return false;
+  // Compact before growing: keeps the flat buffer from accumulating a
+  // dead prefix across a long-lived pipelined connection.
+  if (write_pos_ > 0 && write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > 4096 && write_pos_ * 2 >= write_buf_.size()) {
+    write_buf_.erase(write_buf_.begin(), write_buf_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
+    write_pos_ = 0;
+  }
+  append(write_buf_, frame);
+  return true;
+}
+
+Connection::WriteResult Connection::on_writable() {
+  while (write_pos_ < write_buf_.size()) {
+    const ssize_t n = ::send(fd_, write_buf_.data() + write_pos_,
+                             write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      bytes_out_ += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return WriteResult::kAgain;
+    if (n < 0 && errno == EINTR) continue;
+    return WriteResult::kError;
+  }
+  write_buf_.clear();
+  write_pos_ = 0;
+  return WriteResult::kDrained;
+}
+
+Connection::TimeoutKind Connection::check_timeout(std::uint64_t now_ms) const noexcept {
+  // The stall deadline binds first: a slow-loris drip refreshes
+  // last_activity with every byte, so idle alone would never fire.
+  if (frame_started_ms_ != 0 && now_ms - frame_started_ms_ >= config_.frame_timeout_ms) {
+    return TimeoutKind::kFrameStall;
+  }
+  if (now_ms - last_activity_ms_ >= config_.idle_timeout_ms) return TimeoutKind::kIdle;
+  return TimeoutKind::kNone;
+}
+
+}  // namespace btcfast::net

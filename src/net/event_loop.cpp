@@ -1,0 +1,92 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace btcfast::net {
+namespace {
+
+/// Reserved tag for the internal wakeup eventfd; user tags must differ.
+constexpr std::uint64_t kWakeTag = ~0ull;
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t e = 0;
+  if (events & EventLoop::kRead) e |= EPOLLIN;
+  if (events & EventLoop::kWrite) e |= EPOLLOUT;
+  return e;
+}
+
+std::uint32_t from_epoll(std::uint32_t e) {
+  std::uint32_t events = 0;
+  if (e & (EPOLLIN | EPOLLRDHUP)) events |= EventLoop::kRead;
+  if (e & EPOLLOUT) events |= EventLoop::kWrite;
+  // Error/hangup conditions are surfaced as readable+writable so the
+  // owner's next read/write observes the failure and closes.
+  if (e & (EPOLLERR | EPOLLHUP)) events |= EventLoop::kRead | EventLoop::kWrite;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) return;
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.u64 = tag;
+  return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EventLoop::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.u64 = tag;
+  return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool EventLoop::del(int fd) { return ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) == 0; }
+
+int EventLoop::wait(std::vector<Ready>& out, int timeout_ms) {
+  out.clear();
+  epoll_event evs[64];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  for (int i = 0; i < n; ++i) {
+    if (evs[i].data.u64 == kWakeTag) {
+      std::uint64_t drain = 0;
+      (void)!::read(wake_fd_, &drain, sizeof(drain));
+      continue;
+    }
+    out.push_back({evs[i].data.u64, from_epoll(evs[i].events)});
+  }
+  return static_cast<int>(out.size());
+}
+
+void EventLoop::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace btcfast::net

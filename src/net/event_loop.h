@@ -1,0 +1,49 @@
+// Thin epoll wrapper: register fds under u64 tags, wait for readiness.
+// Tags (not pointers) cross the epoll boundary so a connection destroyed
+// between wait() and dispatch can never dangle — the server just finds no
+// entry for the stale tag. Includes an eventfd-based wakeup so another
+// thread can interrupt a blocking wait (stop(), config reload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btcfast::net {
+
+class EventLoop {
+ public:
+  /// Readiness interest / result bits (mirror EPOLLIN/EPOLLOUT).
+  static constexpr std::uint32_t kRead = 0x1;
+  static constexpr std::uint32_t kWrite = 0x4;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return epfd_ >= 0; }
+
+  bool add(int fd, std::uint32_t events, std::uint64_t tag);
+  bool mod(int fd, std::uint32_t events, std::uint64_t tag);
+  bool del(int fd);
+
+  struct Ready {
+    std::uint64_t tag = 0;
+    std::uint32_t events = 0;  ///< kRead/kWrite bits; errors surface as kRead|kWrite
+  };
+
+  /// Blocks up to timeout_ms (-1 = forever, 0 = poll). Returns the number
+  /// of ready entries appended to `out` (cleared first), or -1 on error.
+  int wait(std::vector<Ready>& out, int timeout_ms);
+
+  /// Thread-safe: interrupts a concurrent wait(). The wakeup is consumed
+  /// internally and never surfaces as a Ready entry.
+  void wake();
+
+ private:
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace btcfast::net

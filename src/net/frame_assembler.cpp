@@ -1,0 +1,88 @@
+#include "net/frame_assembler.h"
+
+#include "common/serialize.h"
+
+namespace btcfast::net {
+namespace {
+
+/// Little-endian image of gateway::kWireMagic, byte-addressable so a
+/// mismatch is caught on the first wrong byte, not after 4 arrive.
+constexpr std::uint8_t kMagicBytes[4] = {
+    static_cast<std::uint8_t>(gateway::kWireMagic & 0xff),
+    static_cast<std::uint8_t>((gateway::kWireMagic >> 8) & 0xff),
+    static_cast<std::uint8_t>((gateway::kWireMagic >> 16) & 0xff),
+    static_cast<std::uint8_t>((gateway::kWireMagic >> 24) & 0xff),
+};
+
+/// CompactSize width from its tag byte.
+std::size_t varint_width(std::uint8_t tag) {
+  if (tag < 0xfd) return 1;
+  if (tag == 0xfd) return 3;
+  if (tag == 0xfe) return 5;
+  return 9;
+}
+
+std::uint64_t u64le_at(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+bool FrameAssembler::feed(ByteSpan data) {
+  if (poisoned()) return false;
+  append(buf_, data);
+  return true;
+}
+
+std::optional<Bytes> FrameAssembler::next_frame() {
+  if (poisoned()) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::size_t avail = buf_.size() - pos_;
+
+  // Magic, byte by byte: a stream that diverges here can never be
+  // reframed, and catching it at the first byte keeps the per-byte
+  // slow-loris drip from buffering garbage for a full header.
+  const std::size_t check = avail < 4 ? avail : 4;
+  for (std::size_t i = 0; i < check; ++i) {
+    if (p[i] != kMagicBytes[i]) {
+      error_ = Error::kBadMagic;
+      buf_.clear();
+      pos_ = 0;
+      return std::nullopt;
+    }
+  }
+  if (avail < kHeaderFixedBytes + 1) return std::nullopt;  // need the varint tag
+
+  const std::size_t vwidth = varint_width(p[kHeaderFixedBytes]);
+  if (avail < kHeaderFixedBytes + vwidth) return std::nullopt;
+
+  // Decode the length with the same Reader the gateway's decoders use, so
+  // stream framing and frame parsing can never disagree about a length.
+  Reader r({p + kHeaderFixedBytes, vwidth});
+  const auto len = r.varint();
+  if (!len || *len > max_payload_) {
+    error_ = Error::kOversizedLength;
+    error_rid_ = u64le_at(p + 5);
+    buf_.clear();
+    pos_ = 0;
+    return std::nullopt;
+  }
+
+  const std::size_t total = kHeaderFixedBytes + vwidth + static_cast<std::size_t>(*len);
+  if (avail < total) return std::nullopt;
+
+  Bytes frame(p, p + total);
+  pos_ += total;
+  ++frames_out_;
+  // Compact lazily: only once the dead prefix dominates, so a burst of
+  // coalesced frames pays one memmove, not one per frame.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace btcfast::net

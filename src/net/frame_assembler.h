@@ -1,0 +1,81 @@
+// Incremental reassembly of gateway wire frames from an untrusted TCP
+// byte stream. The framing is the one wire.h defines —
+//
+//   u32le magic | u8 type | u64le request_id | varint len | payload
+//
+// — but a socket delivers it at arbitrary fragment boundaries: a length
+// prefix one byte per poll, three frames coalesced into one read, a
+// payload split mid-varint. FrameAssembler buffers bytes and emits each
+// complete frame as the exact byte slice the sender framed, so the
+// gateway's own Frame::deserialize (and its kError response for framed
+// garbage) sees precisely what a direct serve() caller would pass.
+//
+// The assembler enforces only what stream framing requires:
+//   - the 4 magic bytes (checked as soon as each arrives — without them
+//     there is no way to find the next frame boundary, so a mismatch
+//     poisons the stream);
+//   - the announced payload length against a hard cap (an oversized
+//     announcement would otherwise commit us to buffering it).
+// Unknown message types and malformed payloads are NOT its business:
+// they frame fine, and the gateway answers them with a typed error, which
+// keeps TCP responses byte-identical to direct serve() output.
+//
+// Memory is bounded by one partial frame: at most
+// kHeaderFixedBytes + 9 (varint) + max_payload bytes are ever retained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "gateway/wire.h"
+
+namespace btcfast::net {
+
+/// magic + type + request_id — everything before the varint length.
+inline constexpr std::size_t kHeaderFixedBytes = 4 + 1 + 8;
+
+class FrameAssembler {
+ public:
+  enum class Error : std::uint8_t {
+    kNone = 0,
+    kBadMagic,         ///< stream cannot be reframed; fatal
+    kOversizedLength,  ///< announced payload beyond the cap; fatal
+  };
+
+  explicit FrameAssembler(std::size_t max_payload = gateway::kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Append stream bytes. Returns false once the stream is poisoned
+  /// (bytes after a framing error are dropped — there is no resync).
+  bool feed(ByteSpan data);
+
+  /// Pop the next complete frame, byte-identical to what the peer framed.
+  /// nullopt when more bytes are needed or the stream is poisoned.
+  [[nodiscard]] std::optional<Bytes> next_frame();
+
+  [[nodiscard]] Error error() const noexcept { return error_; }
+  [[nodiscard]] bool poisoned() const noexcept { return error_ != Error::kNone; }
+
+  /// request_id of the offending header when the stream poisoned after
+  /// the fixed header was readable (0 otherwise) — lets the server echo
+  /// it in the kError response, matching direct serve() on the bytes.
+  [[nodiscard]] std::uint64_t error_request_id() const noexcept { return error_rid_; }
+
+  /// Bytes held for the frame in progress (0 = between frames).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+  [[nodiscard]] bool mid_frame() const noexcept { return buffered() > 0; }
+
+  /// Total frames emitted so far.
+  [[nodiscard]] std::uint64_t frames_out() const noexcept { return frames_out_; }
+
+ private:
+  std::size_t max_payload_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_ (compacted lazily)
+  Error error_ = Error::kNone;
+  std::uint64_t error_rid_ = 0;
+  std::uint64_t frames_out_ = 0;
+};
+
+}  // namespace btcfast::net

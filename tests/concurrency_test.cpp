@@ -1,9 +1,10 @@
 // Thread-safety hammer tests for the shared structures on the hot
 // serving path: Transaction::txid() memoization (striped mutexes over a
-// process-global memo), the 64-shard signature cache, and the gateway's
-// sharded reservation ledger. These are the tests the TSan preset exists
-// for — each spins N threads against one shared object and asserts the
-// results stay consistent.
+// process-global memo), the 64-shard signature cache, the gateway's
+// sharded reservation ledger, and the TCP front end under real loopback
+// client churn. These are the tests the TSan preset exists for — each
+// spins N threads against one shared object and asserts the results stay
+// consistent.
 
 #include <atomic>
 #include <memory>
@@ -13,13 +14,25 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "btc/transaction.h"
+#include "btcfast/customer.h"
+#include "btcfast/orchestrator.h"
 #include "common/thread_pool.h"
 #include "crypto/ecdsa.h"
 #include "crypto/sha256.h"
 #include "crypto/sigcache.h"
+#include "gateway/pipeline.h"
 #include "gateway/reservation_ledger.h"
 #include "gateway/verify_batcher.h"
+#include "gateway/wire.h"
+#include "net/frame_assembler.h"
+#include "net/server.h"
 
 namespace btcfast {
 namespace {
@@ -446,6 +459,164 @@ TEST(ConcurrencyTest, ShardedLedgersShareOneIdSpace) {
   std::uint64_t total_granted = 0;
   for (const auto& shard : shards) total_granted += shard->total_granted();
   EXPECT_EQ(total_granted, seen.size());
+}
+
+// The TCP front end against real concurrency: the server loop on its own
+// thread (gateway verify behind a real pool), N loopback client threads
+// each submitting its own distinct fast-pay packages with connection
+// churn — one connection per package, opened, pipelined, drained,
+// closed. Afterwards the client-side view must reconcile exactly with
+// the gateway's ledger: every package accepted once, every reservation
+// id unique, nothing lost to a dropped connection and nothing
+// double-acked.
+TEST(ConcurrencyTest, NetworkLoopbackChurnHammer) {
+  constexpr unsigned kClients = 6;
+  constexpr std::size_t kPkgsPerClient = 4;
+  constexpr std::size_t kPkgs = kClients * kPkgsPerClient;
+
+  core::DeploymentConfig dcfg;
+  dcfg.seed = 77;
+  dcfg.funded_coins = kPkgs;
+  dcfg.collateral = dcfg.compensation * (kPkgs + 4);  // covers every accept
+  core::Deployment dep(dcfg);
+  const auto now = static_cast<std::uint64_t>(dep.simulator().now());
+  const auto coins = sim::find_spendable(dep.customer_node().chain(),
+                                         dep.customer().btc_identity().script);
+  ASSERT_GE(coins.size(), kPkgs);
+
+  std::vector<core::Invoice> invoices;
+  std::vector<core::FastPayPackage> pkgs;
+  for (std::size_t i = 0; i < kPkgs; ++i) {
+    invoices.push_back(dep.merchant().make_invoice(btc::kCoin, dep.config().compensation, now,
+                                                   60ULL * 60 * 1000));
+    pkgs.push_back(dep.customer().create_fastpay(invoices.back(), coins[i].first,
+                                                 coins[i].second.out.value, now,
+                                                 dep.config().binding_ttl_ms));
+  }
+
+  common::ThreadPool pool(2);  // real parallelism behind serve_batch
+  gateway::Gateway gw(dep.merchant(), pool, {});
+  for (const auto& inv : invoices) gw.register_invoice(inv);
+  gw.track_escrow(dep.customer().escrow_id());
+
+  net::GatewayHandler handler(gw);
+  handler.pin_time(now);  // sim time for request semantics; real clock for sockets
+  net::ServerConfig scfg;
+  scfg.conn.idle_timeout_ms = 60'000;  // TSan is slow; keep timeouts out of the way
+  scfg.conn.frame_timeout_ms = 30'000;
+  net::TcpServer server(handler, scfg);
+  ASSERT_TRUE(server.start());
+  std::thread loop([&] { server.run(); });
+
+  const auto connect_client = [&]() -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{/*tv_sec=*/10, /*tv_usec=*/0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  // Per-client tallies, merged after join (no cross-thread sharing).
+  std::vector<std::vector<std::uint64_t>> rids(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPkgsPerClient; ++i) {
+        const std::size_t p = c * kPkgsPerClient + i;
+        const int fd = connect_client();
+        if (fd < 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Pipeline a submit and a query on the fresh connection, then
+        // drain both responses before the churn close.
+        gateway::SubmitFastPayRequest req;
+        req.invoice_id = invoices[p].invoice_id;
+        req.package = pkgs[p];
+        Bytes out = gateway::make_frame(gateway::MsgType::kSubmitFastPay, p + 1, req.serialize());
+        append(out, gateway::make_frame(
+                        gateway::MsgType::kQueryEscrow, 100'000 + p,
+                        gateway::QueryEscrowRequest{dep.customer().escrow_id()}.serialize()));
+        std::size_t off = 0;
+        while (off < out.size()) {
+          const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+          if (n <= 0) break;
+          off += static_cast<std::size_t>(n);
+        }
+
+        net::FrameAssembler rx;
+        std::vector<Bytes> got;
+        std::uint8_t buf[4096];
+        while (got.size() < 2) {
+          const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+          if (n <= 0) break;  // timeout or server-side close: counted below
+          (void)rx.feed({buf, static_cast<std::size_t>(n)});
+          while (auto f = rx.next_frame()) got.push_back(std::move(*f));
+        }
+        ::close(fd);
+
+        if (got.size() != 2) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const auto frame = gateway::Frame::deserialize(got[0]);
+        if (!frame || frame->type != gateway::MsgType::kFastPayResult ||
+            frame->request_id != p + 1) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const auto resp = gateway::FastPayResultResponse::deserialize(frame->payload);
+        if (!resp || !resp->accepted || resp->reservation_id == 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        rids[c].push_back(resp->reservation_id);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  server.stop();
+  loop.join();
+
+  EXPECT_EQ(failures.load(), 0);
+
+  // No double-acks: every reservation id the clients saw is unique.
+  std::set<std::uint64_t> unique;
+  std::size_t acked = 0;
+  for (const auto& per_client : rids) {
+    for (const auto rid : per_client) {
+      ++acked;
+      EXPECT_TRUE(unique.insert(rid).second) << "duplicate reservation id " << rid;
+    }
+  }
+  EXPECT_EQ(acked, kPkgs);
+
+  // No lost reservations: the ledger carries exactly what was acked.
+  EXPECT_EQ(gw.stats().accepts(), kPkgs);
+  const auto snap = gw.escrow_snapshot(dep.customer().escrow_id());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->live_reservations, kPkgs);
+  EXPECT_EQ(snap->local_reserved, dcfg.compensation * kPkgs);
+
+  // The server saw one connection and two frames per package. stop() can
+  // land before the last EOFs were polled, so drain those first.
+  for (int i = 0; i < 100 && server.stats().conns_active > 0; ++i) (void)server.poll_once(0);
+  const auto st = server.stats();
+  EXPECT_EQ(st.conns_accepted, kPkgs);
+  EXPECT_EQ(st.frames_in, 2 * kPkgs);
+  EXPECT_EQ(st.conns_active, 0u);
 }
 
 }  // namespace
