@@ -1,9 +1,54 @@
 #include "net/ban_list.h"
 
+#include <algorithm>
+
 namespace btcfast::net {
+
+void BanList::prune_locked(std::uint64_t now_ms) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    const bool ban_expired = e.banned_until_ms != 0 && now_ms >= e.banned_until_ms;
+    const bool score_decayed = e.banned_until_ms == 0 && now_ms >= e.last_seen_ms &&
+                               now_ms - e.last_seen_ms >= config_.duration_ms;
+    if (ban_expired || score_decayed) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BanList::maybe_prune_locked(std::uint64_t now_ms) {
+  if (now_ms < next_sweep_ms_) return;
+  prune_locked(now_ms);
+  next_sweep_ms_ = now_ms + std::max<std::uint64_t>(1, config_.duration_ms / 2);
+}
+
+void BanList::enforce_cap_locked(const std::string& keep, std::uint64_t now_ms) {
+  if (entries_.size() <= config_.max_entries) return;
+  prune_locked(now_ms);
+  while (entries_.size() > config_.max_entries) {
+    // Stalest first, preferring non-banned victims; never the address
+    // being scored right now.
+    auto victim = entries_.end();
+    bool victim_banned = false;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      const bool banned = it->second.banned_until_ms != 0 && now_ms < it->second.banned_until_ms;
+      if (victim == entries_.end() || (!banned && victim_banned) ||
+          (banned == victim_banned && it->second.last_seen_ms < victim->second.last_seen_ms)) {
+        victim = it;
+        victim_banned = banned;
+      }
+    }
+    if (victim == entries_.end()) break;
+    entries_.erase(victim);
+  }
+}
 
 bool BanList::is_banned(const std::string& addr, std::uint64_t now_ms) {
   std::lock_guard lock(mu_);
+  maybe_prune_locked(now_ms);
   auto it = entries_.find(addr);
   if (it == entries_.end()) return false;
   if (it->second.banned_until_ms == 0) return false;
@@ -16,7 +61,10 @@ bool BanList::is_banned(const std::string& addr, std::uint64_t now_ms) {
 
 bool BanList::misbehave(const std::string& addr, std::uint32_t points, std::uint64_t now_ms) {
   std::lock_guard lock(mu_);
+  maybe_prune_locked(now_ms);
   Entry& e = entries_[addr];
+  e.last_seen_ms = now_ms;
+  enforce_cap_locked(addr, now_ms);
   if (e.banned_until_ms != 0 && now_ms < e.banned_until_ms) return false;  // already banned
   // Saturating add: a hostile peer must not wrap its own score back down.
   const std::uint64_t next = static_cast<std::uint64_t>(e.score) + points;
@@ -32,6 +80,8 @@ void BanList::ban(const std::string& addr, std::uint64_t now_ms) {
   Entry& e = entries_[addr];
   e.score = config_.threshold;
   e.banned_until_ms = now_ms + config_.duration_ms;
+  e.last_seen_ms = now_ms;
+  enforce_cap_locked(addr, now_ms);
   bans_issued_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -3,8 +3,11 @@
 // each add points; crossing the threshold bans the address for a
 // configured window, during which new connections are refused at accept.
 // Entries are pruned when their ban expires (score included — a peer that
-// served its ban starts clean), so the map is bounded by the number of
-// distinct addresses misbehaving inside one ban window.
+// served its ban starts clean), and sub-threshold scores age out after
+// one quiet ban window — an address-rotating attacker committing one
+// cheap offence per address must not grow the map forever. max_entries
+// is the hard backstop: past it the stalest (non-banned first) entry is
+// evicted, so memory stays bounded even against a fast rotation.
 //
 // Thread-safe: the server sweeps and scores from its loop thread while
 // tests and monitoring read from others.
@@ -21,8 +24,13 @@ namespace btcfast::net {
 struct BanConfig {
   /// Cumulative score at which an address is banned.
   std::uint32_t threshold = 100;
-  /// How long a ban lasts. After expiry the address starts clean.
+  /// How long a ban lasts. After expiry the address starts clean. Also
+  /// the decay window: a sub-threshold score quiet for this long is
+  /// forgotten.
   std::uint64_t duration_ms = 60'000;
+  /// Hard cap on tracked addresses; beyond it the stalest entry
+  /// (non-banned preferred) is evicted.
+  std::size_t max_entries = 65'536;
 };
 
 class BanList {
@@ -56,11 +64,21 @@ class BanList {
   struct Entry {
     std::uint32_t score = 0;
     std::uint64_t banned_until_ms = 0;  ///< 0 = not banned
+    std::uint64_t last_seen_ms = 0;     ///< last offence / ban touch
   };
+
+  /// Drop expired bans and sub-threshold scores idle past one ban
+  /// window. Called with mu_ held.
+  void prune_locked(std::uint64_t now_ms);
+  /// Amortized prune: full sweep at most once per half ban window.
+  void maybe_prune_locked(std::uint64_t now_ms);
+  /// Evict stalest entries (never `keep`) until the map fits the cap.
+  void enforce_cap_locked(const std::string& keep, std::uint64_t now_ms);
 
   BanConfig config_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t next_sweep_ms_ = 0;
   std::atomic<std::uint64_t> bans_issued_{0};
 };
 

@@ -104,12 +104,18 @@ Connection::WriteResult Connection::on_writable() {
 }
 
 Connection::TimeoutKind Connection::check_timeout(std::uint64_t now_ms) const noexcept {
+  // now_ms >= anchor guards: a clock that steps backwards (a scripted
+  // test ClockFn, or a rewound fake) must not wrap the unsigned delta
+  // and fire every timeout at once.
   // The stall deadline binds first: a slow-loris drip refreshes
   // last_activity with every byte, so idle alone would never fire.
-  if (frame_started_ms_ != 0 && now_ms - frame_started_ms_ >= config_.frame_timeout_ms) {
+  if (frame_started_ms_ != 0 && now_ms >= frame_started_ms_ &&
+      now_ms - frame_started_ms_ >= config_.frame_timeout_ms) {
     return TimeoutKind::kFrameStall;
   }
-  if (now_ms - last_activity_ms_ >= config_.idle_timeout_ms) return TimeoutKind::kIdle;
+  if (now_ms >= last_activity_ms_ && now_ms - last_activity_ms_ >= config_.idle_timeout_ms) {
+    return TimeoutKind::kIdle;
+  }
   return TimeoutKind::kNone;
 }
 

@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -79,7 +80,19 @@ void TcpServer::handle_accepts(std::uint64_t now_ms) {
     socklen_t len = sizeof(addr);
     const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: nothing more to take
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;  // take the next one
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // Resource exhaustion: the backlog stays pending, so with
+        // level-triggered epoll the listener would wake every poll and
+        // spin a core. Mute it and re-arm after a backoff (poll_once).
+        if (loop_.mod(listen_fd_, 0, kListenTag)) {
+          accept_paused_until_ms_ = now_ms + config_.accept_backoff_ms;
+          accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return;  // EAGAIN or transient error: nothing more to take
+    }
     const std::string peer = peer_string(addr);
     if (bans_.is_banned(peer, now_ms)) {
       refused_banned_.fetch_add(1, std::memory_order_relaxed);
@@ -185,18 +198,20 @@ void TcpServer::dispatch(std::vector<std::pair<std::uint64_t, std::vector<Bytes>
   std::vector<Bytes> responses;
   if (!flat.empty()) responses = handler_.handle(flat, now_ms);
 
-  std::size_t idx = 0;
+  // Each batch's responses start at its cumulative frame offset. Never a
+  // running index: a mid-batch close (write overflow) must not shift the
+  // remaining connections onto the dead connection's leftover responses.
+  std::size_t base = 0;
   for (auto& [tag, frames] : batches) {
+    const std::size_t batch_base = base;
+    base += frames.size();
     auto it = conns_.find(tag);
-    if (it == conns_.end()) {
-      idx += frames.size();
-      continue;
-    }
+    if (it == conns_.end()) continue;
     Connection& conn = *it->second.conn;
     std::size_t sheds = 0;
     bool closed = false;
-    for (std::size_t i = 0; i < frames.size() && idx < responses.size(); ++i, ++idx) {
-      const Bytes& resp = responses[idx];
+    for (std::size_t i = 0; i < frames.size() && batch_base + i < responses.size(); ++i) {
+      const Bytes& resp = responses[batch_base + i];
       if (is_shed_response(resp)) {
         ++sheds;
         sheds_seen_.fetch_add(1, std::memory_order_relaxed);
@@ -277,6 +292,9 @@ bool TcpServer::poll_once(int timeout_ms) {
   if (listen_fd_ < 0) return false;
   (void)loop_.wait(ready_, timeout_ms);
   const std::uint64_t now_ms = clock_();
+  if (accept_paused_until_ms_ != 0 && now_ms >= accept_paused_until_ms_) {
+    if (loop_.mod(listen_fd_, EventLoop::kRead, kListenTag)) accept_paused_until_ms_ = 0;
+  }
   std::vector<std::pair<std::uint64_t, std::vector<Bytes>>> batches;
   for (const auto& ev : ready_) {
     if (ev.tag == kListenTag) {
@@ -318,6 +336,7 @@ NetStatsSnapshot TcpServer::stats() const {
   s.write_overflows = write_overflows_.load(std::memory_order_relaxed);
   s.sheds_seen = sheds_seen_.load(std::memory_order_relaxed);
   s.read_pauses = read_pauses_.load(std::memory_order_relaxed);
+  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
   s.bans_issued = bans_.bans_issued();
   return s;
 }

@@ -83,6 +83,10 @@ struct ServerConfig {
   /// Pause reading a connection for this long after the gateway shed its
   /// whole batch — admission backpressure propagated to the socket.
   std::uint64_t shed_backoff_ms = 10;
+  /// Mute the listener for this long when accept fails with fd/memory
+  /// exhaustion (EMFILE/ENFILE/...), instead of spinning the
+  /// level-triggered loop until an fd frees up.
+  std::uint64_t accept_backoff_ms = 100;
   /// run()'s poll timeout; bounds how late a timeout sweep can fire.
   int poll_timeout_ms = 50;
 };
@@ -104,6 +108,7 @@ struct NetStatsSnapshot {
   std::uint64_t write_overflows = 0;
   std::uint64_t sheds_seen = 0;  ///< kRetryAfter responses observed
   std::uint64_t read_pauses = 0;
+  std::uint64_t accept_backoffs = 0;  ///< listener muted on fd/mem exhaustion
   std::uint64_t bans_issued = 0;
 };
 
@@ -147,8 +152,6 @@ class TcpServer {
   void sweep_timeouts(std::uint64_t now_ms);
   void update_interest(std::uint64_t tag, Connection& conn, std::uint64_t now_ms);
   void close_connection(std::uint64_t tag);
-  void queue_error_close(Connection& conn, std::uint64_t rid, const std::string& message,
-                         std::uint64_t now_ms);
 
   FrameHandler& handler_;
   ServerConfig config_;
@@ -159,6 +162,9 @@ class TcpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::uint64_t next_tag_ = 1;  ///< 0 is the listener's tag
+  /// Non-zero while the listener is muted after an fd-exhaustion accept
+  /// failure; poll_once re-arms it once the deadline passes.
+  std::uint64_t accept_paused_until_ms_ = 0;
 
   struct Entry {
     std::unique_ptr<Connection> conn;
@@ -187,6 +193,7 @@ class TcpServer {
   std::atomic<std::uint64_t> timeouts_idle_{0}, timeouts_stall_{0};
   std::atomic<std::uint64_t> write_overflows_{0};
   std::atomic<std::uint64_t> sheds_seen_{0}, read_pauses_{0};
+  std::atomic<std::uint64_t> accept_backoffs_{0};
 };
 
 }  // namespace btcfast::net

@@ -335,6 +335,39 @@ TEST(BanList, ScoreAccumulatesBansAndExpires) {
   EXPECT_EQ(bans.score("10.0.0.7"), 0u);
 }
 
+TEST(BanList, RotatingAddressesStayBoundedAndScoresDecay) {
+  BanConfig cfg;
+  cfg.threshold = 100;
+  cfg.duration_ms = 1000;
+  cfg.max_entries = 64;
+  BanList bans(cfg);
+  // A botnet rotating source addresses, one sub-threshold offence each:
+  // the ledger must stay capped, not grow per distinct address.
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string addr =
+        "10.1." + std::to_string(i / 256) + "." + std::to_string(i % 256);
+    EXPECT_FALSE(bans.misbehave(addr, 10, 5));
+  }
+  EXPECT_LE(bans.tracked(), cfg.max_entries);
+
+  // Cap pressure evicts stale sub-threshold entries, never an active ban.
+  bans.ban("10.9.9.9", 10);
+  for (int i = 0; i < 1000; ++i) {
+    (void)bans.misbehave("10.2.0." + std::to_string(i % 256), 10, 11);
+  }
+  EXPECT_LE(bans.tracked(), cfg.max_entries);
+  EXPECT_TRUE(bans.is_banned("10.9.9.9", 12));
+
+  // A sub-threshold score quiet for a full ban window is forgotten (the
+  // amortized sweep rides on any later call).
+  bans.clear();
+  EXPECT_FALSE(bans.misbehave("10.3.0.1", 50, 100));
+  EXPECT_EQ(bans.score("10.3.0.1"), 50u);
+  EXPECT_FALSE(bans.is_banned("10.8.8.8", 100 + 2 * cfg.duration_ms));
+  EXPECT_EQ(bans.score("10.3.0.1"), 0u);
+  EXPECT_EQ(bans.tracked(), 0u);
+}
+
 // ------------------------------------------- server + gateway harness
 
 /// Live-deployment fixture (same world as GatewayUnit in gateway_test):
@@ -638,6 +671,54 @@ TEST_F(NetGatewayUnit, WriteStallClientIsDisconnectedWithBoundedBuffer) {
   // it disconnected long before all 4000 responses were queued.
   EXPECT_LT(st.responses_out, 4000u);
   ::close(fd);
+}
+
+TEST_F(NetGatewayUnit, WriteOverflowMidBatchDoesNotShiftOtherConnectionsResponses) {
+  auto gw_net = make_gateway();
+  auto gw_ref = make_gateway();
+  ServerConfig scfg;
+  scfg.conn.so_sndbuf = 4096;
+  scfg.conn.write_buffer_hard = 8192;
+  scfg.conn.write_buffer_soft = 4096;
+  ScriptedServer srv(*gw_net, now, scfg);
+  ASSERT_TRUE(srv.started);
+
+  const int fd_stall = connect_client(srv.server->port());
+  ASSERT_GE(fd_stall, 0);
+  (void)srv.server->poll_once(0);  // accept first: lower tag, dispatched first
+  const int fd_victim = connect_client(srv.server->port());
+  ASSERT_GE(fd_victim, 0);
+  (void)srv.server->poll_once(0);
+  ASSERT_EQ(srv.server->connection_count(), 2u);
+
+  // The stalling connection floods receipt lookups and never drains its
+  // responses; the victim sends one query. Both land in the same poll
+  // batch, so the staller's mid-batch overflow close must not shift the
+  // victim onto the dead connection's leftover responses.
+  Bytes burst;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    append(burst, make_frame(MsgType::kGetReceipt, i, gateway::GetReceiptRequest{i}.serialize()));
+  }
+  write_all(fd_stall, burst);
+  const Bytes victim_frame =
+      make_frame(MsgType::kQueryEscrow, 990001,
+                 gateway::QueryEscrowRequest{dep->customer().escrow_id()}.serialize());
+  const Bytes expected = gw_ref->serve(victim_frame, now);
+  write_all(fd_victim, victim_frame);
+
+  FrameAssembler rx;
+  std::vector<Bytes> got;
+  for (int i = 0; i < 200 && (srv.server->stats().write_overflows == 0 || got.empty()); ++i) {
+    srv.pump_once(fd_victim, rx, got);
+  }
+  EXPECT_EQ(srv.server->stats().write_overflows, 1u) << "staller was not cut";
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], expected);
+  const auto resp = Frame::deserialize(got[0]);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->request_id, 990001u);
+  ::close(fd_stall);
+  ::close(fd_victim);
 }
 
 TEST_F(NetGatewayUnit, GarbageFramesScoreThenBanThenExpire) {
