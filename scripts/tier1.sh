@@ -4,6 +4,7 @@
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
 #                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
 #                         [--store-smoke] [--verify-smoke] [--net-smoke]
+#                         [--dispute-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -53,6 +54,15 @@
 #                      ban + shed coverage invariants held. The bench's
 #                      size knobs (BTCFAST_E13_CLIENTS / _REQUESTS /
 #                      _PIPELINE) pass through for bigger machines.
+#   --dispute-smoke    the dispute-storm gate: run the storm parity +
+#                      header-index + header-sync suite (dispute_test) and
+#                      the dispute fuzz corpus (BTCFAST_FUZZ_ITERS=2000)
+#                      under both memory sanitizers, then the storm bench
+#                      in its short configuration (BTCFAST_E14_SMOKE) in a
+#                      scratch cwd, asserting disputes/s > 0, a nonzero
+#                      dedup hit rate on the shared-segment workload, and
+#                      byte-identical gas between the batch and naive
+#                      paths.
 #   --verify-smoke     the ECDSA verify-speed gate: run the hand-timed
 #                      verify section of bench_micro_crypto
 #                      (BTCFAST_VERIFY_SMOKE=1) in a scratch cwd and fail
@@ -71,6 +81,7 @@ bench_smoke=0
 kernel_sanitize=0
 verify_smoke=0
 net_smoke=0
+dispute_smoke=0
 fuzz_smoke=0
 gateway_smoke=0
 store_smoke=0
@@ -93,6 +104,7 @@ for arg in "$@"; do
     --store-smoke) store_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
     --net-smoke) net_smoke=1 ;;
+    --dispute-smoke) dispute_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -272,6 +284,49 @@ if [[ "$net_smoke" == 1 ]]; then
   else
     echo "== net smoke: FAILED — accepts_per_s=$accepts_s =="
     exit 1
+  fi
+fi
+
+if [[ "$dispute_smoke" == 1 ]]; then
+  # The dispute-storm gate. The storm engine's whole value rests on a
+  # byte-parity claim (batch == one-at-a-time), and the index/sync code
+  # chews on adversarial evidence bytes, so the full dispute suite plus
+  # the dispute fuzz corpus runs under both memory sanitizers first. Then
+  # the storm bench runs short in the default tree and its smoke JSON
+  # must show real throughput, real dedup, and exact gas parity.
+  for san in asan ubsan; do
+    echo "== dispute parity suite + dispute fuzz under $san =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target dispute_test fuzz_test
+    "build-$san/tests/dispute_test"
+    BTCFAST_FUZZ_ITERS=2000 "build-$san/tests/fuzz_test" \
+      --gtest_filter='*DisputeFuzz*'
+  done
+  echo "== dispute smoke bench (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_e14_dispute_storm
+  smoke_dir="$bindir/dispute-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_E14_SMOKE=1 "$repo_root/$bindir/bench/bench_e14_dispute_storm")
+  smoke_json="$smoke_dir/BENCH_e14_dispute_storm.json"
+  json_field() { sed -n "s/^[[:space:]]*\"$1\":[[:space:]]*\"\{0,1\}\([0-9.a-z]*\)\"\{0,1\}.*/\1/p" "$smoke_json" | head -n1; }
+  storm_rate="$(json_field disputes_per_s_storm)"
+  hit_rate="$(json_field dedup_hit_rate)"
+  gas_parity="$(json_field gas_parity)"
+  if [[ -z "$storm_rate" || -z "$hit_rate" || -z "$gas_parity" ]]; then
+    echo "== dispute smoke: FAILED to parse $smoke_json =="
+    exit 1
+  elif [[ "$gas_parity" != "yes" ]]; then
+    echo "== dispute smoke: FAILED — gas_parity=$gas_parity =="
+    exit 1
+  elif ! awk -v r="$storm_rate" 'BEGIN{exit !(r > 0)}'; then
+    echo "== dispute smoke: FAILED — disputes_per_s_storm=$storm_rate =="
+    exit 1
+  elif ! awk -v h="$hit_rate" 'BEGIN{exit !(h > 0)}'; then
+    echo "== dispute smoke: FAILED — dedup_hit_rate=$hit_rate =="
+    exit 1
+  else
+    echo "== dispute smoke: ${storm_rate} disputes/s, dedup hit rate ${hit_rate}, gas parity exact =="
   fi
 fi
 

@@ -13,6 +13,11 @@ inline void put_u32le(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
+inline std::uint32_t get_u32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
 }  // namespace
 
 Bytes BlockHeader::serialize() const {
@@ -32,21 +37,17 @@ void BlockHeader::serialize_into(std::uint8_t out[80]) const noexcept {
 
 std::optional<BlockHeader> BlockHeader::deserialize(ByteSpan data) {
   if (data.size() != 80) return std::nullopt;
-  Reader r(data);
+  // Hot path (evidence chains decode tens of thousands of headers in a
+  // dispute storm): the length check above covers every field, so read
+  // with straight-line loads instead of per-field Reader bookkeeping.
   BlockHeader h;
-  auto version = r.u32le();
-  auto prev = r.bytes(32);
-  auto root = r.bytes(32);
-  auto time = r.u32le();
-  auto bits = r.u32le();
-  auto nonce = r.u32le();
-  if (!version || !prev || !root || !time || !bits || !nonce) return std::nullopt;
-  h.version = static_cast<std::int32_t>(*version);
-  h.prev_hash.bytes = to_array<32>(*prev);
-  h.merkle_root.bytes = to_array<32>(*root);
-  h.time = *time;
-  h.bits = *bits;
-  h.nonce = *nonce;
+  const std::uint8_t* p = data.data();
+  h.version = static_cast<std::int32_t>(get_u32le(p));
+  std::memcpy(h.prev_hash.bytes.data(), p + 4, 32);
+  std::memcpy(h.merkle_root.bytes.data(), p + 36, 32);
+  h.time = get_u32le(p + 68);
+  h.bits = get_u32le(p + 72);
+  h.nonce = get_u32le(p + 76);
   return h;
 }
 
@@ -56,7 +57,28 @@ BlockHash BlockHeader::hash() const noexcept {
   return BlockHash::from_digest(crypto::sha256d_80(ser));
 }
 
+namespace {
+std::optional<crypto::U256> bits_to_target_uncached(std::uint32_t bits) noexcept;
+}  // namespace
+
 std::optional<crypto::U256> bits_to_target(std::uint32_t bits) noexcept {
+  // Same single-entry memo rationale as header_work below: pure function
+  // of `bits`, and evidence chains present long runs of one difficulty.
+  struct Memo {
+    std::uint32_t bits = 0;
+    bool valid = false;
+    std::optional<crypto::U256> target;
+  };
+  thread_local Memo memo;
+  if (memo.valid && memo.bits == bits) return memo.target;
+  memo.bits = bits;
+  memo.valid = true;
+  memo.target = bits_to_target_uncached(bits);
+  return memo.target;
+}
+
+namespace {
+std::optional<crypto::U256> bits_to_target_uncached(std::uint32_t bits) noexcept {
   const std::uint32_t exponent = bits >> 24;
   std::uint32_t mantissa = bits & 0x007fffff;
   if (bits & 0x00800000) return std::nullopt;  // negative
@@ -74,6 +96,7 @@ std::optional<crypto::U256> bits_to_target(std::uint32_t bits) noexcept {
   if (target.is_zero()) return std::nullopt;
   return target;
 }
+}  // namespace
 
 std::uint32_t target_to_bits(const crypto::U256& target) noexcept {
   if (target.is_zero()) return 0;
@@ -102,12 +125,30 @@ bool check_proof_of_work(const BlockHeader& header, const crypto::U256& pow_limi
 }
 
 crypto::U256 header_work(std::uint32_t bits) noexcept {
+  // Pure function of `bits`, and real workloads present long runs of the
+  // same difficulty (retarget every 2016 blocks), so a single-entry memo
+  // skips the 256-bit long division on the hot path. thread_local keeps
+  // it race-free without locking.
+  struct Memo {
+    std::uint32_t bits = 0;
+    bool valid = false;
+    crypto::U256 work;
+  };
+  thread_local Memo memo;
+  if (memo.valid && memo.bits == bits) return memo.work;
+
   const auto target = bits_to_target(bits);
-  if (!target) return crypto::U256::zero();
-  // work = 2^256 / (target + 1) == (~target / (target + 1)) + 1 in 256-bit
-  // arithmetic (Bitcoin Core's identity avoiding 512-bit math).
-  const crypto::U256 neg = crypto::U256::zero() - *target - crypto::U256(1);  // ~target
-  return neg / (*target + crypto::U256(1)) + crypto::U256(1);
+  crypto::U256 work = crypto::U256::zero();
+  if (target) {
+    // work = 2^256 / (target + 1) == (~target / (target + 1)) + 1 in 256-bit
+    // arithmetic (Bitcoin Core's identity avoiding 512-bit math).
+    const crypto::U256 neg = crypto::U256::zero() - *target - crypto::U256(1);  // ~target
+    work = neg / (*target + crypto::U256(1)) + crypto::U256(1);
+  }
+  memo.bits = bits;
+  memo.valid = true;
+  memo.work = work;
+  return work;
 }
 
 }  // namespace btcfast::btc

@@ -1,0 +1,37 @@
+// Hook interfaces the watchtower uses to plug into the dispute subsystem
+// (src/dispute) without a core -> dispute dependency: core declares the
+// seams, dispute implements them (StormEngine is an EvidencePrehasher,
+// HeaderSyncManager is a CheckpointSource), and the deployment wires the
+// two together.
+#pragma once
+
+#include <vector>
+
+#include "btc/header.h"
+#include "psc/chain.h"
+
+namespace btcfast::core {
+
+/// Sweeps the header chains carried by a batch of evidence transactions
+/// into a shared index in one deduped parallel pass, so the contract's
+/// phase-1 hashing hits a warm cache when the txs execute. Purely an
+/// accelerator: execution results are identical with or without it.
+class EvidencePrehasher {
+ public:
+  virtual ~EvidencePrehasher() = default;
+  /// Returns the number of headers swept.
+  virtual std::size_t prehash(const std::vector<psc::PscTx>& txs) = 0;
+};
+
+/// Supplies checkpoint advancement chains from a reorg-aware header view:
+/// best-chain headers extending `current_checkpoint`, safe against
+/// shallow reorgs, ready for PayJudger::updateCheckpoint. Empty result
+/// means nothing (safely) advanceable.
+class CheckpointSource {
+ public:
+  virtual ~CheckpointSource() = default;
+  virtual std::vector<btc::BlockHeader> checkpoint_advance(
+      const btc::BlockHash& current_checkpoint) const = 0;
+};
+
+}  // namespace btcfast::core

@@ -356,15 +356,19 @@ Result<btc::HeaderChainSummary> PayJudger::verify_evidence_chain(
   // Phase 1: hash every header across the thread pool. This is raw CPU
   // work only — no metering — so it can run in any order on any number
   // of threads. Headers past an (as yet undetected) defect are hashed
-  // speculatively and discarded.
+  // speculatively and discarded. When a digest provider is attached
+  // (dispute storm engine), it supplies the same digests from its shared
+  // index instead — the metered phase below is identical either way.
   std::vector<crypto::Sha256Digest> digests(headers.size());
-  std::vector<std::size_t> ser_sizes(headers.size());
-  common::ThreadPool::global().parallel_for(headers.size(), [&](std::size_t i) {
-    std::uint8_t ser[80];
-    headers[i].serialize_into(ser);
-    ser_sizes[i] = sizeof(ser);
-    digests[i] = crypto::sha256d_80(ser);
-  });
+  if (digest_provider_ != nullptr) {
+    digest_provider_->batch_digests(headers, digests.data());
+  } else {
+    common::ThreadPool::global().parallel_for(headers.size(), [&](std::size_t i) {
+      std::uint8_t ser[80];
+      headers[i].serialize_into(ser);
+      digests[i] = crypto::sha256d_80(ser);
+    });
+  }
 
   // Phase 2: sequential validation issuing the exact gas charges, in the
   // exact order, with the exact early aborts of a serial implementation —
@@ -379,8 +383,10 @@ Result<btc::HeaderChainSummary> PayJudger::verify_evidence_chain(
     if (!target || *target > config_.pow_limit) return make_error("evidence-bad-target");
 
     // Metered double-SHA over the 80-byte header (the PoW check); the
-    // digest itself was computed in phase 1.
-    host.meter().charge_sha256(ser_sizes[i]);
+    // digest itself was computed in phase 1. Charged unconditionally —
+    // even when phase 1 served the digest from a cache — so gas is a pure
+    // function of the evidence bytes, never of cache state.
+    host.meter().charge_sha256(80);
     host.meter().charge_sha256(32);
     const auto& digest = digests[i];
     const auto hash_value = crypto::U256::from_le_bytes({digest.data(), digest.size()});

@@ -62,6 +62,22 @@ struct EscrowView {
   bool customer_proved = false;
 };
 
+/// Seam for the dispute subsystem's shared header index: supplies the
+/// *unmetered* phase-1 double-SHA digests of evidence headers, replacing
+/// the contract's own thread-pool hashing sweep. Implementations must
+/// return exactly sha256d(serialize(header)) for each input header — the
+/// metered phase-2 walk (link checks, target checks, gas charges, PoW
+/// comparison) is untouched, so verdicts and gas stay byte-identical by
+/// construction ("verify once, charge always").
+class HeaderDigestProvider {
+ public:
+  virtual ~HeaderDigestProvider() = default;
+  /// Fill `out[i]` with sha256d_80(serialize(headers[i])). `out` has
+  /// headers.size() slots already allocated.
+  virtual void batch_digests(const std::vector<btc::BlockHeader>& headers,
+                             crypto::Sha256Digest* out) = 0;
+};
+
 /// The contract. Methods (dispatched by name, args via Writer encoding):
 ///   deposit(escrow_id u64, unlock_delay_ms u64, btc_pubkey 33B)   [payable]
 ///   topUp(escrow_id u64)                                          [payable]
@@ -87,6 +103,16 @@ class PayJudger final : public psc::Contract {
   /// Decode a getEscrow() return payload.
   [[nodiscard]] static std::optional<EscrowView> decode_escrow_view(ByteSpan data);
 
+  /// Install (or clear, with nullptr) the phase-1 digest provider. Not
+  /// owned; the caller must detach before destroying the provider. Gas
+  /// metering and verdicts are independent of whether one is set.
+  void set_digest_provider(HeaderDigestProvider* provider) noexcept {
+    digest_provider_ = provider;
+  }
+  [[nodiscard]] HeaderDigestProvider* digest_provider() const noexcept {
+    return digest_provider_;
+  }
+
  private:
   Status deposit(psc::HostContext& host, ByteSpan args);
   Status top_up(psc::HostContext& host, ByteSpan args);
@@ -108,6 +134,7 @@ class PayJudger final : public psc::Contract {
       const std::vector<btc::BlockHeader>& headers);
 
   PayJudgerConfig config_;
+  HeaderDigestProvider* digest_provider_ = nullptr;
 };
 
 /// Argument encoders (client-side helpers mirrored by the contract).

@@ -65,8 +65,22 @@ std::vector<psc::PscTx> Watchtower::poll(std::uint64_t now_ms) {
   for (const EscrowId id : protected_) {
     const auto view = fetch_escrow(id);
     if (!view) continue;
+
+    // Settle the filed-defense ledger against observed contract state:
+    // a defense counts only once the contract shows proven customer work
+    // at or past what we filed. (judge() leaves kCustomerWork in place,
+    // so this also settles correctly after the dispute closes.)
+    const auto pending = pending_filed_.find(id);
+    if (pending != pending_filed_.end() && view->customer_proved &&
+        view->customer_work >= pending->second) {
+      ++defenses_filed_;
+      pending_filed_.erase(pending);
+    }
+
     if (view->state != EscrowState::kDisputed) {
       note_dispute_closed(id);  // dispute we logged has since resolved
+      pending_filed_.erase(id); // anything still unsettled never landed
+      filed_tips_.erase(id);
       continue;
     }
     note_dispute_open(id, *view);
@@ -105,6 +119,14 @@ std::vector<psc::PscTx> Watchtower::poll(std::uint64_t now_ms) {
     for (const auto& h : evidence->headers) our_work += btc::header_work(h.bits);
     if (view->customer_proved && our_work <= view->customer_work) continue;
 
+    // Identical evidence already in flight (the contract just hasn't
+    // caught up yet): refiling it would burn gas every poll. The tip
+    // hash commits to the whole chain, and the proof is a deterministic
+    // function of the chain, so same tip == byte-identical args.
+    const btc::BlockHash tip = evidence->headers.back().hash();
+    const auto last = filed_tips_.find(id);
+    if (last != filed_tips_.end() && last->second == tip) continue;
+
     psc::PscTx tx;
     tx.from = config_.self_psc;
     tx.to = config_.judger;
@@ -113,9 +135,46 @@ std::vector<psc::PscTx> Watchtower::poll(std::uint64_t now_ms) {
                                             evidence->header_index);
     tx.gas_limit = 8'000'000;
     actions.push_back(std::move(tx));
-    ++defenses_filed_;
+    filed_tips_[id] = tip;
+    pending_filed_[id] = our_work;
   }
+
+  maybe_advance_checkpoint(&actions);
+
+  // One deduped parallel hashing sweep over every defense in this batch:
+  // under a storm, the evidence chains overlap almost entirely, so the
+  // contract's phase-1 hashing hits a warm index when these execute.
+  if (prehasher_ != nullptr && !actions.empty()) (void)prehasher_->prehash(actions);
   return actions;
+}
+
+void Watchtower::maybe_advance_checkpoint(std::vector<psc::PscTx>* actions) {
+  if (checkpoint_source_ == nullptr) return;
+  psc::PscTx q;
+  q.from = config_.self_psc;
+  q.to = config_.judger;
+  q.method = "getCheckpoint";
+  const psc::Receipt r = psc_.view_call(q);
+  if (!r.success) return;
+  Reader reader({r.return_data.data(), r.return_data.size()});
+  const auto raw = reader.bytes(32);
+  if (!raw) return;
+  btc::BlockHash current;
+  std::copy(raw->begin(), raw->end(), current.bytes.begin());
+
+  const auto advance = checkpoint_source_->checkpoint_advance(current);
+  if (advance.empty()) return;
+  const btc::BlockHash tip = advance.back().hash();
+  if (tip == last_checkpoint_filed_) return;  // already in flight
+
+  psc::PscTx tx;
+  tx.from = config_.self_psc;
+  tx.to = config_.judger;
+  tx.method = "updateCheckpoint";
+  tx.args = encode_checkpoint_args(advance);
+  tx.gas_limit = 8'000'000;
+  actions->push_back(std::move(tx));
+  last_checkpoint_filed_ = tip;
 }
 
 }  // namespace btcfast::core

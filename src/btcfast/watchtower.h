@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "btcfast/dispute_hooks.h"
 #include "btcfast/evidence.h"
 #include "btcfast/payjudger.h"
 #include "btcsim/node.h"
@@ -38,7 +39,23 @@ class Watchtower {
   /// judge request once the window closes. Returns the PSC txs to submit.
   [[nodiscard]] std::vector<psc::PscTx> poll(std::uint64_t now_ms);
 
+  /// Defenses the contract has actually accepted: counted when a later
+  /// poll observes customer_proved with work at or past what we filed,
+  /// never when the tx is merely created.
   [[nodiscard]] std::size_t defenses_filed() const noexcept { return defenses_filed_; }
+
+  /// Attach the dispute storm engine's prehasher: poll() then sweeps the
+  /// header chains of every defense it is about to return through the
+  /// shared index in one deduped parallel pass. Not owned. Optional —
+  /// results are identical without it, just slower under a storm.
+  void attach_prehasher(EvidencePrehasher* prehasher) noexcept { prehasher_ = prehasher; }
+
+  /// Attach a reorg-aware checkpoint source (dispute::HeaderSyncManager):
+  /// poll() then also files updateCheckpoint transactions keeping the
+  /// contract's dispute anchor fresh. Not owned.
+  void attach_checkpoint_source(CheckpointSource* source) noexcept {
+    checkpoint_source_ = source;
+  }
 
   /// Attach a durable store: poll() then logs dispute-open when a
   /// protected escrow enters DISPUTED and dispute-resolve when it
@@ -58,6 +75,7 @@ class Watchtower {
   [[nodiscard]] std::optional<EscrowView> fetch_escrow(EscrowId id) const;
   void note_dispute_open(EscrowId id, const EscrowView& view);
   void note_dispute_closed(EscrowId id);
+  void maybe_advance_checkpoint(std::vector<psc::PscTx>* actions);
 
   sim::Node& btc_node_;
   const psc::PscChain& psc_;
@@ -66,8 +84,18 @@ class Watchtower {
   std::size_t defenses_filed_ = 0;
   std::uint32_t required_depth_ = 0;  ///< learned from getParams on first use
   store::DurableStore* store_ = nullptr;
+  EvidencePrehasher* prehasher_ = nullptr;
+  CheckpointSource* checkpoint_source_ = nullptr;
   /// Disputes we logged open and haven't seen resolve (escrow -> txid).
   std::unordered_map<EscrowId, btc::Txid> logged_disputes_;
+  /// Tip hash of the last defense filed per escrow: byte-identical
+  /// evidence (same tip => same chain, proof, and args) is not refiled.
+  std::unordered_map<EscrowId, btc::BlockHash> filed_tips_;
+  /// Work of defenses filed but not yet observed on the contract; moved
+  /// into defenses_filed_ when a poll sees the contract catch up.
+  std::unordered_map<EscrowId, crypto::U256> pending_filed_;
+  /// Last checkpoint-advance tip filed, to suppress duplicates.
+  btc::BlockHash last_checkpoint_filed_{};
 };
 
 }  // namespace btcfast::core

@@ -134,6 +134,21 @@ std::optional<Bytes> Reader::bytes_with_len(std::size_t max_len) {
   return bytes(static_cast<std::size_t>(*n));
 }
 
+std::optional<ByteSpan> Reader::span(std::size_t n) {
+  const std::uint8_t* p = nullptr;
+  if (!take(n, &p)) return std::nullopt;
+  return ByteSpan{p, n};
+}
+
+std::optional<ByteSpan> Reader::span_with_len(std::size_t max_len) {
+  auto n = varint();
+  if (!n || *n > max_len) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  return span(static_cast<std::size_t>(*n));
+}
+
 std::optional<std::string> Reader::str_with_len(std::size_t max_len) {
   auto b = bytes_with_len(max_len);
   if (!b) return std::nullopt;

@@ -72,6 +72,12 @@ class Reader {
   /// announced length to defuse absurd allocations from corrupt input.
   [[nodiscard]] std::optional<Bytes> bytes_with_len(std::size_t max_len = 1 << 24);
 
+  /// Zero-copy variants: a view into the underlying buffer, valid only as
+  /// long as the buffer outlives the Reader. Hot scan paths (the dispute
+  /// storm sweep) use these to walk megabytes of evidence without copying.
+  [[nodiscard]] std::optional<ByteSpan> span(std::size_t n);
+  [[nodiscard]] std::optional<ByteSpan> span_with_len(std::size_t max_len = 1 << 24);
+
   [[nodiscard]] std::optional<std::string> str_with_len(std::size_t max_len = 1 << 20);
 
   [[nodiscard]] bool ok() const noexcept { return ok_; }

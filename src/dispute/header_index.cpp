@@ -1,0 +1,225 @@
+#include "dispute/header_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace btcfast::dispute {
+
+namespace {
+
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t HeaderIndex::fingerprint(const std::uint8_t* raw80) noexcept {
+  // Cheap word-load mix over the fields that actually vary. prev_hash
+  // alone nearly determines the header on a single chain; merkle root and
+  // time/bits/nonce defend against crafted same-parent siblings sharing a
+  // bucket. Collisions are safe (full 80-byte equality resolves them),
+  // only slow.
+  std::uint64_t a = 0;  // prev_hash[0..8)
+  std::uint64_t b = 0;  // merkle_root[0..8)
+  std::uint64_t c = 0;  // merkle_root[28..32) + time
+  std::uint64_t d = 0;  // bits + nonce
+  std::memcpy(&a, raw80 + 4, 8);
+  std::memcpy(&b, raw80 + 36, 8);
+  std::memcpy(&c, raw80 + 64, 8);
+  std::memcpy(&d, raw80 + 72, 8);
+  std::uint64_t v = a;
+  v = (v ^ b) * 0x9e3779b97f4a7c15ULL;
+  v = (v ^ c) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ d) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 32);
+}
+
+HeaderIndex::HeaderIndex(Config config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.capacity > (std::size_t{1} << 30)) config_.capacity = std::size_t{1} << 30;
+  ring_.resize(config_.capacity);
+  fp_.resize(config_.capacity);
+  table_.assign(next_pow2(std::max<std::size_t>(8, 2 * config_.capacity)), kEmpty);
+  table_mask_ = table_.size() - 1;
+}
+
+std::int32_t HeaderIndex::find_locked(const std::uint8_t* raw80,
+                                      std::uint64_t fp) const noexcept {
+  std::uint64_t pos = fp & table_mask_;
+  while (table_[pos] != kEmpty) {
+    const std::int32_t slot = table_[pos];
+    if (fp_[static_cast<std::size_t>(slot)] == fp &&
+        std::memcmp(ring_[static_cast<std::size_t>(slot)].raw.data(), raw80, 80) == 0) {
+      return slot;
+    }
+    pos = (pos + 1) & table_mask_;
+  }
+  return kEmpty;
+}
+
+void HeaderIndex::table_erase_locked(std::int32_t slot) noexcept {
+  // Locate the table cell referencing `slot`, then backward-shift the
+  // rest of its probe cluster so lookups never cross a false hole.
+  std::uint64_t pos = fp_[static_cast<std::size_t>(slot)] & table_mask_;
+  while (table_[pos] != slot) pos = (pos + 1) & table_mask_;
+  table_[pos] = kEmpty;
+  std::uint64_t next = (pos + 1) & table_mask_;
+  while (table_[next] != kEmpty) {
+    const std::uint64_t ideal = fp_[static_cast<std::size_t>(table_[next])] & table_mask_;
+    if (((next - ideal) & table_mask_) >= ((next - pos) & table_mask_)) {
+      table_[pos] = table_[next];
+      table_[next] = kEmpty;
+      pos = next;
+    }
+    next = (next + 1) & table_mask_;
+  }
+}
+
+void HeaderIndex::insert_locked(const std::uint8_t* raw80, std::uint64_t fp,
+                                const crypto::Sha256Digest& digest) {
+  if (ring_count_ == config_.capacity) {
+    table_erase_locked(static_cast<std::int32_t>(ring_head_));  // evict oldest (FIFO)
+    --ring_count_;
+    ++stats_.evictions;
+  }
+  const std::size_t slot = ring_head_;
+  std::memcpy(ring_[slot].raw.data(), raw80, 80);
+  ring_[slot].digest = digest;
+  fp_[slot] = fp;
+  std::uint64_t pos = fp & table_mask_;
+  while (table_[pos] != kEmpty) pos = (pos + 1) & table_mask_;
+  table_[pos] = static_cast<std::int32_t>(slot);
+  ring_head_ = (ring_head_ + 1) % config_.capacity;
+  ++ring_count_;
+}
+
+crypto::Sha256Digest HeaderIndex::digest(const btc::BlockHeader& header) {
+  std::uint8_t raw[80];
+  header.serialize_into(raw);
+  const std::uint64_t fp = fingerprint(raw);
+  {
+    std::lock_guard lock(mu_);
+    const std::int32_t slot = find_locked(raw, fp);
+    if (slot != kEmpty) {
+      ++stats_.hits;
+      return ring_[static_cast<std::size_t>(slot)].digest;
+    }
+  }
+  // Hash outside the lock; racing duplicates compute the same digest.
+  const crypto::Sha256Digest digest = crypto::sha256d_80(raw);
+  std::lock_guard lock(mu_);
+  ++stats_.misses;
+  if (find_locked(raw, fp) == kEmpty) insert_locked(raw, fp, digest);
+  return digest;
+}
+
+void HeaderIndex::batch_digests(const std::vector<btc::BlockHeader>& headers,
+                                crypto::Sha256Digest* out) {
+  if (headers.empty()) return;
+  // Re-serializing is ~25× cheaper than the double-SHA we are deduping,
+  // and shares the raw sweep below with the storm engine's wire path.
+  std::vector<std::uint8_t> raw(headers.size() * 80);
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    headers[i].serialize_into(raw.data() + i * 80);
+  }
+  batch_digests_raw(raw.data(), headers.size(), out);
+}
+
+void HeaderIndex::batch_digests_raw(const std::uint8_t* data, std::size_t count,
+                                    crypto::Sha256Digest* out) {
+  if (count == 0) return;
+  std::vector<std::uint64_t> fps(count);
+  for (std::size_t i = 0; i < count; ++i) fps[i] = fingerprint(data + i * 80);
+
+  // Pass 1 (under lock): resolve index hits and dedup the misses within
+  // the batch through a scratch probe table (fp -> first batch index).
+  std::vector<std::size_t> slot_of(count);  // into unique_misses, or kHit
+  constexpr std::size_t kHit = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> unique_misses;  // indices of first occurrences
+  std::unique_lock lock(mu_);
+  {
+    const std::size_t want = next_pow2(std::max<std::size_t>(8, 2 * count));
+    if (scratch_.size() < want) scratch_.resize(want);
+    std::fill(scratch_.begin(), scratch_.end(), kEmpty);
+    const std::uint64_t scratch_mask = scratch_.size() - 1;
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint8_t* row = data + i * 80;
+      const std::int32_t slot = find_locked(row, fps[i]);
+      if (slot != kEmpty) {
+        ++stats_.hits;
+        if (out != nullptr) out[i] = ring_[static_cast<std::size_t>(slot)].digest;
+        slot_of[i] = kHit;
+        continue;
+      }
+      std::uint64_t pos = fps[i] & scratch_mask;
+      std::size_t dup_of = kHit;
+      while (scratch_[pos] != kEmpty) {
+        const std::size_t j = static_cast<std::size_t>(scratch_[pos]);
+        if (fps[j] == fps[i] && std::memcmp(data + j * 80, row, 80) == 0) {
+          dup_of = j;
+          break;
+        }
+        pos = (pos + 1) & scratch_mask;
+      }
+      if (dup_of != kHit) {
+        // Within-batch duplicate of a miss: the dedup that matters most
+        // on a cold index. Counts as a hit — it is hashed once.
+        ++stats_.hits;
+        slot_of[i] = slot_of[dup_of];
+        continue;
+      }
+      scratch_[pos] = static_cast<std::int32_t>(i);
+      slot_of[i] = unique_misses.size();
+      unique_misses.push_back(i);
+      ++stats_.misses;
+    }
+  }
+
+  if (unique_misses.empty()) return;
+
+  // Pass 2 (no lock): hash every unique miss across the thread pool.
+  lock.unlock();
+  std::vector<crypto::Sha256Digest> miss_digests(unique_misses.size());
+  common::ThreadPool::global().parallel_for(unique_misses.size(), [&](std::size_t u) {
+    miss_digests[u] = crypto::sha256d_80(data + unique_misses[u] * 80);
+  });
+
+  // Pass 3: fan results back out and publish to the index. A concurrent
+  // caller may have inserted some of our misses meanwhile; skip those.
+  if (out != nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (slot_of[i] != kHit) out[i] = miss_digests[slot_of[i]];
+    }
+  }
+  lock.lock();
+  for (std::size_t u = 0; u < unique_misses.size(); ++u) {
+    const std::size_t i = unique_misses[u];
+    if (find_locked(data + i * 80, fps[i]) == kEmpty) {
+      insert_locked(data + i * 80, fps[i], miss_digests[u]);
+    }
+  }
+}
+
+HeaderIndexStats HeaderIndex::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t HeaderIndex::size() const {
+  std::lock_guard lock(mu_);
+  return ring_count_;
+}
+
+void HeaderIndex::clear() {
+  std::lock_guard lock(mu_);
+  std::fill(table_.begin(), table_.end(), kEmpty);
+  ring_head_ = 0;
+  ring_count_ = 0;
+}
+
+}  // namespace btcfast::dispute

@@ -1,0 +1,121 @@
+// Dispute storm engine: batch execution of dispute-evidence transactions
+// with cross-dispute header dedup (DESIGN.md §14).
+//
+// A flash double-spend wave lands as a batch of evidence transactions
+// whose header chains overlap heavily (shared checkpoint anchors, one
+// real Bitcoin chain). The engine:
+//
+//   1. pre-scans the batch, locating every evidence/checkpoint header
+//      run as raw wire bytes (same framing the contract decodes) —
+//      zero-copy, no per-header decoding;
+//   2. dedups the union against the shared HeaderIndex and hashes all
+//      unique headers in ONE parallel_for sweep;
+//   3. replays each transaction through the real PscChain in order —
+//      the PayJudger's phase-1 hashing is served from the warm index via
+//      the HeaderDigestProvider seam, while its metered phase-2 walk
+//      (and every gas charge) runs exactly as in one-at-a-time execution.
+//
+// Hard invariant: receipts (verdict, revert reason, gas, return data,
+// logs, block number) and contract state transitions are byte-identical
+// to submitting the same transactions one at a time with no engine
+// attached, at any thread count and any batch composition. The engine
+// only ever relocates *unmetered* hashing; it never skips a gas charge
+// (charge-always) and never reorders execution.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "btcfast/dispute_hooks.h"
+#include "btcfast/payjudger.h"
+#include "common/bytes.h"
+#include "dispute/header_index.h"
+#include "psc/chain.h"
+
+namespace btcfast::dispute {
+
+class StormEngine final : public core::HeaderDigestProvider, public core::EvidencePrehasher {
+ public:
+  struct Config {
+    HeaderIndex::Config index;
+    /// Pre-scan safety bound per evidence chain; mirrors the contract's
+    /// 144-header cap so the engine never pre-hashes unbounded junk.
+    std::size_t max_headers_per_tx = 144;
+  };
+
+  /// Attaches to the PayJudger deployed at `judger` on `psc` (no-op if
+  /// the address holds no PayJudger). Detaches on destruction, so the
+  /// engine must be destroyed before the chain.
+  StormEngine(psc::PscChain& psc, const psc::Address& judger);
+  StormEngine(psc::PscChain& psc, const psc::Address& judger, Config config);
+  ~StormEngine() override;
+
+  StormEngine(const StormEngine&) = delete;
+  StormEngine& operator=(const StormEngine&) = delete;
+
+  /// Execute a batch of transactions in order at `now_ms`, prehashing the
+  /// deduped union of their evidence headers first. Returns one receipt
+  /// per transaction, in input order.
+  std::vector<psc::Receipt> execute_batch(const std::vector<psc::PscTx>& txs,
+                                          std::uint64_t now_ms);
+
+  /// Warm the index with header chains decoded from evidence-bearing
+  /// transactions without executing anything (used by the watchtower to
+  /// prehash defenses it is about to hand to the orchestrator). Returns
+  /// the number of headers swept. (core::EvidencePrehasher)
+  std::size_t prehash(const std::vector<psc::PscTx>& txs) override;
+
+  /// HeaderDigestProvider: phase-1 digests for the attached PayJudger.
+  void batch_digests(const std::vector<btc::BlockHeader>& headers,
+                     crypto::Sha256Digest* out) override;
+
+  [[nodiscard]] HeaderIndex& index() noexcept { return index_; }
+  [[nodiscard]] HeaderIndexStats stats() const { return index_.stats(); }
+  [[nodiscard]] bool attached() const noexcept { return judger_contract_ != nullptr; }
+
+  /// Decode the header chains carried by an evidence/checkpoint tx into
+  /// `out` (appending; caps each chain at `max_headers`). Exposed for
+  /// fuzzing — must never crash on arbitrary args. Returns headers added.
+  static std::size_t scan_tx_headers(const psc::PscTx& tx, std::size_t max_headers,
+                                     std::vector<btc::BlockHeader>* out);
+
+  /// Zero-copy sibling of scan_tx_headers: a view of the tx's raw
+  /// 80-byte-per-header run (valid while `tx` lives), or an empty span
+  /// for anything the contract would reject before hashing. Accepts
+  /// exactly the byte strings scan_tx_headers decodes. Exposed for
+  /// fuzzing — must never crash on arbitrary args.
+  [[nodiscard]] static ByteSpan scan_tx_header_span(const psc::PscTx& tx,
+                                                    std::size_t max_headers);
+
+ private:
+  /// Gather the batch's raw header runs into sweep_buf_ and warm the
+  /// index with one deduped parallel sweep. Returns headers swept.
+  std::size_t sweep_batch(const std::vector<psc::PscTx>& txs);
+
+  /// Whole-chain memo over the header index. Every dispute anchored at
+  /// the same checkpoint submits the *identical* evidence chain, so most
+  /// provider calls in a storm repeat a chain seen moments ago; one
+  /// std::equal then serves the whole chain without per-header probes.
+  /// Serving requires full byte equality, so digests are still always
+  /// sha256d of the queried headers. Bounded FIFO; misses fall through
+  /// to the index and are then cached.
+  struct CachedChain {
+    std::vector<btc::BlockHeader> headers;
+    std::vector<crypto::Sha256Digest> digests;
+  };
+  static constexpr std::size_t kChainCacheCap = 32;
+
+  psc::PscChain& psc_;
+  psc::Address judger_addr_;
+  Config config_;
+  HeaderIndex index_;
+  core::PayJudger* judger_contract_ = nullptr;
+  std::vector<std::uint8_t> sweep_buf_;  ///< scratch for phase-1 sweeps
+  std::mutex chain_mu_;
+  std::vector<CachedChain> chain_cache_;
+  std::size_t chain_cache_next_ = 0;  ///< FIFO overwrite cursor
+};
+
+}  // namespace btcfast::dispute

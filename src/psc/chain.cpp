@@ -71,7 +71,11 @@ Receipt PscChain::execute_tx(const PscTx& tx, std::uint64_t tx_id, WorldState& s
     return r;
   }
 
-  const WorldState snapshot = state;  // revert point (state is small)
+  // Revert point: an undo journal of touched entries, not a deep copy of
+  // the world — copying scales with total accounts × storage and melts
+  // down under a mass-dispute storm, while the journal scales with the
+  // handful of entries one transaction touches.
+  state.journal_begin();
   bool success = true;
   std::string reason;
   Bytes ret;
@@ -103,9 +107,11 @@ Receipt PscChain::execute_tx(const PscTx& tx, std::uint64_t tx_id, WorldState& s
   }
 
   if (!success) {
-    state = snapshot;  // revert value transfer and all contract effects
+    state.journal_revert();  // revert value transfer and all contract effects
     logs.clear();
     ret.clear();
+  } else {
+    state.journal_commit();
   }
 
   // Fee is charged even on revert; gas burnt goes to the sink.

@@ -90,6 +90,14 @@ class PscChain {
   [[nodiscard]] const GasSchedule& schedule() const noexcept { return config_.schedule; }
   [[nodiscard]] std::size_t pending_txs() const noexcept { return pending_.size(); }
 
+  /// Look up a deployed contract by address (nullptr if none). Lets
+  /// out-of-band infrastructure (e.g. the dispute storm engine) attach
+  /// execution hooks to a contract instance it did not deploy itself.
+  [[nodiscard]] Contract* contract(const Address& addr) const {
+    const auto it = contracts_.find(addr);
+    return it == contracts_.end() ? nullptr : it->second.get();
+  }
+
   /// All logs emitted so far (search by topic in tests).
   [[nodiscard]] const std::vector<LogEvent>& logs() const noexcept { return all_logs_; }
 

@@ -15,8 +15,72 @@ std::uint64_t WorldState::nonce(const Address& a) const {
 bool WorldState::sub_balance(const Address& a, Value v) {
   auto it = accounts_.find(a);
   if (it == accounts_.end() || it->second.balance < v) return false;
+  note_account(a);
   it->second.balance -= v;
   return true;
+}
+
+void WorldState::note_account(const Address& a) {
+  if (!journaling_) return;
+  Undo u;
+  u.kind = Undo::Kind::kAccount;
+  u.addr = a;
+  const auto it = accounts_.find(a);
+  u.existed = it != accounts_.end();
+  if (u.existed) u.account = it->second;
+  journal_.push_back(std::move(u));
+}
+
+void WorldState::note_slot(const Address& contract, const Slot& key) {
+  if (!journaling_) return;
+  Undo u;
+  u.kind = Undo::Kind::kSlot;
+  u.addr = contract;
+  u.key = key;
+  u.existed = false;
+  const auto cit = storage_.find(contract);
+  if (cit != storage_.end()) {
+    const auto sit = cit->second.find(key);
+    if (sit != cit->second.end()) {
+      u.existed = true;
+      u.value = sit->second;
+    }
+  }
+  journal_.push_back(std::move(u));
+}
+
+void WorldState::journal_begin() {
+  journal_.clear();
+  journaling_ = true;
+}
+
+void WorldState::journal_commit() noexcept {
+  journaling_ = false;
+  journal_.clear();
+}
+
+void WorldState::journal_revert() {
+  journaling_ = false;
+  // Reverse order: when a transaction touched the same entry repeatedly,
+  // the oldest record is applied last and wins, restoring the pre-image
+  // from journal_begin().
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->kind == Undo::Kind::kAccount) {
+      if (it->existed) {
+        accounts_[it->addr] = it->account;
+      } else {
+        accounts_.erase(it->addr);
+      }
+    } else {
+      Storage& store = storage_[it->addr];
+      if (it->existed) {
+        store[it->key] = it->value;
+      } else {
+        store.erase(it->key);
+      }
+    }
+  }
+  journal_.clear();
 }
 
 Value WorldState::total_balance() const noexcept {
@@ -33,6 +97,7 @@ Slot WorldState::storage_load(const Address& contract, const Slot& key) const {
 }
 
 bool WorldState::storage_store(const Address& contract, const Slot& key, const Slot& value) {
+  note_slot(contract, key);
   Storage& store = storage_[contract];
   auto it = store.find(key);
   const bool was_zero = (it == store.end()) || it->second.is_zero();

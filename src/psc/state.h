@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/uint256.h"
 #include "psc/address.h"
@@ -27,11 +28,34 @@ class WorldState {
   // --- accounts ---
   [[nodiscard]] Value balance(const Address& a) const;
   [[nodiscard]] std::uint64_t nonce(const Address& a) const;
-  void set_balance(const Address& a, Value v) { accounts_[a].balance = v; }
-  void add_balance(const Address& a, Value v) { accounts_[a].balance += v; }
+  void set_balance(const Address& a, Value v) {
+    note_account(a);
+    accounts_[a].balance = v;
+  }
+  void add_balance(const Address& a, Value v) {
+    note_account(a);
+    accounts_[a].balance += v;
+  }
   /// Returns false (and leaves state unchanged) on insufficient funds.
   [[nodiscard]] bool sub_balance(const Address& a, Value v);
-  void bump_nonce(const Address& a) { ++accounts_[a].nonce; }
+  void bump_nonce(const Address& a) {
+    note_account(a);
+    ++accounts_[a].nonce;
+  }
+
+  // --- transaction journal ---
+  // Cheap revert for transaction execution: instead of deep-copying the
+  // whole world (which scales with total accounts × storage — ruinous
+  // under a mass-dispute storm), record the pre-image of every account
+  // and slot the transaction touches and undo them in reverse order.
+  /// Start recording pre-images. Discards any stale journal.
+  void journal_begin();
+  /// Stop recording and keep all changes.
+  void journal_commit() noexcept;
+  /// Stop recording and roll every journaled mutation back, restoring the
+  /// exact map contents from journal_begin() — entries created since then
+  /// are erased, not zeroed.
+  void journal_revert();
 
   // --- contract storage ---
   [[nodiscard]] Slot storage_load(const Address& contract, const Slot& key) const;
@@ -54,8 +78,23 @@ class WorldState {
   };
   using Storage = std::unordered_map<Slot, Slot, SlotKeyHasher>;
 
+  struct Undo {
+    enum class Kind : std::uint8_t { kAccount, kSlot };
+    Kind kind;
+    bool existed;   ///< entry was present before the mutation
+    Address addr;   ///< account, or owning contract for kSlot
+    AccountState account{};  ///< pre-image (kAccount, existed)
+    Slot key{};              ///< slot key (kSlot)
+    Slot value{};            ///< pre-image (kSlot, existed)
+  };
+
+  void note_account(const Address& a);
+  void note_slot(const Address& contract, const Slot& key);
+
   std::unordered_map<Address, AccountState, AddressHasher> accounts_;
   std::unordered_map<Address, Storage, AddressHasher> storage_;
+  std::vector<Undo> journal_;
+  bool journaling_ = false;
 };
 
 }  // namespace btcfast::psc

@@ -1,0 +1,852 @@
+// The dispute subsystem: shared header index, storm engine, and
+// reorg-aware header sync.
+//
+// The load-bearing suite here is StormParity: the storm engine's entire
+// contract is "byte-identical to one-at-a-time execution, just faster",
+// so we build seeded randomized dispute storms (shared anchors, mixed
+// valid/corrupt evidence) and compare receipts, escrow views, balances
+// and gas between batch and sequential execution — at 0/4/8 pool
+// threads and across batch splits.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "btc/pow.h"
+#include "btcfast/customer.h"
+#include "btcfast/evidence.h"
+#include "btcfast/payjudger.h"
+#include "btcfast/watchtower.h"
+#include "btcsim/node.h"
+#include "btcsim/scenario.h"
+#include "common/thread_pool.h"
+#include "dispute/header_index.h"
+#include "dispute/header_sync.h"
+#include "dispute/storm_engine.h"
+
+namespace btcfast::dispute {
+namespace {
+
+using sim::Party;
+
+constexpr std::uint64_t kHour = 60ULL * 60 * 1000;
+
+/// Very low difficulty (~2^6 hashes/block) so worlds are cheap to mine.
+btc::ChainParams easy_params() {
+  auto params = btc::ChainParams::regtest();
+  params.pow_limit = crypto::U256::one() << 250;
+  params.genesis_bits = btc::target_to_bits(params.pow_limit);
+  return params;
+}
+
+btc::BlockHeader random_header(std::mt19937_64& rng) {
+  btc::BlockHeader h;
+  h.version = static_cast<std::int32_t>(rng());
+  for (auto& b : h.prev_hash.bytes) b = static_cast<std::uint8_t>(rng());
+  for (auto& b : h.merkle_root.bytes) b = static_cast<std::uint8_t>(rng());
+  h.time = static_cast<std::uint32_t>(rng());
+  h.bits = static_cast<std::uint32_t>(rng());
+  h.nonce = static_cast<std::uint32_t>(rng());
+  return h;
+}
+
+crypto::Sha256Digest reference_digest(const btc::BlockHeader& h) {
+  std::uint8_t ser[80];
+  h.serialize_into(ser);
+  return crypto::sha256d_80(ser);
+}
+
+// ---------------------------------------------------------------------------
+// HeaderIndex
+
+TEST(HeaderIndexTest, DigestMatchesSha256d) {
+  std::mt19937_64 rng(1);
+  HeaderIndex index;
+  for (int i = 0; i < 20; ++i) {
+    const auto h = random_header(rng);
+    EXPECT_EQ(index.digest(h), reference_digest(h));
+    EXPECT_EQ(index.digest(h), reference_digest(h));  // cached path
+  }
+  EXPECT_EQ(index.stats().misses, 20u);
+  EXPECT_EQ(index.stats().hits, 20u);
+}
+
+TEST(HeaderIndexTest, BatchDedupsWithinBatchAndAgainstIndex) {
+  std::mt19937_64 rng(2);
+  HeaderIndex index;
+  std::vector<btc::BlockHeader> unique;
+  for (int i = 0; i < 8; ++i) unique.push_back(random_header(rng));
+
+  // Batch with every header appearing 3x: a cold index must hash each
+  // unique header exactly once.
+  std::vector<btc::BlockHeader> batch;
+  for (int rep = 0; rep < 3; ++rep) batch.insert(batch.end(), unique.begin(), unique.end());
+  std::vector<crypto::Sha256Digest> out(batch.size());
+  index.batch_digests(batch, out.data());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(out[i], reference_digest(batch[i]));
+  }
+  EXPECT_EQ(index.stats().misses, 8u);
+  EXPECT_EQ(index.stats().hits, 16u);
+
+  // Second sweep: all hits.
+  index.batch_digests(batch, out.data());
+  EXPECT_EQ(index.stats().misses, 8u);
+  EXPECT_EQ(index.stats().hits, 40u);
+  EXPECT_DOUBLE_EQ(index.stats().hit_rate(), 40.0 / 48.0);
+}
+
+TEST(HeaderIndexTest, EvictionKeepsBoundAndStaysCorrect) {
+  std::mt19937_64 rng(3);
+  HeaderIndex::Config cfg;
+  cfg.capacity = 4;
+  HeaderIndex index(cfg);
+  std::vector<btc::BlockHeader> headers;
+  for (int i = 0; i < 10; ++i) headers.push_back(random_header(rng));
+  for (const auto& h : headers) (void)index.digest(h);
+  EXPECT_LE(index.size(), 4u);
+  EXPECT_EQ(index.stats().evictions, 6u);
+  // Evicted entries are recomputed correctly (and re-cached).
+  for (const auto& h : headers) EXPECT_EQ(index.digest(h), reference_digest(h));
+}
+
+TEST(HeaderIndexTest, BatchOutputIdenticalAtAnyThreadCount) {
+  std::mt19937_64 rng(4);
+  std::vector<btc::BlockHeader> batch;
+  for (int i = 0; i < 100; ++i) batch.push_back(random_header(rng));
+  std::vector<crypto::Sha256Digest> reference(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) reference[i] = reference_digest(batch[i]);
+
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
+    common::ThreadPool::configure_global(threads);
+    HeaderIndex index;
+    std::vector<crypto::Sha256Digest> out(batch.size());
+    index.batch_digests(batch, out.data());
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+  common::ThreadPool::configure_global(0);
+}
+
+// ---------------------------------------------------------------------------
+// Storm world: a deterministic seeded dispute storm.
+//
+// N escrows open disputes in waves; a checkpoint update lands between
+// waves, so disputes in the same wave share one anchor (and all waves
+// share the chain suffix) — the shared-segment structure a real flash
+// double-spend wave produces. The storm batch carries merchant and
+// customer evidence per dispute, with seeded corruptions mixed in to
+// exercise the failure paths.
+
+struct StormWorld {
+  btc::ChainParams params = easy_params();
+  std::unique_ptr<btc::Chain> chain;
+  psc::PscChain psc;
+  core::PayJudgerConfig cfg;
+  psc::Address judger;
+  psc::Address merchant = psc::Address::from_label("merchant");
+  std::vector<Party> parties;
+  std::vector<psc::Address> customers;
+  std::vector<std::unique_ptr<core::CustomerWallet>> wallets;
+  std::vector<btc::BlockHash> anchors;  ///< dispute anchor per escrow
+  std::vector<btc::Txid> txids;         ///< disputed payment per escrow
+  std::vector<psc::PscTx> storm;        ///< the batch under test
+  std::uint64_t eval_time = 0;
+};
+
+void mine_block_with(StormWorld& w, std::vector<btc::Transaction> txs) {
+  btc::Block b;
+  b.header.prev_hash = w.chain->tip_hash();
+  b.header.time = w.chain->tip_header().time + 600;
+  b.header.bits = w.params.genesis_bits;
+  btc::Transaction cb;
+  btc::TxIn in;
+  in.prevout.index = 0xffffffff;
+  in.sequence = w.chain->height() + 1;
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(btc::TxOut{w.params.subsidy, w.parties[0].script});
+  b.txs.push_back(cb);
+  for (auto& tx : txs) b.txs.push_back(std::move(tx));
+  ASSERT_TRUE(btc::mine_block(b, w.params));
+  ASSERT_EQ(w.chain->submit_block(b), btc::SubmitResult::kActiveTip);
+}
+
+std::unique_ptr<StormWorld> build_storm_world(std::uint64_t seed, std::size_t n_escrows) {
+  auto w = std::make_unique<StormWorld>();
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  w->chain = std::make_unique<btc::Chain>(w->params);
+
+  std::vector<btc::ScriptPubKey> scripts;
+  for (std::size_t i = 0; i < n_escrows; ++i) {
+    w->parties.push_back(Party::make(100 + static_cast<unsigned>(i)));
+    scripts.push_back(w->parties.back().script);
+    w->customers.push_back(psc::Address::from_label("customer/" + std::to_string(i)));
+  }
+  for (const auto& b : sim::build_funding_chain(w->params, scripts, /*blocks_each=*/1)) {
+    EXPECT_EQ(w->chain->submit_block(b), btc::SubmitResult::kActiveTip);
+  }
+
+  w->cfg.pow_limit = w->params.pow_limit;
+  w->cfg.initial_checkpoint = w->chain->tip_hash();
+  w->cfg.required_depth = 3;
+  w->cfg.evidence_window_ms = kHour;
+  w->cfg.min_collateral = 1'000;
+  w->cfg.dispute_bond = 500;
+  w->judger = w->psc.deploy("payjudger", std::make_unique<core::PayJudger>(w->cfg));
+  w->psc.mint(w->merchant, 1'000'000'000);
+
+  w->anchors.resize(n_escrows);
+  w->txids.resize(n_escrows);
+  for (std::size_t i = 0; i < n_escrows; ++i) {
+    w->psc.mint(w->customers[i], 1'000'000'000);
+    w->wallets.push_back(std::make_unique<core::CustomerWallet>(
+        w->parties[i], w->customers[i], /*escrow_id=*/i + 1));
+    const auto r = w->psc.execute_now(w->wallets[i]->make_deposit_tx(w->judger, 100'000, 24 * kHour), 0);
+    EXPECT_TRUE(r.success) << r.revert_reason;
+  }
+
+  // Waves: Zipf-ish — wave 0 gets ~1/2 the escrows, wave 1 ~1/3, wave 2
+  // the rest. A checkpoint update lands before each wave past the first.
+  btc::BlockHash checkpoint = w->cfg.initial_checkpoint;
+  std::uint64_t t = 1'000;
+  const std::size_t wave_end[3] = {n_escrows / 2, n_escrows / 2 + n_escrows / 3, n_escrows};
+  std::size_t next = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    if (wave > 0 && w->chain->tip_hash() != checkpoint) {
+      const auto advance = core::headers_since(*w->chain, checkpoint);
+      EXPECT_TRUE(advance.has_value());
+      if (advance && !advance->empty()) {
+        psc::PscTx tx;
+        tx.from = w->merchant;
+        tx.to = w->judger;
+        tx.method = "updateCheckpoint";
+        tx.args = core::encode_checkpoint_args(*advance);
+        tx.gas_limit = 8'000'000;
+        const auto r = w->psc.execute_now(tx, t);
+        EXPECT_TRUE(r.success) << r.revert_reason;
+        checkpoint = w->chain->tip_hash();
+      }
+    }
+
+    std::vector<btc::Transaction> payments;
+    for (; next < wave_end[wave]; ++next) {
+      const auto coins = sim::find_spendable(*w->chain, w->parties[next].script);
+      EXPECT_FALSE(coins.empty());
+      if (coins.empty()) continue;
+      const auto [op, coin] = coins.front();
+      core::Invoice inv;
+      inv.amount_sat = coin.out.value / 2;
+      inv.compensation = 400;
+      inv.pay_to = w->parties[next].script;
+      inv.merchant_psc = w->merchant;
+      inv.expires_at_ms = t + 2 * kHour;
+      core::FastPayPackage pkg =
+          w->wallets[next]->create_fastpay(inv, op, coin.out.value, t, t + 2 * kHour);
+      w->txids[next] = pkg.payment_tx.txid();
+      w->anchors[next] = checkpoint;
+      payments.push_back(pkg.payment_tx);
+
+      psc::PscTx tx;
+      tx.from = w->merchant;
+      tx.to = w->judger;
+      tx.value = 500;
+      tx.method = "openDispute";
+      tx.args = core::encode_open_dispute_args(next + 1, pkg.binding);
+      const auto r = w->psc.execute_now(tx, t);
+      EXPECT_TRUE(r.success) << "escrow " << next + 1 << ": " << r.revert_reason;
+      t += 10;
+    }
+    mine_block_with(*w, std::move(payments));
+    mine_block_with(*w, {});
+  }
+  for (std::uint32_t d = 0; d < w->cfg.required_depth; ++d) mine_block_with(*w, {});
+
+  // The storm batch: merchant + customer evidence per dispute, in
+  // rng-shuffled order, with seeded corruptions.
+  for (std::size_t i = 0; i < n_escrows; ++i) {
+    const auto chain_headers = core::headers_since(*w->chain, w->anchors[i]);
+    EXPECT_TRUE(chain_headers.has_value() && !chain_headers->empty());
+    psc::PscTx m;
+    m.from = w->merchant;
+    m.to = w->judger;
+    m.method = "submitMerchantEvidence";
+    m.args = core::encode_merchant_evidence_args(i + 1, *chain_headers);
+    m.gas_limit = 8'000'000;
+    w->storm.push_back(std::move(m));
+
+    const auto ev = core::build_inclusion_evidence(*w->chain, w->anchors[i], w->txids[i],
+                                                   w->cfg.required_depth);
+    EXPECT_TRUE(ev.has_value());
+    if (ev) {
+      psc::PscTx c;
+      c.from = w->customers[i];
+      c.to = w->judger;
+      c.method = "submitCustomerEvidence";
+      c.args = core::encode_customer_evidence_args(i + 1, ev->headers, ev->proof,
+                                                   ev->header_index);
+      c.gas_limit = 8'000'000;
+      w->storm.push_back(std::move(c));
+    }
+  }
+  // Corrupt ~1/4 of the transactions (deterministically per seed): byte
+  // flips hit arg decoding, header links, PoW, or the proof — all the
+  // failure verdicts must stay byte-identical too.
+  for (auto& tx : w->storm) {
+    if (rng() % 4 != 0 || tx.args.empty()) continue;
+    const std::size_t pos = rng() % tx.args.size();
+    tx.args[pos] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+  }
+  // And a few outright-junk calls.
+  for (int j = 0; j < 3; ++j) {
+    psc::PscTx junk;
+    junk.from = w->merchant;
+    junk.to = w->judger;
+    junk.method = (j == 0) ? "submitMerchantEvidence" : (j == 1) ? "updateCheckpoint" : "noSuchMethod";
+    junk.args.resize(rng() % 64);
+    for (auto& b : junk.args) b = static_cast<std::uint8_t>(rng());
+    junk.gas_limit = 8'000'000;
+    w->storm.push_back(std::move(junk));
+  }
+  std::shuffle(w->storm.begin(), w->storm.end(), rng);
+  w->eval_time = t + 1'000;  // inside every evidence window
+  return w;
+}
+
+/// Everything observable about a run, for byte-parity comparison.
+struct RunResult {
+  std::vector<psc::Receipt> receipts;
+  std::vector<Bytes> views;  ///< raw getEscrow payloads per escrow
+  std::vector<psc::Value> balances;
+  psc::Gas total_gas = 0;
+  std::uint64_t block_number = 0;
+};
+
+void capture_state(StormWorld& w, RunResult* out) {
+  for (std::size_t i = 0; i < w.customers.size(); ++i) {
+    psc::PscTx q;
+    q.from = w.customers[i];
+    q.to = w.judger;
+    q.method = "getEscrow";
+    q.args = core::encode_escrow_id_arg(i + 1);
+    const auto r = w.psc.view_call(q);
+    EXPECT_TRUE(r.success);
+    out->views.push_back(r.return_data);
+    out->balances.push_back(w.psc.state().balance(w.customers[i]));
+  }
+  out->balances.push_back(w.psc.state().balance(w.merchant));
+  out->balances.push_back(w.psc.state().balance(psc::Address::from_label("psc/fee-sink")));
+  out->total_gas = w.psc.total_gas_used();
+  out->block_number = w.psc.block_number();
+}
+
+RunResult run_sequential(std::uint64_t seed, std::size_t n) {
+  auto w = build_storm_world(seed, n);
+  RunResult result;
+  for (const auto& tx : w->storm) result.receipts.push_back(w->psc.execute_now(tx, w->eval_time));
+  capture_state(*w, &result);
+  return result;
+}
+
+RunResult run_storm(std::uint64_t seed, std::size_t n, std::size_t chunk,
+                    HeaderIndexStats* stats_out = nullptr) {
+  auto w = build_storm_world(seed, n);
+  RunResult result;
+  {
+    StormEngine engine(w->psc, w->judger);
+    EXPECT_TRUE(engine.attached());
+    for (std::size_t at = 0; at < w->storm.size(); at += chunk) {
+      const std::size_t end = std::min(at + chunk, w->storm.size());
+      std::vector<psc::PscTx> batch(w->storm.begin() + static_cast<std::ptrdiff_t>(at),
+                                    w->storm.begin() + static_cast<std::ptrdiff_t>(end));
+      auto receipts = engine.execute_batch(batch, w->eval_time);
+      for (auto& r : receipts) result.receipts.push_back(std::move(r));
+    }
+    if (stats_out != nullptr) *stats_out = engine.stats();
+  }
+  capture_state(*w, &result);
+  return result;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b, const std::string& what) {
+  ASSERT_EQ(a.receipts.size(), b.receipts.size()) << what;
+  for (std::size_t i = 0; i < a.receipts.size(); ++i) {
+    const auto& ra = a.receipts[i];
+    const auto& rb = b.receipts[i];
+    EXPECT_EQ(ra.success, rb.success) << what << " tx " << i;
+    EXPECT_EQ(ra.revert_reason, rb.revert_reason) << what << " tx " << i;
+    EXPECT_EQ(ra.gas_used, rb.gas_used) << what << " tx " << i;
+    EXPECT_EQ(ra.return_data, rb.return_data) << what << " tx " << i;
+    EXPECT_EQ(ra.block_number, rb.block_number) << what << " tx " << i;
+    ASSERT_EQ(ra.logs.size(), rb.logs.size()) << what << " tx " << i;
+    for (std::size_t l = 0; l < ra.logs.size(); ++l) {
+      EXPECT_EQ(ra.logs[l].topic, rb.logs[l].topic) << what << " tx " << i;
+      EXPECT_EQ(ra.logs[l].data, rb.logs[l].data) << what << " tx " << i;
+    }
+  }
+  EXPECT_EQ(a.views, b.views) << what;
+  EXPECT_EQ(a.balances, b.balances) << what;
+  EXPECT_EQ(a.total_gas, b.total_gas) << what;
+  EXPECT_EQ(a.block_number, b.block_number) << what;
+}
+
+class StormParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StormParity, BatchMatchesSequentialByteForByte) {
+  const std::uint64_t seed = GetParam();
+  common::ThreadPool::configure_global(0);
+  const RunResult sequential = run_sequential(seed, 9);
+
+  HeaderIndexStats stats;
+  const RunResult storm = run_storm(seed, 9, /*chunk=*/SIZE_MAX, &stats);
+  expect_identical(sequential, storm, "storm vs sequential (1 thread)");
+  EXPECT_GT(stats.hits, 0u) << "shared segments should dedup";
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST_P(StormParity, ThreadCountChangesNothing) {
+  const std::uint64_t seed = GetParam();
+  common::ThreadPool::configure_global(0);
+  const RunResult reference = run_sequential(seed, 6);
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    common::ThreadPool::configure_global(threads);
+    expect_identical(reference, run_sequential(seed, 6),
+                     "sequential at " + std::to_string(threads) + " threads");
+    expect_identical(reference, run_storm(seed, 6, SIZE_MAX),
+                     "storm at " + std::to_string(threads) + " threads");
+  }
+  common::ThreadPool::configure_global(0);
+}
+
+TEST_P(StormParity, BatchCompositionChangesNothing) {
+  const std::uint64_t seed = GetParam();
+  common::ThreadPool::configure_global(0);
+  const RunResult reference = run_sequential(seed, 6);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    expect_identical(reference, run_storm(seed, 6, chunk),
+                     "storm chunked by " + std::to_string(chunk));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormParity, ::testing::Values(1, 2, 3, 4));
+
+TEST(StormEngine, ProviderServesLaterDirectExecutionToo) {
+  // After a batch, the engine stays attached: evidence executed through
+  // plain execute_now (e.g. by the deployment's block producer) hits the
+  // warm index and must stay byte-identical as well.
+  common::ThreadPool::configure_global(0);
+  auto w1 = build_storm_world(7, 4);
+  auto w2 = build_storm_world(7, 4);
+  StormEngine engine(w2->psc, w2->judger);
+
+  std::vector<psc::Receipt> direct, warm;
+  for (const auto& tx : w1->storm) direct.push_back(w1->psc.execute_now(tx, w1->eval_time));
+  (void)engine.execute_batch(w2->storm, w2->eval_time);
+
+  // Re-submit the first evidence tx in both worlds (a duplicate — the
+  // contract sees it as weaker-or-equal evidence, still metered fully).
+  const auto r1 = w1->psc.execute_now(w1->storm.front(), w1->eval_time + 10);
+  const auto r2 = w2->psc.execute_now(w2->storm.front(), w2->eval_time + 10);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.revert_reason, r2.revert_reason);
+  EXPECT_EQ(r1.gas_used, r2.gas_used);
+  EXPECT_EQ(r1.return_data, r2.return_data);
+}
+
+TEST(StormEngine, ScanToleratesJunkArgs) {
+  std::mt19937_64 rng(99);
+  std::vector<btc::BlockHeader> sink;
+  for (int i = 0; i < 200; ++i) {
+    psc::PscTx tx;
+    const int m = static_cast<int>(rng() % 4);
+    tx.method = m == 0   ? "submitMerchantEvidence"
+                : m == 1 ? "submitCustomerEvidence"
+                : m == 2 ? "updateCheckpoint"
+                         : "getEscrow";
+    tx.args.resize(rng() % 300);
+    for (auto& b : tx.args) b = static_cast<std::uint8_t>(rng());
+    (void)StormEngine::scan_tx_headers(tx, 144, &sink);
+  }
+  // No crash is the assertion; decoded junk may or may not yield headers.
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// HeaderSyncManager
+
+void mine_empty_blocks(btc::Chain& chain, const btc::ChainParams& params, int count,
+                       const btc::ScriptPubKey& payout) {
+  for (int i = 0; i < count; ++i) {
+    btc::Block b;
+    b.header.prev_hash = chain.tip_hash();
+    b.header.time = chain.tip_header().time + 600;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = chain.height() + 1;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, payout});
+    b.txs.push_back(cb);
+    ASSERT_TRUE(btc::mine_block(b, params));
+    ASSERT_EQ(chain.submit_block(b), btc::SubmitResult::kActiveTip);
+  }
+}
+
+struct SyncFixture : ::testing::Test {
+  SyncFixture() : params(easy_params()), chain(params), party(Party::make(5)) {}
+
+  void mine(int count) { mine_empty_blocks(chain, params, count, party.script); }
+
+  /// Mine a fork of `length` blocks branching above `fork_height`.
+  void mine_fork(std::uint32_t fork_height, int length) {
+    auto parent = chain.hash_at_height(fork_height);
+    ASSERT_TRUE(parent.has_value());
+    auto parent_block = chain.block_at_height(fork_height);
+    ASSERT_TRUE(parent_block.has_value());
+    std::uint32_t time = parent_block->header.time + 601;
+    btc::BlockHash prev = *parent;
+    for (int i = 0; i < length; ++i) {
+      btc::Block b;
+      b.header.prev_hash = prev;
+      b.header.time = time;
+      b.header.bits = params.genesis_bits;
+      btc::Transaction cb;
+      btc::TxIn in;
+      in.prevout.index = 0xffffffff;
+      in.sequence = fork_height + static_cast<std::uint32_t>(i) + 1;
+      // Distinct coinbase script so fork blocks differ from the originals.
+      cb.inputs.push_back(in);
+      cb.outputs.push_back(btc::TxOut{params.subsidy, Party::make(77).script});
+      b.txs.push_back(cb);
+      ASSERT_TRUE(btc::mine_block(b, params));
+      const auto res = chain.submit_block(b);
+      ASSERT_NE(res, btc::SubmitResult::kInvalid);
+      prev = b.header.hash();
+      time += 600;
+    }
+  }
+
+  btc::ChainParams params;
+  btc::Chain chain;
+  Party party;
+};
+
+TEST_F(SyncFixture, CatchesUpInLocatorRounds) {
+  mine(30);
+  HeaderSyncManager::Config cfg;
+  cfg.batch_size = 7;  // force several rounds
+  HeaderSyncManager mgr(params, cfg);
+  const std::size_t rounds = mgr.sync_from(chain);
+  EXPECT_GE(rounds, 5u);
+  EXPECT_EQ(mgr.tip_hash(), chain.tip_hash());
+  EXPECT_EQ(mgr.tip_height(), chain.height());
+  EXPECT_EQ(mgr.tip_work(), chain.tip_work());
+  EXPECT_EQ(mgr.stats().headers_connected, 30u);
+
+  // Caught up: another round connects nothing.
+  const auto r = mgr.sync_round(chain);
+  EXPECT_EQ(r.connected, 0u);
+}
+
+TEST_F(SyncFixture, LocatorIsDenseNearTipSparseBehind) {
+  mine(100);
+  HeaderSyncManager mgr(params);
+  mgr.sync_from(chain);
+  const auto loc = mgr.locator();
+  ASSERT_FALSE(loc.empty());
+  EXPECT_EQ(loc.front(), chain.tip_hash());
+  EXPECT_EQ(loc.back(), btc::genesis_header(params).hash());
+  EXPECT_LT(loc.size(), 30u);  // exponential spacing, not 101 entries
+}
+
+TEST_F(SyncFixture, FollowsReorgAndMeasuresDepth) {
+  mine(10);
+  HeaderSyncManager mgr(params);
+  mgr.sync_from(chain);
+  ASSERT_EQ(mgr.tip_height(), 10u);
+
+  // Heavier fork above height 6: the full node reorgs (depth 4), the
+  // sync manager must follow and report the same depth.
+  mine_fork(6, 6);
+  ASSERT_EQ(chain.height(), 12u);
+  mgr.sync_from(chain);
+  EXPECT_EQ(mgr.tip_hash(), chain.tip_hash());
+  EXPECT_EQ(mgr.tip_height(), 12u);
+  EXPECT_EQ(mgr.stats().reorgs, 1u);
+  EXPECT_EQ(mgr.stats().deepest_reorg, 4u);
+  EXPECT_EQ(mgr.stats().deepest_reorg, chain.max_reorg_depth());
+}
+
+TEST_F(SyncFixture, EqualWorkTieBreaksTowardSource) {
+  mine(5);
+  const auto real = chain.header_range(1, 5);
+
+  // An equal-work sibling of the source's tip (same parent, same bits,
+  // different time/nonce). A manager that sees it first would keep it
+  // forever under first-seen — but the node will extend *its* branch.
+  btc::BlockHeader sib = real.back();
+  sib.time += 600;
+  while (!btc::check_proof_of_work(sib, params.pow_limit)) ++sib.nonce;
+
+  HeaderSyncManager mgr(params);
+  std::vector<btc::BlockHeader> first(real.begin(), real.end() - 1);
+  first.push_back(sib);
+  mgr.accept_headers(first);
+  ASSERT_EQ(mgr.tip_hash(), sib.hash());
+  ASSERT_EQ(mgr.tip_work(), chain.tip_work());
+
+  const auto r = mgr.sync_round(chain);
+  EXPECT_EQ(r.reorg_depth, 1u);
+  EXPECT_EQ(mgr.tip_hash(), chain.tip_hash());
+  EXPECT_EQ(mgr.stats().reorgs, 1u);
+  EXPECT_EQ(mgr.stats().deepest_reorg, 1u);
+}
+
+TEST_F(SyncFixture, RefusesReorgPastBound) {
+  mine(10);
+  HeaderSyncManager::Config cfg;
+  cfg.max_reorg_depth = 3;
+  HeaderSyncManager mgr(params, cfg);
+  mgr.sync_from(chain);
+  const auto old_tip = mgr.tip_hash();
+
+  mine_fork(4, 8);  // depth-6 reorg on the full node
+  ASSERT_EQ(chain.height(), 12u);
+  const auto r = mgr.sync_round(chain);
+  EXPECT_TRUE(r.reorg_refused);
+  EXPECT_EQ(mgr.tip_hash(), old_tip);  // held its ground
+  EXPECT_EQ(mgr.stats().reorgs, 0u);
+}
+
+TEST_F(SyncFixture, CheckpointAdvanceRespectsLagAndReorgs) {
+  mine(20);
+  HeaderSyncManager::Config cfg;
+  cfg.checkpoint_lag = 6;
+  HeaderSyncManager mgr(params, cfg);
+  mgr.sync_from(chain);
+
+  const auto genesis = btc::genesis_header(params).hash();
+  const auto advance = mgr.checkpoint_advance(genesis);
+  ASSERT_EQ(advance.size(), 14u);  // heights 1..14 (tip 20 - lag 6)
+  EXPECT_EQ(advance.front().prev_hash, genesis);
+  for (std::size_t i = 1; i < advance.size(); ++i) {
+    EXPECT_EQ(advance[i].prev_hash, advance[i - 1].hash());
+  }
+
+  // Advancing from the safe tip: nothing to do.
+  EXPECT_TRUE(mgr.checkpoint_advance(advance.back().hash()).empty());
+  // Unknown anchor: nothing.
+  btc::BlockHash junk;
+  junk.bytes[0] = 0xAB;
+  EXPECT_TRUE(mgr.checkpoint_advance(junk).empty());
+
+  // A header that reorged off the best chain is not a valid anchor.
+  const auto orphaned = chain.hash_at_height(18);
+  ASSERT_TRUE(orphaned.has_value());
+  mine_fork(15, 8);
+  mgr.sync_from(chain);
+  EXPECT_FALSE(mgr.on_best_chain(*orphaned));
+  EXPECT_TRUE(mgr.checkpoint_advance(*orphaned).empty());
+}
+
+TEST(LocatorCodec, RoundTripsAndRejectsJunk) {
+  std::mt19937_64 rng(11);
+  std::vector<btc::BlockHash> loc;
+  for (int i = 0; i < 25; ++i) {
+    btc::BlockHash h;
+    for (auto& b : h.bytes) b = static_cast<std::uint8_t>(rng());
+    loc.push_back(h);
+  }
+  const Bytes wire = serialize_locator(loc);
+  const auto back = deserialize_locator({wire.data(), wire.size()});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, loc);
+
+  // Truncations must fail cleanly.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, wire.size() - 1}) {
+    EXPECT_FALSE(deserialize_locator({wire.data(), cut}).has_value());
+  }
+  // Trailing garbage rejected.
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_FALSE(deserialize_locator({extended.data(), extended.size()}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Watchtower integration: duplicate suppression, landed-defense
+// accounting, storm prehash, checkpoint advancement.
+
+struct TowerFixture : ::testing::Test {
+  TowerFixture()
+      : params(easy_params()),
+        node(0, params, nullptr),
+        customer_party(Party::make(31)),
+        merchant_party(Party::make(32)) {
+    for (const auto& b :
+         sim::build_funding_chain(params, {customer_party.script}, /*blocks_each=*/2)) {
+      EXPECT_EQ(node.chain().submit_block(b), btc::SubmitResult::kActiveTip);
+    }
+    cfg.pow_limit = params.pow_limit;
+    cfg.initial_checkpoint = node.chain().tip_hash();
+    cfg.required_depth = 3;
+    cfg.evidence_window_ms = kHour;
+    cfg.min_collateral = 1'000;
+    cfg.dispute_bond = 500;
+    judger = psc.deploy("payjudger", std::make_unique<core::PayJudger>(cfg));
+    psc.mint(customer_psc, 1'000'000'000);
+    psc.mint(merchant_psc, 1'000'000'000);
+    psc.mint(tower_psc, 1'000'000'000);
+    wallet = std::make_unique<core::CustomerWallet>(customer_party, customer_psc, 1);
+    EXPECT_TRUE(psc.execute_now(wallet->make_deposit_tx(judger, 100'000, 24 * kHour), 0).success);
+  }
+
+  void mine_with(std::vector<btc::Transaction> txs) {
+    btc::Block b;
+    b.header.prev_hash = node.chain().tip_hash();
+    b.header.time = node.chain().tip_header().time + 600;
+    b.header.bits = params.genesis_bits;
+    btc::Transaction cb;
+    btc::TxIn in;
+    in.prevout.index = 0xffffffff;
+    in.sequence = node.chain().height() + 1;
+    cb.inputs.push_back(in);
+    cb.outputs.push_back(btc::TxOut{params.subsidy, merchant_party.script});
+    b.txs.push_back(cb);
+    for (auto& tx : txs) b.txs.push_back(std::move(tx));
+    ASSERT_TRUE(btc::mine_block(b, params));
+    ASSERT_EQ(node.chain().submit_block(b), btc::SubmitResult::kActiveTip);
+  }
+
+  /// Open a dispute over a payment mined at required depth.
+  void open_disputed_payment(std::uint64_t t) {
+    const auto coins = sim::find_spendable(node.chain(), customer_party.script);
+    ASSERT_FALSE(coins.empty());
+    const auto [op, coin] = coins.front();
+    core::Invoice inv;
+    inv.amount_sat = coin.out.value / 2;
+    inv.compensation = 400;
+    inv.pay_to = merchant_party.script;
+    inv.merchant_psc = merchant_psc;
+    inv.expires_at_ms = t + 2 * kHour;
+    core::FastPayPackage pkg = wallet->create_fastpay(inv, op, coin.out.value, t, t + 2 * kHour);
+    psc::PscTx tx;
+    tx.from = merchant_psc;
+    tx.to = judger;
+    tx.value = 500;
+    tx.method = "openDispute";
+    tx.args = core::encode_open_dispute_args(1, pkg.binding);
+    ASSERT_TRUE(psc.execute_now(tx, t).success);
+    mine_with({pkg.payment_tx});
+    for (std::uint32_t d = 0; d < cfg.required_depth; ++d) mine_with({});
+  }
+
+  btc::ChainParams params;
+  sim::Node node;
+  Party customer_party;
+  Party merchant_party;
+  psc::PscChain psc;
+  core::PayJudgerConfig cfg;
+  psc::Address judger;
+  psc::Address customer_psc = psc::Address::from_label("customer");
+  psc::Address merchant_psc = psc::Address::from_label("merchant");
+  psc::Address tower_psc = psc::Address::from_label("tower");
+  std::unique_ptr<core::CustomerWallet> wallet;
+};
+
+TEST_F(TowerFixture, NoDuplicateDefenseWhileChainUnchanged) {
+  open_disputed_payment(1'000);
+  core::Watchtower tower(node, psc, {judger, tower_psc});
+  tower.protect(1);
+
+  const auto first = tower.poll(2'000);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].method, "submitCustomerEvidence");
+
+  // Regression: polling again before the PSC chain advances used to
+  // refile the identical defense every round, burning gas.
+  EXPECT_TRUE(tower.poll(2'100).empty());
+  EXPECT_TRUE(tower.poll(2'200).empty());
+
+  // Once the Bitcoin chain advances, stronger evidence is a new filing.
+  mine_with({});
+  const auto second = tower.poll(2'300);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].method, "submitCustomerEvidence");
+}
+
+TEST_F(TowerFixture, DefensesFiledCountsOnlyLandedDefenses) {
+  open_disputed_payment(1'000);
+  core::Watchtower tower(node, psc, {judger, tower_psc});
+  tower.protect(1);
+
+  const auto actions = tower.poll(2'000);
+  ASSERT_EQ(actions.size(), 1u);
+  // Created but never accepted by the chain: not a filed defense.
+  EXPECT_EQ(tower.defenses_filed(), 0u);
+  (void)tower.poll(2'100);
+  EXPECT_EQ(tower.defenses_filed(), 0u);
+
+  // Land it; the next poll observes customer_proved and counts it once.
+  ASSERT_TRUE(psc.execute_now(actions[0], 2'200).success);
+  (void)tower.poll(2'300);
+  EXPECT_EQ(tower.defenses_filed(), 1u);
+  (void)tower.poll(2'400);
+  EXPECT_EQ(tower.defenses_filed(), 1u);
+}
+
+TEST_F(TowerFixture, PollPrehashesThroughStormEngine) {
+  open_disputed_payment(1'000);
+  core::Watchtower tower(node, psc, {judger, tower_psc});
+  tower.protect(1);
+
+  StormEngine engine(psc, judger);
+  tower.attach_prehasher(&engine);
+
+  const auto actions = tower.poll(2'000);
+  ASSERT_EQ(actions.size(), 1u);
+  const auto after_poll = engine.stats();
+  EXPECT_GT(after_poll.misses, 0u) << "poll should sweep the defense headers";
+
+  // Executing the defense through the engine hits the warm index.
+  const auto receipts = engine.execute_batch(actions, 2'100);
+  ASSERT_EQ(receipts.size(), 1u);
+  EXPECT_TRUE(receipts[0].success) << receipts[0].revert_reason;
+  const auto after_exec = engine.stats();
+  EXPECT_GT(after_exec.hits, 0u);
+  EXPECT_EQ(after_exec.misses, after_poll.misses) << "no re-hashing at execution time";
+}
+
+TEST_F(TowerFixture, AdvancesCheckpointFromSyncManager) {
+  HeaderSyncManager sync(params);
+  sync.sync_from(node.chain());
+
+  core::Watchtower tower(node, psc, {judger, tower_psc});
+  tower.attach_checkpoint_source(&sync);
+
+  // Far enough past the lag (6 blocks) that an advance exists.
+  for (int i = 0; i < 8; ++i) mine_with({});
+  sync.sync_from(node.chain());
+
+  const auto actions = tower.poll(1'000);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].method, "updateCheckpoint");
+
+  // Duplicate suppression: same advance is not refiled.
+  EXPECT_TRUE(tower.poll(1'100).empty());
+
+  // Land it and confirm the contract checkpoint moved.
+  ASSERT_TRUE(psc.execute_now(actions[0], 1'200).success);
+  psc::PscTx q;
+  q.from = tower_psc;
+  q.to = judger;
+  q.method = "getCheckpoint";
+  const auto r = psc.view_call(q);
+  ASSERT_TRUE(r.success);
+  btc::BlockHash cp;
+  std::copy(r.return_data.begin(), r.return_data.begin() + 32, cp.bytes.begin());
+  EXPECT_TRUE(sync.on_best_chain(cp));
+  EXPECT_NE(cp, cfg.initial_checkpoint);
+  // Nothing new to file until the chain moves past the lag again.
+  EXPECT_TRUE(tower.poll(1'300).empty());
+}
+
+}  // namespace
+}  // namespace btcfast::dispute

@@ -17,6 +17,8 @@
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "crypto/base58.h"
+#include "dispute/header_sync.h"
+#include "dispute/storm_engine.h"
 #include "gateway/wire.h"
 #include "net/frame_assembler.h"
 #include "store/records.h"
@@ -713,6 +715,107 @@ TEST_P(NetFuzz, ValidFramesSurviveEveryChunking) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz, ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------- dispute
+
+// The dispute subsystem's untrusted surfaces: the locator wire codec,
+// the header-sync accept path, and the storm engine's tx pre-scan.
+class DisputeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisputeFuzz, LocatorCodecNeverCrashesAndRoundTrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < fuzz_iters(200); ++i) {
+    const std::size_t len = rng.below(600);
+    Bytes junk(len);
+    rng.fill({junk.data(), junk.size()});
+    // Junk decode must fail cleanly or produce a re-encodable locator.
+    const auto decoded = dispute::deserialize_locator({junk.data(), junk.size()});
+    if (decoded) {
+      const Bytes wire = dispute::serialize_locator(*decoded);
+      const auto again = dispute::deserialize_locator({wire.data(), wire.size()});
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *decoded);
+    }
+  }
+}
+
+TEST_P(DisputeFuzz, HeaderSyncSurvivesJunkAndMutatedBatches) {
+  Rng rng(GetParam());
+  auto params = btc::ChainParams::regtest();
+  params.pow_limit = crypto::U256::one() << 250;
+  params.genesis_bits = btc::target_to_bits(params.pow_limit);
+
+  // A small real chain supplies structurally-valid headers to mutate.
+  btc::Chain chain(params);
+  const auto party = sim::Party::make(42);
+  for (const auto& b : sim::build_funding_chain(params, {party.script}, 4)) {
+    ASSERT_EQ(chain.submit_block(b), btc::SubmitResult::kActiveTip);
+  }
+  const auto real = chain.header_range(0, chain.height() + 1);
+
+  dispute::HeaderSyncManager::Config cfg;
+  cfg.max_reorg_depth = 5;
+  dispute::HeaderSyncManager mgr(params, cfg);
+  for (int i = 0; i < fuzz_iters(100); ++i) {
+    std::vector<btc::BlockHeader> batch;
+    const std::size_t n = 1 + rng.below(8);
+    for (std::size_t j = 0; j < n; ++j) {
+      btc::BlockHeader h = real[rng.below(real.size())];
+      switch (rng.below(4)) {
+        case 0:  // untouched (valid, possibly duplicate)
+          break;
+        case 1:  // corrupt the PoW / identity
+          h.nonce ^= static_cast<std::uint32_t>(1 + rng.below(0xffff));
+          break;
+        case 2:  // orphan it
+          rng.fill({h.prev_hash.bytes.data(), h.prev_hash.bytes.size()});
+          break;
+        default:  // absurd difficulty claim
+          h.bits = static_cast<std::uint32_t>(rng.next());
+          break;
+      }
+      batch.push_back(h);
+    }
+    const auto r = mgr.accept_headers(batch);
+    EXPECT_EQ(r.connected + r.known + r.orphaned + r.rejected, batch.size());
+    // The tree never outgrows what it has connected (+ genesis).
+    EXPECT_LE(mgr.tree_size(), mgr.stats().headers_connected + 1);
+    EXPECT_LE(mgr.tip_height(), chain.height());
+  }
+  // After the storm of junk, a clean sync still converges to the source.
+  mgr.sync_from(chain);
+  EXPECT_EQ(mgr.tip_hash(), chain.tip_hash());
+}
+
+TEST_P(DisputeFuzz, StormPreScanNeverCrashesOnArbitraryArgs) {
+  Rng rng(GetParam());
+  const char* methods[] = {"submitMerchantEvidence", "submitCustomerEvidence",
+                           "updateCheckpoint", "judge", ""};
+  std::vector<btc::BlockHeader> sink;
+  for (int i = 0; i < fuzz_iters(300); ++i) {
+    psc::PscTx tx;
+    tx.method = methods[rng.below(5)];
+    Bytes junk(rng.below(1024));
+    rng.fill({junk.data(), junk.size()});
+    tx.args = std::move(junk);
+    const std::size_t before = sink.size();
+    const std::size_t added = dispute::StormEngine::scan_tx_headers(tx, 144, &sink);
+    EXPECT_EQ(sink.size(), before + added);
+    EXPECT_LE(added, 144u);
+    // The zero-copy span scan must accept exactly what the decoded scan
+    // accepts — the storm sweep and the contract see the same headers.
+    const ByteSpan raw = dispute::StormEngine::scan_tx_header_span(tx, 144);
+    EXPECT_EQ(raw.size(), added * 80);
+    for (std::size_t h = 0; h < added; ++h) {
+      EXPECT_EQ(sink[before + h].serialize(),
+                Bytes(raw.begin() + static_cast<std::ptrdiff_t>(h * 80),
+                      raw.begin() + static_cast<std::ptrdiff_t>((h + 1) * 80)));
+    }
+    if (sink.size() > 4096) sink.clear();  // bound the corpus
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisputeFuzz, ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace btcfast

@@ -6,6 +6,7 @@
 
 #include "btc/pow.h"
 #include "btcfast/customer.h"
+#include "common/thread_pool.h"
 #include "btcfast/evidence.h"
 #include "btcfast/payjudger.h"
 #include "btcsim/scenario.h"
@@ -606,6 +607,88 @@ TEST_F(JudgerFixture, GasCostsAreSane) {
   // tens of thousands of gas, not millions.
   EXPECT_GT(r.gas_used, 21'000u);
   EXPECT_LT(r.gas_used, 400'000u);
+}
+
+// Counts provider calls and serves correct digests — the contract-side
+// seam the dispute storm engine plugs into. Gas and verdicts must not
+// depend on whether a provider is attached or how many pool threads run.
+struct CountingProvider final : HeaderDigestProvider {
+  std::size_t calls = 0;
+  std::size_t headers = 0;
+  void batch_digests(const std::vector<btc::BlockHeader>& hs,
+                     crypto::Sha256Digest* out) override {
+    ++calls;
+    headers += hs.size();
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      std::uint8_t ser[80];
+      hs[i].serialize_into(ser);
+      out[i] = crypto::sha256d_80(ser);
+    }
+  }
+};
+
+TEST(EvidenceGasDeterminism, ThreadsAndDigestProviderChangeNothing) {
+  struct World : JudgerFixture {
+    void TestBody() override {}
+  };
+  struct Outcome {
+    bool ok = false;
+    std::string reason;
+    psc::Gas gas = 0;
+    psc::Gas total_gas = 0;
+    crypto::U256 work;
+  };
+  const auto run = [](std::size_t threads, bool with_provider) {
+    common::ThreadPool::configure_global(threads);
+    World w;
+    EXPECT_TRUE(w.deposit().success);
+    btc::Transaction pay_tx;
+    const auto binding = w.make_binding(400, 2 * kHour, &pay_tx);
+    EXPECT_TRUE(w.open_dispute(binding, 10).success);
+    w.mine_block_with({pay_tx});
+    for (int i = 0; i < 5; ++i) w.mine_block_with({});
+
+    CountingProvider provider;
+    auto* judger = dynamic_cast<PayJudger*>(w.psc.contract(w.judger));
+    EXPECT_NE(judger, nullptr);
+    if (with_provider) judger->set_digest_provider(&provider);
+
+    const auto headers = headers_since(w.btc_chain, w.cfg.initial_checkpoint);
+    EXPECT_TRUE(headers.has_value());
+    Outcome o;
+    if (headers) {
+      const auto r = w.submit_merchant_evidence(*headers, 20);
+      o.ok = r.success;
+      o.reason = r.revert_reason;
+      o.gas = r.gas_used;
+    }
+    o.total_gas = w.psc.total_gas_used();
+    if (const auto v = w.view()) o.work = v->merchant_work;
+    if (with_provider) {
+      EXPECT_EQ(provider.calls, 1u);
+      EXPECT_GT(provider.headers, 0u);
+      judger->set_digest_provider(nullptr);
+    } else {
+      EXPECT_EQ(provider.calls, 0u);
+    }
+    return o;
+  };
+
+  const Outcome reference = run(0, false);
+  EXPECT_TRUE(reference.ok) << reference.reason;
+  EXPECT_GT(reference.gas, 0u);
+  EXPECT_NE(reference.work, crypto::U256::zero());
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
+    for (const bool with_provider : {false, true}) {
+      const Outcome o = run(threads, with_provider);
+      EXPECT_EQ(o.ok, reference.ok) << threads << "/" << with_provider;
+      EXPECT_EQ(o.reason, reference.reason) << threads << "/" << with_provider;
+      EXPECT_EQ(o.gas, reference.gas) << threads << "/" << with_provider;
+      EXPECT_EQ(o.total_gas, reference.total_gas) << threads << "/" << with_provider;
+      EXPECT_EQ(o.work, reference.work) << threads << "/" << with_provider;
+    }
+  }
+  common::ThreadPool::configure_global(0);
 }
 
 }  // namespace
