@@ -117,15 +117,19 @@ bool read_full(int fd, std::uint8_t* data, std::size_t len) {
 struct ChildReport {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;    ///< kFastPayResult (load) / kError replies (abuse)
-  std::uint64_t shed = 0;  ///< kRetryAfter
+  std::uint64_t shed = 0;  ///< kRetryAfter responses seen (retried, not final)
   std::uint64_t err = 0;   ///< kError + transport failures (load) / refused conns (abuse)
+  std::uint64_t retried = 0;  ///< resubmissions after honoring a retry hint
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   std::uint64_t nlat = 0;
 };
 
 /// Load client: submit a contiguous slice of prebuilt frames, `pipeline`
-/// at a time, classifying responses by wire type.
+/// at a time, classifying responses by wire type. A kRetryAfter reply is
+/// honored, not dropped: the frame is requeued and resubmitted after the
+/// server's hinted backoff (capped so the bench stays bounded), so the
+/// reported throughput is goodput — work that actually landed.
 void run_load_client(std::uint16_t port, const std::vector<Bytes>& frames, std::size_t begin,
                      std::size_t count, std::size_t pipeline, int out_fd) {
   ChildReport rep;
@@ -139,38 +143,70 @@ void run_load_client(std::uint16_t port, const std::vector<Bytes>& frames, std::
   }
   net::FrameAssembler assembler;
   std::uint8_t buf[65536];
+  std::vector<std::size_t> work(count);
+  for (std::size_t i = 0; i < count; ++i) work[i] = begin + i;
+  constexpr int kRetryRounds = 10;
+  constexpr std::uint64_t kMaxBackoffMs = 50;
   rep.start_ns = mono_ns();
-  for (std::size_t done = 0; done < count;) {
-    const std::size_t batch = std::min(pipeline, count - done);
-    Bytes out;
-    for (std::size_t i = 0; i < batch; ++i) append(out, frames[begin + done + i]);
-    const std::uint64_t t_send = mono_ns();
-    if (!write_full(fd, out.data(), out.size())) {
-      rep.err += count - done;
-      break;
-    }
-    rep.sent += batch;
-    std::size_t got = 0;
-    while (got < batch) {
-      const ssize_t n = ::read(fd, buf, sizeof(buf));
-      if (n <= 0) break;
-      if (!assembler.feed({buf, static_cast<std::size_t>(n)})) break;
-      while (auto frame = assembler.next_frame()) {
-        lat.push_back(static_cast<double>(mono_ns() - t_send) / 1e3);
-        switch ((*frame)[4]) {
-          case static_cast<std::uint8_t>(gateway::MsgType::kFastPayResult): ++rep.ok; break;
-          case static_cast<std::uint8_t>(gateway::MsgType::kRetryAfter): ++rep.shed; break;
-          default: ++rep.err; break;
-        }
-        ++got;
+  for (int round = 0; round <= kRetryRounds && !work.empty(); ++round) {
+    if (round > 0) rep.retried += work.size();
+    std::vector<std::size_t> requeue;
+    std::uint64_t backoff_ms = 1;
+    bool transport_dead = false;
+    for (std::size_t done = 0; done < work.size();) {
+      const std::size_t batch = std::min(pipeline, work.size() - done);
+      Bytes out;
+      for (std::size_t i = 0; i < batch; ++i) append(out, frames[work[done + i]]);
+      const std::uint64_t t_send = mono_ns();
+      if (!write_full(fd, out.data(), out.size())) {
+        rep.err += work.size() - done;
+        transport_dead = true;
+        break;
       }
+      rep.sent += batch;
+      std::size_t got = 0;
+      while (got < batch) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        if (!assembler.feed({buf, static_cast<std::size_t>(n)})) break;
+        while (auto frame = assembler.next_frame()) {
+          lat.push_back(static_cast<double>(mono_ns() - t_send) / 1e3);
+          switch ((*frame)[4]) {
+            case static_cast<std::uint8_t>(gateway::MsgType::kFastPayResult): ++rep.ok; break;
+            case static_cast<std::uint8_t>(gateway::MsgType::kRetryAfter): {
+              // Responses come back in submit order on this connection,
+              // so the got-th reply belongs to the got-th frame sent.
+              ++rep.shed;
+              requeue.push_back(work[done + got]);
+              if (const auto parsed = gateway::Frame::deserialize(*frame)) {
+                if (const auto hint = gateway::RetryAfterResponse::deserialize(parsed->payload)) {
+                  backoff_ms = std::max(backoff_ms, std::min(hint->retry_after_ms, kMaxBackoffMs));
+                }
+              }
+              break;
+            }
+            default: ++rep.err; break;
+          }
+          ++got;
+        }
+      }
+      if (got < batch) {
+        rep.err += work.size() - done - got;
+        transport_dead = true;
+        break;
+      }
+      done += batch;
     }
-    if (got < batch) {
-      rep.err += batch - got;
+    if (transport_dead) {
+      work.clear();  // unanswered frames were already counted as errors
       break;
     }
-    done += batch;
+    work = std::move(requeue);
+    if (!work.empty() && round < kRetryRounds) {
+      ::usleep(static_cast<useconds_t>(backoff_ms * 1000));
+    }
   }
+  rep.err += work.size();  // still shed after the full retry budget
   rep.end_ns = mono_ns();
   ::close(fd);
   rep.nlat = lat.size();
@@ -178,6 +214,49 @@ void run_load_client(std::uint16_t port, const std::vector<Bytes>& frames, std::
   (void)write_full(out_fd, reinterpret_cast<const std::uint8_t*>(lat.data()),
                    lat.size() * sizeof(double));
 }
+
+/// Admission brownout in front of the gateway: the first
+/// `brownout_frames` requests are answered kRetryAfter before the
+/// gateway sees them. The single-threaded server never runs two serve()
+/// calls at once, so the gateway's own depth guard cannot trip under
+/// this bench's load — the brownout manufactures the deterministic
+/// overload window the clients' retry loop must recover from, making the
+/// reported goodput include demonstrably re-earned work.
+class BrownoutHandler final : public net::FrameHandler {
+ public:
+  BrownoutHandler(net::FrameHandler& inner, std::uint64_t brownout_frames,
+                  std::uint64_t retry_after_ms)
+      : inner_(inner), remaining_(brownout_frames), retry_after_ms_(retry_after_ms) {}
+
+  [[nodiscard]] std::vector<Bytes> handle(const std::vector<Bytes>& frames,
+                                          std::uint64_t now_ms) override {
+    if (remaining_ == 0) return inner_.handle(frames, now_ms);
+    std::vector<Bytes> out;
+    out.reserve(frames.size());
+    for (const auto& bytes : frames) {
+      if (remaining_ == 0) {
+        // Mid-batch recovery: delegate the tail one frame at a time so
+        // responses stay index-aligned.
+        auto one = inner_.handle({bytes}, now_ms);
+        out.push_back(std::move(one.front()));
+        continue;
+      }
+      --remaining_;
+      std::uint64_t rid = 0;
+      if (const auto f = gateway::Frame::deserialize(bytes)) rid = f->request_id;
+      gateway::RetryAfterResponse shed;
+      shed.retry_after_ms = retry_after_ms_;
+      shed.queue_depth = remaining_ + 1;
+      out.push_back(gateway::make_frame(gateway::MsgType::kRetryAfter, rid, shed.serialize()));
+    }
+    return out;
+  }
+
+ private:
+  net::FrameHandler& inner_;
+  std::uint64_t remaining_;
+  std::uint64_t retry_after_ms_;
+};
 
 /// Abuse client: each attempt connects and sends garbage magic. Early
 /// attempts must earn a typed kError reply (counted in ok); once the
@@ -358,14 +437,20 @@ int main() {
     invoices.push_back(std::move(inv));
   }
 
-  gateway::Gateway gw(dep.merchant(), common::ThreadPool::global(), gateway::GatewayConfig{});
+  gateway::GatewayConfig gcfg;
+  gcfg.retry_after_ms = 1;  // hint the retrying clients honor; keeps the bench brisk
+  gateway::Gateway gw(dep.merchant(), common::ThreadPool::global(), gcfg);
   for (const auto& inv : invoices) gw.register_invoice(inv);
   for (std::size_t e = 1; e <= kEscrows; ++e) gw.track_escrow(static_cast<core::EscrowId>(e));
 
   net::GatewayHandler handler(gw);
   handler.pin_time(now);  // sim clock is quiescent; sockets run on real time
+  // The brownout is fully drained by the load phase (every frame must end
+  // accepted), so the later abuse phase sees the gateway directly.
+  const std::uint64_t kBrownout = std::max<std::size_t>(1, kTotal / 10);
+  BrownoutHandler brownout(handler, kBrownout, gcfg.retry_after_ms);
   net::ServerConfig scfg;
-  net::TcpServer server(handler, scfg);
+  net::TcpServer server(brownout, scfg);
   if (!server.start()) {
     std::fprintf(stderr, "server start failed\n");
     return 1;
@@ -378,7 +463,8 @@ int main() {
     run_load_client(port, frames, c * kRequests, kRequests, kPipeline, out_fd);
   });
 
-  bench::Table per_client({"client", "sent", "ok", "shed", "err", "p50 (us)", "p99 (us)"});
+  bench::Table per_client(
+      {"client", "sent", "ok", "shed", "retried", "err", "p50 (us)", "p99 (us)"});
   ChildReport total;
   std::vector<double> lat_all;
   std::uint64_t start_min = ~0ULL, end_max = 0;
@@ -388,12 +474,13 @@ int main() {
     total.ok += rep.ok;
     total.shed += rep.shed;
     total.err += rep.err;
+    total.retried += rep.retried;
     start_min = std::min(start_min, rep.start_ns);
     end_max = std::max(end_max, rep.end_ns);
     auto mine = lat;
     std::sort(mine.begin(), mine.end());
     per_client.row({bench::fmt_u(c), bench::fmt_u(rep.sent), bench::fmt_u(rep.ok),
-                    bench::fmt_u(rep.shed), bench::fmt_u(rep.err),
+                    bench::fmt_u(rep.shed), bench::fmt_u(rep.retried), bench::fmt_u(rep.err),
                     bench::fmt(percentile(mine, 50), 1), bench::fmt(percentile(mine, 99), 1)});
     lat_all.insert(lat_all.end(), lat.begin(), lat.end());
   }
@@ -403,8 +490,10 @@ int main() {
   const double accepts_s = wall_s > 0 ? static_cast<double>(total.ok) / wall_s : 0;
   const double p50 = percentile(lat_all, 50), p99 = percentile(lat_all, 99);
   per_client.print();
-  std::printf("\n# load: %llu ok in %.3f s = %.0f accepts/s, p50 %.1f us, p99 %.1f us\n",
-              static_cast<unsigned long long>(total.ok), wall_s, accepts_s, p50, p99);
+  std::printf("\n# load: %llu ok in %.3f s = %.0f goodput accepts/s (%llu retried after "
+              "kRetryAfter), p50 %.1f us, p99 %.1f us\n",
+              static_cast<unsigned long long>(total.ok), wall_s, accepts_s,
+              static_cast<unsigned long long>(total.retried), p50, p99);
 
   // --- phase 2: abuse ----------------------------------------------------
   const std::size_t kAbuseAttempts = 6;
@@ -446,11 +535,16 @@ int main() {
               static_cast<unsigned long long>(shed_net.sheds_seen),
               static_cast<unsigned long long>(shed_net.read_pauses));
 
-  const bool coverage_ok = total.ok + total.shed + total.err == kTotal && total.ok > 0 &&
-                           gwst.accepts() == total.ok && abuse_rep.ok >= 1 && abuse_rep.err >= 1 &&
+  // Shed replies are retried, not final, so every frame must end as ok
+  // or err once the retry budget is spent — and the brownout window
+  // guarantees the retry path actually ran.
+  const bool coverage_ok = total.ok + total.err == kTotal && total.ok > 0 &&
+                           gwst.accepts() == total.ok && total.shed == kBrownout &&
+                           total.retried > 0 && abuse_rep.ok >= 1 && abuse_rep.err >= 1 &&
                            net.bans_issued >= 1 && net.conns_refused_banned >= 1 &&
                            over_rep.shed == kBurst && shed_net.sheds_seen >= kBurst;
-  std::printf("# coverage (all answered, parity with gateway accepts, ban + shed exercised): %s\n",
+  std::printf("# coverage (all answered, parity with gateway accepts, retry + ban + shed "
+              "exercised): %s\n",
               coverage_ok ? "yes" : "NO");
 
   bench::JsonDoc doc;
@@ -461,6 +555,8 @@ int main() {
   doc.set("total_requests", static_cast<std::uint64_t>(kTotal));
   doc.set("ok", total.ok);
   doc.set("shed", total.shed);
+  doc.set("retries", total.retried);
+  doc.set("brownout_frames", kBrownout);
   doc.set("errors", total.err);
   doc.set("accepts_per_s", accepts_s);
   doc.set("p50_us", p50);

@@ -4,7 +4,7 @@
 # Usage: scripts/tier1.sh [preset] [--bench-smoke] [--kernel-sanitize]
 #                         [--fuzz-smoke] [--scenario-fuzz [N]] [--gateway-smoke]
 #                         [--store-smoke] [--verify-smoke] [--net-smoke]
-#                         [--dispute-smoke]
+#                         [--dispute-smoke] [--replication-smoke]
 #   preset             "default" (the gate), or "tsan"/"asan"/"ubsan" for a
 #                      full sanitizer suite run.
 #   --bench-smoke      after the tests, run every bench_* binary once (the
@@ -63,6 +63,13 @@
 #                      dedup hit rate on the shared-segment workload, and
 #                      byte-identical gas between the batch and naive
 #                      paths.
+#   --replication-smoke
+#                      the replication gate: run the primary/follower +
+#                      failover + router suite (replication_test) under
+#                      both memory sanitizers, then the replication bench
+#                      in its short configuration (BTCFAST_E15_SMOKE) in a
+#                      scratch cwd, asserting nonzero quorum-gated acks
+#                      and a byte-exact promoted image after failover.
 #   --verify-smoke     the ECDSA verify-speed gate: run the hand-timed
 #                      verify section of bench_micro_crypto
 #                      (BTCFAST_VERIFY_SMOKE=1) in a scratch cwd and fail
@@ -85,6 +92,7 @@ dispute_smoke=0
 fuzz_smoke=0
 gateway_smoke=0
 store_smoke=0
+replication_smoke=0
 scenario_fuzz=0
 scenario_seeds=25
 expect_seed_count=0
@@ -105,6 +113,7 @@ for arg in "$@"; do
     --verify-smoke) verify_smoke=1 ;;
     --net-smoke) net_smoke=1 ;;
     --dispute-smoke) dispute_smoke=1 ;;
+    --replication-smoke) replication_smoke=1 ;;
     --scenario-fuzz) scenario_fuzz=1; expect_seed_count=1 ;;
     *) preset="$arg" ;;
   esac
@@ -327,6 +336,48 @@ if [[ "$dispute_smoke" == 1 ]]; then
     exit 1
   else
     echo "== dispute smoke: ${storm_rate} disputes/s, dedup hit rate ${hit_rate}, gas parity exact =="
+  fi
+fi
+
+if [[ "$replication_smoke" == 1 ]]; then
+  # The replication gate. Promotion correctness is a byte-exactness claim
+  # (the promoted image must equal a replay of the primary's acked
+  # prefix), and the follower's fail-closed paths chew on adversarial
+  # batch bytes, so the whole replication suite runs under both memory
+  # sanitizers first. Then the bench runs short in the default tree and
+  # its smoke JSON must show quorum-gated acks actually flowing and an
+  # exact failover.
+  for san in asan ubsan; do
+    echo "== replication suite under $san =="
+    cmake --preset "$san"
+    cmake --build --preset "$san" -j "$jobs" --target replication_test
+    "build-$san/tests/replication_test"
+  done
+  echo "== replication smoke bench (${bindir}) =="
+  cmake --build --preset "$preset" -j "$jobs" --target bench_e15_replication
+  smoke_dir="$bindir/replication-smoke"
+  mkdir -p "$smoke_dir"
+  repo_root="$PWD"
+  (cd "$smoke_dir" && BTCFAST_E15_SMOKE=1 "$repo_root/$bindir/bench/bench_e15_replication")
+  smoke_json="$smoke_dir/BENCH_e15_replication.json"
+  json_field() { sed -n "s/^[[:space:]]*\"$1\":[[:space:]]*\"\{0,1\}\([0-9.a-z]*\)\"\{0,1\}.*/\1/p" "$smoke_json" | head -n1; }
+  quorum_acks="$(json_field quorum_gated_acks)"
+  failover_exact="$(json_field failover_exact)"
+  catchup_rate="$(json_field catchup_records_per_s)"
+  if [[ -z "$quorum_acks" || -z "$failover_exact" || -z "$catchup_rate" ]]; then
+    echo "== replication smoke: FAILED to parse $smoke_json =="
+    exit 1
+  elif [[ "$failover_exact" != "yes" ]]; then
+    echo "== replication smoke: FAILED — failover_exact=$failover_exact =="
+    exit 1
+  elif ! awk -v q="$quorum_acks" 'BEGIN{exit !(q > 0)}'; then
+    echo "== replication smoke: FAILED — quorum_gated_acks=$quorum_acks =="
+    exit 1
+  elif ! awk -v c="$catchup_rate" 'BEGIN{exit !(c > 0)}'; then
+    echo "== replication smoke: FAILED — catchup_records_per_s=$catchup_rate =="
+    exit 1
+  else
+    echo "== replication smoke: ${quorum_acks} quorum-gated acks, failover byte-exact, catch-up ${catchup_rate} records/s =="
   fi
 fi
 

@@ -286,6 +286,19 @@ bool Deployment::restart_watchtower_from_store() {
   return exact;
 }
 
+void Deployment::adopt_store(std::unique_ptr<store::DurableStore> store) {
+  store_ = std::move(store);
+  if (store_) {
+    // Later restart_watchtower_from_store() calls must reopen the
+    // promoted node's directory, not the deposed primary's.
+    config_.store_dir = store_->dir();
+  }
+  if (watchtower_ && store_) {
+    watchtower_->attach_store(store_.get());
+    watchtower_->restore(store_->image_copy());
+  }
+}
+
 std::optional<EscrowView> Deployment::escrow_view() const {
   psc::PscTx q;
   q.from = customer_psc_;

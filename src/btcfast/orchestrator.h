@@ -163,6 +163,11 @@ class Deployment {
   /// Requires `store_dir` configured and the watchtower enabled. Any
   /// gateway holding the old store pointer must re-attach afterwards.
   [[nodiscard]] bool restart_watchtower_from_store();
+  /// Replication failover: swap in a promoted follower's store as the new
+  /// primary handle. The watchtower, if enabled, re-attaches and restores
+  /// from the adopted image; any gateway holding the old pointer must
+  /// re-attach afterwards.
+  void adopt_store(std::unique_ptr<store::DurableStore> store);
   [[nodiscard]] store::DurableStore* store() noexcept { return store_.get(); }
   [[nodiscard]] const store::RecoveryInfo& last_recovery() const noexcept {
     return last_recovery_;

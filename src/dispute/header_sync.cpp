@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/serialize.h"
+#include "store/recovery.h"
+#include "store/snapshot.h"
 
 namespace btcfast::dispute {
 
@@ -113,7 +115,14 @@ SyncResult HeaderSyncManager::accept_headers(const std::vector<btc::BlockHeader>
     index_.emplace(hash, std::move(e));
     ++result.connected;
     ++stats_.headers_connected;
+    if (store_ != nullptr) {
+      store::StoreRecord rec;
+      rec.kind = store::RecordKind::kHeaderAccept;
+      h.serialize_into(rec.header.data());
+      (void)store_->append(rec);
+    }
   }
+  if (store_ != nullptr && result.connected > 0) (void)store_->commit();
 
   if (best_candidate != best_tip_) {
     const std::uint32_t depth = reorg_depth_to(best_candidate);
@@ -134,6 +143,20 @@ SyncResult HeaderSyncManager::accept_headers(const std::vector<btc::BlockHeader>
     }
   }
   return result;
+}
+
+std::size_t HeaderSyncManager::restore(const store::StateImage& image) {
+  store::DurableStore* saved = store_;
+  store_ = nullptr;  // the records being replayed are already in the log
+  std::vector<btc::BlockHeader> batch;
+  batch.reserve(image.headers.size());
+  for (const auto& raw : image.headers) {
+    const auto h = btc::BlockHeader::deserialize(ByteSpan{raw.data(), raw.size()});
+    if (h) batch.push_back(*h);
+  }
+  const SyncResult r = accept_headers(batch);
+  store_ = saved;
+  return r.connected;
 }
 
 std::vector<btc::BlockHash> HeaderSyncManager::locator() const {

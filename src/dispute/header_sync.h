@@ -27,6 +27,11 @@
 #include "btc/params.h"
 #include "btcfast/dispute_hooks.h"
 
+namespace btcfast::store {
+class DurableStore;
+struct StateImage;
+}  // namespace btcfast::store
+
 namespace btcfast::dispute {
 
 /// Outcome of one accept_headers() batch.
@@ -114,6 +119,19 @@ class HeaderSyncManager final : public core::CheckpointSource {
   [[nodiscard]] std::vector<btc::BlockHeader> checkpoint_advance(
       const btc::BlockHash& current_checkpoint) const override;
 
+  // --- durable persistence ---
+  /// Attach a durable store: every header accept_headers() connects from
+  /// now on is logged as a kHeaderAccept record (one commit per batch),
+  /// so a watchtower restart rebuilds the tree from its own WAL instead
+  /// of re-syncing from genesis. Logging is best-effort — an append
+  /// failure costs a re-sync after restart, never a wrong tree.
+  void attach_store(store::DurableStore* store) noexcept { store_ = store; }
+  /// Rebuild the tree from a recovered image's header log. Headers were
+  /// persisted in connection order (parent-first), so one sequential
+  /// re-accept reconnects everything. Store logging is suppressed — the
+  /// records are already in the log. Returns headers reconnected.
+  std::size_t restore(const store::StateImage& image);
+
   [[nodiscard]] const SyncStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t tree_size() const noexcept { return index_.size(); }
   [[nodiscard]] const btc::ChainParams& params() const noexcept { return params_; }
@@ -136,6 +154,7 @@ class HeaderSyncManager final : public core::CheckpointSource {
   std::vector<btc::BlockHash> best_spine_;  ///< best chain by height, [0] = genesis
   btc::BlockHash best_tip_{};
   SyncStats stats_;
+  store::DurableStore* store_ = nullptr;
 };
 
 /// Locator wire codec (watchtower <-> node catch-up messages): u16le

@@ -344,9 +344,24 @@ Bytes Gateway::handle_submit(const Frame& frame, std::uint64_t now_ms) {
     rec.amount = b.compensation;
     rec.expires_at_ms = b.expiry_ms;
     rec.txid = b.btc_txid.bytes;
-    if (!store_->append(rec) || !store_->commit()) {
+    const auto seq = store_->append(rec);
+    if (!seq || !store_->commit()) {
       (void)sh.ledger.release(*rid);
       return finish(false, RejectReason::kOverloaded, "durable store commit failed", 0);
+    }
+    // Replication gate: the accept response must not exist until a
+    // quorum of followers durably hold the reservation. On failure the
+    // local log stays consistent — the reserve is followed by a
+    // rejected-release, and both ship once followers return.
+    if (gate_ != nullptr && !gate_->quorum_commit(*seq, now_ms)) {
+      (void)sh.ledger.release(*rid);
+      store::StoreRecord rel;
+      rel.kind = store::RecordKind::kRelease;
+      rel.reservation_id = *rid;
+      rel.cause = store::ReleaseCause::kRejected;
+      (void)store_->append(rel);
+      (void)store_->commit();
+      return finish(false, RejectReason::kOverloaded, "replication quorum unreachable", 0);
     }
     sync_store_stats();
     mark(Stage::kWal);
@@ -474,7 +489,7 @@ std::vector<Bytes> Gateway::serve_batch(const std::vector<Bytes>& frames, std::u
   return out;
 }
 
-std::vector<psc::PscTx> Gateway::flush_accepted() {
+std::vector<psc::PscTx> Gateway::flush_accepted(std::uint64_t now_ms) {
   // Seal the epoch: swap out every shard's queue. Items accepted after
   // this point land in the next epoch.
   std::vector<std::vector<Accepted>> epoch(shards_.size());
@@ -511,6 +526,26 @@ std::vector<psc::PscTx> Gateway::flush_accepted() {
     });
     for (auto& rec : records) (void)store_->append(rec);
     (void)store_->commit();
+    // Replication gate on the epoch: merchant bookkeeping and the BTC
+    // broadcast stay held back until a quorum of followers durably hold
+    // every accept record. On failure the sealed epoch is re-queued
+    // intact (front of each shard's queue, original order) and retried
+    // by the next flush — the local WAL already has the records, so the
+    // re-flush appends nothing new.
+    if (gate_ != nullptr && !gate_->quorum_commit(store_->last_committed_seq(), now_ms)) {
+      std::size_t requeued = 0;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (epoch[i].empty()) continue;
+        requeued += epoch[i].size();
+        std::lock_guard lock(shards_[i]->commit_mu);
+        shards_[i]->commit_queue.insert(shards_[i]->commit_queue.begin(),
+                                        std::make_move_iterator(epoch[i].begin()),
+                                        std::make_move_iterator(epoch[i].end()));
+      }
+      queued_accepts_.fetch_add(requeued, std::memory_order_acq_rel);
+      sync_store_stats();
+      return {};
+    }
     sync_store_stats();
   }
 

@@ -112,6 +112,14 @@ class Gateway {
   /// outlives the gateway's use of it (not owned).
   void attach_store(store::DurableStore* store);
 
+  /// Attach a replication commit gate (store::CommitGate, implemented by
+  /// replication::ReplicationGroup): after the local WAL commit, a
+  /// reservation is acked only once the gate confirms a quorum of
+  /// followers durably hold it, and flush_accepted() epochs are held
+  /// back (re-queued) until their records reach quorum. Pass nullptr to
+  /// detach. No-op without an attached store.
+  void attach_commit_gate(store::CommitGate* gate) noexcept { gate_ = gate; }
+
   /// Rebuild gateway state from a recovered image (fresh gateway,
   /// control thread): reservations back into the owning shard's ledger,
   /// accepted bindings back into the merchant book and the
@@ -148,7 +156,12 @@ class Gateway {
   /// then apply merchant bookkeeping + BTC broadcast deterministically
   /// (shard order, then queue order). Returns the PSC transactions the
   /// caller must submit (reserved mode).
-  [[nodiscard]] std::vector<psc::PscTx> flush_accepted();
+  /// With a commit gate attached, the epoch's records must additionally
+  /// reach replication quorum before any merchant bookkeeping runs — a
+  /// quorum failure re-queues the sealed epoch intact for the next
+  /// flush. `now_ms` feeds the gate's retry clock (0 reuses the latest
+  /// time the gate has seen).
+  [[nodiscard]] std::vector<psc::PscTx> flush_accepted(std::uint64_t now_ms = 0);
 
   /// Control-thread sync point, run on each new PSC block: refresh every
   /// tracked escrow view from the contract, release reservations whose
@@ -186,6 +199,17 @@ class Gateway {
                        std::uint64_t disconnects) noexcept {
     front_stats_.set_net_metrics(conns_accepted, conns_active, bans, frames_in, sheds_seen,
                                  disconnects);
+  }
+
+  /// Mirror the replication group's gauges into the stats JSON (same
+  /// gauge pattern as the net metrics; the deployment driver calls this
+  /// after pumping the group).
+  void set_replication_metrics(std::uint64_t epoch, std::uint64_t followers,
+                               std::uint64_t quorum, std::uint64_t acked_seq,
+                               std::uint64_t batches_shipped, std::uint64_t ship_failures,
+                               std::uint64_t snapshot_installs) noexcept {
+    front_stats_.set_replication_metrics(epoch, followers, quorum, acked_seq, batches_shipped,
+                                         ship_failures, snapshot_installs);
   }
 
  private:
@@ -239,6 +263,7 @@ class Gateway {
   common::ThreadPool& pool_;
   GatewayConfig config_;
   store::DurableStore* store_ = nullptr;
+  store::CommitGate* gate_ = nullptr;
 
   /// One id space shared by every shard's ledger: grants are globally
   /// unique and independent of shard count.

@@ -1,0 +1,115 @@
+// Follower replica: owns its own DurableStore directory and appends the
+// primary's shipped batches to it, failing closed on sequence gaps, CRC
+// mismatches, stale epochs and cross-epoch divergence. Its cursor is
+// answered from the local WAL + snapshot, so a restarted follower
+// resumes where its disk left off and the primary re-ships only the
+// suffix.
+//
+// Epoch fencing is persisted in a sidecar file (`FENCE`) next to the
+// segments — the Raft currentTerm analog. The fence only ratchets up:
+// once a follower has seen epoch E (via an explicit fence() during
+// promotion, or by appending a batch stamped E), every batch from an
+// older epoch is rejected with kStaleEpoch, which is how a deposed
+// primary's late batches die.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "replication/log_ship.h"
+#include "store/recovery.h"
+
+namespace btcfast::replication {
+
+/// Read the persisted fence epoch (0 when absent/unreadable).
+[[nodiscard]] std::uint64_t read_fence_epoch(const std::string& dir);
+/// Persist the fence epoch atomically (temp file + fsync + rename).
+[[nodiscard]] bool write_fence_epoch(const std::string& dir, std::uint64_t epoch);
+
+class Follower {
+ public:
+  struct Options {
+    store::StoreOptions store;  ///< the follower's own durability policy
+    /// Force every acked batch to disk before acking. Off, an ack means
+    /// "appended + committed" (group-commit durability per store policy);
+    /// on, quorum acks are crash-durable.
+    bool fsync_acks = false;
+  };
+
+  /// Open (create or resume) the replica at `dir`. nullptr + `*error`
+  /// on unrecoverable local state.
+  [[nodiscard]] static std::unique_ptr<Follower> open(const std::string& dir, Options options,
+                                                     std::string* error = nullptr);
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Validate and append one shipped batch. Records the follower already
+  /// holds (same epoch) are skipped idempotently, so re-ships after a
+  /// lost ack are harmless.
+  [[nodiscard]] ShipAck append_batch(const ShipBatch& batch);
+
+  /// Durable position, from the local store.
+  [[nodiscard]] FollowerCursor cursor() const;
+
+  /// Raise (never lower) the fence and persist it.
+  [[nodiscard]] bool fence(std::uint64_t epoch);
+
+  /// Replace all local state with `image` under `epoch` (wipe segments
+  /// and snapshots, write the image as the base snapshot, reopen).
+  [[nodiscard]] bool install(const store::StateImage& image, std::uint64_t epoch);
+
+  [[nodiscard]] store::DurableStore* store() noexcept { return store_.get(); }
+  /// Promotion: hand the store over (the Follower is defunct after).
+  [[nodiscard]] std::unique_ptr<store::DurableStore> take_store() { return std::move(store_); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t fenced_epoch() const noexcept { return fenced_epoch_; }
+  [[nodiscard]] std::uint64_t log_epoch() const noexcept { return log_epoch_; }
+  [[nodiscard]] std::uint64_t batches_appended() const noexcept { return batches_appended_; }
+
+ private:
+  Follower(std::string dir, Options options);
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<store::DurableStore> store_;
+  std::uint64_t fenced_epoch_ = 0;  ///< persisted floor for acceptable batches
+  std::uint64_t log_epoch_ = 0;     ///< epoch of the log content (image.epoch)
+  std::uint64_t batches_appended_ = 0;
+};
+
+/// In-process transport: calls the Follower directly, with a crash
+/// toggle so tests and the fuzzer can sever a replica. While down, every
+/// call fails the way a dead TCP peer would.
+class LocalFollowerLink final : public FollowerLink {
+ public:
+  explicit LocalFollowerLink(Follower* follower) : follower_(follower) {}
+
+  /// Simulate crash/restart: a null or down follower is unreachable.
+  void set_follower(Follower* follower) noexcept { follower_ = follower; }
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_ || follower_ == nullptr; }
+
+  [[nodiscard]] ShipAck ship(const ShipBatch& batch) override {
+    if (down()) return ShipAck{false, ShipError::kUnreachable, 0};
+    return follower_->append_batch(batch);
+  }
+  [[nodiscard]] std::optional<FollowerCursor> cursor() override {
+    if (down()) return std::nullopt;
+    return follower_->cursor();
+  }
+  [[nodiscard]] bool fence(std::uint64_t epoch) override {
+    return !down() && follower_->fence(epoch);
+  }
+  [[nodiscard]] bool install(const store::StateImage& image, std::uint64_t epoch) override {
+    return !down() && follower_->install(image, epoch);
+  }
+
+ private:
+  Follower* follower_;
+  bool down_ = false;
+};
+
+}  // namespace btcfast::replication

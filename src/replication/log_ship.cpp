@@ -1,0 +1,232 @@
+#include "replication/log_ship.h"
+
+#include <algorithm>
+
+#include "store/wal.h"
+
+namespace btcfast::replication {
+namespace {
+
+std::uint32_t load_u32le(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+LogShipper::LogShipper(Options options) : options_(options) {}
+
+LogShipper::~LogShipper() { detach_primary(); }
+
+void LogShipper::attach_primary(store::DurableStore* primary) {
+  detach_primary();
+  primary_ = primary;
+  if (primary_ == nullptr) return;
+  epoch_ = primary_->image_copy().epoch;
+  fenced_out_ = false;
+  {
+    std::lock_guard lock(buf_mu_);
+    buffer_.clear();
+  }
+  // Followers may hold state from before the switch; re-query cursors.
+  for (auto& f : followers_) {
+    f.cursor_known = false;
+    f.backoff_until_ms = 0;
+    f.failures = 0;
+  }
+  primary_->set_commit_tap([this](std::uint64_t first_seq, std::size_t count, ByteSpan framed) {
+    on_commit(first_seq, count, framed);
+  });
+}
+
+void LogShipper::detach_primary() {
+  if (primary_ != nullptr) primary_->set_commit_tap(nullptr);
+  primary_ = nullptr;
+}
+
+std::size_t LogShipper::add_follower(FollowerLink* link) {
+  FollowerState f;
+  f.link = link;
+  followers_.push_back(f);
+  return followers_.size() - 1;
+}
+
+void LogShipper::remove_follower(std::size_t index) {
+  if (index < followers_.size()) followers_[index] = FollowerState{};
+}
+
+std::size_t LogShipper::follower_count() const {
+  std::size_t n = 0;
+  for (const auto& f : followers_) {
+    if (f.link != nullptr) ++n;
+  }
+  return n;
+}
+
+void LogShipper::on_commit(std::uint64_t first_seq, std::size_t count, ByteSpan framed) {
+  // Split the batch back into per-record frames so pump() can slice
+  // arbitrary ranges without re-reading the primary's disk.
+  std::lock_guard lock(buf_mu_);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (framed.size() - pos < store::kWalRecordHeaderSize) return;  // malformed: drop rest
+    const std::uint32_t len = load_u32le(framed.data() + pos);
+    const std::size_t record_size = store::kWalRecordHeaderSize + len;
+    if (framed.size() - pos < record_size) return;
+    BufferedFrame entry;
+    entry.seq = first_seq + i;
+    entry.framed.assign(framed.data() + pos, framed.data() + pos + record_size);
+    if (!buffer_.empty() && entry.seq != buffer_.back().seq + 1) buffer_.clear();
+    buffer_.push_back(std::move(entry));
+    pos += record_size;
+  }
+  while (buffer_.size() > options_.max_buffer_records) buffer_.pop_front();
+}
+
+bool LogShipper::build_batch(std::uint64_t from, std::uint64_t committed,
+                             store::ReadCursor& cursor, ShipBatch& out) {
+  out.epoch = epoch_;
+  out.first_seq = from;
+  out.count = 0;
+  out.framed.clear();
+  const std::uint64_t want =
+      std::min<std::uint64_t>(options_.max_batch_records, committed - from + 1);
+
+  {
+    std::lock_guard lock(buf_mu_);
+    if (!buffer_.empty() && from >= buffer_.front().seq && from <= buffer_.back().seq) {
+      const std::size_t start = static_cast<std::size_t>(from - buffer_.front().seq);
+      for (std::size_t i = start; i < buffer_.size() && out.count < want; ++i) {
+        const auto& entry = buffer_[i];
+        if (entry.seq > committed) break;
+        append(out.framed, entry.framed);
+        ++out.count;
+      }
+      if (out.count > 0) return true;
+    }
+  }
+
+  // Buffer rolled past the range: rebuild frames from the disk segments,
+  // resuming the follower's byte cursor so a deep drain parses each
+  // segment once, not once per batch.
+  if (primary_ == nullptr) return false;
+  store::RangeScan scan = primary_->read_range(from, static_cast<std::size_t>(want), &cursor);
+  if (!scan.ok() || scan.pruned || scan.records.empty()) return false;
+  cursor = scan.resume;
+  ++stats_.catchup_reads;
+  for (const auto& rec : scan.records) {
+    store::append_wal_record(out.framed, rec.seq, rec.payload);
+    ++out.count;
+  }
+  return true;
+}
+
+void LogShipper::note_down(FollowerState& f, std::uint64_t now_ms) {
+  f.failures = std::min<std::uint32_t>(f.failures + 1, 31);
+  const std::uint64_t delay = std::min<std::uint64_t>(
+      options_.retry_backoff_ms << std::min<std::uint32_t>(f.failures - 1, 16),
+      options_.max_backoff_ms);
+  f.backoff_until_ms = now_ms + delay;
+  f.cursor_known = false;  // re-sync the cursor once it answers again
+}
+
+void LogShipper::pump(std::uint64_t now_ms) {
+  if (primary_ == nullptr) return;
+  const std::uint64_t committed = primary_->last_committed_seq();
+  for (auto& f : followers_) {
+    if (f.link == nullptr) continue;
+    if (now_ms < f.backoff_until_ms) continue;
+    if (!f.cursor_known) {
+      const auto c = f.link->cursor();
+      if (!c) {
+        ++stats_.ship_failures;
+        note_down(f, now_ms);
+        continue;
+      }
+      if (c->epoch > epoch_) {
+        // The follower's log already carries a newer epoch: a promotion
+        // happened behind our back. Stop acking; do not ship.
+        fenced_out_ = true;
+        continue;
+      }
+      f.acked_seq = c->last_seq;
+      f.cursor_known = true;
+      f.failures = 0;
+      f.backoff_until_ms = 0;
+    }
+    std::size_t rounds = 0;
+    while (f.acked_seq < committed && rounds++ < 64) {
+      ShipBatch batch;
+      if (!build_batch(f.acked_seq + 1, committed, f.read_cursor, batch)) {
+        // Range pruned by compaction (or unreadable): install the image.
+        ++stats_.snapshot_installs;
+        const store::StateImage img = primary_->image_copy();
+        if (!f.link->install(img, epoch_)) {
+          ++stats_.ship_failures;
+          note_down(f, now_ms);
+          break;
+        }
+        f.acked_seq = std::max(f.acked_seq, img.last_seq);
+        continue;
+      }
+      const ShipAck ack = f.link->ship(batch);
+      if (ack.ok) {
+        f.acked_seq = ack.next_seq - 1;
+        f.failures = 0;
+        ++stats_.batches_shipped;
+        stats_.records_shipped += batch.count;
+        continue;
+      }
+      ++stats_.ship_failures;
+      if (ack.error == ShipError::kSequenceGap && ack.next_seq > 0 &&
+          ack.next_seq - 1 != f.acked_seq) {
+        f.acked_seq = ack.next_seq - 1;  // resync to what the follower wants
+        continue;
+      }
+      if (ack.error == ShipError::kStaleEpoch) {
+        fenced_out_ = true;
+        break;
+      }
+      if (ack.error == ShipError::kDiverged) {
+        // The follower holds same-sequence records from an older epoch;
+        // only a full image reinstall can reconcile it.
+        ++stats_.snapshot_installs;
+        const store::StateImage img = primary_->image_copy();
+        if (!f.link->install(img, epoch_)) {
+          note_down(f, now_ms);
+          break;
+        }
+        f.acked_seq = std::max(f.acked_seq, img.last_seq);
+        continue;
+      }
+      note_down(f, now_ms);  // kUnreachable / kCorrupt / kStoreFailed
+      break;
+    }
+  }
+}
+
+std::uint64_t LogShipper::acked_watermark(std::size_t quorum) const {
+  if (quorum == 0) return UINT64_MAX;
+  std::vector<std::uint64_t> acked;
+  for (const auto& f : followers_) {
+    if (f.link != nullptr && f.cursor_known) acked.push_back(f.acked_seq);
+  }
+  if (acked.size() < quorum) return 0;
+  std::sort(acked.rbegin(), acked.rend());
+  return acked[quorum - 1];
+}
+
+std::vector<std::optional<FollowerCursor>> LogShipper::query_cursors() {
+  std::vector<std::optional<FollowerCursor>> out;
+  out.reserve(followers_.size());
+  for (auto& f : followers_) {
+    if (f.link == nullptr) {
+      out.push_back(std::nullopt);
+      continue;
+    }
+    out.push_back(f.link->cursor());
+  }
+  return out;
+}
+
+}  // namespace btcfast::replication

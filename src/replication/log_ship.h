@@ -1,0 +1,178 @@
+// Primary-side WAL shipping. The primary's DurableStore exposes a
+// commit tap (store::CommitTap) that hands the shipper every committed
+// batch in the exact length/CRC32C/seq framing the WAL wrote; the
+// shipper streams those frames to N followers, tracking a per-follower
+// acked-sequence cursor with retry/backoff on follower loss. A follower
+// that fell behind the in-memory frame buffer is caught up from the
+// primary's on-disk segments (DurableStore::read_range); one that fell
+// behind compaction gets a full snapshot install.
+//
+// Thread-safety: on_commit() is safe to call from the store's commit
+// path concurrently with everything else (it only touches the frame
+// buffer, under its own leaf mutex). All other methods must be
+// externally serialized — ReplicationGroup (failover.h) wraps this
+// class in a mutex for concurrent quorum_commit() callers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "store/recovery.h"
+
+namespace btcfast::replication {
+
+/// One shipped batch: `framed` holds `count` WAL records exactly as the
+/// primary committed them (record framing only, no file header),
+/// starting at `first_seq`, written under `epoch`.
+struct ShipBatch {
+  std::uint64_t epoch = 0;
+  std::uint64_t first_seq = 0;
+  std::size_t count = 0;
+  Bytes framed;
+};
+
+enum class ShipError : std::uint8_t {
+  kNone = 0,
+  kUnreachable,  ///< link down / follower crashed
+  kSequenceGap,  ///< batch does not start at the follower's next sequence
+  kCorrupt,      ///< framing or CRC failure inside the batch
+  kStaleEpoch,   ///< batch epoch is below the follower's fenced epoch
+  kDiverged,     ///< a newer-epoch batch overlaps records the follower holds
+  kStoreFailed,  ///< the follower's local append/commit failed closed
+};
+
+struct ShipAck {
+  bool ok = false;
+  ShipError error = ShipError::kNone;
+  std::uint64_t next_seq = 0;  ///< follower's next expected sequence
+};
+
+/// A follower's durable position, answered from its local WAL+snapshot.
+struct FollowerCursor {
+  std::uint64_t epoch = 0;     ///< epoch of the follower's log content
+  std::uint64_t last_seq = 0;  ///< highest durably appended sequence
+};
+
+/// Transport seam between the shipper and one follower. The in-process
+/// implementation (LocalFollowerLink, follower.h) calls the Follower
+/// directly; a socket transport would marshal the same four calls.
+class FollowerLink {
+ public:
+  virtual ~FollowerLink() = default;
+  [[nodiscard]] virtual ShipAck ship(const ShipBatch& batch) = 0;
+  [[nodiscard]] virtual std::optional<FollowerCursor> cursor() = 0;
+  /// Promotion-time fence: reject every batch with epoch < `epoch`.
+  [[nodiscard]] virtual bool fence(std::uint64_t epoch) = 0;
+  /// Full-state reinstall when the WAL range the follower needs is gone.
+  [[nodiscard]] virtual bool install(const store::StateImage& image, std::uint64_t epoch) = 0;
+};
+
+struct ShipStats {
+  std::uint64_t batches_shipped = 0;
+  std::uint64_t records_shipped = 0;
+  std::uint64_t ship_failures = 0;     ///< NACKs + unreachable links
+  std::uint64_t snapshot_installs = 0; ///< catch-ups that needed a full image
+  std::uint64_t catchup_reads = 0;     ///< batches rebuilt from disk segments
+};
+
+class LogShipper {
+ public:
+  struct Options {
+    std::size_t max_batch_records = 256;   ///< chunk size per ship() call
+    std::size_t max_buffer_records = 4096; ///< in-memory frame buffer cap
+    std::uint64_t retry_backoff_ms = 50;   ///< first retry delay after a loss
+    std::uint64_t max_backoff_ms = 2000;   ///< backoff ceiling (doubles per failure)
+  };
+
+  explicit LogShipper(Options options);
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+  ~LogShipper();
+
+  /// Point the shipper at (a new) primary: installs the commit tap,
+  /// adopts the primary's epoch from its image, resets the frame buffer.
+  void attach_primary(store::DurableStore* primary);
+  void detach_primary();
+
+  /// Register a follower; returns its slot index. Slots are stable —
+  /// remove_follower() empties the slot without shifting others.
+  std::size_t add_follower(FollowerLink* link);
+  void remove_follower(std::size_t index);
+  [[nodiscard]] std::size_t follower_count() const;
+
+  /// Commit-tap entry. Safe to call concurrently (from inside the
+  /// store's commit, under the store mutex); only buffers frames.
+  void on_commit(std::uint64_t first_seq, std::size_t count, ByteSpan framed);
+
+  /// Push every committed record toward every reachable follower,
+  /// honoring per-follower backoff at `now_ms`.
+  void pump(std::uint64_t now_ms);
+
+  /// Highest sequence durably held by at least `quorum` followers
+  /// (0 for an empty group or quorum larger than the group).
+  [[nodiscard]] std::uint64_t acked_watermark(std::size_t quorum) const;
+
+  /// Live cursors, one per slot (nullopt: empty slot or unreachable).
+  [[nodiscard]] std::vector<std::optional<FollowerCursor>> query_cursors();
+
+  /// The link in slot `index` (nullptr: out of range or removed).
+  [[nodiscard]] FollowerLink* follower_link(std::size_t index) const {
+    return index < followers_.size() ? followers_[index].link : nullptr;
+  }
+  /// Total slots ever allocated (including removed ones).
+  [[nodiscard]] std::size_t slot_count() const noexcept { return followers_.size(); }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
+  /// True once any follower rejected us as a stale epoch — a newer
+  /// primary was promoted and this node must stop acking.
+  [[nodiscard]] bool fenced_out() const noexcept { return fenced_out_; }
+
+  [[nodiscard]] ShipStats stats() const noexcept { return stats_; }
+
+ private:
+  struct FollowerState {
+    FollowerLink* link = nullptr;
+    std::uint64_t acked_seq = 0;
+    bool cursor_known = false;
+    std::uint64_t backoff_until_ms = 0;
+    std::uint32_t failures = 0;  ///< consecutive, drives the backoff
+    /// Byte position of this follower's catch-up stream in the primary's
+    /// segments — keeps a deep drain linear instead of re-parsing the
+    /// segment prefix on every batch.
+    store::ReadCursor read_cursor;
+  };
+  struct BufferedFrame {
+    std::uint64_t seq = 0;
+    Bytes framed;  ///< one record, WAL framing included
+  };
+
+  /// Assemble records [from .. min(from+max_batch-1, committed)] — from
+  /// the frame buffer when it still covers `from`, else re-framed from
+  /// the primary's disk segments (resuming at `cursor` and advancing it).
+  /// False: the range was pruned (or the primary's log is unreadable) —
+  /// caller falls back to install().
+  [[nodiscard]] bool build_batch(std::uint64_t from, std::uint64_t committed,
+                                 store::ReadCursor& cursor, ShipBatch& out);
+  void note_down(FollowerState& f, std::uint64_t now_ms);
+
+  Options options_;
+  store::DurableStore* primary_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool fenced_out_ = false;
+  std::vector<FollowerState> followers_;
+  ShipStats stats_;
+
+  // Leaf mutex: on_commit() runs under the store mutex, so the buffer
+  // lock must never be held while calling into the store.
+  mutable std::mutex buf_mu_;
+  std::deque<BufferedFrame> buffer_;
+};
+
+}  // namespace btcfast::replication

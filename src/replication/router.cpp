@@ -1,0 +1,144 @@
+#include "replication/router.h"
+
+#include <algorithm>
+
+#include "gateway/wire.h"
+
+namespace btcfast::replication {
+namespace {
+
+/// splitmix64 finalizer — full-avalanche, cheap, dependency-free.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Rendezvous weight of (partition, key).
+std::uint64_t weight(std::uint64_t partition, std::uint64_t key) noexcept {
+  return mix64(key ^ mix64(partition));
+}
+
+}  // namespace
+
+EscrowRouter::EscrowRouter(const std::vector<std::uint64_t>& partition_ids) {
+  for (const auto id : partition_ids) add_partition(id);
+}
+
+void EscrowRouter::add_partition(std::uint64_t id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+bool EscrowRouter::remove_partition(std::uint64_t id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+std::optional<std::uint64_t> EscrowRouter::route(std::uint64_t escrow_id) const {
+  if (ids_.empty()) return std::nullopt;
+  std::uint64_t best = ids_.front();
+  std::uint64_t best_w = weight(best, escrow_id);
+  for (std::size_t i = 1; i < ids_.size(); ++i) {
+    const std::uint64_t w = weight(ids_[i], escrow_id);
+    // Strict >: ties (vanishingly rare at 64 bits) break toward the
+    // lowest partition id, deterministically.
+    if (w > best_w) {
+      best = ids_[i];
+      best_w = w;
+    }
+  }
+  return best;
+}
+
+void PartitionedFront::add_partition(std::uint64_t id, Serve serve) {
+  router_.add_partition(id);
+  const auto it = std::lower_bound(
+      serves_.begin(), serves_.end(), id,
+      [](const std::pair<std::uint64_t, Serve>& a, std::uint64_t b) { return a.first < b; });
+  if (it != serves_.end() && it->first == id) {
+    it->second = std::move(serve);
+    return;
+  }
+  serves_.insert(it, {id, std::move(serve)});
+}
+
+bool PartitionedFront::remove_partition(std::uint64_t id) {
+  const auto it = std::lower_bound(
+      serves_.begin(), serves_.end(), id,
+      [](const std::pair<std::uint64_t, Serve>& a, std::uint64_t b) { return a.first < b; });
+  if (it == serves_.end() || it->first != id) return false;
+  serves_.erase(it);
+  return router_.remove_partition(id);
+}
+
+PartitionedFront::Serve* PartitionedFront::serve_for(std::uint64_t partition_id) {
+  const auto it = std::lower_bound(
+      serves_.begin(), serves_.end(), partition_id,
+      [](const std::pair<std::uint64_t, Serve>& a, std::uint64_t b) { return a.first < b; });
+  if (it == serves_.end() || it->first != partition_id) return nullptr;
+  return &it->second;
+}
+
+Bytes PartitionedFront::serve(ByteSpan frame_bytes, std::uint64_t now_ms) {
+  if (serves_.empty()) return {};
+
+  std::optional<std::uint64_t> escrow;
+  bool is_receipt = false;
+  if (const auto frame = gateway::Frame::deserialize(frame_bytes)) {
+    switch (frame->type) {
+      case gateway::MsgType::kSubmitFastPay:
+        if (const auto req = gateway::SubmitFastPayRequest::deserialize(frame->payload)) {
+          escrow = req->package.binding.binding.escrow_id;
+          ++stats_.routed_submits;
+        }
+        break;
+      case gateway::MsgType::kQueryEscrow:
+        if (const auto req = gateway::QueryEscrowRequest::deserialize(frame->payload)) {
+          escrow = req->escrow_id;
+          ++stats_.routed_queries;
+        }
+        break;
+      case gateway::MsgType::kGetReceipt:
+        is_receipt = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (is_receipt) {
+    // Receipts key on the submit frame's request id, which carries no
+    // partition affinity — probe until a partition knows it.
+    Bytes last;
+    for (auto& [id, serve] : serves_) {
+      Bytes resp = serve(frame_bytes, now_ms);
+      ++stats_.receipt_probes;
+      if (const auto rf = gateway::Frame::deserialize(resp);
+          rf && rf->type == gateway::MsgType::kReceiptInfo) {
+        if (const auto info = gateway::ReceiptInfoResponse::deserialize(rf->payload);
+            info && info->found) {
+          return resp;
+        }
+      }
+      last = std::move(resp);
+    }
+    return last;
+  }
+
+  if (escrow) {
+    if (const auto owner = router_.route(*escrow)) {
+      if (Serve* s = serve_for(*owner)) return (*s)(frame_bytes, now_ms);
+    }
+  }
+  // Malformed frames (and anything unrouted) get the first partition's
+  // canonical response, keeping single-partition byte parity.
+  ++stats_.fallthroughs;
+  return serves_.front().second(frame_bytes, now_ms);
+}
+
+}  // namespace btcfast::replication

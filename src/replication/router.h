@@ -1,0 +1,78 @@
+// Escrow → partition routing for a horizontally sharded gateway fleet.
+// EscrowRouter is rendezvous (highest-random-weight) hashing: every
+// (partition, escrow) pair gets a deterministic pseudo-random weight and
+// the escrow lives on the partition with the highest one. Adding a
+// partition steals only ~1/(P+1) of the keys (each key moves only if the
+// new partition wins its rendezvous), and removing one reassigns only
+// the keys it owned — no ring maintenance, no virtual nodes.
+//
+// PartitionedFront is the AcceptRoute-style wire front over it: frames
+// whose payload names an escrow are dispatched to the owning partition's
+// serve callable; receipt lookups (keyed by request id, not escrow) are
+// probed across partitions. With a single partition the front is
+// byte-identical to calling that partition's serve directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace btcfast::replication {
+
+class EscrowRouter {
+ public:
+  EscrowRouter() = default;
+  explicit EscrowRouter(const std::vector<std::uint64_t>& partition_ids);
+
+  /// Idempotent; routing is independent of insertion order.
+  void add_partition(std::uint64_t id);
+  /// False when the id was never added.
+  bool remove_partition(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& partitions() const noexcept { return ids_; }
+
+  /// The owning partition id; nullopt when the router is empty.
+  [[nodiscard]] std::optional<std::uint64_t> route(std::uint64_t escrow_id) const;
+
+ private:
+  std::vector<std::uint64_t> ids_;  ///< kept sorted (determinism, not correctness)
+};
+
+/// Wire-frame dispatcher over the router. Each partition registers a
+/// serve callable (a Gateway::serve binding, a socket client, ...).
+class PartitionedFront {
+ public:
+  using Serve = std::function<Bytes(ByteSpan frame, std::uint64_t now_ms)>;
+
+  void add_partition(std::uint64_t id, Serve serve);
+  bool remove_partition(std::uint64_t id);
+  [[nodiscard]] std::size_t size() const noexcept { return router_.size(); }
+  [[nodiscard]] const EscrowRouter& router() const noexcept { return router_; }
+
+  /// Dispatch one frame. Submit/query frames go to the escrow's owner;
+  /// receipt lookups probe every partition and return the first hit
+  /// (or the last miss). Malformed frames go to the first partition so
+  /// its canonical error response is returned. Empty front: empty bytes.
+  [[nodiscard]] Bytes serve(ByteSpan frame_bytes, std::uint64_t now_ms);
+
+  struct FrontStats {
+    std::uint64_t routed_submits = 0;
+    std::uint64_t routed_queries = 0;
+    std::uint64_t receipt_probes = 0;  ///< partition serves done for receipts
+    std::uint64_t fallthroughs = 0;    ///< malformed/other frames sent to partition 0
+  };
+  [[nodiscard]] FrontStats stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] Serve* serve_for(std::uint64_t partition_id);
+
+  EscrowRouter router_;
+  std::vector<std::pair<std::uint64_t, Serve>> serves_;  ///< sorted by partition id
+  FrontStats stats_;
+};
+
+}  // namespace btcfast::replication

@@ -40,6 +40,12 @@ Bytes StoreRecord::serialize() const {
       w.u64le(escrow_id);
       w.bytes({txid.data(), txid.size()});
       break;
+    case RecordKind::kEpochChange:
+      w.u64le(epoch);
+      break;
+    case RecordKind::kHeaderAccept:
+      w.bytes({header.data(), header.size()});
+      break;
   }
   return std::move(w).take();
 }
@@ -109,6 +115,20 @@ std::optional<StoreRecord> StoreRecord::deserialize(ByteSpan data) {
       const auto eid = r.u64le();
       if (!eid || !read_txid()) return std::nullopt;
       rec.escrow_id = *eid;
+      break;
+    }
+    case static_cast<std::uint8_t>(RecordKind::kEpochChange): {
+      rec.kind = RecordKind::kEpochChange;
+      const auto epoch = r.u64le();
+      if (!epoch) return std::nullopt;
+      rec.epoch = *epoch;
+      break;
+    }
+    case static_cast<std::uint8_t>(RecordKind::kHeaderAccept): {
+      rec.kind = RecordKind::kHeaderAccept;
+      const auto b = r.bytes(80);
+      if (!b) return std::nullopt;
+      std::copy(b->begin(), b->end(), rec.header.begin());
       break;
     }
     default:

@@ -16,13 +16,15 @@ namespace btcfast::store {
 using EscrowId = std::uint64_t;
 using ReservationId = std::uint64_t;
 
-/// The five mutating events the durable store logs.
+/// The mutating events the durable store logs.
 enum class RecordKind : std::uint8_t {
   kReserve = 1,        ///< gateway granted a collateral reservation
   kRelease = 2,        ///< reservation released (settled/judged/expired/rejected)
   kAcceptCommit = 3,   ///< accepted binding drained from the commit queue
   kDisputeOpen = 4,    ///< watchtower observed an escrow enter DISPUTED
   kDisputeResolve = 5, ///< watchtower observed the dispute leave DISPUTED
+  kEpochChange = 6,    ///< replication: a newly promoted primary took over
+  kHeaderAccept = 7,   ///< watchtower header sync connected a BTC header
 };
 
 /// Why a reservation was released (kRelease only).
@@ -50,6 +52,12 @@ struct StoreRecord {
   Bytes package;
   Bytes invoice;
   std::uint64_t accepted_at_ms = 0;
+
+  // kEpochChange: the epoch the promoted primary now writes under.
+  std::uint64_t epoch = 0;
+
+  // kHeaderAccept: the raw 80-byte BTC block header that connected.
+  ByteArray<80> header{};
 
   [[nodiscard]] Bytes serialize() const;
   /// Total decoder: nullopt on any truncation, trailing garbage, unknown

@@ -207,6 +207,7 @@ bool DurableStore::take_snapshot_locked() {
   // is the already-headered current one — don't double-header it.
   const bool fresh = file->size() == 0;
   wal_ = std::make_unique<Wal>(std::move(file), wopts, next, fresh);
+  wal_->set_commit_tap(tap_);
 
   // Prune: every segment except the new active one is fully covered by
   // the snapshot (all its records have seq <= image_.last_seq), as are
@@ -228,6 +229,135 @@ bool DurableStore::take_snapshot_locked() {
 StateImage DurableStore::image_copy() const {
   std::lock_guard lock(mu_);
   return image_;
+}
+
+void DurableStore::set_commit_tap(CommitTap tap) {
+  std::lock_guard lock(mu_);
+  tap_ = std::move(tap);
+  wal_->set_commit_tap(tap_);
+}
+
+std::uint64_t DurableStore::next_seq() const {
+  std::lock_guard lock(mu_);
+  return wal_->next_seq();
+}
+
+std::uint64_t DurableStore::last_committed_seq() const {
+  std::lock_guard lock(mu_);
+  return wal_->committed_seq();
+}
+
+RangeScan DurableStore::read_range(std::uint64_t from_seq, std::size_t max_records,
+                                   const ReadCursor* hint) {
+  std::lock_guard lock(mu_);
+  RangeScan out;
+  if (from_seq == 0) {
+    out.error = "read_range: from_seq must be >= 1";
+    return out;
+  }
+  const std::uint64_t committed = wal_->committed_seq();
+  if (from_seq > committed) return out;  // caller is already caught up
+  // Committed bytes can still sit in stdio's user-space buffer; push
+  // them to the OS (no fsync) so the file read below observes them.
+  if (!wal_->flush_os()) {
+    out.error = "read_range: flush to OS failed";
+    return out;
+  }
+
+  std::error_code ec;
+  std::vector<std::uint64_t> segment_seqs;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (const auto s = parse_seq(entry.path().filename().string(), "wal-", ".wal")) {
+      segment_seqs.push_back(*s);
+    }
+  }
+  if (ec) {
+    out.error = "read_range: cannot list store dir: " + ec.message();
+    return out;
+  }
+  std::sort(segment_seqs.begin(), segment_seqs.end());
+  // The segment owning from_seq is the last one starting at or before it.
+  std::size_t first = segment_seqs.size();
+  for (std::size_t i = 0; i < segment_seqs.size(); ++i) {
+    if (segment_seqs[i] <= from_seq) first = i;
+  }
+  if (first == segment_seqs.size()) {
+    out.pruned = true;  // compaction already dropped that range
+    return out;
+  }
+  for (std::size_t i = first; i < segment_seqs.size() && out.records.size() < max_records; ++i) {
+    const std::uint64_t seg = segment_seqs[i];
+    const std::string path = segment_path(seg);
+    // Hinted entry: resume the byte offset a prior read of this segment
+    // ended at, as long as the hint doesn't point past what we need. A
+    // hint that turns out to be wrong (a scan error right where it
+    // pointed) is discarded and the segment re-scanned from its front —
+    // the cursor is an accelerator, not a source of truth.
+    std::uint64_t offset = 0;
+    std::uint64_t expect = seg;
+    bool hinted = hint != nullptr && hint->next_seq != 0 && hint->segment == seg &&
+                  hint->next_seq <= from_seq && hint->offset >= kWalHeaderSize;
+    if (hinted) {
+      offset = hint->offset;
+      expect = hint->next_seq;
+    }
+    bool segment_done = false;
+    while (!segment_done && out.records.size() < max_records) {
+      // Window budget: what we still owe the caller, plus whatever must
+      // be parsed and skipped to reach from_seq.
+      const std::size_t budget =
+          (max_records - out.records.size()) +
+          (expect < from_seq ? static_cast<std::size_t>(std::min<std::uint64_t>(
+                                   from_seq - expect, std::size_t{4096})) : 0);
+      WalWindowScan win = scan_wal_file_window(path, offset, expect, budget);
+      const bool first_hinted_window = hinted && offset == hint->offset;
+      if (!win.ok() || (first_hinted_window && win.records.empty())) {
+        if (first_hinted_window) {
+          // Stale hint — a scan error right at the remembered offset, or
+          // garbage bytes there that read as a torn tail. Fall back to
+          // the unhinted scan of this segment.
+          hinted = false;
+          offset = 0;
+          expect = seg;
+          continue;
+        }
+        out.error = "read_range: segment " + std::to_string(seg) + ": " + win.error;
+        return out;
+      }
+      if (win.records.empty()) break;  // at_eof with nothing parsed
+      std::uint64_t cursor = offset == 0 ? kWalHeaderSize : offset;
+      for (auto& rec : win.records) {
+        const std::uint64_t rec_end = cursor + kWalRecordHeaderSize + rec.payload.size();
+        if (rec.seq > committed) {
+          segment_done = true;  // live tail past the committed bound
+          break;
+        }
+        if (rec.seq >= from_seq) {
+          if (!out.records.empty() && rec.seq != out.records.back().seq + 1) {
+            out.error = "read_range: gap across segments at seq " + std::to_string(rec.seq);
+            return out;
+          }
+          const std::uint64_t seq = rec.seq;
+          out.records.push_back(std::move(rec));
+          out.resume = ReadCursor{seg, rec_end, seq + 1};
+          if (out.records.size() >= max_records) {
+            cursor = rec_end;
+            break;
+          }
+        }
+        cursor = rec_end;
+        expect = rec.seq + 1;
+      }
+      offset = cursor;
+      if (win.at_eof) segment_done = true;
+    }
+  }
+  if (!out.records.empty() && out.records.front().seq != from_seq) {
+    out.pruned = true;  // range starts later than asked: prefix was pruned
+    out.records.clear();
+    out.resume = ReadCursor{};
+  }
+  return out;
 }
 
 std::uint64_t DurableStore::wal_appends() const {

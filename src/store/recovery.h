@@ -33,6 +33,40 @@ struct StoreOptions {
   std::size_t snapshot_every = 0;
 };
 
+/// Durability gate consulted after a local WAL commit and before the
+/// corresponding response leaves the node: quorum_commit(seq) returns
+/// once `seq` is durably appended on a quorum of replicas. A deployment
+/// with no replication simply has no gate (or quorum 0) and keeps
+/// today's single-node behavior. Implemented by replication::ReplicationGroup;
+/// declared here so the gateway can hold one without a layering cycle.
+class CommitGate {
+ public:
+  virtual ~CommitGate() = default;
+  [[nodiscard]] virtual bool quorum_commit(std::uint64_t seq, std::uint64_t now_ms) = 0;
+};
+
+/// Resumable position for forward streaming through read_range: names
+/// the byte offset of the next unread record so a follow-up read can
+/// skip re-parsing the segment prefix. Purely an optimization hint —
+/// a stale or wrong cursor degrades to the unhinted full-segment scan,
+/// never to wrong bytes (the windowed scan re-validates CRCs and
+/// sequence continuity exactly like the recovery path).
+struct ReadCursor {
+  std::uint64_t segment = 0;   ///< start sequence of the segment `offset` is in
+  std::uint64_t offset = 0;    ///< byte offset of the record with seq `next_seq`
+  std::uint64_t next_seq = 0;  ///< sequence expected at `offset`; 0 = no hint
+};
+
+/// One WAL range read (the ship/catch-up seam).
+struct RangeScan {
+  std::vector<WalRecord> records;
+  bool pruned = false;  ///< from_seq predates the oldest retained record
+  std::string error;    ///< nonempty: segment corruption, fail closed
+  ReadCursor resume;    ///< pass back as `hint` to continue where this read ended
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
 /// What open() found on disk.
 struct RecoveryInfo {
   std::uint64_t snapshot_seq = 0;       ///< 0 = recovered from scratch
@@ -74,6 +108,26 @@ class DurableStore {
   /// Thread-safe copy of the live image.
   [[nodiscard]] StateImage image_copy() const;
 
+  /// Install/clear the commit observer on the underlying WAL. Survives
+  /// snapshot rotation. The tap runs under the store mutex: it must only
+  /// buffer bytes, never call back into this store.
+  void set_commit_tap(CommitTap tap);
+
+  /// Read committed records starting exactly at `from_seq` (bounded by
+  /// `max_records`), from the on-disk segments. Sets `pruned` when
+  /// compaction already dropped that range — the caller must fall back
+  /// to a snapshot install. A forward-streaming caller passes the prior
+  /// read's `resume` cursor back as `hint` to start the segment parse at
+  /// the remembered byte offset instead of the segment front; a stale or
+  /// mismatched hint is ignored (full re-scan), never trusted blindly.
+  [[nodiscard]] RangeScan read_range(std::uint64_t from_seq, std::size_t max_records,
+                                     const ReadCursor* hint = nullptr);
+
+  /// Next sequence number the WAL will assign.
+  [[nodiscard]] std::uint64_t next_seq() const;
+  /// Highest sequence number committed to the file; 0 when none.
+  [[nodiscard]] std::uint64_t last_committed_seq() const;
+
   [[nodiscard]] const RecoveryInfo& recovery() const noexcept { return recovery_; }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
 
@@ -98,6 +152,7 @@ class DurableStore {
   mutable std::mutex mu_;
   StateImage image_;
   std::unique_ptr<Wal> wal_;
+  CommitTap tap_;  ///< kept so rotation re-installs it on the new Wal
   std::uint64_t active_segment_start_ = 1;
   std::uint64_t records_since_snapshot_ = 0;
   std::uint64_t snapshot_bytes_ = 0;

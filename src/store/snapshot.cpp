@@ -73,6 +73,11 @@ Bytes StateImage::serialize() const {
     w.u64le(d.amount);
     w.u64le(d.deadline_ms);
   }
+  w.u64le(epoch);
+  // Headers stay in connection order — not sorted — because replay
+  // re-accepts them sequentially and children must follow parents.
+  w.varint(headers.size());
+  for (const auto& h : headers) w.bytes({h.data(), h.size()});
   return std::move(w).take();
 }
 
@@ -135,6 +140,20 @@ std::optional<StateImage> StateImage::deserialize(ByteSpan data) {
     dis.amount = *amount;
     dis.deadline_ms = *deadline;
     img.open_disputes.push_back(std::move(dis));
+  }
+
+  const auto epoch = r.u64le();
+  if (!epoch) return std::nullopt;
+  img.epoch = *epoch;
+  const auto n_hdr = r.varint();
+  if (!n_hdr || *n_hdr > kMaxEntries) return std::nullopt;
+  img.headers.reserve(static_cast<std::size_t>(*n_hdr));
+  for (std::uint64_t i = 0; i < *n_hdr; ++i) {
+    ByteArray<80> h{};
+    const auto b = r.bytes(80);
+    if (!b) return std::nullopt;
+    std::copy(b->begin(), b->end(), h.begin());
+    img.headers.push_back(h);
   }
 
   if (!r.at_end()) return std::nullopt;
@@ -203,6 +222,20 @@ bool apply_record(StateImage& image, const StoreRecord& record, std::uint64_t se
       if (it == image.open_disputes.end()) return false;  // resolve of unopened dispute
       image.open_disputes.erase(it);
       ++image.resolved_disputes;
+      break;
+    }
+    case RecordKind::kEpochChange: {
+      // Epochs only move forward; a replayed change to an equal or older
+      // epoch means a stale primary's log leaked past the fence.
+      if (record.epoch <= image.epoch) return false;
+      image.epoch = record.epoch;
+      break;
+    }
+    case RecordKind::kHeaderAccept: {
+      for (const auto& h : image.headers) {
+        if (h == record.header) return false;  // double-accept of a header
+      }
+      image.headers.push_back(record.header);
       break;
     }
     default:

@@ -66,6 +66,13 @@ struct StateImage {
   // covers not just live entries but how many came and went.
   std::uint64_t released_count = 0;
   std::uint64_t resolved_disputes = 0;
+  /// Replication epoch the writer of this state runs under. 0 until the
+  /// first promotion; bumped only by kEpochChange records.
+  std::uint64_t epoch = 0;
+  /// Connected BTC headers the watchtower's sync tree accepted, in
+  /// connection order (parent-first — the order is part of the logical
+  /// content: restore re-accepts them sequentially).
+  std::vector<ByteArray<80>> headers;
 
   /// Canonical encoding: entries sorted by key, fixed field order.
   [[nodiscard]] Bytes serialize() const;

@@ -43,6 +43,8 @@ class PosixFile final : public AppendFile {
 #endif
   }
 
+  bool flush() override { return f_ != nullptr && std::fflush(f_) == 0; }
+
   [[nodiscard]] std::uint64_t size() const override { return size_; }
 
  private:
@@ -60,13 +62,13 @@ std::uint64_t load_u64le(const std::uint8_t* p) noexcept {
          static_cast<std::uint64_t>(load_u32le(p + 4)) << 32;
 }
 
-std::uint32_t record_crc(std::uint64_t seq, ByteSpan payload) noexcept {
+}  // namespace
+
+std::uint32_t wal_record_crc(std::uint64_t seq, ByteSpan payload) noexcept {
   std::uint8_t seq_le[8];
   for (int i = 0; i < 8; ++i) seq_le[i] = static_cast<std::uint8_t>(seq >> (8 * i));
   return crc32c(payload, crc32c({seq_le, 8}));
 }
-
-}  // namespace
 
 std::unique_ptr<AppendFile> open_append_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "ab");
@@ -90,7 +92,7 @@ void append_wal_record(Bytes& out, std::uint64_t seq, ByteSpan payload) {
   Writer w;
   w.reserve(kWalRecordHeaderSize + payload.size());
   w.u32le(static_cast<std::uint32_t>(payload.size()));
-  w.u32le(record_crc(seq, payload));
+  w.u32le(wal_record_crc(seq, payload));
   w.u64le(seq);
   w.bytes(payload);
   append(out, w.data());
@@ -99,7 +101,10 @@ void append_wal_record(Bytes& out, std::uint64_t seq, ByteSpan payload) {
 Wal::Wal(std::unique_ptr<AppendFile> file, WalOptions options, std::uint64_t next_seq,
          bool write_header)
     : file_(std::move(file)), options_(options), next_seq_(next_seq) {
-  if (write_header) append_wal_header(buffer_);
+  if (write_header) {
+    append_wal_header(buffer_);
+    header_prefix_ = buffer_.size();
+  }
 }
 
 std::uint64_t Wal::append(ByteSpan payload) {
@@ -115,7 +120,14 @@ bool Wal::commit() {
     if (file_ == nullptr || !file_->append(buffer_)) return false;
     bytes_written_ += buffer_.size();
     unsynced_records_ += buffered_records_;
+    if (tap_ && buffered_records_ > 0) {
+      // Hand the observer exactly the record bytes that just landed —
+      // minus the file header a fresh segment's first commit carries.
+      tap_(next_seq_ - buffered_records_, buffered_records_,
+           ByteSpan{buffer_.data() + header_prefix_, buffer_.size() - header_prefix_});
+    }
     buffer_.clear();
+    header_prefix_ = 0;
     buffered_records_ = 0;
     ++commits_;
   }
@@ -129,6 +141,8 @@ bool Wal::commit() {
   }
   return true;
 }
+
+bool Wal::flush_os() { return file_ != nullptr && file_->flush(); }
 
 bool Wal::sync() {
   if (!commit()) return false;
@@ -175,7 +189,7 @@ WalScan scan_wal(ByteSpan data, std::uint64_t expect_first_seq) {
     }
     const ByteSpan payload{data.data() + pos + kWalRecordHeaderSize, len};
     const std::size_t end = pos + kWalRecordHeaderSize + len;
-    if (record_crc(seq, payload) != crc) {
+    if (wal_record_crc(seq, payload) != crc) {
       if (end == data.size()) {
         out.truncated_tail = true;  // torn final record (partial write)
         return out;
@@ -202,6 +216,88 @@ WalScan scan_wal_file(const std::string& path, std::uint64_t expect_first_seq) {
   if (!in) return WalScan{};  // missing file: empty log
   Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   return scan_wal(data, expect_first_seq);
+}
+
+WalWindowScan scan_wal_file_window(const std::string& path, std::uint64_t offset,
+                                   std::uint64_t expect_first_seq, std::size_t max_records) {
+  WalWindowScan out;
+  out.end_offset = offset;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.at_eof = true;  // missing file: empty log
+    return out;
+  }
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+
+  if (offset == 0) {
+    if (file_size < kWalHeaderSize) {
+      out.at_eof = true;  // crash mid-header: nothing durable here
+      return out;
+    }
+    std::uint8_t hdr[kWalHeaderSize];
+    in.seekg(0);
+    if (!in.read(reinterpret_cast<char*>(hdr), kWalHeaderSize)) {
+      out.error = "cannot read wal header";
+      return out;
+    }
+    if (load_u32le(hdr) != kWalMagic || load_u32le(hdr + 4) != kWalVersion) {
+      out.error = "bad wal header";
+      return out;
+    }
+    out.end_offset = kWalHeaderSize;
+  } else {
+    in.seekg(static_cast<std::streamoff>(offset));
+  }
+
+  std::uint64_t expect_seq = expect_first_seq;
+  while (out.records.size() < max_records) {
+    const std::uint64_t pos = out.end_offset;
+    if (pos + kWalRecordHeaderSize > file_size) {
+      out.at_eof = true;  // clean end, or a torn record header
+      return out;
+    }
+    std::uint8_t rhdr[kWalRecordHeaderSize];
+    if (!in.read(reinterpret_cast<char*>(rhdr), kWalRecordHeaderSize)) {
+      out.error = "short read at offset " + std::to_string(pos);
+      return out;
+    }
+    const std::uint32_t len = load_u32le(rhdr);
+    const std::uint32_t crc = load_u32le(rhdr + 4);
+    const std::uint64_t seq = load_u64le(rhdr + 8);
+    if (len > kMaxWalPayload) {
+      out.error = "oversize record length at offset " + std::to_string(pos);
+      return out;
+    }
+    const std::uint64_t end = pos + kWalRecordHeaderSize + len;
+    if (end > file_size) {
+      out.at_eof = true;  // torn payload at the tail
+      return out;
+    }
+    Bytes payload(len);
+    if (len > 0 && !in.read(reinterpret_cast<char*>(payload.data()), len)) {
+      out.error = "short read at offset " + std::to_string(pos);
+      return out;
+    }
+    if (wal_record_crc(seq, ByteSpan{payload.data(), payload.size()}) != crc) {
+      if (end == file_size) {
+        out.at_eof = true;  // torn final record (partial write)
+        return out;
+      }
+      out.error = "checksum mismatch at offset " + std::to_string(pos) + " (mid-log)";
+      return out;
+    }
+    if (expect_seq != 0 && seq != expect_seq) {
+      std::ostringstream os;
+      os << "sequence break at offset " << pos << ": got " << seq << ", want " << expect_seq;
+      out.error = os.str();
+      return out;
+    }
+    expect_seq = seq + 1;
+    out.records.push_back(WalRecord{seq, std::move(payload)});
+    out.end_offset = end;
+  }
+  return out;
 }
 
 }  // namespace btcfast::store

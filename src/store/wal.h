@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,11 @@ class AppendFile {
   virtual bool append(ByteSpan data) = 0;
   /// Flush to stable storage; false on IO error (or injected fault).
   virtual bool sync() = 0;
+  /// Flush user-space buffers to the OS *without* forcing durability, so
+  /// a concurrent reader of the same path sees every committed byte. The
+  /// ship/catch-up read path needs this; in-memory test files are
+  /// already "visible" and keep the no-op default.
+  virtual bool flush() { return true; }
   [[nodiscard]] virtual std::uint64_t size() const = 0;
 };
 
@@ -64,6 +70,17 @@ struct WalOptions {
 /// Low-level framing, shared with the scan path, tests and fuzzers.
 void append_wal_header(Bytes& out);
 void append_wal_record(Bytes& out, std::uint64_t seq, ByteSpan payload);
+
+/// The framed-record CRC: crc32c(seq_le || payload). Exposed so the
+/// replication layer can re-verify shipped frames without re-framing.
+[[nodiscard]] std::uint32_t wal_record_crc(std::uint64_t seq, ByteSpan payload) noexcept;
+
+/// Observer invoked inside commit() after the batch reached the file:
+/// (first_seq, count, framed) where `framed` is the batch's record bytes
+/// exactly as written (file header excluded). Runs under the owning
+/// store's mutex — it must only copy/buffer, never call back into the
+/// store. This is the primary-side shipping seam.
+using CommitTap = std::function<void(std::uint64_t first_seq, std::size_t count, ByteSpan framed)>;
 
 /// Writer half. Not thread-safe — the owning DurableStore serializes
 /// access. `next_seq` seeds the sequence counter (recovery resumes past
@@ -88,6 +105,18 @@ class Wal {
   /// commit() then force an fsync regardless of policy.
   bool sync();
 
+  /// Flush committed bytes from user-space to the OS (no fsync), so a
+  /// separate read of the segment path observes them.
+  bool flush_os();
+
+  /// Install the commit observer (nullptr to clear).
+  void set_commit_tap(CommitTap tap) { tap_ = std::move(tap); }
+
+  /// Highest sequence number committed to the file; 0 when none.
+  [[nodiscard]] std::uint64_t committed_seq() const noexcept {
+    return next_seq_ - buffered_records_ - 1;
+  }
+
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
   [[nodiscard]] std::uint64_t appends() const noexcept { return appends_; }
   [[nodiscard]] std::uint64_t commits() const noexcept { return commits_; }
@@ -100,6 +129,8 @@ class Wal {
   WalOptions options_;
   std::uint64_t next_seq_;
   Bytes buffer_;
+  std::size_t header_prefix_ = 0;  ///< file-header bytes at buffer_'s front
+  CommitTap tap_;
   std::size_t buffered_records_ = 0;
   std::size_t unsynced_records_ = 0;
   std::uint64_t appends_ = 0;
@@ -131,5 +162,28 @@ struct WalScan {
 /// that crashed before its first commit), a readable-but-corrupt one
 /// reports through WalScan::error.
 [[nodiscard]] WalScan scan_wal_file(const std::string& path, std::uint64_t expect_first_seq = 0);
+
+/// One bounded step of a forward stream over a WAL file.
+struct WalWindowScan {
+  std::vector<WalRecord> records;
+  std::uint64_t end_offset = 0;  ///< byte offset just past the last parsed record
+  bool at_eof = false;           ///< no further complete record exists past end_offset
+  std::string error;             ///< nonempty: mid-log corruption, fail closed
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Bounded, resumable file scan: parse at most `max_records` records
+/// starting at byte `offset` and stop — unlike scan_wal_file, the cost
+/// is the window, not the whole segment, which is what makes forward
+/// streaming over a large log linear instead of quadratic. `offset`
+/// must be a record boundary obtained from a prior scan's end_offset
+/// (pass 0 to start at the front; the file header is then validated).
+/// `expect_first_seq` pins the first record exactly like scan_wal. A
+/// record torn at the file's end reports at_eof, not an error — the
+/// caller's committed-sequence bound is what fences live tails.
+[[nodiscard]] WalWindowScan scan_wal_file_window(const std::string& path, std::uint64_t offset,
+                                                 std::uint64_t expect_first_seq,
+                                                 std::size_t max_records);
 
 }  // namespace btcfast::store

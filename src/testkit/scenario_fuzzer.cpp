@@ -13,6 +13,8 @@
 #include "common/thread_pool.h"
 #include "gateway/pipeline.h"
 #include "gateway/wire.h"
+#include "replication/failover.h"
+#include "replication/follower.h"
 
 namespace btcfast::testkit {
 
@@ -35,8 +37,20 @@ sim::NodeId resolve_node(core::Deployment& dep, int index) {
   return dep.merchant_node_id();
 }
 
-void apply_event(core::Deployment& dep, gateway::Gateway* gw, const ScenarioEvent& ev,
-                 ScenarioOutcome& out, bool& watchtower_was_down) {
+/// Follower fleet behind the gateway's commit gate. Directories survive
+/// replica-crash events (the process dies, the disk stays), so a
+/// restart reopens the same directory through the follower's own
+/// recovery path. A promoted slot's dir is cleared — it became the
+/// primary's directory and must never be reopened as a follower.
+struct ReplicationRig {
+  std::unique_ptr<replication::ReplicationGroup> group;
+  std::vector<std::unique_ptr<replication::Follower>> followers;
+  std::vector<std::unique_ptr<replication::LocalFollowerLink>> links;
+  std::vector<std::string> dirs;
+};
+
+void apply_event(core::Deployment& dep, gateway::Gateway* gw, ReplicationRig& rig,
+                 const ScenarioEvent& ev, ScenarioOutcome& out, bool& watchtower_was_down) {
   using K = ScenarioEvent::Kind;
   switch (ev.kind) {
     case K::kFastPay: {
@@ -60,10 +74,13 @@ void apply_event(core::Deployment& dep, gateway::Gateway* gw, const ScenarioEven
         // Real crash semantics: tower + store handle destroyed, state
         // recovered from the snapshot + WAL on disk. Non-exact recovery
         // (or a failed reopen) is latched and reported as a violation.
+        // The shipper taps the dying store, so detach it around the swap.
+        if (rig.group != nullptr) rig.group->detach_primary();
         if (!dep.restart_watchtower_from_store()) out.store_recovery_exact = false;
         out.store_recovered = true;
         // The gateway held a pointer into the old store instance.
         if (gw != nullptr) gw->attach_store(dep.store());
+        if (rig.group != nullptr) rig.group->attach_primary(dep.store());
       } else {
         dep.set_watchtower_online(true);
       }
@@ -87,6 +104,48 @@ void apply_event(core::Deployment& dep, gateway::Gateway* gw, const ScenarioEven
     case K::kSetDupRate:
       dep.network().set_dup_rate(ev.rate);
       break;
+    case K::kReplicaCrash:
+      if (ev.node >= 0 && static_cast<std::size_t>(ev.node) < rig.links.size()) {
+        const auto i = static_cast<std::size_t>(ev.node);
+        rig.links[i]->set_follower(nullptr);
+        rig.followers[i].reset();  // process gone; the directory stays
+      }
+      break;
+    case K::kReplicaRestart:
+      if (ev.node >= 0 && static_cast<std::size_t>(ev.node) < rig.links.size()) {
+        const auto i = static_cast<std::size_t>(ev.node);
+        if (!rig.followers[i] && !rig.dirs[i].empty()) {
+          replication::Follower::Options fopts;
+          fopts.store.policy = store::FsyncPolicy::kNone;
+          rig.followers[i] = replication::Follower::open(rig.dirs[i], fopts);
+        }
+        rig.links[i]->set_follower(rig.followers[i].get());
+      }
+      break;
+    case K::kPrimaryFailover: {
+      if (rig.group == nullptr) break;
+      const auto plan = rig.group->plan_promotion();
+      if (!plan.ok()) break;  // no reachable follower to promote
+      const std::uint64_t acked_high = rig.group->acked_high();
+      rig.group->detach_primary();
+      auto promo = replication::promote_follower(*rig.followers[plan.index], plan.new_epoch);
+      rig.followers[plan.index].reset();  // defunct either way
+      rig.links[plan.index]->set_follower(nullptr);
+      rig.dirs[plan.index].clear();  // dir is (or tried to become) the primary's
+      if (!promo.ok()) {
+        out.failover_ok = false;
+        break;
+      }
+      // The promotion invariant: every sequence the old primary acked to
+      // a client under the quorum rule must survive the switch.
+      if (promo.promoted_seq < acked_high) out.failover_covered = false;
+      dep.adopt_store(std::move(promo.store));
+      if (gw != nullptr) gw->attach_store(dep.store());
+      rig.group->attach_primary(dep.store());
+      (void)rig.group->fence_followers(rig.group->epoch());
+      ++out.failovers;
+      break;
+    }
   }
 }
 
@@ -130,6 +189,15 @@ std::string ScenarioEvent::describe() const {
     case K::kSetDupRate:
       os << "set dup_rate=" << rate;
       break;
+    case K::kReplicaCrash:
+      os << "replica crash #" << node;
+      break;
+    case K::kReplicaRestart:
+      os << "replica restart #" << node;
+      break;
+    case K::kPrimaryFailover:
+      os << "primary failover";
+      break;
   }
   return os.str();
 }
@@ -144,7 +212,8 @@ std::string ScenarioConfig::summary() const {
      << " watchtower=" << deployment.watchtower_enabled
      << " customer_online=" << deployment.customer_online
      << " reserve=" << deployment.reserve_payments << " gateway=" << use_gateway
-     << " store=" << use_store << " shards=" << gateway_shards << " events=" << events.size()
+     << " store=" << use_store << " shards=" << gateway_shards << " repl="
+     << replication_followers << "/" << replication_quorum << " events=" << events.size()
      << " horizon=" << horizon / kMinute << "m";
   return os.str();
 }
@@ -283,6 +352,30 @@ ScenarioConfig sample_scenario(std::uint64_t seed) {
   // decisions (responses are geometry-independent by design — this is
   // the fuzzer's standing check of that claim).
   cfg.gateway_shards = std::size_t{1} << rng.below(4);
+  // Replication draws land after every earlier draw — the same
+  // seed-stability trick once more. Only store+gateway runs have a
+  // commit path a quorum gate can sit on.
+  if (cfg.use_store && cfg.use_gateway && rng.chance(0.45)) {
+    cfg.replication_followers = 1 + rng.below(2);
+    cfg.replication_quorum = rng.below(cfg.replication_followers + 1);
+    if (rng.chance(0.5)) {
+      const int replica = static_cast<int>(rng.below(cfg.replication_followers));
+      const SimTime from = static_cast<SimTime>(3 + rng.below(35)) * kMinute;
+      const SimTime until = from + static_cast<SimTime>(2 + rng.below(20)) * kMinute;
+      cfg.events.push_back({ScenarioEvent::Kind::kReplicaCrash, from, replica});
+      cfg.events.push_back({ScenarioEvent::Kind::kReplicaRestart, until, replica});
+    }
+    if (rng.chance(0.4)) {
+      ScenarioEvent ev;
+      ev.kind = ScenarioEvent::Kind::kPrimaryFailover;
+      ev.at = static_cast<SimTime>(5 + rng.below(40)) * kMinute;
+      cfg.events.push_back(ev);
+    }
+    // Re-sort: a stable sort of the already-sorted prefix is the
+    // identity, so non-replication seeds keep their exact event order.
+    std::stable_sort(cfg.events.begin(), cfg.events.end(),
+                     [](const ScenarioEvent& a, const ScenarioEvent& b) { return a.at < b.at; });
+  }
   return cfg;
 }
 
@@ -347,6 +440,34 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
         });
   }
 
+  // Replication mode: stand up the follower fleet in per-seed scratch
+  // directories and wire the group in as the gateway's commit gate —
+  // every accept now waits on the configured quorum, and failover events
+  // can depose the primary mid-run.
+  ReplicationRig rig;
+  std::vector<std::string> replica_dirs;
+  if (gw != nullptr && dep.store() != nullptr && config.replication_followers > 0) {
+    replication::ReplicationConfig rcfg;
+    rcfg.quorum = config.replication_quorum;
+    rig.group = std::make_unique<replication::ReplicationGroup>(rcfg);
+    for (std::size_t i = 0; i < config.replication_followers; ++i) {
+      const std::string dir = store_dir.string() + "-replica" + std::to_string(i);
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      replication::Follower::Options fopts;
+      fopts.store.policy = store::FsyncPolicy::kNone;
+      auto follower = replication::Follower::open(dir, fopts);
+      auto link = std::make_unique<replication::LocalFollowerLink>(follower.get());
+      rig.group->add_follower(link.get());
+      rig.followers.push_back(std::move(follower));
+      rig.links.push_back(std::move(link));
+      rig.dirs.push_back(dir);
+      replica_dirs.push_back(dir);
+    }
+    rig.group->attach_primary(dep.store());
+    gw->attach_commit_gate(rig.group.get());
+  }
+
   // Epoch-based loss needs the anti-entropy recovery path even when the
   // initial rate was 0 (the deployment only arms it for lossy configs).
   // Decided from the full schedule, not the mask, so shrinking never
@@ -367,7 +488,7 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
     const auto& ev = config.events[i];
     if (ev.at > dep.simulator().now()) dep.run_for(ev.at - dep.simulator().now());
     if (checker.violation()) break;
-    apply_event(dep, gw.get(), ev, out, watchtower_was_down);
+    apply_event(dep, gw.get(), rig, ev, out, watchtower_was_down);
     checker.check("after-event");
     if (checker.violation()) break;
   }
@@ -398,6 +519,32 @@ ScenarioOutcome run_scenario(const ScenarioConfig& config, const RunOptions& opt
     v.at = dep.simulator().now();
     v.check_index = checker.checks_run();
     out.violation = v;
+  }
+  if (!out.violation && !out.failover_ok) {
+    Violation v;
+    v.invariant = "replication-promotion-exact";
+    v.detail = "promoting the best follower failed to produce a working store";
+    v.at = dep.simulator().now();
+    v.check_index = checker.checks_run();
+    out.violation = v;
+  }
+  if (!out.violation && !out.failover_covered) {
+    Violation v;
+    v.invariant = "replication-acked-lost";
+    v.detail = "promoted follower's durable position is below a quorum-acked sequence";
+    v.at = dep.simulator().now();
+    v.check_index = checker.checks_run();
+    out.violation = v;
+  }
+  if (rig.group != nullptr) {
+    // The tap closure captures the shipper; unhook it before the store
+    // (inside dep) outlives the rig locals.
+    if (gw != nullptr) gw->attach_commit_gate(nullptr);
+    rig.group->detach_primary();
+  }
+  for (const auto& dir : replica_dirs) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
   }
   if (!store_dir.empty()) {
     std::error_code ec;

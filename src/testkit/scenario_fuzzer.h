@@ -32,6 +32,9 @@ struct ScenarioEvent {
     kCustomerRestart,
     kSetLossRate,       ///< failure-injection epoch boundary
     kSetDupRate,
+    kReplicaCrash,      ///< follower `node` becomes unreachable (process killed)
+    kReplicaRestart,    ///< follower `node` reopened from its own disk state
+    kPrimaryFailover,   ///< depose the primary store, promote the best follower
   };
   Kind kind = Kind::kFastPay;
   SimTime at = 0;
@@ -61,6 +64,13 @@ struct ScenarioConfig {
   /// {1, 2, 4, 8}); decisions must be identical for every value, so any
   /// seed doubles as a sharding-parity check.
   std::size_t gateway_shards = 1;
+  /// WAL-shipping followers behind the store-backed gateway (0 =
+  /// replication off). Sampled only for store+gateway runs; a
+  /// ReplicationGroup gates every accept on the quorum below, and
+  /// kReplicaCrash/kPrimaryFailover events exercise the failover path.
+  std::size_t replication_followers = 0;
+  /// Follower acks required before an accept is durable (≤ followers).
+  std::size_t replication_quorum = 0;
 
   /// One-line summary for repro reports and logs.
   [[nodiscard]] std::string summary() const;
@@ -87,6 +97,9 @@ struct ScenarioOutcome {
   bool watchtower_cycled = false;  ///< crashed and later restarted
   bool store_recovered = false;       ///< at least one restart went through disk recovery
   bool store_recovery_exact = true;   ///< every recovery was byte-identical to pre-crash
+  std::size_t failovers = 0;          ///< primary promotions performed
+  bool failover_ok = true;            ///< every promotion produced a working store
+  bool failover_covered = true;       ///< promoted seq ≥ every quorum-acked seq
   bool beyond_security_bound = false;
   std::uint64_t invariant_checks = 0;
   std::optional<Violation> violation;

@@ -7,6 +7,7 @@
 // consistent.
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <thread>
@@ -33,6 +34,8 @@
 #include "gateway/wire.h"
 #include "net/frame_assembler.h"
 #include "net/server.h"
+#include "replication/failover.h"
+#include "replication/follower.h"
 
 namespace btcfast {
 namespace {
@@ -617,6 +620,68 @@ TEST(ConcurrencyTest, NetworkLoopbackChurnHammer) {
   EXPECT_EQ(st.conns_accepted, kPkgs);
   EXPECT_EQ(st.frames_in, 2 * kPkgs);
   EXPECT_EQ(st.conns_active, 0u);
+}
+
+// Replication gate under concurrent committers: N threads append to one
+// primary store and call quorum_commit() for their own sequence while
+// the commit tap feeds the shipper from inside the store's commit path.
+// Every acked sequence must end up durably on the follower, and the
+// follower must finish byte-identical to the primary.
+TEST(ConcurrencyTest, ReplicationShipAckHammer) {
+  const std::string primary_dir =
+      "/tmp/btcfast-conc-repl-primary-" + std::to_string(::getpid());
+  const std::string follower_dir =
+      "/tmp/btcfast-conc-repl-follower-" + std::to_string(::getpid());
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
+
+  store::StoreOptions opts;
+  opts.policy = store::FsyncPolicy::kNone;
+  auto primary = store::DurableStore::open(primary_dir, opts);
+  ASSERT_NE(primary, nullptr);
+  replication::Follower::Options fopts;
+  fopts.store = opts;
+  auto follower = replication::Follower::open(follower_dir, fopts);
+  ASSERT_NE(follower, nullptr);
+  replication::LocalFollowerLink link(follower.get());
+
+  replication::ReplicationConfig rcfg;
+  rcfg.quorum = 1;
+  replication::ReplicationGroup group(rcfg);
+  group.attach_primary(primary.get());
+  group.add_follower(&link);
+
+  constexpr unsigned kWriters = 6;
+  constexpr unsigned kPerThread = 50;
+  std::atomic<unsigned> failures{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned i = 0; i < kPerThread; ++i) {
+        store::StoreRecord rec;
+        rec.kind = store::RecordKind::kReserve;
+        rec.reservation_id = t * kPerThread + i + 1;
+        rec.escrow_id = t;
+        rec.amount = 100 + i;
+        rec.expires_at_ms = 1'000'000;
+        const auto seq = primary->append(rec);
+        if (!seq || !primary->commit() || !group.quorum_commit(*seq, t * kPerThread + i)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(primary->last_committed_seq(), kWriters * kPerThread);
+  EXPECT_EQ(group.acked_high(), kWriters * kPerThread);
+  EXPECT_EQ(follower->cursor().last_seq, kWriters * kPerThread);
+  EXPECT_EQ(follower->store()->image_copy().serialize(), primary->image_copy().serialize());
+
+  group.detach_primary();
+  std::filesystem::remove_all(primary_dir);
+  std::filesystem::remove_all(follower_dir);
 }
 
 }  // namespace

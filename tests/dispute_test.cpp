@@ -9,7 +9,10 @@
 // threads and across batch splits.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <random>
+
+#include <unistd.h>
 
 #include "btc/pow.h"
 #include "btcfast/customer.h"
@@ -22,6 +25,8 @@
 #include "dispute/header_index.h"
 #include "dispute/header_sync.h"
 #include "dispute/storm_engine.h"
+#include "store/recovery.h"
+#include "store/snapshot.h"
 
 namespace btcfast::dispute {
 namespace {
@@ -846,6 +851,98 @@ TEST_F(TowerFixture, AdvancesCheckpointFromSyncManager) {
   EXPECT_NE(cp, cfg.initial_checkpoint);
   // Nothing new to file until the chain moves past the lag again.
   EXPECT_TRUE(tower.poll(1'300).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Header-tree persistence through the durable store
+
+std::string sync_scratch_dir(const std::string& tag) {
+  const auto p = std::filesystem::temp_directory_path() /
+                 ("btcfast-dispute-sync-" + tag + "-" +
+                  std::to_string(static_cast<unsigned long>(::getpid())));
+  std::filesystem::remove_all(p);
+  return p.string();
+}
+
+TEST_F(SyncFixture, PersistedTreeRestoresWithoutResync) {
+  mine(25);
+  mine_fork(20, 3);  // a side branch must survive the restart too
+
+  const std::string dir = sync_scratch_dir("restore");
+  store::StoreOptions opts;
+  opts.policy = store::FsyncPolicy::kNone;
+  auto st = store::DurableStore::open(dir, opts);
+  ASSERT_NE(st, nullptr);
+
+  HeaderSyncManager mgr(params);
+  mgr.attach_store(st.get());
+  mgr.sync_from(chain);
+  // Feed the fork branch explicitly (sync_from follows the active chain).
+  std::vector<btc::BlockHeader> fork_headers;
+  for (std::uint32_t h = 21; h <= chain.height(); ++h) {
+    const auto blk = chain.block_at_height(h);
+    ASSERT_TRUE(blk.has_value());
+    fork_headers.push_back(blk->header);
+  }
+  (void)mgr.accept_headers(fork_headers);
+  const std::size_t tree_size = mgr.tree_size();
+  const auto tip = mgr.tip_hash();
+  ASSERT_EQ(st->image_copy().headers.size(), tree_size - 1);  // genesis isn't logged
+
+  // Watchtower restart: reopen the store from disk, rebuild from the
+  // recovered image — no re-sync from genesis.
+  st->sync();
+  st.reset();
+  auto reopened = store::DurableStore::open(dir, opts);
+  ASSERT_NE(reopened, nullptr);
+
+  HeaderSyncManager restored(params);
+  const std::size_t reconnected = restored.restore(reopened->image_copy());
+  EXPECT_EQ(reconnected, tree_size - 1);
+  EXPECT_EQ(restored.tree_size(), tree_size);
+  EXPECT_EQ(restored.tip_hash(), tip);
+  EXPECT_EQ(restored.tip_height(), mgr.tip_height());
+  EXPECT_EQ(restored.tip_work(), mgr.tip_work());
+
+  // Caught up: the next locator round against the node connects nothing.
+  restored.attach_store(reopened.get());
+  const auto r = restored.sync_round(chain);
+  EXPECT_EQ(r.connected, 0u);
+
+  // Restore didn't double-log: the store's header set is unchanged.
+  EXPECT_EQ(reopened->image_copy().headers.size(), tree_size - 1);
+
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SyncFixture, PersistenceSkipsRejectedAndDuplicateHeaders) {
+  mine(5);
+  const std::string dir = sync_scratch_dir("skip");
+  store::StoreOptions opts;
+  opts.policy = store::FsyncPolicy::kNone;
+  auto st = store::DurableStore::open(dir, opts);
+  ASSERT_NE(st, nullptr);
+
+  HeaderSyncManager mgr(params);
+  mgr.attach_store(st.get());
+  mgr.sync_from(chain);
+  ASSERT_EQ(st->image_copy().headers.size(), 5u);
+
+  // A duplicate batch and an orphan (unknown parent) log nothing.
+  std::vector<btc::BlockHeader> dup;
+  const auto blk = chain.block_at_height(3);
+  ASSERT_TRUE(blk.has_value());
+  dup.push_back(blk->header);
+  btc::BlockHeader orphan = blk->header;
+  orphan.prev_hash.bytes[0] ^= 0xff;
+  dup.push_back(orphan);
+  const auto res = mgr.accept_headers(dup);
+  EXPECT_EQ(res.connected, 0u);
+  EXPECT_EQ(st->image_copy().headers.size(), 5u);
+
+  st.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -121,10 +121,27 @@ StoreRecord dispute_resolve_rec(EscrowId eid, std::uint8_t txid_tag) {
   return r;
 }
 
+StoreRecord epoch_rec(std::uint64_t epoch) {
+  StoreRecord r;
+  r.kind = RecordKind::kEpochChange;
+  r.epoch = epoch;
+  return r;
+}
+
+StoreRecord header_rec(std::uint8_t tag) {
+  StoreRecord r;
+  r.kind = RecordKind::kHeaderAccept;
+  for (std::size_t i = 0; i < r.header.size(); ++i) {
+    r.header[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return r;
+}
+
 TEST(StoreRecords, EveryKindRoundTrips) {
   const StoreRecord samples[] = {
       reserve_rec(0x1203, 9, 12345), release_rec(0x1203, ReleaseCause::kExpired),
-      accept_rec(0x1203), dispute_open_rec(9, 0x42), dispute_resolve_rec(9, 0x42)};
+      accept_rec(0x1203), dispute_open_rec(9, 0x42), dispute_resolve_rec(9, 0x42),
+      epoch_rec(3), header_rec(0x50)};
   for (const auto& rec : samples) {
     const auto back = StoreRecord::deserialize(rec.serialize());
     ASSERT_TRUE(back.has_value()) << "kind " << static_cast<int>(rec.kind);
@@ -512,6 +529,30 @@ TEST(Snapshot, ApplyRecordRejectsImpossibleTransitions) {
   EXPECT_TRUE(img.reservations.empty());
 }
 
+TEST(Snapshot, EpochOnlyRatchetsUpAndHeadersStayUnique) {
+  StateImage img;
+  EXPECT_TRUE(apply_record(img, epoch_rec(2), 1));
+  EXPECT_EQ(img.epoch, 2u);
+  EXPECT_FALSE(apply_record(img, epoch_rec(2), 2));  // no re-entry
+  EXPECT_FALSE(apply_record(img, epoch_rec(1), 2));  // no regression
+  EXPECT_TRUE(apply_record(img, epoch_rec(5), 2));
+  EXPECT_EQ(img.epoch, 5u);
+
+  EXPECT_TRUE(apply_record(img, header_rec(0x10), 3));
+  EXPECT_FALSE(apply_record(img, header_rec(0x10), 4));  // duplicate header
+  EXPECT_TRUE(apply_record(img, header_rec(0x20), 4));
+  ASSERT_EQ(img.headers.size(), 2u);
+
+  // Headers serialize in insertion order — the order is logical content
+  // (restore re-accepts sequentially), unlike the sorted entry sections.
+  const auto back = StateImage::deserialize(img.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 5u);
+  ASSERT_EQ(back->headers.size(), 2u);
+  EXPECT_EQ(back->headers[0], img.headers[0]);
+  EXPECT_EQ(back->headers[1], img.headers[1]);
+}
+
 // --------------------------------------------------------- durable store
 
 /// The deterministic event tape used by the crash-point tests: a full
@@ -777,6 +818,77 @@ TEST(DurableStoreTest, SnapshotCompactsPrunesAndBoundsReplay) {
   EXPECT_EQ(info.snapshot_seq, 8u);        // last auto-snapshot at record 8
   EXPECT_EQ(info.replayed_records, 2u);    // only the suffix replays
   EXPECT_EQ(st->image_copy().serialize(), control.serialize());
+  st.reset();
+  fs::remove_all(dir);
+}
+
+TEST(DurableStoreTest, ReadRangeCursorStreamsIdenticallyAndSurvivesStaleHints) {
+  const std::string dir = scratch_dir("cursor");
+  StoreOptions opts;
+  opts.policy = FsyncPolicy::kNone;
+  auto st = DurableStore::open(dir, opts);
+  ASSERT_NE(st, nullptr);
+  constexpr std::uint64_t kPairs = 300;
+  for (std::uint64_t i = 1; i <= kPairs; ++i) {
+    ASSERT_TRUE(st->append(reserve_rec(i, 1 + (i % 4), 100 * i)).has_value());
+    ASSERT_TRUE(st->append(release_rec(i, ReleaseCause::kResolved)).has_value());
+  }
+  ASSERT_TRUE(st->commit());
+  const std::uint64_t committed = st->last_committed_seq();
+  ASSERT_EQ(committed, 2 * kPairs);
+
+  // Ground truth: one unhinted read of the whole range.
+  const RangeScan full = st->read_range(1, static_cast<std::size_t>(committed));
+  ASSERT_TRUE(full.ok()) << full.error;
+  ASSERT_EQ(full.records.size(), committed);
+
+  // Cursor-streamed batches must reproduce the exact same records, and
+  // every hinted read past the first must be answered from the resume
+  // offset, not a fresh segment parse.
+  ReadCursor cursor;
+  std::size_t streamed = 0;
+  while (streamed < committed) {
+    const RangeScan batch = st->read_range(streamed + 1, 64, &cursor);
+    ASSERT_TRUE(batch.ok()) << batch.error;
+    ASSERT_FALSE(batch.records.empty());
+    for (const auto& rec : batch.records) {
+      ASSERT_LT(streamed, full.records.size());
+      EXPECT_EQ(rec.seq, full.records[streamed].seq);
+      EXPECT_EQ(rec.payload, full.records[streamed].payload);
+      ++streamed;
+    }
+    cursor = batch.resume;
+    EXPECT_EQ(cursor.next_seq, streamed + 1);
+    EXPECT_GT(cursor.offset, kWalHeaderSize);
+  }
+  EXPECT_EQ(streamed, committed);
+
+  // A hint pointing at garbage (mid-record offset) must degrade to the
+  // unhinted scan — same records, no error, never wrong bytes.
+  ReadCursor stale;
+  stale.segment = cursor.segment;
+  stale.offset = cursor.offset / 2 + 3;  // almost surely mid-record
+  stale.next_seq = 10;
+  const RangeScan recovered = st->read_range(10, 16, &stale);
+  ASSERT_TRUE(recovered.ok()) << recovered.error;
+  ASSERT_EQ(recovered.records.size(), 16u);
+  for (std::size_t i = 0; i < recovered.records.size(); ++i) {
+    EXPECT_EQ(recovered.records[i].seq, full.records[9 + i].seq);
+    EXPECT_EQ(recovered.records[i].payload, full.records[9 + i].payload);
+  }
+
+  // A cursor that lags the requested range (buffer-served batches moved
+  // from_seq ahead) still resumes: the scan skips forward from the
+  // remembered offset instead of failing or rescanning.
+  const RangeScan early = st->read_range(1, 8, nullptr);
+  ASSERT_TRUE(early.ok());
+  ReadCursor behind = early.resume;  // points at seq 9
+  const RangeScan ahead = st->read_range(101, 8, &behind);
+  ASSERT_TRUE(ahead.ok()) << ahead.error;
+  ASSERT_EQ(ahead.records.size(), 8u);
+  EXPECT_EQ(ahead.records.front().seq, 101u);
+  EXPECT_EQ(ahead.records.front().payload, full.records[100].payload);
+
   st.reset();
   fs::remove_all(dir);
 }
